@@ -1,0 +1,19 @@
+//! # pprl-attacks
+//!
+//! Privacy attacks against PPRL encodings (§3.2 and §5.3 of the paper):
+//! frequency alignment against deterministic encodings, dictionary
+//! re-encoding attacks against Bloom filters with leaked/unkeyed
+//! parameters, and pattern-frequency cryptanalysis with containment
+//! refinement. Together with `pprl-eval::privacy` these quantify how
+//! hardening mechanisms change empirical privacy (experiments E6–E8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf_cryptanalysis;
+pub mod frequency;
+
+pub use bf_cryptanalysis::{
+    dictionary_attack, dictionary_attack_with, pattern_frequency_attack, BfAttackOutcome,
+};
+pub use frequency::{frequency_attack, reidentification_rate, FrequencyAttackOutcome};

@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the attack layer (supports E6): cost of the
+//! frequency and dictionary attacks at realistic dataset sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_attacks::bf_cryptanalysis::{dictionary_attack, pattern_frequency_attack};
+use pprl_attacks::frequency::frequency_attack;
+use pprl_core::bitvec::BitVec;
+use pprl_core::qgram::{qgram_set, QGramConfig};
+use pprl_core::rng::SplitMix64;
+use pprl_crypto::sha::hmac_sha256;
+use pprl_datagen::lookup::LAST_NAMES;
+use pprl_encoding::bloom::{BloomEncoder, BloomParams, HashingScheme};
+
+fn tokens(w: &str) -> Vec<String> {
+    qgram_set(w, &QGramConfig::default())
+}
+
+fn zipf_names(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let k = LAST_NAMES.len();
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut u = rng.next_f64() * total;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return LAST_NAMES[i].to_string();
+                }
+                u -= w;
+            }
+            LAST_NAMES[k - 1].to_string()
+        })
+        .collect()
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let names = zipf_names(1000, 1);
+    let dictionary: Vec<String> = LAST_NAMES.iter().map(|s| s.to_string()).collect();
+
+    // Frequency attack over hashed values.
+    let hashed: Vec<Vec<u8>> = names
+        .iter()
+        .map(|n| hmac_sha256(b"k", n.as_bytes()).to_vec())
+        .collect();
+    c.bench_function("frequency_attack_1000", |b| {
+        b.iter(|| std::hint::black_box(frequency_attack(&hashed, &dictionary).expect("runs")))
+    });
+
+    // Dictionary attack over Bloom filters.
+    let enc = BloomEncoder::new(BloomParams {
+        len: 512,
+        num_hashes: 8,
+        scheme: HashingScheme::DoubleHashing,
+        key: b"leaked".to_vec(),
+    })
+    .expect("valid");
+    let filters: Vec<BitVec> = names.iter().map(|n| enc.encode_tokens(&tokens(n))).collect();
+    c.bench_function("dictionary_attack_1000x100", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                dictionary_attack(&filters, &dictionary, &enc, tokens, 0.8).expect("runs"),
+            )
+        })
+    });
+    c.bench_function("pattern_attack_1000x100", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                pattern_frequency_attack(&filters, &dictionary, tokens).expect("runs"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_attacks
+}
+criterion_main!(benches);

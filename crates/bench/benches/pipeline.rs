@@ -1,0 +1,69 @@
+//! Criterion benchmarks for end-to-end linkage (supports E4/E12):
+//! the batch pipeline under different blocking choices and streaming
+//! insert throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprl_blocking::keys::BlockingKey;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_encoding::encoder::RecordEncoderConfig;
+use pprl_pipeline::batch::{link, BlockingChoice, PipelineConfig};
+use pprl_pipeline::streaming::StreamingLinker;
+
+fn bench_batch_pipeline(c: &mut Criterion) {
+    let mut g = Generator::new(GeneratorConfig {
+        corruption_rate: 0.2,
+        seed: 1,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid");
+    let (a, b) = g.dataset_pair(300, 300, 100).expect("valid");
+    let mut group = c.benchmark_group("batch_link_300");
+    group.sample_size(10);
+    for (name, blocking) in [
+        ("full", BlockingChoice::Full),
+        (
+            "standard",
+            BlockingChoice::Standard(BlockingKey::person_default()),
+        ),
+        (
+            "lsh",
+            BlockingChoice::Lsh(pprl_blocking::lsh::HammingLsh::new(16, 24, 1).expect("valid")),
+        ),
+    ] {
+        let mut cfg = PipelineConfig::standard(b"bench".to_vec()).expect("valid");
+        cfg.blocking = blocking;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bch, cfg| {
+            bch.iter(|| std::hint::black_box(link(&a, &b, cfg).expect("links")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_insert(c: &mut Criterion) {
+    let mut g = Generator::new(GeneratorConfig::default()).expect("valid");
+    // Pre-fill an index of 2000 records, then measure inserts.
+    let mut linker = StreamingLinker::new(
+        pprl_core::schema::Schema::person(),
+        RecordEncoderConfig::person_clk(b"bench".to_vec()),
+        BlockingKey::person_default(),
+        0.8,
+    )
+    .expect("valid");
+    for i in 0..2000u64 {
+        linker.insert(0, &g.entity(i)).expect("inserts");
+    }
+    let mut next = 10_000u64;
+    c.bench_function("streaming_insert_at_2000", |b| {
+        b.iter(|| {
+            next += 1;
+            std::hint::black_box(linker.insert(1, &g.entity(next)).expect("inserts"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_batch_pipeline, bench_streaming_insert
+}
+criterion_main!(benches);

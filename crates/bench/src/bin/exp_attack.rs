@@ -1,0 +1,180 @@
+//! E6 — §3.2/§5.3 (refs \[7, 23]): Bloom-filter cryptanalysis succeeds or
+//! fails depending on the parameter setting, and hardening defeats it.
+//!
+//! Sweeps filter length and hash count for the key-less pattern-frequency
+//! attack, then evaluates each hardening mechanism against the stronger
+//! leaked-parameters dictionary attack, reporting re-identification rate
+//! alongside the linkage utility (Dice of a known close pair) that the
+//! hardening costs. Run: `cargo run --release -p pprl-bench --bin exp_attack`
+
+use pprl_attacks::bf_cryptanalysis::{dictionary_attack, pattern_frequency_attack};
+use pprl_attacks::frequency::reidentification_rate;
+use pprl_bench::{banner, f3, pct, Table};
+use pprl_core::bitvec::BitVec;
+use pprl_core::qgram::{qgram_set, QGramConfig};
+use pprl_core::rng::SplitMix64;
+use pprl_datagen::lookup::LAST_NAMES;
+use pprl_encoding::bloom::{BloomEncoder, BloomParams, HashingScheme};
+use pprl_encoding::hardening::Hardening;
+use pprl_eval::privacy::disclosure_risk;
+use pprl_similarity::bitvec_sim::dice_bits;
+
+fn tokens(w: &str) -> Vec<String> {
+    qgram_set(w, &QGramConfig::default())
+}
+
+fn encoder(len: usize, k: usize, key: &[u8]) -> BloomEncoder {
+    BloomEncoder::new(BloomParams {
+        len,
+        num_hashes: k,
+        scheme: HashingScheme::DoubleHashing,
+        key: key.to_vec(),
+    })
+    .expect("valid params")
+}
+
+fn zipf_names(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = SplitMix64::new(seed);
+    let k = LAST_NAMES.len();
+    let weights: Vec<f64> = (1..=k).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut u = rng.next_f64() * total;
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return LAST_NAMES[i].to_string();
+                }
+                u -= w;
+            }
+            LAST_NAMES[k - 1].to_string()
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "E6",
+        "Bloom-filter cryptanalysis vs parameters and hardening (refs [7, 23])",
+        "attack success depends on the parameter setting; hardening restores privacy at a utility cost",
+    );
+    let n = 3000;
+    let names = zipf_names(n, 6);
+    let dictionary: Vec<String> = LAST_NAMES.iter().map(|s| s.to_string()).collect();
+
+    println!("\nPattern-frequency attack (no key material) vs parameters:");
+    let mut t = Table::new(&["l (bits)", "k (hashes)", "reid rate", "disclosure risk"]);
+    for (len, k) in [(256usize, 4usize), (512, 8), (1000, 10), (1000, 30)] {
+        let enc = encoder(len, k, b"secret-key");
+        let filters: Vec<BitVec> = names.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+        let out = pattern_frequency_attack(&filters, &dictionary, tokens).expect("runs");
+        let rate = reidentification_rate(&out.guesses, &names).expect("aligned");
+        let risk =
+            disclosure_risk(&filters.iter().map(|f| f.to_bytes()).collect::<Vec<_>>()).expect("nonempty");
+        t.row(vec![len.to_string(), k.to_string(), pct(rate), f3(risk)]);
+    }
+    t.print();
+    println!("(deterministic encodings leak frequency at every parameter setting)");
+
+    println!("\nDictionary attack (leaked parameters) vs hardening:");
+    let enc = encoder(1000, 10, b"leaked");
+    let filters: Vec<BitVec> = names.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+    let smith = enc.encode_tokens(&tokens("smith"));
+    let smyth = enc.encode_tokens(&tokens("smyth"));
+    let garcia = enc.encode_tokens(&tokens("garcia"));
+
+    let mut t = Table::new(&["hardening", "reid rate", "dice close pair", "dice far pair"]);
+    let mut run = |name: &str, hardening: Option<Hardening>| {
+        let (hardened, hs, hy, hg): (Vec<BitVec>, BitVec, BitVec, BitVec) = match &hardening {
+            None => (filters.clone(), smith.clone(), smyth.clone(), garcia.clone()),
+            Some(h) => (
+                filters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| h.apply(f, i as u64).expect("valid"))
+                    .collect(),
+                h.apply(&smith, 10_001).expect("valid"),
+                h.apply(&smyth, 10_002).expect("valid"),
+                h.apply(&garcia, 10_003).expect("valid"),
+            ),
+        };
+        // The attacker replicates every *public deterministic* hardening
+        // step on its dictionary encodings; BLIP flips and salts are
+        // record-specific secrets it cannot reproduce.
+        let out = pprl_attacks::bf_cryptanalysis::dictionary_attack_with(
+            &hardened,
+            &dictionary,
+            0.8,
+            |w| {
+                let base = enc.encode_tokens(&tokens(w));
+                match &hardening {
+                    Some(h @ (Hardening::Balance
+                    | Hardening::XorFold
+                    | Hardening::Rule90
+                    | Hardening::Permute { .. })) => h.apply(&base, 0).expect("valid"),
+                    _ => base,
+                }
+            },
+        )
+        .expect("runs");
+        let rate = reidentification_rate(&out.guesses, &names).expect("aligned");
+        t.row(vec![
+            name.to_string(),
+            pct(rate),
+            f3(dice_bits(&hs, &hy).expect("len")),
+            f3(dice_bits(&hs, &hg).expect("len")),
+        ]);
+    };
+    run("none (plain BF)", None);
+    run("balance", Some(Hardening::Balance));
+    run("xor-fold", Some(Hardening::XorFold));
+    run("rule-90", Some(Hardening::Rule90));
+    run("blip eps=2", Some(Hardening::Blip { epsilon: 2.0 }));
+    run("blip eps=5", Some(Hardening::Blip { epsilon: 5.0 }));
+    run("permute", Some(Hardening::Permute { seed: 77 }));
+
+    // Salting uses a *record-specific* secret the attacker cannot replicate.
+    {
+        use pprl_encoding::hardening::salted_key;
+        let salted: Vec<BitVec> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut params = BloomParams {
+                    len: 1000,
+                    num_hashes: 10,
+                    scheme: HashingScheme::DoubleHashing,
+                    key: b"leaked".to_vec(),
+                };
+                params.key = salted_key(&params.key, &format!("dob-{}", i % 50));
+                BloomEncoder::new(params).expect("valid").encode_tokens(&tokens(n))
+            })
+            .collect();
+        let out = dictionary_attack(&salted, &dictionary, &enc, tokens, 0.8).expect("runs");
+        let rate = reidentification_rate(&out.guesses, &names).expect("aligned");
+        let s1 = {
+            let mut p = BloomParams {
+                len: 1000,
+                num_hashes: 10,
+                scheme: HashingScheme::DoubleHashing,
+                key: b"leaked".to_vec(),
+            };
+            p.key = salted_key(&p.key, "dob-1");
+            BloomEncoder::new(p).expect("valid")
+        };
+        t.row(vec![
+            "salting (secret salt)".into(),
+            pct(rate),
+            f3(dice_bits(&s1.encode_tokens(&tokens("smith")), &s1.encode_tokens(&tokens("smyth")))
+                .expect("len")),
+            f3(dice_bits(&s1.encode_tokens(&tokens("smith")), &s1.encode_tokens(&tokens("garcia")))
+                .expect("len")),
+        ]);
+    }
+    t.print();
+    println!("\nNote: deterministic public hardening (balance/fold/rule-90/permute) does");
+    println!("NOT stop an attacker who can replicate it — only mechanisms with secret,");
+    println!("record-specific randomness do: BLIP at low epsilon, and salting (which");
+    println!("preserves same-salt utility, see the dice columns). This parameter");
+    println!("dependence is exactly the point of refs [7, 23].");
+}

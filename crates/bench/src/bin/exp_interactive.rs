@@ -1,0 +1,77 @@
+//! E14 — §5.2 interactive PPRL (ref \[22]): bounded manual review of the
+//! ambiguous band buys linkage quality proportional to the privacy budget.
+//!
+//! Traces F1 against the review budget for pairs whose masked similarity
+//! falls between the auto-reject and auto-accept thresholds. Run:
+//! `cargo run --release -p pprl-bench --bin exp_interactive`
+
+use pprl_bench::{banner, f3, Table};
+use pprl_crypto::dp::BudgetAccountant;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+use pprl_eval::quality::Confusion;
+use pprl_protocols::interactive::{interactive_linkage, ReviewablePair};
+use pprl_similarity::bitvec_sim::dice_bits;
+
+fn main() {
+    banner(
+        "E14",
+        "Interactive PPRL under a privacy budget (§5.2, ref [22])",
+        "F1 grows with review budget and saturates once the ambiguous band is resolved",
+    );
+    let mut g = Generator::new(GeneratorConfig {
+        corruption_rate: 0.35, // noisy data creates a real ambiguous band
+        seed: 14,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid");
+    let (a, b) = g.dataset_pair(300, 300, 100).expect("valid");
+    let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
+
+    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"e14".to_vec()), a.schema())
+        .expect("valid");
+    let ea = enc.encode_dataset(&a).expect("encodes");
+    let eb = enc.encode_dataset(&b).expect("encodes");
+    let fa = ea.clks().expect("clk");
+    let fb = eb.clks().expect("clk");
+
+    let mut pairs = Vec::new();
+    for (i, x) in fa.iter().enumerate() {
+        for (j, y) in fb.iter().enumerate() {
+            let s = dice_bits(x, y).expect("len");
+            if s >= 0.4 {
+                pairs.push(ReviewablePair {
+                    a: i,
+                    b: j,
+                    similarity: s,
+                    is_match: truth.contains(&(i, j)),
+                });
+            }
+        }
+    }
+    let (lower, upper) = (0.6, 0.85);
+    let band = pairs
+        .iter()
+        .filter(|p| p.similarity >= lower && p.similarity < upper)
+        .count();
+    println!("\n{} candidate pairs, {} in the review band [{lower}, {upper})", pairs.len(), band);
+
+    let truth_vec: Vec<(usize, usize)> = truth.iter().copied().collect();
+    let mut t = Table::new(&["review budget", "reviewed", "precision", "recall", "F1"]);
+    for budget_units in [0.001, 5.0, 20.0, 50.0, 100.0, 200.0, 1000.0] {
+        let mut budget = BudgetAccountant::new(budget_units).expect("valid");
+        let out = interactive_linkage(&pairs, lower, upper, &mut budget, 1.0).expect("runs");
+        let q = Confusion::from_pairs(&out.predicted, &truth_vec);
+        t.row(vec![
+            format!("{budget_units:.0}"),
+            out.reviewed.to_string(),
+            f3(q.precision()),
+            f3(q.recall()),
+            f3(q.f1()),
+        ]);
+    }
+    t.print();
+    println!("\nQuality climbs with budget and saturates when the whole band has been");
+    println!("reviewed — each further unit of privacy spending buys nothing, which is");
+    println!("how Kum et al. argue the disclosure can be kept bounded.");
+}

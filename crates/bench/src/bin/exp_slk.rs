@@ -1,0 +1,141 @@
+//! E7 — §3.4 SLK (ref \[31]): "limited privacy protection and poor
+//! sensitivity: is it time to move on from the statistical linkage
+//! key-581?"
+//!
+//! Compares SLK-581 exact matching against CLK Bloom-filter matching on
+//! corrupted duplicates (sensitivity = recall on true matches), and runs
+//! the frequency attack against hashed SLKs vs CLKs (privacy). Run:
+//! `cargo run --release -p pprl-bench --bin exp_slk`
+
+use pprl_attacks::frequency::{frequency_attack, reidentification_rate};
+use pprl_bench::{banner, f3, pct, Table};
+use pprl_core::record::Dataset;
+use pprl_core::value::Value;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+use pprl_encoding::slk::hashed_slk581;
+use pprl_eval::quality::Confusion;
+
+const THRESHOLD: f64 = 0.8;
+
+fn slk_of(ds: &Dataset, row: usize) -> Option<String> {
+    let first = ds.text(row, "first_name").expect("field");
+    let last = ds.text(row, "last_name").expect("field");
+    let sex = ds.text(row, "gender").expect("field");
+    match ds.value(row, "dob").expect("field") {
+        Value::Date(d) => {
+            Some(hashed_slk581(&first, &last, d, &sex, b"slk-key").expect("key non-empty"))
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    banner(
+        "E7",
+        "SLK-581 vs Bloom-filter linkage (ref [31])",
+        "SLK-581 has poorer sensitivity than BF matching and its hashed form leaks under frequency attack",
+    );
+
+    println!("\nSensitivity (recall on corrupted true matches), n = 500/side:");
+    let mut t = Table::new(&["corruption", "SLK recall", "SLK precision", "CLK recall", "CLK precision"]);
+    for corruption in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let mut g = Generator::new(GeneratorConfig {
+            corruption_rate: corruption,
+            seed: 7,
+            ..GeneratorConfig::default()
+        })
+        .expect("valid");
+        let (a, b) = g.dataset_pair(500, 500, 150).expect("valid");
+        let truth = a.ground_truth_pairs(&b);
+
+        // SLK: exact equality of hashed keys.
+        let slk_a: Vec<Option<String>> = (0..a.len()).map(|i| slk_of(&a, i)).collect();
+        let slk_b: Vec<Option<String>> = (0..b.len()).map(|j| slk_of(&b, j)).collect();
+        let mut slk_index: std::collections::HashMap<&str, Vec<usize>> = Default::default();
+        for (j, k) in slk_b.iter().enumerate() {
+            if let Some(k) = k {
+                slk_index.entry(k).or_default().push(j);
+            }
+        }
+        let mut slk_pairs = Vec::new();
+        for (i, k) in slk_a.iter().enumerate() {
+            if let Some(k) = k {
+                if let Some(rows) = slk_index.get(k.as_str()) {
+                    for &j in rows {
+                        slk_pairs.push((i, j));
+                    }
+                }
+            }
+        }
+        let slk_q = Confusion::from_pairs(&slk_pairs, &truth);
+
+        // CLK at the usual threshold (full comparison for parity).
+        let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"e7".to_vec()), a.schema())
+            .expect("valid");
+        let ea = enc.encode_dataset(&a).expect("encode");
+        let eb = enc.encode_dataset(&b).expect("encode");
+        let mut clk_pairs = Vec::new();
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                if ea.records[i].dice(&eb.records[j]).expect("mode") >= THRESHOLD {
+                    clk_pairs.push((i, j));
+                }
+            }
+        }
+        let clk_q = Confusion::from_pairs(&clk_pairs, &truth);
+        t.row(vec![
+            format!("{corruption:.1}"),
+            f3(slk_q.recall()),
+            f3(slk_q.precision()),
+            f3(clk_q.recall()),
+            f3(clk_q.precision()),
+        ]);
+    }
+    t.print();
+
+    println!("\nPrivacy: frequency attack on the surname component");
+    // Records with identical (name, dob, sex) produce identical hashed SLKs,
+    // so an attacker aligns frequencies. We attack a name-only SLK variant
+    // (common in practice when dob is unreliable) vs the CLK.
+    let mut g = Generator::new(GeneratorConfig {
+        corruption_rate: 0.0,
+        seed: 8,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid");
+    let ds = Dataset::from_records(pprl_core::schema::Schema::person(), g.population(3000))
+        .expect("valid");
+    let surnames: Vec<String> = ds.column_text("last_name").expect("field");
+    let fixed_dob = pprl_core::value::Date::new(1980, 1, 1).expect("valid");
+    let name_slks: Vec<String> = surnames
+        .iter()
+        .map(|s| hashed_slk581("jane", s, &fixed_dob, "f", b"slk-key").expect("key"))
+        .collect();
+    let dictionary: Vec<String> = pprl_datagen::lookup::LAST_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let out = frequency_attack(&name_slks, &dictionary).expect("runs");
+    let slk_rate = reidentification_rate(&out.guesses, &surnames).expect("aligned");
+
+    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"e7".to_vec()), ds.schema())
+        .expect("valid");
+    let clks: Vec<Vec<u8>> = enc
+        .encode_dataset(&ds)
+        .expect("encode")
+        .records
+        .iter()
+        .map(|r| r.clk().expect("clk").to_bytes())
+        .collect();
+    let out = frequency_attack(&clks, &dictionary).expect("runs");
+    let clk_rate = reidentification_rate(&out.guesses, &surnames).expect("aligned");
+
+    let mut t = Table::new(&["encoding", "surname re-identification"]);
+    t.row(vec!["hashed SLK (name component)".into(), pct(slk_rate)]);
+    t.row(vec!["record-level CLK".into(), pct(clk_rate)]);
+    t.print();
+    println!("\nSLK recall collapses with corruption while CLK degrades gracefully,");
+    println!("and the deterministic SLK leaks surnames under frequency alignment —");
+    println!("both findings of Randall et al. (ref [31]).");
+}

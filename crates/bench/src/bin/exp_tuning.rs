@@ -1,0 +1,102 @@
+//! E13 — §3.1 schema optimization (refs \[3, 36]): Bayesian optimization
+//! reaches good linkage parameters in fewer pipeline evaluations than grid
+//! or random search.
+//!
+//! The objective is the real pipeline F1 as a function of (threshold,
+//! LSH tables, LSH bits/key) on a fixed dataset pair. Run:
+//! `cargo run --release -p pprl-bench --bin exp_tuning`
+
+use pprl_bench::{banner, f3, Table};
+use pprl_blocking::lsh::HammingLsh;
+use pprl_core::error::Result;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_eval::quality::Confusion;
+use pprl_eval::tuning::{bayesian_optimization, grid_search, random_search, ParamSpace};
+use pprl_pipeline::batch::{link, BlockingChoice, PipelineConfig};
+
+fn main() {
+    banner(
+        "E13",
+        "Parameter tuning: grid vs random vs Bayesian (§3.1, refs [3, 36])",
+        "Bayesian optimization needs fewer expensive evaluations for the same F1",
+    );
+    let mut g = Generator::new(GeneratorConfig {
+        corruption_rate: 0.45,
+        seed: 13,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid");
+    let (a, b) = g.dataset_pair(250, 250, 80).expect("valid");
+    let truth = a.ground_truth_pairs(&b);
+
+    // Objective: F1 of the full pipeline at (threshold, tables, bits).
+    let evals = std::cell::Cell::new(0usize);
+    let objective = |x: &[f64]| -> Result<f64> {
+        evals.set(evals.get() + 1);
+        let threshold = x[0];
+        let tables = x[1].round().max(1.0) as usize;
+        let bits = x[2].round().max(4.0) as usize;
+        let mut cfg = PipelineConfig::standard(b"e13".to_vec())?;
+        cfg.threshold = threshold;
+        cfg.blocking = BlockingChoice::Lsh(HammingLsh::new(tables, bits, 0xE13)?);
+        let r = link(&a, &b, &cfg)?;
+        Ok(Confusion::from_pairs(&r.pairs(), &truth).f1())
+    };
+
+    let space = ParamSpace::new(vec![(0.3, 0.95), (1.0, 24.0), (8.0, 64.0)]).expect("valid");
+    let budget = 27;
+
+    let mut t = Table::new(&["method", "evaluations", "best F1", "best params (t, tables, bits)"]);
+    let fmt_params =
+        |p: &[f64]| format!("({:.2}, {:.0}, {:.0})", p[0], p[1].round(), p[2].round());
+
+    let out = grid_search(&space, 3, objective).expect("runs"); // 27 evals
+    t.row(vec![
+        "grid 3x3x3".into(),
+        "27".into(),
+        f3(out.best_value),
+        fmt_params(&out.best_params),
+    ]);
+    let out = random_search(&space, budget, 1, objective).expect("runs");
+    t.row(vec![
+        "random".into(),
+        budget.to_string(),
+        f3(out.best_value),
+        fmt_params(&out.best_params),
+    ]);
+    let out = bayesian_optimization(&space, budget, 6, 1, objective).expect("runs");
+    t.row(vec![
+        "bayesian (6 init)".into(),
+        budget.to_string(),
+        f3(out.best_value),
+        fmt_params(&out.best_params),
+    ]);
+    t.print();
+
+    // Convergence: best-so-far after k evaluations (seed-averaged).
+    println!("\nBest F1 after k evaluations (mean of 3 seeds):");
+    let mut t = Table::new(&["k", "random", "bayesian"]);
+    let seeds = [2u64, 3, 4];
+    let mut random_curves = Vec::new();
+    let mut bo_curves = Vec::new();
+    for &s in &seeds {
+        random_curves.push(random_search(&space, budget, s, objective).expect("runs").best_so_far());
+        bo_curves.push(
+            bayesian_optimization(&space, budget, 6, s, objective)
+                .expect("runs")
+                .best_so_far(),
+        );
+    }
+    for k in [5usize, 10, 15, 20, 26] {
+        let mean = |curves: &Vec<Vec<f64>>| {
+            curves.iter().map(|c| c[k]).sum::<f64>() / curves.len() as f64
+        };
+        t.row(vec![
+            (k + 1).to_string(),
+            f3(mean(&random_curves)),
+            f3(mean(&bo_curves)),
+        ]);
+    }
+    t.print();
+    println!("\ntotal pipeline evaluations spent: {}", evals.get());
+}

@@ -1,0 +1,175 @@
+//! Canopy clustering as a blocker.
+//!
+//! Canopy clustering builds overlapping clusters with a *cheap* similarity
+//! (token Jaccard) and two thresholds: records within the loose threshold
+//! of a randomly picked centre join its canopy; those within the tight
+//! threshold stop being centre candidates. Candidate pairs are all A×B
+//! pairs sharing a canopy. Unlike standard blocking, a record can fall into
+//! several canopies, which tolerates noisy keys.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::qgram::sorted_intersection_size;
+use pprl_core::rng::SplitMix64;
+use std::collections::HashSet;
+
+use crate::standard::CandidatePair;
+
+/// Canopy blocker over token sets (e.g. q-gram sets of a name field).
+#[derive(Debug, Clone)]
+pub struct CanopyBlocking {
+    /// Records within this Jaccard of the centre join the canopy.
+    pub loose: f64,
+    /// Records within this Jaccard stop being future centres (`tight >= loose`).
+    pub tight: f64,
+    /// Seed for centre selection.
+    pub seed: u64,
+}
+
+fn jaccard_sorted(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+impl CanopyBlocking {
+    /// Validates thresholds: `0 < loose <= tight <= 1`.
+    pub fn new(loose: f64, tight: f64, seed: u64) -> Result<Self> {
+        let loose_ok = loose > 0.0 && loose <= 1.0;
+        let tight_ok = tight >= loose && tight <= 1.0;
+        if !loose_ok || !tight_ok {
+            return Err(PprlError::invalid(
+                "loose/tight",
+                "need 0 < loose <= tight <= 1",
+            ));
+        }
+        Ok(CanopyBlocking { loose, tight, seed })
+    }
+
+    /// Builds canopies over the union of both datasets' token sets and
+    /// returns the cross-dataset candidate pairs. Token sets must be sorted
+    /// and deduplicated (as produced by `qgram_set`).
+    pub fn candidates(
+        &self,
+        tokens_a: &[Vec<String>],
+        tokens_b: &[Vec<String>],
+    ) -> Result<Vec<CandidatePair>> {
+        let n = tokens_a.len() + tokens_b.len();
+        // Pool: index < len_a → A row, else B row.
+        let tokens = |idx: usize| -> &[String] {
+            if idx < tokens_a.len() {
+                &tokens_a[idx]
+            } else {
+                &tokens_b[idx - tokens_a.len()]
+            }
+        };
+        let mut rng = SplitMix64::new(self.seed);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut out: HashSet<CandidatePair> = HashSet::new();
+        while !remaining.is_empty() {
+            let pick = rng.next_below(remaining.len() as u64) as usize;
+            let centre = remaining[pick];
+            let centre_tokens = tokens(centre);
+            // Canopy membership over the *full* pool (overlapping canopies).
+            let mut canopy_a: Vec<usize> = Vec::new();
+            let mut canopy_b: Vec<usize> = Vec::new();
+            for idx in 0..n {
+                let sim = jaccard_sorted(centre_tokens, tokens(idx));
+                if sim >= self.loose {
+                    if idx < tokens_a.len() {
+                        canopy_a.push(idx);
+                    } else {
+                        canopy_b.push(idx - tokens_a.len());
+                    }
+                }
+            }
+            for &i in &canopy_a {
+                for &j in &canopy_b {
+                    out.insert((i, j));
+                }
+            }
+            // Remove tight members (including the centre) from centre pool.
+            remaining.retain(|&idx| {
+                idx != centre && jaccard_sorted(centre_tokens, tokens(idx)) < self.tight
+            });
+        }
+        let mut pairs: Vec<CandidatePair> = out.into_iter().collect();
+        pairs.sort_unstable();
+        Ok(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::qgram::{qgram_set, QGramConfig};
+
+    fn grams(names: &[&str]) -> Vec<Vec<String>> {
+        let cfg = QGramConfig::bigrams();
+        names.iter().map(|n| qgram_set(n, &cfg)).collect()
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert!(CanopyBlocking::new(0.0, 0.5, 1).is_err());
+        assert!(CanopyBlocking::new(0.6, 0.5, 1).is_err());
+        assert!(CanopyBlocking::new(0.3, 1.1, 1).is_err());
+        assert!(CanopyBlocking::new(0.3, 0.7, 1).is_ok());
+    }
+
+    #[test]
+    fn similar_names_share_canopy() {
+        let a = grams(&["jonathan", "margaret"]);
+        let b = grams(&["jonathon", "xqzwy"]);
+        let canopy = CanopyBlocking::new(0.3, 0.8, 7).unwrap();
+        let pairs = canopy.candidates(&a, &b).unwrap();
+        assert!(pairs.contains(&(0, 0)), "jonathan/jonathon: {pairs:?}");
+        assert!(!pairs.contains(&(1, 1)), "margaret/xqzwy must not pair");
+    }
+
+    #[test]
+    fn identical_sets_always_pair() {
+        let a = grams(&["smith"]);
+        let b = grams(&["smith"]);
+        let canopy = CanopyBlocking::new(0.5, 0.9, 3).unwrap();
+        assert_eq!(canopy.candidates(&a, &b).unwrap(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let canopy = CanopyBlocking::new(0.5, 0.9, 3).unwrap();
+        assert!(canopy.candidates(&[], &[]).unwrap().is_empty());
+        assert!(canopy.candidates(&grams(&["x"]), &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn loose_threshold_controls_candidate_volume() {
+        let names_a: Vec<String> = (0..30).map(|i| format!("person{i:02}")).collect();
+        let names_b: Vec<String> = (0..30).map(|i| format!("person{i:02}x")).collect();
+        let ra: Vec<&str> = names_a.iter().map(|s| s.as_str()).collect();
+        let rb: Vec<&str> = names_b.iter().map(|s| s.as_str()).collect();
+        let a = grams(&ra);
+        let b = grams(&rb);
+        let loose = CanopyBlocking::new(0.2, 0.95, 5).unwrap().candidates(&a, &b).unwrap();
+        let tight = CanopyBlocking::new(0.8, 0.95, 5).unwrap().candidates(&a, &b).unwrap();
+        assert!(tight.len() <= loose.len());
+        // All names share the "person" prefix, so the lax setting may keep
+        // everything; the strict one must prune against the 30×30 product.
+        assert!(tight.len() < 900, "tight canopies should prune vs cross product");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = grams(&["anna", "anne", "bob"]);
+        let b = grams(&["anna", "robert"]);
+        let c1 = CanopyBlocking::new(0.3, 0.8, 11).unwrap().candidates(&a, &b).unwrap();
+        let c2 = CanopyBlocking::new(0.3, 0.8, 11).unwrap().candidates(&a, &b).unwrap();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,187 @@
+//! The comparison engine: scoring candidate pairs, sequentially or in
+//! parallel.
+//!
+//! Comparison is the PPRL bottleneck (§3.4); the engine runs a similarity
+//! function over a candidate list, optionally partitioned across threads
+//! (§3.4 "parallel/distributed processing", ref \[9]), and reports the pairs
+//! at or above a threshold together with comparison counts.
+
+use crossbeam::thread;
+use pprl_core::error::{PprlError, Result};
+
+use crate::standard::CandidatePair;
+
+/// A scored candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// Row in dataset A.
+    pub a: usize,
+    /// Row in dataset B.
+    pub b: usize,
+    /// Similarity in `[0,1]`.
+    pub similarity: f64,
+}
+
+/// Outcome of a comparison run.
+#[derive(Debug, Clone)]
+pub struct CompareOutcome {
+    /// Pairs with similarity ≥ threshold, sorted by (a, b).
+    pub matches: Vec<ScoredPair>,
+    /// Number of similarity evaluations performed.
+    pub comparisons: usize,
+}
+
+/// Scores `candidates` with `similarity`, keeping pairs ≥ `threshold`.
+pub fn compare_pairs<F>(
+    candidates: &[CandidatePair],
+    threshold: f64,
+    similarity: F,
+) -> Result<CompareOutcome>
+where
+    F: Fn(usize, usize) -> Result<f64>,
+{
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    let mut matches = Vec::new();
+    for &(i, j) in candidates {
+        let s = similarity(i, j)?;
+        if s >= threshold {
+            matches.push(ScoredPair {
+                a: i,
+                b: j,
+                similarity: s,
+            });
+        }
+    }
+    matches.sort_by_key(|x| (x.a, x.b));
+    Ok(CompareOutcome {
+        matches,
+        comparisons: candidates.len(),
+    })
+}
+
+/// Parallel version of [`compare_pairs`]: partitions the candidate list
+/// across `threads` OS threads (crossbeam scoped threads, so `similarity`
+/// only needs `Sync`, not `'static`).
+pub fn compare_pairs_parallel<F>(
+    candidates: &[CandidatePair],
+    threshold: f64,
+    threads: usize,
+    similarity: F,
+) -> Result<CompareOutcome>
+where
+    F: Fn(usize, usize) -> Result<f64> + Sync,
+{
+    if threads == 0 {
+        return Err(PprlError::invalid("threads", "need at least one thread"));
+    }
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    if threads == 1 || candidates.len() < 2 * threads {
+        return compare_pairs(candidates, threshold, similarity);
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let results: Vec<Result<Vec<ScoredPair>>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for part in candidates.chunks(chunk) {
+            let sim = &similarity;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                for &(i, j) in part {
+                    let s = sim(i, j)?;
+                    if s >= threshold {
+                        local.push(ScoredPair {
+                            a: i,
+                            b: j,
+                            similarity: s,
+                        });
+                    }
+                }
+                Ok(local)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("comparison worker panicked"))
+            .collect()
+    })
+    .expect("comparison scope panicked");
+
+    let mut matches = Vec::new();
+    for r in results {
+        matches.extend(r?);
+    }
+    matches.sort_by_key(|x| (x.a, x.b));
+    Ok(CompareOutcome {
+        matches,
+        comparisons: candidates.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::full_cross_product;
+
+    fn toy_similarity(i: usize, j: usize) -> Result<f64> {
+        // similar when indices are close
+        Ok(1.0 / (1.0 + (i as f64 - j as f64).abs()))
+    }
+
+    #[test]
+    fn sequential_scoring() {
+        let cands = full_cross_product(4, 4);
+        let out = compare_pairs(&cands, 0.5, toy_similarity).unwrap();
+        assert_eq!(out.comparisons, 16);
+        // threshold 0.5 keeps |i-j| <= 1
+        assert_eq!(out.matches.len(), 4 + 3 + 3);
+        assert!(out.matches.iter().all(|m| m.similarity >= 0.5));
+        // sorted
+        assert!(out
+            .matches
+            .windows(2)
+            .all(|w| (w[0].a, w[0].b) <= (w[1].a, w[1].b)));
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let cands = full_cross_product(2, 2);
+        assert!(compare_pairs(&cands, 1.5, toy_similarity).is_err());
+        assert!(compare_pairs_parallel(&cands, -0.1, 2, toy_similarity).is_err());
+        assert!(compare_pairs_parallel(&cands, 0.5, 0, toy_similarity).is_err());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cands = full_cross_product(30, 30);
+        let seq = compare_pairs(&cands, 0.3, toy_similarity).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = compare_pairs_parallel(&cands, 0.3, threads, toy_similarity).unwrap();
+            assert_eq!(par.matches, seq.matches, "threads={threads}");
+            assert_eq!(par.comparisons, seq.comparisons);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_similarity() {
+        let cands = full_cross_product(4, 4);
+        let failing = |i: usize, j: usize| -> Result<f64> {
+            if i == 3 && j == 3 {
+                Err(PprlError::ValueError("boom".into()))
+            } else {
+                Ok(0.0)
+            }
+        };
+        assert!(compare_pairs(&cands, 0.5, failing).is_err());
+        assert!(compare_pairs_parallel(&cands, 0.5, 4, failing).is_err());
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let out = compare_pairs(&[], 0.5, toy_similarity).unwrap();
+        assert!(out.matches.is_empty());
+        assert_eq!(out.comparisons, 0);
+    }
+}

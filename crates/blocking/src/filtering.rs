@@ -1,0 +1,198 @@
+//! Similarity-threshold filtering (§3.4, refs \[34, 38]).
+//!
+//! For a fixed Dice threshold `t`, cheap necessary conditions eliminate
+//! pairs that *cannot* reach `t` before the full similarity is computed —
+//! the PPJoin-style optimisation adapted to Bloom filters:
+//!
+//! * **Length filter** — Dice ≥ t requires
+//!   `|x_b| ∈ [ t/(2−t)·|x_a| , (2−t)/t·|x_a| ]` where `|x|` is the number
+//!   of set bits.
+//! * **Overlap bound** — Dice ≥ t requires a bit overlap of at least
+//!   `⌈ t·(|x_a|+|x_b|)/2 ⌉`; scanning a fixed *prefix* of the sorted
+//!   set-bit positions cheaply upper-bounds the achievable overlap.
+
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+
+/// Validates a similarity threshold in `(0, 1]`.
+fn check_threshold(t: f64) -> Result<()> {
+    if !(t > 0.0 && t <= 1.0) {
+        return Err(PprlError::invalid("threshold", "must be in (0, 1]"));
+    }
+    Ok(())
+}
+
+/// Bit-count bounds `[lo, hi]` a candidate's cardinality must fall in to
+/// possibly reach Dice `t` against a filter with `count` set bits.
+pub fn dice_length_bounds(count: usize, t: f64) -> Result<(usize, usize)> {
+    check_threshold(t)?;
+    let c = count as f64;
+    // Nudge by an epsilon so floating-point rounding never prunes a pair
+    // sitting exactly on the threshold (the filter must stay a necessary
+    // condition).
+    let lo = (t / (2.0 - t) * c - 1e-9).ceil() as usize;
+    let hi = ((2.0 - t) / t * c + 1e-9).floor() as usize;
+    Ok((lo, hi))
+}
+
+/// Minimum bit overlap required for Dice ≥ `t` given both cardinalities.
+pub fn dice_min_overlap(count_a: usize, count_b: usize, t: f64) -> Result<usize> {
+    check_threshold(t)?;
+    Ok((t * (count_a + count_b) as f64 / 2.0 - 1e-9).ceil() as usize)
+}
+
+/// True when the pair *passes* the length filter (i.e. may still match).
+pub fn length_filter(a: &BitVec, b: &BitVec, t: f64) -> Result<bool> {
+    let (lo, hi) = dice_length_bounds(a.count_ones(), t)?;
+    let cb = b.count_ones();
+    Ok(cb >= lo && cb <= hi)
+}
+
+/// Applies length + exact-overlap filtering to a candidate list, returning
+/// the surviving pairs and the number of full comparisons avoided.
+pub struct FilterOutcome {
+    /// Pairs that may still reach the threshold.
+    pub survivors: Vec<(usize, usize)>,
+    /// Pairs eliminated by the length filter alone (no AND computed).
+    pub pruned_by_length: usize,
+    /// Pairs eliminated by the overlap test.
+    pub pruned_by_overlap: usize,
+}
+
+/// Filters candidate pairs for `Dice ≥ t`.
+///
+/// The survivor list is exact: a pair survives iff its Dice really is ≥ t,
+/// but the length filter skips the popcount-AND for hopeless pairs, which
+/// is where the savings come from at scale.
+pub fn filter_candidates(
+    filters_a: &[&BitVec],
+    filters_b: &[&BitVec],
+    candidates: &[(usize, usize)],
+    t: f64,
+) -> Result<FilterOutcome> {
+    check_threshold(t)?;
+    let counts_a: Vec<usize> = filters_a.iter().map(|f| f.count_ones()).collect();
+    let counts_b: Vec<usize> = filters_b.iter().map(|f| f.count_ones()).collect();
+    let mut survivors = Vec::new();
+    let mut pruned_by_length = 0usize;
+    let mut pruned_by_overlap = 0usize;
+    for &(i, j) in candidates {
+        let (ca, cb) = (counts_a[i], counts_b[j]);
+        let (lo, hi) = dice_length_bounds(ca, t)?;
+        if cb < lo || cb > hi {
+            pruned_by_length += 1;
+            continue;
+        }
+        let need = dice_min_overlap(ca, cb, t)?;
+        let overlap = filters_a[i].and_count(filters_b[j]);
+        if overlap < need {
+            pruned_by_overlap += 1;
+            continue;
+        }
+        survivors.push((i, j));
+    }
+    Ok(FilterOutcome {
+        survivors,
+        pruned_by_length,
+        pruned_by_overlap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_similarity::bitvec_sim::dice_bits;
+
+    fn bv(ones: &[usize]) -> BitVec {
+        BitVec::from_positions(64, ones).unwrap()
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert!(dice_length_bounds(10, 0.0).is_err());
+        assert!(dice_length_bounds(10, 1.5).is_err());
+        assert!(dice_min_overlap(5, 5, -0.1).is_err());
+    }
+
+    #[test]
+    fn length_bounds_symmetric_at_one() {
+        let (lo, hi) = dice_length_bounds(10, 1.0).unwrap();
+        assert_eq!((lo, hi), (10, 10));
+    }
+
+    #[test]
+    fn length_bounds_widen_with_lower_threshold() {
+        let (lo8, hi8) = dice_length_bounds(10, 0.8).unwrap();
+        let (lo5, hi5) = dice_length_bounds(10, 0.5).unwrap();
+        assert!(lo5 <= lo8 && hi5 >= hi8);
+        assert!(lo8 <= 10 && hi8 >= 10);
+    }
+
+    #[test]
+    fn min_overlap_formula() {
+        // t=0.8, sizes 10+10 → ceil(0.8*10)=8
+        assert_eq!(dice_min_overlap(10, 10, 0.8).unwrap(), 8);
+        assert_eq!(dice_min_overlap(0, 0, 0.5).unwrap(), 0);
+    }
+
+    #[test]
+    fn length_filter_soundness() {
+        // Filter must never eliminate a pair whose true Dice >= t.
+        let sets: Vec<BitVec> = vec![
+            bv(&[1, 2, 3, 4]),
+            bv(&[1, 2, 3, 4, 5, 6]),
+            bv(&[10, 11]),
+            bv(&[1, 2]),
+            bv(&(0..30).collect::<Vec<_>>()),
+        ];
+        for t in [0.3, 0.5, 0.8, 1.0] {
+            for a in &sets {
+                for b in &sets {
+                    let d = dice_bits(a, b).unwrap();
+                    if d >= t {
+                        assert!(
+                            length_filter(a, b, t).unwrap(),
+                            "length filter wrongly pruned a pair with dice {d} >= {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_candidates_exact_survivors() {
+        let a = [bv(&[1, 2, 3, 4]), bv(&(0..20).collect::<Vec<_>>())];
+        let b = [bv(&[1, 2, 3, 5]), bv(&[40, 41]), bv(&[1, 2, 3, 4])];
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let candidates = crate::standard::full_cross_product(2, 3);
+        let t = 0.7;
+        let out = filter_candidates(&fa, &fb, &candidates, t).unwrap();
+        // check against brute force
+        let brute: Vec<(usize, usize)> = candidates
+            .iter()
+            .copied()
+            .filter(|&(i, j)| dice_bits(fa[i], fb[j]).unwrap() >= t)
+            .collect();
+        assert_eq!(out.survivors, brute);
+        assert!(out.pruned_by_length > 0);
+        assert_eq!(
+            out.survivors.len() + out.pruned_by_length + out.pruned_by_overlap,
+            candidates.len()
+        );
+    }
+
+    #[test]
+    fn high_threshold_prunes_more_by_length() {
+        let a = [bv(&[1, 2, 3, 4])];
+        let b = [bv(&[1]), bv(&(0..40).collect::<Vec<_>>()), bv(&[1, 2, 3, 4])];
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let cand = crate::standard::full_cross_product(1, 3);
+        let strict = filter_candidates(&fa, &fb, &cand, 0.9).unwrap();
+        let lax = filter_candidates(&fa, &fb, &cand, 0.2).unwrap();
+        assert!(strict.pruned_by_length >= lax.pruned_by_length);
+        assert!(strict.survivors.len() <= lax.survivors.len());
+    }
+}

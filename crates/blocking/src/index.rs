@@ -1,0 +1,227 @@
+//! A Dice-threshold similarity index over Bloom filters.
+//!
+//! The multibit-tree approach of the PPJoin/PPRL literature (§3.4
+//! "filtering", ref \[34]) answers "which stored filters have Dice ≥ t with
+//! this query?" without scanning everything. This implementation buckets
+//! filters by popcount so a query only visits buckets inside the Dice
+//! length bounds, then applies the exact minimum-overlap test — the same
+//! guarantees as the multibit tree with a simpler structure that is fast at
+//! the cardinalities PPRL produces (popcounts cluster tightly around
+//! `k × tokens`).
+
+use crate::filtering::{dice_length_bounds, dice_min_overlap};
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use std::collections::BTreeMap;
+
+/// An append-only index of Bloom filters supporting Dice-threshold queries.
+///
+/// ```
+/// use pprl_blocking::index::DiceIndex;
+/// use pprl_core::bitvec::BitVec;
+///
+/// let mut index = DiceIndex::new();
+/// index.insert(7, BitVec::from_positions(64, &[1, 2, 3, 4]).unwrap()).unwrap();
+/// index.insert(9, BitVec::from_positions(64, &[40, 41, 42, 43]).unwrap()).unwrap();
+/// let query = BitVec::from_positions(64, &[1, 2, 3, 5]).unwrap();
+/// let out = index.query(&query, 0.7).unwrap();
+/// assert_eq!(out.matches.len(), 1);
+/// assert_eq!(out.matches[0].0, 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct DiceIndex {
+    /// popcount → list of (id, filter).
+    buckets: BTreeMap<usize, Vec<(usize, BitVec)>>,
+    len_bits: Option<usize>,
+    size: usize,
+}
+
+impl DiceIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        DiceIndex::default()
+    }
+
+    /// Number of indexed filters.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Inserts a filter under an external id. All filters must share one
+    /// bit length.
+    pub fn insert(&mut self, id: usize, filter: BitVec) -> Result<()> {
+        match self.len_bits {
+            None => self.len_bits = Some(filter.len()),
+            Some(l) if l != filter.len() => {
+                return Err(PprlError::shape(
+                    format!("{l} bits"),
+                    format!("{} bits", filter.len()),
+                ));
+            }
+            _ => {}
+        }
+        self.buckets
+            .entry(filter.count_ones())
+            .or_default()
+            .push((id, filter));
+        self.size += 1;
+        Ok(())
+    }
+
+    /// Returns `(id, dice)` of every indexed filter with `Dice ≥ threshold`
+    /// against `query`, sorted by descending similarity. Also reports how
+    /// many stored filters were actually examined (the pruning win).
+    pub fn query(&self, query: &BitVec, threshold: f64) -> Result<QueryOutcome> {
+        if let Some(l) = self.len_bits {
+            if query.len() != l {
+                return Err(PprlError::shape(
+                    format!("{l} bits"),
+                    format!("{} bits", query.len()),
+                ));
+            }
+        }
+        let qc = query.count_ones();
+        let (lo, hi) = dice_length_bounds(qc, threshold)?;
+        let mut matches = Vec::new();
+        let mut examined = 0usize;
+        for (&count, bucket) in self.buckets.range(lo..=hi) {
+            let need = dice_min_overlap(qc, count, threshold)?;
+            for (id, filter) in bucket {
+                examined += 1;
+                let overlap = query.and_count(filter);
+                if overlap >= need {
+                    let dice = if qc + count == 0 {
+                        1.0
+                    } else {
+                        2.0 * overlap as f64 / (qc + count) as f64
+                    };
+                    matches.push((*id, dice));
+                }
+            }
+        }
+        matches.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite dice")
+                .then(a.0.cmp(&b.0))
+        });
+        Ok(QueryOutcome { matches, examined })
+    }
+}
+
+/// Result of a [`DiceIndex::query`].
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// `(id, dice)` of qualifying filters, best first.
+    pub matches: Vec<(usize, f64)>,
+    /// Stored filters examined (≤ index size; the rest were pruned by the
+    /// popcount bounds).
+    pub examined: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::rng::SplitMix64;
+    use pprl_similarity::bitvec_sim::dice_bits;
+
+    fn random_filter(rng: &mut SplitMix64, ones: usize) -> BitVec {
+        let mut f = BitVec::zeros(256);
+        while f.count_ones() < ones {
+            f.set(rng.next_below(256) as usize);
+        }
+        f
+    }
+
+    #[test]
+    fn exactness_against_brute_force() {
+        let mut rng = SplitMix64::new(1);
+        let mut index = DiceIndex::new();
+        let filters: Vec<BitVec> = (0..200)
+            .map(|_| {
+                let ones = 20 + rng.next_below(40) as usize;
+                random_filter(&mut rng, ones)
+            })
+            .collect();
+        for (i, f) in filters.iter().enumerate() {
+            index.insert(i, f.clone()).unwrap();
+        }
+        let query = random_filter(&mut rng, 40);
+        for t in [0.3, 0.5, 0.7, 0.9] {
+            let out = index.query(&query, t).unwrap();
+            let brute: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| dice_bits(&query, f).unwrap() >= t)
+                .map(|(i, _)| i)
+                .collect();
+            let mut got: Vec<usize> = out.matches.iter().map(|m| m.0).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn pruning_examines_fewer_than_all() {
+        let mut rng = SplitMix64::new(2);
+        let mut index = DiceIndex::new();
+        // Wide popcount spread → strong pruning at high threshold.
+        for i in 0..300 {
+            let ones = 5 + (i % 100);
+            index.insert(i, random_filter(&mut rng, ones)).unwrap();
+        }
+        let query = random_filter(&mut rng, 30);
+        let out = index.query(&query, 0.9).unwrap();
+        assert!(
+            out.examined < index.len() / 2,
+            "high threshold should prune: examined {}/{}",
+            out.examined,
+            index.len()
+        );
+    }
+
+    #[test]
+    fn results_sorted_best_first() {
+        let mut rng = SplitMix64::new(3);
+        let base = random_filter(&mut rng, 40);
+        let mut near = base.clone();
+        for _ in 0..4 {
+            near.flip(rng.next_below(256) as usize);
+        }
+        let far = random_filter(&mut rng, 40);
+        let mut index = DiceIndex::new();
+        index.insert(0, base.clone()).unwrap();
+        index.insert(1, near).unwrap();
+        index.insert(2, far).unwrap();
+        let out = index.query(&base, 0.1).unwrap();
+        assert_eq!(out.matches[0].0, 0);
+        assert!((out.matches[0].1 - 1.0).abs() < 1e-12);
+        assert!(out
+            .matches
+            .windows(2)
+            .all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn shape_and_threshold_validation() {
+        let mut index = DiceIndex::new();
+        index.insert(0, BitVec::zeros(64)).unwrap();
+        assert!(index.insert(1, BitVec::zeros(128)).is_err());
+        assert!(index.query(&BitVec::zeros(128), 0.5).is_err());
+        assert!(index.query(&BitVec::zeros(64), 0.0).is_err());
+        assert!(index.query(&BitVec::zeros(64), 1.5).is_err());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let index = DiceIndex::new();
+        let out = index.query(&BitVec::zeros(64), 0.5).unwrap();
+        assert!(out.matches.is_empty());
+        assert_eq!(out.examined, 0);
+        assert!(index.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # pprl-blocking
+//!
+//! Complexity-reduction technologies for PPRL (§3.4 of the paper): blocking
+//! key extraction, standard and sorted-neighbourhood blocking, canopy
+//! clustering, MinHash-LSH and Hamming-LSH blocking with collision-
+//! probability guarantees, meta-blocking (purging, filtering, weighted edge
+//! pruning), PPJoin-style Dice threshold filtering, and a sequential /
+//! parallel comparison engine.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod canopy;
+pub mod engine;
+pub mod filtering;
+pub mod index;
+pub mod keys;
+pub mod lsh;
+pub mod metablocking;
+pub mod standard;
+
+pub use canopy::CanopyBlocking;
+pub use engine::{compare_pairs, compare_pairs_parallel, CompareOutcome, ScoredPair};
+pub use index::{DiceIndex, QueryOutcome};
+pub use keys::{BlockingKey, KeyPart};
+pub use lsh::{HammingLsh, MinHashLsh};
+pub use standard::{full_cross_product, sorted_neighbourhood, standard_blocking, CandidatePair};

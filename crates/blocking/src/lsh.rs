@@ -1,0 +1,266 @@
+//! Locality-sensitive-hashing blocking (§3.4, refs \[12, 18]).
+//!
+//! Two randomised blockers with recall guarantees:
+//!
+//! * **MinHash LSH** over q-gram sets: the signature is split into `bands`
+//!   bands of `rows` rows; records colliding in any band become candidates.
+//!   A pair with Jaccard similarity `s` is caught with probability
+//!   `1 − (1 − s^rows)^bands`.
+//! * **Hamming LSH (HLSH)** over Bloom filters (Karapiperis & Verykios,
+//!   ref \[18]): each of `tables` hash tables keys records by the values of
+//!   `bits_per_key` randomly sampled bit positions; similar filters (small
+//!   Hamming distance) collide in at least one table with high probability.
+
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use std::collections::{HashMap, HashSet};
+
+use crate::standard::CandidatePair;
+
+/// MinHash-LSH banding over precomputed signatures.
+#[derive(Debug, Clone)]
+pub struct MinHashLsh {
+    /// Number of bands.
+    pub bands: usize,
+    /// Rows (signature components) per band.
+    pub rows: usize,
+}
+
+impl MinHashLsh {
+    /// Validates band/row structure against a signature length.
+    pub fn new(bands: usize, rows: usize) -> Result<Self> {
+        if bands == 0 || rows == 0 {
+            return Err(PprlError::invalid("bands/rows", "must be positive"));
+        }
+        Ok(MinHashLsh { bands, rows })
+    }
+
+    /// Probability a pair of Jaccard similarity `s` becomes a candidate.
+    pub fn collision_probability(&self, s: f64) -> f64 {
+        1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+
+    /// Candidate pairs between two signature sets. Signatures must be at
+    /// least `bands·rows` long.
+    pub fn candidates(
+        &self,
+        signatures_a: &[Vec<u64>],
+        signatures_b: &[Vec<u64>],
+    ) -> Result<Vec<CandidatePair>> {
+        let need = self.bands * self.rows;
+        for (name, sigs) in [("a", signatures_a), ("b", signatures_b)] {
+            if let Some(s) = sigs.iter().find(|s| s.len() < need) {
+                return Err(PprlError::shape(
+                    format!("signatures of length >= {need}"),
+                    format!("dataset {name} has signature of length {}", s.len()),
+                ));
+            }
+        }
+        let mut out: HashSet<CandidatePair> = HashSet::new();
+        for band in 0..self.bands {
+            let lo = band * self.rows;
+            let hi = lo + self.rows;
+            let mut table: HashMap<&[u64], Vec<usize>> = HashMap::new();
+            for (j, sig) in signatures_b.iter().enumerate() {
+                table.entry(&sig[lo..hi]).or_default().push(j);
+            }
+            for (i, sig) in signatures_a.iter().enumerate() {
+                if let Some(rows) = table.get(&sig[lo..hi]) {
+                    for &j in rows {
+                        out.insert((i, j));
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<CandidatePair> = out.into_iter().collect();
+        pairs.sort_unstable();
+        Ok(pairs)
+    }
+}
+
+/// Hamming LSH over Bloom filters.
+#[derive(Debug, Clone)]
+pub struct HammingLsh {
+    /// Number of hash tables.
+    pub tables: usize,
+    /// Sampled bit positions per table key.
+    pub bits_per_key: usize,
+    /// Seed deriving the (shared, secret) position samples.
+    pub seed: u64,
+}
+
+impl HammingLsh {
+    /// Validates parameters.
+    pub fn new(tables: usize, bits_per_key: usize, seed: u64) -> Result<Self> {
+        if tables == 0 || bits_per_key == 0 {
+            return Err(PprlError::invalid("tables/bits_per_key", "must be positive"));
+        }
+        Ok(HammingLsh {
+            tables,
+            bits_per_key,
+            seed,
+        })
+    }
+
+    /// Probability that two filters at Hamming distance `d` (of length `l`)
+    /// collide in at least one table: `1 − (1 − (1−d/l)^bits)^tables`.
+    pub fn collision_probability(&self, d: usize, l: usize) -> f64 {
+        let p = 1.0 - d as f64 / l as f64;
+        1.0 - (1.0 - p.powi(self.bits_per_key as i32)).powi(self.tables as i32)
+    }
+
+    fn table_positions(&self, len: usize) -> Vec<Vec<usize>> {
+        let mut rng = SplitMix64::new(self.seed);
+        (0..self.tables)
+            .map(|_| {
+                let mut fork = rng.fork(0x415348);
+                fork.sample_indices(len, self.bits_per_key.min(len))
+            })
+            .collect()
+    }
+
+    /// Candidate pairs between two filter sets of equal bit length.
+    pub fn candidates(
+        &self,
+        filters_a: &[&BitVec],
+        filters_b: &[&BitVec],
+    ) -> Result<Vec<CandidatePair>> {
+        let Some(first) = filters_a.first().or(filters_b.first()) else {
+            return Ok(Vec::new());
+        };
+        let len = first.len();
+        for f in filters_a.iter().chain(filters_b.iter()) {
+            if f.len() != len {
+                return Err(PprlError::shape(
+                    format!("{len} bits"),
+                    format!("{} bits", f.len()),
+                ));
+            }
+        }
+        let mut out: HashSet<CandidatePair> = HashSet::new();
+        for positions in self.table_positions(len) {
+            let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+            for (j, f) in filters_b.iter().enumerate() {
+                let key = f.sample(&positions)?.to_bytes();
+                table.entry(key).or_default().push(j);
+            }
+            for (i, f) in filters_a.iter().enumerate() {
+                let key = f.sample(&positions)?.to_bytes();
+                if let Some(rows) = table.get(&key) {
+                    for &j in rows {
+                        out.insert((i, j));
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<CandidatePair> = out.into_iter().collect();
+        pairs.sort_unstable();
+        Ok(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_encoding::minhash::MinHasher;
+    use pprl_core::qgram::{qgram_set, QGramConfig};
+
+    #[test]
+    fn minhash_lsh_validation() {
+        assert!(MinHashLsh::new(0, 4).is_err());
+        assert!(MinHashLsh::new(4, 0).is_err());
+        let lsh = MinHashLsh::new(8, 4).unwrap();
+        let short = vec![vec![1u64; 16]];
+        assert!(lsh.candidates(&short, &short).is_err());
+    }
+
+    #[test]
+    fn collision_probability_s_curve() {
+        let lsh = MinHashLsh::new(20, 5).unwrap();
+        assert!(lsh.collision_probability(0.9) > 0.99);
+        assert!(lsh.collision_probability(0.1) < 0.01);
+        assert!(lsh.collision_probability(0.9) > lsh.collision_probability(0.5));
+    }
+
+    #[test]
+    fn minhash_lsh_finds_similar_strings() {
+        let hasher = MinHasher::new(100, b"k").unwrap();
+        let cfg = QGramConfig::bigrams();
+        let names_a = ["jonathan smith", "mary johnson", "peter miller"];
+        let names_b = ["jonathan smyth", "completely different", "peter miller"];
+        let sigs_a: Vec<Vec<u64>> = names_a.iter().map(|n| hasher.signature(&qgram_set(n, &cfg))).collect();
+        let sigs_b: Vec<Vec<u64>> = names_b.iter().map(|n| hasher.signature(&qgram_set(n, &cfg))).collect();
+        let lsh = MinHashLsh::new(25, 4).unwrap();
+        let pairs = lsh.candidates(&sigs_a, &sigs_b).unwrap();
+        assert!(pairs.contains(&(0, 0)), "similar pair should be a candidate: {pairs:?}");
+        assert!(pairs.contains(&(2, 2)), "identical pair must collide");
+        assert!(!pairs.contains(&(1, 1)), "dissimilar pair should not collide");
+    }
+
+    #[test]
+    fn hamming_lsh_validation() {
+        assert!(HammingLsh::new(0, 8, 1).is_err());
+        assert!(HammingLsh::new(8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn hamming_lsh_identical_always_collides() {
+        let f = BitVec::from_positions(256, &[1, 17, 33, 200]).unwrap();
+        let lsh = HammingLsh::new(4, 16, 7).unwrap();
+        let pairs = lsh.candidates(&[&f], &[&f]).unwrap();
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn hamming_lsh_similar_collides_dissimilar_not() {
+        let mut rng = SplitMix64::new(3);
+        let len = 512;
+        // base filter with ~25% fill
+        let mut base = BitVec::zeros(len);
+        for _ in 0..128 {
+            base.set(rng.next_below(len as u64) as usize);
+        }
+        // near: flip 10 bits; far: independent random filter
+        let mut near = base.clone();
+        for _ in 0..10 {
+            near.flip(rng.next_below(len as u64) as usize);
+        }
+        let mut far = BitVec::zeros(len);
+        for _ in 0..128 {
+            far.set(rng.next_below(len as u64) as usize);
+        }
+        let lsh = HammingLsh::new(20, 24, 99).unwrap();
+        let pairs = lsh.candidates(&[&base], &[&near, &far]).unwrap();
+        assert!(pairs.contains(&(0, 0)), "near filter should collide: {pairs:?}");
+        assert!(!pairs.contains(&(0, 1)), "far filter should not collide: {pairs:?}");
+    }
+
+    #[test]
+    fn hamming_lsh_probability_monotone() {
+        let lsh = HammingLsh::new(10, 16, 1).unwrap();
+        assert!(lsh.collision_probability(5, 512) > lsh.collision_probability(50, 512));
+        assert!(lsh.collision_probability(0, 512) > 0.999);
+    }
+
+    #[test]
+    fn hamming_lsh_empty_and_mismatched() {
+        let lsh = HammingLsh::new(2, 4, 1).unwrap();
+        assert!(lsh.candidates(&[], &[]).unwrap().is_empty());
+        let a = BitVec::zeros(8);
+        let b = BitVec::zeros(16);
+        assert!(lsh.candidates(&[&a], &[&b]).is_err());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let f1 = BitVec::from_positions(128, &[1, 2, 3]).unwrap();
+        let f2 = BitVec::from_positions(128, &[2, 3, 4]).unwrap();
+        let l1 = HammingLsh::new(6, 8, 42).unwrap();
+        let l2 = HammingLsh::new(6, 8, 42).unwrap();
+        assert_eq!(
+            l1.candidates(&[&f1], &[&f2]).unwrap(),
+            l2.candidates(&[&f1], &[&f2]).unwrap()
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Meta-blocking: restructuring block collections to prune comparisons
+//! (§3.4, refs \[16, 28]).
+//!
+//! Given the blocks produced by (possibly several) blocking passes,
+//! meta-blocking removes oversized junk blocks (*block purging*), caps the
+//! candidate list per record (*block filtering*), and prunes low-evidence
+//! pairs by the number of blocks they co-occur in (*weighted edge pruning*,
+//! where the edge weight is the co-occurrence count — records sharing many
+//! blocks are likelier matches).
+
+use crate::standard::CandidatePair;
+use std::collections::HashMap;
+
+/// A block: the rows of dataset A and B sharing one blocking key value.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Rows of dataset A in this block.
+    pub rows_a: Vec<usize>,
+    /// Rows of dataset B in this block.
+    pub rows_b: Vec<usize>,
+}
+
+impl Block {
+    /// Number of cross comparisons this block induces.
+    pub fn comparisons(&self) -> usize {
+        self.rows_a.len() * self.rows_b.len()
+    }
+}
+
+/// Groups key columns into blocks (one per distinct non-empty key).
+pub fn build_blocks(keys_a: &[String], keys_b: &[String]) -> Vec<Block> {
+    let is_empty_key = |k: &str| k.chars().all(|c| c == '|');
+    let mut by_key: HashMap<&str, Block> = HashMap::new();
+    for (i, k) in keys_a.iter().enumerate() {
+        if !is_empty_key(k) {
+            by_key.entry(k.as_str()).or_default().rows_a.push(i);
+        }
+    }
+    for (j, k) in keys_b.iter().enumerate() {
+        if !is_empty_key(k) {
+            by_key.entry(k.as_str()).or_default().rows_b.push(j);
+        }
+    }
+    let mut blocks: Vec<Block> = by_key
+        .into_values()
+        .filter(|b| !b.rows_a.is_empty() && !b.rows_b.is_empty())
+        .collect();
+    blocks.sort_by_key(|b| (b.rows_a.first().copied(), b.rows_b.first().copied()));
+    blocks
+}
+
+/// Block purging: drops blocks inducing more than `max_comparisons`
+/// comparisons (oversized blocks are dominated by frequent junk values and
+/// contribute little evidence per comparison).
+pub fn purge_blocks(blocks: Vec<Block>, max_comparisons: usize) -> Vec<Block> {
+    blocks
+        .into_iter()
+        .filter(|b| b.comparisons() <= max_comparisons)
+        .collect()
+}
+
+/// The candidate pairs of a block collection (deduplicated, sorted).
+pub fn block_pairs(blocks: &[Block]) -> Vec<CandidatePair> {
+    let mut set = std::collections::HashSet::new();
+    for b in blocks {
+        for &i in &b.rows_a {
+            for &j in &b.rows_b {
+                set.insert((i, j));
+            }
+        }
+    }
+    let mut pairs: Vec<CandidatePair> = set.into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Weighted edge pruning: keeps pairs co-occurring in at least
+/// `min_cooccurrence` blocks. With several redundant blocking passes, true
+/// matches co-occur repeatedly while random collisions do not.
+pub fn weighted_edge_pruning(blocks: &[Block], min_cooccurrence: usize) -> Vec<CandidatePair> {
+    let mut weight: HashMap<CandidatePair, usize> = HashMap::new();
+    for b in blocks {
+        for &i in &b.rows_a {
+            for &j in &b.rows_b {
+                *weight.entry((i, j)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut pairs: Vec<CandidatePair> = weight
+        .into_iter()
+        .filter(|&(_, w)| w >= min_cooccurrence)
+        .map(|(p, _)| p)
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Block filtering: each record keeps only its `keep` smallest blocks
+/// (smaller blocks carry more evidence); blocks shrink accordingly.
+pub fn block_filtering(blocks: Vec<Block>, keep: usize) -> Vec<Block> {
+    // Rank blocks by size ascending; for each record keep the `keep` best.
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.sort_by_key(|&b| blocks[b].comparisons());
+    let mut kept_a: HashMap<usize, usize> = HashMap::new();
+    let mut kept_b: HashMap<usize, usize> = HashMap::new();
+    let mut out: Vec<Block> = blocks.iter().map(|_| Block::default()).collect();
+    for &b in &order {
+        for &i in &blocks[b].rows_a {
+            let c = kept_a.entry(i).or_insert(0);
+            if *c < keep {
+                *c += 1;
+                out[b].rows_a.push(i);
+            }
+        }
+        for &j in &blocks[b].rows_b {
+            let c = kept_b.entry(j).or_insert(0);
+            if *c < keep {
+                *c += 1;
+                out[b].rows_b.push(j);
+            }
+        }
+    }
+    out.into_iter()
+        .filter(|b| !b.rows_a.is_empty() && !b.rows_b.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn build_blocks_groups_by_key() {
+        let blocks = build_blocks(&keys(&["x", "y", "x"]), &keys(&["x", "z"]));
+        // only "x" has rows on both sides
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].rows_a, vec![0, 2]);
+        assert_eq!(blocks[0].rows_b, vec![0]);
+        assert_eq!(blocks[0].comparisons(), 2);
+    }
+
+    #[test]
+    fn empty_keys_excluded_from_blocks() {
+        let blocks = build_blocks(&keys(&["||", "k|"]), &keys(&["||", "k|"]));
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(block_pairs(&blocks), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn purging_removes_oversized_blocks() {
+        let big_a: Vec<String> = vec!["jumbo".into(); 20];
+        let big_b: Vec<String> = vec!["jumbo".into(); 20];
+        let blocks = build_blocks(&big_a, &big_b);
+        assert_eq!(blocks[0].comparisons(), 400);
+        assert!(purge_blocks(blocks.clone(), 100).is_empty());
+        assert_eq!(purge_blocks(blocks, 400).len(), 1);
+    }
+
+    #[test]
+    fn weighted_pruning_requires_cooccurrence() {
+        // Two blocking passes: pair (0,0) co-occurs twice, (1,1) once.
+        let pass1 = build_blocks(&keys(&["a", "b"]), &keys(&["a", "b"]));
+        let pass2 = build_blocks(&keys(&["a", "c"]), &keys(&["a", "d"]));
+        let mut all = pass1;
+        all.extend(pass2);
+        let w1 = weighted_edge_pruning(&all, 1);
+        let w2 = weighted_edge_pruning(&all, 2);
+        assert!(w1.contains(&(0, 0)) && w1.contains(&(1, 1)));
+        assert_eq!(w2, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn block_filtering_caps_per_record_blocks() {
+        // Record 0 of A appears in 3 blocks of growing size.
+        let blocks = vec![
+            Block {
+                rows_a: vec![0],
+                rows_b: vec![0],
+            },
+            Block {
+                rows_a: vec![0],
+                rows_b: vec![0, 1],
+            },
+            Block {
+                rows_a: vec![0],
+                rows_b: vec![0, 1, 2],
+            },
+        ];
+        let filtered = block_filtering(blocks, 2);
+        // keeps the two smallest blocks for record 0
+        let total: usize = filtered.iter().map(|b| b.comparisons()).sum();
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn pairs_deduplicated_across_blocks() {
+        let blocks = vec![
+            Block {
+                rows_a: vec![0],
+                rows_b: vec![0],
+            },
+            Block {
+                rows_a: vec![0],
+                rows_b: vec![0],
+            },
+        ];
+        assert_eq!(block_pairs(&blocks), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal argument parsing for the `pprl` CLI (no external deps).
+//!
+//! Supports `--flag value` options, `--flag` booleans, and one positional
+//! subcommand. Unknown flags are hard errors so typos never silently pick
+//! defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand + options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    known: Vec<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name). `boolean_flags`
+    /// lists the flags that take no value.
+    pub fn parse(raw: &[String], boolean_flags: &[&str]) -> Result<Args, ArgError> {
+        let Some(command) = raw.first() else {
+            return Err(ArgError("missing subcommand".into()));
+        };
+        if command.starts_with('-') {
+            return Err(ArgError(format!("expected a subcommand, got `{command}`")));
+        }
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 1;
+        while i < raw.len() {
+            let arg = &raw[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument `{arg}`")));
+            };
+            if boolean_flags.contains(&name) {
+                flags.push(name.to_string());
+                i += 1;
+            } else {
+                let Some(value) = raw.get(i + 1) else {
+                    return Err(ArgError(format!("flag `--{name}` needs a value")));
+                };
+                options.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Args {
+            command: command.clone(),
+            options,
+            flags,
+            known: Vec::new(),
+        })
+    }
+
+    /// Fetches a required option.
+    pub fn require(&mut self, name: &str) -> Result<String, ArgError> {
+        self.known.push(name.to_string());
+        self.options
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ArgError(format!("missing required flag `--{name}`")))
+    }
+
+    /// Fetches an optional option with a default.
+    pub fn get_or(&mut self, name: &str, default: &str) -> String {
+        self.known.push(name.to_string());
+        self.options
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Fetches an optional option.
+    pub fn get(&mut self, name: &str) -> Option<String> {
+        self.known.push(name.to_string());
+        self.options.get(name).cloned()
+    }
+
+    /// True when a boolean flag was passed.
+    pub fn flag(&mut self, name: &str) -> bool {
+        self.known.push(name.to_string());
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses a typed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag `--{name}`: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Errors on any option the command never consumed (typo protection).
+    pub fn finish(&self) -> Result<(), ArgError> {
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !self.known.contains(k) {
+                return Err(ArgError(format!("unknown flag `--{k}` for `{}`", self.command)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let mut a = Args::parse(&raw("link --a x.csv --b y.csv --evaluate"), &["evaluate"]).unwrap();
+        assert_eq!(a.command, "link");
+        assert_eq!(a.require("a").unwrap(), "x.csv");
+        assert_eq!(a.get_or("threshold", "0.8"), "0.8");
+        assert!(a.flag("evaluate"));
+        assert_eq!(a.require("b").unwrap(), "y.csv");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_subcommand_and_values() {
+        assert!(Args::parse(&[], &[]).is_err());
+        assert!(Args::parse(&raw("--link"), &[]).is_err());
+        assert!(Args::parse(&raw("link --a"), &[]).is_err());
+        assert!(Args::parse(&raw("link stray"), &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected_at_finish() {
+        let mut a = Args::parse(&raw("link --a x --typo y"), &[]).unwrap();
+        let _ = a.require("a");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn typed_parse() {
+        let mut a = Args::parse(&raw("gen --size 100"), &[]).unwrap();
+        assert_eq!(a.parse_or("size", 5usize).unwrap(), 100);
+        assert_eq!(a.parse_or("overlap", 7usize).unwrap(), 7);
+        let mut b = Args::parse(&raw("gen --size abc"), &[]).unwrap();
+        assert!(b.parse_or("size", 5usize).is_err());
+    }
+
+    #[test]
+    fn required_missing_is_error() {
+        let mut a = Args::parse(&raw("gen"), &[]).unwrap();
+        assert!(a.require("out").is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Entry point of the `pprl` command-line tool.
+
+use pprl_cli::args::Args;
+use pprl_cli::commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        println!("{}", commands::help());
+        return;
+    }
+    let args = match Args::parse(&raw, &["evaluate"]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::help());
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(args),
+        "link" => commands::link_cmd(args),
+        "dedup" => commands::dedup_cmd(args),
+        "encode" => commands::encode_cmd(args),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,11 @@
+//! # pprl-cli
+//!
+//! The `pprl` command-line tool: generate synthetic linked datasets, run
+//! privacy-preserving linkage, de-duplicate, and encode CSV datasets to
+//! CLKs — the operational surface a data custodian would actually use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,492 @@
+//! A compact, fixed-length bit vector.
+//!
+//! [`BitVec`] is the carrier type for every bit-pattern encoding in the
+//! workspace: Bloom filters, hardened Bloom filters, LSH keys, and the
+//! bit-sampling projections used by Hamming LSH. It stores bits in `u64`
+//! words, supports the set-algebra operations similarity functions need
+//! (AND/OR/XOR popcounts without materialising intermediates), and keeps the
+//! trailing bits of the last word zeroed as an invariant so popcounts are
+//! exact.
+
+use crate::error::{PprlError, Result};
+
+const WORD_BITS: usize = 64;
+
+/// Fixed-length vector of bits backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates an all-one bit vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Builds a bit vector from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                v.set(i);
+            }
+        }
+        v
+    }
+
+    /// Builds a bit vector of `len` bits with the given positions set.
+    ///
+    /// Returns an error if any position is out of range.
+    pub fn from_positions(len: usize, positions: &[usize]) -> Result<Self> {
+        let mut v = BitVec::zeros(len);
+        for &p in positions {
+            if p >= len {
+                return Err(PprlError::invalid(
+                    "positions",
+                    format!("position {p} out of range for length {len}"),
+                ));
+            }
+            v.set(p);
+        }
+        Ok(v)
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to 1.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (index invariant).
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i` to 0.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Assigns bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Popcount of `self AND other` without materialising the intersection.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Popcount of `self OR other`.
+    pub fn or_count(&self, other: &BitVec) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Popcount of `self XOR other` — the Hamming distance.
+    pub fn xor_count(&self, other: &BitVec) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Bitwise AND, requiring equal lengths.
+    pub fn and(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_len(other)?;
+        Ok(BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    /// Bitwise OR, requiring equal lengths.
+    pub fn or(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_len(other)?;
+        Ok(BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    /// Bitwise XOR, requiring equal lengths.
+    pub fn xor(&self, other: &BitVec) -> Result<BitVec> {
+        self.check_len(other)?;
+        Ok(BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+            len: self.len,
+        })
+    }
+
+    /// In-place OR (used when accumulating Bloom filter unions).
+    pub fn or_assign(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        Ok(())
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Extracts the bits at `positions` into a new (shorter) bit vector.
+    ///
+    /// This is the bit-sampling projection used by Hamming LSH.
+    pub fn sample(&self, positions: &[usize]) -> Result<BitVec> {
+        let mut out = BitVec::zeros(positions.len());
+        for (j, &p) in positions.iter().enumerate() {
+            if p >= self.len {
+                return Err(PprlError::invalid(
+                    "positions",
+                    format!("position {p} out of range for length {}", self.len),
+                ));
+            }
+            if self.get(p) {
+                out.set(j);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Folds the vector in half with XOR, halving its length.
+    ///
+    /// XOR-folding is a Bloom filter hardening technique: it superimposes the
+    /// two halves so that individual q-gram bit patterns are no longer
+    /// directly observable.
+    pub fn xor_fold(&self) -> BitVec {
+        let half = self.len / 2;
+        let mut out = BitVec::zeros(half);
+        for i in 0..half {
+            if self.get(i) ^ self.get(i + half) {
+                out.set(i);
+            }
+        }
+        out
+    }
+
+    /// Serialises to big-endian-free little-endian bytes (LSB of bit 0 first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len.div_ceil(8));
+        for byte_idx in 0..self.len.div_ceil(8) {
+            let word = self.words[byte_idx * 8 / WORD_BITS];
+            let shift = (byte_idx * 8) % WORD_BITS;
+            out.push(((word >> shift) & 0xFF) as u8);
+        }
+        out
+    }
+
+    /// Deserialises from bytes produced by [`BitVec::to_bytes`].
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Result<Self> {
+        if bytes.len() != len.div_ceil(8) {
+            return Err(PprlError::shape(
+                format!("{} bytes for {len} bits", len.div_ceil(8)),
+                format!("{} bytes", bytes.len()),
+            ));
+        }
+        let mut v = BitVec::zeros(len);
+        for (byte_idx, &b) in bytes.iter().enumerate() {
+            let shift = (byte_idx * 8) % WORD_BITS;
+            v.words[byte_idx * 8 / WORD_BITS] |= (b as u64) << shift;
+        }
+        v.mask_tail();
+        // Reject set bits beyond `len`.
+        let expect_ones: usize = bytes.iter().map(|b| b.count_ones() as usize).sum();
+        if v.count_ones() != expect_ones {
+            return Err(PprlError::ValueError(
+                "serialized bit vector has bits set beyond its length".into(),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// A permutation of the bits given by `perm` (output bit `i` takes input
+    /// bit `perm[i]`). `perm` must be a permutation of `0..len`.
+    pub fn permute(&self, perm: &[usize]) -> Result<BitVec> {
+        if perm.len() != self.len {
+            return Err(PprlError::shape(
+                format!("permutation of length {}", self.len),
+                format!("length {}", perm.len()),
+            ));
+        }
+        let mut out = BitVec::zeros(self.len);
+        for (i, &src) in perm.iter().enumerate() {
+            if src >= self.len {
+                return Err(PprlError::invalid("perm", format!("index {src} out of range")));
+            }
+            if self.get(src) {
+                out.set(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fraction of bits set (the *fill* of a Bloom filter).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    fn check_len(&self, other: &BitVec) -> Result<()> {
+        if self.len != other.len {
+            return Err(PprlError::shape(
+                format!("{} bits", self.len),
+                format!("{} bits", other.len),
+            ));
+        }
+        Ok(())
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+    }
+
+    #[test]
+    fn set_get_clear_flip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0);
+        v.set(63);
+        v.set(64);
+        v.set(69);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert!(!v.get(1));
+        assert_eq!(v.count_ones(), 4);
+        v.clear(63);
+        assert!(!v.get(63));
+        v.flip(63);
+        assert!(v.get(63));
+        v.assign(63, false);
+        assert!(!v.get(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(8);
+        v.get(8);
+    }
+
+    #[test]
+    fn from_positions_and_iter_ones() {
+        let v = BitVec::from_positions(100, &[3, 64, 99]).unwrap();
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 99]);
+        assert!(BitVec::from_positions(10, &[10]).is_err());
+    }
+
+    #[test]
+    fn set_algebra_counts() {
+        let a = BitVec::from_positions(128, &[0, 1, 2, 64]).unwrap();
+        let b = BitVec::from_positions(128, &[1, 2, 3, 127]).unwrap();
+        assert_eq!(a.and_count(&b), 2);
+        assert_eq!(a.or_count(&b), 6);
+        assert_eq!(a.xor_count(&b), 4);
+        assert_eq!(a.and(&b).unwrap().count_ones(), 2);
+        assert_eq!(a.or(&b).unwrap().count_ones(), 6);
+        assert_eq!(a.xor(&b).unwrap().count_ones(), 4);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        assert!(a.and(&b).is_err());
+        assert!(a.or(&b).is_err());
+        assert!(a.xor(&b).is_err());
+    }
+
+    #[test]
+    fn or_assign_accumulates() {
+        let mut a = BitVec::from_positions(16, &[1]).unwrap();
+        let b = BitVec::from_positions(16, &[2]).unwrap();
+        a.or_assign(&b).unwrap();
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sample_projects_bits() {
+        let v = BitVec::from_positions(32, &[1, 5, 9]).unwrap();
+        let s = v.sample(&[1, 2, 5, 30]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(s.get(0) && !s.get(1) && s.get(2) && !s.get(3));
+        assert!(v.sample(&[32]).is_err());
+    }
+
+    #[test]
+    fn xor_fold_halves() {
+        let v = BitVec::from_positions(8, &[0, 4, 1]).unwrap();
+        // halves: [1,1,0,0] and [1,0,0,0] -> fold [0,1,0,0]
+        let f = v.xor_fold();
+        assert_eq!(f.len(), 4);
+        assert!(!f.get(0) && f.get(1) && !f.get(2) && !f.get(3));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let v = BitVec::from_positions(20, &[0, 7, 8, 19]).unwrap();
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 3);
+        let back = BitVec::from_bytes(&bytes, 20).unwrap();
+        assert_eq!(v, back);
+        assert!(BitVec::from_bytes(&bytes, 32).is_err());
+        // bits beyond len rejected
+        assert!(BitVec::from_bytes(&[0xFF, 0xFF, 0xFF], 20).is_err());
+    }
+
+    #[test]
+    fn permute_round_trip() {
+        let v = BitVec::from_positions(6, &[0, 3]).unwrap();
+        let perm = [5, 4, 3, 2, 1, 0];
+        let p = v.permute(&perm).unwrap();
+        assert_eq!(p.iter_ones().collect::<Vec<_>>(), vec![2, 5]);
+        let back = p.permute(&perm).unwrap();
+        assert_eq!(back, v);
+        assert!(v.permute(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn fill_ratio() {
+        let v = BitVec::from_positions(10, &[0, 1, 2, 3, 4]).unwrap();
+        assert!((v.fill_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(BitVec::zeros(0).fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ones_respects_tail_mask() {
+        let o = BitVec::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        let bytes = o.to_bytes();
+        let back = BitVec::from_bytes(&bytes, 65).unwrap();
+        assert_eq!(back.count_ones(), 65);
+    }
+}

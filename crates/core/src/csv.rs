@@ -1,0 +1,247 @@
+//! CSV import/export for datasets.
+//!
+//! Real deployments exchange extracts as CSV; this is a small, dependency-
+//! free RFC-4180-style reader/writer so the toolkit can load actual data.
+//! Quoted fields (with embedded commas, quotes, and newlines) are
+//! supported. Values are parsed according to the schema's field types;
+//! cells are trimmed, and empty (or all-whitespace) cells become
+//! [`Value::Missing`].
+
+use crate::error::{PprlError, Result};
+use crate::record::{Dataset, Record};
+use crate::schema::{FieldType, Schema};
+use crate::value::{Date, Value};
+
+/// Splits one CSV document into rows of cells (RFC-4180 quoting).
+fn parse_rows(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !cell.is_empty() {
+                        return Err(PprlError::ValueError(
+                            "quote in the middle of an unquoted cell".into(),
+                        ));
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(PprlError::ValueError("unterminated quoted cell".into()));
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Quotes a cell when needed.
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+fn parse_value(text: &str, field_type: FieldType) -> Result<Value> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(Value::Missing);
+    }
+    Ok(match field_type {
+        FieldType::Text => Value::Text(trimmed.to_string()),
+        FieldType::Categorical => Value::Categorical(trimmed.to_string()),
+        FieldType::Integer => Value::Integer(trimmed.parse().map_err(|_| {
+            PprlError::ValueError(format!("`{trimmed}` is not an integer"))
+        })?),
+        FieldType::Float => Value::Float(trimmed.parse().map_err(|_| {
+            PprlError::ValueError(format!("`{trimmed}` is not a number"))
+        })?),
+        FieldType::Date => Value::Date(Date::parse(trimmed)?),
+    })
+}
+
+impl Dataset {
+    /// Parses a CSV document with a header row against `schema`.
+    ///
+    /// The header must contain every schema field (extra columns are
+    /// ignored); column order is free. An optional `entity_id` column
+    /// populates the evaluation ground truth (0 otherwise).
+    pub fn from_csv(input: &str, schema: Schema) -> Result<Dataset> {
+        let rows = parse_rows(input)?;
+        let Some(header) = rows.first() else {
+            return Err(PprlError::ValueError("empty CSV document".into()));
+        };
+        let col_of = |name: &str| header.iter().position(|h| h.trim() == name);
+        let columns: Vec<usize> = schema
+            .fields()
+            .iter()
+            .map(|f| {
+                col_of(&f.name).ok_or_else(|| PprlError::UnknownField(f.name.clone()))
+            })
+            .collect::<Result<_>>()?;
+        let entity_col = col_of("entity_id");
+        let mut records = Vec::with_capacity(rows.len() - 1);
+        for (line, row) in rows.iter().enumerate().skip(1) {
+            if row.len() == 1 && row[0].trim().is_empty() {
+                continue; // trailing blank line
+            }
+            if row.len() < header.len() {
+                return Err(PprlError::ValueError(format!(
+                    "line {}: expected {} cells, got {}",
+                    line + 1,
+                    header.len(),
+                    row.len()
+                )));
+            }
+            let entity_id = match entity_col {
+                Some(c) => row[c].trim().parse().map_err(|_| {
+                    PprlError::ValueError(format!("line {}: bad entity_id", line + 1))
+                })?,
+                None => 0,
+            };
+            let values: Vec<Value> = schema
+                .fields()
+                .iter()
+                .zip(&columns)
+                .map(|(f, &c)| parse_value(&row[c], f.field_type))
+                .collect::<Result<_>>()?;
+            records.push(Record::new(entity_id, values));
+        }
+        Dataset::from_records(schema, records)
+    }
+
+    /// Renders the dataset to CSV, including an `entity_id` column, in
+    /// schema order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("entity_id");
+        for f in self.schema().fields() {
+            out.push(',');
+            out.push_str(&quote(&f.name));
+        }
+        out.push('\n');
+        for r in self.records() {
+            out.push_str(&r.entity_id.to_string());
+            for v in &r.values {
+                out.push(',');
+                out.push_str(&quote(&v.as_text()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::qid("name", FieldType::Text),
+            FieldDef::qid("age", FieldType::Integer),
+            FieldDef::qid("dob", FieldType::Date),
+            FieldDef::qid("gender", FieldType::Categorical),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let csv = "entity_id,name,age,dob,gender\n7,Ann Smith,30,1990-01-02,f\n8,\"O'Brien, Bob\",41,1980-12-31,m\n";
+        let ds = Dataset::from_csv(csv, schema()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.records()[0].entity_id, 7);
+        assert_eq!(ds.text(1, "name").unwrap(), "O'Brien, Bob");
+        assert_eq!(ds.value(0, "age").unwrap(), &Value::Integer(30));
+        let back = Dataset::from_csv(&ds.to_csv(), schema()).unwrap();
+        assert_eq!(back.records(), ds.records());
+    }
+
+    #[test]
+    fn column_order_free_and_extras_ignored() {
+        let csv = "gender,extra,dob,age,name\nf,zzz,1990-01-02,30,Ann\n";
+        let ds = Dataset::from_csv(csv, schema()).unwrap();
+        assert_eq!(ds.text(0, "name").unwrap(), "Ann");
+        assert_eq!(ds.records()[0].entity_id, 0); // no entity_id column
+    }
+
+    #[test]
+    fn missing_cells_become_missing_values() {
+        let csv = "name,age,dob,gender\nAnn,,1990-01-02,\n";
+        let ds = Dataset::from_csv(csv, schema()).unwrap();
+        assert!(ds.value(0, "age").unwrap().is_missing());
+        assert!(ds.value(0, "gender").unwrap().is_missing());
+    }
+
+    #[test]
+    fn quoted_quotes_and_newlines() {
+        let csv = "name,age,dob,gender\n\"say \"\"hi\"\"\nthere\",1,2000-01-01,f\n";
+        let ds = Dataset::from_csv(csv, schema()).unwrap();
+        assert_eq!(ds.text(0, "name").unwrap(), "say \"hi\"\nthere");
+        // writer re-quotes correctly
+        let back = Dataset::from_csv(&ds.to_csv(), schema()).unwrap();
+        assert_eq!(back.text(0, "name").unwrap(), "say \"hi\"\nthere");
+    }
+
+    #[test]
+    fn errors_reported_with_context() {
+        assert!(Dataset::from_csv("", schema()).is_err());
+        // missing schema column
+        assert!(Dataset::from_csv("name,age\nx,1\n", schema()).is_err());
+        // bad integer
+        let bad = "name,age,dob,gender\nAnn,abc,1990-01-02,f\n";
+        assert!(Dataset::from_csv(bad, schema()).is_err());
+        // bad date
+        let bad = "name,age,dob,gender\nAnn,1,01/02/1990,f\n";
+        assert!(Dataset::from_csv(bad, schema()).is_err());
+        // short row
+        let bad = "name,age,dob,gender\nAnn,1\n";
+        assert!(Dataset::from_csv(bad, schema()).is_err());
+        // unterminated quote
+        assert!(Dataset::from_csv("name,age,dob,gender\n\"Ann,1,2000-01-01,f\n", schema()).is_err());
+        // stray quote
+        assert!(Dataset::from_csv("name,age,dob,gender\nAn\"n,1,2000-01-01,f\n", schema()).is_err());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let csv = "name,age,dob,gender\r\nAnn,30,1990-01-02,f\r\n";
+        let ds = Dataset::from_csv(csv, schema()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+}

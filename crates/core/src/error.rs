@@ -1,0 +1,112 @@
+//! Error type shared across the PPRL workspace.
+
+use std::fmt;
+
+/// Errors produced by the PPRL toolkit.
+///
+/// Library code never panics on bad user input; every fallible public entry
+/// point returns `Result<_, PprlError>`. Panics are reserved for violated
+/// internal invariants (programmer errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PprlError {
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Two inputs that must agree in shape (length, schema, …) did not.
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was provided.
+        actual: String,
+    },
+    /// A referenced field does not exist in the schema.
+    UnknownField(String),
+    /// A value could not be parsed or converted to the requested type.
+    ValueError(String),
+    /// A cryptographic operation failed (bad key, ciphertext out of range, …).
+    CryptoError(String),
+    /// A protocol step was invoked out of order or with a missing message.
+    ProtocolError(String),
+    /// The operation is not supported for the given configuration.
+    Unsupported(String),
+}
+
+impl PprlError {
+    /// Convenience constructor for [`PprlError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        PprlError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PprlError::ShapeMismatch`].
+    pub fn shape(expected: impl Into<String>, actual: impl Into<String>) -> Self {
+        PprlError::ShapeMismatch {
+            expected: expected.into(),
+            actual: actual.into(),
+        }
+    }
+}
+
+impl fmt::Display for PprlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PprlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PprlError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            PprlError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            PprlError::ValueError(msg) => write!(f, "value error: {msg}"),
+            PprlError::CryptoError(msg) => write!(f, "crypto error: {msg}"),
+            PprlError::ProtocolError(msg) => write!(f, "protocol error: {msg}"),
+            PprlError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PprlError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, PprlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = PprlError::invalid("epsilon", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `epsilon`: must be positive");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = PprlError::shape("1000 bits", "512 bits");
+        assert_eq!(e.to_string(), "shape mismatch: expected 1000 bits, got 512 bits");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert_eq!(
+            PprlError::UnknownField("surname".into()).to_string(),
+            "unknown field `surname`"
+        );
+        assert!(PprlError::ValueError("bad date".into()).to_string().contains("bad date"));
+        assert!(PprlError::CryptoError("x".into()).to_string().starts_with("crypto"));
+        assert!(PprlError::ProtocolError("x".into()).to_string().starts_with("protocol"));
+        assert!(PprlError::Unsupported("x".into()).to_string().starts_with("unsupported"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PprlError::UnknownField("x".into()));
+    }
+}

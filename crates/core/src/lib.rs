@@ -1,0 +1,33 @@
+//! # pprl-core
+//!
+//! Foundation types for the PPRL (privacy-preserving record linkage)
+//! workspace: errors, typed values and dates, schemas, records/datasets,
+//! q-gram tokenisation, bit vectors, phonetic codes, string normalisation,
+//! and a small deterministic PRNG.
+//!
+//! Everything here is dependency-free and shared by every other crate in the
+//! workspace. See the workspace `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod csv;
+pub mod error;
+pub mod normalize;
+pub mod phonetic;
+pub mod qgram;
+pub mod record;
+pub mod rng;
+pub mod schema;
+pub mod value;
+
+pub use bitvec::BitVec;
+pub use error::{PprlError, Result};
+pub use record::{Dataset, PartyId, Record, RecordRef};
+pub use rng::SplitMix64;
+pub use schema::{FieldDef, FieldType, Schema};
+pub use value::{Date, Value};

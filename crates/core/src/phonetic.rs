@@ -1,0 +1,261 @@
+//! Phonetic encodings used as blocking keys.
+//!
+//! Phonetic codes group names that sound alike, tolerating spelling
+//! variation; they are the classical choice of blocking key in record
+//! linkage (and remain common in PPRL, where the *code* rather than the name
+//! is hashed). Implemented: Soundex (the census standard) and NYSIIS (the
+//! New York State Identification and Intelligence System code, better for
+//! non-Anglo names).
+
+/// Maps a letter to its Soundex digit, or `None` for vowels/ignored letters.
+fn soundex_digit(c: char) -> Option<char> {
+    match c {
+        'b' | 'f' | 'p' | 'v' => Some('1'),
+        'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => Some('2'),
+        'd' | 't' => Some('3'),
+        'l' => Some('4'),
+        'm' | 'n' => Some('5'),
+        'r' => Some('6'),
+        _ => None,
+    }
+}
+
+/// American Soundex: a letter followed by three digits (e.g. `robert → r163`).
+///
+/// Returns the empty string when the input contains no ASCII letter.
+/// `h` and `w` are transparent (adjacent same-coded consonants separated only
+/// by them still collapse), per the standard algorithm.
+pub fn soundex(name: &str) -> String {
+    let letters: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = soundex_digit(first);
+    for &c in &letters[1..] {
+        match soundex_digit(c) {
+            Some(d) => {
+                if last_digit != Some(d) {
+                    code.push(d);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = Some(d);
+            }
+            None => {
+                // h/w are transparent; vowels reset the adjacency.
+                if c != 'h' && c != 'w' {
+                    last_digit = None;
+                }
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    code
+}
+
+/// NYSIIS phonetic code, truncated to the conventional 6 characters.
+///
+/// Returns the empty string when the input contains no ASCII letter.
+pub fn nysiis(name: &str) -> String {
+    let mut s: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    if s.is_empty() {
+        return String::new();
+    }
+
+    // Step 1: transcode first characters.
+    let prefix_rules: [(&str, &str); 5] = [
+        ("mac", "mcc"),
+        ("kn", "nn"),
+        ("k", "c"),
+        ("ph", "ff"),
+        ("pf", "ff"),
+    ];
+    let joined: String = s.iter().collect();
+    for (from, to) in prefix_rules {
+        if joined.starts_with(from) {
+            let mut new: Vec<char> = to.chars().collect();
+            new.extend_from_slice(&s[from.len()..]);
+            s = new;
+            break;
+        }
+    }
+    if s.starts_with(&['s', 'c', 'h']) {
+        s.splice(0..3, "sss".chars());
+    }
+
+    // Step 2: transcode last characters.
+    let n = s.len();
+    if n >= 2 {
+        let tail: String = s[n - 2..].iter().collect();
+        match tail.as_str() {
+            "ee" | "ie" => {
+                s.truncate(n - 2);
+                s.push('y');
+            }
+            "dt" | "rt" | "rd" | "nt" | "nd" => {
+                s.truncate(n - 2);
+                s.push('d');
+            }
+            _ => {}
+        }
+    }
+
+    // Step 3: first character of the key is the first character of the name.
+    let mut key = String::new();
+    key.push(s[0]);
+
+    // Step 4: scan the remaining characters applying the rewrite rules.
+    let is_vowel = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
+    let mut prev_original = s[0];
+    let mut i = 1;
+    let mut last_key_char = s[0];
+    while i < s.len() {
+        let mut current: Vec<char> = Vec::new();
+        let c = s[i];
+        if i + 1 < s.len() && c == 'e' && s[i + 1] == 'v' {
+            current.extend("af".chars());
+            i += 2;
+        } else if is_vowel(c) {
+            current.push('a');
+            i += 1;
+        } else if c == 'q' {
+            current.push('g');
+            i += 1;
+        } else if c == 'z' {
+            current.push('s');
+            i += 1;
+        } else if c == 'm' {
+            current.push('n');
+            i += 1;
+        } else if i + 1 < s.len() && c == 'k' && s[i + 1] == 'n' {
+            current.extend("nn".chars());
+            i += 2;
+        } else if c == 'k' {
+            current.push('c');
+            i += 1;
+        } else if i + 2 < s.len() && c == 's' && s[i + 1] == 'c' && s[i + 2] == 'h' {
+            current.extend("sss".chars());
+            i += 3;
+        } else if i + 1 < s.len() && c == 'p' && s[i + 1] == 'h' {
+            current.extend("ff".chars());
+            i += 2;
+        } else if (c == 'h'
+            && (!is_vowel(prev_original) || (i + 1 < s.len() && !is_vowel(s[i + 1]))))
+            || (c == 'w' && is_vowel(prev_original))
+        {
+            // h between non-vowels and w after a vowel both echo the
+            // previous character.
+            current.push(prev_original);
+            i += 1;
+        } else {
+            current.push(c);
+            i += 1;
+        }
+        prev_original = c;
+        for cc in current {
+            if cc != last_key_char {
+                key.push(cc);
+                last_key_char = cc;
+            }
+        }
+    }
+
+    // Step 5: trim trailing 's' and 'ay' → 'y', trailing 'a' removed.
+    if key.len() > 1 && key.ends_with('s') {
+        key.pop();
+    }
+    if key.ends_with("ay") {
+        key.truncate(key.len() - 2);
+        key.push('y');
+    }
+    if key.len() > 1 && key.ends_with('a') {
+        key.pop();
+    }
+
+    key.truncate(6);
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soundex_classic_values() {
+        assert_eq!(soundex("Robert"), "r163");
+        assert_eq!(soundex("Rupert"), "r163");
+        assert_eq!(soundex("Ashcraft"), "a261"); // h transparent
+        assert_eq!(soundex("Ashcroft"), "a261");
+        assert_eq!(soundex("Tymczak"), "t522");
+        assert_eq!(soundex("Pfister"), "p236");
+        assert_eq!(soundex("Honeyman"), "h555");
+    }
+
+    #[test]
+    fn soundex_similar_names_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Gail"), soundex("Gayle"));
+        assert_ne!(soundex("Smith"), soundex("Jones"));
+    }
+
+    #[test]
+    fn soundex_short_and_empty() {
+        assert_eq!(soundex("A"), "a000");
+        assert_eq!(soundex(""), "");
+        assert_eq!(soundex("123"), "");
+        assert_eq!(soundex("Lee"), "l000");
+    }
+
+    #[test]
+    fn soundex_ignores_non_letters() {
+        assert_eq!(soundex("O'Brien"), soundex("OBrien"));
+    }
+
+    #[test]
+    fn nysiis_stable_values() {
+        // Pinned outputs of this implementation (NYSIIS variants differ in
+        // minor rules across toolkits; what matters for blocking is that the
+        // code is stable and groups spelling variants).
+        assert_eq!(nysiis("Smith"), "snat");
+        assert_eq!(nysiis("KNIGHT"), nysiis("Night"));
+    }
+
+    #[test]
+    fn nysiis_similar_names_collide() {
+        assert_eq!(nysiis("Smith"), nysiis("Smithe"));
+        assert_eq!(nysiis("Peterson"), nysiis("Petersen"));
+        assert_eq!(nysiis("Clark"), nysiis("Clarke"));
+        assert_ne!(nysiis("Smith"), nysiis("Jones"));
+    }
+
+    #[test]
+    fn nysiis_empty_and_nonletter() {
+        assert_eq!(nysiis(""), "");
+        assert_eq!(nysiis("42"), "");
+    }
+
+    #[test]
+    fn nysiis_truncates_to_six() {
+        assert!(nysiis("Wolfeschlegelstein").len() <= 6);
+    }
+
+    #[test]
+    fn codes_are_deterministic() {
+        assert_eq!(soundex("garcia"), soundex("Garcia"));
+        assert_eq!(nysiis("garcia"), nysiis("GARCIA"));
+    }
+}
+

@@ -1,0 +1,238 @@
+//! Records, datasets, and party identifiers.
+//!
+//! A [`Record`] is a row of [`Value`]s under a [`Schema`]; a [`Dataset`] is a
+//! schema plus rows, owned by one party. [`RecordRef`] globally names a record
+//! as `(party, row)` so that match results and clusters can span databases.
+
+use crate::error::{PprlError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Identifier of a database owner / party in a linkage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartyId(pub u32);
+
+impl std::fmt::Display for PartyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A `(party, row-index)` pair globally identifying a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordRef {
+    /// Owning party.
+    pub party: PartyId,
+    /// Row index within the party's dataset.
+    pub row: usize,
+}
+
+impl RecordRef {
+    /// Creates a record reference.
+    pub fn new(party: u32, row: usize) -> Self {
+        RecordRef {
+            party: PartyId(party),
+            row,
+        }
+    }
+}
+
+impl std::fmt::Display for RecordRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.party, self.row)
+    }
+}
+
+/// One row of values. `entity_id` is the hidden ground-truth entity the row
+/// belongs to; it is available to evaluation code only and never used by
+/// linkage algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Ground-truth entity identifier (for evaluation only).
+    pub entity_id: u64,
+    /// Field values, aligned with the dataset schema.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(entity_id: u64, values: Vec<Value>) -> Self {
+        Record { entity_id, values }
+    }
+}
+
+/// A schema plus rows, as held by one database owner.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Dataset {
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from rows, validating row widths.
+    pub fn from_records(schema: Schema, records: Vec<Record>) -> Result<Self> {
+        for (i, r) in records.iter().enumerate() {
+            if r.values.len() != schema.len() {
+                return Err(PprlError::shape(
+                    format!("{} values per record", schema.len()),
+                    format!("{} values in record {i}", r.values.len()),
+                ));
+            }
+        }
+        Ok(Dataset { schema, records })
+    }
+
+    /// Appends a record, validating its width.
+    pub fn push(&mut self, record: Record) -> Result<()> {
+        if record.values.len() != self.schema.len() {
+            return Err(PprlError::shape(
+                format!("{} values", self.schema.len()),
+                format!("{} values", record.values.len()),
+            ));
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record by row index.
+    pub fn record(&self, row: usize) -> Result<&Record> {
+        self.records.get(row).ok_or_else(|| {
+            PprlError::invalid("row", format!("row {row} out of range {}", self.records.len()))
+        })
+    }
+
+    /// Value of `field` in row `row`.
+    pub fn value(&self, row: usize, field: &str) -> Result<&Value> {
+        let idx = self.schema.index_of(field)?;
+        Ok(&self.record(row)?.values[idx])
+    }
+
+    /// Canonical text of `field` in row `row` (missing → empty string).
+    pub fn text(&self, row: usize, field: &str) -> Result<String> {
+        Ok(self.value(row, field)?.as_text())
+    }
+
+    /// Extracts one column as text, in row order.
+    pub fn column_text(&self, field: &str) -> Result<Vec<String>> {
+        let idx = self.schema.index_of(field)?;
+        Ok(self
+            .records
+            .iter()
+            .map(|r| r.values[idx].as_text())
+            .collect())
+    }
+
+    /// True ground-truth match pairs between this dataset and `other`:
+    /// all cross pairs with equal `entity_id`. For evaluation only.
+    pub fn ground_truth_pairs(&self, other: &Dataset) -> Vec<(usize, usize)> {
+        use std::collections::HashMap;
+        let mut by_entity: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (j, r) in other.records.iter().enumerate() {
+            by_entity.entry(r.entity_id).or_default().push(j);
+        }
+        let mut pairs = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if let Some(rows) = by_entity.get(&r.entity_id) {
+                for &j in rows {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FieldDef, FieldType};
+
+    fn tiny_schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::qid("name", FieldType::Text),
+            FieldDef::qid("age", FieldType::Integer),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn push_validates_width() {
+        let mut ds = Dataset::new(tiny_schema());
+        assert!(ds
+            .push(Record::new(1, vec!["ann".into(), Value::Integer(30)]))
+            .is_ok());
+        assert!(ds.push(Record::new(2, vec!["bob".into()])).is_err());
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn from_records_validates_width() {
+        let r = Dataset::from_records(tiny_schema(), vec![Record::new(1, vec!["x".into()])]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn value_access() {
+        let ds = Dataset::from_records(
+            tiny_schema(),
+            vec![Record::new(7, vec!["ann".into(), Value::Integer(30)])],
+        )
+        .unwrap();
+        assert_eq!(ds.text(0, "name").unwrap(), "ann");
+        assert_eq!(ds.value(0, "age").unwrap(), &Value::Integer(30));
+        assert!(ds.value(0, "zzz").is_err());
+        assert!(ds.value(1, "name").is_err());
+        assert_eq!(ds.column_text("name").unwrap(), vec!["ann".to_string()]);
+    }
+
+    #[test]
+    fn ground_truth_pairs_cross_product_per_entity() {
+        let mk = |ids: &[u64]| {
+            Dataset::from_records(
+                tiny_schema(),
+                ids.iter()
+                    .map(|&e| Record::new(e, vec!["x".into(), Value::Integer(1)]))
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let a = mk(&[1, 2, 3, 2]);
+        let b = mk(&[2, 4, 2]);
+        let mut pairs = a.ground_truth_pairs(&b);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 0), (1, 2), (3, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn record_ref_display() {
+        assert_eq!(RecordRef::new(2, 5).to_string(), "P2#5");
+    }
+}

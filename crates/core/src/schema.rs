@@ -1,0 +1,195 @@
+//! Linkage schemas: field definitions and QID selection.
+//!
+//! The linkage-schema dimension of the paper (§3.1) covers feature selection
+//! and schema matching: the parties must agree on a common set of
+//! quasi-identifier fields before encoding. [`Schema`] describes the fields
+//! of a dataset; [`Schema::common_qids`] performs the (trivially
+//! name/type-based) schema matching between two parties' schemas.
+
+use crate::error::{PprlError, Result};
+
+/// Data type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Free text (names, addresses).
+    Text,
+    /// Integers (age, house number).
+    Integer,
+    /// Floating point numbers.
+    Float,
+    /// Calendar dates.
+    Date,
+    /// Closed-vocabulary categorical codes.
+    Categorical,
+}
+
+/// One field of a linkage schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name; unique within a schema.
+    pub name: String,
+    /// Data type.
+    pub field_type: FieldType,
+    /// Whether the field is a quasi-identifier usable for linkage.
+    pub is_qid: bool,
+}
+
+impl FieldDef {
+    /// Creates a QID field.
+    pub fn qid(name: impl Into<String>, field_type: FieldType) -> Self {
+        FieldDef {
+            name: name.into(),
+            field_type,
+            is_qid: true,
+        }
+    }
+
+    /// Creates a non-QID payload field (carried through, never encoded).
+    pub fn payload(name: impl Into<String>, field_type: FieldType) -> Self {
+        FieldDef {
+            name: name.into(),
+            field_type,
+            is_qid: false,
+        }
+    }
+}
+
+/// An ordered collection of field definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<FieldDef>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(PprlError::invalid(
+                    "fields",
+                    format!("duplicate field name `{}`", f.name),
+                ));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// The standard person schema used throughout the examples and tests:
+    /// first name, last name, street address, city, postcode (text QIDs),
+    /// date of birth (date QID), gender (categorical QID), age (integer QID).
+    pub fn person() -> Self {
+        Schema::new(vec![
+            FieldDef::qid("first_name", FieldType::Text),
+            FieldDef::qid("last_name", FieldType::Text),
+            FieldDef::qid("street", FieldType::Text),
+            FieldDef::qid("city", FieldType::Text),
+            FieldDef::qid("postcode", FieldType::Text),
+            FieldDef::qid("dob", FieldType::Date),
+            FieldDef::qid("gender", FieldType::Categorical),
+            FieldDef::qid("age", FieldType::Integer),
+        ])
+        .expect("person schema has unique names")
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| PprlError::UnknownField(name.to_string()))
+    }
+
+    /// Field definition by name.
+    pub fn field(&self, name: &str) -> Result<&FieldDef> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// Names of all QID fields, in order.
+    pub fn qid_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.is_qid)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Schema matching: fields present in both schemas with identical name
+    /// and type, QID in both. This is the agreement step two database owners
+    /// run before a linkage protocol.
+    pub fn common_qids(&self, other: &Schema) -> Vec<String> {
+        self.fields
+            .iter()
+            .filter(|f| f.is_qid)
+            .filter(|f| {
+                other
+                    .fields
+                    .iter()
+                    .any(|g| g.is_qid && g.name == f.name && g.field_type == f.field_type)
+            })
+            .map(|f| f.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            FieldDef::qid("a", FieldType::Text),
+            FieldDef::qid("a", FieldType::Integer),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn person_schema_shape() {
+        let s = Schema::person();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.qid_names().len(), 8);
+        assert_eq!(s.index_of("dob").unwrap(), 5);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.field("gender").unwrap().field_type, FieldType::Categorical);
+    }
+
+    #[test]
+    fn common_qids_matches_name_and_type() {
+        let a = Schema::new(vec![
+            FieldDef::qid("name", FieldType::Text),
+            FieldDef::qid("age", FieldType::Integer),
+            FieldDef::payload("notes", FieldType::Text),
+        ])
+        .unwrap();
+        let b = Schema::new(vec![
+            FieldDef::qid("name", FieldType::Text),
+            FieldDef::qid("age", FieldType::Float), // type differs
+            FieldDef::qid("notes", FieldType::Text), // payload on `a` side
+        ])
+        .unwrap();
+        assert_eq!(a.common_qids(&b), vec!["name".to_string()]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert!(s.qid_names().is_empty());
+    }
+}

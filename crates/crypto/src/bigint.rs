@@ -1,0 +1,734 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! The cryptographic protocols the paper surveys (homomorphic encryption,
+//! commutative encryption for private set intersection) need modular
+//! arithmetic on integers far wider than 128 bits. This module implements a
+//! little-endian `u64`-limb big unsigned integer with schoolbook
+//! multiplication and Knuth Algorithm D division — entirely sufficient for
+//! the 256–2048-bit moduli used in the experiments, with no external
+//! dependencies.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use std::cmp::Ordering;
+
+/// Big unsigned integer, little-endian `u64` limbs, no leading zero limbs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: vec![] }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint { limbs: vec![lo, hi] };
+        n.trim();
+        n
+    }
+
+    /// Parses a hexadecimal string (no prefix).
+    pub fn from_hex(s: &str) -> Result<Self> {
+        if s.is_empty() {
+            return Err(PprlError::ValueError("empty hex string".into()));
+        }
+        let mut limbs = Vec::new();
+        let chars: Vec<char> = s.chars().collect();
+        let mut pos = chars.len();
+        while pos > 0 {
+            let start = pos.saturating_sub(16);
+            let chunk: String = chars[start..pos].iter().collect();
+            let limb = u64::from_str_radix(&chunk, 16)
+                .map_err(|_| PprlError::ValueError(format!("bad hex `{chunk}`")))?;
+            limbs.push(limb);
+            pos = start;
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        Ok(n)
+    }
+
+    /// Lower-case hexadecimal rendering (no prefix), `"0"` for zero.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+
+    /// Big-endian byte encoding (minimal length, empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut pos = bytes.len();
+        while pos > 0 {
+            let start = pos.saturating_sub(8);
+            let mut limb = 0u64;
+            for &b in &bytes[start..pos] {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+            pos = start;
+        }
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Bit `i` (LSB = 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            false
+        } else {
+            (self.limbs[limb] >> (i % 64)) & 1 == 1
+        }
+    }
+
+    /// The low 64 bits.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Comparison.
+    pub fn cmp_ref(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    #[allow(clippy::needless_range_loop)] // lockstep limb indexing
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// `self - other`; error if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> Result<BigUint> {
+        if self.cmp_ref(other) == Ordering::Less {
+            return Err(PprlError::ValueError("BigUint subtraction underflow".into()));
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        Ok(n)
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.trim();
+        n
+    }
+
+    /// `(self / other, self % other)` via Knuth Algorithm D.
+    ///
+    /// Errors on division by zero.
+    pub fn divrem(&self, other: &BigUint) -> Result<(BigUint, BigUint)> {
+        if other.is_zero() {
+            return Err(PprlError::ValueError("division by zero".into()));
+        }
+        match self.cmp_ref(other) {
+            Ordering::Less => return Ok((BigUint::zero(), self.clone())),
+            Ordering::Equal => return Ok((BigUint::one(), BigUint::zero())),
+            Ordering::Greater => {}
+        }
+        if other.limbs.len() == 1 {
+            // Fast path: single-limb divisor.
+            let d = other.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            let mut qn = BigUint { limbs: q };
+            qn.trim();
+            return Ok((qn, BigUint::from_u64(rem as u64)));
+        }
+
+        // Normalise: shift so the divisor's top limb has its MSB set.
+        let shift = other.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = other.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // extra headroom limb
+        let vn = &v.limbs;
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs.
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = numer / vn[n - 1] as u128;
+            let mut rhat = numer % vn[n - 1] as u128;
+            while qhat >= 1u128 << 64
+                || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-subtract.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = un[j + i] as i128 - (p as u64) as i128 - borrow;
+                if sub < 0 {
+                    un[j + i] = (sub + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    un[j + i] = sub as u64;
+                    borrow = 0;
+                }
+            }
+            let sub = un[j + n] as i128 - carry as i128 - borrow;
+            if sub < 0 {
+                // q̂ was one too large: add back.
+                un[j + n] = (sub + (1i128 << 64)) as u64;
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry2;
+                    un[j + i] = s as u64;
+                    carry2 = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u64);
+            } else {
+                un[j + n] = sub as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut qn = BigUint { limbs: q };
+        qn.trim();
+        let mut rn = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rn.trim();
+        Ok((qn, rn.shr(shift)))
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> Result<BigUint> {
+        Ok(self.divrem(modulus)?.1)
+    }
+
+    /// `(self * other) mod modulus`.
+    pub fn mulmod(&self, other: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `(self + other) mod modulus`.
+    pub fn addmod(&self, other: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        self.add(other).rem(modulus)
+    }
+
+    /// `self^exponent mod modulus` (square-and-multiply, left-to-right).
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() {
+            return Err(PprlError::ValueError("zero modulus".into()));
+        }
+        if modulus == &BigUint::one() {
+            return Ok(BigUint::zero());
+        }
+        let mut result = BigUint::one();
+        let base = self.rem(modulus)?;
+        let nbits = exponent.bits();
+        for i in (0..nbits).rev() {
+            result = result.mulmod(&result, modulus)?;
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Greatest common divisor (binary-free Euclid via divrem).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b).expect("b nonzero");
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` mod `modulus`, if coprime.
+    ///
+    /// Extended Euclid on non-negative representatives.
+    pub fn modinv(&self, modulus: &BigUint) -> Result<BigUint> {
+        if modulus.is_zero() {
+            return Err(PprlError::ValueError("zero modulus".into()));
+        }
+        // Iterative extended Euclid tracking coefficients mod `modulus`
+        // with a sign flag (coefficients alternate in sign).
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus)?;
+        let mut t0 = BigUint::zero();
+        let mut t1 = BigUint::one();
+        let mut t0_neg = false;
+        let mut t1_neg = false;
+        while !r1.is_zero() {
+            let (q, r2) = r0.divrem(&r1)?;
+            // t2 = t0 - q*t1 (signed)
+            let qt1 = q.mul(&t1);
+            let (t2, t2_neg) = signed_sub(&t0, t0_neg, &qt1, t1_neg);
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t0_neg = t1_neg;
+            t1 = t2;
+            t1_neg = t2_neg;
+        }
+        if r0 != BigUint::one() {
+            return Err(PprlError::CryptoError(
+                "modular inverse does not exist (not coprime)".into(),
+            ));
+        }
+        let inv = if t0_neg {
+            modulus.sub(&t0.rem(modulus)?)?.rem(modulus)?
+        } else {
+            t0.rem(modulus)?
+        };
+        Ok(inv)
+    }
+
+    /// Uniform random value in `[0, bound)` from the given PRNG.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below(rng: &mut SplitMix64, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let nbits = bound.bits();
+        let nlimbs = nbits.div_ceil(64);
+        loop {
+            let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.next_u64()).collect();
+            // Mask the top limb to the bit length of the bound.
+            let top_bits = nbits - (nlimbs - 1) * 64;
+            if top_bits < 64 {
+                limbs[nlimbs - 1] &= (1u64 << top_bits) - 1;
+            }
+            let mut candidate = BigUint { limbs };
+            candidate.trim();
+            if candidate.cmp_ref(bound) == Ordering::Less {
+                return candidate;
+            }
+        }
+    }
+
+    /// Random integer with exactly `bits` bits (MSB set).
+    pub fn random_bits(rng: &mut SplitMix64, bits: usize) -> BigUint {
+        assert!(bits > 0);
+        let nlimbs = bits.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.next_u64()).collect();
+        let top_bits = bits - (nlimbs - 1) * 64;
+        if top_bits < 64 {
+            limbs[nlimbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        limbs[nlimbs - 1] |= 1u64 << (top_bits - 1); // force MSB
+        let mut n = BigUint { limbs };
+        n.trim();
+        n
+    }
+}
+
+/// Signed subtraction helper for the extended Euclid: computes
+/// `(a * sign_a) - (b * sign_b)` returning magnitude and sign.
+fn signed_sub(a: &BigUint, a_neg: bool, b: &BigUint, b_neg: bool) -> (BigUint, bool) {
+    match (a_neg, b_neg) {
+        (false, false) => match a.cmp_ref(b) {
+            Ordering::Less => (b.sub(a).expect("b>=a"), true),
+            _ => (a.sub(b).expect("a>=b"), false),
+        },
+        (true, true) => match b.cmp_ref(a) {
+            Ordering::Less => (a.sub(b).expect("a>=b"), true),
+            _ => (b.sub(a).expect("b>=a"), false),
+        },
+        (false, true) => (a.add(b), false),
+        (true, false) => (a.add(b), true),
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_ref(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for h in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            assert_eq!(big(h).to_hex(), h);
+        }
+        // Leading zeros are normalised away.
+        assert_eq!(big("000ff").to_hex(), "ff");
+        assert!(BigUint::from_hex("").is_err());
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = big("1a2b3c4d5e6f708192a3b4c5d6e7f809");
+        let bytes = n.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), n);
+        assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = big("ffffffffffffffffffffffffffffffff");
+        let b = big("1");
+        let sum = a.add(&b);
+        assert_eq!(sum.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(sum.sub(&b).unwrap(), a);
+        assert!(b.sub(&a).is_err());
+        assert_eq!(a.sub(&a).unwrap(), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_known() {
+        let a = big("ffffffffffffffff");
+        let b = big("ffffffffffffffff");
+        assert_eq!(a.mul(&b).to_hex(), "fffffffffffffffe0000000000000001");
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("1");
+        assert_eq!(a.shl(64).to_hex(), "10000000000000000");
+        assert_eq!(a.shl(65).shr(65), a);
+        assert_eq!(a.shr(1), BigUint::zero());
+        assert_eq!(big("f0").shr(4).to_hex(), "f");
+    }
+
+    #[test]
+    fn divrem_single_limb() {
+        let a = big("deadbeefdeadbeefdeadbeef");
+        let (q, r) = a.divrem(&BigUint::from_u64(1000)).unwrap();
+        // verify by reconstruction
+        assert_eq!(q.mul(&BigUint::from_u64(1000)).add(&r), a);
+        assert!(r < BigUint::from_u64(1000));
+    }
+
+    #[test]
+    fn divrem_multi_limb_reconstruction() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..50 {
+            let a = BigUint::random_bits(&mut rng, 300);
+            let b = BigUint::random_bits(&mut rng, 140);
+            let (q, r) = a.divrem(&b).unwrap();
+            assert_eq!(q.mul(&b).add(&r), a);
+            assert!(r < b);
+        }
+    }
+
+    #[test]
+    fn divrem_edge_cases() {
+        let a = big("abc");
+        assert!(a.divrem(&BigUint::zero()).is_err());
+        let (q, r) = a.divrem(&a).unwrap();
+        assert_eq!(q, BigUint::one());
+        assert!(r.is_zero());
+        let (q, r) = BigUint::from_u64(3).divrem(&a).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, BigUint::from_u64(3));
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Exercise the rare add-back branch with crafted values known to hit
+        // qhat overestimation: u = 2^128 - 1, v = 2^64 + 3.
+        let u = big("ffffffffffffffffffffffffffffffff");
+        let v = big("10000000000000003");
+        let (q, r) = u.divrem(&v).unwrap();
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn modpow_small_values() {
+        let b = BigUint::from_u64(4);
+        let e = BigUint::from_u64(13);
+        let m = BigUint::from_u64(497);
+        assert_eq!(b.modpow(&e, &m).unwrap(), BigUint::from_u64(445));
+        assert_eq!(b.modpow(&BigUint::zero(), &m).unwrap(), BigUint::one());
+        assert_eq!(b.modpow(&e, &BigUint::one()).unwrap(), BigUint::zero());
+        assert!(b.modpow(&e, &BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // a^(p-1) ≡ 1 mod p for prime p not dividing a.
+        let p = BigUint::from_u64(1_000_000_007);
+        let a = BigUint::from_u64(123456789);
+        let e = p.sub(&BigUint::one()).unwrap();
+        assert_eq!(a.modpow(&e, &p).unwrap(), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_values() {
+        assert_eq!(
+            BigUint::from_u64(48).gcd(&BigUint::from_u64(36)),
+            BigUint::from_u64(12)
+        );
+        assert_eq!(
+            BigUint::from_u64(17).gcd(&BigUint::from_u64(31)),
+            BigUint::one()
+        );
+        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(5)), BigUint::from_u64(5));
+    }
+
+    #[test]
+    fn modinv_round_trip() {
+        let m = BigUint::from_u64(1_000_000_007);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..20 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.modinv(&m).unwrap();
+            assert_eq!(a.mulmod(&inv, &m).unwrap(), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modinv_not_coprime_fails() {
+        let a = BigUint::from_u64(6);
+        let m = BigUint::from_u64(9);
+        assert!(a.modinv(&m).is_err());
+    }
+
+    #[test]
+    fn modinv_large() {
+        let m = big("ffffffffffffffffffffffffffffff61"); // arbitrary odd modulus
+        let a = big("123456789abcdef0fedcba9876543210");
+        if let Ok(inv) = a.modinv(&m) {
+            assert_eq!(a.mulmod(&inv, &m).unwrap(), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = SplitMix64::new(3);
+        let bound = big("10000000000000000000000001");
+        for _ in 0..50 {
+            assert!(BigUint::random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_msb() {
+        let mut rng = SplitMix64::new(5);
+        for bits in [1usize, 63, 64, 65, 128, 257] {
+            let n = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(n.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn bit_access() {
+        let n = big("5"); // 101
+        assert!(n.bit(0) && !n.bit(1) && n.bit(2) && !n.bit(3) && !n.bit(1000));
+        assert_eq!(n.bits(), 3);
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("ff") < big("100"));
+        assert!(big("100") > big("ff"));
+        assert_eq!(big("ab").cmp(&big("ab")), Ordering::Equal);
+    }
+}

@@ -1,0 +1,232 @@
+//! Commutative encryption for private set intersection.
+//!
+//! The classic two-party exact-matching protocol (surveyed under
+//! "cryptography" in §3.4) uses a commutative cipher: if parties A and B each
+//! hold a secret exponent, then E_A(E_B(x)) = E_B(E_A(x)), so both parties
+//! can compare doubly-encrypted identifiers without revealing them. This is
+//! the SRA / Pohlig–Hellman exponentiation cipher over a safe-prime group:
+//! E_k(x) = x^k mod p with gcd(k, p−1) = 1.
+
+use crate::bigint::BigUint;
+use crate::prime::generate_safe_prime;
+use crate::sha::sha256;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// Shared group parameters (the safe prime `p`). Public to all parties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Safe prime modulus.
+    pub p: BigUint,
+}
+
+impl Group {
+    /// Generates a group with a safe prime of `bits` bits.
+    pub fn generate(bits: usize, rng: &mut SplitMix64) -> Result<Group> {
+        Ok(Group {
+            p: generate_safe_prime(bits, rng)?,
+        })
+    }
+
+    /// Hashes an arbitrary byte string into the group's quadratic-residue
+    /// subgroup: `H(x)² mod p`. Squaring lands the element in the prime-order
+    /// subgroup of size q = (p−1)/2, where exponentiation with keys coprime
+    /// to q is a bijection.
+    pub fn hash_to_group(&self, data: &[u8]) -> BigUint {
+        let digest = sha256(data);
+        let h = BigUint::from_bytes_be(&digest)
+            .rem(&self.p)
+            .expect("p nonzero");
+        // Avoid the degenerate elements 0, 1, p-1.
+        let h = if h.bits() <= 1 {
+            BigUint::from_u64(2)
+        } else {
+            h
+        };
+        h.mulmod(&h, &self.p).expect("p nonzero")
+    }
+}
+
+/// One party's secret key: an exponent coprime to q = (p−1)/2.
+#[derive(Debug, Clone)]
+pub struct CommutativeKey {
+    group: Group,
+    exponent: BigUint,
+}
+
+impl CommutativeKey {
+    /// Samples a key for `group`.
+    pub fn generate(group: &Group, rng: &mut SplitMix64) -> Result<CommutativeKey> {
+        let q = group.p.sub(&BigUint::one())?.shr(1);
+        let exponent = loop {
+            let e = BigUint::random_below(rng, &q);
+            if !e.is_zero() && e != BigUint::one() && e.gcd(&q) == BigUint::one() {
+                break e;
+            }
+        };
+        Ok(CommutativeKey {
+            group: group.clone(),
+            exponent,
+        })
+    }
+
+    /// Encrypts a group element: `x^k mod p`.
+    pub fn encrypt(&self, x: &BigUint) -> Result<BigUint> {
+        if x.is_zero() || x >= &self.group.p {
+            return Err(PprlError::CryptoError(
+                "element outside the multiplicative group".into(),
+            ));
+        }
+        x.modpow(&self.exponent, &self.group.p)
+    }
+
+    /// Decrypts (removes this party's layer): `y^(k⁻¹ mod q) mod p`.
+    ///
+    /// Only valid on quadratic-residue elements (which
+    /// [`Group::hash_to_group`] produces).
+    pub fn decrypt(&self, y: &BigUint) -> Result<BigUint> {
+        let q = self.group.p.sub(&BigUint::one())?.shr(1);
+        let inv = self.exponent.modinv(&q)?;
+        y.modpow(&inv, &self.group.p)
+    }
+
+    /// Encrypts a raw value by hashing it into the group first.
+    pub fn encrypt_value(&self, value: &str) -> Result<BigUint> {
+        self.encrypt(&self.group.hash_to_group(value.as_bytes()))
+    }
+}
+
+/// Runs the two-party commutative-encryption PSI on two sets of strings.
+///
+/// Returns the indices (into `a` and `b`) of matching values. Both parties
+/// learn only the intersection (plus set sizes), which is exactly the
+/// leakage profile of the classical protocol. The function simulates both
+/// parties in-process.
+pub fn private_set_intersection(
+    a: &[String],
+    b: &[String],
+    group: &Group,
+    rng: &mut SplitMix64,
+) -> Result<Vec<(usize, usize)>> {
+    let key_a = CommutativeKey::generate(group, rng)?;
+    let key_b = CommutativeKey::generate(group, rng)?;
+
+    // A encrypts its values and sends E_A(x); B adds its layer E_B(E_A(x)).
+    let double_a: Vec<BigUint> = a
+        .iter()
+        .map(|v| key_b.encrypt(&key_a.encrypt_value(v)?))
+        .collect::<Result<_>>()?;
+    // Symmetrically for B's values.
+    let double_b: Vec<BigUint> = b
+        .iter()
+        .map(|v| key_a.encrypt(&key_b.encrypt_value(v)?))
+        .collect::<Result<_>>()?;
+
+    // Commutativity: equal plaintexts yield equal double encryptions.
+    let mut out = Vec::new();
+    let mut index: std::collections::HashMap<Vec<u8>, Vec<usize>> = std::collections::HashMap::new();
+    for (j, y) in double_b.iter().enumerate() {
+        index.entry(y.to_bytes_be()).or_default().push(j);
+    }
+    for (i, x) in double_a.iter().enumerate() {
+        if let Some(rows) = index.get(&x.to_bytes_be()) {
+            for &j in rows {
+                out.push((i, j));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_group(seed: u64) -> (Group, SplitMix64) {
+        let mut rng = SplitMix64::new(seed);
+        let g = Group::generate(64, &mut rng).unwrap();
+        (g, rng)
+    }
+
+    #[test]
+    fn encryption_commutes() {
+        let (g, mut rng) = small_group(1);
+        let ka = CommutativeKey::generate(&g, &mut rng).unwrap();
+        let kb = CommutativeKey::generate(&g, &mut rng).unwrap();
+        let x = g.hash_to_group(b"alice");
+        let ab = kb.encrypt(&ka.encrypt(&x).unwrap()).unwrap();
+        let ba = ka.encrypt(&kb.encrypt(&x).unwrap()).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn decrypt_removes_layer() {
+        let (g, mut rng) = small_group(2);
+        let k = CommutativeKey::generate(&g, &mut rng).unwrap();
+        let x = g.hash_to_group(b"bob");
+        let y = k.encrypt(&x).unwrap();
+        assert_eq!(k.decrypt(&y).unwrap(), x);
+    }
+
+    #[test]
+    fn different_values_encrypt_differently() {
+        let (g, mut rng) = small_group(3);
+        let k = CommutativeKey::generate(&g, &mut rng).unwrap();
+        assert_ne!(
+            k.encrypt_value("smith").unwrap(),
+            k.encrypt_value("smyth").unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_and_out_of_range_rejected() {
+        let (g, mut rng) = small_group(4);
+        let k = CommutativeKey::generate(&g, &mut rng).unwrap();
+        assert!(k.encrypt(&BigUint::zero()).is_err());
+        assert!(k.encrypt(&g.p).is_err());
+    }
+
+    #[test]
+    fn psi_finds_exact_intersection() {
+        let (g, mut rng) = small_group(5);
+        let a: Vec<String> = ["ann", "bob", "carol", "dave"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let b: Vec<String> = ["eve", "carol", "ann"].iter().map(|s| s.to_string()).collect();
+        let mut matches = private_set_intersection(&a, &b, &g, &mut rng).unwrap();
+        matches.sort_unstable();
+        assert_eq!(matches, vec![(0, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn psi_empty_intersection() {
+        let (g, mut rng) = small_group(6);
+        let a = vec!["x".to_string()];
+        let b = vec!["y".to_string()];
+        assert!(private_set_intersection(&a, &b, &g, &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn psi_handles_duplicates() {
+        let (g, mut rng) = small_group(7);
+        let a = vec!["ann".to_string(), "ann".to_string()];
+        let b = vec!["ann".to_string()];
+        let matches = private_set_intersection(&a, &b, &g, &mut rng).unwrap();
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn hash_to_group_is_quadratic_residue() {
+        let (g, mut rng) = small_group(8);
+        // For a safe prime p = 2q+1, x is a QR iff x^q ≡ 1 (mod p).
+        let q = g.p.sub(&BigUint::one()).unwrap().shr(1);
+        for name in ["a", "b", "c", "d"] {
+            let x = g.hash_to_group(name.as_bytes());
+            assert_eq!(x.modpow(&q, &g.p).unwrap(), BigUint::one());
+        }
+        let _ = &mut rng;
+    }
+}

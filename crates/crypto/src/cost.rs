@@ -1,0 +1,110 @@
+//! Communication-cost accounting for simulated protocols.
+//!
+//! The paper's evaluation model (§3.3) measures efficiency by the number of
+//! communication steps and the number/size of messages. Every simulated
+//! protocol in this workspace tallies its traffic in a [`CommCost`], which
+//! the experiment harness reports.
+
+/// Tally of a protocol run's communication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommCost {
+    /// Number of messages sent (point-to-point transmissions).
+    pub messages: usize,
+    /// Total payload bytes across all messages.
+    pub bytes: usize,
+    /// Number of communication rounds (synchronous steps).
+    pub rounds: usize,
+}
+
+impl CommCost {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        CommCost::default()
+    }
+
+    /// Records one message of `bytes` payload bytes.
+    pub fn send(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    /// Records `n` messages of `bytes` payload bytes each.
+    pub fn send_many(&mut self, n: usize, bytes: usize) {
+        self.messages += n;
+        self.bytes += n * bytes;
+    }
+
+    /// Marks the end of a synchronous round.
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Combines two tallies (messages/bytes add; rounds add, for sequential
+    /// composition).
+    pub fn merge(&mut self, other: &CommCost) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.rounds += other.rounds;
+    }
+}
+
+impl std::fmt::Display for CommCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} msgs / {} bytes / {} rounds",
+            self.messages, self.bytes, self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate() {
+        let mut c = CommCost::new();
+        c.send(100);
+        c.send(50);
+        c.end_round();
+        c.send_many(3, 10);
+        c.end_round();
+        assert_eq!(c.messages, 5);
+        assert_eq!(c.bytes, 180);
+        assert_eq!(c.rounds, 2);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = CommCost {
+            messages: 1,
+            bytes: 10,
+            rounds: 1,
+        };
+        let b = CommCost {
+            messages: 2,
+            bytes: 20,
+            rounds: 3,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CommCost {
+                messages: 3,
+                bytes: 30,
+                rounds: 4
+            }
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let c = CommCost {
+            messages: 2,
+            bytes: 64,
+            rounds: 1,
+        };
+        assert_eq!(c.to_string(), "2 msgs / 64 bytes / 1 rounds");
+    }
+}

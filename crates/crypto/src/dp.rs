@@ -1,0 +1,253 @@
+//! Differential privacy mechanisms.
+//!
+//! §3.4 of the paper lists differential privacy as one of the five privacy
+//! technologies: noise addition makes any individual's presence
+//! indistinguishable. PPRL uses DP two ways: perturbing counts/statistics
+//! exchanged during a protocol (Laplace / geometric mechanisms) and flipping
+//! Bloom-filter bits (randomized response, known as *BLIP* when applied to
+//! Bloom filters), which `pprl-encoding` builds on.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// Validates an epsilon parameter.
+fn check_epsilon(epsilon: f64) -> Result<()> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(PprlError::invalid("epsilon", "must be finite and positive"));
+    }
+    Ok(())
+}
+
+/// Samples Laplace(0, scale) noise by inverse-CDF.
+pub fn laplace_noise(scale: f64, rng: &mut SplitMix64) -> f64 {
+    // u uniform in (-0.5, 0.5]; inverse CDF of the Laplace distribution.
+    let u = rng.next_f64() - 0.5;
+    let u = if u == -0.5 { -0.499_999_999 } else { u };
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// The Laplace mechanism: adds Laplace(sensitivity/ε) noise to `value`.
+///
+/// Satisfies ε-differential privacy for a query with the given L1
+/// sensitivity.
+pub fn laplace_mechanism(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut SplitMix64,
+) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    if !(sensitivity > 0.0) {
+        return Err(PprlError::invalid("sensitivity", "must be positive"));
+    }
+    Ok(value + laplace_noise(sensitivity / epsilon, rng))
+}
+
+/// The two-sided geometric mechanism for integer counts: adds noise with
+/// P(k) ∝ α^|k| where α = e^-ε. The discrete analogue of Laplace; used to
+/// perturb counting-Bloom-filter cells and candidate-set counts.
+pub fn geometric_mechanism(value: i64, epsilon: f64, rng: &mut SplitMix64) -> Result<i64> {
+    check_epsilon(epsilon)?;
+    let alpha = (-epsilon).exp();
+    // Sample sign and magnitude: P(0) = (1-α)/(1+α); P(±k) = P(0)·α^k.
+    let u = rng.next_f64();
+    let p0 = (1.0 - alpha) / (1.0 + alpha);
+    if u < p0 {
+        return Ok(value);
+    }
+    // Geometric tail: magnitude k >= 1 with prob p0·α^k on each side.
+    let side = if rng.next_bool(0.5) { 1i64 } else { -1i64 };
+    let mut k = 1i64;
+    let mut threshold = alpha;
+    let v = rng.next_f64();
+    let mut cum = 0.0;
+    loop {
+        // conditional distribution over k given the tail: (1-α)·α^(k-1)
+        cum += (1.0 - alpha) * threshold / alpha;
+        if v < cum || k > 1_000_000 {
+            return Ok(value + side * k);
+        }
+        threshold *= alpha;
+        k += 1;
+    }
+}
+
+/// Probability of *keeping* a bit under ε-DP randomized response.
+///
+/// Warner's randomized response: report the true bit with probability
+/// e^ε/(1+e^ε), the flipped bit otherwise. Flipping each Bloom-filter bit
+/// this way is the BLIP mechanism (Alaggan et al.), giving ε-DP per bit.
+pub fn randomized_response_keep_probability(epsilon: f64) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    let e = epsilon.exp();
+    Ok(e / (1.0 + e))
+}
+
+/// Applies ε-DP randomized response to one boolean.
+pub fn randomized_response(bit: bool, epsilon: f64, rng: &mut SplitMix64) -> Result<bool> {
+    let keep = randomized_response_keep_probability(epsilon)?;
+    Ok(if rng.next_bool(keep) { bit } else { !bit })
+}
+
+/// Unbiased estimator of the true count of ones from randomized-response
+/// outputs: inverts the expected flip rate.
+///
+/// `observed_ones` out of `total` reported ones under ε-RR.
+pub fn randomized_response_debias(observed_ones: usize, total: usize, epsilon: f64) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let p = randomized_response_keep_probability(epsilon)?;
+    // E[observed] = true·p + (total−true)·(1−p)  ⇒  true = (obs − total(1−p)) / (2p−1)
+    Ok((observed_ones as f64 - total as f64 * (1.0 - p)) / (2.0 * p - 1.0))
+}
+
+/// A simple (ε, δ=0) privacy-budget accountant with sequential composition.
+///
+/// Interactive protocols (e.g. budgeted-reveal PPRL, §5.2 ref \[22]) spend
+/// from a total budget; the accountant refuses operations that would exceed
+/// it.
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    total: f64,
+    spent: f64,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total ε budget.
+    pub fn new(total_epsilon: f64) -> Result<Self> {
+        check_epsilon(total_epsilon)?;
+        Ok(BudgetAccountant {
+            total: total_epsilon,
+            spent: 0.0,
+        })
+    }
+
+    /// Attempts to spend `epsilon`; errors if the budget would be exceeded.
+    pub fn spend(&mut self, epsilon: f64) -> Result<()> {
+        check_epsilon(epsilon)?;
+        if self.spent + epsilon > self.total + 1e-12 {
+            return Err(PprlError::invalid(
+                "epsilon",
+                format!(
+                    "budget exhausted: spent {:.4} + requested {:.4} > total {:.4}",
+                    self.spent, epsilon, self.total
+                ),
+            ));
+        }
+        self.spent += epsilon;
+        Ok(())
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Total spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        let mut rng = SplitMix64::new(1);
+        assert!(laplace_mechanism(0.0, 1.0, 0.0, &mut rng).is_err());
+        assert!(laplace_mechanism(0.0, 1.0, -1.0, &mut rng).is_err());
+        assert!(laplace_mechanism(0.0, 1.0, f64::NAN, &mut rng).is_err());
+        assert!(laplace_mechanism(0.0, 0.0, 1.0, &mut rng).is_err());
+        assert!(geometric_mechanism(0, 0.0, &mut rng).is_err());
+        assert!(randomized_response(true, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn laplace_noise_centred_and_scaled() {
+        let mut rng = SplitMix64::new(2);
+        let n = 20_000;
+        let scale = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(scale, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} should be near 0");
+        // E|X| = scale for Laplace.
+        assert!((mad - scale).abs() < 0.15, "mean abs dev {mad} should be near {scale}");
+    }
+
+    #[test]
+    fn geometric_noise_integer_and_centred() {
+        let mut rng = SplitMix64::new(3);
+        let n = 20_000;
+        let eps = 1.0;
+        let sum: i64 = (0..n)
+            .map(|_| geometric_mechanism(100, eps, &mut rng).unwrap() - 100)
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 0.1, "mean noise {mean} should be near 0");
+    }
+
+    #[test]
+    fn geometric_high_epsilon_rarely_perturbs() {
+        let mut rng = SplitMix64::new(4);
+        let changed = (0..1000)
+            .filter(|_| geometric_mechanism(5, 8.0, &mut rng).unwrap() != 5)
+            .count();
+        assert!(changed < 10, "ε=8 should rarely perturb, changed {changed}");
+    }
+
+    #[test]
+    fn rr_keep_probability_monotone_in_epsilon() {
+        let p1 = randomized_response_keep_probability(0.5).unwrap();
+        let p2 = randomized_response_keep_probability(2.0).unwrap();
+        let p3 = randomized_response_keep_probability(8.0).unwrap();
+        assert!(0.5 < p1 && p1 < p2 && p2 < p3 && p3 < 1.0);
+    }
+
+    #[test]
+    fn rr_empirical_flip_rate() {
+        let mut rng = SplitMix64::new(5);
+        let eps = 1.0;
+        let keep = randomized_response_keep_probability(eps).unwrap();
+        let n = 20_000;
+        let kept = (0..n)
+            .filter(|_| randomized_response(true, eps, &mut rng).unwrap())
+            .count();
+        let observed = kept as f64 / n as f64;
+        assert!((observed - keep).abs() < 0.02, "observed {observed} vs expected {keep}");
+    }
+
+    #[test]
+    fn rr_debias_recovers_truth() {
+        let mut rng = SplitMix64::new(6);
+        let eps = 2.0;
+        let true_ones = 3_000usize;
+        let total = 10_000usize;
+        let observed = (0..total)
+            .filter(|&i| randomized_response(i < true_ones, eps, &mut rng).unwrap())
+            .count();
+        let est = randomized_response_debias(observed, total, eps).unwrap();
+        assert!(
+            (est - true_ones as f64).abs() < 200.0,
+            "estimate {est} should be near {true_ones}"
+        );
+        assert_eq!(randomized_response_debias(0, 0, eps).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn budget_accountant_enforces_total() {
+        let mut acc = BudgetAccountant::new(1.0).unwrap();
+        assert!(acc.spend(0.4).is_ok());
+        assert!(acc.spend(0.4).is_ok());
+        assert!((acc.remaining() - 0.2).abs() < 1e-9);
+        assert!(acc.spend(0.3).is_err());
+        assert!(acc.spend(0.2).is_ok());
+        assert!(acc.remaining() < 1e-9);
+        assert!((acc.spent() - 1.0).abs() < 1e-9);
+        assert!(BudgetAccountant::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Paillier additively-homomorphic encryption.
+//!
+//! The cryptography branch of the paper's taxonomy (§3.4, "secure multi-party
+//! computation techniques, such as homomorphic encryptions") is exercised in
+//! this workspace through Paillier: LU-based protocols can aggregate
+//! similarity contributions or counts under encryption, and the secure
+//! summation protocol (`secure_sum`) offers it as one backend.
+//!
+//! Standard scheme with the simplification g = n + 1:
+//!   Enc(m, r) = (1 + m·n) · r^n  mod n²
+//!   Dec(c)    = L(c^λ mod n²) · µ mod n,  L(x) = (x-1)/n
+
+use crate::bigint::BigUint;
+use crate::prime::generate_prime;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// Paillier public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    n_squared: BigUint,
+}
+
+/// Paillier private key.
+#[derive(Debug, Clone)]
+pub struct PrivateKey {
+    /// Carmichael function λ = lcm(p−1, q−1).
+    lambda: BigUint,
+    /// µ = (L(g^λ mod n²))⁻¹ mod n.
+    mu: BigUint,
+    public: PublicKey,
+}
+
+/// A Paillier ciphertext (value in `[0, n²)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(pub BigUint);
+
+/// A Paillier key pair.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    /// Public (encryption) key.
+    pub public: PublicKey,
+    /// Private (decryption) key.
+    pub private: PrivateKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair with an `n` of roughly `modulus_bits` bits.
+    ///
+    /// `modulus_bits` must be ≥ 32. Tests use 128–256 bits for speed;
+    /// realistic deployments use ≥ 2048.
+    pub fn generate(modulus_bits: usize, rng: &mut SplitMix64) -> Result<KeyPair> {
+        if modulus_bits < 32 {
+            return Err(PprlError::invalid(
+                "modulus_bits",
+                "Paillier modulus must be >= 32 bits",
+            ));
+        }
+        let half = modulus_bits / 2;
+        loop {
+            let p = generate_prime(half, rng)?;
+            let q = generate_prime(modulus_bits - half, rng)?;
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let p1 = p.sub(&one).expect("p >= 2");
+            let q1 = q.sub(&one).expect("q >= 2");
+            // gcd(n, (p-1)(q-1)) must be 1; guaranteed for distinct primes of
+            // equal size, but verify anyway.
+            if n.gcd(&p1.mul(&q1)) != one {
+                continue;
+            }
+            let lambda = {
+                let g = p1.gcd(&q1);
+                p1.mul(&q1).divrem(&g)?.0
+            };
+            let n_squared = n.mul(&n);
+            // µ = (L(g^λ mod n²))⁻¹ with g = n+1: g^λ = 1 + λ·n (mod n²),
+            // so L(g^λ) = λ mod n and µ = λ⁻¹ mod n.
+            let mu = match lambda.rem(&n)?.modinv(&n) {
+                Ok(m) => m,
+                Err(_) => continue,
+            };
+            let public = PublicKey {
+                n: n.clone(),
+                n_squared,
+            };
+            return Ok(KeyPair {
+                private: PrivateKey {
+                    lambda,
+                    mu,
+                    public: public.clone(),
+                },
+                public,
+            });
+        }
+    }
+}
+
+impl PublicKey {
+    /// Encrypts `m` (must be `< n`) with fresh randomness from `rng`.
+    pub fn encrypt(&self, m: &BigUint, rng: &mut SplitMix64) -> Result<Ciphertext> {
+        if m >= &self.n {
+            return Err(PprlError::CryptoError(format!(
+                "plaintext (bits={}) not less than modulus (bits={})",
+                m.bits(),
+                self.n.bits()
+            )));
+        }
+        // r uniform in [1, n) with gcd(r, n) = 1.
+        let r = loop {
+            let r = BigUint::random_below(rng, &self.n);
+            if !r.is_zero() && r.gcd(&self.n) == BigUint::one() {
+                break r;
+            }
+        };
+        // (1 + m·n) mod n²
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared)?;
+        let rn = r.modpow(&self.n, &self.n_squared)?;
+        Ok(Ciphertext(gm.mulmod(&rn, &self.n_squared)?))
+    }
+
+    /// Encrypts a `u64` convenience value.
+    pub fn encrypt_u64(&self, m: u64, rng: &mut SplitMix64) -> Result<Ciphertext> {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Homomorphic addition: `Dec(a ⊕ b) = Dec(a) + Dec(b) (mod n)`.
+    pub fn add_ciphertexts(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        Ok(Ciphertext(a.0.mulmod(&b.0, &self.n_squared)?))
+    }
+
+    /// Homomorphic plaintext addition: adds constant `k` to the plaintext.
+    pub fn add_plain(&self, a: &Ciphertext, k: &BigUint) -> Result<Ciphertext> {
+        let gk = BigUint::one().add(&k.mul(&self.n)).rem(&self.n_squared)?;
+        Ok(Ciphertext(a.0.mulmod(&gk, &self.n_squared)?))
+    }
+
+    /// Homomorphic scalar multiplication: `Dec(a ⊗ k) = k · Dec(a) (mod n)`.
+    pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Result<Ciphertext> {
+        Ok(Ciphertext(a.0.modpow(k, &self.n_squared)?))
+    }
+
+    /// Re-randomises a ciphertext (same plaintext, fresh randomness) so a
+    /// relay party cannot trace ciphertexts by equality.
+    pub fn rerandomize(&self, a: &Ciphertext, rng: &mut SplitMix64) -> Result<Ciphertext> {
+        let zero = self.encrypt(&BigUint::zero(), rng)?;
+        self.add_ciphertexts(a, &zero)
+    }
+}
+
+impl PrivateKey {
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<BigUint> {
+        if c.0 >= self.public.n_squared {
+            return Err(PprlError::CryptoError("ciphertext out of range".into()));
+        }
+        let x = c.0.modpow(&self.lambda, &self.public.n_squared)?;
+        // L(x) = (x - 1) / n
+        let l = x.sub(&BigUint::one())
+            .map_err(|_| PprlError::CryptoError("malformed ciphertext".into()))?
+            .divrem(&self.public.n)?
+            .0;
+        l.mulmod(&self.mu, &self.public.n)
+    }
+
+    /// Decrypts to a `u64`, erroring if the plaintext does not fit.
+    pub fn decrypt_u64(&self, c: &Ciphertext) -> Result<u64> {
+        let m = self.decrypt(c)?;
+        if m.bits() > 64 {
+            return Err(PprlError::CryptoError("plaintext exceeds u64".into()));
+        }
+        Ok(m.low_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(bits: usize, seed: u64) -> (KeyPair, SplitMix64) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = KeyPair::generate(bits, &mut rng).unwrap();
+        (kp, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let (kp, mut rng) = keys(128, 1);
+        for m in [0u64, 1, 42, 1_000_000, u32::MAX as u64] {
+            let c = kp.public.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(kp.private.decrypt_u64(&c).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (kp, mut rng) = keys(128, 2);
+        let a = kp.public.encrypt_u64(1234, &mut rng).unwrap();
+        let b = kp.public.encrypt_u64(5678, &mut rng).unwrap();
+        let sum = kp.public.add_ciphertexts(&a, &b).unwrap();
+        assert_eq!(kp.private.decrypt_u64(&sum).unwrap(), 6912);
+    }
+
+    #[test]
+    fn homomorphic_plain_operations() {
+        let (kp, mut rng) = keys(128, 3);
+        let a = kp.public.encrypt_u64(100, &mut rng).unwrap();
+        let plus = kp.public.add_plain(&a, &BigUint::from_u64(23)).unwrap();
+        assert_eq!(kp.private.decrypt_u64(&plus).unwrap(), 123);
+        let times = kp.public.mul_plain(&a, &BigUint::from_u64(7)).unwrap();
+        assert_eq!(kp.private.decrypt_u64(&times).unwrap(), 700);
+    }
+
+    #[test]
+    fn rerandomization_preserves_plaintext_changes_ciphertext() {
+        let (kp, mut rng) = keys(128, 4);
+        let a = kp.public.encrypt_u64(999, &mut rng).unwrap();
+        let b = kp.public.rerandomize(&a, &mut rng).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(kp.private.decrypt_u64(&b).unwrap(), 999);
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let (kp, mut rng) = keys(128, 5);
+        let a = kp.public.encrypt_u64(7, &mut rng).unwrap();
+        let b = kp.public.encrypt_u64(7, &mut rng).unwrap();
+        assert_ne!(a, b, "semantic security requires distinct ciphertexts");
+    }
+
+    #[test]
+    fn plaintext_must_be_below_modulus() {
+        let (kp, mut rng) = keys(64, 6);
+        let too_big = kp.public.n.clone();
+        assert!(kp.public.encrypt(&too_big, &mut rng).is_err());
+    }
+
+    #[test]
+    fn addition_wraps_mod_n() {
+        let (kp, mut rng) = keys(64, 7);
+        let near_n = kp.public.n.sub(&BigUint::one()).unwrap();
+        let a = kp.public.encrypt(&near_n, &mut rng).unwrap();
+        let b = kp.public.encrypt_u64(2, &mut rng).unwrap();
+        let sum = kp.public.add_ciphertexts(&a, &b).unwrap();
+        // (n - 1) + 2 ≡ 1 (mod n)
+        assert_eq!(kp.private.decrypt(&sum).unwrap(), BigUint::one());
+    }
+
+    #[test]
+    fn tiny_modulus_rejected() {
+        let mut rng = SplitMix64::new(8);
+        assert!(KeyPair::generate(16, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sum_of_many_encrypted_counters() {
+        // The secure-summation usage pattern: aggregate many small counts.
+        let (kp, mut rng) = keys(128, 9);
+        let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let mut acc = kp.public.encrypt_u64(0, &mut rng).unwrap();
+        for &v in &values {
+            let c = kp.public.encrypt_u64(v, &mut rng).unwrap();
+            acc = kp.public.add_ciphertexts(&acc, &c).unwrap();
+        }
+        assert_eq!(
+            kp.private.decrypt_u64(&acc).unwrap(),
+            values.iter().sum::<u64>()
+        );
+    }
+}

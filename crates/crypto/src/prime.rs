@@ -1,0 +1,173 @@
+//! Probabilistic primality testing and prime generation.
+//!
+//! Key generation for Paillier and the commutative cipher needs random
+//! primes. We use Miller–Rabin with random bases (error probability
+//! ≤ 4^-rounds) after trial division by small primes.
+
+use crate::bigint::BigUint;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// Small primes for fast trial division.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Deterministically correct for n < 113; probabilistic beyond.
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut SplitMix64) -> bool {
+    if n.is_zero() || n == &BigUint::one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).map(|r| r.is_zero()).unwrap_or(false) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_1 = n.sub(&one).expect("n >= 2");
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let range = n.sub(&BigUint::from_u64(3)).expect("n > 113");
+        let a = BigUint::random_below(rng, &range).add(&two);
+        let mut x = a.modpow(&d, n).expect("modulus nonzero");
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mulmod(&x, n).expect("modulus nonzero");
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// `bits` must be at least 8. Uses 24 Miller–Rabin rounds
+/// (error < 2^-48).
+pub fn generate_prime(bits: usize, rng: &mut SplitMix64) -> Result<BigUint> {
+    if bits < 8 {
+        return Err(PprlError::invalid("bits", "prime size must be >= 8 bits"));
+    }
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        if !candidate.is_odd() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if candidate.bits() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, 24, rng) {
+            return Ok(candidate);
+        }
+    }
+}
+
+/// Generates a *safe prime* `p = 2q + 1` with both `p` and `q` prime.
+///
+/// Needed by the commutative (SRA/Pohlig–Hellman style) cipher so that
+/// exponents coprime to `p - 1` are easy to pick. This is slow for large
+/// sizes; the protocol defaults keep it in the hundreds of bits.
+pub fn generate_safe_prime(bits: usize, rng: &mut SplitMix64) -> Result<BigUint> {
+    if bits < 9 {
+        return Err(PprlError::invalid("bits", "safe prime size must be >= 9 bits"));
+    }
+    loop {
+        let q = generate_prime(bits - 1, rng)?;
+        let p = q.shl(1).add(&BigUint::one());
+        if p.bits() == bits && is_probable_prime(&p, 24, rng) {
+            return Ok(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_detected() {
+        let mut rng = SplitMix64::new(1);
+        for p in [2u64, 3, 5, 7, 97, 101, 113, 127, 7919, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut rng = SplitMix64::new(2);
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 41041, 1_000_000_006] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = SplitMix64::new(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_requested_bits() {
+        let mut rng = SplitMix64::new(4);
+        for bits in [16usize, 32, 64, 128] {
+            let p = generate_prime(bits, &mut rng).unwrap();
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd());
+        }
+        assert!(generate_prime(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut rng = SplitMix64::new(5);
+        let a = generate_prime(64, &mut rng).unwrap();
+        let b = generate_prime(64, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut rng = SplitMix64::new(6);
+        let p = generate_safe_prime(48, &mut rng).unwrap();
+        let q = p.sub(&BigUint::one()).unwrap().shr(1);
+        assert!(is_probable_prime(&p, 16, &mut rng));
+        assert!(is_probable_prime(&q, 16, &mut rng));
+        assert!(generate_safe_prime(4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn large_prime_generation() {
+        let mut rng = SplitMix64::new(7);
+        let p = generate_prime(256, &mut rng).unwrap();
+        assert_eq!(p.bits(), 256);
+        assert!(is_probable_prime(&p, 8, &mut rng));
+    }
+}

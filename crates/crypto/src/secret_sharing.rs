@@ -1,0 +1,261 @@
+//! Additive and Shamir secret sharing.
+//!
+//! Secret sharing appears in the paper's cryptography branch (§3.4) and
+//! underlies the multi-party secure summation protocols analysed for
+//! collusion resistance by Ranbaduge et al. (ref \[29]). Additive sharing is
+//! the workhorse for sums; Shamir sharing adds a threshold so any `t` of `n`
+//! parties can reconstruct while fewer learn nothing.
+//!
+//! Shamir shares live in the prime field GF(p) with p = 2^61 − 1 (a Mersenne
+//! prime), so all arithmetic fits in `u128` intermediates.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// The field modulus for Shamir sharing: the Mersenne prime 2^61 − 1.
+pub const FIELD_PRIME: u64 = (1u64 << 61) - 1;
+
+/// Addition in GF(p).
+#[inline]
+pub fn field_add(a: u64, b: u64) -> u64 {
+    let s = a as u128 + b as u128;
+    (s % FIELD_PRIME as u128) as u64
+}
+
+/// Subtraction in GF(p).
+#[inline]
+pub fn field_sub(a: u64, b: u64) -> u64 {
+    let s = a as u128 + FIELD_PRIME as u128 - b as u128 % FIELD_PRIME as u128;
+    (s % FIELD_PRIME as u128) as u64
+}
+
+/// Multiplication in GF(p).
+#[inline]
+pub fn field_mul(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % FIELD_PRIME as u128) as u64
+}
+
+/// Exponentiation in GF(p).
+pub fn field_pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= FIELD_PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = field_mul(acc, base);
+        }
+        base = field_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(p) via Fermat's little theorem.
+pub fn field_inv(a: u64) -> Result<u64> {
+    if a.is_multiple_of(FIELD_PRIME) {
+        return Err(PprlError::CryptoError("no inverse of zero".into()));
+    }
+    Ok(field_pow(a, FIELD_PRIME - 2))
+}
+
+/// Splits `secret` into `n` additive shares summing to it mod p.
+///
+/// Any `n − 1` shares are uniformly random and reveal nothing.
+pub fn additive_share(secret: u64, n: usize, rng: &mut SplitMix64) -> Result<Vec<u64>> {
+    if n == 0 {
+        return Err(PprlError::invalid("n", "need at least one share"));
+    }
+    if secret >= FIELD_PRIME {
+        return Err(PprlError::invalid("secret", "secret must be < 2^61 - 1"));
+    }
+    let mut shares: Vec<u64> = (0..n - 1)
+        .map(|_| rng.next_below(FIELD_PRIME))
+        .collect();
+    let partial: u64 = shares.iter().fold(0u64, |acc, &s| field_add(acc, s));
+    shares.push(field_sub(secret, partial));
+    Ok(shares)
+}
+
+/// Reconstructs an additively shared secret.
+pub fn additive_reconstruct(shares: &[u64]) -> u64 {
+    shares.iter().fold(0u64, |acc, &s| field_add(acc, s))
+}
+
+/// One Shamir share: the evaluation point `x` (nonzero) and value `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShamirShare {
+    /// Evaluation point (party index + 1).
+    pub x: u64,
+    /// Polynomial evaluation at `x`.
+    pub y: u64,
+}
+
+/// Splits `secret` into `n` Shamir shares with reconstruction threshold `t`.
+///
+/// Any `t` shares reconstruct; any `t − 1` are information-theoretically
+/// independent of the secret.
+pub fn shamir_share(
+    secret: u64,
+    t: usize,
+    n: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<ShamirShare>> {
+    if t == 0 || t > n {
+        return Err(PprlError::invalid("t", format!("threshold {t} not in 1..={n}")));
+    }
+    if n as u64 >= FIELD_PRIME {
+        return Err(PprlError::invalid("n", "too many shares for field"));
+    }
+    if secret >= FIELD_PRIME {
+        return Err(PprlError::invalid("secret", "secret must be < 2^61 - 1"));
+    }
+    // Random polynomial of degree t-1 with constant term = secret.
+    let coeffs: Vec<u64> = std::iter::once(secret)
+        .chain((1..t).map(|_| rng.next_below(FIELD_PRIME)))
+        .collect();
+    Ok((1..=n as u64)
+        .map(|x| {
+            // Horner evaluation.
+            let y = coeffs
+                .iter()
+                .rev()
+                .fold(0u64, |acc, &c| field_add(field_mul(acc, x), c));
+            ShamirShare { x, y }
+        })
+        .collect())
+}
+
+/// Reconstructs the secret from at least `t` Shamir shares via Lagrange
+/// interpolation at zero. Shares must have distinct `x` values.
+pub fn shamir_reconstruct(shares: &[ShamirShare]) -> Result<u64> {
+    if shares.is_empty() {
+        return Err(PprlError::invalid("shares", "no shares provided"));
+    }
+    for (i, s) in shares.iter().enumerate() {
+        if s.x == 0 {
+            return Err(PprlError::invalid("shares", "share with x = 0"));
+        }
+        if shares[..i].iter().any(|r| r.x == s.x) {
+            return Err(PprlError::invalid("shares", "duplicate share point"));
+        }
+    }
+    let mut secret = 0u64;
+    for i in 0..shares.len() {
+        // Lagrange basis at 0: Π_{j≠i} x_j / (x_j − x_i)
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for j in 0..shares.len() {
+            if i == j {
+                continue;
+            }
+            num = field_mul(num, shares[j].x);
+            den = field_mul(den, field_sub(shares[j].x, shares[i].x));
+        }
+        let basis = field_mul(num, field_inv(den)?);
+        secret = field_add(secret, field_mul(shares[i].y, basis));
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops_basic() {
+        assert_eq!(field_add(FIELD_PRIME - 1, 2), 1);
+        assert_eq!(field_sub(0, 1), FIELD_PRIME - 1);
+        assert_eq!(field_mul(2, 3), 6);
+        assert_eq!(field_pow(2, 10), 1024);
+        let inv = field_inv(12345).unwrap();
+        assert_eq!(field_mul(12345, inv), 1);
+        assert!(field_inv(0).is_err());
+        assert!(field_inv(FIELD_PRIME).is_err());
+    }
+
+    #[test]
+    fn additive_round_trip() {
+        let mut rng = SplitMix64::new(1);
+        for n in [1usize, 2, 3, 7] {
+            let shares = additive_share(123456789, n, &mut rng).unwrap();
+            assert_eq!(shares.len(), n);
+            assert_eq!(additive_reconstruct(&shares), 123456789);
+        }
+    }
+
+    #[test]
+    fn additive_partial_shares_do_not_reveal() {
+        // The sum of n-1 shares differs from the secret (w.h.p.).
+        let mut rng = SplitMix64::new(2);
+        let shares = additive_share(42, 5, &mut rng).unwrap();
+        let partial = additive_reconstruct(&shares[..4]);
+        assert_ne!(partial, 42);
+    }
+
+    #[test]
+    fn additive_rejects_bad_input() {
+        let mut rng = SplitMix64::new(3);
+        assert!(additive_share(1, 0, &mut rng).is_err());
+        assert!(additive_share(FIELD_PRIME, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shamir_round_trip_exact_threshold() {
+        let mut rng = SplitMix64::new(4);
+        let shares = shamir_share(987654321, 3, 5, &mut rng).unwrap();
+        assert_eq!(shares.len(), 5);
+        // any 3 shares reconstruct
+        let subset = [shares[0], shares[2], shares[4]];
+        assert_eq!(shamir_reconstruct(&subset).unwrap(), 987654321);
+        // all 5 also reconstruct
+        assert_eq!(shamir_reconstruct(&shares).unwrap(), 987654321);
+    }
+
+    #[test]
+    fn shamir_below_threshold_is_wrong() {
+        let mut rng = SplitMix64::new(5);
+        let secret = 555;
+        let shares = shamir_share(secret, 3, 5, &mut rng).unwrap();
+        // 2 < t shares interpolate to a different value (w.h.p.).
+        let r = shamir_reconstruct(&shares[..2]).unwrap();
+        assert_ne!(r, secret);
+    }
+
+    #[test]
+    fn shamir_rejects_bad_parameters() {
+        let mut rng = SplitMix64::new(6);
+        assert!(shamir_share(1, 0, 3, &mut rng).is_err());
+        assert!(shamir_share(1, 4, 3, &mut rng).is_err());
+        assert!(shamir_share(FIELD_PRIME, 2, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shamir_rejects_bad_shares() {
+        assert!(shamir_reconstruct(&[]).is_err());
+        assert!(shamir_reconstruct(&[ShamirShare { x: 0, y: 1 }]).is_err());
+        assert!(shamir_reconstruct(&[
+            ShamirShare { x: 1, y: 1 },
+            ShamirShare { x: 1, y: 2 }
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn shamir_t_equals_one_is_constant() {
+        let mut rng = SplitMix64::new(7);
+        let shares = shamir_share(77, 1, 4, &mut rng).unwrap();
+        for s in &shares {
+            assert_eq!(shamir_reconstruct(&[*s]).unwrap(), 77);
+        }
+    }
+
+    #[test]
+    fn additive_shares_sum_linearly() {
+        // Share-wise addition of two shared secrets reconstructs the sum —
+        // the property the secure summation protocol relies on.
+        let mut rng = SplitMix64::new(8);
+        let a = additive_share(1000, 4, &mut rng).unwrap();
+        let b = additive_share(234, 4, &mut rng).unwrap();
+        let sums: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| field_add(x, y)).collect();
+        assert_eq!(additive_reconstruct(&sums), 1234);
+    }
+}

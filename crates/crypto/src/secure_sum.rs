@@ -1,0 +1,215 @@
+//! Multi-party secure summation protocols.
+//!
+//! Secure summation is the building block of multi-party PPRL (e.g. the
+//! counting-Bloom-filter protocol of Vatsalan et al., ref \[42]): parties sum
+//! their private values without revealing them. Three classical variants are
+//! implemented, matching the ones whose collusion resistance Ranbaduge et
+//! al. analyse (ref \[29]):
+//!
+//! * **Masked ring** — P₀ adds a random mask, the partial sum travels the
+//!   ring, P₀ removes the mask. One message per party but *not*
+//!   collusion-resistant: a party's neighbours can collude to recover its
+//!   input.
+//! * **Additive sharing** — every party splits its value into shares for all
+//!   parties; resists collusion of up to n−2 parties at quadratic message
+//!   cost.
+//! * **Homomorphic (Paillier)** — values are accumulated under encryption;
+//!   only the key holder learns the sum. Constant-size messages, heavier
+//!   compute.
+
+use crate::cost::CommCost;
+use crate::paillier::KeyPair;
+use crate::secret_sharing::{additive_reconstruct, additive_share, field_add, FIELD_PRIME};
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// Result of a secure-summation run: the sum plus its communication tally.
+#[derive(Debug, Clone)]
+pub struct SumOutcome {
+    /// The (exact) sum of all parties' inputs, mod 2^61−1.
+    pub sum: u64,
+    /// Communication cost of the protocol run.
+    pub cost: CommCost,
+}
+
+fn check_inputs(values: &[u64]) -> Result<()> {
+    if values.len() < 2 {
+        return Err(PprlError::invalid("values", "need at least two parties"));
+    }
+    if values.iter().any(|&v| v >= FIELD_PRIME) {
+        return Err(PprlError::invalid("values", "inputs must be < 2^61 - 1"));
+    }
+    Ok(())
+}
+
+/// Masked-ring summation. O(n) messages, O(n) rounds; leaks partial sums to
+/// colluding neighbours (see [`ring_collusion_exposed`]).
+pub fn sum_masked_ring(values: &[u64], rng: &mut SplitMix64) -> Result<SumOutcome> {
+    check_inputs(values)?;
+    let mut cost = CommCost::new();
+    let mask = rng.next_below(FIELD_PRIME);
+    // P0 starts the ring with v0 + mask.
+    let mut running = field_add(values[0], mask);
+    for &v in &values[1..] {
+        cost.send(8); // one field element to the next party
+        cost.end_round();
+        running = field_add(running, v);
+    }
+    // Back to P0, which removes the mask and broadcasts.
+    cost.send(8);
+    cost.end_round();
+    let sum = crate::secret_sharing::field_sub(running, mask);
+    cost.send_many(values.len() - 1, 8); // broadcast of the result
+    cost.end_round();
+    Ok(SumOutcome { sum, cost })
+}
+
+/// Additive-sharing summation. O(n²) messages, constant rounds; secure
+/// against collusion of up to n−2 parties.
+pub fn sum_additive_shares(values: &[u64], rng: &mut SplitMix64) -> Result<SumOutcome> {
+    check_inputs(values)?;
+    let n = values.len();
+    let mut cost = CommCost::new();
+    // Round 1: each party shares its value to all parties (n-1 sends each).
+    let mut received: Vec<Vec<u64>> = vec![Vec::with_capacity(n); n];
+    for (i, &v) in values.iter().enumerate() {
+        let shares = additive_share(v, n, rng)?;
+        for (j, &s) in shares.iter().enumerate() {
+            if j != i {
+                cost.send(8);
+            }
+            received[j].push(s);
+        }
+    }
+    cost.end_round();
+    // Round 2: each party sums its received shares and broadcasts the partial.
+    let partials: Vec<u64> = received
+        .iter()
+        .map(|shares| shares.iter().fold(0u64, |a, &s| field_add(a, s)))
+        .collect();
+    cost.send_many(n * (n - 1), 8);
+    cost.end_round();
+    let sum = additive_reconstruct(&partials);
+    Ok(SumOutcome { sum, cost })
+}
+
+/// Homomorphic summation under Paillier. The first party is the key holder;
+/// the ciphertext travels the ring, each party folding in its value with
+/// `add_plain` and re-randomising so the next hop cannot difference
+/// consecutive ciphertexts.
+pub fn sum_paillier(
+    values: &[u64],
+    modulus_bits: usize,
+    rng: &mut SplitMix64,
+) -> Result<SumOutcome> {
+    check_inputs(values)?;
+    let kp = KeyPair::generate(modulus_bits, rng)?;
+    let ct_bytes = kp.public.n.bits().div_ceil(8) * 2; // |n²| payload
+    let mut cost = CommCost::new();
+    let mut acc = kp.public.encrypt_u64(values[0], rng)?;
+    for &v in &values[1..] {
+        cost.send(ct_bytes);
+        cost.end_round();
+        acc = kp
+            .public
+            .add_plain(&acc, &crate::bigint::BigUint::from_u64(v))?;
+        acc = kp.public.rerandomize(&acc, rng)?;
+    }
+    cost.send(ct_bytes); // back to the key holder
+    cost.end_round();
+    let sum = kp.private.decrypt_u64(&acc)?;
+    cost.send_many(values.len() - 1, 8); // result broadcast
+    cost.end_round();
+    Ok(SumOutcome {
+        sum: sum % FIELD_PRIME,
+        cost,
+    })
+}
+
+/// What two colluding ring neighbours of party `target` learn in the
+/// masked-ring protocol: the exact input of `target`.
+///
+/// Returns `Some(recovered_value)` when collusion succeeds (always, for any
+/// interior party), demonstrating the vulnerability the additive-sharing
+/// variant fixes. Used by experiment E5.
+pub fn ring_collusion_exposed(values: &[u64], target: usize) -> Option<u64> {
+    // Neighbours i-1 and i+1 exist only for interior parties; P0 holds the
+    // mask so attacking it requires the mask holder itself.
+    if target == 0 || target + 1 >= values.len() {
+        return None;
+    }
+    // Predecessor saw S_in; successor saw S_out = S_in + v_target.
+    // Colluding, they compute v_target = S_out - S_in.
+    Some(values[target])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_compute_the_sum() {
+        let mut rng = SplitMix64::new(1);
+        let values = [10u64, 20, 30, 40, 5];
+        let expected: u64 = values.iter().sum();
+        assert_eq!(sum_masked_ring(&values, &mut rng).unwrap().sum, expected);
+        assert_eq!(sum_additive_shares(&values, &mut rng).unwrap().sum, expected);
+        assert_eq!(
+            sum_paillier(&values, 128, &mut rng).unwrap().sum,
+            expected
+        );
+    }
+
+    #[test]
+    fn two_parties_minimum() {
+        let mut rng = SplitMix64::new(2);
+        assert!(sum_masked_ring(&[1], &mut rng).is_err());
+        assert!(sum_additive_shares(&[1], &mut rng).is_err());
+        assert_eq!(sum_masked_ring(&[1, 2], &mut rng).unwrap().sum, 3);
+    }
+
+    #[test]
+    fn oversized_inputs_rejected() {
+        let mut rng = SplitMix64::new(3);
+        assert!(sum_masked_ring(&[FIELD_PRIME, 1], &mut rng).is_err());
+    }
+
+    #[test]
+    fn message_complexity_ring_linear_shares_quadratic() {
+        let mut rng = SplitMix64::new(4);
+        let values: Vec<u64> = (1..=8).collect();
+        let ring = sum_masked_ring(&values, &mut rng).unwrap().cost;
+        let shares = sum_additive_shares(&values, &mut rng).unwrap().cost;
+        // Ring: n messages + broadcast (n-1) = 2n - 1.
+        assert_eq!(ring.messages, 2 * values.len() - 1);
+        // Shares: n(n-1) share sends + n(n-1) partial broadcasts.
+        assert_eq!(shares.messages, 2 * values.len() * (values.len() - 1));
+        assert!(shares.messages > ring.messages);
+    }
+
+    #[test]
+    fn ring_rounds_grow_linearly() {
+        let mut rng = SplitMix64::new(5);
+        let c4 = sum_masked_ring(&[1, 2, 3, 4], &mut rng).unwrap().cost;
+        let c8 = sum_masked_ring(&[1; 8], &mut rng).unwrap().cost;
+        assert!(c8.rounds > c4.rounds);
+        let s4 = sum_additive_shares(&[1, 2, 3, 4], &mut rng).unwrap().cost;
+        let s8 = sum_additive_shares(&[1; 8], &mut rng).unwrap().cost;
+        assert_eq!(s4.rounds, s8.rounds, "sharing runs in constant rounds");
+    }
+
+    #[test]
+    fn collusion_recovers_interior_party_only() {
+        let values = [5u64, 17, 23, 9];
+        assert_eq!(ring_collusion_exposed(&values, 1), Some(17));
+        assert_eq!(ring_collusion_exposed(&values, 2), Some(23));
+        assert_eq!(ring_collusion_exposed(&values, 0), None);
+        assert_eq!(ring_collusion_exposed(&values, 3), None);
+    }
+
+    #[test]
+    fn paillier_sum_with_zeroes() {
+        let mut rng = SplitMix64::new(6);
+        assert_eq!(sum_paillier(&[0, 0, 0], 128, &mut rng).unwrap().sum, 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! SHA-1 and SHA-256, implemented from the FIPS 180-4 specification.
+//!
+//! Bloom-filter PPRL traditionally uses the *double hashing* scheme of
+//! Schnell et al. with two independent cryptographic hash functions (SHA-1
+//! and MD5 in the original; we use SHA-1 and SHA-256). These implementations
+//! are bit-exact against the FIPS test vectors (see tests) and are the only
+//! hash primitives in the workspace.
+
+/// Output of SHA-256 (32 bytes).
+pub type Sha256Digest = [u8; 32];
+/// Output of SHA-1 (20 bytes).
+pub type Sha1Digest = [u8; 20];
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Computes the SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> Sha256Digest {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let padded = pad_message(data);
+    let mut w = [0u32; 64];
+    for block in padded.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> Sha1Digest {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+    let padded = pad_message(data);
+    let mut w = [0u32; 80];
+    for block in padded.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Merkle–Damgård padding shared by SHA-1 and SHA-256 (identical scheme).
+fn pad_message(data: &[u8]) -> Vec<u8> {
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut padded = data.to_vec();
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_be_bytes());
+    padded
+}
+
+/// HMAC-SHA-256 (RFC 2104) — the keyed hash used for salted/keyed Bloom
+/// filter encodings so that only parties holding the shared secret can
+/// reproduce bit positions.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Sha256Digest {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..32].copy_from_slice(&sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    let mut outer = Vec::with_capacity(BLOCK + 32);
+    for &b in &key_block {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let inner_hash = sha256(&inner);
+    for &b in &key_block {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&inner_hash);
+    sha256(&outer)
+}
+
+/// HMAC-SHA-1 (RFC 2104); second independent keyed hash for double hashing.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> Sha1Digest {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..20].copy_from_slice(&sha1(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    let mut outer = Vec::with_capacity(BLOCK + 20);
+    for &b in &key_block {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let inner_hash = sha1(&inner);
+    for &b in &key_block {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&inner_hash);
+    sha1(&outer)
+}
+
+/// First 8 bytes of a digest as a big-endian `u64` (for hash-to-index use).
+pub fn digest_prefix_u64(digest: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&digest[..8]);
+    u64::from_be_bytes(b)
+}
+
+/// Lower-case hex rendering of a digest.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_fips_vectors() {
+        assert_eq!(
+            to_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            to_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_long_input() {
+        // FIPS: one million 'a' characters.
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha256(&million_a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha1_fips_vectors() {
+        assert_eq!(to_hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(to_hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            to_hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn hmac_sha256_rfc4231_vectors() {
+        // RFC 4231 test case 1.
+        let key = [0x0b; 20];
+        assert_eq!(
+            to_hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // Test case 2: key "Jefe".
+        assert_eq!(
+            to_hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        // Test case 6: key longer than the block size.
+        let long_key = [0xaa; 131];
+        assert_eq!(
+            to_hex(&hmac_sha256(
+                &long_key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn hmac_sha1_rfc2202_vectors() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            to_hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            to_hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        let m = b"peter";
+        assert_ne!(hmac_sha256(b"k1", m), hmac_sha256(b"k2", m));
+        assert_ne!(hmac_sha1(b"k1", m), hmac_sha1(b"k2", m));
+    }
+
+    #[test]
+    fn digest_prefix() {
+        let d = sha256(b"abc");
+        let p = digest_prefix_u64(&d);
+        assert_eq!(p >> 56, d[0] as u64);
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Hash inputs around the 55/56/64-byte padding boundaries; verify
+        // determinism and that nearby lengths produce unrelated digests.
+        for len in 53..70usize {
+            let a = sha256(&vec![0x61; len]);
+            let b = sha256(&vec![0x61; len]);
+            assert_eq!(a, b);
+            let c = sha256(&vec![0x61; len + 1]);
+            assert_ne!(a, c);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Value corruption models (the "Co" of GeCo, ref \[37]).
+//!
+//! Realistic linkage data contain typographical, OCR, phonetic and
+//! structural errors; the corruptor injects them with configurable rates so
+//! experiments can sweep data quality (the *veracity* axis of Figure 3).
+
+use pprl_core::rng::SplitMix64;
+use pprl_core::value::{Date, Value};
+
+/// QWERTY neighbourhoods for realistic substitution typos.
+fn keyboard_neighbours(c: char) -> &'static str {
+    match c {
+        'a' => "qwsz",
+        'b' => "vghn",
+        'c' => "xdfv",
+        'd' => "serfcx",
+        'e' => "wsdr",
+        'f' => "drtgvc",
+        'g' => "ftyhbv",
+        'h' => "gyujnb",
+        'i' => "ujko",
+        'j' => "huikmn",
+        'k' => "jiolm",
+        'l' => "kop",
+        'm' => "njk",
+        'n' => "bhjm",
+        'o' => "iklp",
+        'p' => "ol",
+        'q' => "wa",
+        'r' => "edft",
+        's' => "awedxz",
+        't' => "rfgy",
+        'u' => "yhji",
+        'v' => "cfgb",
+        'w' => "qase",
+        'x' => "zsdc",
+        'y' => "tghu",
+        'z' => "asx",
+        _ => "etaoin",
+    }
+}
+
+/// OCR confusion pairs (scanner misreads).
+const OCR_PAIRS: &[(char, char)] = &[
+    ('0', 'o'),
+    ('1', 'l'),
+    ('5', 's'),
+    ('8', 'b'),
+    ('2', 'z'),
+    ('6', 'g'),
+];
+
+/// Phonetic substitution rules applied to substrings.
+const PHONETIC_RULES: &[(&str, &str)] = &[
+    ("ph", "f"),
+    ("f", "ph"),
+    ("ck", "k"),
+    ("k", "c"),
+    ("ee", "ea"),
+    ("y", "i"),
+    ("i", "y"),
+    ("mb", "m"),
+    ("dt", "tt"),
+    ("th", "t"),
+];
+
+/// One kind of corruption applied to a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringCorruption {
+    /// Insert a random character at a random position.
+    Insert,
+    /// Delete a random character.
+    Delete,
+    /// Substitute a character with a keyboard neighbour.
+    Substitute,
+    /// Transpose two adjacent characters.
+    Transpose,
+    /// Apply one phonetic rewrite rule.
+    Phonetic,
+    /// Apply an OCR confusion.
+    Ocr,
+}
+
+/// Applies one string corruption; returns the corrupted string (which may
+/// equal the input when the corruption is inapplicable, e.g. deleting from
+/// an empty string).
+pub fn corrupt_string(s: &str, kind: StringCorruption, rng: &mut SplitMix64) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    match kind {
+        StringCorruption::Insert => {
+            let pos = rng.next_below(chars.len() as u64 + 1) as usize;
+            let alphabet = "abcdefghijklmnopqrstuvwxyz";
+            let c = alphabet
+                .chars()
+                .nth(rng.next_below(26) as usize)
+                .expect("alphabet has 26 letters");
+            let mut out = chars.clone();
+            out.insert(pos, c);
+            out.into_iter().collect()
+        }
+        StringCorruption::Delete => {
+            if chars.is_empty() {
+                return s.to_string();
+            }
+            let pos = rng.next_below(chars.len() as u64) as usize;
+            let mut out = chars.clone();
+            out.remove(pos);
+            out.into_iter().collect()
+        }
+        StringCorruption::Substitute => {
+            if chars.is_empty() {
+                return s.to_string();
+            }
+            let pos = rng.next_below(chars.len() as u64) as usize;
+            let neigh = keyboard_neighbours(chars[pos]);
+            let nc: Vec<char> = neigh.chars().collect();
+            let c = nc[rng.next_below(nc.len() as u64) as usize];
+            let mut out = chars.clone();
+            out[pos] = c;
+            out.into_iter().collect()
+        }
+        StringCorruption::Transpose => {
+            if chars.len() < 2 {
+                return s.to_string();
+            }
+            let pos = rng.next_below(chars.len() as u64 - 1) as usize;
+            let mut out = chars.clone();
+            out.swap(pos, pos + 1);
+            out.into_iter().collect()
+        }
+        StringCorruption::Phonetic => {
+            // Try rules in a random rotation; apply the first that matches.
+            let start = rng.next_below(PHONETIC_RULES.len() as u64) as usize;
+            for i in 0..PHONETIC_RULES.len() {
+                let (from, to) = PHONETIC_RULES[(start + i) % PHONETIC_RULES.len()];
+                if let Some(idx) = s.find(from) {
+                    let mut out = String::with_capacity(s.len());
+                    out.push_str(&s[..idx]);
+                    out.push_str(to);
+                    out.push_str(&s[idx + from.len()..]);
+                    return out;
+                }
+            }
+            s.to_string()
+        }
+        StringCorruption::Ocr => {
+            // 'm' ↔ 'rn' plus single-character confusions.
+            if let Some(idx) = s.find('m') {
+                if rng.next_bool(0.5) {
+                    let mut out = String::with_capacity(s.len() + 1);
+                    out.push_str(&s[..idx]);
+                    out.push_str("rn");
+                    out.push_str(&s[idx + 1..]);
+                    return out;
+                }
+            }
+            if let Some(idx) = s.find("rn") {
+                let mut out = String::with_capacity(s.len());
+                out.push_str(&s[..idx]);
+                out.push('m');
+                out.push_str(&s[idx + 2..]);
+                return out;
+            }
+            for &(a, b) in OCR_PAIRS {
+                if let Some(idx) = s.find(a) {
+                    let mut out: Vec<char> = s.chars().collect();
+                    // find() returned a byte index on ASCII content; the
+                    // dictionaries are ASCII so char index == byte index.
+                    out[idx] = b;
+                    return out.into_iter().collect();
+                }
+            }
+            s.to_string()
+        }
+    }
+}
+
+/// Picks a random string corruption kind.
+pub fn random_string_corruption(rng: &mut SplitMix64) -> StringCorruption {
+    match rng.next_below(6) {
+        0 => StringCorruption::Insert,
+        1 => StringCorruption::Delete,
+        2 => StringCorruption::Substitute,
+        3 => StringCorruption::Transpose,
+        4 => StringCorruption::Phonetic,
+        _ => StringCorruption::Ocr,
+    }
+}
+
+/// Corrupts a typed value in a type-appropriate way:
+/// strings get a random typo class; dates get day/month swaps, off-by-a-few
+/// days, or year typos; integers drift by ±1–3; categoricals flip;
+/// occasionally (per `missing_rate`) any value becomes missing.
+pub fn corrupt_value(value: &Value, missing_rate: f64, rng: &mut SplitMix64) -> Value {
+    if rng.next_bool(missing_rate) {
+        return Value::Missing;
+    }
+    match value {
+        Value::Text(s) => {
+            let kind = random_string_corruption(rng);
+            Value::Text(corrupt_string(s, kind, rng))
+        }
+        Value::Categorical(s) => {
+            // Flip to a different category for binary-ish codes, else typo.
+            let flipped = match s.as_str() {
+                "m" => "f",
+                "f" => "m",
+                other => other,
+            };
+            Value::Categorical(flipped.to_string())
+        }
+        Value::Integer(i) => {
+            let delta = 1 + rng.next_below(3) as i64;
+            Value::Integer(if rng.next_bool(0.5) { i + delta } else { i - delta })
+        }
+        Value::Float(x) => {
+            let delta = (rng.next_f64() - 0.5) * 0.1 * x.abs().max(1.0);
+            Value::Float(x + delta)
+        }
+        Value::Date(d) => {
+            match rng.next_below(3) {
+                // Day/month swap (when valid).
+                0 => Date::new(d.year(), d.day(), d.month())
+                    .map(Value::Date)
+                    .unwrap_or(Value::Date(*d)),
+                // Off by a few days.
+                1 => {
+                    let shift = 1 + rng.next_below(5) as i64;
+                    let days = d.to_epoch_days() + if rng.next_bool(0.5) { shift } else { -shift };
+                    Value::Date(Date::from_epoch_days(days))
+                }
+                // Year typo: last digit change = ±1..9 years.
+                _ => {
+                    let dy = 1 + rng.next_below(9) as i32;
+                    let y = if rng.next_bool(0.5) { d.year() + dy } else { d.year() - dy };
+                    Value::Date(Date::new(y, d.month(), d.day().min(28)).expect("day ≤ 28 valid"))
+                }
+            }
+        }
+        Value::Missing => Value::Missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lengthens_delete_shortens() {
+        let mut rng = SplitMix64::new(1);
+        let s = "smith";
+        assert_eq!(
+            corrupt_string(s, StringCorruption::Insert, &mut rng).chars().count(),
+            6
+        );
+        assert_eq!(
+            corrupt_string(s, StringCorruption::Delete, &mut rng).chars().count(),
+            4
+        );
+    }
+
+    #[test]
+    fn substitute_keeps_length_changes_content() {
+        let mut rng = SplitMix64::new(2);
+        let out = corrupt_string("smith", StringCorruption::Substitute, &mut rng);
+        assert_eq!(out.len(), 5);
+        assert_ne!(out, "smith");
+    }
+
+    #[test]
+    fn transpose_is_permutation() {
+        let mut rng = SplitMix64::new(3);
+        let out = corrupt_string("abcdef", StringCorruption::Transpose, &mut rng);
+        let mut a: Vec<char> = out.chars().collect();
+        let mut b: Vec<char> = "abcdef".chars().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_string_edge_cases() {
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(corrupt_string("", StringCorruption::Delete, &mut rng), "");
+        assert_eq!(corrupt_string("", StringCorruption::Substitute, &mut rng), "");
+        assert_eq!(corrupt_string("", StringCorruption::Transpose, &mut rng), "");
+        assert_eq!(
+            corrupt_string("", StringCorruption::Insert, &mut rng).len(),
+            1
+        );
+        assert_eq!(corrupt_string("x", StringCorruption::Transpose, &mut rng), "x");
+    }
+
+    #[test]
+    fn phonetic_applies_a_rule() {
+        let mut rng = SplitMix64::new(5);
+        let out = corrupt_string("philip", StringCorruption::Phonetic, &mut rng);
+        assert_ne!(out, "philip");
+        // Inapplicable input returned unchanged.
+        assert_eq!(corrupt_string("zzz", StringCorruption::Phonetic, &mut rng), "zzz");
+    }
+
+    #[test]
+    fn ocr_m_rn_confusion() {
+        let mut rng = SplitMix64::new(6);
+        let out = corrupt_string("barn", StringCorruption::Ocr, &mut rng);
+        assert_eq!(out, "bam");
+    }
+
+    #[test]
+    fn corrupt_value_respects_missing_rate() {
+        let mut rng = SplitMix64::new(7);
+        let v = Value::Text("smith".into());
+        assert_eq!(corrupt_value(&v, 1.0, &mut rng), Value::Missing);
+        let kept = corrupt_value(&v, 0.0, &mut rng);
+        assert!(!kept.is_missing());
+    }
+
+    #[test]
+    fn corrupt_integer_drifts() {
+        let mut rng = SplitMix64::new(8);
+        match corrupt_value(&Value::Integer(30), 0.0, &mut rng) {
+            Value::Integer(i) => assert!((27..=33).contains(&i) && i != 30),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_gender_flips() {
+        let mut rng = SplitMix64::new(9);
+        assert_eq!(
+            corrupt_value(&Value::Categorical("m".into()), 0.0, &mut rng),
+            Value::Categorical("f".into())
+        );
+    }
+
+    #[test]
+    fn corrupt_date_stays_valid() {
+        let mut rng = SplitMix64::new(10);
+        let d = Value::Date(Date::new(1987, 6, 5).unwrap());
+        for _ in 0..50 {
+            match corrupt_value(&d, 0.0, &mut rng) {
+                Value::Date(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let a = corrupt_string("jonathan", StringCorruption::Substitute, &mut SplitMix64::new(42));
+        let b = corrupt_string("jonathan", StringCorruption::Substitute, &mut SplitMix64::new(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,384 @@
+//! Synthetic dataset generation with ground truth (the "Ge" of GeCo).
+//!
+//! Generates a population of entities with Zipf-skewed attribute values,
+//! then materialises per-party datasets with a configurable overlap
+//! fraction, duplicate rate, and corruption level. Every record carries the
+//! hidden `entity_id` ground truth used only by evaluation.
+
+use crate::corruptor::corrupt_value;
+use crate::lookup::{CITIES, FIRST_NAMES, LAST_NAMES, STREETS};
+use pprl_core::error::{PprlError, Result};
+use pprl_core::record::{Dataset, Record};
+use pprl_core::rng::SplitMix64;
+use pprl_core::schema::Schema;
+use pprl_core::value::{Date, Value};
+
+/// Configuration of the synthetic-data generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Zipf skew exponent for value sampling (0 = uniform; ~1 realistic).
+    pub zipf_exponent: f64,
+    /// Probability that each QID value of a duplicate record is corrupted.
+    pub corruption_rate: f64,
+    /// Probability that a corrupted value becomes missing instead.
+    pub missing_rate: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            zipf_exponent: 1.0,
+            corruption_rate: 0.2,
+            missing_rate: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates populations and party datasets.
+#[derive(Debug)]
+pub struct Generator {
+    config: GeneratorConfig,
+    rng: SplitMix64,
+    /// Precomputed Zipf CDFs per dictionary size.
+    cdf_cache: std::collections::HashMap<usize, Vec<f64>>,
+}
+
+impl Generator {
+    /// Creates a generator, validating rates.
+    pub fn new(config: GeneratorConfig) -> Result<Self> {
+        for (name, v) in [
+            ("corruption_rate", config.corruption_rate),
+            ("missing_rate", config.missing_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(PprlError::invalid("rate", format!("{name} must be in [0,1], got {v}")));
+            }
+        }
+        if !(config.zipf_exponent >= 0.0) {
+            return Err(PprlError::invalid("zipf_exponent", "must be non-negative"));
+        }
+        let rng = SplitMix64::new(config.seed);
+        Ok(Generator {
+            config,
+            rng,
+            cdf_cache: std::collections::HashMap::new(),
+        })
+    }
+
+    fn zipf_pick(&mut self, n: usize) -> usize {
+        let s = self.config.zipf_exponent;
+        let cdf = self.cdf_cache.entry(n).or_insert_with(|| {
+            let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect()
+        });
+        let u = self.rng.next_f64();
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) | Err(i) => i.min(n - 1),
+        }
+    }
+
+    /// Generates one clean entity record under [`Schema::person`].
+    pub fn entity(&mut self, entity_id: u64) -> Record {
+        let first = FIRST_NAMES[self.zipf_pick(FIRST_NAMES.len())];
+        let last = LAST_NAMES[self.zipf_pick(LAST_NAMES.len())];
+        let street_name = STREETS[self.zipf_pick(STREETS.len())];
+        let house = 1 + self.rng.next_below(200);
+        let city = CITIES[self.zipf_pick(CITIES.len())];
+        let postcode = format!("{:04}", 1000 + self.rng.next_below(9000));
+        let year = 1930 + self.rng.next_below(85) as i32;
+        let month = 1 + self.rng.next_below(12) as u8;
+        let day = 1 + self.rng.next_below(Date::days_in_month(year, month) as u64) as u8;
+        let dob = Date::new(year, month, day).expect("generated date valid");
+        let gender = if self.rng.next_bool(0.5) { "f" } else { "m" };
+        let age = (2026 - year) as i64;
+        Record::new(
+            entity_id,
+            vec![
+                Value::Text(first.to_string()),
+                Value::Text(last.to_string()),
+                Value::Text(format!("{house} {street_name}")),
+                Value::Text(city.to_string()),
+                Value::Text(postcode),
+                Value::Date(dob),
+                Value::Categorical(gender.to_string()),
+                Value::Integer(age),
+            ],
+        )
+    }
+
+    /// Generates a clean population of `n` entities.
+    pub fn population(&mut self, n: usize) -> Vec<Record> {
+        (0..n as u64).map(|id| self.entity(id)).collect()
+    }
+
+    /// Produces a corrupted copy of `record`: each value independently
+    /// corrupted with `corruption_rate` (and within that, possibly missing).
+    pub fn corrupt_record(&mut self, record: &Record) -> Record {
+        let values = record
+            .values
+            .iter()
+            .map(|v| {
+                if self.rng.next_bool(self.config.corruption_rate) {
+                    corrupt_value(v, self.config.missing_rate, &mut self.rng)
+                } else {
+                    v.clone()
+                }
+            })
+            .collect();
+        Record::new(record.entity_id, values)
+    }
+
+    /// Generates a linked pair of datasets:
+    /// * dataset A holds `size_a` entities (clean),
+    /// * dataset B holds `size_b` records of which `overlap` entities also
+    ///   appear in A — those B-side copies are corrupted duplicates.
+    ///
+    /// Errors if `overlap > min(size_a, size_b)`.
+    pub fn dataset_pair(
+        &mut self,
+        size_a: usize,
+        size_b: usize,
+        overlap: usize,
+    ) -> Result<(Dataset, Dataset)> {
+        if overlap > size_a.min(size_b) {
+            return Err(PprlError::invalid(
+                "overlap",
+                format!("overlap {overlap} exceeds min({size_a}, {size_b})"),
+            ));
+        }
+        let schema = Schema::person();
+        // Entities 0..size_a live in A; B reuses the first `overlap` of them
+        // and draws the rest fresh.
+        let population_a = self.population(size_a);
+        let mut records_b = Vec::with_capacity(size_b);
+        for r in population_a.iter().take(overlap) {
+            records_b.push(self.corrupt_record(r));
+        }
+        for i in 0..(size_b - overlap) {
+            records_b.push(self.entity(size_a as u64 + i as u64));
+        }
+        // Shuffle B so overlap rows are not all at the front.
+        let perm = self.rng.permutation(records_b.len());
+        let records_b: Vec<Record> = perm.into_iter().map(|i| records_b[i].clone()).collect();
+        Ok((
+            Dataset::from_records(schema.clone(), population_a)?,
+            Dataset::from_records(schema, records_b)?,
+        ))
+    }
+
+    /// Generates `parties` datasets over a shared population such that the
+    /// first `common` entities appear (corrupted) in *every* dataset and
+    /// each dataset additionally holds `unique_per_party` entities of its
+    /// own. Used by multi-party and subset-matching experiments.
+    pub fn multi_party(
+        &mut self,
+        parties: usize,
+        common: usize,
+        unique_per_party: usize,
+    ) -> Result<Vec<Dataset>> {
+        if parties < 2 {
+            return Err(PprlError::invalid("parties", "need at least two parties"));
+        }
+        let schema = Schema::person();
+        let shared = self.population(common);
+        let mut next_id = common as u64;
+        let mut out = Vec::with_capacity(parties);
+        for _ in 0..parties {
+            let mut records: Vec<Record> =
+                shared.iter().map(|r| self.corrupt_record(r)).collect();
+            for _ in 0..unique_per_party {
+                records.push(self.entity(next_id));
+                next_id += 1;
+            }
+            let perm = self.rng.permutation(records.len());
+            let records: Vec<Record> = perm.into_iter().map(|i| records[i].clone()).collect();
+            out.push(Dataset::from_records(schema.clone(), records)?);
+        }
+        Ok(out)
+    }
+
+    /// Generates a dataset containing internal duplicates: `entities`
+    /// entities, each duplicated `1 + extra` times where `extra` is
+    /// geometric with mean `dup_rate` (so `dup_rate = 0` means no
+    /// duplicates). Used by de-duplication / many-to-many experiments.
+    ///
+    /// Entity ids start at 0 and are local to this call: do not evaluate
+    /// this dataset against datasets from *other* generator calls, whose
+    /// ids share the same namespace but denote different people.
+    pub fn with_duplicates(&mut self, entities: usize, dup_rate: f64) -> Result<Dataset> {
+        if !(0.0..1.0).contains(&dup_rate) {
+            return Err(PprlError::invalid("dup_rate", "must be in [0,1)"));
+        }
+        let schema = Schema::person();
+        let mut records = Vec::new();
+        for id in 0..entities as u64 {
+            let base = self.entity(id);
+            records.push(base.clone());
+            while self.rng.next_bool(dup_rate) {
+                records.push(self.corrupt_record(&base));
+            }
+        }
+        let perm = self.rng.permutation(records.len());
+        let records: Vec<Record> = perm.into_iter().map(|i| records[i].clone()).collect();
+        Dataset::from_records(schema, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> Generator {
+        Generator::new(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validated() {
+        assert!(Generator::new(GeneratorConfig {
+            corruption_rate: 1.5,
+            ..GeneratorConfig::default()
+        })
+        .is_err());
+        assert!(Generator::new(GeneratorConfig {
+            missing_rate: -0.1,
+            ..GeneratorConfig::default()
+        })
+        .is_err());
+        assert!(Generator::new(GeneratorConfig {
+            zipf_exponent: f64::NAN,
+            ..GeneratorConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn entities_conform_to_schema() {
+        let mut g = generator(1);
+        let schema = Schema::person();
+        for id in 0..50 {
+            let r = g.entity(id);
+            assert_eq!(r.values.len(), schema.len());
+            assert_eq!(r.entity_id, id);
+            match &r.values[5] {
+                Value::Date(_) => {}
+                other => panic!("dob should be a date, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generator(7).population(20);
+        let b = generator(7).population(20);
+        assert_eq!(a, b);
+        let c = generator(8).population(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_skews_towards_frequent_values() {
+        let mut g = Generator::new(GeneratorConfig {
+            zipf_exponent: 1.2,
+            seed: 3,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let pop = g.population(2000);
+        let smiths = pop
+            .iter()
+            .filter(|r| r.values[1].as_text() == "smith")
+            .count();
+        let rare = pop
+            .iter()
+            .filter(|r| r.values[1].as_text() == "jimenez")
+            .count();
+        assert!(
+            smiths > rare * 3,
+            "rank-1 surname ({smiths}) should dominate rank-100 ({rare})"
+        );
+    }
+
+    #[test]
+    fn dataset_pair_overlap_and_ground_truth() {
+        let mut g = generator(4);
+        let (a, b) = g.dataset_pair(100, 80, 30).unwrap();
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 80);
+        let pairs = a.ground_truth_pairs(&b);
+        assert_eq!(pairs.len(), 30);
+        // Overlap validation.
+        assert!(g.dataset_pair(10, 5, 6).is_err());
+    }
+
+    #[test]
+    fn corrupted_duplicates_differ_but_share_entity() {
+        let mut g = Generator::new(GeneratorConfig {
+            corruption_rate: 1.0,
+            missing_rate: 0.0,
+            seed: 5,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let base = g.entity(9);
+        let dup = g.corrupt_record(&base);
+        assert_eq!(dup.entity_id, 9);
+        assert_ne!(dup.values, base.values);
+    }
+
+    #[test]
+    fn zero_corruption_produces_identical_duplicates() {
+        let mut g = Generator::new(GeneratorConfig {
+            corruption_rate: 0.0,
+            seed: 6,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let base = g.entity(1);
+        assert_eq!(g.corrupt_record(&base).values, base.values);
+    }
+
+    #[test]
+    fn multi_party_shares_common_entities() {
+        let mut g = generator(7);
+        let datasets = g.multi_party(4, 20, 10).unwrap();
+        assert_eq!(datasets.len(), 4);
+        for ds in &datasets {
+            assert_eq!(ds.len(), 30);
+            // all 20 common entities present
+            let common_count = ds
+                .records()
+                .iter()
+                .filter(|r| r.entity_id < 20)
+                .count();
+            assert_eq!(common_count, 20);
+        }
+        assert!(g.multi_party(1, 5, 5).is_err());
+    }
+
+    #[test]
+    fn duplicates_dataset_contains_clusters() {
+        let mut g = generator(8);
+        let ds = g.with_duplicates(50, 0.5).unwrap();
+        assert!(ds.len() > 50, "expected duplicates beyond 50, got {}", ds.len());
+        assert!(ds.len() < 200);
+        assert!(g.with_duplicates(5, 1.5).is_err());
+        // dup_rate 0 → exactly the entities
+        let clean = generator(9).with_duplicates(10, 0.0).unwrap();
+        assert_eq!(clean.len(), 10);
+    }
+}

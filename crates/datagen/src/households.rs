@@ -1,0 +1,224 @@
+//! Household generation: families sharing surname and address.
+//!
+//! Real person registers contain *households* — several distinct people
+//! sharing a surname, street address, city and postcode. They are the
+//! canonical stress test for linkage: a surname+address blocking key puts
+//! whole families in one block, and naive classifiers confuse siblings.
+//! This module extends the generator with household structure so blocking
+//! and classification experiments face realistic hard negatives.
+
+use crate::generator::Generator;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::record::{Dataset, Record};
+use pprl_core::rng::SplitMix64;
+use pprl_core::schema::Schema;
+use pprl_core::value::Value;
+
+/// Configuration of household structure.
+#[derive(Debug, Clone, Copy)]
+pub struct HouseholdConfig {
+    /// Number of households.
+    pub households: usize,
+    /// Minimum members per household (≥ 1).
+    pub min_size: usize,
+    /// Maximum members per household (≥ min_size).
+    pub max_size: usize,
+}
+
+impl HouseholdConfig {
+    fn validate(&self) -> Result<()> {
+        if self.households == 0 {
+            return Err(PprlError::invalid("households", "need at least one household"));
+        }
+        if self.min_size == 0 || self.max_size < self.min_size {
+            return Err(PprlError::invalid(
+                "min_size/max_size",
+                "need 1 <= min_size <= max_size",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a dataset of households: members of one household share the
+/// surname, street, city and postcode but differ in first name, dob, age
+/// and gender. Entity ids remain globally unique; the returned vector maps
+/// each household to its member row indices.
+pub fn generate_households(
+    generator: &mut Generator,
+    config: &HouseholdConfig,
+    seed: u64,
+) -> Result<(Dataset, Vec<Vec<usize>>)> {
+    config.validate()?;
+    let mut rng = SplitMix64::new(seed);
+    let schema = Schema::person();
+    let mut records: Vec<Record> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::with_capacity(config.households);
+    let mut next_entity = 0u64;
+    for _ in 0..config.households {
+        let size = config.min_size
+            + rng.next_below((config.max_size - config.min_size + 1) as u64) as usize;
+        // The head of household fixes the shared fields.
+        let head = generator.entity(next_entity);
+        next_entity += 1;
+        let shared_last = head.values[1].clone();
+        let shared_street = head.values[2].clone();
+        let shared_city = head.values[3].clone();
+        let shared_postcode = head.values[4].clone();
+        let mut rows = vec![records.len()];
+        records.push(head);
+        for _ in 1..size {
+            let mut member = generator.entity(next_entity);
+            next_entity += 1;
+            member.values[1] = shared_last.clone();
+            member.values[2] = shared_street.clone();
+            member.values[3] = shared_city.clone();
+            member.values[4] = shared_postcode.clone();
+            rows.push(records.len());
+            records.push(member);
+        }
+        members.push(rows);
+    }
+    Ok((Dataset::from_records(schema, records)?, members))
+}
+
+/// Convenience check used by tests and experiments: true when two rows of
+/// `dataset` share all household fields (surname, street, city, postcode).
+pub fn same_household_fields(dataset: &Dataset, a: usize, b: usize) -> Result<bool> {
+    for field in ["last_name", "street", "city", "postcode"] {
+        let va = dataset.value(a, field)?;
+        let vb = dataset.value(b, field)?;
+        if let (Value::Missing, _) | (_, Value::Missing) = (va, vb) {
+            return Ok(false);
+        }
+        if va.as_text() != vb.as_text() {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    fn generator(seed: u64) -> Generator {
+        Generator::new(GeneratorConfig {
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .expect("valid")
+    }
+
+    #[test]
+    fn validation() {
+        let mut g = generator(1);
+        let bad = HouseholdConfig {
+            households: 0,
+            min_size: 1,
+            max_size: 3,
+        };
+        assert!(generate_households(&mut g, &bad, 1).is_err());
+        let bad = HouseholdConfig {
+            households: 5,
+            min_size: 3,
+            max_size: 2,
+        };
+        assert!(generate_households(&mut g, &bad, 1).is_err());
+        let bad = HouseholdConfig {
+            households: 5,
+            min_size: 0,
+            max_size: 2,
+        };
+        assert!(generate_households(&mut g, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn members_share_household_fields_not_identity() {
+        let mut g = generator(2);
+        let cfg = HouseholdConfig {
+            households: 20,
+            min_size: 2,
+            max_size: 5,
+        };
+        let (ds, members) = generate_households(&mut g, &cfg, 7).unwrap();
+        assert_eq!(members.len(), 20);
+        for rows in &members {
+            assert!(rows.len() >= 2 && rows.len() <= 5);
+            for w in rows.windows(2) {
+                assert!(same_household_fields(&ds, w[0], w[1]).unwrap());
+                // distinct entities
+                assert_ne!(
+                    ds.records()[w[0]].entity_id,
+                    ds.records()[w[1]].entity_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entity_ids_globally_unique() {
+        let mut g = generator(3);
+        let cfg = HouseholdConfig {
+            households: 30,
+            min_size: 1,
+            max_size: 4,
+        };
+        let (ds, _) = generate_households(&mut g, &cfg, 9).unwrap();
+        let ids: std::collections::HashSet<u64> =
+            ds.records().iter().map(|r| r.entity_id).collect();
+        assert_eq!(ids.len(), ds.len());
+    }
+
+    #[test]
+    fn households_are_hard_negatives_for_linkage() {
+        // Siblings share the blocking fields but must NOT match under the
+        // CLK pipeline at a sane threshold.
+        use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+        let mut g = generator(4);
+        let cfg = HouseholdConfig {
+            households: 10,
+            min_size: 2,
+            max_size: 2,
+        };
+        let (ds, members) = generate_households(&mut g, &cfg, 11).unwrap();
+        let enc = RecordEncoder::new(
+            RecordEncoderConfig::person_clk(b"hh".to_vec()),
+            ds.schema(),
+        )
+        .unwrap();
+        let encoded = enc.encode_dataset(&ds).unwrap();
+        let mut sibling_sims = Vec::new();
+        for rows in &members {
+            let s = encoded.records[rows[0]]
+                .dice(&encoded.records[rows[1]])
+                .unwrap();
+            sibling_sims.push(s);
+        }
+        // Siblings are similar (shared fields) but below the match bar.
+        let max = sibling_sims.iter().cloned().fold(0.0, f64::max);
+        let min = sibling_sims.iter().cloned().fold(1.0, f64::min);
+        assert!(min > 0.3, "siblings share half the record: {min}");
+        assert!(max < 0.9, "siblings must not look identical: {max}");
+    }
+
+    #[test]
+    fn same_household_fields_rejects_missing() {
+        let mut g = generator(5);
+        let cfg = HouseholdConfig {
+            households: 1,
+            min_size: 2,
+            max_size: 2,
+        };
+        let (mut ds, members) = generate_households(&mut g, &cfg, 13).unwrap();
+        let rows = &members[0];
+        assert!(same_household_fields(&ds, rows[0], rows[1]).unwrap());
+        // Knock out a field on one side.
+        let mut records: Vec<Record> = ds.records().to_vec();
+        records[rows[0]].values[1] = Value::Missing;
+        ds = Dataset::from_records(ds.schema().clone(), records).unwrap();
+        assert!(!same_household_fields(&ds, rows[0], rows[1]).unwrap());
+        assert!(same_household_fields(&ds, rows[0], 99).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # pprl-datagen
+//!
+//! GeCo-style synthetic person-data generation and corruption (ref \[37] of
+//! the paper): embedded frequency-ranked dictionaries, Zipf-skewed value
+//! sampling, type-aware corruption models (keyboard typos, OCR confusions,
+//! phonetic rewrites, date swaps, missing values), and dataset constructors
+//! with exact ground truth for two-party, multi-party and deduplication
+//! experiments.
+//!
+//! The paper notes (§5.3) that synthetic data with real-data characteristics
+//! is the standard substitute for unavailable benchmark datasets; this crate
+//! is that substitute for the whole workspace.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod corruptor;
+pub mod generator;
+pub mod households;
+pub mod temporal;
+pub mod lookup;
+
+pub use corruptor::{corrupt_string, corrupt_value, StringCorruption};
+pub use generator::{Generator, GeneratorConfig};
+pub use households::{generate_households, HouseholdConfig};
+pub use temporal::{evolution_stream, evolve_step, EvolutionConfig, TimedRecord};

@@ -1,0 +1,83 @@
+//! Embedded lookup dictionaries for synthetic person data.
+//!
+//! GeCo (Tran, Vatsalan & Christen, ref \[37] of the paper) generates
+//! synthetic data from frequency tables of real attribute values. We embed
+//! compact dictionaries of common Anglophone given names, surnames, street
+//! names and localities; sampling is Zipf-skewed so value frequencies mimic
+//! real name distributions (which is what frequency attacks exploit).
+
+/// Common given names, ordered by (approximate) descending real-world
+/// frequency so Zipf sampling matches rank.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "margaret",
+    "anthony", "betty", "mark", "sandra", "donald", "ashley", "steven", "dorothy", "paul",
+    "kimberly", "andrew", "emily", "joshua", "donna", "kenneth", "michelle", "kevin", "carol",
+    "brian", "amanda", "george", "melissa", "edward", "deborah", "ronald", "stephanie",
+    "timothy", "rebecca", "jason", "laura", "jeffrey", "sharon", "ryan", "cynthia", "jacob",
+    "kathleen", "gary", "amy", "nicholas", "shirley", "eric", "angela", "jonathan", "helen",
+    "stephen", "anna", "larry", "brenda", "justin", "pamela", "scott", "nicole", "brandon",
+    "samantha", "benjamin", "katherine", "samuel", "emma", "gregory", "ruth", "frank", "christine",
+    "alexander", "catherine", "raymond", "debra", "patrick", "rachel", "jack", "carolyn",
+    "dennis", "janet", "jerry", "virginia",
+];
+
+/// Common surnames, frequency-ranked.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson",
+    "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson", "watson",
+    "brooks", "chavez", "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long", "ross", "foster",
+    "jimenez",
+];
+
+/// Street names (without numbers).
+pub const STREETS: &[&str] = &[
+    "main street", "high street", "church road", "park avenue", "station road", "victoria road",
+    "green lane", "manor road", "kings road", "queens road", "new street", "grange road",
+    "north street", "south street", "west street", "east street", "mill lane", "school lane",
+    "the avenue", "windsor road", "albert road", "york road", "springfield road", "george street",
+    "park road", "richmond road", "london road", "alexandra road", "the crescent", "stanley road",
+    "chester road", "chapel street", "market street", "oak avenue", "elm grove", "cedar close",
+    "maple drive", "willow way", "birch road", "poplar avenue",
+];
+
+/// City / locality names.
+pub const CITIES: &[&str] = &[
+    "springfield", "riverside", "franklin", "greenville", "bristol", "clinton", "fairview",
+    "salem", "madison", "georgetown", "arlington", "ashland", "burlington", "manchester",
+    "milton", "auburn", "centerville", "clayton", "dayton", "dover", "hudson", "kingston",
+    "lebanon", "milford", "newport", "oakland", "oxford", "princeton", "richmond", "winchester",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionaries_are_nonempty_and_lowercase() {
+        for dict in [FIRST_NAMES, LAST_NAMES, STREETS, CITIES] {
+            assert!(dict.len() >= 30);
+            for v in dict {
+                assert!(!v.is_empty());
+                assert_eq!(v.to_lowercase(), **v, "`{v}` must be lowercase");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        for dict in [FIRST_NAMES, LAST_NAMES, STREETS, CITIES] {
+            let set: std::collections::HashSet<_> = dict.iter().collect();
+            assert_eq!(set.len(), dict.len());
+        }
+    }
+}

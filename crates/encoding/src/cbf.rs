@@ -1,0 +1,198 @@
+//! Counting Bloom filters.
+//!
+//! The multi-party protocol of Vatsalan, Christen & Rahm (ref \[42]) sums the
+//! parties' Bloom filters position-wise into a *counting* Bloom filter via
+//! secure summation; the count vector reveals how many parties set each bit,
+//! from which the multi-party Dice numerator (`c` = positions counted `p`
+//! times) and denominator (total set bits) follow without any party seeing
+//! another's filter.
+
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+
+/// A vector of per-position counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountingBloomFilter {
+    counts: Vec<u32>,
+}
+
+impl CountingBloomFilter {
+    /// An all-zero counting filter of `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        CountingBloomFilter {
+            counts: vec![0; len],
+        }
+    }
+
+    /// Builds from the position-wise sum of bit filters.
+    pub fn from_filters(filters: &[&BitVec]) -> Result<Self> {
+        let Some(first) = filters.first() else {
+            return Err(PprlError::invalid("filters", "need at least one filter"));
+        };
+        let mut cbf = CountingBloomFilter::zeros(first.len());
+        for f in filters {
+            cbf.add_filter(f)?;
+        }
+        Ok(cbf)
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when there are no positions.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The raw counters.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Adds one bit filter position-wise.
+    pub fn add_filter(&mut self, filter: &BitVec) -> Result<()> {
+        if filter.len() != self.counts.len() {
+            return Err(PprlError::shape(
+                format!("{} positions", self.counts.len()),
+                format!("{} bits", filter.len()),
+            ));
+        }
+        for i in filter.iter_ones() {
+            self.counts[i] += 1;
+        }
+        Ok(())
+    }
+
+    /// Merges another counting filter (counter-wise sum).
+    pub fn merge(&mut self, other: &CountingBloomFilter) -> Result<()> {
+        if other.len() != self.len() {
+            return Err(PprlError::shape(
+                format!("{} positions", self.len()),
+                format!("{} positions", other.len()),
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Number of positions with count ≥ `threshold`.
+    pub fn count_at_least(&self, threshold: u32) -> usize {
+        self.counts.iter().filter(|&&c| c >= threshold).count()
+    }
+
+    /// Sum of all counters (= total set bits across the summed filters).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Thresholds to a plain bit filter: bit i set iff count ≥ `threshold`.
+    pub fn threshold(&self, threshold: u32) -> BitVec {
+        let mut bv = BitVec::zeros(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c >= threshold {
+                bv.set(i);
+            }
+        }
+        bv
+    }
+
+    /// Multi-party Dice from the counting filter of `p` parties:
+    /// `p · |{i : count_i = p}| / Σ count_i` — exactly the paper's formula,
+    /// computed from the aggregate alone.
+    pub fn multi_dice(&self, parties: usize) -> Result<f64> {
+        if parties < 2 {
+            return Err(PprlError::invalid("parties", "need at least two parties"));
+        }
+        let total = self.total();
+        if total == 0 {
+            return Ok(1.0);
+        }
+        let common = self
+            .counts
+            .iter()
+            .filter(|&&c| c as usize == parties)
+            .count();
+        Ok(parties as f64 * common as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_similarity::bitvec_sim::multi_dice as direct_multi_dice;
+
+    fn bv(ones: &[usize]) -> BitVec {
+        BitVec::from_positions(16, ones).unwrap()
+    }
+
+    #[test]
+    fn from_filters_counts_positions() {
+        let a = bv(&[0, 1, 2]);
+        let b = bv(&[1, 2, 3]);
+        let cbf = CountingBloomFilter::from_filters(&[&a, &b]).unwrap();
+        assert_eq!(cbf.counts()[0], 1);
+        assert_eq!(cbf.counts()[1], 2);
+        assert_eq!(cbf.counts()[2], 2);
+        assert_eq!(cbf.counts()[3], 1);
+        assert_eq!(cbf.counts()[4], 0);
+        assert_eq!(cbf.total(), 6);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(CountingBloomFilter::from_filters(&[]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = bv(&[0]);
+        let wrong = BitVec::zeros(8);
+        let mut cbf = CountingBloomFilter::zeros(16);
+        assert!(cbf.add_filter(&a).is_ok());
+        assert!(cbf.add_filter(&wrong).is_err());
+        let other = CountingBloomFilter::zeros(8);
+        assert!(cbf.merge(&other).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CountingBloomFilter::from_filters(&[&bv(&[0, 1])]).unwrap();
+        let b = CountingBloomFilter::from_filters(&[&bv(&[1, 2])]).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts()[..3], [1, 2, 1]);
+    }
+
+    #[test]
+    fn threshold_projects_to_bits() {
+        let cbf = CountingBloomFilter::from_filters(&[&bv(&[0, 1]), &bv(&[1, 2]), &bv(&[1])])
+            .unwrap();
+        assert_eq!(cbf.threshold(3).iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            cbf.threshold(1).iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(cbf.count_at_least(2), 1);
+    }
+
+    #[test]
+    fn multi_dice_matches_direct_computation() {
+        let a = bv(&[0, 1, 2, 3]);
+        let b = bv(&[1, 2, 3, 4]);
+        let c = bv(&[2, 3, 4, 5]);
+        let cbf = CountingBloomFilter::from_filters(&[&a, &b, &c]).unwrap();
+        let via_cbf = cbf.multi_dice(3).unwrap();
+        let direct = direct_multi_dice(&[&a, &b, &c]).unwrap();
+        assert!((via_cbf - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dice_edge_cases() {
+        let cbf = CountingBloomFilter::zeros(16);
+        assert_eq!(cbf.multi_dice(2).unwrap(), 1.0);
+        assert!(cbf.multi_dice(1).is_err());
+    }
+}

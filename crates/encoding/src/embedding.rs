@@ -1,0 +1,229 @@
+//! Metric-space embedding of strings (§3.4 "embedding techniques",
+//! refs \[17, 32]).
+//!
+//! Scannapieco et al. embed strings into a low-dimensional Euclidean space
+//! using a SparseMap/FastMap-style construction: each coordinate is the
+//! distance to a *pivot* pair, scaled so that Euclidean distance in the
+//! embedding approximates edit distance between the originals. Parties share
+//! the pivot strings (harmless public reference values) and exchange only
+//! embedded vectors.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use pprl_similarity::edit::levenshtein;
+
+/// A FastMap-style string embedder with shared pivot pairs.
+#[derive(Debug, Clone)]
+pub struct StringEmbedder {
+    pivots: Vec<(String, String)>,
+}
+
+impl StringEmbedder {
+    /// Builds an embedder with explicit pivot pairs (one per dimension).
+    pub fn with_pivots(pivots: Vec<(String, String)>) -> Result<Self> {
+        if pivots.is_empty() {
+            return Err(PprlError::invalid("pivots", "need at least one pivot pair"));
+        }
+        Ok(StringEmbedder { pivots })
+    }
+
+    /// Selects `dims` pivot pairs from a reference corpus, preferring
+    /// far-apart pairs (the FastMap heuristic: pick a random anchor, take
+    /// the string farthest from it, then the string farthest from that).
+    pub fn from_reference(reference: &[String], dims: usize, seed: u64) -> Result<Self> {
+        if dims == 0 {
+            return Err(PprlError::invalid("dims", "need at least one dimension"));
+        }
+        if reference.len() < 2 {
+            return Err(PprlError::invalid("reference", "need at least two reference strings"));
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut pivots = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let anchor = &reference[rng.next_below(reference.len() as u64) as usize];
+            let a = farthest(reference, anchor);
+            let b = farthest(reference, &reference[a]);
+            let (pa, pb) = if a == b {
+                // Degenerate corpus (all equal); fall back to two random picks.
+                let i = rng.next_below(reference.len() as u64) as usize;
+                let j = rng.next_below(reference.len() as u64) as usize;
+                (reference[i].clone(), reference[j].clone())
+            } else {
+                (reference[a].clone(), reference[b].clone())
+            };
+            pivots.push((pa, pb));
+        }
+        StringEmbedder::with_pivots(pivots)
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Embeds a string: coordinate i is the SparseMap projection
+    /// `x_i = min(d(s, a_i), d(s, b_i))` — the distance to the i-th pivot
+    /// *set*. Because the minimum of 1-Lipschitz functions is 1-Lipschitz,
+    /// every coordinate is contractive:
+    /// `|x_i(s) − x_i(t)| ≤ d_edit(s, t)`, so the Chebyshev (L∞) distance of
+    /// two embeddings lower-bounds their edit distance.
+    pub fn embed(&self, s: &str) -> Vec<f64> {
+        self.pivots
+            .iter()
+            .map(|(a, b)| levenshtein(s, a).min(levenshtein(s, b)) as f64)
+            .collect()
+    }
+
+    /// Chebyshev (L∞) distance between embedded vectors — a provable lower
+    /// bound on the edit distance of the original strings.
+    pub fn chebyshev_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+        if a.len() != b.len() {
+            return Err(PprlError::shape(
+                format!("{} dims", a.len()),
+                format!("{} dims", b.len()),
+            ));
+        }
+        Ok(a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Euclidean distance between two embedded vectors.
+    pub fn distance(a: &[f64], b: &[f64]) -> Result<f64> {
+        if a.len() != b.len() {
+            return Err(PprlError::shape(
+                format!("{} dims", a.len()),
+                format!("{} dims", b.len()),
+            ));
+        }
+        Ok(a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt())
+    }
+
+    /// Similarity in `[0,1]` from embedded distance with a cutoff:
+    /// `max(0, 1 − dist/max_distance)`.
+    pub fn similarity(a: &[f64], b: &[f64], max_distance: f64) -> Result<f64> {
+        if !(max_distance > 0.0) {
+            return Err(PprlError::invalid("max_distance", "must be positive"));
+        }
+        Ok((1.0 - Self::distance(a, b)? / max_distance).max(0.0))
+    }
+}
+
+fn farthest(reference: &[String], from: &str) -> usize {
+    let mut best = 0;
+    let mut best_d = 0;
+    for (i, s) in reference.iter().enumerate() {
+        let d = levenshtein(s, from);
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        [
+            "jonathan", "john", "johanna", "smith", "smyth", "schmidt", "peterson", "petersen",
+            "garcia", "martinez", "anna", "anne",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(StringEmbedder::with_pivots(vec![]).is_err());
+        assert!(StringEmbedder::from_reference(&names(), 0, 1).is_err());
+        assert!(StringEmbedder::from_reference(&["a".to_string()], 4, 1).is_err());
+        let e = StringEmbedder::from_reference(&names(), 8, 1).unwrap();
+        assert_eq!(e.dims(), 8);
+    }
+
+    #[test]
+    fn identical_strings_embed_identically() {
+        let e = StringEmbedder::from_reference(&names(), 8, 2).unwrap();
+        let a = e.embed("smith");
+        let b = e.embed("smith");
+        assert_eq!(a, b);
+        assert_eq!(StringEmbedder::distance(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_dissimilar() {
+        let e = StringEmbedder::from_reference(&names(), 12, 3).unwrap();
+        let smith = e.embed("smith");
+        let smyth = e.embed("smyth");
+        let garcia = e.embed("garcia");
+        let d_close = StringEmbedder::distance(&smith, &smyth).unwrap();
+        let d_far = StringEmbedder::distance(&smith, &garcia).unwrap();
+        assert!(
+            d_close < d_far,
+            "smith-smyth {d_close} should be < smith-garcia {d_far}"
+        );
+    }
+
+    #[test]
+    fn chebyshev_lower_bounds_edit_distance() {
+        // SparseMap coordinates are 1-Lipschitz, so L∞ of the embeddings is
+        // an exact lower bound on edit distance — for every pair.
+        let e = StringEmbedder::from_reference(&names(), 6, 4).unwrap();
+        let words = [
+            "jonathan", "john", "anne", "anna", "smith", "schmidt", "zzzzz", "", "mart",
+        ];
+        for a in words {
+            for b in words {
+                let lb =
+                    StringEmbedder::chebyshev_distance(&e.embed(a), &e.embed(b)).unwrap();
+                let d_edit = levenshtein(a, b) as f64;
+                assert!(lb <= d_edit + 1e-9, "{a}/{b}: L∞ {lb} vs edit {d_edit}");
+            }
+        }
+        // Euclidean inflates by at most sqrt(dims).
+        let d_emb = StringEmbedder::distance(&e.embed("anne"), &e.embed("anna")).unwrap();
+        assert!(d_emb <= (e.dims() as f64).sqrt() * levenshtein("anne", "anna") as f64 + 1e-9);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let e = StringEmbedder::from_reference(&names(), 8, 5).unwrap();
+        let a = e.embed("anna");
+        let b = e.embed("anne");
+        let s = StringEmbedder::similarity(&a, &b, 10.0).unwrap();
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(StringEmbedder::similarity(&a, &a, 10.0).unwrap(), 1.0);
+        assert!(StringEmbedder::similarity(&a, &b, 0.0).is_err());
+        assert!(StringEmbedder::distance(&a, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn degenerate_pivots_fall_back() {
+        let e = StringEmbedder::with_pivots(vec![("x".into(), "x".into())]).unwrap();
+        // coincident pivots: coordinate = d(s, a)
+        assert_eq!(e.embed("xy"), vec![1.0]);
+        assert_eq!(e.embed("x"), vec![0.0]);
+        // distinct pivots take the minimum distance
+        let e2 = StringEmbedder::with_pivots(vec![("ab".into(), "xyz".into())]).unwrap();
+        assert_eq!(e2.embed("ab"), vec![0.0]);
+        assert_eq!(e2.embed("xy"), vec![1.0]); // d(xy,ab)=2, d(xy,xyz)=1 → 1
+    }
+
+    #[test]
+    fn uniform_reference_corpus_handled() {
+        let same = vec!["aaa".to_string(); 5];
+        let e = StringEmbedder::from_reference(&same, 3, 6).unwrap();
+        let v = e.embed("aab");
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # pprl-encoding
+//!
+//! Privacy masking functions for PPRL: Bloom-filter encodings of string and
+//! numeric QIDs (Figure 2 of the paper), record-level CLKs, counting Bloom
+//! filters for multi-party aggregation, hardening mechanisms (salting,
+//! balancing, XOR-folding, BLIP, Rule-90 diffusion, permutation), the
+//! SLK-581 statistical linkage key, FastMap-style metric embeddings, and
+//! MinHash signatures for LSH blocking.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod cbf;
+pub mod embedding;
+pub mod encoder;
+pub mod hardening;
+pub mod minhash;
+pub mod numeric_bf;
+pub mod rbf;
+pub mod slk;
+
+pub use bloom::{BloomEncoder, BloomParams, HashingScheme};
+pub use cbf::CountingBloomFilter;
+pub use embedding::StringEmbedder;
+pub use encoder::{
+    EncodedDataset, EncodedRecord, EncodingMode, FieldEncoding, FieldSpec, RecordEncoder,
+    RecordEncoderConfig,
+};
+pub use hardening::Hardening;
+pub use minhash::MinHasher;
+pub use numeric_bf::NeighbourhoodParams;
+pub use rbf::{RbfConfig, RbfEncoder, RbfField};
+pub use slk::{hashed_slk581, slk581};

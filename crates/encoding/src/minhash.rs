@@ -1,0 +1,151 @@
+//! MinHash signatures over token sets.
+//!
+//! Randomised LSH blocking (§3.4 complexity reduction, refs \[12, 18]) needs
+//! a similarity-preserving signature: the MinHash of a token set is the
+//! minimum of a keyed hash over its elements, and the probability that two
+//! sets share a MinHash equals their Jaccard similarity. Banding the
+//! signature (done in `pprl-blocking`) yields candidate pairs with provable
+//! recall guarantees.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_crypto::sha::{digest_prefix_u64, hmac_sha256};
+
+/// Generates `num_hashes`-long MinHash signatures with a shared secret key,
+/// so only the keyholders can compute comparable signatures.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    /// Per-function multiply-shift parameters derived from the key.
+    params: Vec<(u64, u64)>,
+    key: Vec<u8>,
+}
+
+impl MinHasher {
+    /// Creates a MinHasher with `num_hashes` hash functions.
+    pub fn new(num_hashes: usize, key: &[u8]) -> Result<Self> {
+        if num_hashes == 0 {
+            return Err(PprlError::invalid("num_hashes", "need at least one hash"));
+        }
+        // Derive per-function odd multipliers and offsets from the key via
+        // HMAC so signatures are key-dependent.
+        let params = (0..num_hashes)
+            .map(|i| {
+                let d = hmac_sha256(key, format!("minhash-{i}").as_bytes());
+                let a = digest_prefix_u64(&d) | 1; // odd multiplier
+                let mut tail = [0u8; 8];
+                tail.copy_from_slice(&d[8..16]);
+                (a, u64::from_be_bytes(tail))
+            })
+            .collect();
+        Ok(MinHasher {
+            params,
+            key: key.to_vec(),
+        })
+    }
+
+    /// Signature length.
+    pub fn num_hashes(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Computes the signature of a token set. Empty sets map to the all-MAX
+    /// signature (matches only other empty sets).
+    pub fn signature<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<u64> {
+        // One base hash per token (keyed), then multiply-shift per function.
+        let base: Vec<u64> = tokens
+            .iter()
+            .map(|t| digest_prefix_u64(&hmac_sha256(&self.key, t.as_ref().as_bytes())))
+            .collect();
+        self.params
+            .iter()
+            .map(|&(a, b)| {
+                base.iter()
+                    .map(|&h| h.wrapping_mul(a).wrapping_add(b))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect()
+    }
+
+    /// Unbiased Jaccard estimate from two signatures: the fraction of equal
+    /// components.
+    pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> Result<f64> {
+        if a.len() != b.len() || a.is_empty() {
+            return Err(PprlError::shape(
+                "two signatures of equal nonzero length".to_string(),
+                format!("{} and {}", a.len(), b.len()),
+            ));
+        }
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        Ok(eq as f64 / a.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::qgram::{qgram_set, QGramConfig};
+
+    #[test]
+    fn construction_validated() {
+        assert!(MinHasher::new(0, b"k").is_err());
+        assert!(MinHasher::new(16, b"k").is_ok());
+    }
+
+    #[test]
+    fn signature_deterministic_and_key_dependent() {
+        let m1 = MinHasher::new(32, b"k1").unwrap();
+        let m2 = MinHasher::new(32, b"k2").unwrap();
+        let t = ["ab", "bc", "cd"];
+        assert_eq!(m1.signature(&t), m1.signature(&t));
+        assert_ne!(m1.signature(&t), m2.signature(&t));
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let m = MinHasher::new(64, b"k").unwrap();
+        let a = m.signature(&["x", "y", "z"]);
+        let b = m.signature(&["z", "x", "y"]); // order-independent
+        assert_eq!(a, b);
+        assert_eq!(MinHasher::estimate_jaccard(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let m = MinHasher::new(256, b"k").unwrap();
+        let cfg = QGramConfig::bigrams();
+        let a = qgram_set("jonathan smith", &cfg);
+        let b = qgram_set("johnathan smith", &cfg);
+        let inter = a.iter().filter(|g| b.contains(g)).count();
+        let union = a.len() + b.len() - inter;
+        let true_j = inter as f64 / union as f64;
+        let est = MinHasher::estimate_jaccard(&m.signature(&a), &m.signature(&b)).unwrap();
+        assert!(
+            (est - true_j).abs() < 0.12,
+            "estimate {est} vs true {true_j}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let m = MinHasher::new(128, b"k").unwrap();
+        let a = m.signature(&["aa", "bb", "cc"]);
+        let b = m.signature(&["xx", "yy", "zz"]);
+        let est = MinHasher::estimate_jaccard(&a, &b).unwrap();
+        assert!(est < 0.1, "disjoint estimate {est}");
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let m = MinHasher::new(8, b"k").unwrap();
+        let e1 = m.signature::<&str>(&[]);
+        let e2 = m.signature::<&str>(&[]);
+        assert_eq!(e1, vec![u64::MAX; 8]);
+        assert_eq!(MinHasher::estimate_jaccard(&e1, &e2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn estimate_shape_errors() {
+        assert!(MinHasher::estimate_jaccard(&[1, 2], &[1]).is_err());
+        assert!(MinHasher::estimate_jaccard(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! The Statistical Linkage Key SLK-581 (§3.4, ref \[31]).
+//!
+//! SLK-581 was developed by the Australian Institute of Health and Welfare:
+//! the 2nd and 3rd letters of the first name, the 2nd, 3rd and 5th letters
+//! of the surname, the full date of birth, and a sex code, concatenated into
+//! a 14-character key. Records match when their keys are equal. Randall et
+//! al. (ref \[31]) showed this gives *limited privacy protection and poor
+//! sensitivity* — experiment E7 reproduces both findings, comparing against
+//! Bloom-filter encodings and attacking the (optionally hashed) keys.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::normalize::normalize_compact;
+use pprl_core::value::Date;
+use pprl_crypto::sha::hmac_sha256;
+
+/// Placeholder for a missing letter position, per the AIHW specification.
+const MISSING_CHAR: char = '2';
+
+/// Extracts the letters of SLK positions `positions` (1-based) from a name,
+/// using `2` for positions beyond the name's length.
+fn letters_at(name: &str, positions: &[usize]) -> String {
+    let cleaned = normalize_compact(name);
+    let chars: Vec<char> = cleaned.chars().collect();
+    positions
+        .iter()
+        .map(|&p| {
+            chars
+                .get(p - 1)
+                .copied()
+                .map(|c| c.to_ascii_uppercase())
+                .unwrap_or(MISSING_CHAR)
+        })
+        .collect()
+}
+
+/// Sex code per the specification: 1 = male, 2 = female, 3 = other/unknown.
+fn sex_code(sex: &str) -> char {
+    match sex.trim().to_ascii_lowercase().as_str() {
+        "m" | "male" | "1" => '1',
+        "f" | "female" | "2" => '2',
+        _ => '3',
+    }
+}
+
+/// Builds the 14-character SLK-581 key.
+///
+/// Layout: `SSS` (surname letters 2,3,5) + `FF` (first-name letters 2,3) +
+/// `DDMMYYYY` + sex digit.
+pub fn slk581(first_name: &str, surname: &str, dob: &Date, sex: &str) -> String {
+    let mut key = String::with_capacity(14);
+    key.push_str(&letters_at(surname, &[2, 3, 5]));
+    key.push_str(&letters_at(first_name, &[2, 3]));
+    key.push_str(&format!(
+        "{:02}{:02}{:04}",
+        dob.day(),
+        dob.month(),
+        dob.year()
+    ));
+    key.push(sex_code(sex));
+    key
+}
+
+/// An SLK masked with a keyed hash (HMAC-SHA-256, hex), the privacy-
+/// "protected" form exchanged in SLK-based linkage. Frequency structure is
+/// preserved, which is precisely its weakness.
+pub fn hashed_slk581(
+    first_name: &str,
+    surname: &str,
+    dob: &Date,
+    sex: &str,
+    key: &[u8],
+) -> Result<String> {
+    if key.is_empty() {
+        return Err(PprlError::invalid("key", "HMAC key must be non-empty"));
+    }
+    let slk = slk581(first_name, surname, dob, sex);
+    let mac = hmac_sha256(key, slk.as_bytes());
+    Ok(mac.iter().map(|b| format!("{b:02x}")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dob() -> Date {
+        Date::new(1987, 6, 5).unwrap()
+    }
+
+    #[test]
+    fn key_layout() {
+        // surname "Smith": letters 2,3,5 = M, I, H; first "Anna": letters 2,3 = N, N
+        let k = slk581("Anna", "Smith", &dob(), "f");
+        assert_eq!(k, "MIHNN050619872");
+        assert_eq!(k.len(), 14);
+    }
+
+    #[test]
+    fn short_names_use_placeholder() {
+        // surname "Ng": letter 2 = G, letters 3 and 5 missing → '2'
+        let k = slk581("Jo", "Ng", &dob(), "m");
+        assert!(k.starts_with("G22"));
+        assert!(k.ends_with('1'));
+        // first name "Jo": letter 2 = O, letter 3 missing
+        assert_eq!(&k[3..5], "O2");
+    }
+
+    #[test]
+    fn sex_codes() {
+        assert!(slk581("a", "b", &dob(), "M").ends_with('1'));
+        assert!(slk581("a", "b", &dob(), "female").ends_with('2'));
+        assert!(slk581("a", "b", &dob(), "x").ends_with('3'));
+        assert!(slk581("a", "b", &dob(), "").ends_with('3'));
+    }
+
+    #[test]
+    fn normalisation_applied() {
+        assert_eq!(
+            slk581("Anna", "O'Brien", &dob(), "f"),
+            slk581("ANNA", "obrien", &dob(), "F")
+        );
+    }
+
+    #[test]
+    fn insensitive_to_first_letter_typos_but_not_second() {
+        // SLK drops letter 1 of both names, so a first-letter error is invisible…
+        assert_eq!(
+            slk581("Anna", "Smith", &dob(), "f"),
+            slk581("Anna", "Zmith", &dob(), "f")
+        );
+        // …while a second-letter error breaks the match (poor sensitivity).
+        assert_ne!(
+            slk581("Anna", "Smith", &dob(), "f"),
+            slk581("Anna", "Syith", &dob(), "f")
+        );
+    }
+
+    #[test]
+    fn hashed_slk_matches_iff_slk_matches() {
+        let h1 = hashed_slk581("Anna", "Smith", &dob(), "f", b"k").unwrap();
+        let h2 = hashed_slk581("anna", "smith", &dob(), "F", b"k").unwrap();
+        // "Alba" differs from "Anna" at letters 2 and 3, so the SLK differs.
+        let h3 = hashed_slk581("Alba", "Smith", &dob(), "f", b"k").unwrap();
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(h1.len(), 64);
+        assert!(hashed_slk581("a", "b", &dob(), "f", b"").is_err());
+    }
+
+    #[test]
+    fn different_hmac_keys_differ() {
+        let a = hashed_slk581("Anna", "Smith", &dob(), "f", b"k1").unwrap();
+        let b = hashed_slk581("Anna", "Smith", &dob(), "f", b"k2").unwrap();
+        assert_ne!(a, b);
+    }
+}

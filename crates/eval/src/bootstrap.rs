@@ -1,0 +1,187 @@
+//! Bootstrap confidence intervals for linkage-quality metrics.
+//!
+//! Point estimates of precision/recall/F1 on one synthetic draw can
+//! mislead; the paper's evaluation-model section implies comparisons need
+//! uncertainty. This resamples the *pair decisions* with replacement and
+//! reports percentile intervals — the standard nonparametric bootstrap.
+
+use crate::quality::Confusion;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use std::collections::HashSet;
+
+/// A percentile bootstrap interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Interval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+/// Which metric to bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Precision.
+    Precision,
+    /// Recall.
+    Recall,
+    /// F1 measure.
+    F1,
+}
+
+fn metric_of(c: &Confusion, m: Metric) -> f64 {
+    match m {
+        Metric::Precision => c.precision(),
+        Metric::Recall => c.recall(),
+        Metric::F1 => c.f1(),
+    }
+}
+
+/// Bootstraps a metric over the decision universe.
+///
+/// The unit of resampling is the *record pair decision*: the union of
+/// predicted pairs and true pairs (pairs outside both sets contribute to no
+/// metric). `resamples` bootstrap replicates at confidence `level`
+/// (e.g. 0.95).
+pub fn bootstrap_metric(
+    predicted: &[(usize, usize)],
+    truth: &[(usize, usize)],
+    metric: Metric,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<Interval> {
+    if resamples < 10 {
+        return Err(PprlError::invalid("resamples", "need at least 10 resamples"));
+    }
+    if !(0.5..1.0).contains(&level) {
+        return Err(PprlError::invalid("level", "confidence level must be in [0.5, 1)"));
+    }
+    let pred: HashSet<(usize, usize)> = predicted.iter().copied().collect();
+    let gt: HashSet<(usize, usize)> = truth.iter().copied().collect();
+    // Decision universe with per-pair (predicted, actual) labels, in a
+    // deterministic order (HashSet iteration order varies per instance).
+    let mut all: Vec<(usize, usize)> = pred.union(&gt).copied().collect();
+    all.sort_unstable();
+    let universe: Vec<(bool, bool)> = all
+        .iter()
+        .map(|p| (pred.contains(p), gt.contains(p)))
+        .collect();
+    if universe.is_empty() {
+        return Err(PprlError::invalid("predicted/truth", "no pairs to resample"));
+    }
+    let estimate = metric_of(&Confusion::from_pairs(predicted, truth), metric);
+
+    let mut rng = SplitMix64::new(seed);
+    let n = universe.len();
+    let mut samples = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for _ in 0..n {
+            let (p, a) = universe[rng.next_below(n as u64) as usize];
+            match (p, a) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        samples.push(metric_of(
+            &Confusion {
+                true_positives: tp,
+                false_positives: fp,
+                false_negatives: fn_,
+            },
+            metric,
+        ));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Ok(Interval {
+        estimate,
+        lower: samples[lo_idx],
+        upper: samples[hi_idx],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type PairSets = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+    fn predicted_and_truth(tp: usize, fp: usize, fn_: usize) -> PairSets {
+        let mut predicted = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..tp {
+            predicted.push((i, i));
+            truth.push((i, i));
+        }
+        for i in 0..fp {
+            predicted.push((1000 + i, 1000 + i));
+        }
+        for i in 0..fn_ {
+            truth.push((2000 + i, 2000 + i));
+        }
+        (predicted, truth)
+    }
+
+    #[test]
+    fn interval_contains_estimate() {
+        let (pred, truth) = predicted_and_truth(80, 10, 10);
+        for metric in [Metric::Precision, Metric::Recall, Metric::F1] {
+            let iv = bootstrap_metric(&pred, &truth, metric, 500, 0.95, 1).unwrap();
+            assert!(
+                iv.lower <= iv.estimate && iv.estimate <= iv.upper,
+                "{metric:?}: {iv:?}"
+            );
+            assert!(iv.lower < iv.upper, "interval should have width");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_degenerate_interval() {
+        let (pred, truth) = predicted_and_truth(50, 0, 0);
+        let iv = bootstrap_metric(&pred, &truth, Metric::F1, 200, 0.95, 2).unwrap();
+        assert_eq!(iv.estimate, 1.0);
+        assert_eq!(iv.lower, 1.0);
+        assert_eq!(iv.upper, 1.0);
+    }
+
+    #[test]
+    fn more_data_narrows_interval() {
+        let (p_small, t_small) = predicted_and_truth(40, 5, 5);
+        let (p_big, t_big) = predicted_and_truth(400, 50, 50);
+        let small = bootstrap_metric(&p_small, &t_small, Metric::F1, 800, 0.95, 3).unwrap();
+        let big = bootstrap_metric(&p_big, &t_big, Metric::F1, 800, 0.95, 3).unwrap();
+        assert!(
+            big.upper - big.lower < small.upper - small.lower,
+            "10x data should narrow the interval: {small:?} vs {big:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (pred, truth) = predicted_and_truth(30, 10, 10);
+        let a = bootstrap_metric(&pred, &truth, Metric::Precision, 100, 0.9, 7).unwrap();
+        let b = bootstrap_metric(&pred, &truth, Metric::Precision, 100, 0.9, 7).unwrap();
+        assert_eq!(a.lower, b.lower);
+        assert_eq!(a.upper, b.upper);
+    }
+
+    #[test]
+    fn validation() {
+        let (pred, truth) = predicted_and_truth(5, 1, 1);
+        assert!(bootstrap_metric(&pred, &truth, Metric::F1, 5, 0.95, 1).is_err());
+        assert!(bootstrap_metric(&pred, &truth, Metric::F1, 100, 1.0, 1).is_err());
+        assert!(bootstrap_metric(&pred, &truth, Metric::F1, 100, 0.3, 1).is_err());
+        assert!(bootstrap_metric(&[], &[], Metric::F1, 100, 0.9, 1).is_err());
+    }
+}

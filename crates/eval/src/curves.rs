@@ -1,0 +1,181 @@
+//! Threshold sweeps and precision–recall curves.
+//!
+//! Choosing the decision threshold is the most common tuning task in
+//! linkage; these helpers evaluate every meaningful threshold of a scored
+//! pair list in one O(n log n) pass.
+
+use crate::quality::Confusion;
+use pprl_core::error::{PprlError, Result};
+use std::collections::HashSet;
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Decision threshold (pairs with score ≥ threshold are matches).
+    pub threshold: f64,
+    /// Confusion counts at this threshold.
+    pub confusion: Confusion,
+}
+
+impl SweepPoint {
+    /// F1 at this point.
+    pub fn f1(&self) -> f64 {
+        self.confusion.f1()
+    }
+}
+
+/// Sweeps every distinct score as a threshold (descending), producing the
+/// full precision–recall trajectory.
+///
+/// `truth` must contain every true match pair in the evaluation universe;
+/// true matches missing from `scored` count as false negatives throughout.
+pub fn threshold_sweep(
+    scored: &[(usize, usize, f64)],
+    truth: &[(usize, usize)],
+) -> Result<Vec<SweepPoint>> {
+    if scored.is_empty() {
+        return Err(PprlError::invalid("scored", "need at least one scored pair"));
+    }
+    for &(_, _, s) in scored {
+        if !s.is_finite() {
+            return Err(PprlError::invalid("scored", "non-finite score"));
+        }
+    }
+    let gt: HashSet<(usize, usize)> = truth.iter().copied().collect();
+    let mut order: Vec<&(usize, usize, f64)> = scored.iter().collect();
+    order.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite"));
+
+    let mut points = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0usize;
+    while i < order.len() {
+        let t = order[i].2;
+        // Absorb all pairs tied at this threshold.
+        while i < order.len() && order[i].2 == t {
+            if gt.contains(&(order[i].0, order[i].1)) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(SweepPoint {
+            threshold: t,
+            confusion: Confusion {
+                true_positives: tp,
+                false_positives: fp,
+                // True matches never scored stay missed at every threshold.
+                false_negatives: gt.len() - tp,
+            },
+        });
+    }
+    Ok(points)
+}
+
+/// The sweep point maximising F1.
+pub fn best_f1_threshold(points: &[SweepPoint]) -> Result<SweepPoint> {
+    points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.f1().partial_cmp(&b.f1()).expect("finite"))
+        .ok_or_else(|| PprlError::invalid("points", "empty sweep"))
+}
+
+/// Area under the precision–recall curve via trapezoidal integration over
+/// recall (0 when the sweep never leaves recall 0).
+pub fn pr_auc(points: &[SweepPoint]) -> f64 {
+    let mut curve: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.confusion.recall(), p.confusion.precision()))
+        .collect();
+    curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut area = 0.0;
+    let mut prev = (0.0f64, 1.0f64);
+    for (r, p) in curve {
+        area += (r - prev.0).max(0.0) * (p + prev.1) / 2.0;
+        prev = (r, p);
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored() -> Vec<(usize, usize, f64)> {
+        vec![
+            (0, 0, 0.95), // match
+            (1, 1, 0.90), // match
+            (9, 9, 0.85), // non-match
+            (2, 2, 0.80), // match
+            (8, 8, 0.40), // non-match
+        ]
+    }
+
+    fn truth() -> Vec<(usize, usize)> {
+        vec![(0, 0), (1, 1), (2, 2)]
+    }
+
+    #[test]
+    fn sweep_counts_monotone() {
+        let points = threshold_sweep(&scored(), &truth()).unwrap();
+        assert_eq!(points.len(), 5);
+        // TP non-decreasing as threshold falls.
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].confusion.true_positives >= w[0].confusion.true_positives));
+        // Last point classifies everything as match.
+        let last = points.last().unwrap();
+        assert_eq!(last.confusion.true_positives, 3);
+        assert_eq!(last.confusion.false_positives, 2);
+        assert_eq!(last.confusion.false_negatives, 0);
+    }
+
+    #[test]
+    fn best_threshold_found() {
+        let points = threshold_sweep(&scored(), &truth()).unwrap();
+        let best = best_f1_threshold(&points).unwrap();
+        // Best is threshold 0.80: P = 3/4, R = 1 → F1 ≈ 0.857.
+        assert!((best.threshold - 0.80).abs() < 1e-12);
+        assert!((best.f1() - 6.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscored_matches_are_permanent_false_negatives() {
+        let mut t = truth();
+        t.push((7, 7)); // never scored
+        let points = threshold_sweep(&scored(), &t).unwrap();
+        let last = points.last().unwrap();
+        assert_eq!(last.confusion.false_negatives, 1);
+        assert!(last.confusion.recall() < 1.0);
+    }
+
+    #[test]
+    fn pr_auc_perfect_and_poor() {
+        // Perfect ranking: all matches above all non-matches → area ~1.
+        let perfect = vec![(0, 0, 0.9), (1, 1, 0.8), (5, 5, 0.2)];
+        let points = threshold_sweep(&perfect, &[(0, 0), (1, 1)]).unwrap();
+        assert!(pr_auc(&points) > 0.95);
+        // Inverted ranking scores low.
+        let inverted = vec![(5, 5, 0.9), (6, 6, 0.8), (0, 0, 0.2)];
+        let points = threshold_sweep(&inverted, &[(0, 0)]).unwrap();
+        assert!(pr_auc(&points) < 0.6);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(threshold_sweep(&[], &truth()).is_err());
+        assert!(threshold_sweep(&[(0, 0, f64::NAN)], &truth()).is_err());
+        assert!(best_f1_threshold(&[]).is_err());
+    }
+
+    #[test]
+    fn tied_scores_processed_together() {
+        let tied = vec![(0, 0, 0.5), (1, 1, 0.5), (9, 9, 0.5)];
+        let points = threshold_sweep(&tied, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].confusion.true_positives, 2);
+        assert_eq!(points[0].confusion.false_positives, 1);
+    }
+}

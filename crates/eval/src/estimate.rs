@@ -1,0 +1,211 @@
+//! Ground-truth-free linkage-quality estimation (§5.2 of the paper).
+//!
+//! "Assessing the linkage quality in a PPRL project is very challenging
+//! because it is generally not possible to inspect linked records …
+//! using heuristic measures to approximately evaluate the linkage quality
+//! is another option that requires more research."
+//!
+//! This module implements that option: given per-pair *match
+//! probabilities* from an unsupervised model (e.g. Fellegi–Sunter
+//! posteriors fitted by EM), the expected confusion counts of any decision
+//! threshold follow by linearity of expectation — no labels required:
+//!
+//! * `E[TP] = Σ_{p ≥ t} p`, `E[FP] = Σ_{p ≥ t} (1 − p)`
+//! * `E[FN] = Σ_{p < t} p`
+//!
+//! The estimates are exact when the probabilities are calibrated, and the
+//! experiments show they track true precision/recall closely on synthetic
+//! data with realistic error models.
+
+use pprl_core::error::{PprlError, Result};
+
+/// Expected linkage quality at a decision threshold, from probabilities
+/// alone.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatedQuality {
+    /// Expected true positives.
+    pub expected_tp: f64,
+    /// Expected false positives.
+    pub expected_fp: f64,
+    /// Expected false negatives.
+    pub expected_fn: f64,
+}
+
+impl EstimatedQuality {
+    /// Estimated precision.
+    pub fn precision(&self) -> f64 {
+        let denom = self.expected_tp + self.expected_fp;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.expected_tp / denom
+        }
+    }
+
+    /// Estimated recall.
+    pub fn recall(&self) -> f64 {
+        let denom = self.expected_tp + self.expected_fn;
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.expected_tp / denom
+        }
+    }
+
+    /// Estimated F1.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Estimates quality at `threshold` from per-pair match probabilities.
+///
+/// Probabilities must be in `[0,1]` (e.g. `FellegiSunter::posterior`
+/// outputs).
+pub fn estimate_quality(probabilities: &[f64], threshold: f64) -> Result<EstimatedQuality> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for &p in probabilities {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(PprlError::invalid("probabilities", "must be in [0,1]"));
+        }
+        if p >= threshold {
+            tp += p;
+            fp += 1.0 - p;
+        } else {
+            fn_ += p;
+        }
+    }
+    Ok(EstimatedQuality {
+        expected_tp: tp,
+        expected_fp: fp,
+        expected_fn: fn_,
+    })
+}
+
+/// Picks the threshold maximising *estimated* F1 over the candidate
+/// thresholds — fully unsupervised threshold selection.
+pub fn best_estimated_threshold(
+    probabilities: &[f64],
+    candidates: &[f64],
+) -> Result<(f64, EstimatedQuality)> {
+    if candidates.is_empty() {
+        return Err(PprlError::invalid("candidates", "need at least one threshold"));
+    }
+    let mut best: Option<(f64, EstimatedQuality)> = None;
+    for &t in candidates {
+        let q = estimate_quality(probabilities, t)?;
+        if best
+            .as_ref()
+            .map(|(_, bq)| q.f1() > bq.f1())
+            .unwrap_or(true)
+        {
+            best = Some((t, q));
+        }
+    }
+    Ok(best.expect("candidates non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::Confusion;
+    use pprl_core::rng::SplitMix64;
+
+    #[test]
+    fn calibrated_probabilities_give_exact_expectations() {
+        // All pairs at p=0.9 above threshold: E[TP]=0.9n, E[FP]=0.1n.
+        let probs = vec![0.9; 100];
+        let q = estimate_quality(&probs, 0.5).unwrap();
+        assert!((q.expected_tp - 90.0).abs() < 1e-9);
+        assert!((q.expected_fp - 10.0).abs() < 1e-9);
+        assert!((q.precision() - 0.9).abs() < 1e-9);
+        assert_eq!(q.recall(), 1.0); // nothing below threshold
+    }
+
+    #[test]
+    fn estimates_track_truth_on_simulated_calibrated_data() {
+        // Draw true labels from the stated probabilities; the estimator
+        // should match the realised confusion within sampling noise.
+        let mut rng = SplitMix64::new(1);
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..5000 {
+            let p = match i % 4 {
+                0 => 0.95,
+                1 => 0.7,
+                2 => 0.2,
+                _ => 0.02,
+            };
+            probs.push(p);
+            labels.push(rng.next_bool(p));
+        }
+        let t = 0.5;
+        let est = estimate_quality(&probs, t).unwrap();
+        // realised confusion
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for (&p, &l) in probs.iter().zip(&labels) {
+            match (p >= t, l) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let real = Confusion {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+        };
+        assert!(
+            (est.precision() - real.precision()).abs() < 0.02,
+            "precision est {} vs real {}",
+            est.precision(),
+            real.precision()
+        );
+        assert!(
+            (est.recall() - real.recall()).abs() < 0.02,
+            "recall est {} vs real {}",
+            est.recall(),
+            real.recall()
+        );
+        assert!((est.f1() - real.f1()).abs() < 0.02);
+    }
+
+    #[test]
+    fn unsupervised_threshold_selection_is_sane() {
+        // Bimodal: matches near 0.9, non-matches near 0.1; the best
+        // estimated threshold separates the modes.
+        let mut probs = vec![0.92; 50];
+        probs.extend(vec![0.08; 500]);
+        let candidates: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
+        let (t, q) = best_estimated_threshold(&probs, &candidates).unwrap();
+        assert!(t > 0.08 && t < 0.92, "chosen threshold {t}");
+        // The 500 low-probability pairs still carry 40 expected matches, so
+        // estimated recall (and hence F1) is bounded by that residual mass.
+        assert!(q.f1() > 0.6, "estimated F1 {}", q.f1());
+        assert!(q.precision() > 0.9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(estimate_quality(&[0.5], 1.5).is_err());
+        assert!(estimate_quality(&[1.5], 0.5).is_err());
+        assert!(estimate_quality(&[-0.1], 0.5).is_err());
+        assert!(best_estimated_threshold(&[0.5], &[]).is_err());
+        let empty = estimate_quality(&[], 0.5).unwrap();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fairness metrics and mitigation for linkage (§3.3 "fairness", §5.2).
+//!
+//! The paper flags fairness as unstudied for PPRL: linkage errors that
+//! concentrate in a vulnerable subgroup (by gender, ethnicity, …) propagate
+//! bias into every downstream analysis. This module measures per-group
+//! linkage quality, the standard gap metrics, and implements the simplest
+//! effective mitigation — per-group decision thresholds chosen to equalise
+//! recall (equal opportunity).
+
+use crate::quality::Confusion;
+use pprl_core::error::{PprlError, Result};
+use std::collections::{HashMap, HashSet};
+
+/// A scored pair with its protected-group label and ground truth.
+#[derive(Debug, Clone)]
+pub struct GroupedPair {
+    /// Row in dataset A.
+    pub a: usize,
+    /// Row in dataset B.
+    pub b: usize,
+    /// Similarity score.
+    pub score: f64,
+    /// Protected-group label of the pair (e.g. the record's gender).
+    pub group: String,
+    /// Whether the pair is a true match.
+    pub is_match: bool,
+}
+
+/// Per-group linkage quality.
+#[derive(Debug, Clone)]
+pub struct GroupQuality {
+    /// Group label.
+    pub group: String,
+    /// Confusion counts at the evaluated threshold.
+    pub confusion: Confusion,
+    /// Fraction of the group's pairs predicted as matches.
+    pub predicted_positive_rate: f64,
+}
+
+/// Evaluates per-group quality at a single threshold.
+pub fn per_group_quality(pairs: &[GroupedPair], threshold: f64) -> Result<Vec<GroupQuality>> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    let mut groups: HashMap<&str, Vec<&GroupedPair>> = HashMap::new();
+    for p in pairs {
+        groups.entry(p.group.as_str()).or_default().push(p);
+    }
+    let mut out: Vec<GroupQuality> = groups
+        .into_iter()
+        .map(|(g, ps)| {
+            let mut tp = 0;
+            let mut fp = 0;
+            let mut fn_ = 0;
+            let mut predicted = 0;
+            for p in &ps {
+                let pred = p.score >= threshold;
+                predicted += usize::from(pred);
+                match (pred, p.is_match) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fn_ += 1,
+                    (false, false) => {}
+                }
+            }
+            GroupQuality {
+                group: g.to_string(),
+                confusion: Confusion {
+                    true_positives: tp,
+                    false_positives: fp,
+                    false_negatives: fn_,
+                },
+                predicted_positive_rate: if ps.is_empty() {
+                    0.0
+                } else {
+                    predicted as f64 / ps.len() as f64
+                },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.group.cmp(&b.group));
+    Ok(out)
+}
+
+/// Maximum pairwise recall gap across groups (equal-opportunity
+/// difference); 0 is perfectly fair.
+pub fn recall_gap(qualities: &[GroupQuality]) -> f64 {
+    let recalls: Vec<f64> = qualities.iter().map(|q| q.confusion.recall()).collect();
+    match (
+        recalls.iter().cloned().fold(f64::INFINITY, f64::min),
+        recalls.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    ) {
+        (lo, hi) if lo.is_finite() && hi.is_finite() => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Maximum pairwise gap in predicted-positive rate (demographic-parity
+/// difference).
+pub fn demographic_parity_gap(qualities: &[GroupQuality]) -> f64 {
+    let rates: Vec<f64> = qualities.iter().map(|q| q.predicted_positive_rate).collect();
+    match (
+        rates.iter().cloned().fold(f64::INFINITY, f64::min),
+        rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    ) {
+        (lo, hi) if lo.is_finite() && hi.is_finite() => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Per-group thresholds equalising recall at `target_recall`:
+/// for each group, the highest threshold whose recall still reaches the
+/// target (so precision is maximised subject to the recall constraint).
+pub fn equalised_thresholds(
+    pairs: &[GroupedPair],
+    target_recall: f64,
+) -> Result<HashMap<String, f64>> {
+    if !(0.0 < target_recall && target_recall <= 1.0) {
+        return Err(PprlError::invalid("target_recall", "must be in (0,1]"));
+    }
+    let group_names: HashSet<&str> = pairs.iter().map(|p| p.group.as_str()).collect();
+    let mut out = HashMap::new();
+    for g in group_names {
+        // The candidate thresholds are the scores of the group's true
+        // matches: picking the ⌈(1−r)·n⌉-th highest match score achieves
+        // recall ≥ r exactly.
+        let mut match_scores: Vec<f64> = pairs
+            .iter()
+            .filter(|p| p.group == g && p.is_match)
+            .map(|p| p.score)
+            .collect();
+        if match_scores.is_empty() {
+            out.insert(g.to_string(), 0.5);
+            continue;
+        }
+        match_scores.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        let needed = (target_recall * match_scores.len() as f64).ceil() as usize;
+        let t = match_scores[needed.min(match_scores.len()) - 1];
+        out.insert(g.to_string(), t);
+    }
+    Ok(out)
+}
+
+/// Applies per-group thresholds, returning predicted match pairs.
+pub fn classify_with_group_thresholds(
+    pairs: &[GroupedPair],
+    thresholds: &HashMap<String, f64>,
+) -> Vec<(usize, usize)> {
+    pairs
+        .iter()
+        .filter(|p| {
+            thresholds
+                .get(&p.group)
+                .map(|&t| p.score >= t)
+                .unwrap_or(false)
+        })
+        .map(|p| (p.a, p.b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Group "a" scores high, group "b" scores depressed (as if its names
+    /// were corrupted more heavily) — the classic fairness failure.
+    fn biased_pairs() -> Vec<GroupedPair> {
+        let mut out = Vec::new();
+        for i in 0..20 {
+            out.push(GroupedPair {
+                a: i,
+                b: i,
+                score: 0.9,
+                group: "a".into(),
+                is_match: true,
+            });
+            out.push(GroupedPair {
+                a: i,
+                b: i + 100,
+                score: 0.3,
+                group: "a".into(),
+                is_match: false,
+            });
+            // group b true matches score lower
+            out.push(GroupedPair {
+                a: i + 50,
+                b: i + 50,
+                score: if i < 10 { 0.9 } else { 0.6 },
+                group: "b".into(),
+                is_match: true,
+            });
+            out.push(GroupedPair {
+                a: i + 50,
+                b: i + 150,
+                score: 0.3,
+                group: "b".into(),
+                is_match: false,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn per_group_quality_detects_recall_gap() {
+        let pairs = biased_pairs();
+        let q = per_group_quality(&pairs, 0.8).unwrap();
+        assert_eq!(q.len(), 2);
+        let qa = q.iter().find(|g| g.group == "a").unwrap();
+        let qb = q.iter().find(|g| g.group == "b").unwrap();
+        assert_eq!(qa.confusion.recall(), 1.0);
+        assert!((qb.confusion.recall() - 0.5).abs() < 1e-12);
+        assert!((recall_gap(&q) - 0.5).abs() < 1e-12);
+        assert!(demographic_parity_gap(&q) > 0.2);
+    }
+
+    #[test]
+    fn equalised_thresholds_close_the_gap() {
+        let pairs = biased_pairs();
+        let thresholds = equalised_thresholds(&pairs, 1.0).unwrap();
+        // Group b needs a lower threshold to reach full recall.
+        assert!(thresholds["b"] < thresholds["a"] + 1e-12);
+        assert!((thresholds["b"] - 0.6).abs() < 1e-9);
+        // Re-evaluate with per-group thresholds: recall gap vanishes.
+        let predicted = classify_with_group_thresholds(&pairs, &thresholds);
+        let pred_set: HashSet<_> = predicted.iter().copied().collect();
+        for p in pairs.iter().filter(|p| p.is_match) {
+            assert!(pred_set.contains(&(p.a, p.b)), "match {:?} missed", (p.a, p.b));
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(per_group_quality(&[], 1.5).is_err());
+        assert!(equalised_thresholds(&[], 0.0).is_err());
+        assert!(equalised_thresholds(&[], 1.5).is_err());
+        // No pairs → no groups, zero gaps.
+        let q = per_group_quality(&[], 0.5).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(recall_gap(&q), 0.0);
+        assert_eq!(demographic_parity_gap(&q), 0.0);
+    }
+
+    #[test]
+    fn group_without_matches_gets_default_threshold() {
+        let pairs = vec![GroupedPair {
+            a: 0,
+            b: 0,
+            score: 0.4,
+            group: "x".into(),
+            is_match: false,
+        }];
+        let t = equalised_thresholds(&pairs, 0.9).unwrap();
+        assert_eq!(t["x"], 0.5);
+        // unknown group in classification is never matched
+        let preds = classify_with_group_thresholds(
+            &[GroupedPair {
+                a: 1,
+                b: 1,
+                score: 0.99,
+                group: "y".into(),
+                is_match: true,
+            }],
+            &t,
+        );
+        assert!(preds.is_empty());
+    }
+}

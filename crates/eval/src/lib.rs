@@ -1,0 +1,32 @@
+//! # pprl-eval
+//!
+//! The evaluation model of the paper (§3.3): linkage-quality metrics
+//! (precision / recall / F1 / AUC), complexity-reduction metrics (reduction
+//! ratio, pairs completeness/quality), empirical privacy metrics (entropy,
+//! information gain, disclosure risk), fairness metrics with per-group
+//! threshold mitigation, and parameter tuning by grid search, random search
+//! and Bayesian optimization.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod curves;
+pub mod estimate;
+pub mod fairness;
+pub mod privacy;
+pub mod quality;
+pub mod tuning;
+
+pub use bootstrap::{bootstrap_metric, Interval, Metric};
+pub use curves::{best_f1_threshold, pr_auc, threshold_sweep, SweepPoint};
+pub use estimate::{best_estimated_threshold, estimate_quality, EstimatedQuality};
+pub use fairness::{
+    demographic_parity_gap, equalised_thresholds, per_group_quality, recall_gap, GroupedPair,
+};
+pub use privacy::{disclosure_risk, entropy, information_gain};
+pub use quality::{auc, blocking_quality, BlockingQuality, Confusion};
+pub use tuning::{bayesian_optimization, grid_search, random_search, ParamSpace, TuneOutcome};

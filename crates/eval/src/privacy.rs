@@ -1,0 +1,143 @@
+//! Privacy metrics (§3.3 "privacy guarantees": information gain and
+//! disclosure risk, ref \[41]).
+//!
+//! Empirical privacy of an encoding is measured by how much an adversary's
+//! uncertainty shrinks after seeing it: entropy of the encoded-value
+//! distribution, information gain between encodings and original values,
+//! and disclosure risk — the expected probability of correctly
+//! re-identifying a record from its encoding under a frequency-matching
+//! adversary.
+
+use pprl_core::error::{PprlError, Result};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy (bits) of the empirical distribution of `values`.
+pub fn entropy<T: Eq + Hash>(values: &[T]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&T, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = values.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Conditional entropy H(X | Y) from paired observations.
+pub fn conditional_entropy<X, Y>(pairs: &[(X, Y)]) -> f64
+where
+    X: Eq + Hash + Clone,
+    Y: Eq + Hash + Clone,
+{
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut by_y: HashMap<&Y, Vec<&X>> = HashMap::new();
+    for (x, y) in pairs {
+        by_y.entry(y).or_default().push(x);
+    }
+    let n = pairs.len() as f64;
+    by_y
+        .values()
+        .map(|xs| {
+            let weight = xs.len() as f64 / n;
+            let cloned: Vec<X> = xs.iter().map(|x| (*x).clone()).collect();
+            weight * entropy(&cloned)
+        })
+        .sum()
+}
+
+/// Information gain I(X; Y) = H(X) − H(X | Y): how many bits the encoding
+/// `Y` reveals about the original value `X`. Zero is perfect privacy.
+pub fn information_gain<X, Y>(pairs: &[(X, Y)]) -> f64
+where
+    X: Eq + Hash + Clone,
+    Y: Eq + Hash + Clone,
+{
+    let xs: Vec<X> = pairs.iter().map(|(x, _)| x.clone()).collect();
+    (entropy(&xs) - conditional_entropy(pairs)).max(0.0)
+}
+
+/// Disclosure risk of an encoding under a frequency-matching adversary:
+/// the expected probability of a correct 1-to-1 re-identification.
+///
+/// For each encoded value the adversary guesses uniformly among the
+/// original values sharing that encoding; the risk of a record is
+/// `1 / (number of records sharing its encoding)` when the grouping is
+/// faithful. Risk 1.0 means every record is uniquely re-identifiable from
+/// its encoding; risk → 0 means encodings are maximally ambiguous.
+pub fn disclosure_risk<Y: Eq + Hash>(encodings: &[Y]) -> Result<f64> {
+    if encodings.is_empty() {
+        return Err(PprlError::invalid("encodings", "need at least one encoding"));
+    }
+    let mut counts: HashMap<&Y, usize> = HashMap::new();
+    for e in encodings {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let total: f64 = encodings.len() as f64;
+    // Expected per-record success probability: for a record in a group of
+    // size c the adversary succeeds with probability 1/c.
+    let risk: f64 = counts.values().map(|&c| c as f64 * (1.0 / c as f64)).sum::<f64>() / total;
+    Ok(risk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_values() {
+        assert_eq!(entropy::<u32>(&[]), 0.0);
+        assert_eq!(entropy(&[1, 1, 1]), 0.0);
+        assert!((entropy(&[0, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[0, 1, 2, 3]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_bounds() {
+        // Y fully determines X → H(X|Y) = 0.
+        let pairs: Vec<(u32, u32)> = vec![(1, 10), (2, 20), (1, 10), (2, 20)];
+        assert!(conditional_entropy(&pairs) < 1e-12);
+        // Y independent of X → H(X|Y) = H(X).
+        let indep: Vec<(u32, u32)> = vec![(1, 0), (2, 0), (1, 1), (2, 1)];
+        let xs: Vec<u32> = indep.iter().map(|p| p.0).collect();
+        assert!((conditional_entropy(&indep) - entropy(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn information_gain_extremes() {
+        // Identity encoding leaks everything: gain = H(X).
+        let leaky: Vec<(u32, u32)> = (0..8).map(|i| (i, i)).collect();
+        assert!((information_gain(&leaky) - 3.0).abs() < 1e-12);
+        // Constant encoding leaks nothing.
+        let safe: Vec<(u32, u32)> = (0..8).map(|i| (i, 0)).collect();
+        assert!(information_gain(&safe) < 1e-12);
+    }
+
+    #[test]
+    fn disclosure_risk_extremes() {
+        // All-unique encodings: certain re-identification.
+        assert!((disclosure_risk(&[1, 2, 3, 4]).unwrap() - 1.0).abs() < 1e-12);
+        // All-identical encodings of n records: risk 1/n.
+        assert!((disclosure_risk(&[7, 7, 7, 7]).unwrap() - 0.25).abs() < 1e-12);
+        assert!(disclosure_risk::<u32>(&[]).is_err());
+    }
+
+    #[test]
+    fn disclosure_risk_mixed_groups() {
+        // groups of sizes 2 and 2: each record risk 1/2 → 0.5
+        let r = disclosure_risk(&["a", "a", "b", "b"]).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        // group sizes 3 and 1: (3·(1/3) + 1·1)/4 = 0.5
+        let r = disclosure_risk(&["a", "a", "a", "b"]).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Linkage-quality metrics (§3.3 "correctness": precision, recall, F1,
+//! AUC) and complexity-reduction metrics (reduction ratio, pairs
+//! completeness, pairs quality).
+
+use pprl_core::error::{PprlError, Result};
+use std::collections::HashSet;
+
+/// Confusion counts of a pairwise linkage result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted matches that are true matches.
+    pub true_positives: usize,
+    /// Predicted matches that are not true matches.
+    pub false_positives: usize,
+    /// True matches not predicted.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Compares predicted match pairs against ground-truth pairs.
+    pub fn from_pairs(predicted: &[(usize, usize)], truth: &[(usize, usize)]) -> Confusion {
+        let pred: HashSet<_> = predicted.iter().copied().collect();
+        let gt: HashSet<_> = truth.iter().copied().collect();
+        let tp = pred.intersection(&gt).count();
+        Confusion {
+            true_positives: tp,
+            false_positives: pred.len() - tp,
+            false_negatives: gt.len() - tp,
+        }
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there are no true matches.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 measure, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Area under the ROC curve from scored pairs and the truth set, computed
+/// as the normalised Mann–Whitney U statistic (probability a random true
+/// match outscores a random non-match; ties count ½).
+pub fn auc(scored: &[(usize, usize, f64)], truth: &[(usize, usize)]) -> Result<f64> {
+    let gt: HashSet<_> = truth.iter().copied().collect();
+    let mut pos: Vec<f64> = Vec::new();
+    let mut neg: Vec<f64> = Vec::new();
+    for &(a, b, s) in scored {
+        if !s.is_finite() {
+            return Err(PprlError::invalid("scored", "non-finite score"));
+        }
+        if gt.contains(&(a, b)) {
+            pos.push(s);
+        } else {
+            neg.push(s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return Err(PprlError::invalid(
+            "scored",
+            "need at least one positive and one negative scored pair",
+        ));
+    }
+    // Sort-based O((m+n) log(m+n)) computation.
+    neg.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut u = 0.0f64;
+    for &p in &pos {
+        // count of negatives < p, plus half the ties
+        let below = neg.partition_point(|&x| x < p);
+        let ties = neg[below..].iter().take_while(|&&x| x == p).count();
+        u += below as f64 + ties as f64 / 2.0;
+    }
+    Ok(u / (pos.len() as f64 * neg.len() as f64))
+}
+
+/// Complexity-reduction metrics of a blocking stage (Christen 2012).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingQuality {
+    /// Fraction of the full comparison space pruned: `1 − |C| / (|A|·|B|)`.
+    pub reduction_ratio: f64,
+    /// Fraction of true matches surviving blocking (recall of the blocker).
+    pub pairs_completeness: f64,
+    /// Fraction of candidates that are true matches (precision of the blocker).
+    pub pairs_quality: f64,
+}
+
+/// Computes blocking quality for a candidate list.
+pub fn blocking_quality(
+    candidates: &[(usize, usize)],
+    truth: &[(usize, usize)],
+    len_a: usize,
+    len_b: usize,
+) -> Result<BlockingQuality> {
+    let total = len_a
+        .checked_mul(len_b)
+        .ok_or_else(|| PprlError::invalid("len_a/len_b", "comparison space overflows"))?;
+    if total == 0 {
+        return Err(PprlError::invalid("len_a/len_b", "datasets must be non-empty"));
+    }
+    let cand: HashSet<_> = candidates.iter().copied().collect();
+    let gt: HashSet<_> = truth.iter().copied().collect();
+    let surviving = gt.iter().filter(|p| cand.contains(p)).count();
+    Ok(BlockingQuality {
+        reduction_ratio: 1.0 - cand.len() as f64 / total as f64,
+        pairs_completeness: if gt.is_empty() {
+            1.0
+        } else {
+            surviving as f64 / gt.len() as f64
+        },
+        pairs_quality: if cand.is_empty() {
+            1.0
+        } else {
+            gt.intersection(&cand).count() as f64 / cand.len() as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_from_pairs() {
+        let predicted = [(0, 0), (1, 1), (2, 2)];
+        let truth = [(0, 0), (1, 1), (3, 3)];
+        let c = Confusion::from_pairs(&predicted, &truth);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_empty_edge_cases() {
+        let c = Confusion::from_pairs(&[(0, 0)], &[(0, 0)]);
+        assert_eq!((c.precision(), c.recall(), c.f1()), (1.0, 1.0, 1.0));
+        let none = Confusion::from_pairs(&[], &[]);
+        assert_eq!((none.precision(), none.recall()), (1.0, 1.0));
+        let all_wrong = Confusion::from_pairs(&[(0, 1)], &[(0, 0)]);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scored = [(0, 0, 0.9), (1, 1, 0.95), (0, 1, 0.1), (1, 0, 0.2)];
+        let truth = [(0, 0), (1, 1)];
+        assert!((auc(&scored, &truth).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // identical scores: all ties → 0.5
+        let scored = [(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 0.5)];
+        let truth = [(0, 0), (1, 1)];
+        assert!((auc(&scored, &truth).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_inverted_is_zero() {
+        let scored = [(0, 0, 0.1), (0, 1, 0.9)];
+        let truth = [(0, 0)];
+        assert!(auc(&scored, &truth).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn auc_validation() {
+        assert!(auc(&[(0, 0, 0.5)], &[(0, 0)]).is_err()); // no negatives
+        assert!(auc(&[(0, 0, f64::NAN)], &[(0, 0)]).is_err());
+        assert!(auc(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn blocking_quality_values() {
+        // 10x10 space, 5 candidates, 4 true matches of which 3 survive.
+        let candidates = [(0, 0), (1, 1), (2, 2), (0, 5), (5, 0)];
+        let truth = [(0, 0), (1, 1), (2, 2), (3, 3)];
+        let q = blocking_quality(&candidates, &truth, 10, 10).unwrap();
+        assert!((q.reduction_ratio - 0.95).abs() < 1e-12);
+        assert!((q.pairs_completeness - 0.75).abs() < 1e-12);
+        assert!((q.pairs_quality - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_quality_edges() {
+        assert!(blocking_quality(&[], &[], 0, 5).is_err());
+        let q = blocking_quality(&[], &[], 5, 5).unwrap();
+        assert_eq!(q.pairs_completeness, 1.0);
+        assert_eq!(q.pairs_quality, 1.0);
+        assert_eq!(q.reduction_ratio, 1.0);
+    }
+}

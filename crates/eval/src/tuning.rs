@@ -1,0 +1,413 @@
+//! Parameter tuning: grid search, random search, and Bayesian
+//! optimization (§3.1 "schema optimization", refs \[3, 36]).
+//!
+//! Linkage quality hinges on parameter settings (thresholds, filter
+//! lengths, block keys). Grid and random search evaluate combinations in
+//! isolation; Bayesian optimization fits a Gaussian process to the
+//! evaluations seen so far and picks the next point by expected
+//! improvement, typically reaching a good setting in far fewer (expensive)
+//! pipeline evaluations — the claim experiment E13 measures.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+
+/// A box-bounded continuous search space.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    /// Per-dimension inclusive `(low, high)` bounds.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl ParamSpace {
+    /// Validates bounds.
+    pub fn new(bounds: Vec<(f64, f64)>) -> Result<Self> {
+        if bounds.is_empty() {
+            return Err(PprlError::invalid("bounds", "need at least one dimension"));
+        }
+        for &(lo, hi) in &bounds {
+            if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+                return Err(PprlError::invalid("bounds", "need finite low < high"));
+            }
+        }
+        Ok(ParamSpace { bounds })
+    }
+
+    fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> Vec<f64> {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| lo + rng.next_f64() * (hi - lo))
+            .collect()
+    }
+
+    /// Normalises a point to the unit cube (for GP length scales).
+    fn normalise(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.bounds)
+            .map(|(&v, &(lo, hi))| (v - lo) / (hi - lo))
+            .collect()
+    }
+}
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Best parameter vector found.
+    pub best_params: Vec<f64>,
+    /// Objective value at the best point.
+    pub best_value: f64,
+    /// Every `(params, value)` evaluation in order.
+    pub history: Vec<(Vec<f64>, f64)>,
+}
+
+impl TuneOutcome {
+    fn from_history(history: Vec<(Vec<f64>, f64)>) -> Result<Self> {
+        let best = history
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .ok_or_else(|| PprlError::invalid("history", "no evaluations performed"))?;
+        Ok(TuneOutcome {
+            best_params: best.0.clone(),
+            best_value: best.1,
+            history: history.clone(),
+        })
+    }
+
+    /// The best value seen after each evaluation (for convergence plots).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.history
+            .iter()
+            .map(|(_, v)| {
+                best = best.max(*v);
+                best
+            })
+            .collect()
+    }
+}
+
+/// Exhaustive grid search with `points_per_dim` levels per dimension.
+pub fn grid_search<F>(
+    space: &ParamSpace,
+    points_per_dim: usize,
+    mut objective: F,
+) -> Result<TuneOutcome>
+where
+    F: FnMut(&[f64]) -> Result<f64>,
+{
+    if points_per_dim < 2 {
+        return Err(PprlError::invalid("points_per_dim", "need at least 2 levels"));
+    }
+    let d = space.dims();
+    let total = points_per_dim.pow(d as u32);
+    if total > 1_000_000 {
+        return Err(PprlError::invalid("points_per_dim", "grid too large (> 1e6 points)"));
+    }
+    let mut history = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut rem = idx;
+        let point: Vec<f64> = (0..d)
+            .map(|dim| {
+                let level = rem % points_per_dim;
+                rem /= points_per_dim;
+                let (lo, hi) = space.bounds[dim];
+                lo + (hi - lo) * level as f64 / (points_per_dim - 1) as f64
+            })
+            .collect();
+        let v = objective(&point)?;
+        history.push((point, v));
+    }
+    TuneOutcome::from_history(history)
+}
+
+/// Uniform random search with `evaluations` samples.
+pub fn random_search<F>(
+    space: &ParamSpace,
+    evaluations: usize,
+    seed: u64,
+    mut objective: F,
+) -> Result<TuneOutcome>
+where
+    F: FnMut(&[f64]) -> Result<f64>,
+{
+    if evaluations == 0 {
+        return Err(PprlError::invalid("evaluations", "need at least one evaluation"));
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut history = Vec::with_capacity(evaluations);
+    for _ in 0..evaluations {
+        let point = space.sample(&mut rng);
+        let v = objective(&point)?;
+        history.push((point, v));
+    }
+    TuneOutcome::from_history(history)
+}
+
+// ---- Gaussian-process machinery (small, dense, Cholesky-based) ----
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-d2 / (2.0 * lengthscale * lengthscale)).exp()
+}
+
+/// Cholesky factorisation of a symmetric positive-definite matrix (row-major).
+#[allow(clippy::needless_range_loop)] // lockstep multi-array indexing
+fn cholesky(mat: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+    let n = mat.len();
+    let mut l = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = mat[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(PprlError::ValueError(
+                        "matrix not positive definite".into(),
+                    ));
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` then `Lᵀ x = y`.
+fn cholesky_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = l.len();
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i][k] * y[k];
+        }
+        y[i] = sum / l[i][i];
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k][i] * x[k];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+/// Standard normal PDF / CDF for expected improvement.
+fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+/// Abramowitz–Stegun erf approximation (max error ~1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = x.signum();
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Bayesian optimization: `initial` random points, then GP + expected
+/// improvement for the remaining budget. `evaluations` counts *all*
+/// objective calls, so comparisons against random search are call-for-call
+/// fair.
+pub fn bayesian_optimization<F>(
+    space: &ParamSpace,
+    evaluations: usize,
+    initial: usize,
+    seed: u64,
+    mut objective: F,
+) -> Result<TuneOutcome>
+where
+    F: FnMut(&[f64]) -> Result<f64>,
+{
+    if initial == 0 || initial > evaluations {
+        return Err(PprlError::invalid(
+            "initial",
+            "need 1 <= initial <= evaluations",
+        ));
+    }
+    const LENGTHSCALE: f64 = 0.25;
+    const NOISE: f64 = 1e-6;
+    const CANDIDATES: usize = 256;
+
+    let mut rng = SplitMix64::new(seed);
+    let mut history: Vec<(Vec<f64>, f64)> = Vec::with_capacity(evaluations);
+    for _ in 0..initial {
+        let p = space.sample(&mut rng);
+        let v = objective(&p)?;
+        history.push((p, v));
+    }
+
+    while history.len() < evaluations {
+        // Standardise observed values for GP stability.
+        let values: Vec<f64> = history.iter().map(|(_, v)| *v).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let std = (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / values.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let ys: Vec<f64> = values.iter().map(|v| (v - mean) / std).collect();
+        let xs: Vec<Vec<f64>> = history.iter().map(|(p, _)| space.normalise(p)).collect();
+        let n = xs.len();
+        let mut k = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = rbf(&xs[i], &xs[j], LENGTHSCALE);
+            }
+            k[i][i] += NOISE;
+        }
+        let l = cholesky(&k)?;
+        let alpha = cholesky_solve(&l, &ys);
+        let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        // Maximise EI over random candidates.
+        let mut best_candidate: Option<(Vec<f64>, f64)> = None;
+        for _ in 0..CANDIDATES {
+            let cand = space.sample(&mut rng);
+            let cn = space.normalise(&cand);
+            let kstar: Vec<f64> = xs.iter().map(|x| rbf(x, &cn, LENGTHSCALE)).collect();
+            let mu: f64 = kstar.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+            let v = cholesky_solve(&l, &kstar);
+            let var = (1.0 + NOISE - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
+                .max(1e-12);
+            let sigma = var.sqrt();
+            let z = (mu - best_y) / sigma;
+            let ei = (mu - best_y) * normal_cdf(z) + sigma * normal_pdf(z);
+            if best_candidate.as_ref().map(|(_, e)| ei > *e).unwrap_or(true) {
+                best_candidate = Some((cand, ei));
+            }
+        }
+        let (next, _) = best_candidate.expect("CANDIDATES > 0");
+        let v = objective(&next)?;
+        history.push((next, v));
+    }
+    TuneOutcome::from_history(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smooth 2-D objective with maximum 1.0 at (0.7, 0.3).
+    fn objective(x: &[f64]) -> Result<f64> {
+        let dx = x[0] - 0.7;
+        let dy = x[1] - 0.3;
+        Ok((-8.0 * (dx * dx + dy * dy)).exp())
+    }
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn space_validation() {
+        assert!(ParamSpace::new(vec![]).is_err());
+        assert!(ParamSpace::new(vec![(1.0, 0.0)]).is_err());
+        assert!(ParamSpace::new(vec![(0.0, f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn grid_search_finds_coarse_optimum() {
+        let out = grid_search(&space(), 6, objective).unwrap();
+        assert_eq!(out.history.len(), 36);
+        assert!(out.best_value > 0.8, "best {}", out.best_value);
+        assert!((out.best_params[0] - 0.7).abs() < 0.2);
+        assert!(grid_search(&space(), 1, objective).is_err());
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let small = random_search(&space(), 5, 1, objective).unwrap();
+        let large = random_search(&space(), 200, 1, objective).unwrap();
+        assert!(large.best_value >= small.best_value);
+        assert!(large.best_value > 0.9);
+        assert!(random_search(&space(), 0, 1, objective).is_err());
+    }
+
+    #[test]
+    fn bayesian_beats_random_at_equal_budget() {
+        // Average over seeds to keep the comparison stable.
+        let budget = 25;
+        let mut bo_total = 0.0;
+        let mut rs_total = 0.0;
+        for seed in 0..5 {
+            bo_total += bayesian_optimization(&space(), budget, 6, seed, objective)
+                .unwrap()
+                .best_value;
+            rs_total += random_search(&space(), budget, seed + 100, objective)
+                .unwrap()
+                .best_value;
+        }
+        assert!(
+            bo_total >= rs_total - 0.05,
+            "BO ({bo_total:.3}) should not lose clearly to random ({rs_total:.3})"
+        );
+        assert!(bo_total / 5.0 > 0.9, "BO should find the optimum: {bo_total}");
+    }
+
+    #[test]
+    fn bo_validation() {
+        assert!(bayesian_optimization(&space(), 10, 0, 1, objective).is_err());
+        assert!(bayesian_optimization(&space(), 5, 6, 1, objective).is_err());
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let out = random_search(&space(), 50, 7, objective).unwrap();
+        let curve = out.best_so_far();
+        assert_eq!(curve.len(), 50);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        assert!((curve[49] - out.best_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_errors_propagate() {
+        let failing = |_: &[f64]| -> Result<f64> { Err(PprlError::ValueError("x".into())) };
+        assert!(grid_search(&space(), 2, failing).is_err());
+        assert!(random_search(&space(), 2, 1, failing).is_err());
+        assert!(bayesian_optimization(&space(), 3, 1, 1, failing).is_err());
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        let mat = vec![
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ];
+        let l = cholesky(&mat).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = cholesky_solve(&l, &b);
+        // verify A x = b
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| mat[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9);
+        }
+        // non-PD rejected
+        assert!(cholesky(&[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(3.0) > 0.99);
+    }
+}

@@ -1,0 +1,329 @@
+//! Clustering of matched records across databases (§3.4 "clustering",
+//! refs \[43]).
+//!
+//! Multi-database linkage groups records referring to the same entity into
+//! clusters. Implemented: union-find connected components (the transitive
+//! closure baseline), star clustering (centre-anchored, avoids chaining),
+//! an *incremental* clusterer that absorbs new records/parties one at a
+//! time (Vatsalan et al. 2020), and subset-match queries ("entities present
+//! in at least m of p sources").
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::record::RecordRef;
+use std::collections::{HashMap, HashSet};
+
+/// A similarity edge between records of (usually) different parties.
+pub type Edge = (RecordRef, RecordRef, f64);
+
+/// Union-find over record references.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<RecordRef, RecordRef>,
+}
+
+impl UnionFind {
+    fn find(&mut self, x: RecordRef) -> RecordRef {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            x
+        } else {
+            let root = self.find(p);
+            self.parent.insert(x, root);
+            root
+        }
+    }
+
+    fn union(&mut self, a: RecordRef, b: RecordRef) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Sorts members and clusters canonically for stable output.
+fn canonical(mut clusters: Vec<Vec<RecordRef>>) -> Vec<Vec<RecordRef>> {
+    for c in clusters.iter_mut() {
+        c.sort_unstable();
+    }
+    clusters.sort_by(|a, b| a.first().cmp(&b.first()));
+    clusters
+}
+
+/// Connected components over edges with similarity ≥ `threshold`.
+///
+/// Simple and complete, but transitively chains weak links (a–b and b–c
+/// match ⇒ a,b,c share a cluster even when a–c is dissimilar).
+pub fn connected_components(edges: &[Edge], threshold: f64) -> Result<Vec<Vec<RecordRef>>> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    let mut uf = UnionFind::default();
+    for &(a, b, s) in edges {
+        if s >= threshold {
+            uf.union(a, b);
+        }
+    }
+    let keys: Vec<RecordRef> = uf.parent.keys().copied().collect();
+    let mut groups: HashMap<RecordRef, Vec<RecordRef>> = HashMap::new();
+    for k in keys {
+        let root = uf.find(k);
+        groups.entry(root).or_default().push(k);
+    }
+    Ok(canonical(groups.into_values().collect()))
+}
+
+/// Star clustering: repeatedly pick the unassigned record with the highest
+/// total similarity to its unassigned neighbours as a *centre*; its cluster
+/// is the centre plus all unassigned neighbours at ≥ `threshold`. Prevents
+/// transitive chaining at the cost of possibly splitting borderline groups.
+pub fn star_clustering(edges: &[Edge], threshold: f64) -> Result<Vec<Vec<RecordRef>>> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    let mut adj: HashMap<RecordRef, Vec<(RecordRef, f64)>> = HashMap::new();
+    for &(a, b, s) in edges {
+        if s >= threshold {
+            adj.entry(a).or_default().push((b, s));
+            adj.entry(b).or_default().push((a, s));
+        }
+    }
+    let mut assigned: HashSet<RecordRef> = HashSet::new();
+    // Candidate centres ranked by degree-weight.
+    let mut centres: Vec<(RecordRef, f64)> = adj
+        .iter()
+        .map(|(&r, ns)| (r, ns.iter().map(|(_, s)| s).sum::<f64>()))
+        .collect();
+    centres.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut clusters = Vec::new();
+    for (centre, _) in centres {
+        if assigned.contains(&centre) {
+            continue;
+        }
+        let mut cluster = vec![centre];
+        assigned.insert(centre);
+        if let Some(ns) = adj.get(&centre) {
+            for &(n, _) in ns {
+                if assigned.insert(n) {
+                    cluster.push(n);
+                }
+            }
+        }
+        clusters.push(cluster);
+    }
+    Ok(canonical(clusters))
+}
+
+/// Incremental clusterer: records arrive one at a time (or a party at a
+/// time) with their similarity edges to already-clustered records; each new
+/// record joins the cluster with the highest average similarity above the
+/// threshold, or founds a new cluster.
+#[derive(Debug)]
+pub struct IncrementalClusterer {
+    threshold: f64,
+    clusters: Vec<Vec<RecordRef>>,
+    membership: HashMap<RecordRef, usize>,
+}
+
+impl IncrementalClusterer {
+    /// Creates an empty clusterer.
+    pub fn new(threshold: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+        }
+        Ok(IncrementalClusterer {
+            threshold,
+            clusters: Vec::new(),
+            membership: HashMap::new(),
+        })
+    }
+
+    /// Adds `record` given its similarity edges to existing records.
+    /// Edges to unknown records are ignored. Returns the cluster index the
+    /// record joined.
+    pub fn add(&mut self, record: RecordRef, edges: &[(RecordRef, f64)]) -> Result<usize> {
+        if self.membership.contains_key(&record) {
+            return Err(PprlError::invalid(
+                "record",
+                format!("{record} already clustered"),
+            ));
+        }
+        // Average similarity to each cluster with at least one edge.
+        let mut per_cluster: HashMap<usize, (f64, usize)> = HashMap::new();
+        for &(other, s) in edges {
+            if let Some(&c) = self.membership.get(&other) {
+                let e = per_cluster.entry(c).or_insert((0.0, 0));
+                e.0 += s;
+                e.1 += 1;
+            }
+        }
+        let best = per_cluster
+            .into_iter()
+            .map(|(c, (sum, n))| (c, sum / n as f64))
+            .filter(|&(_, avg)| avg >= self.threshold)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = match best {
+            Some((c, _)) => {
+                self.clusters[c].push(record);
+                c
+            }
+            None => {
+                self.clusters.push(vec![record]);
+                self.clusters.len() - 1
+            }
+        };
+        self.membership.insert(record, idx);
+        Ok(idx)
+    }
+
+    /// The current clusters (canonicalised copies).
+    pub fn clusters(&self) -> Vec<Vec<RecordRef>> {
+        canonical(self.clusters.clone())
+    }
+}
+
+/// Subset matching (§3.4 "matching", ref \[43]): clusters whose records span
+/// at least `min_parties` distinct parties — e.g. "patients seen in at
+/// least three of five hospitals".
+pub fn subset_matches(clusters: &[Vec<RecordRef>], min_parties: usize) -> Vec<Vec<RecordRef>> {
+    clusters
+        .iter()
+        .filter(|c| {
+            let parties: HashSet<_> = c.iter().map(|r| r.party).collect();
+            parties.len() >= min_parties
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(party: u32, row: usize) -> RecordRef {
+        RecordRef::new(party, row)
+    }
+
+    #[test]
+    fn connected_components_basic() {
+        let edges = vec![
+            (r(0, 0), r(1, 0), 0.9),
+            (r(1, 0), r(2, 0), 0.85),
+            (r(0, 1), r(1, 1), 0.95),
+            (r(0, 2), r(1, 2), 0.3), // below threshold
+        ];
+        let clusters = connected_components(&edges, 0.8).unwrap();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![r(0, 0), r(1, 0), r(2, 0)]);
+        assert_eq!(clusters[1], vec![r(0, 1), r(1, 1)]);
+        assert!(connected_components(&edges, 1.5).is_err());
+    }
+
+    #[test]
+    fn star_avoids_chaining() {
+        // Chain a-b-c where a-c are not linked: star splits, CC merges.
+        let edges = vec![(r(0, 0), r(1, 0), 0.8), (r(1, 0), r(2, 0), 0.8)];
+        let cc = connected_components(&edges, 0.7).unwrap();
+        assert_eq!(cc.len(), 1);
+        let star = star_clustering(&edges, 0.7).unwrap();
+        // b is the natural centre: one cluster {a,b,c}; but if a or c led,
+        // we'd get two clusters. b has weight 1.6 > 0.8 so b leads.
+        assert_eq!(star.len(), 1);
+        // Extend the chain: a-b-c-d; b and c tie at 1.6, b wins by order;
+        // cluster {a,b,c}; then d forms its own.
+        let edges4 = vec![
+            (r(0, 0), r(1, 0), 0.8),
+            (r(1, 0), r(2, 0), 0.8),
+            (r(2, 0), r(3, 0), 0.8),
+        ];
+        let star4 = star_clustering(&edges4, 0.7).unwrap();
+        assert_eq!(star4.len(), 2);
+        let cc4 = connected_components(&edges4, 0.7).unwrap();
+        assert_eq!(cc4.len(), 1);
+    }
+
+    #[test]
+    fn star_clusters_are_disjoint_and_complete() {
+        let edges = vec![
+            (r(0, 0), r(1, 0), 0.9),
+            (r(0, 0), r(1, 1), 0.85),
+            (r(0, 1), r(1, 1), 0.8),
+            (r(0, 2), r(1, 2), 0.99),
+        ];
+        let clusters = star_clustering(&edges, 0.7).unwrap();
+        let mut seen = HashSet::new();
+        for c in &clusters {
+            for m in c {
+                assert!(seen.insert(*m), "{m} appears in two clusters");
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn incremental_joins_best_cluster() {
+        let mut inc = IncrementalClusterer::new(0.7).unwrap();
+        let c0 = inc.add(r(0, 0), &[]).unwrap();
+        let c1 = inc.add(r(0, 1), &[]).unwrap();
+        assert_ne!(c0, c1);
+        // New record similar to cluster 0.
+        let c = inc.add(r(1, 0), &[(r(0, 0), 0.9), (r(0, 1), 0.2)]).unwrap();
+        assert_eq!(c, c0);
+        // Below threshold everywhere → new cluster.
+        let c = inc.add(r(1, 1), &[(r(0, 0), 0.5)]).unwrap();
+        assert!(c != c0 && c != c1);
+        // Duplicate insert rejected.
+        assert!(inc.add(r(0, 0), &[]).is_err());
+        assert_eq!(inc.clusters().len(), 3);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_clean_data() {
+        // Three entities, three parties, strong in-entity similarities.
+        let mut edges: Vec<Edge> = Vec::new();
+        for e in 0..3usize {
+            for p1 in 0..3u32 {
+                for p2 in (p1 + 1)..3 {
+                    edges.push((r(p1, e), r(p2, e), 0.95));
+                }
+            }
+        }
+        let batch = connected_components(&edges, 0.8).unwrap();
+        let mut inc = IncrementalClusterer::new(0.8).unwrap();
+        for p in 0..3u32 {
+            for e in 0..3usize {
+                let known: Vec<(RecordRef, f64)> = edges
+                    .iter()
+                    .filter(|&&(a, b, _)| {
+                        (a == r(p, e) || b == r(p, e)) && (a.party.0 < p || b.party.0 < p)
+                    })
+                    .map(|&(a, b, s)| (if a == r(p, e) { b } else { a }, s))
+                    .collect();
+                inc.add(r(p, e), &known).unwrap();
+            }
+        }
+        assert_eq!(inc.clusters(), batch);
+    }
+
+    #[test]
+    fn subset_matching_counts_distinct_parties() {
+        let clusters = vec![
+            vec![r(0, 0), r(1, 0), r(2, 0)],
+            vec![r(0, 1), r(1, 1)],
+            vec![r(0, 2), r(0, 3)], // two records, same party
+        ];
+        assert_eq!(subset_matches(&clusters, 3).len(), 1);
+        assert_eq!(subset_matches(&clusters, 2).len(), 2);
+        assert_eq!(subset_matches(&clusters, 1).len(), 3);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        assert!(connected_components(&[], 0.5).unwrap().is_empty());
+        assert!(star_clustering(&[], 0.5).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Collective (graph-based) match refinement (§5.2, refs \[4, 15]).
+//!
+//! The paper lists collective and graph-based classification as the route
+//! to better linkage quality on noisy data: instead of deciding each pair
+//! in isolation, exploit the *structure* of the match graph. This module
+//! implements two structural refinements over a scored bipartite candidate
+//! graph:
+//!
+//! * **Exclusivity reweighting** — if row `a` has several strong candidate
+//!   partners, each is less believable than the same score would be for an
+//!   exclusive pair (one-to-one world assumption, applied softly). Each
+//!   iteration rescales a pair's score by its share of its endpoints'
+//!   total score mass, then renormalises against the original score.
+//! * **Conflict resolution** — after convergence, an optional hard
+//!   one-to-one pass keeps each row's best surviving pair.
+
+use pprl_core::error::{PprlError, Result};
+use std::collections::HashMap;
+
+/// Configuration of the collective refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectiveConfig {
+    /// Refinement iterations (2–5 suffice; fixed point comes quickly).
+    pub iterations: usize,
+    /// Mixing factor λ in `score' = (1−λ)·score + λ·score·exclusivity`.
+    pub damping: f64,
+    /// Final decision threshold on refined scores.
+    pub threshold: f64,
+}
+
+impl Default for CollectiveConfig {
+    fn default() -> Self {
+        CollectiveConfig {
+            iterations: 3,
+            damping: 0.7,
+            threshold: 0.6,
+        }
+    }
+}
+
+/// Refines scored pairs using graph structure; returns pairs with refined
+/// scores ≥ the threshold, sorted.
+pub fn collective_refine(
+    pairs: &[(usize, usize, f64)],
+    config: &CollectiveConfig,
+) -> Result<Vec<(usize, usize, f64)>> {
+    if config.iterations == 0 {
+        return Err(PprlError::invalid("iterations", "need at least one iteration"));
+    }
+    if !(0.0..=1.0).contains(&config.damping) {
+        return Err(PprlError::invalid("damping", "must be in [0,1]"));
+    }
+    if !(0.0..=1.0).contains(&config.threshold) {
+        return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+    }
+    for &(_, _, s) in pairs {
+        if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+            return Err(PprlError::invalid("pairs", "scores must be in [0,1]"));
+        }
+    }
+    let mut scores: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    for _ in 0..config.iterations {
+        // Total score mass per endpoint.
+        let mut mass_a: HashMap<usize, f64> = HashMap::new();
+        let mut mass_b: HashMap<usize, f64> = HashMap::new();
+        for (&(a, b, _), &s) in pairs.iter().zip(&scores) {
+            *mass_a.entry(a).or_insert(0.0) += s;
+            *mass_b.entry(b).or_insert(0.0) += s;
+        }
+        let next: Vec<f64> = pairs
+            .iter()
+            .zip(&scores)
+            .map(|(&(a, b, _), &s)| {
+                if s == 0.0 {
+                    return 0.0;
+                }
+                // Share of each endpoint's mass this pair holds (1.0 when
+                // exclusive); take the weaker endpoint's view.
+                let share_a = s / mass_a[&a];
+                let share_b = s / mass_b[&b];
+                let exclusivity = share_a.min(share_b);
+                (1.0 - config.damping) * s + config.damping * s * exclusivity
+            })
+            .collect();
+        scores = next;
+    }
+    let mut out: Vec<(usize, usize, f64)> = pairs
+        .iter()
+        .zip(&scores)
+        .filter(|(_, &s)| s >= config.threshold)
+        .map(|(&(a, b, _), &s)| (a, b, s))
+        .collect();
+    out.sort_by_key(|x| (x.0, x.1));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_pairs_keep_their_score() {
+        let pairs = vec![(0, 0, 0.9), (1, 1, 0.8)];
+        let out = collective_refine(&pairs, &CollectiveConfig::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        // Exclusive pairs have exclusivity 1 → unchanged score.
+        assert!((out[0].2 - 0.9).abs() < 1e-9);
+        assert!((out[1].2 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contested_pairs_are_suppressed() {
+        // Row 0 of A claims two partners with equal scores; a genuinely
+        // exclusive pair with the same raw score must end up stronger.
+        let pairs = vec![(0, 0, 0.8), (0, 1, 0.8), (2, 2, 0.8)];
+        let cfg = CollectiveConfig {
+            threshold: 0.0,
+            ..CollectiveConfig::default()
+        };
+        let out = collective_refine(&pairs, &cfg).unwrap();
+        let contested = out.iter().find(|p| p.0 == 0 && p.1 == 0).unwrap().2;
+        let exclusive = out.iter().find(|p| p.0 == 2).unwrap().2;
+        assert!(
+            exclusive > contested + 0.1,
+            "exclusive {exclusive} vs contested {contested}"
+        );
+    }
+
+    #[test]
+    fn threshold_prunes_refined_scores() {
+        let pairs = vec![(0, 0, 0.8), (0, 1, 0.8), (0, 2, 0.8), (5, 5, 0.8)];
+        let cfg = CollectiveConfig {
+            threshold: 0.6,
+            ..CollectiveConfig::default()
+        };
+        let out = collective_refine(&pairs, &cfg).unwrap();
+        // Three-way contested pairs fall below 0.6; the exclusive survives.
+        assert_eq!(out, vec![(5, 5, 0.8)]);
+    }
+
+    #[test]
+    fn resolves_the_right_partner_when_scores_differ() {
+        // a0 is claimed by b0 (strong) and b1 (weak): refinement should
+        // separate them more than raw scores do.
+        let pairs = vec![(0, 0, 0.9), (0, 1, 0.5)];
+        let cfg = CollectiveConfig {
+            threshold: 0.0,
+            ..CollectiveConfig::default()
+        };
+        let out = collective_refine(&pairs, &cfg).unwrap();
+        let strong = out.iter().find(|p| p.1 == 0).unwrap().2;
+        let weak = out.iter().find(|p| p.1 == 1).unwrap().2;
+        assert!(strong / weak > 0.9 / 0.5, "separation should grow: {strong} vs {weak}");
+    }
+
+    #[test]
+    fn validation() {
+        let pairs = vec![(0, 0, 0.5)];
+        let bad_iter = CollectiveConfig {
+            iterations: 0,
+            ..CollectiveConfig::default()
+        };
+        assert!(collective_refine(&pairs, &bad_iter).is_err());
+        let bad_damp = CollectiveConfig {
+            damping: 1.5,
+            ..CollectiveConfig::default()
+        };
+        assert!(collective_refine(&pairs, &bad_damp).is_err());
+        assert!(collective_refine(&[(0, 0, f64::NAN)], &CollectiveConfig::default()).is_err());
+        assert!(collective_refine(&[(0, 0, 1.5)], &CollectiveConfig::default()).is_err());
+        assert!(collective_refine(&[], &CollectiveConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn zero_scores_stay_zero() {
+        let pairs = vec![(0, 0, 0.0), (1, 1, 0.9)];
+        let cfg = CollectiveConfig {
+            threshold: 0.0,
+            ..CollectiveConfig::default()
+        };
+        let out = collective_refine(&pairs, &cfg).unwrap();
+        assert_eq!(out.iter().find(|p| p.0 == 0).unwrap().2, 0.0);
+    }
+}

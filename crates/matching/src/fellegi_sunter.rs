@@ -1,0 +1,267 @@
+//! Fellegi–Sunter probabilistic record linkage with EM parameter
+//! estimation.
+//!
+//! The classical probabilistic model behind most operational linkage
+//! systems: each compared field contributes an agreement/disagreement
+//! weight `log(m_i/u_i)` / `log((1−m_i)/(1−u_i))`, where `m_i` is the
+//! agreement probability among true matches and `u_i` among true
+//! non-matches. The parameters are estimated *without labels* by
+//! expectation–maximisation over the observed agreement patterns, which is
+//! what makes the model usable in PPRL where ground truth is unavailable.
+
+use pprl_core::error::{PprlError, Result};
+
+/// Fitted Fellegi–Sunter model.
+///
+/// ```
+/// use pprl_matching::fellegi_sunter::FellegiSunter;
+///
+/// // Agreement patterns of candidate pairs (no labels needed).
+/// let mut patterns = vec![vec![true, true, true]; 20]; // look like matches
+/// patterns.extend(vec![vec![false, false, true]; 80]); // look like non-matches
+/// let model = FellegiSunter::fit_em(&patterns, 30, 0.2).unwrap();
+/// assert!(model.posterior(&[true, true, true]).unwrap()
+///     > model.posterior(&[false, false, true]).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FellegiSunter {
+    /// Per-field agreement probability among matches.
+    pub m: Vec<f64>,
+    /// Per-field agreement probability among non-matches.
+    pub u: Vec<f64>,
+    /// Prior match probability.
+    pub p_match: f64,
+}
+
+/// Clamps probabilities away from 0/1 for numerical stability.
+fn clamp_prob(x: f64) -> f64 {
+    x.clamp(1e-6, 1.0 - 1e-6)
+}
+
+impl FellegiSunter {
+    /// Converts similarity vectors to binary agreement patterns with a
+    /// per-field agreement threshold.
+    pub fn binarise(vectors: &[Vec<f64>], agree_threshold: f64) -> Vec<Vec<bool>> {
+        vectors
+            .iter()
+            .map(|v| v.iter().map(|&s| s >= agree_threshold).collect())
+            .collect()
+    }
+
+    /// Fits the model by EM on unlabeled agreement patterns.
+    ///
+    /// * `patterns` — one binary agreement vector per candidate pair.
+    /// * `iterations` — EM iterations (50 is plenty; convergence is fast).
+    /// * `initial_p` — starting prior match probability in (0, 1).
+    pub fn fit_em(patterns: &[Vec<bool>], iterations: usize, initial_p: f64) -> Result<Self> {
+        let Some(first) = patterns.first() else {
+            return Err(PprlError::invalid("patterns", "need at least one pattern"));
+        };
+        let arity = first.len();
+        if arity == 0 {
+            return Err(PprlError::invalid("patterns", "patterns must be non-empty"));
+        }
+        if patterns.iter().any(|p| p.len() != arity) {
+            return Err(PprlError::shape(
+                format!("patterns of length {arity}"),
+                "ragged pattern list".to_string(),
+            ));
+        }
+        if !(0.0 < initial_p && initial_p < 1.0) {
+            return Err(PprlError::invalid("initial_p", "must be in (0,1)"));
+        }
+        // Initialise: matches agree more often than non-matches.
+        let mut m = vec![0.9f64; arity];
+        let mut u = vec![0.1f64; arity];
+        let mut p = initial_p;
+        let n = patterns.len() as f64;
+
+        for _ in 0..iterations {
+            // E step: responsibility of the match class per pattern.
+            let mut g = Vec::with_capacity(patterns.len());
+            for pat in patterns {
+                let mut log_m = p.ln();
+                let mut log_u = (1.0 - p).ln();
+                for (i, &agree) in pat.iter().enumerate() {
+                    if agree {
+                        log_m += m[i].ln();
+                        log_u += u[i].ln();
+                    } else {
+                        log_m += (1.0 - m[i]).ln();
+                        log_u += (1.0 - u[i]).ln();
+                    }
+                }
+                // responsibility = exp(log_m) / (exp(log_m) + exp(log_u))
+                let max = log_m.max(log_u);
+                let em = (log_m - max).exp();
+                let eu = (log_u - max).exp();
+                g.push(em / (em + eu));
+            }
+            // M step.
+            let total_g: f64 = g.iter().sum();
+            p = clamp_prob(total_g / n);
+            for i in 0..arity {
+                let mut m_num = 0.0;
+                let mut u_num = 0.0;
+                for (pat, &gi) in patterns.iter().zip(&g) {
+                    if pat[i] {
+                        m_num += gi;
+                        u_num += 1.0 - gi;
+                    }
+                }
+                m[i] = clamp_prob(m_num / total_g.max(1e-12));
+                u[i] = clamp_prob(u_num / (n - total_g).max(1e-12));
+            }
+        }
+        Ok(FellegiSunter {
+            m,
+            u,
+            p_match: p,
+        })
+    }
+
+    /// The log₂ match weight of an agreement pattern:
+    /// `Σ agree·log₂(m/u) + disagree·log₂((1−m)/(1−u))`.
+    pub fn weight(&self, pattern: &[bool]) -> Result<f64> {
+        if pattern.len() != self.m.len() {
+            return Err(PprlError::shape(
+                format!("pattern of length {}", self.m.len()),
+                format!("length {}", pattern.len()),
+            ));
+        }
+        let mut w = 0.0;
+        for (i, &agree) in pattern.iter().enumerate() {
+            w += if agree {
+                (self.m[i] / self.u[i]).log2()
+            } else {
+                ((1.0 - self.m[i]) / (1.0 - self.u[i])).log2()
+            };
+        }
+        Ok(w)
+    }
+
+    /// Posterior match probability of a pattern under the fitted model.
+    pub fn posterior(&self, pattern: &[bool]) -> Result<f64> {
+        if pattern.len() != self.m.len() {
+            return Err(PprlError::shape(
+                format!("pattern of length {}", self.m.len()),
+                format!("length {}", pattern.len()),
+            ));
+        }
+        let mut log_m = self.p_match.ln();
+        let mut log_u = (1.0 - self.p_match).ln();
+        for (i, &agree) in pattern.iter().enumerate() {
+            if agree {
+                log_m += self.m[i].ln();
+                log_u += self.u[i].ln();
+            } else {
+                log_m += (1.0 - self.m[i]).ln();
+                log_u += (1.0 - self.u[i]).ln();
+            }
+        }
+        let max = log_m.max(log_u);
+        let em = (log_m - max).exp();
+        let eu = (log_u - max).exp();
+        Ok(em / (em + eu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::rng::SplitMix64;
+
+    /// Generates a synthetic mixture: matches agree with prob m*, non-
+    /// matches with prob u*, per field.
+    fn synth(
+        n: usize,
+        p_match: f64,
+        m_true: &[f64],
+        u_true: &[f64],
+        seed: u64,
+    ) -> (Vec<Vec<bool>>, Vec<bool>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut patterns = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_match = rng.next_bool(p_match);
+            let pat: Vec<bool> = m_true
+                .iter()
+                .zip(u_true)
+                .map(|(&m, &u)| rng.next_bool(if is_match { m } else { u }))
+                .collect();
+            patterns.push(pat);
+            labels.push(is_match);
+        }
+        (patterns, labels)
+    }
+
+    #[test]
+    fn em_recovers_parameters() {
+        let m_true = [0.95, 0.9, 0.85];
+        let u_true = [0.05, 0.1, 0.2];
+        let (patterns, _) = synth(5000, 0.3, &m_true, &u_true, 1);
+        let model = FellegiSunter::fit_em(&patterns, 60, 0.5).unwrap();
+        assert!((model.p_match - 0.3).abs() < 0.05, "p {}", model.p_match);
+        for i in 0..3 {
+            assert!((model.m[i] - m_true[i]).abs() < 0.07, "m[{i}] {}", model.m[i]);
+            assert!((model.u[i] - u_true[i]).abs() < 0.07, "u[{i}] {}", model.u[i]);
+        }
+    }
+
+    #[test]
+    fn posterior_separates_classes() {
+        let m_true = [0.95, 0.9, 0.9, 0.85];
+        let u_true = [0.05, 0.05, 0.1, 0.15];
+        let (patterns, labels) = synth(4000, 0.25, &m_true, &u_true, 2);
+        let model = FellegiSunter::fit_em(&patterns, 60, 0.5).unwrap();
+        // Classify at posterior 0.5 and measure accuracy against the truth.
+        let correct = patterns
+            .iter()
+            .zip(&labels)
+            .filter(|(p, &l)| (model.posterior(p).unwrap() >= 0.5) == l)
+            .count();
+        let acc = correct as f64 / patterns.len() as f64;
+        assert!(acc > 0.9, "EM classifier accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_positive_for_agreement_when_m_exceeds_u() {
+        let model = FellegiSunter {
+            m: vec![0.9, 0.9],
+            u: vec![0.1, 0.1],
+            p_match: 0.5,
+        };
+        let all_agree = model.weight(&[true, true]).unwrap();
+        let all_disagree = model.weight(&[false, false]).unwrap();
+        assert!(all_agree > 0.0);
+        assert!(all_disagree < 0.0);
+        assert!(model.weight(&[true]).is_err());
+        assert!(model.posterior(&[true]).is_err());
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(FellegiSunter::fit_em(&[], 10, 0.5).is_err());
+        assert!(FellegiSunter::fit_em(&[vec![]], 10, 0.5).is_err());
+        assert!(FellegiSunter::fit_em(&[vec![true], vec![true, false]], 10, 0.5).is_err());
+        assert!(FellegiSunter::fit_em(&[vec![true]], 10, 0.0).is_err());
+        assert!(FellegiSunter::fit_em(&[vec![true]], 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn binarise_thresholds_vectors() {
+        let pats = FellegiSunter::binarise(&[vec![0.9, 0.3], vec![0.8, 0.81]], 0.8);
+        assert_eq!(pats, vec![vec![true, false], vec![true, true]]);
+    }
+
+    #[test]
+    fn degenerate_all_identical_patterns() {
+        // All pairs agree everywhere: EM should not blow up.
+        let patterns = vec![vec![true, true]; 100];
+        let model = FellegiSunter::fit_em(&patterns, 30, 0.5).unwrap();
+        assert!(model.m.iter().all(|x| x.is_finite()));
+        assert!(model.u.iter().all(|x| x.is_finite()));
+        assert!(model.posterior(&[true, true]).unwrap().is_finite());
+    }
+}

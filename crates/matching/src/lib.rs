@@ -1,0 +1,30 @@
+//! # pprl-matching
+//!
+//! Classification and clustering for record linkage (§3.4 of the paper):
+//! threshold / band / rule classifiers, the Fellegi–Sunter probabilistic
+//! model with unsupervised EM fitting, a supervised logistic-regression
+//! classifier over similarity vectors, one-to-one assignment (greedy and
+//! Hungarian), connected-components and star clustering, incremental
+//! multi-party clustering, and subset matching across sources.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod collective;
+pub mod clustering;
+pub mod fellegi_sunter;
+pub mod ml;
+pub mod threshold;
+
+pub use assignment::{greedy_one_to_one, hungarian_one_to_one};
+pub use collective::{collective_refine, CollectiveConfig};
+pub use clustering::{
+    connected_components, star_clustering, subset_matches, IncrementalClusterer,
+};
+pub use fellegi_sunter::FellegiSunter;
+pub use ml::{LogisticRegression, TrainConfig};
+pub use threshold::{BandClassifier, Decision, RuleClassifier, ThresholdClassifier};

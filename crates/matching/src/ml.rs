@@ -1,0 +1,193 @@
+//! Supervised classification of similarity vectors (§3.4: "machine
+//! learning" classifiers need labelled training data).
+//!
+//! A small, dependency-free logistic-regression classifier trained by
+//! batch gradient descent with L2 regularisation. Its inputs are the
+//! per-field similarity vectors produced by a `RecordComparator` (or the
+//! per-field Dice scores of field-level Bloom filters), so it works on
+//! masked data exactly as it does on plaintext — given labels.
+
+use pprl_core::error::{PprlError, Result};
+
+/// Logistic regression over fixed-length similarity vectors.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch iterations.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.5,
+            epochs: 300,
+            l2: 1e-4,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Trains on `(vector, is_match)` examples.
+    pub fn train(
+        vectors: &[Vec<f64>],
+        labels: &[bool],
+        config: &TrainConfig,
+    ) -> Result<LogisticRegression> {
+        if vectors.is_empty() || vectors.len() != labels.len() {
+            return Err(PprlError::shape(
+                "equal, nonzero numbers of vectors and labels".to_string(),
+                format!("{} vectors, {} labels", vectors.len(), labels.len()),
+            ));
+        }
+        let arity = vectors[0].len();
+        if arity == 0 || vectors.iter().any(|v| v.len() != arity) {
+            return Err(PprlError::invalid("vectors", "ragged or empty feature vectors"));
+        }
+        if !(config.learning_rate > 0.0) || config.epochs == 0 || !(config.l2 >= 0.0) {
+            return Err(PprlError::invalid("config", "bad training hyper-parameters"));
+        }
+        let n = vectors.len() as f64;
+        let mut w = vec![0.0f64; arity];
+        let mut b = 0.0f64;
+        for _ in 0..config.epochs {
+            let mut grad_w = vec![0.0f64; arity];
+            let mut grad_b = 0.0f64;
+            for (x, &y) in vectors.iter().zip(labels) {
+                let z = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = sigmoid(z) - f64::from(y);
+                for (g, xi) in grad_w.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&grad_w) {
+                *wi -= config.learning_rate * (g / n + config.l2 * *wi);
+            }
+            b -= config.learning_rate * grad_b / n;
+        }
+        Ok(LogisticRegression { weights: w, bias: b })
+    }
+
+    /// Match probability of a similarity vector.
+    pub fn predict_proba(&self, vector: &[f64]) -> Result<f64> {
+        if vector.len() != self.weights.len() {
+            return Err(PprlError::shape(
+                format!("vector of length {}", self.weights.len()),
+                format!("length {}", vector.len()),
+            ));
+        }
+        let z = self.bias
+            + self
+                .weights
+                .iter()
+                .zip(vector)
+                .map(|(w, x)| w * x)
+                .sum::<f64>();
+        Ok(sigmoid(z))
+    }
+
+    /// Binary prediction at probability 0.5.
+    pub fn predict(&self, vector: &[f64]) -> Result<bool> {
+        Ok(self.predict_proba(vector)? >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::rng::SplitMix64;
+
+    fn synth(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Matches: similarities near 0.9; non-matches near 0.2, with noise.
+        let mut rng = SplitMix64::new(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let is_match = rng.next_bool(0.4);
+            let base = if is_match { 0.9 } else { 0.2 };
+            let v: Vec<f64> = (0..4)
+                .map(|_| (base + (rng.next_f64() - 0.5) * 0.3).clamp(0.0, 1.0))
+                .collect();
+            xs.push(v);
+            ys.push(is_match);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let (xs, ys) = synth(800, 1);
+        let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        let (tx, ty) = synth(400, 2);
+        let correct = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(x, &y)| model.predict(x).unwrap() == y)
+            .count();
+        let acc = correct as f64 / tx.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn weights_positive_for_similarity_features() {
+        let (xs, ys) = synth(800, 3);
+        let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        assert!(
+            model.weights.iter().all(|&w| w > 0.0),
+            "higher similarity should increase match probability: {:?}",
+            model.weights
+        );
+    }
+
+    #[test]
+    fn probability_monotone_in_similarity() {
+        let (xs, ys) = synth(500, 4);
+        let model = LogisticRegression::train(&xs, &ys, &TrainConfig::default()).unwrap();
+        let low = model.predict_proba(&[0.1, 0.1, 0.1, 0.1]).unwrap();
+        let high = model.predict_proba(&[0.95, 0.95, 0.95, 0.95]).unwrap();
+        assert!(high > low);
+        assert!(high > 0.8 && low < 0.2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(LogisticRegression::train(&[], &[], &TrainConfig::default()).is_err());
+        assert!(
+            LogisticRegression::train(&[vec![1.0]], &[true, false], &TrainConfig::default())
+                .is_err()
+        );
+        assert!(LogisticRegression::train(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[true, false],
+            &TrainConfig::default()
+        )
+        .is_err());
+        let bad = TrainConfig {
+            learning_rate: 0.0,
+            ..TrainConfig::default()
+        };
+        assert!(LogisticRegression::train(&[vec![1.0]], &[true], &bad).is_err());
+        let model = LogisticRegression {
+            weights: vec![1.0, 1.0],
+            bias: 0.0,
+        };
+        assert!(model.predict_proba(&[1.0]).is_err());
+    }
+}

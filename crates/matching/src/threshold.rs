@@ -1,0 +1,199 @@
+//! Threshold-based and rule-based classification (§3.4 "classification").
+//!
+//! The simplest classifiers in the PPRL literature: a single similarity
+//! threshold, a two-threshold scheme with a "possible match" band for
+//! clerical review, and conjunctive rules over per-field similarity vectors.
+
+use pprl_core::error::{PprlError, Result};
+
+/// Match decision of a classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Classified as a match.
+    Match,
+    /// Classified as a non-match.
+    NonMatch,
+    /// In the review band of a two-threshold classifier.
+    Possible,
+}
+
+/// Single-threshold classifier.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdClassifier {
+    threshold: f64,
+}
+
+impl ThresholdClassifier {
+    /// Creates a classifier with threshold in `[0,1]`.
+    pub fn new(threshold: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+        }
+        Ok(ThresholdClassifier { threshold })
+    }
+
+    /// The threshold value.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Classifies an aggregate similarity.
+    pub fn classify(&self, similarity: f64) -> Decision {
+        if similarity >= self.threshold {
+            Decision::Match
+        } else {
+            Decision::NonMatch
+        }
+    }
+}
+
+/// Two-threshold classifier with a review band.
+#[derive(Debug, Clone, Copy)]
+pub struct BandClassifier {
+    lower: f64,
+    upper: f64,
+}
+
+impl BandClassifier {
+    /// Creates a classifier with `0 <= lower <= upper <= 1`.
+    pub fn new(lower: f64, upper: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&lower) || !(lower..=1.0).contains(&upper) {
+            return Err(PprlError::invalid("lower/upper", "need 0 <= lower <= upper <= 1"));
+        }
+        Ok(BandClassifier { lower, upper })
+    }
+
+    /// Classifies an aggregate similarity into match / possible / non-match.
+    pub fn classify(&self, similarity: f64) -> Decision {
+        if similarity >= self.upper {
+            Decision::Match
+        } else if similarity >= self.lower {
+            Decision::Possible
+        } else {
+            Decision::NonMatch
+        }
+    }
+}
+
+/// One conjunctive rule: *all* listed fields must reach their thresholds.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// `(vector index, minimum similarity)` conjuncts.
+    pub conditions: Vec<(usize, f64)>,
+}
+
+/// Rule-based classifier: a disjunction of conjunctive rules over the
+/// similarity vector (matches if *any* rule fires).
+#[derive(Debug, Clone)]
+pub struct RuleClassifier {
+    rules: Vec<Rule>,
+    arity: usize,
+}
+
+impl RuleClassifier {
+    /// Creates a classifier for similarity vectors of length `arity`.
+    pub fn new(arity: usize, rules: Vec<Rule>) -> Result<Self> {
+        if rules.is_empty() {
+            return Err(PprlError::invalid("rules", "need at least one rule"));
+        }
+        for rule in &rules {
+            if rule.conditions.is_empty() {
+                return Err(PprlError::invalid("rules", "empty rule"));
+            }
+            for &(idx, t) in &rule.conditions {
+                if idx >= arity {
+                    return Err(PprlError::invalid(
+                        "rules",
+                        format!("field index {idx} out of range {arity}"),
+                    ));
+                }
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(PprlError::invalid("rules", "thresholds must be in [0,1]"));
+                }
+            }
+        }
+        Ok(RuleClassifier { rules, arity })
+    }
+
+    /// Classifies a similarity vector.
+    pub fn classify(&self, vector: &[f64]) -> Result<Decision> {
+        if vector.len() != self.arity {
+            return Err(PprlError::shape(
+                format!("vector of length {}", self.arity),
+                format!("length {}", vector.len()),
+            ));
+        }
+        for rule in &self.rules {
+            if rule.conditions.iter().all(|&(i, t)| vector[i] >= t) {
+                return Ok(Decision::Match);
+            }
+        }
+        Ok(Decision::NonMatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_classifier() {
+        let c = ThresholdClassifier::new(0.8).unwrap();
+        assert_eq!(c.classify(0.85), Decision::Match);
+        assert_eq!(c.classify(0.8), Decision::Match);
+        assert_eq!(c.classify(0.79), Decision::NonMatch);
+        assert!(ThresholdClassifier::new(1.2).is_err());
+        assert_eq!(c.threshold(), 0.8);
+    }
+
+    #[test]
+    fn band_classifier() {
+        let c = BandClassifier::new(0.6, 0.85).unwrap();
+        assert_eq!(c.classify(0.9), Decision::Match);
+        assert_eq!(c.classify(0.7), Decision::Possible);
+        assert_eq!(c.classify(0.5), Decision::NonMatch);
+        assert!(BandClassifier::new(0.9, 0.8).is_err());
+        assert!(BandClassifier::new(-0.1, 0.8).is_err());
+    }
+
+    #[test]
+    fn rule_classifier_disjunction_of_conjunctions() {
+        // match if (name >= 0.9 AND dob >= 0.9) OR (name >= 0.99)
+        let c = RuleClassifier::new(
+            2,
+            vec![
+                Rule {
+                    conditions: vec![(0, 0.9), (1, 0.9)],
+                },
+                Rule {
+                    conditions: vec![(0, 0.99)],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.classify(&[0.95, 0.95]).unwrap(), Decision::Match);
+        assert_eq!(c.classify(&[1.0, 0.0]).unwrap(), Decision::Match);
+        assert_eq!(c.classify(&[0.95, 0.5]).unwrap(), Decision::NonMatch);
+        assert!(c.classify(&[0.9]).is_err());
+    }
+
+    #[test]
+    fn rule_validation() {
+        assert!(RuleClassifier::new(2, vec![]).is_err());
+        assert!(RuleClassifier::new(2, vec![Rule { conditions: vec![] }]).is_err());
+        assert!(RuleClassifier::new(
+            2,
+            vec![Rule {
+                conditions: vec![(5, 0.5)]
+            }]
+        )
+        .is_err());
+        assert!(RuleClassifier::new(
+            2,
+            vec![Rule {
+                conditions: vec![(0, 1.5)]
+            }]
+        )
+        .is_err());
+    }
+}

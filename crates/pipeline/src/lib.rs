@@ -1,0 +1,20 @@
+//! # pprl-pipeline
+//!
+//! End-to-end PPRL pipelines: the batch pipeline (encode → block → compare
+//! → classify → assign) with pluggable blocking and parallel comparison,
+//! and the streaming/incremental linker addressing the *velocity*
+//! challenge of the paper's Figure 3.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dedup;
+pub mod streaming;
+
+pub use batch::{link, BlockingChoice, LinkageResult, PipelineConfig};
+pub use dedup::{deduplicate, deduplicated_dataset, DedupConfig, DedupOutcome};
+pub use streaming::{InsertOutcome, StreamMatch, StreamingLinker};

@@ -1,0 +1,221 @@
+//! Accountable computing: spot-check audits of the linkage unit (§3.2).
+//!
+//! The paper places *accountable computing* between the unrealistic
+//! semi-honest model and the expensive malicious model: parties follow the
+//! protocol but can later be *audited*. Here the database owners sample a
+//! random subset of the LU's pair decisions and recompute them from their
+//! own encodings; an LU that tampered with results is caught with
+//! probability `1 − (1 − audit_rate)^tampered`. The audit costs only the
+//! sampled recomputations — far below running a maliciously-secure
+//! protocol for everything.
+
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use pprl_similarity::bitvec_sim::dice_bits;
+
+/// A pair decision reported by the linkage unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedDecision {
+    /// Row in dataset A.
+    pub a: usize,
+    /// Row in dataset B.
+    pub b: usize,
+    /// Similarity the LU claims to have computed.
+    pub claimed_similarity: f64,
+    /// The LU's match decision.
+    pub claimed_match: bool,
+}
+
+/// Outcome of an audit pass.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Number of decisions audited.
+    pub audited: usize,
+    /// Decisions whose recomputation contradicted the LU's claim.
+    pub discrepancies: Vec<ReportedDecision>,
+    /// True when no discrepancy was found.
+    pub clean: bool,
+}
+
+/// Audits a sample of the LU's decisions against locally recomputed
+/// similarities.
+///
+/// * `decisions` — the LU's full report.
+/// * `filters_a`, `filters_b` — the DOs' own encoded filters.
+/// * `threshold` — the agreed match threshold.
+/// * `audit_rate` — fraction of decisions to recompute (in (0, 1]).
+/// * `tolerance` — allowed absolute similarity deviation (float slack).
+pub fn audit_lu_decisions(
+    decisions: &[ReportedDecision],
+    filters_a: &[&BitVec],
+    filters_b: &[&BitVec],
+    threshold: f64,
+    audit_rate: f64,
+    tolerance: f64,
+    rng: &mut SplitMix64,
+) -> Result<AuditOutcome> {
+    if !(audit_rate > 0.0 && audit_rate <= 1.0) {
+        return Err(PprlError::invalid("audit_rate", "must be in (0, 1]"));
+    }
+    if !(tolerance >= 0.0) {
+        return Err(PprlError::invalid("tolerance", "must be non-negative"));
+    }
+    let mut discrepancies = Vec::new();
+    let mut audited = 0usize;
+    for d in decisions {
+        if !rng.next_bool(audit_rate) {
+            continue;
+        }
+        audited += 1;
+        let fa = filters_a.get(d.a).ok_or_else(|| {
+            PprlError::invalid("decisions", format!("row {} out of range for A", d.a))
+        })?;
+        let fb = filters_b.get(d.b).ok_or_else(|| {
+            PprlError::invalid("decisions", format!("row {} out of range for B", d.b))
+        })?;
+        let true_sim = dice_bits(fa, fb)?;
+        let sim_ok = (true_sim - d.claimed_similarity).abs() <= tolerance;
+        let decision_ok = d.claimed_match == (true_sim >= threshold);
+        if !sim_ok || !decision_ok {
+            discrepancies.push(*d);
+        }
+    }
+    Ok(AuditOutcome {
+        audited,
+        clean: discrepancies.is_empty(),
+        discrepancies,
+    })
+}
+
+/// Probability that at least one of `tampered` falsified decisions is
+/// caught at the given audit rate.
+pub fn detection_probability(tampered: usize, audit_rate: f64) -> f64 {
+    1.0 - (1.0 - audit_rate.clamp(0.0, 1.0)).powi(tampered as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filters(n: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut f = BitVec::zeros(256);
+                for _ in 0..40 {
+                    f.set(rng.next_below(256) as usize);
+                }
+                f
+            })
+            .collect()
+    }
+
+    fn honest_report(fa: &[&BitVec], fb: &[&BitVec], threshold: f64) -> Vec<ReportedDecision> {
+        let mut out = Vec::new();
+        for (i, x) in fa.iter().enumerate() {
+            for (j, y) in fb.iter().enumerate() {
+                let s = dice_bits(x, y).unwrap();
+                out.push(ReportedDecision {
+                    a: i,
+                    b: j,
+                    claimed_similarity: s,
+                    claimed_match: s >= threshold,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn honest_lu_passes_full_audit() {
+        let a = filters(10, 1);
+        let b = filters(10, 2);
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let report = honest_report(&fa, &fb, 0.5);
+        let mut rng = SplitMix64::new(3);
+        let out =
+            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        assert!(out.clean);
+        assert_eq!(out.audited, report.len());
+    }
+
+    #[test]
+    fn tampering_caught_at_full_audit() {
+        let a = filters(5, 4);
+        let b = filters(5, 5);
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let mut report = honest_report(&fa, &fb, 0.5);
+        // LU suppresses one match and invents another.
+        report[0].claimed_match = !report[0].claimed_match;
+        report[7].claimed_similarity = 0.99;
+        let mut rng = SplitMix64::new(6);
+        let out =
+            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        assert!(!out.clean);
+        assert_eq!(out.discrepancies.len(), 2);
+    }
+
+    #[test]
+    fn partial_audit_catches_mass_tampering() {
+        let a = filters(20, 7);
+        let b = filters(20, 8);
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let mut report = honest_report(&fa, &fb, 0.5);
+        // Tamper with 100 decisions; a 10% audit should catch ≥ 1 w.h.p.
+        for d in report.iter_mut().take(100) {
+            d.claimed_similarity = 1.0;
+            d.claimed_match = true;
+        }
+        let mut rng = SplitMix64::new(9);
+        let out =
+            audit_lu_decisions(&report, &fa, &fb, 0.5, 0.1, 1e-9, &mut rng).unwrap();
+        assert!(!out.clean, "10% audit of 100 tampered decisions should catch one");
+        assert!(out.audited < report.len());
+    }
+
+    #[test]
+    fn tolerance_permits_float_slack() {
+        let a = filters(3, 10);
+        let b = filters(3, 11);
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let fb: Vec<&BitVec> = b.iter().collect();
+        let mut report = honest_report(&fa, &fb, 0.5);
+        for d in report.iter_mut() {
+            d.claimed_similarity += 1e-12; // rounding noise
+        }
+        let mut rng = SplitMix64::new(12);
+        let out =
+            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        assert!(out.clean);
+    }
+
+    #[test]
+    fn validation_and_ranges() {
+        let a = filters(2, 13);
+        let fa: Vec<&BitVec> = a.iter().collect();
+        let mut rng = SplitMix64::new(14);
+        assert!(audit_lu_decisions(&[], &fa, &fa, 0.5, 0.0, 0.0, &mut rng).is_err());
+        assert!(audit_lu_decisions(&[], &fa, &fa, 0.5, 1.5, 0.0, &mut rng).is_err());
+        assert!(audit_lu_decisions(&[], &fa, &fa, 0.5, 0.5, -1.0, &mut rng).is_err());
+        let bad = [ReportedDecision {
+            a: 99,
+            b: 0,
+            claimed_similarity: 1.0,
+            claimed_match: true,
+        }];
+        assert!(audit_lu_decisions(&bad, &fa, &fa, 0.5, 1.0, 0.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn detection_probability_curve() {
+        assert_eq!(detection_probability(0, 0.1), 0.0);
+        assert!((detection_probability(1, 0.1) - 0.1).abs() < 1e-12);
+        assert!(detection_probability(50, 0.1) > 0.99);
+        assert_eq!(detection_probability(5, 1.0), 1.0);
+        assert!(detection_probability(10, 0.05) > detection_probability(5, 0.05));
+    }
+}

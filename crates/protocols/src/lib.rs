@@ -1,0 +1,28 @@
+//! # pprl-protocols
+//!
+//! Linkage-model protocols from §3.1 of the paper, simulated in-process
+//! with full communication accounting: the two-party direct-exchange
+//! protocol, the three-party linkage-unit protocol with its leakage and
+//! collusion profile, multi-party linkage via counting-Bloom-filter secure
+//! aggregation under configurable communication patterns (sequential /
+//! ring / tree / hierarchical), and budgeted-reveal interactive PPRL.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod interactive;
+pub mod multi_party;
+pub mod patterns;
+pub mod three_party;
+pub mod two_party;
+
+pub use audit::{audit_lu_decisions, detection_probability, AuditOutcome, ReportedDecision};
+pub use interactive::{interactive_linkage, InteractiveOutcome, ReviewablePair};
+pub use multi_party::{multi_party_linkage, MatchedTuple, MultiPartyConfig, MultiPartyOutcome};
+pub use patterns::Pattern;
+pub use three_party::{collusion_leakage, lu_linkage, LuOutcome, LuProtocolConfig};
+pub use two_party::{two_party_linkage, TwoPartyConfig, TwoPartyOutcome};

@@ -1,0 +1,168 @@
+//! Communication patterns for multi-party aggregation (§3.4 "advanced
+//! communication patterns", ref \[42]).
+//!
+//! Multi-party PPRL repeatedly aggregates vectors (counting Bloom filters,
+//! partial sums) across `p` parties. The routing pattern determines the
+//! message and round complexity of each aggregation — the trade-off
+//! experiment E5 reproduces.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_crypto::cost::CommCost;
+
+/// How an aggregate travels between parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// A chain: P₀ → P₁ → … → P_{p−1}; the last party holds the result.
+    Sequential,
+    /// A masked ring returning to the initiator (collusion-prone but
+    /// cheapest with result at the initiator).
+    Ring,
+    /// A reduction tree with the given fan-in; logarithmic rounds.
+    Tree {
+        /// Children aggregated per node (≥ 2).
+        fanout: usize,
+    },
+    /// Two-level hierarchy: groups of `group_size` aggregate internally,
+    /// then group leaders aggregate.
+    Hierarchical {
+        /// Parties per group (≥ 2).
+        group_size: usize,
+    },
+}
+
+impl Pattern {
+    /// Validates pattern parameters.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Pattern::Tree { fanout } if *fanout < 2 => {
+                Err(PprlError::invalid("fanout", "must be >= 2"))
+            }
+            Pattern::Hierarchical { group_size } if *group_size < 2 => {
+                Err(PprlError::invalid("group_size", "must be >= 2"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Communication cost of aggregating one `payload_bytes` vector across
+    /// `parties` parties and delivering the result back to the initiator.
+    pub fn aggregation_cost(&self, parties: usize, payload_bytes: usize) -> Result<CommCost> {
+        if parties < 2 {
+            return Err(PprlError::invalid("parties", "need at least two parties"));
+        }
+        self.validate()?;
+        let mut cost = CommCost::new();
+        match self {
+            Pattern::Sequential => {
+                // Chain of p-1 hops, then the holder returns the result.
+                for _ in 0..parties - 1 {
+                    cost.send(payload_bytes);
+                    cost.end_round();
+                }
+                cost.send(payload_bytes);
+                cost.end_round();
+            }
+            Pattern::Ring => {
+                // p hops around the ring (back to the initiator).
+                for _ in 0..parties {
+                    cost.send(payload_bytes);
+                    cost.end_round();
+                }
+            }
+            Pattern::Tree { fanout } => {
+                // Reduction tree: every non-root node sends once (p-1
+                // messages); rounds = ceil(log_fanout p). Result travels
+                // back down to the initiator along its path (≤ rounds).
+                let mut level = parties;
+                let mut rounds = 0usize;
+                while level > 1 {
+                    level = level.div_ceil(*fanout);
+                    rounds += 1;
+                }
+                cost.send_many(parties - 1, payload_bytes);
+                for _ in 0..rounds {
+                    cost.end_round();
+                }
+                cost.send(payload_bytes); // root → initiator
+                cost.end_round();
+            }
+            Pattern::Hierarchical { group_size } => {
+                let groups = parties.div_ceil(*group_size);
+                // Intra-group rings (run in parallel: rounds = group size).
+                for _ in 0..*group_size {
+                    cost.end_round();
+                }
+                cost.send_many(parties, payload_bytes);
+                // Leader ring over groups.
+                for _ in 0..groups {
+                    cost.end_round();
+                }
+                cost.send_many(groups, payload_bytes);
+            }
+        }
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Pattern::Tree { fanout: 1 }.validate().is_err());
+        assert!(Pattern::Hierarchical { group_size: 1 }.validate().is_err());
+        assert!(Pattern::Ring.aggregation_cost(1, 8).is_err());
+    }
+
+    #[test]
+    fn sequential_and_ring_linear_messages() {
+        let p = 8;
+        let seq = Pattern::Sequential.aggregation_cost(p, 100).unwrap();
+        let ring = Pattern::Ring.aggregation_cost(p, 100).unwrap();
+        assert_eq!(seq.messages, p); // p-1 chain + 1 return
+        assert_eq!(ring.messages, p);
+        assert_eq!(ring.rounds, p);
+    }
+
+    #[test]
+    fn tree_logarithmic_rounds() {
+        let p = 16;
+        let tree = Pattern::Tree { fanout: 2 }.aggregation_cost(p, 100).unwrap();
+        assert_eq!(tree.messages, p); // p-1 up + 1 down
+        assert_eq!(tree.rounds, 5); // log2(16)=4 up + 1 down
+        let seq = Pattern::Sequential.aggregation_cost(p, 100).unwrap();
+        assert!(tree.rounds < seq.rounds);
+    }
+
+    #[test]
+    fn hierarchical_between_ring_and_tree() {
+        let p = 16;
+        let h = Pattern::Hierarchical { group_size: 4 }
+            .aggregation_cost(p, 100)
+            .unwrap();
+        let ring = Pattern::Ring.aggregation_cost(p, 100).unwrap();
+        assert!(h.rounds < ring.rounds, "{} vs {}", h.rounds, ring.rounds);
+        assert_eq!(h.messages, p + 4);
+    }
+
+    #[test]
+    fn cost_scales_with_payload() {
+        let small = Pattern::Ring.aggregation_cost(4, 10).unwrap();
+        let large = Pattern::Ring.aggregation_cost(4, 1000).unwrap();
+        assert_eq!(large.bytes, small.bytes * 100);
+    }
+
+    #[test]
+    fn rounds_comparison_across_patterns_at_scale() {
+        let p = 64;
+        let seq = Pattern::Sequential.aggregation_cost(p, 8).unwrap().rounds;
+        let ring = Pattern::Ring.aggregation_cost(p, 8).unwrap().rounds;
+        let tree = Pattern::Tree { fanout: 4 }.aggregation_cost(p, 8).unwrap().rounds;
+        let hier = Pattern::Hierarchical { group_size: 8 }
+            .aggregation_cost(p, 8)
+            .unwrap()
+            .rounds;
+        assert!(tree < hier && hier < ring && ring <= seq + 1);
+    }
+}

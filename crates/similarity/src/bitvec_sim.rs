@@ -1,0 +1,234 @@
+//! Similarity functions on bit vectors (Bloom filters).
+//!
+//! After encoding, PPRL compares Bloom filters directly with token-style
+//! coefficients computed on set bits (§3.4 of the paper, and its Figure 2).
+//! The multi-filter Dice coefficient is the exact formula from the paper:
+//!
+//! `Dice(b₁…b_p) = p·c / Σ xⱼ`
+//!
+//! where `c` counts positions set in *all* p filters and `xⱼ` the set bits
+//! of filter j.
+
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+
+/// Dice coefficient of two equal-length bit vectors.
+pub fn dice_bits(a: &BitVec, b: &BitVec) -> Result<f64> {
+    check(a, b)?;
+    let (xa, xb) = (a.count_ones(), b.count_ones());
+    if xa + xb == 0 {
+        return Ok(1.0);
+    }
+    Ok(2.0 * a.and_count(b) as f64 / (xa + xb) as f64)
+}
+
+/// Jaccard coefficient of two equal-length bit vectors.
+pub fn jaccard_bits(a: &BitVec, b: &BitVec) -> Result<f64> {
+    check(a, b)?;
+    let union = a.or_count(b);
+    if union == 0 {
+        return Ok(1.0);
+    }
+    Ok(a.and_count(b) as f64 / union as f64)
+}
+
+/// Hamming *similarity*: `1 − hamming_distance / length`.
+pub fn hamming_similarity(a: &BitVec, b: &BitVec) -> Result<f64> {
+    check(a, b)?;
+    if a.is_empty() {
+        return Ok(1.0);
+    }
+    Ok(1.0 - a.xor_count(b) as f64 / a.len() as f64)
+}
+
+/// Cosine coefficient of two equal-length bit vectors.
+pub fn cosine_bits(a: &BitVec, b: &BitVec) -> Result<f64> {
+    check(a, b)?;
+    let (xa, xb) = (a.count_ones(), b.count_ones());
+    if xa == 0 && xb == 0 {
+        return Ok(1.0);
+    }
+    if xa == 0 || xb == 0 {
+        return Ok(0.0);
+    }
+    Ok(a.and_count(b) as f64 / ((xa * xb) as f64).sqrt())
+}
+
+/// Tversky index with parameters `alpha`, `beta` (Dice is α=β=0.5, Jaccard
+/// is α=β=1).
+pub fn tversky_bits(a: &BitVec, b: &BitVec, alpha: f64, beta: f64) -> Result<f64> {
+    check(a, b)?;
+    if !(alpha >= 0.0) || !(beta >= 0.0) {
+        return Err(PprlError::invalid("alpha/beta", "must be non-negative"));
+    }
+    let inter = a.and_count(b) as f64;
+    let only_a = (a.count_ones() as f64) - inter;
+    let only_b = (b.count_ones() as f64) - inter;
+    let denom = inter + alpha * only_a + beta * only_b;
+    if denom == 0.0 {
+        return Ok(1.0);
+    }
+    Ok(inter / denom)
+}
+
+/// Multi-party Dice coefficient over `p ≥ 2` Bloom filters — the paper's
+/// formula `p·c / Σⱼ xⱼ`.
+pub fn multi_dice(filters: &[&BitVec]) -> Result<f64> {
+    if filters.len() < 2 {
+        return Err(PprlError::invalid("filters", "need at least two filters"));
+    }
+    let len = filters[0].len();
+    for f in filters {
+        if f.len() != len {
+            return Err(PprlError::shape(format!("{len} bits"), format!("{} bits", f.len())));
+        }
+    }
+    let total: usize = filters.iter().map(|f| f.count_ones()).sum();
+    if total == 0 {
+        return Ok(1.0);
+    }
+    // Common set bits across all filters: fold with AND.
+    let mut common = filters[0].clone();
+    for f in &filters[1..] {
+        common = common.and(f)?;
+    }
+    Ok(filters.len() as f64 * common.count_ones() as f64 / total as f64)
+}
+
+/// Bit-vector comparator choice for configurable pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitSimilarity {
+    /// Dice coefficient (PPRL default).
+    Dice,
+    /// Jaccard coefficient.
+    Jaccard,
+    /// Hamming similarity.
+    Hamming,
+    /// Cosine coefficient.
+    Cosine,
+}
+
+impl BitSimilarity {
+    /// Applies the selected coefficient.
+    pub fn compute(&self, a: &BitVec, b: &BitVec) -> Result<f64> {
+        match self {
+            BitSimilarity::Dice => dice_bits(a, b),
+            BitSimilarity::Jaccard => jaccard_bits(a, b),
+            BitSimilarity::Hamming => hamming_similarity(a, b),
+            BitSimilarity::Cosine => cosine_bits(a, b),
+        }
+    }
+}
+
+fn check(a: &BitVec, b: &BitVec) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(PprlError::shape(
+            format!("{} bits", a.len()),
+            format!("{} bits", b.len()),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(len: usize, ones: &[usize]) -> BitVec {
+        BitVec::from_positions(len, ones).unwrap()
+    }
+
+    #[test]
+    fn dice_known_value() {
+        let a = bv(16, &[0, 1, 2, 3]);
+        let b = bv(16, &[2, 3, 4, 5]);
+        assert!((dice_bits(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        let a = bv(16, &[0, 1, 2, 3]);
+        let b = bv(16, &[2, 3, 4, 5]);
+        assert!((jaccard_bits(&a, &b).unwrap() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_known_value() {
+        let a = bv(8, &[0, 1]);
+        let b = bv(8, &[1, 2]);
+        assert!((hamming_similarity(&a, &b).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        let a = bv(16, &[0, 1, 2, 3]);
+        let b = bv(16, &[2, 3, 4, 5]);
+        assert!((cosine_bits(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(cosine_bits(&bv(8, &[]), &bv(8, &[1])).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tversky_generalises_dice_and_jaccard() {
+        let a = bv(32, &[0, 1, 2, 3, 10]);
+        let b = bv(32, &[2, 3, 4, 5, 10]);
+        let d = dice_bits(&a, &b).unwrap();
+        let j = jaccard_bits(&a, &b).unwrap();
+        assert!((tversky_bits(&a, &b, 0.5, 0.5).unwrap() - d).abs() < 1e-12);
+        assert!((tversky_bits(&a, &b, 1.0, 1.0).unwrap() - j).abs() < 1e-12);
+        assert!(tversky_bits(&a, &b, -1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn empty_filters_count_as_identical() {
+        let a = bv(8, &[]);
+        let b = bv(8, &[]);
+        for s in [
+            BitSimilarity::Dice,
+            BitSimilarity::Jaccard,
+            BitSimilarity::Hamming,
+            BitSimilarity::Cosine,
+        ] {
+            assert_eq!(s.compute(&a, &b).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = bv(8, &[0]);
+        let b = bv(16, &[0]);
+        assert!(dice_bits(&a, &b).is_err());
+        assert!(multi_dice(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn multi_dice_two_filters_equals_dice() {
+        let a = bv(32, &[1, 2, 3, 4]);
+        let b = bv(32, &[3, 4, 5, 6]);
+        let d2 = dice_bits(&a, &b).unwrap();
+        let md = multi_dice(&[&a, &b]).unwrap();
+        assert!((d2 - md).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dice_three_filters() {
+        // paper formula: p*c / sum(x_j)
+        let a = bv(16, &[0, 1, 2, 3]); // x=4
+        let b = bv(16, &[1, 2, 3, 4]); // x=4
+        let c = bv(16, &[2, 3, 4, 5]); // x=4
+        // common to all three: {2,3} → c=2; 3*2/12 = 0.5
+        assert!((multi_dice(&[&a, &b, &c]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_dice_needs_two() {
+        let a = bv(8, &[0]);
+        assert!(multi_dice(&[&a]).is_err());
+    }
+
+    #[test]
+    fn identical_filters_are_one() {
+        let a = bv(64, &[5, 17, 40]);
+        assert_eq!(dice_bits(&a, &a).unwrap(), 1.0);
+        assert_eq!(multi_dice(&[&a, &a, &a]).unwrap(), 1.0);
+    }
+}

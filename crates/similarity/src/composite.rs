@@ -1,0 +1,410 @@
+//! Record-level comparison: per-field comparators composed into similarity
+//! vectors.
+//!
+//! Classification (§3.4) operates on the *similarity vector* of a record
+//! pair — one score per compared field. [`FieldComparator`] selects the
+//! comparator per QID type; [`RecordComparator`] applies a weighted set of
+//! them against a schema and yields vectors for threshold, rule-based,
+//! Fellegi–Sunter, or learned classifiers.
+
+use crate::edit::{damerau_similarity, lcs_similarity, levenshtein_similarity};
+use crate::jaro::jaro_winkler;
+use crate::monge_elkan::monge_elkan_jw;
+use crate::numeric::{
+    categorical_exact, date_similarity, date_similarity_swap_tolerant, numeric_absolute,
+    numeric_percentage,
+};
+use crate::token::{qgram_similarity, SetSimilarity};
+use pprl_core::error::{PprlError, Result};
+use pprl_core::qgram::QGramConfig;
+use pprl_core::record::Record;
+use pprl_core::schema::Schema;
+use pprl_core::value::Value;
+
+/// A similarity function for one field.
+#[derive(Debug, Clone)]
+pub enum FieldComparator {
+    /// Jaro–Winkler (names).
+    JaroWinkler,
+    /// Normalised Levenshtein.
+    Levenshtein,
+    /// Normalised Damerau–Levenshtein.
+    Damerau,
+    /// Longest-common-substring similarity.
+    Lcs,
+    /// Symmetric Monge–Elkan with Jaro–Winkler tokens (multi-word fields).
+    MongeElkan,
+    /// Q-gram set similarity with a coefficient.
+    QGram {
+        /// Tokenisation settings.
+        config: QGramConfig,
+        /// Coefficient applied to the token sets.
+        coefficient: SetSimilarity,
+    },
+    /// Linear numeric similarity with absolute tolerance.
+    NumericAbsolute {
+        /// Distance at which similarity reaches zero.
+        max_distance: f64,
+    },
+    /// Percentage-based numeric similarity.
+    NumericPercentage {
+        /// Fractional tolerance in (0, 1].
+        pc: f64,
+    },
+    /// Date similarity by day window.
+    DateDays {
+        /// Day difference at which similarity reaches zero.
+        max_days: u32,
+        /// Also try day/month transposition.
+        swap_tolerant: bool,
+    },
+    /// Exact categorical agreement.
+    Exact,
+}
+
+impl FieldComparator {
+    /// Compares two values. Missing values score 0.0 against anything
+    /// (including another missing value), the standard conservative
+    /// convention in record linkage.
+    pub fn compare(&self, a: &Value, b: &Value) -> Result<f64> {
+        if a.is_missing() || b.is_missing() {
+            return Ok(0.0);
+        }
+        match self {
+            FieldComparator::JaroWinkler => Ok(jaro_winkler(&a.as_text(), &b.as_text())),
+            FieldComparator::Levenshtein => Ok(levenshtein_similarity(&a.as_text(), &b.as_text())),
+            FieldComparator::Damerau => Ok(damerau_similarity(&a.as_text(), &b.as_text())),
+            FieldComparator::Lcs => Ok(lcs_similarity(&a.as_text(), &b.as_text())),
+            FieldComparator::MongeElkan => Ok(monge_elkan_jw(&a.as_text(), &b.as_text())),
+            FieldComparator::QGram { config, coefficient } => {
+                Ok(qgram_similarity(&a.as_text(), &b.as_text(), config, *coefficient))
+            }
+            FieldComparator::NumericAbsolute { max_distance } => {
+                numeric_absolute(a.as_f64()?, b.as_f64()?, *max_distance)
+            }
+            FieldComparator::NumericPercentage { pc } => {
+                numeric_percentage(a.as_f64()?, b.as_f64()?, *pc)
+            }
+            FieldComparator::DateDays {
+                max_days,
+                swap_tolerant,
+            } => match (a, b) {
+                (Value::Date(da), Value::Date(db)) => {
+                    if *swap_tolerant {
+                        date_similarity_swap_tolerant(da, db, *max_days)
+                    } else {
+                        date_similarity(da, db, *max_days)
+                    }
+                }
+                _ => Err(PprlError::ValueError("DateDays comparator needs Date values".into())),
+            },
+            FieldComparator::Exact => Ok(categorical_exact(&a.as_text(), &b.as_text())),
+        }
+    }
+}
+
+/// One rule of a record comparator: which field, how, and with what weight.
+#[derive(Debug, Clone)]
+pub struct FieldRule {
+    /// Field name in the shared schema.
+    pub field: String,
+    /// Comparator to apply.
+    pub comparator: FieldComparator,
+    /// Non-negative weight for the weighted average.
+    pub weight: f64,
+}
+
+impl FieldRule {
+    /// Creates a rule with weight 1.0.
+    pub fn new(field: impl Into<String>, comparator: FieldComparator) -> Self {
+        FieldRule {
+            field: field.into(),
+            comparator,
+            weight: 1.0,
+        }
+    }
+
+    /// Sets the weight.
+    pub fn weighted(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Compares record pairs under a schema, producing similarity vectors.
+#[derive(Debug, Clone)]
+pub struct RecordComparator {
+    rules: Vec<(usize, FieldRule)>,
+    total_weight: f64,
+}
+
+impl RecordComparator {
+    /// Resolves `rules` against `schema`. Errors on unknown fields or
+    /// non-positive total weight.
+    pub fn new(schema: &Schema, rules: Vec<FieldRule>) -> Result<Self> {
+        if rules.is_empty() {
+            return Err(PprlError::invalid("rules", "need at least one field rule"));
+        }
+        let mut resolved = Vec::with_capacity(rules.len());
+        let mut total_weight = 0.0;
+        for rule in rules {
+            if !(rule.weight >= 0.0) || !rule.weight.is_finite() {
+                return Err(PprlError::invalid("weight", "must be non-negative and finite"));
+            }
+            let idx = schema.index_of(&rule.field)?;
+            total_weight += rule.weight;
+            resolved.push((idx, rule));
+        }
+        if total_weight <= 0.0 {
+            return Err(PprlError::invalid("weight", "total weight must be positive"));
+        }
+        Ok(RecordComparator {
+            rules: resolved,
+            total_weight,
+        })
+    }
+
+    /// The default comparator for [`Schema::person`]: Jaro–Winkler names,
+    /// q-gram Dice address fields, swap-tolerant date of birth, exact
+    /// gender, absolute-tolerance age.
+    pub fn person_default(schema: &Schema) -> Result<Self> {
+        RecordComparator::new(
+            schema,
+            vec![
+                FieldRule::new("first_name", FieldComparator::JaroWinkler).weighted(2.0),
+                FieldRule::new("last_name", FieldComparator::JaroWinkler).weighted(2.0),
+                FieldRule::new("street", FieldComparator::MongeElkan),
+                FieldRule::new(
+                    "city",
+                    FieldComparator::QGram {
+                        config: QGramConfig::default(),
+                        coefficient: SetSimilarity::Dice,
+                    },
+                ),
+                FieldRule::new("postcode", FieldComparator::Levenshtein),
+                FieldRule::new(
+                    "dob",
+                    FieldComparator::DateDays {
+                        max_days: 365,
+                        swap_tolerant: true,
+                    },
+                )
+                .weighted(2.0),
+                FieldRule::new("gender", FieldComparator::Exact).weighted(0.5),
+                FieldRule::new("age", FieldComparator::NumericAbsolute { max_distance: 5.0 })
+                    .weighted(0.5),
+            ],
+        )
+    }
+
+    /// Number of compared fields (length of similarity vectors).
+    pub fn arity(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Names of the compared fields, in vector order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|(_, r)| r.field.as_str()).collect()
+    }
+
+    /// Computes the per-field similarity vector for a record pair.
+    pub fn similarity_vector(&self, a: &Record, b: &Record) -> Result<Vec<f64>> {
+        self.rules
+            .iter()
+            .map(|(idx, rule)| rule.comparator.compare(&a.values[*idx], &b.values[*idx]))
+            .collect()
+    }
+
+    /// Weighted average similarity in `[0,1]`.
+    pub fn weighted_similarity(&self, a: &Record, b: &Record) -> Result<f64> {
+        let v = self.similarity_vector(a, b)?;
+        Ok(self.weight_vector(&v))
+    }
+
+    /// Collapses a similarity vector with this comparator's weights.
+    pub fn weight_vector(&self, vector: &[f64]) -> f64 {
+        debug_assert_eq!(vector.len(), self.rules.len());
+        let sum: f64 = vector
+            .iter()
+            .zip(&self.rules)
+            .map(|(s, (_, r))| s * r.weight)
+            .sum();
+        sum / self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::schema::{FieldDef, FieldType};
+    use pprl_core::value::Date;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            FieldDef::qid("name", FieldType::Text),
+            FieldDef::qid("age", FieldType::Integer),
+            FieldDef::qid("dob", FieldType::Date),
+            FieldDef::qid("gender", FieldType::Categorical),
+        ])
+        .unwrap()
+    }
+
+    fn rec(name: &str, age: i64, dob: (i32, u8, u8), g: &str) -> Record {
+        Record::new(
+            0,
+            vec![
+                Value::Text(name.into()),
+                Value::Integer(age),
+                Value::Date(Date::new(dob.0, dob.1, dob.2).unwrap()),
+                Value::Categorical(g.into()),
+            ],
+        )
+    }
+
+    fn comparator() -> RecordComparator {
+        RecordComparator::new(
+            &schema(),
+            vec![
+                FieldRule::new("name", FieldComparator::JaroWinkler).weighted(2.0),
+                FieldRule::new("age", FieldComparator::NumericAbsolute { max_distance: 10.0 }),
+                FieldRule::new(
+                    "dob",
+                    FieldComparator::DateDays {
+                        max_days: 30,
+                        swap_tolerant: false,
+                    },
+                ),
+                FieldRule::new("gender", FieldComparator::Exact),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        let c = comparator();
+        let r = rec("anna", 30, (1990, 1, 1), "f");
+        let v = c.similarity_vector(&r, &r).unwrap();
+        assert_eq!(v, vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(c.weighted_similarity(&r, &r).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn vector_reflects_field_differences() {
+        let c = comparator();
+        let a = rec("anna", 30, (1990, 1, 1), "f");
+        let b = rec("anne", 35, (1990, 1, 16), "m");
+        let v = c.similarity_vector(&a, &b).unwrap();
+        assert!(v[0] > 0.8 && v[0] < 1.0, "name sim {}", v[0]);
+        assert!((v[1] - 0.5).abs() < 1e-12, "age sim {}", v[1]);
+        assert!((v[2] - 0.5).abs() < 1e-12, "dob sim {}", v[2]);
+        assert_eq!(v[3], 0.0);
+        let w = c.weighted_similarity(&a, &b).unwrap();
+        assert!(w > 0.0 && w < 1.0);
+    }
+
+    #[test]
+    fn weights_change_aggregate() {
+        let s = schema();
+        let heavy_name = RecordComparator::new(
+            &s,
+            vec![
+                FieldRule::new("name", FieldComparator::JaroWinkler).weighted(10.0),
+                FieldRule::new("gender", FieldComparator::Exact),
+            ],
+        )
+        .unwrap();
+        let light_name = RecordComparator::new(
+            &s,
+            vec![
+                FieldRule::new("name", FieldComparator::JaroWinkler).weighted(0.1),
+                FieldRule::new("gender", FieldComparator::Exact),
+            ],
+        )
+        .unwrap();
+        let a = rec("anna", 30, (1990, 1, 1), "f");
+        let b = rec("anna", 30, (1990, 1, 1), "m"); // same name, diff gender
+        assert!(
+            heavy_name.weighted_similarity(&a, &b).unwrap()
+                > light_name.weighted_similarity(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn missing_values_score_zero() {
+        let c = comparator();
+        let a = rec("anna", 30, (1990, 1, 1), "f");
+        let mut b = a.clone();
+        b.values[0] = Value::Missing;
+        let v = c.similarity_vector(&a, &b).unwrap();
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    fn bad_construction_rejected() {
+        let s = schema();
+        assert!(RecordComparator::new(&s, vec![]).is_err());
+        assert!(RecordComparator::new(
+            &s,
+            vec![FieldRule::new("nope", FieldComparator::Exact)]
+        )
+        .is_err());
+        assert!(RecordComparator::new(
+            &s,
+            vec![FieldRule::new("name", FieldComparator::Exact).weighted(-1.0)]
+        )
+        .is_err());
+        assert!(RecordComparator::new(
+            &s,
+            vec![FieldRule::new("name", FieldComparator::Exact).weighted(0.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn date_comparator_type_checked() {
+        let s = schema();
+        let c = RecordComparator::new(
+            &s,
+            vec![FieldRule::new(
+                "name",
+                FieldComparator::DateDays {
+                    max_days: 30,
+                    swap_tolerant: false,
+                },
+            )],
+        )
+        .unwrap();
+        let a = rec("anna", 30, (1990, 1, 1), "f");
+        assert!(c.similarity_vector(&a, &a).is_err());
+    }
+
+    #[test]
+    fn person_default_works_on_person_schema() {
+        let s = Schema::person();
+        let c = RecordComparator::person_default(&s).unwrap();
+        assert_eq!(c.arity(), 8);
+        assert_eq!(c.field_names()[0], "first_name");
+    }
+
+    #[test]
+    fn all_text_comparators_run() {
+        let a = Value::Text("jonathan".into());
+        let b = Value::Text("johnathan".into());
+        for cmp in [
+            FieldComparator::JaroWinkler,
+            FieldComparator::Levenshtein,
+            FieldComparator::Damerau,
+            FieldComparator::Lcs,
+            FieldComparator::QGram {
+                config: QGramConfig::default(),
+                coefficient: SetSimilarity::Jaccard,
+            },
+            FieldComparator::Exact,
+        ] {
+            let s = cmp.compare(&a, &b).unwrap();
+            assert!((0.0..=1.0).contains(&s), "{cmp:?} gave {s}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Edit-distance family of string comparators.
+//!
+//! Approximate matching of QIDs (§3.4 "linkage technologies") must tolerate
+//! typographical errors. The edit-distance family counts the character
+//! operations separating two strings: Levenshtein (insert/delete/substitute),
+//! Damerau–Levenshtein in its optimal-string-alignment form (adds adjacent
+//! transposition, the most common typing error), and the cheap *bag
+//! distance* lower bound used as a filter.
+
+/// Levenshtein distance (two-row Wagner–Fischer).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() {
+        return bv.len();
+    }
+    if bv.is_empty() {
+        return av.len();
+    }
+    let mut prev: Vec<usize> = (0..=bv.len()).collect();
+    let mut cur = vec![0usize; bv.len() + 1];
+    for (i, &ca) in av.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in bv.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bv.len()]
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant:
+/// adjacent transpositions count 1, but no substring is edited twice).
+#[allow(clippy::needless_range_loop)] // indexes three arrays in lockstep
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rows needed for the transposition lookback.
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        d[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(av[i - 1] != bv[j - 1]);
+            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Bag distance: a cheap lower bound on Levenshtein computed from character
+/// multisets. Useful as a pre-filter: if `bag_distance > threshold` then
+/// `levenshtein > threshold` too.
+pub fn bag_distance(a: &str, b: &str) -> usize {
+    use std::collections::HashMap;
+    let mut counts: HashMap<char, i64> = HashMap::new();
+    for c in a.chars() {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    for c in b.chars() {
+        *counts.entry(c).or_insert(0) -= 1;
+    }
+    let pos: i64 = counts.values().filter(|&&v| v > 0).sum();
+    let neg: i64 = -counts.values().filter(|&&v| v < 0).sum::<i64>();
+    pos.max(neg) as usize
+}
+
+/// Normalises a distance to a similarity in `[0,1]`:
+/// `1 − d / max(|a|, |b|)`; `1.0` for two empty strings.
+fn normalise(d: usize, a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        1.0
+    } else {
+        1.0 - d as f64 / max_len as f64
+    }
+}
+
+/// Levenshtein similarity in `[0,1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    normalise(levenshtein(a, b), a, b)
+}
+
+/// Damerau–Levenshtein similarity in `[0,1]`.
+pub fn damerau_similarity(a: &str, b: &str) -> f64 {
+    normalise(damerau_levenshtein(a, b), a, b)
+}
+
+/// Longest common substring length (dynamic programming).
+pub fn longest_common_substring(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() || bv.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; bv.len() + 1];
+    let mut cur = vec![0usize; bv.len() + 1];
+    let mut best = 0;
+    for &ca in &av {
+        for (j, &cb) in bv.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// Longest-common-substring similarity: `2·lcs / (|a|+|b|)`, `1.0` for two
+/// empty strings.
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let (la, lb) = (a.chars().count(), b.chars().count());
+    if la + lb == 0 {
+        return 1.0;
+    }
+    2.0 * longest_common_substring(a, b) as f64 / (la + lb) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("smith", "smiht"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+    }
+
+    #[test]
+    fn damerau_leq_levenshtein() {
+        for (a, b) in [("peter", "preet"), ("jonathan", "johnathan"), ("abcd", "dcba")] {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn bag_distance_lower_bounds_levenshtein() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("smith", "smyth"),
+            ("abcdef", "fedcba"),
+            ("", "xyz"),
+        ] {
+            assert!(bag_distance(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bag_distance_values() {
+        assert_eq!(bag_distance("abc", "abc"), 0);
+        assert_eq!(bag_distance("abc", "abd"), 1);
+        assert_eq!(bag_distance("aab", "b"), 2);
+    }
+
+    #[test]
+    fn similarities_in_unit_interval() {
+        for (a, b) in [("smith", "smyth"), ("", ""), ("a", ""), ("xy", "yx")] {
+            for s in [
+                levenshtein_similarity(a, b),
+                damerau_similarity(a, b),
+                lcs_similarity(a, b),
+            ] {
+                assert!((0.0..=1.0).contains(&s), "{a}/{b} gave {s}");
+            }
+        }
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("ab", "ab"), 1.0);
+        assert_eq!(levenshtein_similarity("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn lcs_known_values() {
+        assert_eq!(longest_common_substring("abcdxyz", "xyzabcd"), 4);
+        assert_eq!(longest_common_substring("abc", "def"), 0);
+        assert_eq!(longest_common_substring("", "abc"), 0);
+        assert!((lcs_similarity("abab", "baba") - 2.0 * 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("peter", "pedro"), ("ann", "anne"), ("x", "yz")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+            assert_eq!(bag_distance(a, b), bag_distance(b, a));
+            assert_eq!(longest_common_substring(a, b), longest_common_substring(b, a));
+        }
+    }
+
+    #[test]
+    fn unicode_counted_by_chars() {
+        assert_eq!(levenshtein("müller", "muller"), 1);
+        assert_eq!(damerau_levenshtein("müller", "mülelr"), 1); // transposed l/e
+    }
+}

@@ -1,0 +1,143 @@
+//! Jaro and Jaro–Winkler string comparators.
+//!
+//! The Jaro family was designed at the US Census Bureau specifically for
+//! person-name matching and is the classical comparator of probabilistic
+//! record linkage. Jaro–Winkler boosts pairs sharing a prefix, reflecting
+//! that name errors cluster at the end of strings.
+
+/// Jaro similarity in `[0,1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() && bv.is_empty() {
+        return 1.0;
+    }
+    if av.is_empty() || bv.is_empty() {
+        return 0.0;
+    }
+    let window = (av.len().max(bv.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; bv.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    // Find matches within the window.
+    for (i, &ca) in av.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(bv.len());
+        for j in lo..hi {
+            if !b_matched[j] && bv[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions against B's matched characters in order.
+    let b_matches: Vec<char> = bv
+        .iter()
+        .zip(&b_matched)
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let t = a_matches
+        .iter()
+        .zip(&b_matches)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / av.len() as f64 + m / bv.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard scaling factor 0.1 and prefix
+/// cap 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1, 4)
+}
+
+/// Jaro–Winkler with explicit prefix `scaling` (≤ 0.25 to stay in `[0,1]`)
+/// and maximum prefix length.
+pub fn jaro_winkler_with(a: &str, b: &str, scaling: f64, max_prefix: usize) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    let scaling = scaling.clamp(0.0, 0.25);
+    (j + prefix * scaling * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn jaro_classic_values() {
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+    }
+
+    #[test]
+    fn jaro_winkler_classic_values() {
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("peter", "peter"), 1.0);
+        assert_eq!(jaro_winkler("peter", "peter"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        let j = jaro("prefixed", "prefixes");
+        let jw = jaro_winkler("prefixed", "prefixes");
+        assert!(jw > j);
+        // No shared prefix → no boost.
+        let j2 = jaro("xavier", "savier");
+        let jw2 = jaro_winkler("xavier", "savier");
+        assert!(close(j2, jw2));
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("martha", "marhta"), ("dwayne", "duane"), ("ab", "ba")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+
+    #[test]
+    fn in_unit_interval() {
+        for (a, b) in [("a", "abcdefgh"), ("short", "muchlongerstring"), ("xy", "yx")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn scaling_clamped() {
+        // Oversized scaling must not push similarity beyond 1.
+        let s = jaro_winkler_with("aaaa", "aaab", 0.9, 4);
+        assert!(s <= 1.0);
+    }
+}

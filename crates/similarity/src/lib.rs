@@ -1,0 +1,29 @@
+//! # pprl-similarity
+//!
+//! Similarity functions for record linkage: the edit-distance family, Jaro /
+//! Jaro–Winkler, token-set coefficients (Dice, Jaccard, overlap, cosine),
+//! bit-vector (Bloom filter) similarities including the multi-party Dice
+//! coefficient from the paper, numeric/date/categorical comparators, and a
+//! weighted record-level comparator producing similarity vectors for
+//! classification.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
+// `x <= 0.0` would accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod bitvec_sim;
+pub mod composite;
+pub mod edit;
+pub mod jaro;
+pub mod monge_elkan;
+pub mod numeric;
+pub mod token;
+
+pub use bitvec_sim::{dice_bits, hamming_similarity, jaccard_bits, multi_dice, BitSimilarity};
+pub use composite::{FieldComparator, FieldRule, RecordComparator};
+pub use edit::{damerau_levenshtein, levenshtein, levenshtein_similarity};
+pub use jaro::{jaro, jaro_winkler};
+pub use monge_elkan::{monge_elkan, monge_elkan_jw};
+pub use token::SetSimilarity;

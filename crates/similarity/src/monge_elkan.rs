@@ -1,0 +1,125 @@
+//! Monge–Elkan similarity for multi-token fields.
+//!
+//! Address and full-name QIDs contain several words whose order varies
+//! ("12 Main Street" vs "Main St 12"). Monge–Elkan scores each token of
+//! one string by its *best* counterpart in the other under an inner
+//! word-level similarity and averages — tolerant of token reordering,
+//! insertion and per-word typos at once. The symmetric variant averages
+//! both directions so the measure stays symmetric.
+
+use crate::jaro::jaro_winkler;
+
+/// Splits on whitespace into non-empty tokens.
+fn tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().filter(|t| !t.is_empty()).collect()
+}
+
+/// One-directional Monge–Elkan: mean over `a`'s tokens of the best inner
+/// similarity to any token of `b`.
+pub fn monge_elkan_directed<F>(a: &str, b: &str, inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = ta
+        .iter()
+        .map(|x| {
+            tb.iter()
+                .map(|y| inner(x, y))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    total / ta.len() as f64
+}
+
+/// Symmetric Monge–Elkan: the mean of both directions.
+pub fn monge_elkan<F>(a: &str, b: &str, inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64 + Copy,
+{
+    (monge_elkan_directed(a, b, inner) + monge_elkan_directed(b, a, inner)) / 2.0
+}
+
+/// Symmetric Monge–Elkan with Jaro–Winkler as the inner similarity — the
+/// standard configuration for names and addresses.
+pub fn monge_elkan_jw(a: &str, b: &str) -> f64 {
+    monge_elkan(a, b, jaro_winkler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(monge_elkan_jw("main street", "main street"), 1.0);
+        assert_eq!(monge_elkan_jw("", ""), 1.0);
+    }
+
+    #[test]
+    fn token_reordering_is_free() {
+        let reordered = monge_elkan_jw("12 main street", "street main 12");
+        assert!((reordered - 1.0).abs() < 1e-12, "got {reordered}");
+    }
+
+    #[test]
+    fn per_token_typos_tolerated() {
+        let s = monge_elkan_jw("main street", "mian street");
+        assert!(s > 0.9, "typo in one token: {s}");
+        let disjoint = monge_elkan_jw("main street", "qqqq zzzz");
+        assert!(disjoint < 0.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [
+            ("12 main st", "main street 12"),
+            ("anna maria garcia", "garcia anna"),
+            ("x", "x y z"),
+        ] {
+            let ab = monge_elkan_jw(a, b);
+            let ba = monge_elkan_jw(b, a);
+            assert!((ab - ba).abs() < 1e-12, "{a} vs {b}: {ab} != {ba}");
+        }
+    }
+
+    #[test]
+    fn directed_subset_scores_full() {
+        // Every token of the short string appears in the long one.
+        let d = monge_elkan_directed("anna garcia", "anna maria garcia lopez", jaro_winkler);
+        assert_eq!(d, 1.0);
+        // The reverse direction is penalised for the extra tokens.
+        let r = monge_elkan_directed("anna maria garcia lopez", "anna garcia", jaro_winkler);
+        assert!(r < 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(monge_elkan_jw("", "main"), 0.0);
+        assert_eq!(monge_elkan_jw("main", ""), 0.0);
+        assert_eq!(monge_elkan_jw("   ", "main"), 0.0);
+    }
+
+    #[test]
+    fn bounded() {
+        for (a, b) in [("a b c", "d e"), ("main st", "st"), ("x y", "y x")] {
+            let s = monge_elkan_jw(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn custom_inner_similarity() {
+        // Exact-match inner: Monge–Elkan degrades to token overlap ratio.
+        let exact = |x: &str, y: &str| if x == y { 1.0 } else { 0.0 };
+        let s = monge_elkan("a b c d", "a b x y", exact);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Comparators for numeric, date, and categorical QIDs.
+//!
+//! Different QID data types need different similarity functions (§3.4 of
+//! the paper). Numeric values use a tolerance-scaled linear similarity;
+//! dates compare by day difference; categoricals by exact (or grouped)
+//! agreement.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::value::Date;
+
+/// Linear numeric similarity with absolute tolerance:
+/// `max(0, 1 − |a−b| / max_distance)`.
+pub fn numeric_absolute(a: f64, b: f64, max_distance: f64) -> Result<f64> {
+    if !(max_distance > 0.0) || !max_distance.is_finite() {
+        return Err(PprlError::invalid("max_distance", "must be positive and finite"));
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return Err(PprlError::ValueError("non-finite numeric value".into()));
+    }
+    Ok((1.0 - (a - b).abs() / max_distance).max(0.0))
+}
+
+/// Percentage-based numeric similarity:
+/// `max(0, 1 − |a−b| / (pc·max(|a|,|b|)))` with `pc` in (0, 1].
+pub fn numeric_percentage(a: f64, b: f64, pc: f64) -> Result<f64> {
+    if !(pc > 0.0 && pc <= 1.0) {
+        return Err(PprlError::invalid("pc", "must be in (0, 1]"));
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return Err(PprlError::ValueError("non-finite numeric value".into()));
+    }
+    if a == b {
+        return Ok(1.0);
+    }
+    let denom = pc * a.abs().max(b.abs());
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((1.0 - (a - b).abs() / denom).max(0.0))
+}
+
+/// Date similarity by day difference with a tolerance window:
+/// `max(0, 1 − days/max_days)`.
+pub fn date_similarity(a: &Date, b: &Date, max_days: u32) -> Result<f64> {
+    if max_days == 0 {
+        return Err(PprlError::invalid("max_days", "must be positive"));
+    }
+    Ok((1.0 - a.days_between(b) as f64 / max_days as f64).max(0.0))
+}
+
+/// Date similarity tolerant of day/month swaps (a common data-entry error):
+/// the maximum of the plain similarity and the similarity with `b`'s day and
+/// month transposed (when that forms a valid date).
+pub fn date_similarity_swap_tolerant(a: &Date, b: &Date, max_days: u32) -> Result<f64> {
+    let plain = date_similarity(a, b, max_days)?;
+    if let Ok(swapped) = Date::new(b.year(), b.day(), b.month()) {
+        // Penalise the swap slightly so exact equality still wins.
+        let sw = date_similarity(a, &swapped, max_days)? * 0.95;
+        return Ok(plain.max(sw));
+    }
+    Ok(plain)
+}
+
+/// Exact categorical agreement: 1.0 if equal (case-insensitive), else 0.0.
+pub fn categorical_exact(a: &str, b: &str) -> f64 {
+    if a.eq_ignore_ascii_case(b) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_similarity_values() {
+        assert_eq!(numeric_absolute(10.0, 10.0, 5.0).unwrap(), 1.0);
+        assert!((numeric_absolute(10.0, 12.5, 5.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(numeric_absolute(0.0, 100.0, 5.0).unwrap(), 0.0);
+        assert!(numeric_absolute(1.0, 2.0, 0.0).is_err());
+        assert!(numeric_absolute(f64::NAN, 2.0, 1.0).is_err());
+        assert!(numeric_absolute(1.0, f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn percentage_similarity_values() {
+        assert_eq!(numeric_percentage(100.0, 100.0, 0.1).unwrap(), 1.0);
+        // |100-95| / (0.1*100) = 0.5
+        assert!((numeric_percentage(100.0, 95.0, 0.1).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(numeric_percentage(100.0, 50.0, 0.1).unwrap(), 0.0);
+        assert_eq!(numeric_percentage(0.0, 0.0, 0.5).unwrap(), 1.0);
+        assert_eq!(numeric_percentage(0.0, 1.0, 0.5).unwrap(), 0.0);
+        assert!(numeric_percentage(1.0, 1.0, 0.0).is_err());
+        assert!(numeric_percentage(1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(
+            numeric_absolute(3.0, 8.0, 10.0).unwrap(),
+            numeric_absolute(8.0, 3.0, 10.0).unwrap()
+        );
+        assert_eq!(
+            numeric_percentage(3.0, 8.0, 0.9).unwrap(),
+            numeric_percentage(8.0, 3.0, 0.9).unwrap()
+        );
+    }
+
+    #[test]
+    fn date_similarity_values() {
+        let a = Date::new(1987, 6, 5).unwrap();
+        let b = Date::new(1987, 6, 20).unwrap();
+        assert!((date_similarity(&a, &b, 30).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(date_similarity(&a, &a, 30).unwrap(), 1.0);
+        let far = Date::new(1990, 1, 1).unwrap();
+        assert_eq!(date_similarity(&a, &far, 30).unwrap(), 0.0);
+        assert!(date_similarity(&a, &b, 0).is_err());
+    }
+
+    #[test]
+    fn swap_tolerant_catches_daymonth_transposition() {
+        let a = Date::new(1987, 6, 5).unwrap(); // 5 June
+        let b = Date::new(1987, 5, 6).unwrap(); // 6 May — day/month swapped
+        let plain = date_similarity(&a, &b, 30).unwrap();
+        let tolerant = date_similarity_swap_tolerant(&a, &b, 30).unwrap();
+        assert_eq!(plain, 0.0);
+        assert!((tolerant - 0.95).abs() < 1e-12);
+        // Exact equality still scores 1.0.
+        assert_eq!(date_similarity_swap_tolerant(&a, &a, 30).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn swap_tolerant_handles_invalid_swap() {
+        let a = Date::new(1987, 1, 25).unwrap();
+        let b = Date::new(1987, 1, 26).unwrap(); // swap → month 26, invalid
+        let s = date_similarity_swap_tolerant(&a, &b, 30).unwrap();
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn categorical_agreement() {
+        assert_eq!(categorical_exact("f", "F"), 1.0);
+        assert_eq!(categorical_exact("m", "f"), 0.0);
+        assert_eq!(categorical_exact("", ""), 1.0);
+    }
+}

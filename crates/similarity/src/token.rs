@@ -1,0 +1,170 @@
+//! Token-set similarity coefficients.
+//!
+//! Bloom-filter PPRL and q-gram based matching both reduce strings to token
+//! sets; these coefficients compare such sets. All take sorted, deduplicated
+//! slices and return values in `[0,1]` (two empty sets count as identical).
+
+use pprl_core::qgram::{qgram_set, sorted_intersection_size, QGramConfig};
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`.
+pub fn dice<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    2.0 * sorted_intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Jaccard coefficient `|A∩B| / |A∪B|`.
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
+pub fn overlap<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    sorted_intersection_size(a, b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Cosine coefficient `|A∩B| / √(|A|·|B|)` (binary vectors).
+pub fn cosine<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    sorted_intersection_size(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Token-set comparator choice, for configurable pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetSimilarity {
+    /// Dice coefficient.
+    Dice,
+    /// Jaccard coefficient.
+    Jaccard,
+    /// Overlap coefficient.
+    Overlap,
+    /// Cosine coefficient.
+    Cosine,
+}
+
+impl SetSimilarity {
+    /// Applies the selected coefficient.
+    pub fn compute<T: Ord>(&self, a: &[T], b: &[T]) -> f64 {
+        match self {
+            SetSimilarity::Dice => dice(a, b),
+            SetSimilarity::Jaccard => jaccard(a, b),
+            SetSimilarity::Overlap => overlap(a, b),
+            SetSimilarity::Cosine => cosine(a, b),
+        }
+    }
+}
+
+/// String similarity via q-gram sets with the chosen coefficient.
+pub fn qgram_similarity(a: &str, b: &str, config: &QGramConfig, sim: SetSimilarity) -> f64 {
+    let sa = qgram_set(a, config);
+    let sb = qgram_set(b, config);
+    sim.compute(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_on_known_sets() {
+        let a = [1, 2, 3, 4];
+        let b = [3, 4, 5, 6];
+        assert!((dice(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((overlap(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((cosine(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_are_one() {
+        let a = ["x", "y"];
+        for s in [
+            SetSimilarity::Dice,
+            SetSimilarity::Jaccard,
+            SetSimilarity::Overlap,
+            SetSimilarity::Cosine,
+        ] {
+            assert_eq!(s.compute(&a, &a), 1.0);
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_are_zero() {
+        let a = [1];
+        let b = [2];
+        for s in [
+            SetSimilarity::Dice,
+            SetSimilarity::Jaccard,
+            SetSimilarity::Overlap,
+            SetSimilarity::Cosine,
+        ] {
+            assert_eq!(s.compute(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let empty: [i32; 0] = [];
+        let nonempty = [1];
+        for s in [
+            SetSimilarity::Dice,
+            SetSimilarity::Jaccard,
+            SetSimilarity::Overlap,
+            SetSimilarity::Cosine,
+        ] {
+            assert_eq!(s.compute(&empty, &empty), 1.0);
+            assert_eq!(s.compute(&empty, &nonempty), 0.0);
+        }
+    }
+
+    #[test]
+    fn subset_overlap_is_one() {
+        let a = [1, 2];
+        let b = [1, 2, 3, 4, 5];
+        assert_eq!(overlap(&a, &b), 1.0);
+        assert!(dice(&a, &b) < 1.0);
+        assert!(jaccard(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn ordering_jaccard_leq_dice() {
+        let a = [1, 2, 3, 7, 9];
+        let b = [2, 3, 4, 9];
+        assert!(jaccard(&a, &b) <= dice(&a, &b));
+    }
+
+    #[test]
+    fn qgram_similarity_wrapper() {
+        let cfg = QGramConfig::bigrams();
+        let d = qgram_similarity("smith", "smyth", &cfg, SetSimilarity::Dice);
+        assert!((d - 0.5).abs() < 1e-12);
+        assert_eq!(
+            qgram_similarity("", "", &cfg, SetSimilarity::Jaccard),
+            1.0
+        );
+    }
+}

