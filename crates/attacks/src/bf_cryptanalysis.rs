@@ -145,10 +145,7 @@ where
     }
 
     // Containment refinement: drop inconsistent assignments.
-    let rep_filter: HashMap<Vec<u8>, &BitVec> = filters
-        .iter()
-        .map(|f| (f.to_bytes(), f))
-        .collect();
+    let rep_filter: HashMap<Vec<u8>, &BitVec> = filters.iter().map(|f| (f.to_bytes(), f)).collect();
     let keys: Vec<Vec<u8>> = assignment.keys().cloned().collect();
     for ka in &keys {
         for kb in &keys {
@@ -251,8 +248,8 @@ mod tests {
     #[test]
     fn dictionary_attack_with_leaked_key_succeeds() {
         let (names, filters) = sample(500, 1, b"leaked");
-        let out = dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.9)
-            .unwrap();
+        let out =
+            dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.9).unwrap();
         let rate = reidentification_rate(&out.guesses, &names).unwrap();
         assert!(rate > 0.99, "leaked-key dictionary attack got {rate}");
     }
@@ -260,10 +257,19 @@ mod tests {
     #[test]
     fn secret_key_defeats_dictionary_attack() {
         let (names, filters) = sample(500, 2, b"actual-secret");
-        let out = dictionary_attack(&filters, &dict_strings(), &encoder(b"wrong-key"), tokens, 0.6)
-            .unwrap();
+        let out = dictionary_attack(
+            &filters,
+            &dict_strings(),
+            &encoder(b"wrong-key"),
+            tokens,
+            0.6,
+        )
+        .unwrap();
         let rate = reidentification_rate(&out.guesses, &names).unwrap();
-        assert!(rate < 0.3, "wrong-key attack should mostly fail, got {rate}");
+        assert!(
+            rate < 0.3,
+            "wrong-key attack should mostly fail, got {rate}"
+        );
     }
 
     #[test]
@@ -275,8 +281,8 @@ mod tests {
             .enumerate()
             .map(|(i, f)| blip.apply(f, i as u64).unwrap())
             .collect();
-        let plain = dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.9)
-            .unwrap();
+        let plain =
+            dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.9).unwrap();
         let attacked =
             dictionary_attack(&hardened, &dict_strings(), &encoder(b"leaked"), tokens, 0.9)
                 .unwrap();
@@ -304,9 +310,7 @@ mod tests {
         let filters: Vec<BitVec> = names
             .iter()
             .enumerate()
-            .map(|(i, n)| {
-                encoder(format!("salt-{i}").as_bytes()).encode_tokens(&tokens(n))
-            })
+            .map(|(i, n)| encoder(format!("salt-{i}").as_bytes()).encode_tokens(&tokens(n)))
             .collect();
         let out = pattern_frequency_attack(&filters, &dict_strings(), tokens).unwrap();
         let rate = reidentification_rate(&out.guesses, &names).unwrap();
@@ -326,8 +330,8 @@ mod tests {
     #[test]
     fn confidence_reported_per_record() {
         let (_, filters) = sample(10, 6, b"leaked");
-        let out = dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.0)
-            .unwrap();
+        let out =
+            dictionary_attack(&filters, &dict_strings(), &encoder(b"leaked"), tokens, 0.0).unwrap();
         assert_eq!(out.confidences.len(), 10);
         assert!(out.confidences.iter().all(|&c| (0.0..=1.0).contains(&c)));
         assert!(out.guesses.iter().all(|g| g.is_some()));

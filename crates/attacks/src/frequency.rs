@@ -161,7 +161,10 @@ mod tests {
             .collect();
         let out = frequency_attack(&encodings, &dict).unwrap();
         let rate = reidentification_rate(&out.guesses, &names).unwrap();
-        assert!(rate <= 0.5, "uniform frequencies should hurt the attack: {rate}");
+        assert!(
+            rate <= 0.5,
+            "uniform frequencies should hurt the attack: {rate}"
+        );
     }
 
     #[test]

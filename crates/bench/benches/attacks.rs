@@ -1,9 +1,9 @@
 //! Criterion benchmarks for the attack layer (supports E6): cost of the
 //! frequency and dictionary attacks at realistic dataset sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pprl_attacks::bf_cryptanalysis::{dictionary_attack, pattern_frequency_attack};
 use pprl_attacks::frequency::frequency_attack;
+use pprl_bench::{criterion_group, criterion_main, micro::Criterion};
 use pprl_core::bitvec::BitVec;
 use pprl_core::qgram::{qgram_set, QGramConfig};
 use pprl_core::rng::SplitMix64;
@@ -55,7 +55,10 @@ fn bench_attacks(c: &mut Criterion) {
         key: b"leaked".to_vec(),
     })
     .expect("valid");
-    let filters: Vec<BitVec> = names.iter().map(|n| enc.encode_tokens(&tokens(n))).collect();
+    let filters: Vec<BitVec> = names
+        .iter()
+        .map(|n| enc.encode_tokens(&tokens(n)))
+        .collect();
     c.bench_function("dictionary_attack_1000x100", |b| {
         b.iter(|| {
             std::hint::black_box(

@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the blocking layer (supports E4): candidate
 //! generation cost of each method at fixed size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pprl_bench::{criterion_group, criterion_main, micro::Criterion};
 use pprl_blocking::keys::BlockingKey;
 use pprl_blocking::lsh::{HammingLsh, MinHashLsh};
 use pprl_blocking::standard::{sorted_neighbourhood, standard_blocking};
@@ -31,8 +31,11 @@ fn bench_blocking(c: &mut Criterion) {
         bch.iter(|| std::hint::black_box(sorted_neighbourhood(&ka, &kb, 6).expect("window")))
     });
 
-    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"bench".to_vec()), a.schema())
-        .expect("valid");
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"bench".to_vec()),
+        a.schema(),
+    )
+    .expect("valid");
     let ea = enc.encode_dataset(&a).expect("encodes");
     let eb = enc.encode_dataset(&b).expect("encodes");
     let fa = ea.clks().expect("clk");

@@ -2,7 +2,10 @@
 //! hashing, modular exponentiation, Paillier operations, secure edit
 //! distance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprl_bench::{
+    criterion_group, criterion_main,
+    micro::{BenchmarkId, Criterion},
+};
 use pprl_core::rng::SplitMix64;
 use pprl_crypto::bigint::BigUint;
 use pprl_crypto::paillier::KeyPair;

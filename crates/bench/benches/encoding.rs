@@ -1,7 +1,10 @@
 //! Criterion micro-benchmarks for the encoding layer (supports E2/E3):
 //! Bloom-filter token encoding, CLK record encoding, and bit-vector Dice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprl_bench::{
+    criterion_group, criterion_main,
+    micro::{BenchmarkId, Criterion},
+};
 use pprl_core::qgram::{qgram_set, QGramConfig};
 use pprl_datagen::generator::{Generator, GeneratorConfig};
 use pprl_encoding::bloom::{BloomEncoder, BloomParams, HashingScheme};
@@ -36,8 +39,11 @@ fn bench_record_encoding(c: &mut Criterion) {
         g.population(100),
     )
     .expect("valid");
-    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"bench".to_vec()), ds.schema())
-        .expect("valid");
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"bench".to_vec()),
+        ds.schema(),
+    )
+    .expect("valid");
     c.bench_function("clk_encode_100_records", |b| {
         b.iter(|| std::hint::black_box(enc.encode_dataset(&ds).expect("encodes")))
     });
@@ -50,8 +56,11 @@ fn bench_dice(c: &mut Criterion) {
         g.population(2),
     )
     .expect("valid");
-    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"bench".to_vec()), ds.schema())
-        .expect("valid");
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"bench".to_vec()),
+        ds.schema(),
+    )
+    .expect("valid");
     let e = enc.encode_dataset(&ds).expect("encodes");
     let clks = e.clks().expect("clk");
     c.bench_function("dice_1000bit_filters", |b| {

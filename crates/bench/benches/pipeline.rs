@@ -2,7 +2,10 @@
 //! the batch pipeline under different blocking choices and streaming
 //! insert throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pprl_bench::{
+    criterion_group, criterion_main,
+    micro::{BenchmarkId, Criterion},
+};
 use pprl_blocking::keys::BlockingKey;
 use pprl_datagen::generator::{Generator, GeneratorConfig};
 use pprl_encoding::encoder::RecordEncoderConfig;

@@ -66,11 +66,14 @@ fn main() {
     let mut t = Table::new(&["l (bits)", "k (hashes)", "reid rate", "disclosure risk"]);
     for (len, k) in [(256usize, 4usize), (512, 8), (1000, 10), (1000, 30)] {
         let enc = encoder(len, k, b"secret-key");
-        let filters: Vec<BitVec> = names.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+        let filters: Vec<BitVec> = names
+            .iter()
+            .map(|s| enc.encode_tokens(&tokens(s)))
+            .collect();
         let out = pattern_frequency_attack(&filters, &dictionary, tokens).expect("runs");
         let rate = reidentification_rate(&out.guesses, &names).expect("aligned");
-        let risk =
-            disclosure_risk(&filters.iter().map(|f| f.to_bytes()).collect::<Vec<_>>()).expect("nonempty");
+        let risk = disclosure_risk(&filters.iter().map(|f| f.to_bytes()).collect::<Vec<_>>())
+            .expect("nonempty");
         t.row(vec![len.to_string(), k.to_string(), pct(rate), f3(risk)]);
     }
     t.print();
@@ -78,7 +81,10 @@ fn main() {
 
     println!("\nDictionary attack (leaked parameters) vs hardening:");
     let enc = encoder(1000, 10, b"leaked");
-    let filters: Vec<BitVec> = names.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+    let filters: Vec<BitVec> = names
+        .iter()
+        .map(|s| enc.encode_tokens(&tokens(s)))
+        .collect();
     let smith = enc.encode_tokens(&tokens("smith"));
     let smyth = enc.encode_tokens(&tokens("smyth"));
     let garcia = enc.encode_tokens(&tokens("garcia"));
@@ -86,7 +92,12 @@ fn main() {
     let mut t = Table::new(&["hardening", "reid rate", "dice close pair", "dice far pair"]);
     let mut run = |name: &str, hardening: Option<Hardening>| {
         let (hardened, hs, hy, hg): (Vec<BitVec>, BitVec, BitVec, BitVec) = match &hardening {
-            None => (filters.clone(), smith.clone(), smyth.clone(), garcia.clone()),
+            None => (
+                filters.clone(),
+                smith.clone(),
+                smyth.clone(),
+                garcia.clone(),
+            ),
             Some(h) => (
                 filters
                     .iter()
@@ -108,10 +119,12 @@ fn main() {
             |w| {
                 let base = enc.encode_tokens(&tokens(w));
                 match &hardening {
-                    Some(h @ (Hardening::Balance
-                    | Hardening::XorFold
-                    | Hardening::Rule90
-                    | Hardening::Permute { .. })) => h.apply(&base, 0).expect("valid"),
+                    Some(
+                        h @ (Hardening::Balance
+                        | Hardening::XorFold
+                        | Hardening::Rule90
+                        | Hardening::Permute { .. }),
+                    ) => h.apply(&base, 0).expect("valid"),
                     _ => base,
                 }
             },
@@ -147,7 +160,9 @@ fn main() {
                     key: b"leaked".to_vec(),
                 };
                 params.key = salted_key(&params.key, &format!("dob-{}", i % 50));
-                BloomEncoder::new(params).expect("valid").encode_tokens(&tokens(n))
+                BloomEncoder::new(params)
+                    .expect("valid")
+                    .encode_tokens(&tokens(n))
             })
             .collect();
         let out = dictionary_attack(&salted, &dictionary, &enc, tokens, 0.8).expect("runs");
@@ -165,10 +180,16 @@ fn main() {
         t.row(vec![
             "salting (secret salt)".into(),
             pct(rate),
-            f3(dice_bits(&s1.encode_tokens(&tokens("smith")), &s1.encode_tokens(&tokens("smyth")))
-                .expect("len")),
-            f3(dice_bits(&s1.encode_tokens(&tokens("smith")), &s1.encode_tokens(&tokens("garcia")))
-                .expect("len")),
+            f3(dice_bits(
+                &s1.encode_tokens(&tokens("smith")),
+                &s1.encode_tokens(&tokens("smyth")),
+            )
+            .expect("len")),
+            f3(dice_bits(
+                &s1.encode_tokens(&tokens("smith")),
+                &s1.encode_tokens(&tokens("garcia")),
+            )
+            .expect("len")),
         ]);
     }
     t.print();

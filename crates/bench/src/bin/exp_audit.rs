@@ -71,10 +71,8 @@ fn main() {
                     let idx = (trial * 7919 + k * 104729) % report.len();
                     report[idx].claimed_match = !report[idx].claimed_match;
                 }
-                let out = audit_lu_decisions(
-                    &report, &fa, &fb, threshold, rate, 1e-9, &mut rng,
-                )
-                .expect("runs");
+                let out = audit_lu_decisions(&report, &fa, &fb, threshold, rate, 1e-9, &mut rng)
+                    .expect("runs");
                 if !out.clean {
                     detected += 1;
                 }
@@ -85,11 +83,7 @@ fn main() {
                 format!("{rate:.2}"),
                 f3(detection_probability(tampered, rate)),
                 pct(detected as f64 / TRIALS as f64),
-                format!(
-                    "{}/{}",
-                    audited_total / TRIALS,
-                    honest.len()
-                ),
+                format!("{}/{}", audited_total / TRIALS, honest.len()),
             ]);
         }
     }

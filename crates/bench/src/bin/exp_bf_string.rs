@@ -13,8 +13,8 @@ use pprl_blocking::standard::full_cross_product;
 use pprl_core::qgram::{qgram_dice, QGramConfig};
 use pprl_core::record::Dataset;
 use pprl_datagen::generator::{Generator, GeneratorConfig};
-use pprl_encoding::encoder::{EncodingMode, RecordEncoder, RecordEncoderConfig};
 use pprl_encoding::bloom::HashingScheme;
+use pprl_encoding::encoder::{EncodingMode, RecordEncoder, RecordEncoderConfig};
 use pprl_eval::quality::Confusion;
 
 const N: usize = 400;
@@ -61,9 +61,7 @@ fn encoded_matches(a: &Dataset, b: &Dataset, config: RecordEncoderConfig) -> Vec
     let eb = enc.encode_dataset(b).expect("encode b");
     full_cross_product(a.len(), b.len())
         .into_iter()
-        .filter(|&(i, j)| {
-            ea.records[i].dice(&eb.records[j]).expect("same mode") >= THRESHOLD
-        })
+        .filter(|&(i, j)| ea.records[i].dice(&eb.records[j]).expect("same mode") >= THRESHOLD)
         .collect()
 }
 
@@ -109,9 +107,17 @@ fn main() {
     let mut t = Table::new(&["variant", "P", "R", "F1"]);
     let mut variant = |name: &str, cfg: RecordEncoderConfig| {
         let q = Confusion::from_pairs(&encoded_matches(&a, &b, cfg), &truth);
-        t.row(vec![name.to_string(), f3(q.precision()), f3(q.recall()), f3(q.f1())]);
+        t.row(vec![
+            name.to_string(),
+            f3(q.precision()),
+            f3(q.recall()),
+            f3(q.f1()),
+        ]);
     };
-    variant("CLK + double hashing", RecordEncoderConfig::person_clk(b"e2".to_vec()));
+    variant(
+        "CLK + double hashing",
+        RecordEncoderConfig::person_clk(b"e2".to_vec()),
+    );
     let mut kind = RecordEncoderConfig::person_clk(b"e2".to_vec());
     kind.params.scheme = HashingScheme::KIndependent;
     variant("CLK + k-independent", kind);
@@ -121,10 +127,10 @@ fn main() {
 
     // RBF (Durham): weighted bit sampling from field filters.
     {
-        use pprl_encoding::rbf::{RbfConfig, RbfEncoder, RbfField};
+        use pprl_core::qgram::QGramConfig;
         use pprl_encoding::encoder::FieldEncoding;
         use pprl_encoding::numeric_bf::NeighbourhoodParams;
-        use pprl_core::qgram::QGramConfig;
+        use pprl_encoding::rbf::{RbfConfig, RbfEncoder, RbfField};
         let q = QGramConfig::default();
         let cfg = RbfConfig {
             field_params: pprl_encoding::bloom::BloomParams {
@@ -144,7 +150,10 @@ fn main() {
                 RbfField::new("gender", FieldEncoding::Categorical, 0.5),
                 RbfField::new(
                     "age",
-                    FieldEncoding::Numeric(NeighbourhoodParams { step: 1.0, neighbours: 2 }),
+                    FieldEncoding::Numeric(NeighbourhoodParams {
+                        step: 1.0,
+                        neighbours: 2,
+                    }),
                     0.5,
                 ),
             ],

@@ -54,11 +54,8 @@ fn main() {
         let truth = a.ground_truth_pairs(&b);
 
         // Shared preprocessing for LSH methods.
-        let enc = RecordEncoder::new(
-            RecordEncoderConfig::person_clk(b"e4".to_vec()),
-            a.schema(),
-        )
-        .expect("valid config");
+        let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"e4".to_vec()), a.schema())
+            .expect("valid config");
         let ea = enc.encode_dataset(&a).expect("encode");
         let eb = enc.encode_dataset(&b).expect("encode");
         let fa = ea.clks().expect("clk");
@@ -132,7 +129,10 @@ fn main() {
     let raw = block_pairs(&blocks);
     let purged = block_pairs(&purge_blocks(blocks, 5_000));
     let mut t = Table::new(&["stage", "candidates", "RR", "PC"]);
-    for (name, pairs) in [("city blocks (raw)", &raw), ("after block purging", &purged)] {
+    for (name, pairs) in [
+        ("city blocks (raw)", &raw),
+        ("after block purging", &purged),
+    ] {
         let q = blocking_quality(pairs, &truth, a.len(), b.len()).expect("non-empty");
         t.row(vec![
             name.to_string(),

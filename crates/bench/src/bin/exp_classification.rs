@@ -36,7 +36,12 @@ fn main() {
         "Classification techniques (§3.4)",
         "Fellegi–Sunter (unsupervised EM) and logistic regression (supervised) beat a single threshold",
     );
-    let mut t = Table::new(&["corruption", "threshold F1", "fellegi-sunter F1", "logistic F1"]);
+    let mut t = Table::new(&[
+        "corruption",
+        "threshold F1",
+        "fellegi-sunter F1",
+        "logistic F1",
+    ]);
     for corruption in [0.1, 0.2, 0.3, 0.4] {
         let mut g = Generator::new(GeneratorConfig {
             corruption_rate: corruption,
@@ -49,8 +54,7 @@ fn main() {
         let (a, b) = g.dataset_pair(150, 150, 50).expect("valid");
         let cmp = RecordComparator::person_default(a.schema()).expect("valid");
 
-        let truth: std::collections::HashSet<_> =
-            a.ground_truth_pairs(&b).into_iter().collect();
+        let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
         let (pairs, vecs) = vectors(&a, &b, &cmp);
 
         // 1. Single threshold on the weighted aggregate.
@@ -112,11 +116,9 @@ fn main() {
                 .filter(|(_, &p)| p >= cut)
                 .map(|(&p, _)| p)
                 .collect();
-            let f1 = Confusion::from_pairs(
-                &predicted,
-                &train_truth.iter().copied().collect::<Vec<_>>(),
-            )
-            .f1();
+            let f1 =
+                Confusion::from_pairs(&predicted, &train_truth.iter().copied().collect::<Vec<_>>())
+                    .f1();
             if f1 > best_f1 {
                 best_f1 = f1;
                 best_cutoff = cut;

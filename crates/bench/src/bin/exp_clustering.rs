@@ -49,13 +49,8 @@ fn edges(datasets: &[Dataset], floor: f64) -> Vec<Edge> {
 
 /// Fraction of clusters containing exactly one entity (purity) and the
 /// fraction of true multi-party entities fully recovered (completeness).
-fn cluster_quality(
-    datasets: &[Dataset],
-    clusters: &[Vec<RecordRef>],
-    common: usize,
-) -> (f64, f64) {
-    let entity_of =
-        |r: &RecordRef| datasets[r.party.0 as usize].records()[r.row].entity_id;
+fn cluster_quality(datasets: &[Dataset], clusters: &[Vec<RecordRef>], common: usize) -> (f64, f64) {
+    let entity_of = |r: &RecordRef| datasets[r.party.0 as usize].records()[r.row].entity_id;
     let pure = clusters
         .iter()
         .filter(|c| {
@@ -65,9 +60,9 @@ fn cluster_quality(
         .count();
     let full = (0..common as u64)
         .filter(|&e| {
-            clusters.iter().any(|c| {
-                c.len() == datasets.len() && c.iter().all(|r| entity_of(r) == e)
-            })
+            clusters
+                .iter()
+                .any(|c| c.len() == datasets.len() && c.iter().all(|r| entity_of(r) == e))
         })
         .count();
     (
@@ -137,11 +132,8 @@ fn main() {
     // The incremental clusterer also tracks singletons (records with no
     // match); count only multi-record clusters for comparability with the
     // edge-based batch methods.
-    let inc_clusters: Vec<Vec<RecordRef>> = inc
-        .clusters()
-        .into_iter()
-        .filter(|c| c.len() > 1)
-        .collect();
+    let inc_clusters: Vec<Vec<RecordRef>> =
+        inc.clusters().into_iter().filter(|c| c.len() > 1).collect();
     let (purity, completeness) = cluster_quality(&datasets, &inc_clusters, common);
     t.row(vec![
         "incremental (party-by-party)".into(),
@@ -154,7 +146,10 @@ fn main() {
     println!("\nSubset matching over the connected-components clusters:");
     let mut t = Table::new(&["min parties", "qualifying clusters"]);
     for m in (2..=parties).rev() {
-        t.row(vec![m.to_string(), subset_matches(&cc, m).len().to_string()]);
+        t.row(vec![
+            m.to_string(),
+            subset_matches(&cc, m).len().to_string(),
+        ]);
     }
     t.print();
 }

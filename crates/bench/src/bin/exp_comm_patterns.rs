@@ -9,8 +9,8 @@
 //! `cargo run --release -p pprl-bench --bin exp_comm_patterns`
 
 use pprl_bench::{banner, Table};
-use pprl_crypto::secure_sum::{ring_collusion_exposed, sum_additive_shares, sum_masked_ring};
 use pprl_core::rng::SplitMix64;
+use pprl_crypto::secure_sum::{ring_collusion_exposed, sum_additive_shares, sum_masked_ring};
 use pprl_datagen::generator::{Generator, GeneratorConfig};
 use pprl_protocols::multi_party::{multi_party_linkage, MultiPartyConfig};
 use pprl_protocols::patterns::Pattern;
@@ -52,7 +52,10 @@ fn main() {
         ("sequential", Pattern::Sequential),
         ("ring", Pattern::Ring),
         ("tree (f=2)", Pattern::Tree { fanout: 2 }),
-        ("hierarchical (g=3)", Pattern::Hierarchical { group_size: 3 }),
+        (
+            "hierarchical (g=3)",
+            Pattern::Hierarchical { group_size: 3 },
+        ),
     ] {
         let mut cfg = MultiPartyConfig::standard(b"e5".to_vec());
         cfg.pattern = pattern;

@@ -64,7 +64,10 @@ fn main() {
         key: b"leaked".to_vec(),
     })
     .expect("valid");
-    let plain_filters: Vec<_> = names.iter().map(|n| leaked.encode_tokens(&tokens(n))).collect();
+    let plain_filters: Vec<_> = names
+        .iter()
+        .map(|n| leaked.encode_tokens(&tokens(n)))
+        .collect();
     let dictionary: Vec<String> = LAST_NAMES.iter().map(|s| s.to_string()).collect();
 
     let mut t = Table::new(&["epsilon", "linkage F1", "attack reid rate"]);
@@ -76,8 +79,8 @@ fn main() {
         };
         let r = link(&a, &b, &cfg).expect("runs");
         let f1 = Confusion::from_pairs(&r.pairs(), &truth).f1();
-        let attack = dictionary_attack(&plain_filters, &dictionary, &leaked, tokens, 0.8)
-            .expect("runs");
+        let attack =
+            dictionary_attack(&plain_filters, &dictionary, &leaked, tokens, 0.8).expect("runs");
         let rate = reidentification_rate(&attack.guesses, &names).expect("aligned");
         t.row(vec!["inf (no DP)".into(), f3(f1), pct(rate)]);
     }
@@ -102,8 +105,7 @@ fn main() {
             .enumerate()
             .map(|(i, f)| blip.apply(f, i as u64).expect("valid"))
             .collect();
-        let attack = dictionary_attack(&hardened, &dictionary, &leaked, tokens, 0.8)
-            .expect("runs");
+        let attack = dictionary_attack(&hardened, &dictionary, &leaked, tokens, 0.8).expect("runs");
         let rate = reidentification_rate(&attack.guesses, &names).expect("aligned");
         t.row(vec![format!("{epsilon:.1}"), f3(f1), pct(rate)]);
     }
@@ -122,7 +124,11 @@ fn main() {
             })
             .sum::<f64>()
             / 2000.0;
-        t.row(vec![format!("{epsilon:.1}"), f3(mean_err), "yes (unbiased)".into()]);
+        t.row(vec![
+            format!("{epsilon:.1}"),
+            f3(mean_err),
+            "yes (unbiased)".into(),
+        ]);
     }
     t.print();
 }

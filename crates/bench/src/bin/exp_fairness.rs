@@ -47,9 +47,8 @@ fn main() {
     // Build the pair universe: each entity vs its duplicate (match) and vs
     // the next entity (non-match), with corruption by protected group.
     let schema = pprl_core::schema::Schema::person();
-    let encoder =
-        RecordEncoder::new(RecordEncoderConfig::person_clk(b"e11".to_vec()), &schema)
-            .expect("valid");
+    let encoder = RecordEncoder::new(RecordEncoderConfig::person_clk(b"e11".to_vec()), &schema)
+        .expect("valid");
     let encode_one = |r: &Record| {
         let mut ds = pprl_core::record::Dataset::new(schema.clone());
         ds.push(r.clone()).expect("matches schema");
@@ -130,7 +129,11 @@ fn main() {
     let mitigated: Vec<GroupedPair> = pairs
         .iter()
         .map(|p| GroupedPair {
-            score: if p.score >= thresholds[&p.group] { 1.0 } else { 0.0 },
+            score: if p.score >= thresholds[&p.group] {
+                1.0
+            } else {
+                0.0
+            },
             ..p.clone()
         })
         .collect();

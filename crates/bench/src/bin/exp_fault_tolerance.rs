@@ -1,0 +1,156 @@
+//! E16 — fault-tolerant protocol sessions: linkage quality survives an
+//! unreliable network, paid for in retransmissions, and party crashes
+//! degrade gracefully instead of failing the run.
+//!
+//! Sweeps the fault rate of the simulated transport from 0 to 20% for the
+//! two-party protocol (recall stays identical to the fault-free run while
+//! retry traffic grows), sweeps the retry budget at a fixed fault rate
+//! (too few retries ⇒ typed timeout, enough ⇒ full recovery), and crashes
+//! one of four parties mid-multi-party-run under each quorum setting. Run:
+//! `cargo run --release -p pprl-bench --bin exp_fault_tolerance`
+
+use pprl_bench::{banner, f3, Table};
+use pprl_core::error::PprlError;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_protocols::transport::{Crash, FaultPlan};
+use pprl_protocols::{
+    multi_party_linkage, two_party_linkage, MultiPartyConfig, RetryPolicy, TwoPartyConfig,
+};
+
+fn main() {
+    banner(
+        "E16",
+        "Fault-tolerant protocol sessions (transport faults, retries, crashes)",
+        "retries hold recall at the fault-free level under 10%+ message loss; crashes degrade to the surviving quorum or abort typed",
+    );
+
+    let mut g = Generator::new(GeneratorConfig {
+        seed: 16,
+        corruption_rate: 0.15,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid");
+    let (a, b) = g.dataset_pair(100, 100, 30).expect("valid");
+    let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
+    let recall = |matches: &[(usize, usize, f64)]| {
+        let tp = matches
+            .iter()
+            .filter(|&&(i, j, _)| truth.contains(&(i, j)))
+            .count();
+        tp as f64 / truth.len() as f64
+    };
+
+    println!(
+        "\nTwo-party linkage as the network degrades (drop rate r, corrupt rate r/2, 8 retries):"
+    );
+    let mut t = Table::new(&[
+        "fault rate",
+        "recall",
+        "messages",
+        "payload bytes",
+        "retransmits",
+        "overhead bytes",
+    ]);
+    let mut baseline_recall = None;
+    for rate in [0.0, 0.02, 0.05, 0.10, 0.20] {
+        let mut cfg = TwoPartyConfig::standard(b"e16".to_vec()).expect("valid");
+        cfg.fault_plan = FaultPlan {
+            drop_rate: rate,
+            corrupt_rate: rate / 2.0,
+            ..FaultPlan::none()
+        };
+        cfg.retry = RetryPolicy {
+            max_retries: 8,
+            ..RetryPolicy::default()
+        };
+        match two_party_linkage(&a, &b, &cfg) {
+            Ok(out) => {
+                let r = recall(&out.matches);
+                let base = *baseline_recall.get_or_insert(r);
+                assert!(
+                    (r - base).abs() < 1e-12,
+                    "recall must not move under recovered faults"
+                );
+                t.row(vec![
+                    format!("{:.0}%", rate * 100.0),
+                    f3(r),
+                    out.cost.messages.to_string(),
+                    out.cost.bytes.to_string(),
+                    out.session_stats.retransmissions.to_string(),
+                    out.session_stats.overhead_bytes.to_string(),
+                ]);
+            }
+            Err(e) => t.row(vec![
+                format!("{:.0}%", rate * 100.0),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t.print();
+    println!("  recall is identical in every surviving run: lost and corrupted frames are");
+    println!("  detected (checksums) and retransmitted, so the protocol output is byte-equal.");
+
+    println!("\nRetry budget at a fixed 15% drop rate (exponential backoff, base 16 ticks):");
+    let mut t = Table::new(&["max retries", "outcome", "retransmits", "timeouts"]);
+    for retries in [0u32, 1, 2, 4, 8] {
+        let mut cfg = TwoPartyConfig::standard(b"e16".to_vec()).expect("valid");
+        cfg.fault_plan = FaultPlan::with_drop_rate(0.15);
+        cfg.retry = RetryPolicy {
+            max_retries: retries,
+            ..RetryPolicy::default()
+        };
+        match two_party_linkage(&a, &b, &cfg) {
+            Ok(out) => t.row(vec![
+                retries.to_string(),
+                format!("completed, recall {}", f3(recall(&out.matches))),
+                out.session_stats.retransmissions.to_string(),
+                out.session_stats.timeouts.to_string(),
+            ]),
+            Err(PprlError::Timeout(_)) => t.row(vec![
+                retries.to_string(),
+                "typed timeout (budget exhausted)".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    t.print();
+
+    println!("\nParty crash during a 4-party run (ring pattern, crash in round 3):");
+    let datasets = g.multi_party(4, 20, 6).expect("valid");
+    let mut t = Table::new(&["min parties", "outcome", "tuples", "matches", "failed"]);
+    for quorum in [2usize, 4] {
+        let mut cfg = MultiPartyConfig::standard(b"e16".to_vec());
+        cfg.min_parties = quorum;
+        cfg.fault_plan.crash = Some(Crash {
+            party: 2,
+            at_round: 3,
+        });
+        match multi_party_linkage(&datasets, &cfg) {
+            Ok(out) => t.row(vec![
+                quorum.to_string(),
+                "degraded (survivors linked)".into(),
+                out.tuples_compared.to_string(),
+                out.matches.len().to_string(),
+                format!("{:?}", out.failed_parties),
+            ]),
+            Err(PprlError::ProtocolError(m)) => t.row(vec![
+                quorum.to_string(),
+                format!("typed abort: {m}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    t.print();
+    println!("  with quorum 2 the ring re-forms around the crashed party and the remaining");
+    println!("  three parties finish the linkage; demanding all four aborts with a typed");
+    println!("  quorum error the caller can act on — never a panic, never silent garbage.");
+}

@@ -54,7 +54,11 @@ fn main() {
         .iter()
         .filter(|p| p.similarity >= lower && p.similarity < upper)
         .count();
-    println!("\n{} candidate pairs, {} in the review band [{lower}, {upper})", pairs.len(), band);
+    println!(
+        "\n{} candidate pairs, {} in the review band [{lower}, {upper})",
+        pairs.len(),
+        band
+    );
 
     let truth_vec: Vec<(usize, usize)> = truth.iter().copied().collect();
     let mut t = Table::new(&["review budget", "reviewed", "precision", "recall", "F1"]);

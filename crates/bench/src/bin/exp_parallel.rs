@@ -37,10 +37,8 @@ fn main() {
     let mut baseline = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let (out, time) = timed(|| {
-            compare_pairs_parallel(&candidates, 0.8, threads, |i, j| {
-                dice_bits(fa[i], fb[j])
-            })
-            .expect("runs")
+            compare_pairs_parallel(&candidates, 0.8, threads, |i, j| dice_bits(fa[i], fb[j]))
+                .expect("runs")
         });
         if threads == 1 {
             baseline = time;
@@ -53,7 +51,9 @@ fn main() {
         ]);
     }
     t.print();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("\n(cores available: {cores})");
     if cores == 1 {
         println!("NOTE: this machine exposes a single core, so thread-partitioning can");

@@ -30,11 +30,14 @@ fn main() {
     let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz".chars().collect();
     for len in [8usize, 16, 32, 64, 128] {
         let mk = |rng: &mut SplitMix64| -> String {
-            (0..len).map(|_| alphabet[rng.next_below(26) as usize]).collect()
+            (0..len)
+                .map(|_| alphabet[rng.next_below(26) as usize])
+                .collect()
         };
         let x = mk(&mut rng);
         let y = mk(&mut rng);
-        let (out, secure_time) = timed(|| secure_edit_distance(&x, &y, &mut rng).expect("length ok"));
+        let (out, secure_time) =
+            timed(|| secure_edit_distance(&x, &y, &mut rng).expect("length ok"));
         let (plain, plain_time) = timed(|| plaintext_edit_distance(&x, &y));
         assert_eq!(out.distance, plain);
         t.row(vec![
@@ -52,7 +55,13 @@ fn main() {
     println!(" and 2 rounds per op, which is what the bytes/rounds columns count)");
 
     println!("\nPaillier keygen + 100 homomorphic add/encrypt ops vs modulus size:");
-    let mut t = Table::new(&["modulus bits", "keygen", "100 encrypts", "100 adds", "decrypt"]);
+    let mut t = Table::new(&[
+        "modulus bits",
+        "keygen",
+        "100 encrypts",
+        "100 adds",
+        "decrypt",
+    ]);
     for bits in [128usize, 256, 512, 1024] {
         let (kp, keygen_time) = timed(|| KeyPair::generate(bits, &mut rng).expect("keygen"));
         let (cts, enc_time) = timed(|| {

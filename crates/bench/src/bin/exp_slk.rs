@@ -38,7 +38,13 @@ fn main() {
     );
 
     println!("\nSensitivity (recall on corrupted true matches), n = 500/side:");
-    let mut t = Table::new(&["corruption", "SLK recall", "SLK precision", "CLK recall", "CLK precision"]);
+    let mut t = Table::new(&[
+        "corruption",
+        "SLK recall",
+        "SLK precision",
+        "CLK recall",
+        "CLK precision",
+    ]);
     for corruption in [0.0, 0.1, 0.2, 0.3, 0.4] {
         let mut g = Generator::new(GeneratorConfig {
             corruption_rate: corruption,

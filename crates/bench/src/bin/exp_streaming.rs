@@ -78,8 +78,8 @@ fn main() {
     // Identity drift: re-observe the same people after k evolution steps
     // (moves, surname changes, ageing) and measure how linkage decays.
     println!("\nIdentity drift: match rate of re-observations after k life-event steps");
-    use pprl_datagen::temporal::{evolve_step, EvolutionConfig};
     use pprl_core::rng::SplitMix64;
+    use pprl_datagen::temporal::{evolve_step, EvolutionConfig};
     let mut t = Table::new(&["steps since indexing", "re-identified", "rate"]);
     let mut g2 = Generator::new(GeneratorConfig {
         corruption_rate: 0.05,
@@ -110,12 +110,9 @@ fn main() {
             for person in &current {
                 let probe = g2.corrupt_record(person);
                 let out = drift_linker.insert(1, &probe).expect("inserts");
-                if out
-                    .matches
-                    .iter()
-                    .any(|m| m.existing.party.0 == 0
-                        && people[m.existing.row].entity_id == person.entity_id)
-                {
+                if out.matches.iter().any(|m| {
+                    m.existing.party.0 == 0 && people[m.existing.row].entity_id == person.entity_id
+                }) {
                     found += 1;
                 }
             }

@@ -46,9 +46,13 @@ fn main() {
     let space = ParamSpace::new(vec![(0.3, 0.95), (1.0, 24.0), (8.0, 64.0)]).expect("valid");
     let budget = 27;
 
-    let mut t = Table::new(&["method", "evaluations", "best F1", "best params (t, tables, bits)"]);
-    let fmt_params =
-        |p: &[f64]| format!("({:.2}, {:.0}, {:.0})", p[0], p[1].round(), p[2].round());
+    let mut t = Table::new(&[
+        "method",
+        "evaluations",
+        "best F1",
+        "best params (t, tables, bits)",
+    ]);
+    let fmt_params = |p: &[f64]| format!("({:.2}, {:.0}, {:.0})", p[0], p[1].round(), p[2].round());
 
     let out = grid_search(&space, 3, objective).expect("runs"); // 27 evals
     t.row(vec![
@@ -80,7 +84,11 @@ fn main() {
     let mut random_curves = Vec::new();
     let mut bo_curves = Vec::new();
     for &s in &seeds {
-        random_curves.push(random_search(&space, budget, s, objective).expect("runs").best_so_far());
+        random_curves.push(
+            random_search(&space, budget, s, objective)
+                .expect("runs")
+                .best_so_far(),
+        );
         bo_curves.push(
             bayesian_optimization(&space, budget, 6, s, objective)
                 .expect("runs")
@@ -88,9 +96,8 @@ fn main() {
         );
     }
     for k in [5usize, 10, 15, 20, 26] {
-        let mean = |curves: &Vec<Vec<f64>>| {
-            curves.iter().map(|c| c[k]).sum::<f64>() / curves.len() as f64
-        };
+        let mean =
+            |curves: &Vec<Vec<f64>>| curves.iter().map(|c| c[k]).sum::<f64>() / curves.len() as f64;
         t.row(vec![
             (k + 1).to_string(),
             f3(mean(&random_curves)),

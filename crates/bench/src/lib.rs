@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use std::time::Instant;
 
 /// A simple fixed-width table printer for experiment output.

@@ -156,20 +156,35 @@ mod tests {
         let rb: Vec<&str> = names_b.iter().map(|s| s.as_str()).collect();
         let a = grams(&ra);
         let b = grams(&rb);
-        let loose = CanopyBlocking::new(0.2, 0.95, 5).unwrap().candidates(&a, &b).unwrap();
-        let tight = CanopyBlocking::new(0.8, 0.95, 5).unwrap().candidates(&a, &b).unwrap();
+        let loose = CanopyBlocking::new(0.2, 0.95, 5)
+            .unwrap()
+            .candidates(&a, &b)
+            .unwrap();
+        let tight = CanopyBlocking::new(0.8, 0.95, 5)
+            .unwrap()
+            .candidates(&a, &b)
+            .unwrap();
         assert!(tight.len() <= loose.len());
         // All names share the "person" prefix, so the lax setting may keep
         // everything; the strict one must prune against the 30×30 product.
-        assert!(tight.len() < 900, "tight canopies should prune vs cross product");
+        assert!(
+            tight.len() < 900,
+            "tight canopies should prune vs cross product"
+        );
     }
 
     #[test]
     fn deterministic_by_seed() {
         let a = grams(&["anna", "anne", "bob"]);
         let b = grams(&["anna", "robert"]);
-        let c1 = CanopyBlocking::new(0.3, 0.8, 11).unwrap().candidates(&a, &b).unwrap();
-        let c2 = CanopyBlocking::new(0.3, 0.8, 11).unwrap().candidates(&a, &b).unwrap();
+        let c1 = CanopyBlocking::new(0.3, 0.8, 11)
+            .unwrap()
+            .candidates(&a, &b)
+            .unwrap();
+        let c2 = CanopyBlocking::new(0.3, 0.8, 11)
+            .unwrap()
+            .candidates(&a, &b)
+            .unwrap();
         assert_eq!(c1, c2);
     }
 }

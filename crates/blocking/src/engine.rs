@@ -6,7 +6,6 @@
 //! (§3.4 "parallel/distributed processing", ref \[9]), and reports the pairs
 //! at or above a threshold together with comparison counts.
 
-use crossbeam::thread;
 use pprl_core::error::{PprlError, Result};
 
 use crate::standard::CandidatePair;
@@ -62,8 +61,8 @@ where
 }
 
 /// Parallel version of [`compare_pairs`]: partitions the candidate list
-/// across `threads` OS threads (crossbeam scoped threads, so `similarity`
-/// only needs `Sync`, not `'static`).
+/// across `threads` OS threads (std scoped threads, so `similarity` only
+/// needs `Sync`, not `'static`).
 pub fn compare_pairs_parallel<F>(
     candidates: &[CandidatePair],
     threshold: f64,
@@ -83,11 +82,11 @@ where
         return compare_pairs(candidates, threshold, similarity);
     }
     let chunk = candidates.len().div_ceil(threads);
-    let results: Vec<Result<Vec<ScoredPair>>> = thread::scope(|scope| {
+    let results: Vec<Result<Vec<ScoredPair>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for part in candidates.chunks(chunk) {
             let sim = &similarity;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for &(i, j) in part {
                     let s = sim(i, j)?;
@@ -106,8 +105,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("comparison worker panicked"))
             .collect()
-    })
-    .expect("comparison scope panicked");
+    });
 
     let mut matches = Vec::new();
     for r in results {

@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn high_threshold_prunes_more_by_length() {
         let a = [bv(&[1, 2, 3, 4])];
-        let b = [bv(&[1]), bv(&(0..40).collect::<Vec<_>>()), bv(&[1, 2, 3, 4])];
+        let b = [
+            bv(&[1]),
+            bv(&(0..40).collect::<Vec<_>>()),
+            bv(&[1, 2, 3, 4]),
+        ];
         let fa: Vec<&BitVec> = a.iter().collect();
         let fb: Vec<&BitVec> = b.iter().collect();
         let cand = crate::standard::full_cross_product(1, 3);

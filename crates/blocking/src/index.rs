@@ -200,10 +200,7 @@ mod tests {
         let out = index.query(&base, 0.1).unwrap();
         assert_eq!(out.matches[0].0, 0);
         assert!((out.matches[0].1 - 1.0).abs() < 1e-12);
-        assert!(out
-            .matches
-            .windows(2)
-            .all(|w| w[0].1 >= w[1].1));
+        assert!(out.matches.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl KeyPart {
         }
         match self {
             KeyPart::Exact(_) => normalize_compact(&value.as_text()),
-            KeyPart::Prefix(_, n) => normalize_compact(&value.as_text()).chars().take(*n).collect(),
+            KeyPart::Prefix(_, n) => normalize_compact(&value.as_text())
+                .chars()
+                .take(*n)
+                .collect(),
             KeyPart::Soundex(_) => soundex(&value.as_text()),
             KeyPart::Nysiis(_) => nysiis(&value.as_text()),
             KeyPart::Year(_) => match value {
@@ -156,7 +159,10 @@ mod tests {
 
     #[test]
     fn nysiis_part() {
-        let d = ds(vec![person("anna", "Schmidt", 1987), person("x", "Schmitt", 1987)]);
+        let d = ds(vec![
+            person("anna", "Schmidt", 1987),
+            person("x", "Schmitt", 1987),
+        ]);
         let k = BlockingKey::new(vec![KeyPart::Nysiis("last_name".into())])
             .extract(&d)
             .unwrap();

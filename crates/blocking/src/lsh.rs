@@ -94,7 +94,10 @@ impl HammingLsh {
     /// Validates parameters.
     pub fn new(tables: usize, bits_per_key: usize, seed: u64) -> Result<Self> {
         if tables == 0 || bits_per_key == 0 {
-            return Err(PprlError::invalid("tables/bits_per_key", "must be positive"));
+            return Err(PprlError::invalid(
+                "tables/bits_per_key",
+                "must be positive",
+            ));
         }
         Ok(HammingLsh {
             tables,
@@ -142,10 +145,20 @@ impl HammingLsh {
         for positions in self.table_positions(len) {
             let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
             for (j, f) in filters_b.iter().enumerate() {
+                // An all-zero filter encodes a record with no usable
+                // evidence (e.g. every field missing); it would trivially
+                // collide with every sparse filter whose sampled positions
+                // happen to be zero, so it is excluded from blocking.
+                if f.count_ones() == 0 {
+                    continue;
+                }
                 let key = f.sample(&positions)?.to_bytes();
                 table.entry(key).or_default().push(j);
             }
             for (i, f) in filters_a.iter().enumerate() {
+                if f.count_ones() == 0 {
+                    continue;
+                }
                 let key = f.sample(&positions)?.to_bytes();
                 if let Some(rows) = table.get(&key) {
                     for &j in rows {
@@ -163,8 +176,8 @@ impl HammingLsh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pprl_encoding::minhash::MinHasher;
     use pprl_core::qgram::{qgram_set, QGramConfig};
+    use pprl_encoding::minhash::MinHasher;
 
     #[test]
     fn minhash_lsh_validation() {
@@ -189,13 +202,25 @@ mod tests {
         let cfg = QGramConfig::bigrams();
         let names_a = ["jonathan smith", "mary johnson", "peter miller"];
         let names_b = ["jonathan smyth", "completely different", "peter miller"];
-        let sigs_a: Vec<Vec<u64>> = names_a.iter().map(|n| hasher.signature(&qgram_set(n, &cfg))).collect();
-        let sigs_b: Vec<Vec<u64>> = names_b.iter().map(|n| hasher.signature(&qgram_set(n, &cfg))).collect();
+        let sigs_a: Vec<Vec<u64>> = names_a
+            .iter()
+            .map(|n| hasher.signature(&qgram_set(n, &cfg)))
+            .collect();
+        let sigs_b: Vec<Vec<u64>> = names_b
+            .iter()
+            .map(|n| hasher.signature(&qgram_set(n, &cfg)))
+            .collect();
         let lsh = MinHashLsh::new(25, 4).unwrap();
         let pairs = lsh.candidates(&sigs_a, &sigs_b).unwrap();
-        assert!(pairs.contains(&(0, 0)), "similar pair should be a candidate: {pairs:?}");
+        assert!(
+            pairs.contains(&(0, 0)),
+            "similar pair should be a candidate: {pairs:?}"
+        );
         assert!(pairs.contains(&(2, 2)), "identical pair must collide");
-        assert!(!pairs.contains(&(1, 1)), "dissimilar pair should not collide");
+        assert!(
+            !pairs.contains(&(1, 1)),
+            "dissimilar pair should not collide"
+        );
     }
 
     #[test]
@@ -232,8 +257,14 @@ mod tests {
         }
         let lsh = HammingLsh::new(20, 24, 99).unwrap();
         let pairs = lsh.candidates(&[&base], &[&near, &far]).unwrap();
-        assert!(pairs.contains(&(0, 0)), "near filter should collide: {pairs:?}");
-        assert!(!pairs.contains(&(0, 1)), "far filter should not collide: {pairs:?}");
+        assert!(
+            pairs.contains(&(0, 0)),
+            "near filter should collide: {pairs:?}"
+        );
+        assert!(
+            !pairs.contains(&(0, 1)),
+            "far filter should not collide: {pairs:?}"
+        );
     }
 
     #[test]
@@ -250,6 +281,19 @@ mod tests {
         let a = BitVec::zeros(8);
         let b = BitVec::zeros(16);
         assert!(lsh.candidates(&[&a], &[&b]).is_err());
+    }
+
+    #[test]
+    fn all_zero_filters_are_excluded() {
+        // Two empty (all-missing) records must not collide with each other
+        // nor with a sparse filter whose sampled positions are all zero.
+        let lsh = HammingLsh::new(8, 16, 11).unwrap();
+        let zero = BitVec::zeros(256);
+        let sparse = BitVec::from_positions(256, &[7]).unwrap();
+        let pairs = lsh
+            .candidates(&[&zero, &sparse], &[&zero, &sparse])
+            .unwrap();
+        assert_eq!(pairs, vec![(1, 1)], "only the sparse self-pair collides");
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl Args {
     }
 
     /// Parses a typed option with a default.
-    pub fn parse_or<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, ArgError> {
+    pub fn parse_or<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
@@ -108,7 +112,10 @@ impl Args {
     pub fn finish(&self) -> Result<(), ArgError> {
         for k in self.options.keys().chain(self.flags.iter()) {
             if !self.known.contains(k) {
-                return Err(ArgError(format!("unknown flag `--{k}` for `{}`", self.command)));
+                return Err(ArgError(format!(
+                    "unknown flag `--{k}` for `{}`",
+                    self.command
+                )));
             }
         }
         Ok(())
@@ -125,7 +132,8 @@ mod tests {
 
     #[test]
     fn parses_subcommand_options_and_flags() {
-        let mut a = Args::parse(&raw("link --a x.csv --b y.csv --evaluate"), &["evaluate"]).unwrap();
+        let mut a =
+            Args::parse(&raw("link --a x.csv --b y.csv --evaluate"), &["evaluate"]).unwrap();
         assert_eq!(a.command, "link");
         assert_eq!(a.require("a").unwrap(), "x.csv");
         assert_eq!(a.get_or("threshold", "0.8"), "0.8");

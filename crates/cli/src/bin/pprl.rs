@@ -21,6 +21,7 @@ fn main() {
         "link" => commands::link_cmd(args),
         "dedup" => commands::dedup_cmd(args),
         "encode" => commands::encode_cmd(args),
+        "multiparty" => commands::multiparty_cmd(args),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
             std::process::exit(2);

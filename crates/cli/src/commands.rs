@@ -14,6 +14,8 @@ use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_eval::quality::Confusion;
 use pprl_pipeline::batch::{link, BlockingChoice, PipelineConfig};
 use pprl_pipeline::dedup::{deduplicate, deduplicated_dataset, DedupConfig};
+use pprl_protocols::transport::Crash;
+use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
 
 type CmdResult = Result<(), String>;
 
@@ -131,7 +133,10 @@ pub fn dedup_cmd(mut args: Args) -> CmdResult {
     if let Some(path) = output {
         let clean = deduplicated_dataset(&ds, &out).map_err(fail)?;
         write_file(&path, &clean.to_csv())?;
-        println!("deduplicated dataset ({} records) written to {path}", clean.len());
+        println!(
+            "deduplicated dataset ({} records) written to {path}",
+            clean.len()
+        );
     }
     Ok(())
 }
@@ -145,8 +150,11 @@ pub fn encode_cmd(mut args: Args) -> CmdResult {
     args.finish().map_err(fail)?;
 
     let ds = read_dataset(&input)?;
-    let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(key.into_bytes()), ds.schema())
-        .map_err(fail)?;
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(key.into_bytes()),
+        ds.schema(),
+    )
+    .map_err(fail)?;
     let encoded = enc.encode_dataset(&ds).map_err(fail)?;
     let mut csv = String::from("row,clk_hex\n");
     for (i, r) in encoded.records.iter().enumerate() {
@@ -160,6 +168,86 @@ pub fn encode_cmd(mut args: Args) -> CmdResult {
         encoded.len(),
         enc.output_len()
     );
+    Ok(())
+}
+
+/// `pprl multiparty` — multi-party linkage over a simulated (optionally
+/// unreliable) network with retry/timeout fault tolerance.
+pub fn multiparty_cmd(mut args: Args) -> CmdResult {
+    let inputs = args.require("inputs").map_err(fail)?;
+    let key = args.require("key").map_err(fail)?;
+    let threshold: f64 = args.parse_or("threshold", 0.8).map_err(fail)?;
+    let pattern = args.get_or("pattern", "ring");
+    let fault_rate: f64 = args.parse_or("fault-rate", 0.0).map_err(fail)?;
+    let crash_party: Option<String> = args.get("crash-party");
+    let crash_round: usize = args.parse_or("crash-round", 1).map_err(fail)?;
+    let retries: u32 = args.parse_or("retries", 3).map_err(fail)?;
+    let min_parties: usize = args.parse_or("min-parties", 2).map_err(fail)?;
+    let seed: u64 = args.parse_or("seed", 0x5EED).map_err(fail)?;
+    args.finish().map_err(fail)?;
+
+    let paths: Vec<&str> = inputs.split(',').filter(|p| !p.is_empty()).collect();
+    let mut datasets = Vec::with_capacity(paths.len());
+    for p in &paths {
+        datasets.push(read_dataset(p)?);
+    }
+
+    let mut cfg = MultiPartyConfig::standard(key.into_bytes());
+    cfg.threshold = threshold;
+    cfg.pattern = match pattern.as_str() {
+        "ring" => Pattern::Ring,
+        "sequential" => Pattern::Sequential,
+        "tree" => Pattern::Tree { fanout: 2 },
+        "hierarchical" => Pattern::Hierarchical { group_size: 3 },
+        other => {
+            return Err(format!(
+                "unknown pattern `{other}` (ring|sequential|tree|hierarchical)"
+            ))
+        }
+    };
+    cfg.min_parties = min_parties;
+    cfg.fault_plan.drop_rate = fault_rate;
+    cfg.fault_plan.corrupt_rate = fault_rate / 2.0;
+    if let Some(p) = crash_party {
+        let party: usize = p
+            .parse()
+            .map_err(|_| format!("flag `--crash-party`: cannot parse `{p}`"))?;
+        cfg.fault_plan.crash = Some(Crash {
+            party,
+            at_round: crash_round.max(1),
+        });
+    }
+    cfg.retry.max_retries = retries;
+    cfg.sim_seed = seed;
+
+    let started = std::time::Instant::now();
+    let out = multi_party_linkage(&datasets, &cfg).map_err(fail)?;
+    println!(
+        "linked {} parties ({} records total): {} tuples compared, {} matches in {:.2?}",
+        datasets.len(),
+        datasets.iter().map(|d| d.len()).sum::<usize>(),
+        out.tuples_compared,
+        out.matches.len(),
+        started.elapsed()
+    );
+    println!(
+        "communication: {} messages, {} bytes, {} rounds (pattern {pattern})",
+        out.cost.messages, out.cost.bytes, out.cost.rounds
+    );
+    println!(
+        "fault tolerance: {} retransmissions, {} corrupt frames discarded, {} timeouts",
+        out.session_stats.retransmissions,
+        out.session_stats.corrupt_discarded,
+        out.session_stats.timeouts
+    );
+    if out.failed_parties.is_empty() {
+        println!("all parties completed");
+    } else {
+        println!(
+            "degraded run: crashed parties {:?} excluded from matching",
+            out.failed_parties
+        );
+    }
     Ok(())
 }
 
@@ -186,6 +274,15 @@ COMMANDS:
 
   encode    --input A.csv --key SECRET --output clks.csv
             encode records to CLK Bloom filters (hex)
+
+  multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
+            [--pattern ring|sequential|tree|hierarchical]
+            [--fault-rate F] [--crash-party N] [--crash-round N]
+            [--retries N] [--min-parties N] [--seed N]
+            multi-party linkage over a simulated network; --fault-rate
+            injects message drops/corruption (recovered by retries),
+            --crash-party kills one party mid-run (the run degrades to
+            the survivors or aborts once fewer than --min-parties remain)
 
 CSV format: header row with the person-schema columns (first_name,
 last_name, street, city, postcode, dob, gender, age); an optional
@@ -241,10 +338,8 @@ mod tests {
         assert!(m.starts_with("row_a,row_b,similarity"));
         assert!(m.lines().count() > 10, "should find matches");
 
-        dedup_cmd(
-            Args::parse(&raw(&format!("dedup --input {a} --output {clean}")), &[]).unwrap(),
-        )
-        .unwrap();
+        dedup_cmd(Args::parse(&raw(&format!("dedup --input {a} --output {clean}")), &[]).unwrap())
+            .unwrap();
         assert!(std::path::Path::new(&clean).exists());
 
         encode_cmd(
@@ -261,6 +356,65 @@ mod tests {
     }
 
     #[test]
+    fn multiparty_with_faults_and_crash() {
+        // Three party CSVs with a common core of entities.
+        let mut g = Generator::new(GeneratorConfig {
+            seed: 21,
+            corruption_rate: 0.1,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let ds = g.multi_party(3, 12, 4).unwrap();
+        let mut paths = Vec::new();
+        for (i, d) in ds.iter().enumerate() {
+            let p = tmp(&format!("mp-{i}.csv"));
+            std::fs::write(&p, d.to_csv()).unwrap();
+            paths.push(p);
+        }
+        let inputs = paths.join(",");
+        // Fault-free run.
+        multiparty_cmd(
+            Args::parse(&raw(&format!("multiparty --inputs {inputs} --key k")), &[]).unwrap(),
+        )
+        .unwrap();
+        // Lossy network, extra retries.
+        multiparty_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "multiparty --inputs {inputs} --key k --fault-rate 0.05 --retries 8"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // A crash with a full quorum demanded is a clean error, not a panic.
+        let e = multiparty_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "multiparty --inputs {inputs} --key k --crash-party 1 --min-parties 3"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("quorum"), "{e}");
+        // Bad pattern is a clean error.
+        let e = multiparty_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "multiparty --inputs {inputs} --key k --pattern bogus"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("bogus"));
+    }
+
+    #[test]
     fn helpful_errors() {
         // missing files
         let e = link_cmd(
@@ -273,7 +427,9 @@ mod tests {
         let b = tmp("err-b.csv");
         generate(
             Args::parse(
-                &raw(&format!("generate --out-a {a} --out-b {b} --size 10 --overlap 2")),
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 10 --overlap 2"
+                )),
                 &[],
             )
             .unwrap(),
@@ -292,7 +448,7 @@ mod tests {
 
     #[test]
     fn help_mentions_every_command() {
-        for c in ["generate", "link", "dedup", "encode"] {
+        for c in ["generate", "link", "dedup", "encode", "multiparty"] {
             assert!(help().contains(c));
         }
     }

@@ -320,7 +320,10 @@ impl BitVec {
         let mut out = BitVec::zeros(self.len);
         for (i, &src) in perm.iter().enumerate() {
             if src >= self.len {
-                return Err(PprlError::invalid("perm", format!("index {src} out of range")));
+                return Err(PprlError::invalid(
+                    "perm",
+                    format!("index {src} out of range"),
+                ));
             }
             if self.get(src) {
                 out.set(i);

@@ -83,12 +83,16 @@ fn parse_value(text: &str, field_type: FieldType) -> Result<Value> {
     Ok(match field_type {
         FieldType::Text => Value::Text(trimmed.to_string()),
         FieldType::Categorical => Value::Categorical(trimmed.to_string()),
-        FieldType::Integer => Value::Integer(trimmed.parse().map_err(|_| {
-            PprlError::ValueError(format!("`{trimmed}` is not an integer"))
-        })?),
-        FieldType::Float => Value::Float(trimmed.parse().map_err(|_| {
-            PprlError::ValueError(format!("`{trimmed}` is not a number"))
-        })?),
+        FieldType::Integer => Value::Integer(
+            trimmed
+                .parse()
+                .map_err(|_| PprlError::ValueError(format!("`{trimmed}` is not an integer")))?,
+        ),
+        FieldType::Float => Value::Float(
+            trimmed
+                .parse()
+                .map_err(|_| PprlError::ValueError(format!("`{trimmed}` is not a number")))?,
+        ),
         FieldType::Date => Value::Date(Date::parse(trimmed)?),
     })
 }
@@ -108,9 +112,7 @@ impl Dataset {
         let columns: Vec<usize> = schema
             .fields()
             .iter()
-            .map(|f| {
-                col_of(&f.name).ok_or_else(|| PprlError::UnknownField(f.name.clone()))
-            })
+            .map(|f| col_of(&f.name).ok_or_else(|| PprlError::UnknownField(f.name.clone())))
             .collect::<Result<_>>()?;
         let entity_col = col_of("entity_id");
         let mut records = Vec::with_capacity(rows.len() - 1);
@@ -233,9 +235,13 @@ mod tests {
         let bad = "name,age,dob,gender\nAnn,1\n";
         assert!(Dataset::from_csv(bad, schema()).is_err());
         // unterminated quote
-        assert!(Dataset::from_csv("name,age,dob,gender\n\"Ann,1,2000-01-01,f\n", schema()).is_err());
+        assert!(
+            Dataset::from_csv("name,age,dob,gender\n\"Ann,1,2000-01-01,f\n", schema()).is_err()
+        );
         // stray quote
-        assert!(Dataset::from_csv("name,age,dob,gender\nAn\"n,1,2000-01-01,f\n", schema()).is_err());
+        assert!(
+            Dataset::from_csv("name,age,dob,gender\nAn\"n,1,2000-01-01,f\n", schema()).is_err()
+        );
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum PprlError {
     ProtocolError(String),
     /// The operation is not supported for the given configuration.
     Unsupported(String),
+    /// A transport-level failure: corrupted frame, malformed wire data, or
+    /// a send to/through a crashed party that could not be routed.
+    Transport(String),
+    /// A send (or an entire exchange) exceeded its deadline even after all
+    /// configured retries.
+    Timeout(String),
 }
 
 impl PprlError {
@@ -67,6 +73,8 @@ impl fmt::Display for PprlError {
             PprlError::CryptoError(msg) => write!(f, "crypto error: {msg}"),
             PprlError::ProtocolError(msg) => write!(f, "protocol error: {msg}"),
             PprlError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            PprlError::Transport(msg) => write!(f, "transport error: {msg}"),
+            PprlError::Timeout(msg) => write!(f, "timeout: {msg}"),
         }
     }
 }
@@ -83,13 +91,19 @@ mod tests {
     #[test]
     fn display_invalid_parameter() {
         let e = PprlError::invalid("epsilon", "must be positive");
-        assert_eq!(e.to_string(), "invalid parameter `epsilon`: must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `epsilon`: must be positive"
+        );
     }
 
     #[test]
     fn display_shape_mismatch() {
         let e = PprlError::shape("1000 bits", "512 bits");
-        assert_eq!(e.to_string(), "shape mismatch: expected 1000 bits, got 512 bits");
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch: expected 1000 bits, got 512 bits"
+        );
     }
 
     #[test]
@@ -98,10 +112,24 @@ mod tests {
             PprlError::UnknownField("surname".into()).to_string(),
             "unknown field `surname`"
         );
-        assert!(PprlError::ValueError("bad date".into()).to_string().contains("bad date"));
-        assert!(PprlError::CryptoError("x".into()).to_string().starts_with("crypto"));
-        assert!(PprlError::ProtocolError("x".into()).to_string().starts_with("protocol"));
-        assert!(PprlError::Unsupported("x".into()).to_string().starts_with("unsupported"));
+        assert!(PprlError::ValueError("bad date".into())
+            .to_string()
+            .contains("bad date"));
+        assert!(PprlError::CryptoError("x".into())
+            .to_string()
+            .starts_with("crypto"));
+        assert!(PprlError::ProtocolError("x".into())
+            .to_string()
+            .starts_with("protocol"));
+        assert!(PprlError::Unsupported("x".into())
+            .to_string()
+            .starts_with("unsupported"));
+        assert!(PprlError::Transport("x".into())
+            .to_string()
+            .starts_with("transport"));
+        assert!(PprlError::Timeout("x".into())
+            .to_string()
+            .starts_with("timeout"));
     }
 
     #[test]

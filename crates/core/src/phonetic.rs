@@ -258,4 +258,3 @@ mod tests {
         assert_eq!(nysiis("garcia"), nysiis("GARCIA"));
     }
 }
-

@@ -125,7 +125,10 @@ impl Dataset {
     /// Record by row index.
     pub fn record(&self, row: usize) -> Result<&Record> {
         self.records.get(row).ok_or_else(|| {
-            PprlError::invalid("row", format!("row {row} out of range {}", self.records.len()))
+            PprlError::invalid(
+                "row",
+                format!("row {row} out of range {}", self.records.len()),
+            )
         })
     }
 

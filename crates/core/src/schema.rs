@@ -166,7 +166,10 @@ mod tests {
         assert_eq!(s.qid_names().len(), 8);
         assert_eq!(s.index_of("dob").unwrap(), 5);
         assert!(s.index_of("nope").is_err());
-        assert_eq!(s.field("gender").unwrap().field_type, FieldType::Categorical);
+        assert_eq!(
+            s.field("gender").unwrap().field_type,
+            FieldType::Categorical
+        );
     }
 
     #[test]

@@ -223,8 +223,14 @@ mod tests {
 
     #[test]
     fn date_parse_formats() {
-        assert_eq!(Date::parse("1987-06-05").unwrap(), Date::new(1987, 6, 5).unwrap());
-        assert_eq!(Date::parse("19870605").unwrap(), Date::new(1987, 6, 5).unwrap());
+        assert_eq!(
+            Date::parse("1987-06-05").unwrap(),
+            Date::new(1987, 6, 5).unwrap()
+        );
+        assert_eq!(
+            Date::parse("19870605").unwrap(),
+            Date::new(1987, 6, 5).unwrap()
+        );
         assert!(Date::parse("1987/06/05").is_err());
         assert!(Date::parse("87-06-05").is_err());
         assert!(Date::parse("").is_err());
@@ -283,7 +289,9 @@ mod tests {
         assert_eq!(Value::from(42i64).as_f64().unwrap(), 42.0);
         assert_eq!(Value::from(1.5f64).as_f64().unwrap(), 1.5);
         assert_eq!(
-            Value::Date(Date::new(1970, 1, 2).unwrap()).as_f64().unwrap(),
+            Value::Date(Date::new(1970, 1, 2).unwrap())
+                .as_f64()
+                .unwrap(),
             1.0
         );
         assert!(Value::from("x").as_f64().is_err());

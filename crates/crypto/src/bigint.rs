@@ -48,7 +48,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.trim();
         n
     }
@@ -197,7 +199,9 @@ impl BigUint {
     /// `self - other`; error if `other > self`.
     pub fn sub(&self, other: &BigUint) -> Result<BigUint> {
         if self.cmp_ref(other) == Ordering::Less {
-            return Err(PprlError::ValueError("BigUint subtraction underflow".into()));
+            return Err(PprlError::ValueError(
+                "BigUint subtraction underflow".into(),
+            ));
         }
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
@@ -545,7 +549,13 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        for h in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for h in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             assert_eq!(big(h).to_hex(), h);
         }
         // Leading zeros are normalised away.
@@ -666,7 +676,10 @@ mod tests {
             BigUint::from_u64(17).gcd(&BigUint::from_u64(31)),
             BigUint::one()
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(5)), BigUint::from_u64(5));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from_u64(5)),
+            BigUint::from_u64(5)
+        );
     }
 
     #[test]

@@ -124,7 +124,8 @@ pub fn private_set_intersection(
 
     // Commutativity: equal plaintexts yield equal double encryptions.
     let mut out = Vec::new();
-    let mut index: std::collections::HashMap<Vec<u8>, Vec<usize>> = std::collections::HashMap::new();
+    let mut index: std::collections::HashMap<Vec<u8>, Vec<usize>> =
+        std::collections::HashMap::new();
     for (j, y) in double_b.iter().enumerate() {
         index.entry(y.to_bytes_be()).or_default().push(j);
     }
@@ -193,7 +194,10 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let b: Vec<String> = ["eve", "carol", "ann"].iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = ["eve", "carol", "ann"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut matches = private_set_intersection(&a, &b, &g, &mut rng).unwrap();
         matches.sort_unstable();
         assert_eq!(matches, vec![(0, 2), (2, 1)]);

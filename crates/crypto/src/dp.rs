@@ -176,7 +176,10 @@ mod tests {
         let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.1, "mean {mean} should be near 0");
         // E|X| = scale for Laplace.
-        assert!((mad - scale).abs() < 0.15, "mean abs dev {mad} should be near {scale}");
+        assert!(
+            (mad - scale).abs() < 0.15,
+            "mean abs dev {mad} should be near {scale}"
+        );
     }
 
     #[test]
@@ -218,7 +221,10 @@ mod tests {
             .filter(|_| randomized_response(true, eps, &mut rng).unwrap())
             .count();
         let observed = kept as f64 / n as f64;
-        assert!((observed - keep).abs() < 0.02, "observed {observed} vs expected {keep}");
+        assert!(
+            (observed - keep).abs() < 0.02,
+            "observed {observed} vs expected {keep}"
+        );
     }
 
     #[test]

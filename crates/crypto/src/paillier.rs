@@ -161,7 +161,8 @@ impl PrivateKey {
         }
         let x = c.0.modpow(&self.lambda, &self.public.n_squared)?;
         // L(x) = (x - 1) / n
-        let l = x.sub(&BigUint::one())
+        let l = x
+            .sub(&BigUint::one())
             .map_err(|_| PprlError::CryptoError("malformed ciphertext".into()))?
             .divrem(&self.public.n)?
             .0;

@@ -10,8 +10,8 @@ use pprl_core::rng::SplitMix64;
 
 /// Small primes for fast trial division.
 const SMALL_PRIMES: [u64; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Miller–Rabin primality test with `rounds` random bases.
@@ -88,7 +88,10 @@ pub fn generate_prime(bits: usize, rng: &mut SplitMix64) -> Result<BigUint> {
 /// sizes; the protocol defaults keep it in the hundreds of bits.
 pub fn generate_safe_prime(bits: usize, rng: &mut SplitMix64) -> Result<BigUint> {
     if bits < 9 {
-        return Err(PprlError::invalid("bits", "safe prime size must be >= 9 bits"));
+        return Err(PprlError::invalid(
+            "bits",
+            "safe prime size must be >= 9 bits",
+        ));
     }
     loop {
         let q = generate_prime(bits - 1, rng)?;

@@ -67,9 +67,7 @@ pub fn additive_share(secret: u64, n: usize, rng: &mut SplitMix64) -> Result<Vec
     if secret >= FIELD_PRIME {
         return Err(PprlError::invalid("secret", "secret must be < 2^61 - 1"));
     }
-    let mut shares: Vec<u64> = (0..n - 1)
-        .map(|_| rng.next_below(FIELD_PRIME))
-        .collect();
+    let mut shares: Vec<u64> = (0..n - 1).map(|_| rng.next_below(FIELD_PRIME)).collect();
     let partial: u64 = shares.iter().fold(0u64, |acc, &s| field_add(acc, s));
     shares.push(field_sub(secret, partial));
     Ok(shares)
@@ -100,7 +98,10 @@ pub fn shamir_share(
     rng: &mut SplitMix64,
 ) -> Result<Vec<ShamirShare>> {
     if t == 0 || t > n {
-        return Err(PprlError::invalid("t", format!("threshold {t} not in 1..={n}")));
+        return Err(PprlError::invalid(
+            "t",
+            format!("threshold {t} not in 1..={n}"),
+        ));
     }
     if n as u64 >= FIELD_PRIME {
         return Err(PprlError::invalid("n", "too many shares for field"));
@@ -232,11 +233,9 @@ mod tests {
     fn shamir_rejects_bad_shares() {
         assert!(shamir_reconstruct(&[]).is_err());
         assert!(shamir_reconstruct(&[ShamirShare { x: 0, y: 1 }]).is_err());
-        assert!(shamir_reconstruct(&[
-            ShamirShare { x: 1, y: 1 },
-            ShamirShare { x: 1, y: 2 }
-        ])
-        .is_err());
+        assert!(
+            shamir_reconstruct(&[ShamirShare { x: 1, y: 1 }, ShamirShare { x: 1, y: 2 }]).is_err()
+        );
     }
 
     #[test]

@@ -98,11 +98,7 @@ fn secure_eq(a: char, b: char, cost: &mut CommCost) -> u64 {
 ///
 /// Errors if either string exceeds `max_len` (default guard 4096) since the
 /// protocol is quadratic.
-pub fn secure_edit_distance(
-    a: &str,
-    b: &str,
-    rng: &mut SplitMix64,
-) -> Result<EditDistanceOutcome> {
+pub fn secure_edit_distance(a: &str, b: &str, rng: &mut SplitMix64) -> Result<EditDistanceOutcome> {
     const MAX_LEN: usize = 4096;
     let av: Vec<char> = a.chars().collect();
     let bv: Vec<char> = b.chars().collect();
@@ -116,9 +112,7 @@ pub fn secure_edit_distance(
     let mut ops = 0usize;
 
     // Row 0 is public structure (indices), but we keep it shared uniformly.
-    let mut prev: Vec<Shared> = (0..=bv.len())
-        .map(|j| Shared::of(j as u64, rng))
-        .collect();
+    let mut prev: Vec<Shared> = (0..=bv.len()).map(|j| Shared::of(j as u64, rng)).collect();
     let mut cur: Vec<Shared> = Vec::with_capacity(bv.len() + 1);
 
     for (i, &ca) in av.iter().enumerate() {

@@ -211,7 +211,11 @@ pub fn corrupt_value(value: &Value, missing_rate: f64, rng: &mut SplitMix64) -> 
         }
         Value::Integer(i) => {
             let delta = 1 + rng.next_below(3) as i64;
-            Value::Integer(if rng.next_bool(0.5) { i + delta } else { i - delta })
+            Value::Integer(if rng.next_bool(0.5) {
+                i + delta
+            } else {
+                i - delta
+            })
         }
         Value::Float(x) => {
             let delta = (rng.next_f64() - 0.5) * 0.1 * x.abs().max(1.0);
@@ -232,7 +236,11 @@ pub fn corrupt_value(value: &Value, missing_rate: f64, rng: &mut SplitMix64) -> 
                 // Year typo: last digit change = ±1..9 years.
                 _ => {
                     let dy = 1 + rng.next_below(9) as i32;
-                    let y = if rng.next_bool(0.5) { d.year() + dy } else { d.year() - dy };
+                    let y = if rng.next_bool(0.5) {
+                        d.year() + dy
+                    } else {
+                        d.year() - dy
+                    };
                     Value::Date(Date::new(y, d.month(), d.day().min(28)).expect("day ≤ 28 valid"))
                 }
             }
@@ -250,11 +258,15 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let s = "smith";
         assert_eq!(
-            corrupt_string(s, StringCorruption::Insert, &mut rng).chars().count(),
+            corrupt_string(s, StringCorruption::Insert, &mut rng)
+                .chars()
+                .count(),
             6
         );
         assert_eq!(
-            corrupt_string(s, StringCorruption::Delete, &mut rng).chars().count(),
+            corrupt_string(s, StringCorruption::Delete, &mut rng)
+                .chars()
+                .count(),
             4
         );
     }
@@ -282,13 +294,22 @@ mod tests {
     fn empty_string_edge_cases() {
         let mut rng = SplitMix64::new(4);
         assert_eq!(corrupt_string("", StringCorruption::Delete, &mut rng), "");
-        assert_eq!(corrupt_string("", StringCorruption::Substitute, &mut rng), "");
-        assert_eq!(corrupt_string("", StringCorruption::Transpose, &mut rng), "");
+        assert_eq!(
+            corrupt_string("", StringCorruption::Substitute, &mut rng),
+            ""
+        );
+        assert_eq!(
+            corrupt_string("", StringCorruption::Transpose, &mut rng),
+            ""
+        );
         assert_eq!(
             corrupt_string("", StringCorruption::Insert, &mut rng).len(),
             1
         );
-        assert_eq!(corrupt_string("x", StringCorruption::Transpose, &mut rng), "x");
+        assert_eq!(
+            corrupt_string("x", StringCorruption::Transpose, &mut rng),
+            "x"
+        );
     }
 
     #[test]
@@ -297,7 +318,10 @@ mod tests {
         let out = corrupt_string("philip", StringCorruption::Phonetic, &mut rng);
         assert_ne!(out, "philip");
         // Inapplicable input returned unchanged.
-        assert_eq!(corrupt_string("zzz", StringCorruption::Phonetic, &mut rng), "zzz");
+        assert_eq!(
+            corrupt_string("zzz", StringCorruption::Phonetic, &mut rng),
+            "zzz"
+        );
     }
 
     #[test]
@@ -348,8 +372,16 @@ mod tests {
 
     #[test]
     fn corruption_is_deterministic_per_seed() {
-        let a = corrupt_string("jonathan", StringCorruption::Substitute, &mut SplitMix64::new(42));
-        let b = corrupt_string("jonathan", StringCorruption::Substitute, &mut SplitMix64::new(42));
+        let a = corrupt_string(
+            "jonathan",
+            StringCorruption::Substitute,
+            &mut SplitMix64::new(42),
+        );
+        let b = corrupt_string(
+            "jonathan",
+            StringCorruption::Substitute,
+            &mut SplitMix64::new(42),
+        );
         assert_eq!(a, b);
     }
 }

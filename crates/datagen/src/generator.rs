@@ -54,7 +54,10 @@ impl Generator {
             ("missing_rate", config.missing_rate),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(PprlError::invalid("rate", format!("{name} must be in [0,1], got {v}")));
+                return Err(PprlError::invalid(
+                    "rate",
+                    format!("{name} must be in [0,1], got {v}"),
+                ));
             }
         }
         if !(config.zipf_exponent >= 0.0) {
@@ -195,8 +198,7 @@ impl Generator {
         let mut next_id = common as u64;
         let mut out = Vec::with_capacity(parties);
         for _ in 0..parties {
-            let mut records: Vec<Record> =
-                shared.iter().map(|r| self.corrupt_record(r)).collect();
+            let mut records: Vec<Record> = shared.iter().map(|r| self.corrupt_record(r)).collect();
             for _ in 0..unique_per_party {
                 records.push(self.entity(next_id));
                 next_id += 1;
@@ -360,11 +362,7 @@ mod tests {
         for ds in &datasets {
             assert_eq!(ds.len(), 30);
             // all 20 common entities present
-            let common_count = ds
-                .records()
-                .iter()
-                .filter(|r| r.entity_id < 20)
-                .count();
+            let common_count = ds.records().iter().filter(|r| r.entity_id < 20).count();
             assert_eq!(common_count, 20);
         }
         assert!(g.multi_party(1, 5, 5).is_err());
@@ -374,7 +372,11 @@ mod tests {
     fn duplicates_dataset_contains_clusters() {
         let mut g = generator(8);
         let ds = g.with_duplicates(50, 0.5).unwrap();
-        assert!(ds.len() > 50, "expected duplicates beyond 50, got {}", ds.len());
+        assert!(
+            ds.len() > 50,
+            "expected duplicates beyond 50, got {}",
+            ds.len()
+        );
         assert!(ds.len() < 200);
         assert!(g.with_duplicates(5, 1.5).is_err());
         // dup_rate 0 → exactly the entities

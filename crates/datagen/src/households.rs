@@ -28,7 +28,10 @@ pub struct HouseholdConfig {
 impl HouseholdConfig {
     fn validate(&self) -> Result<()> {
         if self.households == 0 {
-            return Err(PprlError::invalid("households", "need at least one household"));
+            return Err(PprlError::invalid(
+                "households",
+                "need at least one household",
+            ));
         }
         if self.min_size == 0 || self.max_size < self.min_size {
             return Err(PprlError::invalid(
@@ -149,10 +152,7 @@ mod tests {
             for w in rows.windows(2) {
                 assert!(same_household_fields(&ds, w[0], w[1]).unwrap());
                 // distinct entities
-                assert_ne!(
-                    ds.records()[w[0]].entity_id,
-                    ds.records()[w[1]].entity_id
-                );
+                assert_ne!(ds.records()[w[0]].entity_id, ds.records()[w[1]].entity_id);
             }
         }
     }
@@ -183,11 +183,8 @@ mod tests {
             max_size: 2,
         };
         let (ds, members) = generate_households(&mut g, &cfg, 11).unwrap();
-        let enc = RecordEncoder::new(
-            RecordEncoderConfig::person_clk(b"hh".to_vec()),
-            ds.schema(),
-        )
-        .unwrap();
+        let enc = RecordEncoder::new(RecordEncoderConfig::person_clk(b"hh".to_vec()), ds.schema())
+            .unwrap();
         let encoded = enc.encode_dataset(&ds).unwrap();
         let mut sibling_sims = Vec::new();
         for rows in &members {

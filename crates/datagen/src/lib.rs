@@ -20,8 +20,8 @@
 pub mod corruptor;
 pub mod generator;
 pub mod households;
-pub mod temporal;
 pub mod lookup;
+pub mod temporal;
 
 pub use corruptor::{corrupt_string, corrupt_value, StringCorruption};
 pub use generator::{Generator, GeneratorConfig};

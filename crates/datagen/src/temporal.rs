@@ -42,7 +42,10 @@ impl EvolutionConfig {
             ("surname_change_rate", self.surname_change_rate),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(PprlError::invalid("rate", format!("{name} must be in [0,1]")));
+                return Err(PprlError::invalid(
+                    "rate",
+                    format!("{name} must be in [0,1]"),
+                ));
             }
         }
         if self.steps_per_year == 0 {
@@ -83,9 +86,8 @@ pub fn evolve_step(
     }
     // Surname change.
     if rng.next_bool(config.surname_change_rate) {
-        out.values[1] = Value::Text(
-            LAST_NAMES[rng.next_below(LAST_NAMES.len() as u64) as usize].to_string(),
-        );
+        out.values[1] =
+            Value::Text(LAST_NAMES[rng.next_below(LAST_NAMES.len() as u64) as usize].to_string());
     }
     // Ageing: +1 year every steps_per_year steps.
     if step > 0 && step.is_multiple_of(config.steps_per_year) {
@@ -161,8 +163,7 @@ mod tests {
     #[test]
     fn stream_has_expected_shape() {
         let mut g = generator(2);
-        let stream =
-            evolution_stream(&mut g, 20, 5, &EvolutionConfig::default(), 7).unwrap();
+        let stream = evolution_stream(&mut g, 20, 5, &EvolutionConfig::default(), 7).unwrap();
         assert_eq!(stream.len(), 100);
         assert_eq!(stream.iter().filter(|t| t.step == 0).count(), 20);
         assert_eq!(stream.last().unwrap().step, 4);
@@ -213,9 +214,9 @@ mod tests {
     fn evolved_records_remain_linkable_mostly() {
         // After one gentle step, the CLK should still match its ancestor
         // for most entities (the property streaming linkage depends on).
-        use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
         use pprl_core::record::Dataset;
         use pprl_core::schema::Schema;
+        use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
         let mut g = generator(5);
         let cfg = EvolutionConfig::default();
         let mut rng = SplitMix64::new(9);
@@ -225,11 +226,8 @@ mod tests {
             .map(|r| evolve_step(r, &cfg, 1, &mut rng).unwrap())
             .collect();
         let schema = Schema::person();
-        let enc = RecordEncoder::new(
-            RecordEncoderConfig::person_clk(b"t".to_vec()),
-            &schema,
-        )
-        .unwrap();
+        let enc =
+            RecordEncoder::new(RecordEncoderConfig::person_clk(b"t".to_vec()), &schema).unwrap();
         let ds_a = Dataset::from_records(schema.clone(), originals).unwrap();
         let ds_b = Dataset::from_records(schema, evolved).unwrap();
         let ea = enc.encode_dataset(&ds_a).unwrap();

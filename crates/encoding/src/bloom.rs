@@ -285,7 +285,10 @@ mod tests {
         let c = e.encode_tokens(&["jo", "on", "ne", "es"]);
         let sim_ab = dice_bits(&a, &b).unwrap();
         let sim_ac = dice_bits(&a, &c).unwrap();
-        assert!(sim_ab > sim_ac, "smith~smyth {sim_ab} should beat smith~jones {sim_ac}");
+        assert!(
+            sim_ab > sim_ac,
+            "smith~smyth {sim_ab} should beat smith~jones {sim_ac}"
+        );
         assert!(sim_ab > 0.4);
     }
 

@@ -24,6 +24,12 @@ impl CountingBloomFilter {
         }
     }
 
+    /// Builds from an explicit count vector (e.g. counts received over the
+    /// wire from another party).
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        CountingBloomFilter { counts }
+    }
+
     /// Builds from the position-wise sum of bit filters.
     pub fn from_filters(filters: &[&BitVec]) -> Result<Self> {
         let Some(first) = filters.first() else {
@@ -168,8 +174,8 @@ mod tests {
 
     #[test]
     fn threshold_projects_to_bits() {
-        let cbf = CountingBloomFilter::from_filters(&[&bv(&[0, 1]), &bv(&[1, 2]), &bv(&[1])])
-            .unwrap();
+        let cbf =
+            CountingBloomFilter::from_filters(&[&bv(&[0, 1]), &bv(&[1, 2]), &bv(&[1])]).unwrap();
         assert_eq!(cbf.threshold(3).iter_ones().collect::<Vec<_>>(), vec![1]);
         assert_eq!(
             cbf.threshold(1).iter_ones().collect::<Vec<_>>(),

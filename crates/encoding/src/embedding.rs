@@ -35,7 +35,10 @@ impl StringEmbedder {
             return Err(PprlError::invalid("dims", "need at least one dimension"));
         }
         if reference.len() < 2 {
-            return Err(PprlError::invalid("reference", "need at least two reference strings"));
+            return Err(PprlError::invalid(
+                "reference",
+                "need at least two reference strings",
+            ));
         }
         let mut rng = SplitMix64::new(seed);
         let mut pivots = Vec::with_capacity(dims);
@@ -183,8 +186,7 @@ mod tests {
         ];
         for a in words {
             for b in words {
-                let lb =
-                    StringEmbedder::chebyshev_distance(&e.embed(a), &e.embed(b)).unwrap();
+                let lb = StringEmbedder::chebyshev_distance(&e.embed(a), &e.embed(b)).unwrap();
                 let d_edit = levenshtein(a, b) as f64;
                 assert!(lb <= d_edit + 1e-9, "{a}/{b}: L∞ {lb} vs edit {d_edit}");
             }

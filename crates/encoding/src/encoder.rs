@@ -51,11 +51,16 @@ impl FieldEncoding {
         match self {
             FieldEncoding::TextQGram(cfg) => {
                 let normalised = normalize_default(&value.as_text());
-                Ok(qgram_set(&normalised, cfg).into_iter().map(prefix).collect())
+                Ok(qgram_set(&normalised, cfg)
+                    .into_iter()
+                    .map(prefix)
+                    .collect())
             }
-            FieldEncoding::Numeric(params) => {
-                Ok(params.tokens(value.as_f64()?)?.into_iter().map(prefix).collect())
-            }
+            FieldEncoding::Numeric(params) => Ok(params
+                .tokens(value.as_f64()?)?
+                .into_iter()
+                .map(prefix)
+                .collect()),
             FieldEncoding::DateComponents => match value {
                 Value::Date(d) => Ok(vec![
                     prefix(format!("full:{d}")),
@@ -159,7 +164,10 @@ impl RecordEncoderConfig {
                 FieldSpec::new("gender", FieldEncoding::Categorical),
                 FieldSpec::new(
                     "age",
-                    FieldEncoding::Numeric(NeighbourhoodParams { step: 1.0, neighbours: 2 }),
+                    FieldEncoding::Numeric(NeighbourhoodParams {
+                        step: 1.0,
+                        neighbours: 2,
+                    }),
                 ),
             ],
             salt_field: None,
@@ -338,8 +346,7 @@ impl RecordEncoder {
             let salted_encoders;
             let encoders = if let Some(si) = salt_idx {
                 let salt = record.values[si].as_text();
-                salted_encoders =
-                    build_encoders(&salted_key(&self.config.params.key, &salt))?;
+                salted_encoders = build_encoders(&salted_key(&self.config.params.key, &salt))?;
                 &salted_encoders
             } else {
                 &base_encoders
@@ -416,7 +423,8 @@ mod tests {
     fn config_validation() {
         let schema = Schema::person();
         let mut cfg = RecordEncoderConfig::person_clk(b"k".to_vec());
-        cfg.fields.push(FieldSpec::new("nope", FieldEncoding::Categorical));
+        cfg.fields
+            .push(FieldSpec::new("nope", FieldEncoding::Categorical));
         assert!(RecordEncoder::new(cfg, &schema).is_err());
         let mut cfg = RecordEncoderConfig::person_clk(b"k".to_vec());
         cfg.salt_field = Some("nope".into());
@@ -474,8 +482,14 @@ mod tests {
         fl_cfg.mode = EncodingMode::FieldLevel;
         let schema = Schema::person();
         let ds = dataset(vec![person("anna", "smith", (1987, 6, 5), 39)]);
-        let a = RecordEncoder::new(clk_cfg, &schema).unwrap().encode_dataset(&ds).unwrap();
-        let b = RecordEncoder::new(fl_cfg, &schema).unwrap().encode_dataset(&ds).unwrap();
+        let a = RecordEncoder::new(clk_cfg, &schema)
+            .unwrap()
+            .encode_dataset(&ds)
+            .unwrap();
+        let b = RecordEncoder::new(fl_cfg, &schema)
+            .unwrap()
+            .encode_dataset(&ds)
+            .unwrap();
         assert!(a.records[0].dice(&b.records[0]).is_err());
     }
 
@@ -554,7 +568,9 @@ mod tests {
     #[test]
     fn wrong_value_type_for_date_errors() {
         let spec = FieldEncoding::DateComponents;
-        assert!(spec.tokens("dob", &Value::Text("1987-06-05".into())).is_err());
+        assert!(spec
+            .tokens("dob", &Value::Text("1987-06-05".into()))
+            .is_err());
         assert!(spec.tokens("dob", &Value::Missing).unwrap().is_empty());
     }
 }
@@ -583,9 +599,15 @@ mod weight_tests {
             },
             mode: EncodingMode::Clk,
             fields: vec![
-                FieldSpec::new("name", FieldEncoding::TextQGram(pprl_core::qgram::QGramConfig::default()))
-                    .weighted(weight_name),
-                FieldSpec::new("city", FieldEncoding::TextQGram(pprl_core::qgram::QGramConfig::default())),
+                FieldSpec::new(
+                    "name",
+                    FieldEncoding::TextQGram(pprl_core::qgram::QGramConfig::default()),
+                )
+                .weighted(weight_name),
+                FieldSpec::new(
+                    "city",
+                    FieldEncoding::TextQGram(pprl_core::qgram::QGramConfig::default()),
+                ),
             ],
             salt_field: None,
             hardening: Vec::new(),

@@ -189,8 +189,16 @@ mod tests {
             },
             output_len: 768,
             fields: vec![
-                RbfField::new("name", FieldEncoding::TextQGram(QGramConfig::default()), name_weight),
-                RbfField::new("city", FieldEncoding::TextQGram(QGramConfig::default()), city_weight),
+                RbfField::new(
+                    "name",
+                    FieldEncoding::TextQGram(QGramConfig::default()),
+                    name_weight,
+                ),
+                RbfField::new(
+                    "city",
+                    FieldEncoding::TextQGram(QGramConfig::default()),
+                    city_weight,
+                ),
             ],
             seed: 99,
         }

@@ -55,10 +55,16 @@ pub fn bootstrap_metric(
     seed: u64,
 ) -> Result<Interval> {
     if resamples < 10 {
-        return Err(PprlError::invalid("resamples", "need at least 10 resamples"));
+        return Err(PprlError::invalid(
+            "resamples",
+            "need at least 10 resamples",
+        ));
     }
     if !(0.5..1.0).contains(&level) {
-        return Err(PprlError::invalid("level", "confidence level must be in [0.5, 1)"));
+        return Err(PprlError::invalid(
+            "level",
+            "confidence level must be in [0.5, 1)",
+        ));
     }
     let pred: HashSet<(usize, usize)> = predicted.iter().copied().collect();
     let gt: HashSet<(usize, usize)> = truth.iter().copied().collect();
@@ -71,7 +77,10 @@ pub fn bootstrap_metric(
         .map(|p| (pred.contains(p), gt.contains(p)))
         .collect();
     if universe.is_empty() {
-        return Err(PprlError::invalid("predicted/truth", "no pairs to resample"));
+        return Err(PprlError::invalid(
+            "predicted/truth",
+            "no pairs to resample",
+        ));
     }
     let estimate = metric_of(&Confusion::from_pairs(predicted, truth), metric);
 

@@ -34,7 +34,10 @@ pub fn threshold_sweep(
     truth: &[(usize, usize)],
 ) -> Result<Vec<SweepPoint>> {
     if scored.is_empty() {
-        return Err(PprlError::invalid("scored", "need at least one scored pair"));
+        return Err(PprlError::invalid(
+            "scored",
+            "need at least one scored pair",
+        ));
     }
     for &(_, _, s) in scored {
         if !s.is_finite() {

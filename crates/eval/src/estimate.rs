@@ -99,7 +99,10 @@ pub fn best_estimated_threshold(
     candidates: &[f64],
 ) -> Result<(f64, EstimatedQuality)> {
     if candidates.is_empty() {
-        return Err(PprlError::invalid("candidates", "need at least one threshold"));
+        return Err(PprlError::invalid(
+            "candidates",
+            "need at least one threshold",
+        ));
     }
     let mut best: Option<(f64, EstimatedQuality)> = None;
     for &t in candidates {

@@ -98,7 +98,10 @@ pub fn recall_gap(qualities: &[GroupQuality]) -> f64 {
 /// Maximum pairwise gap in predicted-positive rate (demographic-parity
 /// difference).
 pub fn demographic_parity_gap(qualities: &[GroupQuality]) -> f64 {
-    let rates: Vec<f64> = qualities.iter().map(|q| q.predicted_positive_rate).collect();
+    let rates: Vec<f64> = qualities
+        .iter()
+        .map(|q| q.predicted_positive_rate)
+        .collect();
     match (
         rates.iter().cloned().fold(f64::INFINITY, f64::min),
         rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
@@ -224,7 +227,11 @@ mod tests {
         let predicted = classify_with_group_thresholds(&pairs, &thresholds);
         let pred_set: HashSet<_> = predicted.iter().copied().collect();
         for p in pairs.iter().filter(|p| p.is_match) {
-            assert!(pred_set.contains(&(p.a, p.b)), "match {:?} missed", (p.a, p.b));
+            assert!(
+                pred_set.contains(&(p.a, p.b)),
+                "match {:?} missed",
+                (p.a, p.b)
+            );
         }
     }
 

@@ -45,8 +45,7 @@ where
         by_y.entry(y).or_default().push(x);
     }
     let n = pairs.len() as f64;
-    by_y
-        .values()
+    by_y.values()
         .map(|xs| {
             let weight = xs.len() as f64 / n;
             let cloned: Vec<X> = xs.iter().map(|x| (*x).clone()).collect();
@@ -76,7 +75,10 @@ where
 /// its encoding; risk → 0 means encodings are maximally ambiguous.
 pub fn disclosure_risk<Y: Eq + Hash>(encodings: &[Y]) -> Result<f64> {
     if encodings.is_empty() {
-        return Err(PprlError::invalid("encodings", "need at least one encoding"));
+        return Err(PprlError::invalid(
+            "encodings",
+            "need at least one encoding",
+        ));
     }
     let mut counts: HashMap<&Y, usize> = HashMap::new();
     for e in encodings {
@@ -85,7 +87,11 @@ pub fn disclosure_risk<Y: Eq + Hash>(encodings: &[Y]) -> Result<f64> {
     let total: f64 = encodings.len() as f64;
     // Expected per-record success probability: for a record in a group of
     // size c the adversary succeeds with probability 1/c.
-    let risk: f64 = counts.values().map(|&c| c as f64 * (1.0 / c as f64)).sum::<f64>() / total;
+    let risk: f64 = counts
+        .values()
+        .map(|&c| c as f64 * (1.0 / c as f64))
+        .sum::<f64>()
+        / total;
     Ok(risk)
 }
 

@@ -117,7 +117,10 @@ pub fn blocking_quality(
         .checked_mul(len_b)
         .ok_or_else(|| PprlError::invalid("len_a/len_b", "comparison space overflows"))?;
     if total == 0 {
-        return Err(PprlError::invalid("len_a/len_b", "datasets must be non-empty"));
+        return Err(PprlError::invalid(
+            "len_a/len_b",
+            "datasets must be non-empty",
+        ));
     }
     let cand: HashSet<_> = candidates.iter().copied().collect();
     let gt: HashSet<_> = truth.iter().copied().collect();

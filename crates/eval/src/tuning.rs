@@ -99,12 +99,18 @@ where
     F: FnMut(&[f64]) -> Result<f64>,
 {
     if points_per_dim < 2 {
-        return Err(PprlError::invalid("points_per_dim", "need at least 2 levels"));
+        return Err(PprlError::invalid(
+            "points_per_dim",
+            "need at least 2 levels",
+        ));
     }
     let d = space.dims();
     let total = points_per_dim.pow(d as u32);
     if total > 1_000_000 {
-        return Err(PprlError::invalid("points_per_dim", "grid too large (> 1e6 points)"));
+        return Err(PprlError::invalid(
+            "points_per_dim",
+            "grid too large (> 1e6 points)",
+        ));
     }
     let mut history = Vec::with_capacity(total);
     for idx in 0..total {
@@ -134,7 +140,10 @@ where
     F: FnMut(&[f64]) -> Result<f64>,
 {
     if evaluations == 0 {
-        return Err(PprlError::invalid("evaluations", "need at least one evaluation"));
+        return Err(PprlError::invalid(
+            "evaluations",
+            "need at least one evaluation",
+        ));
     }
     let mut rng = SplitMix64::new(seed);
     let mut history = Vec::with_capacity(evaluations);
@@ -166,9 +175,7 @@ fn cholesky(mat: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
             }
             if i == j {
                 if sum <= 0.0 {
-                    return Err(PprlError::ValueError(
-                        "matrix not positive definite".into(),
-                    ));
+                    return Err(PprlError::ValueError("matrix not positive definite".into()));
                 }
                 l[i][j] = sum.sqrt();
             } else {
@@ -283,12 +290,16 @@ where
             let kstar: Vec<f64> = xs.iter().map(|x| rbf(x, &cn, LENGTHSCALE)).collect();
             let mu: f64 = kstar.iter().zip(&alpha).map(|(a, b)| a * b).sum();
             let v = cholesky_solve(&l, &kstar);
-            let var = (1.0 + NOISE - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>())
-                .max(1e-12);
+            let var =
+                (1.0 + NOISE - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(1e-12);
             let sigma = var.sqrt();
             let z = (mu - best_y) / sigma;
             let ei = (mu - best_y) * normal_cdf(z) + sigma * normal_pdf(z);
-            if best_candidate.as_ref().map(|(_, e)| ei > *e).unwrap_or(true) {
+            if best_candidate
+                .as_ref()
+                .map(|(_, e)| ei > *e)
+                .unwrap_or(true)
+            {
                 best_candidate = Some((cand, ei));
             }
         }
@@ -357,7 +368,10 @@ mod tests {
             bo_total >= rs_total - 0.05,
             "BO ({bo_total:.3}) should not lose clearly to random ({rs_total:.3})"
         );
-        assert!(bo_total / 5.0 > 0.9, "BO should find the optimum: {bo_total}");
+        assert!(
+            bo_total / 5.0 > 0.9,
+            "BO should find the optimum: {bo_total}"
+        );
     }
 
     #[test]

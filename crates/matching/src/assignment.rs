@@ -44,7 +44,10 @@ pub fn hungarian_one_to_one(pairs: &[Scored]) -> Result<Vec<Scored>> {
     }
     for &(_, _, s) in pairs {
         if !s.is_finite() || s < 0.0 {
-            return Err(PprlError::invalid("pairs", "similarities must be finite and >= 0"));
+            return Err(PprlError::invalid(
+                "pairs",
+                "similarities must be finite and >= 0",
+            ));
         }
     }
     // Compact the row/column index spaces.
@@ -188,11 +191,17 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(
             rows_a.len(),
-            rows_a.iter().collect::<std::collections::HashSet<_>>().len()
+            rows_a
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         );
         assert_eq!(
             rows_b.len(),
-            rows_b.iter().collect::<std::collections::HashSet<_>>().len()
+            rows_b
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
         );
         // Total weight is maximal: 0.9 + 0.7.
         let total: f64 = out.iter().map(|p| p.2).sum();

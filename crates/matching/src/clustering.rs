@@ -184,6 +184,44 @@ impl IncrementalClusterer {
     pub fn clusters(&self) -> Vec<Vec<RecordRef>> {
         canonical(self.clusters.clone())
     }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The raw clusters in insertion order — cluster indices here are the
+    /// ones [`IncrementalClusterer::add`] returned. Intended for
+    /// checkpointing; use [`IncrementalClusterer::clusters`] for stable
+    /// output.
+    pub fn raw_clusters(&self) -> &[Vec<RecordRef>] {
+        &self.clusters
+    }
+
+    /// Rebuilds a clusterer from checkpointed state (the raw cluster list
+    /// as returned by [`IncrementalClusterer::raw_clusters`]). Rejects a
+    /// record appearing in two clusters.
+    pub fn from_state(threshold: f64, clusters: Vec<Vec<RecordRef>>) -> Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(PprlError::invalid("threshold", "must be in [0,1]"));
+        }
+        let mut membership = HashMap::new();
+        for (idx, cluster) in clusters.iter().enumerate() {
+            for &member in cluster {
+                if membership.insert(member, idx).is_some() {
+                    return Err(PprlError::invalid(
+                        "clusters",
+                        format!("{member} appears in two clusters"),
+                    ));
+                }
+            }
+        }
+        Ok(IncrementalClusterer {
+            threshold,
+            clusters,
+            membership,
+        })
+    }
 }
 
 /// Subset matching (§3.4 "matching", ref \[43]): clusters whose records span
@@ -307,6 +345,26 @@ mod tests {
             }
         }
         assert_eq!(inc.clusters(), batch);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behaviour() {
+        let mut inc = IncrementalClusterer::new(0.7).unwrap();
+        inc.add(r(0, 0), &[]).unwrap();
+        inc.add(r(0, 1), &[]).unwrap();
+        inc.add(r(1, 0), &[(r(0, 0), 0.9)]).unwrap();
+        let restored =
+            IncrementalClusterer::from_state(inc.threshold(), inc.raw_clusters().to_vec()).unwrap();
+        assert_eq!(restored.clusters(), inc.clusters());
+        // The restored clusterer keeps clustering identically.
+        let mut a = inc;
+        let mut b = restored;
+        let ca = a.add(r(2, 0), &[(r(1, 0), 0.95)]).unwrap();
+        let cb = b.add(r(2, 0), &[(r(1, 0), 0.95)]).unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(a.clusters(), b.clusters());
+        // Duplicate membership rejected on restore.
+        assert!(IncrementalClusterer::from_state(0.7, vec![vec![r(0, 0)], vec![r(0, 0)]]).is_err());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn collective_refine(
     config: &CollectiveConfig,
 ) -> Result<Vec<(usize, usize, f64)>> {
     if config.iterations == 0 {
-        return Err(PprlError::invalid("iterations", "need at least one iteration"));
+        return Err(PprlError::invalid(
+            "iterations",
+            "need at least one iteration",
+        ));
     }
     if !(0.0..=1.0).contains(&config.damping) {
         return Err(PprlError::invalid("damping", "must be in [0,1]"));
@@ -150,7 +153,10 @@ mod tests {
         let out = collective_refine(&pairs, &cfg).unwrap();
         let strong = out.iter().find(|p| p.1 == 0).unwrap().2;
         let weak = out.iter().find(|p| p.1 == 1).unwrap().2;
-        assert!(strong / weak > 0.9 / 0.5, "separation should grow: {strong} vs {weak}");
+        assert!(
+            strong / weak > 0.9 / 0.5,
+            "separation should grow: {strong} vs {weak}"
+        );
     }
 
     #[test]

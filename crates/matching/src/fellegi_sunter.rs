@@ -113,11 +113,7 @@ impl FellegiSunter {
                 u[i] = clamp_prob(u_num / (n - total_g).max(1e-12));
             }
         }
-        Ok(FellegiSunter {
-            m,
-            u,
-            p_match: p,
-        })
+        Ok(FellegiSunter { m, u, p_match: p })
     }
 
     /// The log₂ match weight of an agreement pattern:
@@ -204,8 +200,16 @@ mod tests {
         let model = FellegiSunter::fit_em(&patterns, 60, 0.5).unwrap();
         assert!((model.p_match - 0.3).abs() < 0.05, "p {}", model.p_match);
         for i in 0..3 {
-            assert!((model.m[i] - m_true[i]).abs() < 0.07, "m[{i}] {}", model.m[i]);
-            assert!((model.u[i] - u_true[i]).abs() < 0.07, "u[{i}] {}", model.u[i]);
+            assert!(
+                (model.m[i] - m_true[i]).abs() < 0.07,
+                "m[{i}] {}",
+                model.m[i]
+            );
+            assert!(
+                (model.u[i] - u_true[i]).abs() < 0.07,
+                "u[{i}] {}",
+                model.u[i]
+            );
         }
     }
 

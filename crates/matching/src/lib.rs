@@ -14,17 +14,15 @@
 #![warn(missing_docs)]
 
 pub mod assignment;
-pub mod collective;
 pub mod clustering;
+pub mod collective;
 pub mod fellegi_sunter;
 pub mod ml;
 pub mod threshold;
 
 pub use assignment::{greedy_one_to_one, hungarian_one_to_one};
+pub use clustering::{connected_components, star_clustering, subset_matches, IncrementalClusterer};
 pub use collective::{collective_refine, CollectiveConfig};
-pub use clustering::{
-    connected_components, star_clustering, subset_matches, IncrementalClusterer,
-};
 pub use fellegi_sunter::FellegiSunter;
 pub use ml::{LogisticRegression, TrainConfig};
 pub use threshold::{BandClassifier, Decision, RuleClassifier, ThresholdClassifier};

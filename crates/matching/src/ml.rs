@@ -58,10 +58,16 @@ impl LogisticRegression {
         }
         let arity = vectors[0].len();
         if arity == 0 || vectors.iter().any(|v| v.len() != arity) {
-            return Err(PprlError::invalid("vectors", "ragged or empty feature vectors"));
+            return Err(PprlError::invalid(
+                "vectors",
+                "ragged or empty feature vectors",
+            ));
         }
         if !(config.learning_rate > 0.0) || config.epochs == 0 || !(config.l2 >= 0.0) {
-            return Err(PprlError::invalid("config", "bad training hyper-parameters"));
+            return Err(PprlError::invalid(
+                "config",
+                "bad training hyper-parameters",
+            ));
         }
         let n = vectors.len() as f64;
         let mut w = vec![0.0f64; arity];
@@ -82,7 +88,10 @@ impl LogisticRegression {
             }
             b -= config.learning_rate * grad_b / n;
         }
-        Ok(LogisticRegression { weights: w, bias: b })
+        Ok(LogisticRegression {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Match probability of a similarity vector.

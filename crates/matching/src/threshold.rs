@@ -58,7 +58,10 @@ impl BandClassifier {
     /// Creates a classifier with `0 <= lower <= upper <= 1`.
     pub fn new(lower: f64, upper: f64) -> Result<Self> {
         if !(0.0..=1.0).contains(&lower) || !(lower..=1.0).contains(&upper) {
-            return Err(PprlError::invalid("lower/upper", "need 0 <= lower <= upper <= 1"));
+            return Err(PprlError::invalid(
+                "lower/upper",
+                "need 0 <= lower <= upper <= 1",
+            ));
         }
         Ok(BandClassifier { lower, upper })
     }

@@ -176,8 +176,7 @@ mod tests {
     fn sorted_neighbourhood_choice_runs() {
         let (a, b) = data(3);
         let mut cfg = PipelineConfig::standard(b"key".to_vec()).unwrap();
-        cfg.blocking =
-            BlockingChoice::SortedNeighbourhood(BlockingKey::person_default(), 5);
+        cfg.blocking = BlockingChoice::SortedNeighbourhood(BlockingKey::person_default(), 5);
         let r = link(&a, &b, &cfg).unwrap();
         assert!(r.candidates > 0);
         assert!(quality(&a, &b, &r).precision() > 0.8);

@@ -167,7 +167,11 @@ mod tests {
         let ds = dirty_dataset(2);
         let out = deduplicate(&ds, &DedupConfig::standard()).unwrap();
         let n = ds.len();
-        assert!(out.comparisons < n * (n - 1) / 8, "comparisons {}", out.comparisons);
+        assert!(
+            out.comparisons < n * (n - 1) / 8,
+            "comparisons {}",
+            out.comparisons
+        );
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! in its blocks, classified, clustered incrementally, and inserted — all
 //! in one call, with per-insert comparison counts for throughput
 //! experiments.
+//!
+//! For fault tolerance the linker can be checkpointed:
+//! [`StreamingLinker::snapshot`] serialises the full index/cluster state
+//! into a framed, checksummed byte blob and
+//! [`StreamingLinker::restore`] rebuilds an identical linker from it —
+//! any corruption of the blob is detected and reported as a typed
+//! [`PprlError::Transport`] instead of silently resuming from bad state.
 
 use pprl_blocking::keys::BlockingKey;
 use pprl_core::bitvec::BitVec;
@@ -16,8 +23,61 @@ use pprl_core::record::{Record, RecordRef};
 use pprl_core::schema::Schema;
 use pprl_encoding::encoder::{EncodedRecord, RecordEncoder, RecordEncoderConfig};
 use pprl_matching::clustering::IncrementalClusterer;
+use pprl_protocols::transport::{Frame, FrameKind};
 use pprl_similarity::bitvec_sim::dice_bits;
 use std::collections::HashMap;
+
+/// Magic prefix of a serialised [`StreamingLinker`] checkpoint ("PSL1").
+const SNAPSHOT_MAGIC: u32 = 0x314C_5350;
+
+/// Bounds-checked little-endian reader over checkpoint bytes; every
+/// malformation surfaces as [`PprlError::Transport`].
+struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        SnapshotReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(PprlError::Transport(format!(
+                "checkpoint truncated at byte {}",
+                self.pos
+            )));
+        };
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: usize, what: &str) -> Result<()> {
+    let v = u32::try_from(v)
+        .map_err(|_| PprlError::invalid("snapshot", format!("{what} exceeds u32 range")))?;
+    out.extend_from_slice(&v.to_le_bytes());
+    Ok(())
+}
 
 /// A match reported for an arriving record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +123,7 @@ pub struct InsertOutcome {
 /// let out = linker.insert(1, &duplicate).unwrap();
 /// assert_eq!(out.matches.len(), 1);
 /// ```
+#[derive(Debug)]
 pub struct StreamingLinker {
     schema: Schema,
     encoder: RecordEncoder,
@@ -157,10 +218,8 @@ impl StreamingLinker {
         // Insert into the index and the incremental clustering.
         let row = self.filters.len();
         let rref = RecordRef::new(party, row);
-        let edges: Vec<(RecordRef, f64)> = matches
-            .iter()
-            .map(|m| (m.existing, m.similarity))
-            .collect();
+        let edges: Vec<(RecordRef, f64)> =
+            matches.iter().map(|m| (m.existing, m.similarity)).collect();
         let cluster = self.clusterer.add(rref, &edges)?;
         self.index.entry(key).or_default().push(row);
         self.filters.push(filter);
@@ -170,6 +229,136 @@ impl StreamingLinker {
             matches,
             comparisons,
             cluster,
+        })
+    }
+
+    /// Serialises the linker's mutable state (filters, blocking index,
+    /// clusters) into a framed, checksummed checkpoint blob. Configuration
+    /// (schema, encoder, blocking definition, threshold) is *not* restored
+    /// from the blob — the caller supplies it again on
+    /// [`StreamingLinker::restore`], and mismatches are rejected.
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        payload.extend_from_slice(&self.threshold.to_le_bytes());
+        push_u32(&mut payload, self.encoder.output_len(), "filter length")?;
+        // Stored records: party + filter bytes (the row is the position).
+        push_u32(&mut payload, self.filters.len(), "record count")?;
+        for (filter, rref) in self.filters.iter().zip(&self.refs) {
+            payload.extend_from_slice(&rref.party.0.to_le_bytes());
+            payload.extend_from_slice(&filter.to_bytes());
+        }
+        // Blocking index, keys sorted for a deterministic blob.
+        let mut keys: Vec<&String> = self.index.keys().collect();
+        keys.sort_unstable();
+        push_u32(&mut payload, keys.len(), "block count")?;
+        for key in keys {
+            push_u32(&mut payload, key.len(), "block key length")?;
+            payload.extend_from_slice(key.as_bytes());
+            let rows = &self.index[key];
+            push_u32(&mut payload, rows.len(), "block size")?;
+            for &row in rows {
+                push_u32(&mut payload, row, "row index")?;
+            }
+        }
+        // Raw clusters (indices must survive, so no canonicalisation).
+        let clusters = self.clusterer.raw_clusters();
+        push_u32(&mut payload, clusters.len(), "cluster count")?;
+        for cluster in clusters {
+            push_u32(&mut payload, cluster.len(), "cluster size")?;
+            for member in cluster {
+                payload.extend_from_slice(&member.party.0.to_le_bytes());
+                push_u32(&mut payload, member.row, "cluster row")?;
+            }
+        }
+        Ok(Frame::data(0, payload).encode())
+    }
+
+    /// Rebuilds a linker from a [`StreamingLinker::snapshot`] blob and the
+    /// same configuration the snapshotted linker was built with. Any
+    /// corruption of the blob — a flipped bit, truncation, a foreign byte
+    /// stream — yields a typed [`PprlError::Transport`].
+    pub fn restore(
+        schema: Schema,
+        encoder_config: RecordEncoderConfig,
+        blocking: BlockingKey,
+        bytes: &[u8],
+    ) -> Result<Self> {
+        let frame = Frame::decode(bytes)?;
+        if frame.kind != FrameKind::Data {
+            return Err(PprlError::Transport(
+                "checkpoint frame is not a data frame".into(),
+            ));
+        }
+        let mut r = SnapshotReader::new(&frame.payload);
+        if r.u32()? != SNAPSHOT_MAGIC {
+            return Err(PprlError::Transport(
+                "not a streaming-linker checkpoint".into(),
+            ));
+        }
+        let threshold = r.f64()?;
+        let encoder = RecordEncoder::new(encoder_config, &schema)?;
+        let filter_len = r.u32()? as usize;
+        if filter_len != encoder.output_len() {
+            return Err(PprlError::shape(
+                format!("{} filter bits", encoder.output_len()),
+                format!("{filter_len} filter bits in checkpoint"),
+            ));
+        }
+        let filter_bytes = filter_len.div_ceil(8);
+        let n = r.u32()? as usize;
+        let mut filters = Vec::with_capacity(n);
+        let mut refs = Vec::with_capacity(n);
+        for row in 0..n {
+            let party = r.u32()?;
+            filters.push(BitVec::from_bytes(r.take(filter_bytes)?, filter_len)?);
+            refs.push(RecordRef::new(party, row));
+        }
+        let blocks = r.u32()? as usize;
+        let mut index: HashMap<String, Vec<usize>> = HashMap::with_capacity(blocks);
+        for _ in 0..blocks {
+            let key_len = r.u32()? as usize;
+            let key = std::str::from_utf8(r.take(key_len)?)
+                .map_err(|_| PprlError::Transport("checkpoint block key not UTF-8".into()))?
+                .to_string();
+            let rows_len = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(rows_len);
+            for _ in 0..rows_len {
+                let row = r.u32()? as usize;
+                if row >= n {
+                    return Err(PprlError::Transport(format!(
+                        "checkpoint block row {row} out of range ({n} records)"
+                    )));
+                }
+                rows.push(row);
+            }
+            index.insert(key, rows);
+        }
+        let n_clusters = r.u32()? as usize;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for _ in 0..n_clusters {
+            let len = r.u32()? as usize;
+            let mut cluster = Vec::with_capacity(len);
+            for _ in 0..len {
+                let party = r.u32()?;
+                cluster.push(RecordRef::new(party, r.u32()? as usize));
+            }
+            clusters.push(cluster);
+        }
+        if !r.done() {
+            return Err(PprlError::Transport(
+                "trailing bytes after checkpoint".into(),
+            ));
+        }
+        Ok(StreamingLinker {
+            schema,
+            encoder,
+            blocking,
+            threshold,
+            index,
+            filters,
+            refs,
+            clusterer: IncrementalClusterer::from_state(threshold, clusters)?,
         })
     }
 }
@@ -253,11 +442,9 @@ mod tests {
         let mut found = 0usize;
         for r in b.records() {
             let out = linker.insert(1, r).unwrap();
-            if out
-                .matches
-                .iter()
-                .any(|m| m.existing.party.0 == 0 && a.records()[m.existing.row].entity_id == r.entity_id)
-            {
+            if out.matches.iter().any(|m| {
+                m.existing.party.0 == 0 && a.records()[m.existing.row].entity_id == r.entity_id
+            }) {
                 found += 1;
             }
         }
@@ -266,6 +453,86 @@ mod tests {
             found as f64 / truth as f64 > 0.6,
             "stream recall {found}/{truth}"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_exact() {
+        let mut g = generator(5);
+        let mut original = linker();
+        for id in 0..40 {
+            original.insert(id % 3, &g.entity(u64::from(id))).unwrap();
+        }
+        let blob = original.snapshot().unwrap();
+        let mut restored = StreamingLinker::restore(
+            Schema::person(),
+            RecordEncoderConfig::person_clk(b"stream-key".to_vec()),
+            BlockingKey::person_default(),
+            &blob,
+        )
+        .unwrap();
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.clusters(), original.clusters());
+        // Post-restore inserts behave exactly like the uncrashed linker.
+        let next = g.entity(7);
+        let dup = g.corrupt_record(&next);
+        let a = original.insert(0, &next).unwrap();
+        let b = restored.insert(0, &next).unwrap();
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.cluster, b.cluster);
+        let a = original.insert(1, &dup).unwrap();
+        let b = restored.insert(1, &dup).unwrap();
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(original.clusters(), restored.clusters());
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_typed_transport_error() {
+        let mut g = generator(6);
+        let mut l = linker();
+        for id in 0..10 {
+            l.insert(0, &g.entity(id)).unwrap();
+        }
+        let blob = l.snapshot().unwrap();
+        // Flip one byte anywhere: the frame checksum must catch it.
+        for pos in [0, blob.len() / 2, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x40;
+            let err = StreamingLinker::restore(
+                Schema::person(),
+                RecordEncoderConfig::person_clk(b"stream-key".to_vec()),
+                BlockingKey::person_default(),
+                &bad,
+            )
+            .unwrap_err();
+            assert!(matches!(err, PprlError::Transport(_)), "byte {pos}: {err}");
+        }
+        // Truncation too.
+        let err = StreamingLinker::restore(
+            Schema::person(),
+            RecordEncoderConfig::person_clk(b"stream-key".to_vec()),
+            BlockingKey::person_default(),
+            &blob[..blob.len() / 2],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PprlError::Transport(_)), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_encoder() {
+        let mut g = generator(7);
+        let mut l = linker();
+        l.insert(0, &g.entity(1)).unwrap();
+        let blob = l.snapshot().unwrap();
+        let mut other = RecordEncoderConfig::person_clk(b"stream-key".to_vec());
+        other.params.len /= 2;
+        let err = StreamingLinker::restore(
+            Schema::person(),
+            other,
+            BlockingKey::person_default(),
+            &blob,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]

@@ -135,8 +135,7 @@ mod tests {
         let fb: Vec<&BitVec> = b.iter().collect();
         let report = honest_report(&fa, &fb, 0.5);
         let mut rng = SplitMix64::new(3);
-        let out =
-            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        let out = audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
         assert!(out.clean);
         assert_eq!(out.audited, report.len());
     }
@@ -152,8 +151,7 @@ mod tests {
         report[0].claimed_match = !report[0].claimed_match;
         report[7].claimed_similarity = 0.99;
         let mut rng = SplitMix64::new(6);
-        let out =
-            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        let out = audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
         assert!(!out.clean);
         assert_eq!(out.discrepancies.len(), 2);
     }
@@ -171,9 +169,11 @@ mod tests {
             d.claimed_match = true;
         }
         let mut rng = SplitMix64::new(9);
-        let out =
-            audit_lu_decisions(&report, &fa, &fb, 0.5, 0.1, 1e-9, &mut rng).unwrap();
-        assert!(!out.clean, "10% audit of 100 tampered decisions should catch one");
+        let out = audit_lu_decisions(&report, &fa, &fb, 0.5, 0.1, 1e-9, &mut rng).unwrap();
+        assert!(
+            !out.clean,
+            "10% audit of 100 tampered decisions should catch one"
+        );
         assert!(out.audited < report.len());
     }
 
@@ -188,8 +188,7 @@ mod tests {
             d.claimed_similarity += 1e-12; // rounding noise
         }
         let mut rng = SplitMix64::new(12);
-        let out =
-            audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
+        let out = audit_lu_decisions(&report, &fa, &fb, 0.5, 1.0, 1e-9, &mut rng).unwrap();
         assert!(out.clean);
     }
 

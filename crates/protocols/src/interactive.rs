@@ -54,7 +54,10 @@ pub fn interactive_linkage(
     cost_per_review: f64,
 ) -> Result<InteractiveOutcome> {
     if !(0.0..=1.0).contains(&lower) || !(lower..=1.0).contains(&upper) {
-        return Err(PprlError::invalid("lower/upper", "need 0 <= lower <= upper <= 1"));
+        return Err(PprlError::invalid(
+            "lower/upper",
+            "need 0 <= lower <= upper <= 1",
+        ));
     }
     let midpoint = (lower + upper) / 2.0;
     let mut predicted = Vec::new();

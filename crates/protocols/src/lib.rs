@@ -17,12 +17,16 @@ pub mod audit;
 pub mod interactive;
 pub mod multi_party;
 pub mod patterns;
+pub mod session;
 pub mod three_party;
+pub mod transport;
 pub mod two_party;
 
 pub use audit::{audit_lu_decisions, detection_probability, AuditOutcome, ReportedDecision};
 pub use interactive::{interactive_linkage, InteractiveOutcome, ReviewablePair};
 pub use multi_party::{multi_party_linkage, MatchedTuple, MultiPartyConfig, MultiPartyOutcome};
 pub use patterns::Pattern;
+pub use session::{aggregate_cbf, AggregateOutcome, RetryPolicy, Session, SessionStats};
 pub use three_party::{collusion_leakage, lu_linkage, LuOutcome, LuProtocolConfig};
+pub use transport::{Crash, FaultPlan, Frame, FrameKind, NetStats, SimNet, Transport};
 pub use two_party::{two_party_linkage, TwoPartyConfig, TwoPartyOutcome};

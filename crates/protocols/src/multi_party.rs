@@ -9,13 +9,25 @@
 //! parties' bits, aggregated along a configurable communication pattern.
 //! No party observes an individual filter of another party; the initiator
 //! observes only the aggregate counts.
+//!
+//! Aggregation runs over the fault-tolerant session runtime
+//! ([`crate::session`]): every hop is framed, checksummed, acknowledged and
+//! retried, so [`CommCost`] is *measured* from the traffic (and equals the
+//! analytical [`Pattern::aggregation_cost`] under [`FaultPlan::none`]).
+//! When a party crashes mid-run the pattern degrades gracefully — rings
+//! skip the dead member, trees re-parent its children, hierarchical groups
+//! promote a new leader — and the run continues over the survivors as long
+//! as at least [`MultiPartyConfig::min_parties`] remain; below that quorum
+//! the run aborts with a typed [`PprlError::ProtocolError`].
 
 use crate::patterns::Pattern;
+use crate::session::{aggregate_cbf, RetryPolicy, Session, SessionStats};
+use crate::transport::{FaultPlan, SimNet};
+use crate::two_party::DEFAULT_SIM_SEED;
 use pprl_blocking::keys::BlockingKey;
 use pprl_core::error::{PprlError, Result};
 use pprl_core::record::{Dataset, RecordRef};
 use pprl_crypto::cost::CommCost;
-use pprl_encoding::cbf::CountingBloomFilter;
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use std::collections::HashMap;
 
@@ -32,11 +44,22 @@ pub struct MultiPartyConfig {
     pub pattern: Pattern,
     /// Cap on candidate tuples per block (guards combinatorial blow-up).
     pub max_tuples_per_block: usize,
+    /// Quorum: the run aborts with a typed error once fewer than this many
+    /// parties are still alive (floored at 2 — an aggregation of one is
+    /// meaningless).
+    pub min_parties: usize,
+    /// Fault injection for the simulated inter-party network.
+    pub fault_plan: FaultPlan,
+    /// Retry/timeout policy for every hop of every aggregation.
+    pub retry: RetryPolicy,
+    /// Seed of the simulated network's fault stream.
+    pub sim_seed: u64,
 }
 
 impl MultiPartyConfig {
     /// Defaults: person CLK, Soundex(last name)+year blocking, threshold
-    /// 0.8, ring aggregation, 64 tuples per block.
+    /// 0.8, ring aggregation, 64 tuples per block, quorum 2, reliable
+    /// network.
     pub fn standard(shared_key: impl Into<Vec<u8>>) -> Self {
         MultiPartyConfig {
             encoder: RecordEncoderConfig::person_clk(shared_key.into()),
@@ -44,6 +67,10 @@ impl MultiPartyConfig {
             threshold: 0.8,
             pattern: Pattern::Ring,
             max_tuples_per_block: 64,
+            min_parties: 2,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            sim_seed: DEFAULT_SIM_SEED,
         }
     }
 }
@@ -51,9 +78,9 @@ impl MultiPartyConfig {
 /// A matched multi-party tuple.
 #[derive(Debug, Clone)]
 pub struct MatchedTuple {
-    /// One record per party (party index = position).
+    /// One record per *contributing* party (crashed parties are absent).
     pub members: Vec<RecordRef>,
-    /// Multi-party Dice similarity of the tuple.
+    /// Multi-party Dice similarity of the tuple over its contributors.
     pub similarity: f64,
 }
 
@@ -64,8 +91,18 @@ pub struct MultiPartyOutcome {
     pub matches: Vec<MatchedTuple>,
     /// Number of tuples scored (CBF aggregations performed).
     pub tuples_compared: usize,
-    /// Total communication across all aggregations.
+    /// Total communication across all aggregations, measured from the wire.
     pub cost: CommCost,
+    /// Parties that crashed during the run (empty when nothing failed).
+    pub failed_parties: Vec<usize>,
+    /// Session-level counters (retransmissions, acks, discards).
+    pub session_stats: SessionStats,
+}
+
+fn quorum_abort(alive: usize, total: usize, quorum: usize) -> PprlError {
+    PprlError::ProtocolError(format!(
+        "quorum lost: {alive} of {total} parties alive, need {quorum}"
+    ))
 }
 
 /// Runs the protocol over `p ≥ 3` datasets sharing the person schema.
@@ -80,6 +117,12 @@ pub fn multi_party_linkage(
         ));
     }
     let p = datasets.len();
+    if p > 15 {
+        return Err(PprlError::Unsupported(
+            "more than 15 parties (nibble-packed count vectors cap at 15)".into(),
+        ));
+    }
+    let quorum = config.min_parties.max(2);
     // Encode every dataset and extract blocking keys.
     let mut encoded = Vec::with_capacity(p);
     let mut keys = Vec::with_capacity(p);
@@ -89,7 +132,9 @@ pub fn multi_party_linkage(
         keys.push(config.blocking.extract(ds)?);
     }
 
-    // Blocks present in every party.
+    // Blocks present in every party. Blocking-key agreement happens before
+    // any aggregation traffic, so keys are computed over the full party
+    // set even if someone crashes later.
     let mut per_party_blocks: Vec<HashMap<&str, Vec<usize>>> = Vec::with_capacity(p);
     for party_keys in &keys {
         let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
@@ -106,60 +151,77 @@ pub fn multi_party_linkage(
         .filter(|k| per_party_blocks.iter().all(|m| m.contains_key(k)))
         .collect();
 
-    let filter_len = encoded[0]
-        .records
-        .first()
-        .and_then(|r| r.clk().map(|f| f.len()))
-        .unwrap_or(0);
-    let payload = filter_len.div_ceil(8) * 4; // count vector ≈ 4 bytes/position (packed)
+    let net = SimNet::new(p, config.fault_plan, config.sim_seed)?;
+    let mut session = Session::new(net, config.retry)?;
 
-    let mut cost = CommCost::new();
     let mut matches = Vec::new();
     let mut tuples_compared = 0usize;
 
     let mut sorted_keys = common_keys;
     sorted_keys.sort_unstable();
     for key in sorted_keys {
-        // Candidate tuples: the cartesian product across parties, capped.
-        let rows: Vec<&Vec<usize>> = per_party_blocks.iter().map(|m| &m[key]).collect();
-        let mut tuple_indices = vec![0usize; p];
+        // Candidate tuples for this block: the cartesian product across the
+        // parties still alive, capped. The alive set is snapshotted per
+        // block; deaths discovered mid-block are handled by the
+        // aggregation's own degraded modes.
+        let alive: Vec<usize> = (0..p).filter(|&i| !session.is_dead(i)).collect();
+        if alive.len() < quorum {
+            return Err(quorum_abort(alive.len(), p, quorum));
+        }
+        let rows: Vec<&Vec<usize>> = alive.iter().map(|&i| &per_party_blocks[i][key]).collect();
+        let mut tuple_indices = vec![0usize; alive.len()];
         let mut emitted = 0usize;
         'tuples: loop {
             if emitted >= config.max_tuples_per_block {
                 break;
             }
-            // Score the current tuple via CBF aggregation.
+            // Score the current tuple via CBF aggregation over the wire.
             let members: Vec<RecordRef> = tuple_indices
                 .iter()
                 .enumerate()
-                .map(|(party, &ti)| RecordRef::new(party as u32, rows[party][ti]))
+                .map(|(k, &ti)| RecordRef::new(alive[k] as u32, rows[k][ti]))
                 .collect();
-            let filters: Vec<&pprl_core::bitvec::BitVec> = members
+            let filters: Vec<(usize, &pprl_core::bitvec::BitVec)> = members
                 .iter()
                 .map(|r| {
                     encoded[r.party.0 as usize].records[r.row]
                         .clk()
+                        .map(|f| (r.party.0 as usize, f))
                         .ok_or_else(|| PprlError::Unsupported("field-level encoding".into()))
                 })
                 .collect::<Result<_>>()?;
-            let cbf = CountingBloomFilter::from_filters(&filters)?;
-            cost.merge(&config.pattern.aggregation_cost(p, payload)?);
+            let agg = match aggregate_cbf(&mut session, config.pattern, &filters) {
+                Ok(agg) => agg,
+                Err(e) => {
+                    let live_now = (0..p).filter(|&i| !session.is_dead(i)).count();
+                    if live_now < quorum {
+                        return Err(quorum_abort(live_now, p, quorum));
+                    }
+                    return Err(e);
+                }
+            };
             tuples_compared += 1;
             emitted += 1;
-            let sim = cbf.multi_dice(p)?;
+            if agg.contributors.len() < quorum {
+                return Err(quorum_abort(agg.contributors.len(), p, quorum));
+            }
+            let sim = agg.cbf.multi_dice(agg.contributors.len())?;
             if sim >= config.threshold {
                 matches.push(MatchedTuple {
-                    members,
+                    members: members
+                        .into_iter()
+                        .filter(|r| agg.contributors.contains(&(r.party.0 as usize)))
+                        .collect(),
                     similarity: sim,
                 });
             }
             // Advance the mixed-radix tuple counter.
-            for party in (0..p).rev() {
-                tuple_indices[party] += 1;
-                if tuple_indices[party] < rows[party].len() {
+            for k in (0..alive.len()).rev() {
+                tuple_indices[k] += 1;
+                if tuple_indices[k] < rows[k].len() {
                     continue 'tuples;
                 }
-                tuple_indices[party] = 0;
+                tuple_indices[k] = 0;
             }
             break;
         }
@@ -167,13 +229,16 @@ pub fn multi_party_linkage(
     Ok(MultiPartyOutcome {
         matches,
         tuples_compared,
-        cost,
+        cost: session.cost(),
+        failed_parties: session.dead_parties(),
+        session_stats: *session.stats(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Crash;
     use pprl_datagen::generator::{Generator, GeneratorConfig};
 
     fn parties(seed: u64, p: usize, common: usize, unique: usize) -> Vec<Dataset> {
@@ -213,6 +278,33 @@ mod tests {
         assert!(!out.matches.is_empty(), "should find some common entities");
         let precision = true_tuples as f64 / out.matches.len() as f64;
         assert!(precision > 0.8, "tuple precision {precision}");
+        assert!(out.failed_parties.is_empty());
+    }
+
+    #[test]
+    fn measured_cost_matches_analytical() {
+        // The E5 invariant: under FaultPlan::none() the wire-measured cost
+        // equals the analytical formula, tuple by tuple.
+        for pattern in [
+            Pattern::Ring,
+            Pattern::Sequential,
+            Pattern::Tree { fanout: 2 },
+            Pattern::Hierarchical { group_size: 2 },
+        ] {
+            let ds = parties(7, 4, 10, 5);
+            let mut cfg = MultiPartyConfig::standard(b"k".to_vec());
+            cfg.pattern = pattern;
+            let out = multi_party_linkage(&ds, &cfg).unwrap();
+            let filter_len = RecordEncoder::new(cfg.encoder.clone(), ds[0].schema())
+                .unwrap()
+                .output_len();
+            let payload = filter_len.div_ceil(8) * 4;
+            let mut expected = CommCost::new();
+            for _ in 0..out.tuples_compared {
+                expected.merge(&pattern.aggregation_cost(4, payload).unwrap());
+            }
+            assert_eq!(out.cost, expected, "pattern {pattern:?}");
+        }
     }
 
     #[test]
@@ -250,5 +342,45 @@ mod tests {
         cfg.max_tuples_per_block = 64;
         let full = multi_party_linkage(&ds, &cfg).unwrap();
         assert!(capped.tuples_compared <= full.tuples_compared);
+    }
+
+    #[test]
+    fn crashed_party_degrades_gracefully() {
+        // Four parties, one crashes immediately: the run continues over the
+        // three survivors, tuples score with multi_dice(3), and the crash
+        // is reported.
+        let ds = parties(6, 4, 15, 5);
+        let mut cfg = MultiPartyConfig::standard(b"k".to_vec());
+        cfg.fault_plan.crash = Some(Crash {
+            party: 2,
+            at_round: 1,
+        });
+        let out = multi_party_linkage(&ds, &cfg).unwrap();
+        assert_eq!(out.failed_parties, vec![2]);
+        assert!(out.tuples_compared > 0);
+        for m in &out.matches {
+            assert!(
+                m.members.iter().all(|r| r.party.0 != 2),
+                "dead party must not appear in matches"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_loss_is_typed_abort() {
+        // Demanding all four parties stay alive turns any crash into a
+        // protocol abort instead of a degraded run.
+        let ds = parties(6, 4, 15, 5);
+        let mut cfg = MultiPartyConfig::standard(b"k".to_vec());
+        cfg.min_parties = 4;
+        cfg.fault_plan.crash = Some(Crash {
+            party: 2,
+            at_round: 1,
+        });
+        let err = multi_party_linkage(&ds, &cfg).unwrap_err();
+        assert!(
+            matches!(err, PprlError::ProtocolError(ref m) if m.contains("quorum")),
+            "{err}"
+        );
     }
 }

@@ -128,7 +128,9 @@ mod tests {
     #[test]
     fn tree_logarithmic_rounds() {
         let p = 16;
-        let tree = Pattern::Tree { fanout: 2 }.aggregation_cost(p, 100).unwrap();
+        let tree = Pattern::Tree { fanout: 2 }
+            .aggregation_cost(p, 100)
+            .unwrap();
         assert_eq!(tree.messages, p); // p-1 up + 1 down
         assert_eq!(tree.rounds, 5); // log2(16)=4 up + 1 down
         let seq = Pattern::Sequential.aggregation_cost(p, 100).unwrap();
@@ -158,7 +160,10 @@ mod tests {
         let p = 64;
         let seq = Pattern::Sequential.aggregation_cost(p, 8).unwrap().rounds;
         let ring = Pattern::Ring.aggregation_cost(p, 8).unwrap().rounds;
-        let tree = Pattern::Tree { fanout: 4 }.aggregation_cost(p, 8).unwrap().rounds;
+        let tree = Pattern::Tree { fanout: 4 }
+            .aggregation_cost(p, 8)
+            .unwrap()
+            .rounds;
         let hier = Pattern::Hierarchical { group_size: 8 }
             .aggregation_cost(p, 8)
             .unwrap()

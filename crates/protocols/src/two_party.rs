@@ -7,14 +7,28 @@
 //! Hamming LSH on the exchanged filters so the comparison stays
 //! sub-quadratic. What each party learns: the other side's filters (hence
 //! hardening matters in this model) and the final match pairs.
+//!
+//! Every message crosses the session runtime ([`crate::session`]) as a
+//! framed, checksummed, acknowledged transfer, so the reported [`CommCost`]
+//! is *measured* from the traffic — identical to the former analytical
+//! accounting when the configured [`FaultPlan`] is fault-free, and
+//! inclusive of retransmission overhead otherwise. A crashed counterpart
+//! surfaces as a typed [`pprl_core::error::PprlError::Timeout`]; two
+//! parties cannot degrade below two.
 
+use crate::session::{decode_match, encode_match, RetryPolicy, Session};
+use crate::transport::{FaultPlan, SimNet};
 use pprl_blocking::engine::compare_pairs;
 use pprl_blocking::lsh::HammingLsh;
+use pprl_core::bitvec::BitVec;
 use pprl_core::error::Result;
 use pprl_core::record::Dataset;
 use pprl_crypto::cost::CommCost;
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_similarity::bitvec_sim::dice_bits;
+
+/// Default deterministic seed for the simulated network.
+pub(crate) const DEFAULT_SIM_SEED: u64 = 0x5EED;
 
 /// Configuration of the two-party protocol.
 #[derive(Debug, Clone)]
@@ -25,16 +39,25 @@ pub struct TwoPartyConfig {
     pub lsh: HammingLsh,
     /// Dice match threshold.
     pub threshold: f64,
+    /// Fault injection for the simulated network between the parties.
+    pub fault_plan: FaultPlan,
+    /// Retry/timeout policy for every transfer.
+    pub retry: RetryPolicy,
+    /// Seed of the simulated network's fault stream.
+    pub sim_seed: u64,
 }
 
 impl TwoPartyConfig {
     /// Defaults: person CLK encoding with the given shared key, 16 LSH
-    /// tables of 24 bits, threshold 0.8.
+    /// tables of 24 bits, threshold 0.8, reliable network.
     pub fn standard(shared_key: impl Into<Vec<u8>>) -> Result<Self> {
         Ok(TwoPartyConfig {
             encoder: RecordEncoderConfig::person_clk(shared_key.into()),
             lsh: HammingLsh::new(16, 24, 0x7770)?,
             threshold: 0.8,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            sim_seed: DEFAULT_SIM_SEED,
         })
     }
 }
@@ -48,8 +71,10 @@ pub struct TwoPartyOutcome {
     pub candidates: usize,
     /// Similarity comparisons actually computed.
     pub comparisons: usize,
-    /// Communication between the two parties.
+    /// Communication between the two parties, measured from the wire.
     pub cost: CommCost,
+    /// Session-level counters (retransmissions, acks, discards).
+    pub session_stats: crate::session::SessionStats,
 }
 
 /// Runs the protocol over two datasets sharing the person schema.
@@ -64,42 +89,57 @@ pub fn two_party_linkage(
     let enc_b = encoder_b.encode_dataset(b)?;
     let filters_a = enc_a.clks()?;
     let filters_b = enc_b.clks()?;
+    let filter_len = encoder_a.output_len();
 
-    let mut cost = CommCost::new();
-    // Round 1: party B ships its filters to party A (and vice versa; we
-    // account a symmetric exchange).
-    let filter_bytes = encoder_a.output_len().div_ceil(8);
-    cost.send_many(filters_b.len(), filter_bytes);
-    cost.send_many(filters_a.len(), filter_bytes);
-    cost.end_round();
+    let net = SimNet::new(2, config.fault_plan, config.sim_seed)?;
+    let mut session = Session::new(net, config.retry)?;
+
+    // Round 1: a symmetric filter exchange — B ships its filters to A,
+    // A ships its filters to B. Party A links on the bytes it *received*.
+    let mut received_b: Vec<BitVec> = Vec::with_capacity(filters_b.len());
+    for f in &filters_b {
+        let bytes = session.transfer(1, 0, &f.to_bytes())?;
+        received_b.push(BitVec::from_bytes(&bytes, filter_len)?);
+    }
+    for f in &filters_a {
+        session.transfer(0, 1, &f.to_bytes())?;
+    }
+    session.end_round();
 
     // Both parties run the same deterministic LSH blocking locally.
-    let candidates = config.lsh.candidates(&filters_a, &filters_b)?;
-
+    let received_refs: Vec<&BitVec> = received_b.iter().collect();
+    let candidates = config.lsh.candidates(&filters_a, &received_refs)?;
     let outcome = compare_pairs(&candidates, config.threshold, |i, j| {
-        dice_bits(filters_a[i], filters_b[j])
+        dice_bits(filters_a[i], received_refs[j])
     })?;
 
-    // Round 2: parties reconcile their match lists (identical, but we
-    // account one confirmation message per match).
-    cost.send_many(outcome.matches.len().max(1), 16);
-    cost.end_round();
+    // Round 2: A sends its match list to B for reconciliation, one 16-byte
+    // message per match (an empty sentinel when nothing matched). The
+    // reported matches are what B decoded off the wire.
+    let mut matches = Vec::with_capacity(outcome.matches.len());
+    if outcome.matches.is_empty() {
+        session.transfer(0, 1, &[0u8; 16])?;
+    } else {
+        for m in &outcome.matches {
+            let bytes = session.transfer(0, 1, &encode_match(m.a, m.b, m.similarity)?)?;
+            matches.push(decode_match(&bytes)?);
+        }
+    }
+    session.end_round();
 
     Ok(TwoPartyOutcome {
-        matches: outcome
-            .matches
-            .iter()
-            .map(|m| (m.a, m.b, m.similarity))
-            .collect(),
+        matches,
         candidates: candidates.len(),
         comparisons: outcome.comparisons,
-        cost,
+        cost: session.cost(),
+        session_stats: *session.stats(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pprl_core::error::PprlError;
     use pprl_datagen::generator::{Generator, GeneratorConfig};
 
     fn pair(seed: u64, n: usize, overlap: usize) -> (Dataset, Dataset) {
@@ -117,8 +157,7 @@ mod tests {
         let (a, b) = pair(1, 120, 40);
         let config = TwoPartyConfig::standard(b"shared".to_vec()).unwrap();
         let out = two_party_linkage(&a, &b, &config).unwrap();
-        let truth: std::collections::HashSet<_> =
-            a.ground_truth_pairs(&b).into_iter().collect();
+        let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
         let tp = out
             .matches
             .iter()
@@ -156,6 +195,39 @@ mod tests {
         // 100 filters of 125 bytes each at minimum.
         assert!(out.cost.bytes >= 100 * 125);
         assert_eq!(out.cost.rounds, 2);
+        // Fault-free: one frame per message, no retries, every data frame
+        // acked.
+        assert_eq!(out.session_stats.retransmissions, 0);
+        assert_eq!(out.session_stats.data_frames, out.cost.messages);
+    }
+
+    #[test]
+    fn faulty_network_same_matches_higher_cost() {
+        let (a, b) = pair(5, 60, 20);
+        let clean = TwoPartyConfig::standard(b"shared".to_vec()).unwrap();
+        let mut faulty = clean.clone();
+        faulty.fault_plan = FaultPlan::with_drop_rate(0.1);
+        faulty.retry = RetryPolicy {
+            max_retries: 8,
+            ..RetryPolicy::default()
+        };
+        let out_clean = two_party_linkage(&a, &b, &clean).unwrap();
+        let out_faulty = two_party_linkage(&a, &b, &faulty).unwrap();
+        assert_eq!(out_clean.matches, out_faulty.matches, "drops are recovered");
+        assert!(out_faulty.session_stats.retransmissions > 0);
+        assert!(out_faulty.cost.messages > out_clean.cost.messages);
+    }
+
+    #[test]
+    fn crashed_counterpart_is_typed_timeout() {
+        let (a, b) = pair(6, 20, 5);
+        let mut config = TwoPartyConfig::standard(b"shared".to_vec()).unwrap();
+        config.fault_plan.crash = Some(crate::transport::Crash {
+            party: 1,
+            at_round: 1,
+        });
+        let err = two_party_linkage(&a, &b, &config).unwrap_err();
+        assert!(matches!(err, PprlError::Timeout(_)), "{err}");
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn multi_dice(filters: &[&BitVec]) -> Result<f64> {
     let len = filters[0].len();
     for f in filters {
         if f.len() != len {
-            return Err(PprlError::shape(format!("{len} bits"), format!("{} bits", f.len())));
+            return Err(PprlError::shape(
+                format!("{len} bits"),
+                format!("{} bits", f.len()),
+            ));
         }
     }
     let total: usize = filters.iter().map(|f| f.count_ones()).sum();
@@ -215,7 +218,7 @@ mod tests {
         let a = bv(16, &[0, 1, 2, 3]); // x=4
         let b = bv(16, &[1, 2, 3, 4]); // x=4
         let c = bv(16, &[2, 3, 4, 5]); // x=4
-        // common to all three: {2,3} → c=2; 3*2/12 = 0.5
+                                       // common to all three: {2,3} → c=2; 3*2/12 = 0.5
         assert!((multi_dice(&[&a, &b, &c]).unwrap() - 0.5).abs() < 1e-12);
     }
 

@@ -76,9 +76,15 @@ impl FieldComparator {
             FieldComparator::Damerau => Ok(damerau_similarity(&a.as_text(), &b.as_text())),
             FieldComparator::Lcs => Ok(lcs_similarity(&a.as_text(), &b.as_text())),
             FieldComparator::MongeElkan => Ok(monge_elkan_jw(&a.as_text(), &b.as_text())),
-            FieldComparator::QGram { config, coefficient } => {
-                Ok(qgram_similarity(&a.as_text(), &b.as_text(), config, *coefficient))
-            }
+            FieldComparator::QGram {
+                config,
+                coefficient,
+            } => Ok(qgram_similarity(
+                &a.as_text(),
+                &b.as_text(),
+                config,
+                *coefficient,
+            )),
             FieldComparator::NumericAbsolute { max_distance } => {
                 numeric_absolute(a.as_f64()?, b.as_f64()?, *max_distance)
             }
@@ -96,7 +102,9 @@ impl FieldComparator {
                         date_similarity(da, db, *max_days)
                     }
                 }
-                _ => Err(PprlError::ValueError("DateDays comparator needs Date values".into())),
+                _ => Err(PprlError::ValueError(
+                    "DateDays comparator needs Date values".into(),
+                )),
             },
             FieldComparator::Exact => Ok(categorical_exact(&a.as_text(), &b.as_text())),
         }
@@ -149,14 +157,20 @@ impl RecordComparator {
         let mut total_weight = 0.0;
         for rule in rules {
             if !(rule.weight >= 0.0) || !rule.weight.is_finite() {
-                return Err(PprlError::invalid("weight", "must be non-negative and finite"));
+                return Err(PprlError::invalid(
+                    "weight",
+                    "must be non-negative and finite",
+                ));
             }
             let idx = schema.index_of(&rule.field)?;
             total_weight += rule.weight;
             resolved.push((idx, rule));
         }
         if total_weight <= 0.0 {
-            return Err(PprlError::invalid("weight", "total weight must be positive"));
+            return Err(PprlError::invalid(
+                "weight",
+                "total weight must be positive",
+            ));
         }
         Ok(RecordComparator {
             rules: resolved,
@@ -191,8 +205,11 @@ impl RecordComparator {
                 )
                 .weighted(2.0),
                 FieldRule::new("gender", FieldComparator::Exact).weighted(0.5),
-                FieldRule::new("age", FieldComparator::NumericAbsolute { max_distance: 5.0 })
-                    .weighted(0.5),
+                FieldRule::new(
+                    "age",
+                    FieldComparator::NumericAbsolute { max_distance: 5.0 },
+                )
+                .weighted(0.5),
             ],
         )
     }
@@ -266,7 +283,10 @@ mod tests {
             &schema(),
             vec![
                 FieldRule::new("name", FieldComparator::JaroWinkler).weighted(2.0),
-                FieldRule::new("age", FieldComparator::NumericAbsolute { max_distance: 10.0 }),
+                FieldRule::new(
+                    "age",
+                    FieldComparator::NumericAbsolute { max_distance: 10.0 },
+                ),
                 FieldRule::new(
                     "dob",
                     FieldComparator::DateDays {
@@ -345,11 +365,10 @@ mod tests {
     fn bad_construction_rejected() {
         let s = schema();
         assert!(RecordComparator::new(&s, vec![]).is_err());
-        assert!(RecordComparator::new(
-            &s,
-            vec![FieldRule::new("nope", FieldComparator::Exact)]
-        )
-        .is_err());
+        assert!(
+            RecordComparator::new(&s, vec![FieldRule::new("nope", FieldComparator::Exact)])
+                .is_err()
+        );
         assert!(RecordComparator::new(
             &s,
             vec![FieldRule::new("name", FieldComparator::Exact).weighted(-1.0)]

@@ -54,7 +54,9 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     for i in 1..=n {
         for j in 1..=m {
             let cost = usize::from(av[i - 1] != bv[j - 1]);
-            let mut best = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+            let mut best = (d[i - 1][j] + 1)
+                .min(d[i][j - 1] + 1)
+                .min(d[i - 1][j - 1] + cost);
             if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
                 best = best.min(d[i - 2][j - 2] + 1);
             }
@@ -157,7 +159,11 @@ mod tests {
 
     #[test]
     fn damerau_leq_levenshtein() {
-        for (a, b) in [("peter", "preet"), ("jonathan", "johnathan"), ("abcd", "dcba")] {
+        for (a, b) in [
+            ("peter", "preet"),
+            ("jonathan", "johnathan"),
+            ("abcd", "dcba"),
+        ] {
             assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
         }
     }
@@ -211,7 +217,10 @@ mod tests {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
             assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
             assert_eq!(bag_distance(a, b), bag_distance(b, a));
-            assert_eq!(longest_common_substring(a, b), longest_common_substring(b, a));
+            assert_eq!(
+                longest_common_substring(a, b),
+                longest_common_substring(b, a)
+            );
         }
     }
 

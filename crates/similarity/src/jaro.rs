@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn in_unit_interval() {
-        for (a, b) in [("a", "abcdefgh"), ("short", "muchlongerstring"), ("xy", "yx")] {
+        for (a, b) in [
+            ("a", "abcdefgh"),
+            ("short", "muchlongerstring"),
+            ("xy", "yx"),
+        ] {
             let s = jaro_winkler(a, b);
             assert!((0.0..=1.0).contains(&s));
         }

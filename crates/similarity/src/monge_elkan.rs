@@ -30,11 +30,7 @@ where
     }
     let total: f64 = ta
         .iter()
-        .map(|x| {
-            tb.iter()
-                .map(|y| inner(x, y))
-                .fold(0.0f64, f64::max)
-        })
+        .map(|x| tb.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max))
         .sum();
     total / ta.len() as f64
 }

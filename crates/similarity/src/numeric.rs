@@ -12,7 +12,10 @@ use pprl_core::value::Date;
 /// `max(0, 1 − |a−b| / max_distance)`.
 pub fn numeric_absolute(a: f64, b: f64, max_distance: f64) -> Result<f64> {
     if !(max_distance > 0.0) || !max_distance.is_finite() {
-        return Err(PprlError::invalid("max_distance", "must be positive and finite"));
+        return Err(PprlError::invalid(
+            "max_distance",
+            "must be positive and finite",
+        ));
     }
     if !a.is_finite() || !b.is_finite() {
         return Err(PprlError::ValueError("non-finite numeric value".into()));

@@ -162,9 +162,6 @@ mod tests {
         let cfg = QGramConfig::bigrams();
         let d = qgram_similarity("smith", "smyth", &cfg, SetSimilarity::Dice);
         assert!((d - 0.5).abs() < 1e-12);
-        assert_eq!(
-            qgram_similarity("", "", &cfg, SetSimilarity::Jaccard),
-            1.0
-        );
+        assert_eq!(qgram_similarity("", "", &cfg, SetSimilarity::Jaccard), 1.0);
     }
 }

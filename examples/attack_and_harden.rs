@@ -53,8 +53,11 @@ fn main() {
     // The attack recovers the surname embedded in the SLK.
     let rate = reidentification_rate(&out.guesses, &names).expect("aligned lengths");
     println!("[1] frequency attack on hashed SLK-581:");
-    println!("    re-identification rate: {:.1}% (disclosure risk {:.3})", rate * 100.0,
-        disclosure_risk(&slks).expect("non-empty"));
+    println!(
+        "    re-identification rate: {:.1}% (disclosure risk {:.3})",
+        rate * 100.0,
+        disclosure_risk(&slks).expect("non-empty")
+    );
 
     // --- Attack 2: dictionary re-encoding attack on Bloom filters -------
     let cfg = QGramConfig::default();
@@ -77,7 +80,10 @@ fn main() {
 
     // --- Hardening: BLIP at several epsilons -----------------------------
     println!("[3] BLIP hardening (per-bit differential privacy):");
-    println!("    {:>7} {:>12} {:>18}", "epsilon", "attack rate", "dice(smith,smyth)");
+    println!(
+        "    {:>7} {:>12} {:>18}",
+        "epsilon", "attack rate", "dice(smith,smyth)"
+    );
     let smith = leaked.encode_tokens(&qgram_set("smith", &cfg));
     let smyth = leaked.encode_tokens(&qgram_set("smyth", &cfg));
     for epsilon in [0.5, 1.0, 2.0, 3.0, 5.0] {

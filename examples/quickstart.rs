@@ -20,9 +20,7 @@ fn main() {
         ..GeneratorConfig::default()
     })
     .expect("valid generator config");
-    let (hospital, insurer) = gen
-        .dataset_pair(1000, 1000, 300)
-        .expect("valid sizes");
+    let (hospital, insurer) = gen.dataset_pair(1000, 1000, 300).expect("valid sizes");
     println!(
         "Database A: {} records, database B: {} records, true overlap: 300 entities",
         hospital.len(),
@@ -31,8 +29,8 @@ fn main() {
 
     // 2. Configure the privacy-preserving pipeline. Both parties must use
     //    the same shared secret key; the linkage never sees plaintext.
-    let config = PipelineConfig::standard(b"example-shared-secret".to_vec())
-        .expect("valid pipeline config");
+    let config =
+        PipelineConfig::standard(b"example-shared-secret".to_vec()).expect("valid pipeline config");
     println!(
         "Encoding: 1000-bit CLK, double hashing; blocking: Hamming LSH; threshold {}",
         config.threshold
@@ -46,13 +44,8 @@ fn main() {
     // 4. Evaluate against the generator's ground truth.
     let truth = hospital.ground_truth_pairs(&insurer);
     let quality = Confusion::from_pairs(&result.pairs(), &truth);
-    let blocking = blocking_quality(
-        &result.pairs(),
-        &truth,
-        hospital.len(),
-        insurer.len(),
-    )
-    .expect("non-empty datasets");
+    let blocking = blocking_quality(&result.pairs(), &truth, hospital.len(), insurer.len())
+        .expect("non-empty datasets");
 
     println!();
     println!(
@@ -67,6 +60,9 @@ fn main() {
     println!("precision: {:.3}", quality.precision());
     println!("recall:    {:.3}", quality.recall());
     println!("f1:        {:.3}", quality.f1());
-    println!("match completeness after all stages: {:.3}", blocking.pairs_completeness);
+    println!(
+        "match completeness after all stages: {:.3}",
+        blocking.pairs_completeness
+    );
     println!("wall time: {elapsed:.2?}");
 }

@@ -26,8 +26,8 @@ fn main() {
     })
     .expect("valid generator config");
     // The registry's holdings: entities 0..600.
-    let registry = Dataset::from_records(Schema::person(), gen.population(600))
-        .expect("valid records");
+    let registry =
+        Dataset::from_records(Schema::person(), gen.population(600)).expect("valid records");
     // Partner extract: 150 corrupted re-observations of registry members,
     // 250 new entities (ids 1000+ so ground truth stays consistent), plus
     // internal duplicates.
@@ -67,8 +67,8 @@ fn main() {
     );
 
     // --- 2. Privacy-preserving linkage against the registry --------------
-    let mut cfg = PipelineConfig::standard(b"registry-partner-key".to_vec())
-        .expect("valid pipeline config");
+    let mut cfg =
+        PipelineConfig::standard(b"registry-partner-key".to_vec()).expect("valid pipeline config");
     cfg.one_to_one = false; // defer conflict resolution to step 3
     cfg.threshold = 0.7;
     let result = link(&registry, &partner_clean, &cfg).expect("links");
@@ -106,8 +106,8 @@ fn main() {
         ("recall", Metric::Recall),
         ("f1", Metric::F1),
     ] {
-        let iv = bootstrap_metric(&predicted, &truth, metric, 500, 0.95, 7)
-            .expect("valid bootstrap");
+        let iv =
+            bootstrap_metric(&predicted, &truth, metric, 500, 0.95, 7).expect("valid bootstrap");
         println!(
             "{name:>9}: {:.3}  (95% CI {:.3} – {:.3})",
             iv.estimate, iv.lower, iv.upper

@@ -36,10 +36,21 @@ fn main() {
     // --- Commutative encryption: exact PSI ------------------------------
     println!("[2] Commutative-encryption private set intersection (exact match)");
     let group = Group::generate(128, &mut rng).expect("group");
-    let a: Vec<String> = ["alice", "bob", "carol", "dave"].iter().map(|s| s.to_string()).collect();
-    let b: Vec<String> = ["eve", "carol", "alice", "mallory"].iter().map(|s| s.to_string()).collect();
+    let a: Vec<String> = ["alice", "bob", "carol", "dave"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let b: Vec<String> = ["eve", "carol", "alice", "mallory"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let shared = private_set_intersection(&a, &b, &group, &mut rng).expect("psi");
-    println!("    |A| = {}, |B| = {}, intersection pairs found: {:?}", a.len(), b.len(), shared);
+    println!(
+        "    |A| = {}, |B| = {}, intersection pairs found: {:?}",
+        a.len(),
+        b.len(),
+        shared
+    );
 
     // --- Shamir sharing: threshold key escrow ---------------------------
     println!("[3] Shamir secret sharing (3-of-5 escrow of a linkage key)");
@@ -48,18 +59,32 @@ fn main() {
     let recovered = shamir_reconstruct(&shares[1..4]).expect("reconstruct");
     println!(
         "    secret {:#x} recovered from shares 2..4: {:#x} (match: {})",
-        secret, recovered, secret == recovered
+        secret,
+        recovered,
+        secret == recovered
     );
 
     // --- Secure summation: three protocol variants ----------------------
     println!("[4] Multi-party secure summation (5 parties)");
     let inputs = [104u64, 86, 97, 120, 93];
     for (name, outcome) in [
-        ("masked ring  ", sum_masked_ring(&inputs, &mut rng).expect("ring")),
-        ("additive     ", sum_additive_shares(&inputs, &mut rng).expect("shares")),
-        ("paillier(256)", sum_paillier(&inputs, 256, &mut rng).expect("paillier")),
+        (
+            "masked ring  ",
+            sum_masked_ring(&inputs, &mut rng).expect("ring"),
+        ),
+        (
+            "additive     ",
+            sum_additive_shares(&inputs, &mut rng).expect("shares"),
+        ),
+        (
+            "paillier(256)",
+            sum_paillier(&inputs, 256, &mut rng).expect("paillier"),
+        ),
     ] {
-        println!("    {name}: sum = {:>4}, cost = {}", outcome.sum, outcome.cost);
+        println!(
+            "    {name}: sum = {:>4}, cost = {}",
+            outcome.sum, outcome.cost
+        );
     }
 
     // --- Secure edit distance: the cost of exactness ---------------------

@@ -74,15 +74,16 @@ fn main() {
         .filter(|r| r.entity_id < watchlist_size as u64)
         .count();
 
-    println!("stream processed: {} records in {elapsed:.2?}", stream.len());
+    println!(
+        "stream processed: {} records in {elapsed:.2?}",
+        stream.len()
+    );
     println!(
         "throughput: {:.0} records/second, {:.1} comparisons/record",
         stream.len() as f64 / elapsed.as_secs_f64(),
         comparisons as f64 / stream.len() as f64
     );
-    println!(
-        "alerts: {alerts} ({true_alerts} correct) of {expected_hits} watch-listed travellers"
-    );
+    println!("alerts: {alerts} ({true_alerts} correct) of {expected_hits} watch-listed travellers");
     println!(
         "alert precision {:.2}, recall {:.2}",
         true_alerts as f64 / alerts.max(1) as f64,

@@ -1,17 +1,22 @@
-//! Property-based tests over the encoding, CSV, matching and protocol
+//! Randomized property tests over the encoding, CSV, matching and protocol
 //! layers: round trips, invariants, and structural guarantees under
 //! arbitrary inputs.
+//!
+//! Ported from `proptest` to the in-repo deterministic `SplitMix64`
+//! harness (zero external crates); each property runs a fixed number of
+//! seeded random cases.
 
-use proptest::prelude::*;
-
+use pprl::core::bitvec::BitVec;
 use pprl::core::record::{Dataset, Record};
+use pprl::core::rng::SplitMix64;
 use pprl::core::schema::{FieldDef, FieldType, Schema};
 use pprl::core::value::{Date, Value};
 use pprl::crypto::secure_sum::{sum_additive_shares, sum_masked_ring};
 use pprl::encoding::hardening::Hardening;
 use pprl::matching::assignment::{greedy_one_to_one, hungarian_one_to_one};
 use pprl::matching::collective::{collective_refine, CollectiveConfig};
-use pprl::core::bitvec::BitVec;
+
+const CASES: usize = 48;
 
 fn small_schema() -> Schema {
     Schema::new(vec![
@@ -23,62 +28,86 @@ fn small_schema() -> Schema {
     .expect("unique names")
 }
 
-fn value_text() -> impl Strategy<Value = String> {
-    // Text including CSV-hostile characters.
-    proptest::string::string_regex("[a-z ,\"\n']{0,16}").expect("valid regex")
+/// Text including CSV-hostile characters (commas, quotes, newlines).
+fn value_text(rng: &mut SplitMix64) -> String {
+    const ALPHABET: &[char] = &['a', 'b', 'c', 'x', 'y', 'z', ' ', ',', '"', '\n', '\''];
+    let len = rng.next_below(17) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.next_below(ALPHABET.len() as u64) as usize])
+        .collect()
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (
-        value_text(),
-        0i64..120,
-        (1940i32..2020, 1u8..13, 1u8..29),
-        prop_oneof![Just("m"), Just("f"), Just("x")],
-        any::<u64>(),
+fn arb_record(rng: &mut SplitMix64) -> Record {
+    let name = value_text(rng);
+    let age = rng.next_below(120) as i64;
+    let y = 1940 + rng.next_below(80) as i32;
+    let m = 1 + rng.next_below(12) as u8;
+    let d = 1 + rng.next_below(28) as u8;
+    let g = ["m", "f", "x"][rng.next_below(3) as usize];
+    Record::new(
+        rng.next_u64(),
+        vec![
+            Value::Text(name),
+            Value::Integer(age),
+            Value::Date(Date::new(y, m, d).expect("day < 29 always valid")),
+            Value::Categorical(g.to_string()),
+        ],
     )
-        .prop_map(|(name, age, (y, m, d), g, entity)| {
-            Record::new(
-                entity,
-                vec![
-                    Value::Text(name),
-                    Value::Integer(age),
-                    Value::Date(Date::new(y, m, d).expect("day < 29 always valid")),
-                    Value::Categorical(g.to_string()),
-                ],
+}
+
+fn positions(rng: &mut SplitMix64, len: usize) -> Vec<usize> {
+    let n = rng.next_below(len as u64 / 2) as usize;
+    (0..n)
+        .map(|_| rng.next_below(len as u64) as usize)
+        .collect()
+}
+
+/// Random scored pairs `(a, b, s)` over small index ranges.
+fn scored_pairs(rng: &mut SplitMix64, max_idx: u64, max_len: u64) -> Vec<(usize, usize, f64)> {
+    let n = 1 + rng.next_below(max_len) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.next_below(max_idx) as usize,
+                rng.next_below(max_idx) as usize,
+                rng.next_f64(),
             )
         })
+        .collect()
 }
 
-fn positions(len: usize) -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0..len, 0..len / 2)
-}
+// ---------- CSV round trip ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    // ---------- CSV round trip ----------
-
-    #[test]
-    fn csv_round_trips_arbitrary_datasets(records in proptest::collection::vec(arb_record(), 0..20)) {
+#[test]
+fn csv_round_trips_arbitrary_datasets() {
+    let mut rng = SplitMix64::new(0xC1);
+    for case in 0..CASES {
+        let n = rng.next_below(20) as usize;
+        let records: Vec<Record> = (0..n).map(|_| arb_record(&mut rng)).collect();
         let ds = Dataset::from_records(small_schema(), records).expect("valid widths");
         let csv = ds.to_csv();
         let back = Dataset::from_csv(&csv, small_schema()).expect("parses own output");
-        prop_assert_eq!(back.len(), ds.len());
+        assert_eq!(back.len(), ds.len(), "case {case}");
         for (a, b) in ds.records().iter().zip(back.records()) {
-            prop_assert_eq!(a.entity_id, b.entity_id);
+            assert_eq!(a.entity_id, b.entity_id);
             // Text round-trips modulo the reader's documented trim
             // semantics (cells are trimmed; all-whitespace becomes Missing).
             for (va, vb) in a.values.iter().zip(&b.values) {
                 let (ta, tb) = (va.as_text(), vb.as_text());
-                prop_assert_eq!(ta.trim(), tb.trim());
+                assert_eq!(ta.trim(), tb.trim(), "case {case}");
             }
         }
     }
+}
 
-    // ---------- hardening invariants ----------
+// ---------- hardening invariants ----------
 
-    #[test]
-    fn hardening_output_lengths_match_contract(ones in positions(128), nonce in any::<u64>()) {
+#[test]
+fn hardening_output_lengths_match_contract() {
+    let mut rng = SplitMix64::new(0xC2);
+    for case in 0..CASES {
+        let ones = positions(&mut rng, 128);
+        let nonce = rng.next_u64();
         let f = BitVec::from_positions(128, &ones).expect("in range");
         for h in [
             Hardening::Balance,
@@ -88,49 +117,63 @@ proptest! {
             Hardening::Permute { seed: 5 },
         ] {
             let out = h.apply(&f, nonce).expect("valid");
-            prop_assert_eq!(out.len(), h.output_len(128));
+            assert_eq!(out.len(), h.output_len(128), "case {case}: {h:?}");
         }
         // Balance always yields exactly half the bits set.
         let b = Hardening::Balance.apply(&f, nonce).expect("valid");
-        prop_assert_eq!(b.count_ones(), 128);
+        assert_eq!(b.count_ones(), 128, "case {case}");
         // Permutation preserves weight.
-        let p = Hardening::Permute { seed: 9 }.apply(&f, nonce).expect("valid");
-        prop_assert_eq!(p.count_ones(), f.count_ones());
+        let p = Hardening::Permute { seed: 9 }
+            .apply(&f, nonce)
+            .expect("valid");
+        assert_eq!(p.count_ones(), f.count_ones(), "case {case}");
     }
+}
 
-    // ---------- assignment invariants ----------
+// ---------- assignment invariants ----------
 
-    #[test]
-    fn hungarian_never_worse_than_greedy(
-        raw in proptest::collection::vec((0usize..8, 0usize..8, 0.0f64..1.0), 1..24)
-    ) {
+#[test]
+fn hungarian_never_worse_than_greedy() {
+    let mut rng = SplitMix64::new(0xC3);
+    for case in 0..CASES {
+        let raw = scored_pairs(&mut rng, 8, 24);
         let greedy: f64 = greedy_one_to_one(&raw).iter().map(|p| p.2).sum();
         let optimal: f64 = hungarian_one_to_one(&raw)
             .expect("valid scores")
             .iter()
             .map(|p| p.2)
             .sum();
-        prop_assert!(optimal >= greedy - 1e-9, "hungarian {optimal} < greedy {greedy}");
+        assert!(
+            optimal >= greedy - 1e-9,
+            "case {case}: hungarian {optimal} < greedy {greedy}"
+        );
     }
+}
 
-    #[test]
-    fn assignments_are_one_to_one(
-        raw in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1.0), 1..20)
-    ) {
-        for out in [greedy_one_to_one(&raw), hungarian_one_to_one(&raw).expect("valid")] {
+#[test]
+fn assignments_are_one_to_one() {
+    let mut rng = SplitMix64::new(0xC4);
+    for case in 0..CASES {
+        let raw = scored_pairs(&mut rng, 6, 20);
+        for out in [
+            greedy_one_to_one(&raw),
+            hungarian_one_to_one(&raw).expect("valid"),
+        ] {
             let rows_a: std::collections::HashSet<_> = out.iter().map(|p| p.0).collect();
             let rows_b: std::collections::HashSet<_> = out.iter().map(|p| p.1).collect();
-            prop_assert_eq!(rows_a.len(), out.len());
-            prop_assert_eq!(rows_b.len(), out.len());
+            assert_eq!(rows_a.len(), out.len(), "case {case}");
+            assert_eq!(rows_b.len(), out.len(), "case {case}");
         }
     }
+}
 
-    // ---------- collective refinement invariants ----------
+// ---------- collective refinement invariants ----------
 
-    #[test]
-    fn collective_refinement_never_raises_scores(
-        raw in proptest::collection::vec((0usize..6, 0usize..6, 0.0f64..1.0), 1..20)
-    ) {
+#[test]
+fn collective_refinement_never_raises_scores() {
+    let mut rng = SplitMix64::new(0xC5);
+    for case in 0..CASES {
+        let raw = scored_pairs(&mut rng, 6, 20);
         let cfg = CollectiveConfig {
             threshold: 0.0,
             ..CollectiveConfig::default()
@@ -148,20 +191,24 @@ proptest! {
                 m
             });
         for (a, b, s) in refined {
-            prop_assert!(s <= raw_best[&(a, b)] + 1e-9);
-            prop_assert!(s >= 0.0);
+            assert!(s <= raw_best[&(a, b)] + 1e-9, "case {case}");
+            assert!(s >= 0.0, "case {case}");
         }
     }
+}
 
-    // ---------- secure summation agreement ----------
+// ---------- secure summation agreement ----------
 
-    #[test]
-    fn secure_sum_protocols_agree(values in proptest::collection::vec(0u64..1_000_000, 2..7), seed in any::<u64>()) {
-        let mut rng = pprl::core::rng::SplitMix64::new(seed);
+#[test]
+fn secure_sum_protocols_agree() {
+    let mut rng = SplitMix64::new(0xC6);
+    for case in 0..CASES {
+        let n = 2 + rng.next_below(5) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let expected: u64 = values.iter().sum();
         let ring = sum_masked_ring(&values, &mut rng).expect("valid inputs");
         let shares = sum_additive_shares(&values, &mut rng).expect("valid inputs");
-        prop_assert_eq!(ring.sum, expected);
-        prop_assert_eq!(shares.sum, expected);
+        assert_eq!(ring.sum, expected, "case {case}");
+        assert_eq!(shares.sum, expected, "case {case}");
     }
 }

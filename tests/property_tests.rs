@@ -1,12 +1,15 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! workspace: similarity-function ranges and symmetry, Bloom-filter
-//! monotonicity, big-integer algebra, secret-sharing round trips, and
-//! metric bounds.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core invariants of the workspace:
+//! similarity-function ranges and symmetry, Bloom-filter monotonicity,
+//! big-integer algebra, secret-sharing round trips, and metric bounds.
+//!
+//! Ported from `proptest` to the in-repo deterministic `SplitMix64`
+//! harness so the default workspace builds and tests with zero external
+//! crates: each property runs over a fixed number of seeded random cases,
+//! which makes failures exactly reproducible from the case index.
 
 use pprl::core::bitvec::BitVec;
 use pprl::core::qgram::{qgram_dice, qgram_jaccard, QGramConfig};
+use pprl::core::rng::SplitMix64;
 use pprl::crypto::bigint::BigUint;
 use pprl::crypto::secret_sharing::{
     additive_reconstruct, additive_share, shamir_reconstruct, shamir_share, FIELD_PRIME,
@@ -16,135 +19,206 @@ use pprl::similarity::bitvec_sim::{dice_bits, hamming_similarity, jaccard_bits};
 use pprl::similarity::edit::{bag_distance, damerau_levenshtein, levenshtein};
 use pprl::similarity::jaro::{jaro, jaro_winkler};
 
-fn word() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z]{0,12}").expect("valid regex")
+const CASES: usize = 64;
+
+/// Random lowercase word of length 0..=12.
+fn word(rng: &mut SplitMix64) -> String {
+    let len = rng.next_below(13) as usize;
+    (0..len)
+        .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+        .collect()
 }
 
-fn positions(len: usize) -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0..len, 0..len / 2)
+/// Random bit positions in `0..len` (up to `len / 2` of them).
+fn positions(rng: &mut SplitMix64, len: usize) -> Vec<usize> {
+    let n = rng.next_below(len as u64 / 2) as usize;
+    (0..n)
+        .map(|_| rng.next_below(len as u64) as usize)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---------- string similarities ----------
 
-    // ---------- string similarities ----------
-
-    #[test]
-    fn edit_distances_symmetric_and_bounded(a in word(), b in word()) {
+#[test]
+fn edit_distances_symmetric_and_bounded() {
+    let mut rng = SplitMix64::new(0xE1);
+    for case in 0..CASES {
+        let (a, b) = (word(&mut rng), word(&mut rng));
         let d = levenshtein(&a, &b);
-        prop_assert_eq!(d, levenshtein(&b, &a));
-        prop_assert!(d <= a.chars().count().max(b.chars().count()));
-        prop_assert!(damerau_levenshtein(&a, &b) <= d);
-        prop_assert!(bag_distance(&a, &b) <= d);
+        assert_eq!(d, levenshtein(&b, &a), "case {case}: {a:?} vs {b:?}");
+        assert!(d <= a.chars().count().max(b.chars().count()));
+        assert!(damerau_levenshtein(&a, &b) <= d);
+        assert!(bag_distance(&a, &b) <= d);
     }
+}
 
-    #[test]
-    fn edit_distance_triangle_inequality(a in word(), b in word(), c in word()) {
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+#[test]
+fn edit_distance_triangle_inequality() {
+    let mut rng = SplitMix64::new(0xE2);
+    for case in 0..CASES {
+        let (a, b, c) = (word(&mut rng), word(&mut rng), word(&mut rng));
+        assert!(
+            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c),
+            "case {case}: {a:?} {b:?} {c:?}"
+        );
     }
+}
 
-    #[test]
-    fn edit_distance_identity(a in word()) {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+#[test]
+fn edit_distance_identity() {
+    let mut rng = SplitMix64::new(0xE3);
+    for _ in 0..CASES {
+        let a = word(&mut rng);
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(damerau_levenshtein(&a, &a), 0);
     }
+}
 
-    #[test]
-    fn jaro_family_in_unit_interval_and_symmetric(a in word(), b in word()) {
+#[test]
+fn jaro_family_in_unit_interval_and_symmetric() {
+    let mut rng = SplitMix64::new(0xE4);
+    for case in 0..CASES {
+        let (a, b) = (word(&mut rng), word(&mut rng));
         for f in [jaro, jaro_winkler] {
             let s = f(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&s), "similarity {} out of range", s);
-            prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "case {case}: similarity {s} out of range"
+            );
+            assert!((s - f(&b, &a)).abs() < 1e-12);
         }
-        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+        assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
     }
+}
 
-    #[test]
-    fn qgram_similarities_bounded_and_jaccard_leq_dice(a in word(), b in word()) {
-        let cfg = QGramConfig::default();
+#[test]
+fn qgram_similarities_bounded_and_jaccard_leq_dice() {
+    let mut rng = SplitMix64::new(0xE5);
+    let cfg = QGramConfig::default();
+    for case in 0..CASES {
+        let (a, b) = (word(&mut rng), word(&mut rng));
         let d = qgram_dice(&a, &b, &cfg);
         let j = qgram_jaccard(&a, &b, &cfg);
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert!((0.0..=1.0).contains(&j));
-        prop_assert!(j <= d + 1e-12);
-        prop_assert!((qgram_dice(&a, &a, &cfg) - 1.0).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d), "case {case}");
+        assert!((0.0..=1.0).contains(&j), "case {case}");
+        assert!(j <= d + 1e-12, "case {case}: jaccard {j} > dice {d}");
+        assert!((qgram_dice(&a, &a, &cfg) - 1.0).abs() < 1e-12);
     }
+}
 
-    // ---------- bit vectors and Bloom filters ----------
+// ---------- bit vectors and Bloom filters ----------
 
-    #[test]
-    fn bitvec_set_algebra_counts_consistent(pa in positions(256), pb in positions(256)) {
-        let a = BitVec::from_positions(256, &pa).unwrap();
-        let b = BitVec::from_positions(256, &pb).unwrap();
+#[test]
+fn bitvec_set_algebra_counts_consistent() {
+    let mut rng = SplitMix64::new(0xE6);
+    for case in 0..CASES {
+        let a = BitVec::from_positions(256, &positions(&mut rng, 256)).unwrap();
+        let b = BitVec::from_positions(256, &positions(&mut rng, 256)).unwrap();
         // inclusion–exclusion
-        prop_assert_eq!(a.or_count(&b) + a.and_count(&b), a.count_ones() + b.count_ones());
-        prop_assert_eq!(a.xor_count(&b), a.or_count(&b) - a.and_count(&b));
+        assert_eq!(
+            a.or_count(&b) + a.and_count(&b),
+            a.count_ones() + b.count_ones(),
+            "case {case}"
+        );
+        assert_eq!(a.xor_count(&b), a.or_count(&b) - a.and_count(&b));
         // byte round trip
         let back = BitVec::from_bytes(&a.to_bytes(), 256).unwrap();
-        prop_assert_eq!(&back, &a);
+        assert_eq!(back, a);
     }
+}
 
-    #[test]
-    fn bitvec_similarities_bounded_symmetric(pa in positions(128), pb in positions(128)) {
-        let a = BitVec::from_positions(128, &pa).unwrap();
-        let b = BitVec::from_positions(128, &pb).unwrap();
+#[test]
+fn bitvec_similarities_bounded_symmetric() {
+    let mut rng = SplitMix64::new(0xE7);
+    for case in 0..CASES {
+        let a = BitVec::from_positions(128, &positions(&mut rng, 128)).unwrap();
+        let b = BitVec::from_positions(128, &positions(&mut rng, 128)).unwrap();
         for f in [dice_bits, jaccard_bits, hamming_similarity] {
             let s = f(&a, &b).unwrap();
-            prop_assert!((0.0..=1.0).contains(&s));
-            prop_assert!((s - f(&b, &a).unwrap()).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s), "case {case}");
+            assert!((s - f(&b, &a).unwrap()).abs() < 1e-12);
         }
-        prop_assert_eq!(dice_bits(&a, &a).unwrap(), 1.0);
+        assert_eq!(dice_bits(&a, &a).unwrap(), 1.0);
     }
+}
 
-    #[test]
-    fn bloom_filter_superset_monotone(tokens in proptest::collection::vec(word(), 1..8), extra in word()) {
-        let enc = BloomEncoder::new(BloomParams {
-            len: 512,
-            num_hashes: 6,
-            scheme: HashingScheme::DoubleHashing,
-            key: b"prop".to_vec(),
-        }).unwrap();
+#[test]
+fn bloom_filter_superset_monotone() {
+    let mut rng = SplitMix64::new(0xE8);
+    let enc = BloomEncoder::new(BloomParams {
+        len: 512,
+        num_hashes: 6,
+        scheme: HashingScheme::DoubleHashing,
+        key: b"prop".to_vec(),
+    })
+    .unwrap();
+    for case in 0..CASES {
+        let n = 1 + rng.next_below(7) as usize;
+        let tokens: Vec<String> = (0..n).map(|_| word(&mut rng)).collect();
         let small = enc.encode_tokens(&tokens);
         let mut more = tokens.clone();
-        more.push(extra);
+        more.push(word(&mut rng));
         let big = enc.encode_tokens(&more);
         // every bit of the smaller token set's filter is set in the bigger
-        prop_assert_eq!(small.and_count(&big), small.count_ones());
+        assert_eq!(small.and_count(&big), small.count_ones(), "case {case}");
         // membership holds for all inserted tokens
         for t in &more {
-            prop_assert!(enc.contains(&big, t));
+            assert!(enc.contains(&big, t), "case {case}: lost token {t:?}");
         }
     }
+}
 
-    // ---------- big integers ----------
+// ---------- big integers ----------
 
-    #[test]
-    fn bigint_add_sub_round_trip(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn bigint_add_sub_round_trip() {
+    let mut rng = SplitMix64::new(0xE9);
+    for _ in 0..CASES {
+        let a = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let b = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
         let x = BigUint::from_u128(a);
         let y = BigUint::from_u128(b);
         let sum = x.add(&y);
-        prop_assert_eq!(sum.sub(&y).unwrap(), x.clone());
-        prop_assert_eq!(sum.sub(&x).unwrap(), y);
+        assert_eq!(sum.sub(&y).unwrap(), x);
+        assert_eq!(sum.sub(&x).unwrap(), y);
     }
+}
 
-    #[test]
-    fn bigint_divrem_reconstructs(a in any::<u128>(), b in 1u128..) {
+#[test]
+fn bigint_divrem_reconstructs() {
+    let mut rng = SplitMix64::new(0xEA);
+    for _ in 0..CASES {
+        let a = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let b = (rng.next_u64() as u128) << rng.next_below(60);
         let x = BigUint::from_u128(a);
-        let y = BigUint::from_u128(b);
+        let y = BigUint::from_u128(b.max(1));
         let (q, r) = x.divrem(&y).unwrap();
-        prop_assert_eq!(q.mul(&y).add(&r), x);
-        prop_assert!(r < y);
+        assert_eq!(q.mul(&y).add(&r), x);
+        assert!(r < y);
     }
+}
 
-    #[test]
-    fn bigint_mul_commutative_distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let (x, y, z) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
-        prop_assert_eq!(x.mul(&y), y.mul(&x));
-        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+#[test]
+fn bigint_mul_commutative_distributive() {
+    let mut rng = SplitMix64::new(0xEB);
+    for _ in 0..CASES {
+        let (x, y, z) = (
+            BigUint::from_u64(rng.next_u64()),
+            BigUint::from_u64(rng.next_u64()),
+            BigUint::from_u64(rng.next_u64()),
+        );
+        assert_eq!(x.mul(&y), y.mul(&x));
+        assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
     }
+}
 
-    #[test]
-    fn bigint_modpow_matches_u128(base in 1u64..1000, exp in 0u64..20, modulus in 2u64..100_000) {
+#[test]
+fn bigint_modpow_matches_u128() {
+    let mut rng = SplitMix64::new(0xEC);
+    for _ in 0..CASES {
+        let base = 1 + rng.next_below(999);
+        let exp = rng.next_below(20);
+        let modulus = 2 + rng.next_below(99_998);
         let expect = {
             let mut acc: u128 = 1;
             for _ in 0..exp {
@@ -155,29 +229,32 @@ proptest! {
         let got = BigUint::from_u64(base)
             .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus))
             .unwrap();
-        prop_assert_eq!(got, BigUint::from_u64(expect));
+        assert_eq!(got, BigUint::from_u64(expect));
     }
+}
 
-    // ---------- secret sharing ----------
+// ---------- secret sharing ----------
 
-    #[test]
-    fn additive_sharing_round_trips(secret in 0..FIELD_PRIME, n in 1usize..8, seed in any::<u64>()) {
-        let mut rng = pprl::core::rng::SplitMix64::new(seed);
+#[test]
+fn additive_sharing_round_trips() {
+    let mut rng = SplitMix64::new(0xED);
+    for _ in 0..CASES {
+        let secret = rng.next_below(FIELD_PRIME);
+        let n = 1 + rng.next_below(7) as usize;
         let shares = additive_share(secret, n, &mut rng).unwrap();
-        prop_assert_eq!(additive_reconstruct(&shares), secret);
+        assert_eq!(additive_reconstruct(&shares), secret);
     }
+}
 
-    #[test]
-    fn shamir_round_trips_for_any_valid_threshold(
-        secret in 0..FIELD_PRIME,
-        t in 1usize..5,
-        extra in 0usize..4,
-        seed in any::<u64>(),
-    ) {
-        let n = t + extra;
-        let mut rng = pprl::core::rng::SplitMix64::new(seed);
+#[test]
+fn shamir_round_trips_for_any_valid_threshold() {
+    let mut rng = SplitMix64::new(0xEE);
+    for _ in 0..CASES {
+        let secret = rng.next_below(FIELD_PRIME);
+        let t = 1 + rng.next_below(4) as usize;
+        let n = t + rng.next_below(4) as usize;
         let shares = shamir_share(secret, t, n, &mut rng).unwrap();
         // any prefix of exactly t shares reconstructs
-        prop_assert_eq!(shamir_reconstruct(&shares[..t]).unwrap(), secret);
+        assert_eq!(shamir_reconstruct(&shares[..t]).unwrap(), secret);
     }
 }

@@ -5,6 +5,7 @@
 use pprl::attacks::bf_cryptanalysis::pattern_frequency_attack;
 use pprl::attacks::frequency::reidentification_rate;
 use pprl::core::qgram::{qgram_set, QGramConfig};
+use pprl::crypto::dp::BudgetAccountant;
 use pprl::datagen::generator::{Generator, GeneratorConfig};
 use pprl::encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl::eval::privacy::{disclosure_risk, information_gain};
@@ -13,7 +14,6 @@ use pprl::protocols::multi_party::{multi_party_linkage, MultiPartyConfig};
 use pprl::protocols::patterns::Pattern;
 use pprl::protocols::three_party::{lu_linkage, LuProtocolConfig};
 use pprl::protocols::two_party::{two_party_linkage, TwoPartyConfig};
-use pprl::crypto::dp::BudgetAccountant;
 
 fn generator(seed: u64) -> Generator {
     Generator::new(GeneratorConfig {
@@ -29,11 +29,13 @@ fn all_protocols_find_the_same_overlap() {
     let (a, b) = generator(1).dataset_pair(120, 120, 40).unwrap();
     let truth: std::collections::HashSet<_> = a.ground_truth_pairs(&b).into_iter().collect();
 
-    let two = two_party_linkage(&a, &b, &TwoPartyConfig::standard(b"k".to_vec()).unwrap())
-        .unwrap();
+    let two = two_party_linkage(&a, &b, &TwoPartyConfig::standard(b"k".to_vec()).unwrap()).unwrap();
     let lu = lu_linkage(&a, &b, &LuProtocolConfig::standard(b"k".to_vec()).unwrap()).unwrap();
     for (name, matches) in [("two-party", &two.matches), ("lu", &lu.matches)] {
-        let tp = matches.iter().filter(|&&(i, j, _)| truth.contains(&(i, j))).count();
+        let tp = matches
+            .iter()
+            .filter(|&&(i, j, _)| truth.contains(&(i, j)))
+            .count();
         assert!(
             tp as f64 / truth.len() as f64 > 0.6,
             "{name} recall too low: {tp}/{}",
@@ -135,7 +137,10 @@ fn pattern_attack_fails_on_clk_but_works_on_field_filters() {
         key: b"secret".to_vec(),
     })
     .unwrap();
-    let field_filters: Vec<_> = surnames.iter().map(|s| enc.encode_tokens(&tokens(s))).collect();
+    let field_filters: Vec<_> = surnames
+        .iter()
+        .map(|s| enc.encode_tokens(&tokens(s)))
+        .collect();
     let field_attack = pattern_frequency_attack(&field_filters, &dict, tokens).unwrap();
     let field_rate = reidentification_rate(&field_attack.guesses, &surnames).unwrap();
 
@@ -187,13 +192,22 @@ fn interactive_review_traces_budget_quality_frontier() {
         let mut budget = BudgetAccountant::new(budget_units).unwrap();
         let out = interactive_linkage(&pairs, 0.5, 0.85, &mut budget, 1.0).unwrap();
         let pred: std::collections::HashSet<_> = out.predicted.iter().copied().collect();
-        let tp = pairs.iter().filter(|p| p.is_match && pred.contains(&(p.a, p.b))).count();
+        let tp = pairs
+            .iter()
+            .filter(|p| p.is_match && pred.contains(&(p.a, p.b)))
+            .count();
         let fp = pred.len() - tp;
         let fn_ = pairs.iter().filter(|p| p.is_match).count() - tp;
         2.0 * tp as f64 / (2 * tp + fp + fn_).max(1) as f64
     };
     let low = f1_of(0.5);
     let high = f1_of(500.0);
-    assert!(high >= low, "more review budget should not hurt: {low} -> {high}");
-    assert!(high > 0.95, "full review should nearly perfect the band: {high}");
+    assert!(
+        high >= low,
+        "more review budget should not hurt: {low} -> {high}"
+    );
+    assert!(
+        high > 0.95,
+        "full review should nearly perfect the band: {high}"
+    );
 }

@@ -1,0 +1,148 @@
+//! Property tests over the protocol session runtime: wire-frame
+//! round-trips, guaranteed corruption detection, count-vector packing, and
+//! the E5 invariant that the wire-measured communication cost of a
+//! fault-free multi-party run equals the analytical pattern formulas.
+//!
+//! Uses the in-repo deterministic `SplitMix64` harness: each property runs
+//! over seeded random cases, so failures reproduce exactly from the case
+//! index.
+
+use pprl::core::error::PprlError;
+use pprl::core::rng::SplitMix64;
+use pprl::crypto::cost::CommCost;
+use pprl::datagen::generator::{Generator, GeneratorConfig};
+use pprl::encoding::cbf::CountingBloomFilter;
+use pprl::encoding::encoder::RecordEncoder;
+use pprl::protocols::session::{pack_counts, unpack_counts};
+use pprl::protocols::transport::{Frame, FrameKind};
+use pprl::protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
+
+const CASES: usize = 64;
+
+fn random_frame(rng: &mut SplitMix64) -> Frame {
+    let len = rng.next_below(600) as usize;
+    let payload: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+    let seq = rng.next_u64() as u32;
+    if rng.next_bool(0.5) {
+        Frame::data(seq, payload)
+    } else {
+        Frame::ack(seq)
+    }
+}
+
+#[test]
+fn frame_encode_decode_round_trip() {
+    let mut rng = SplitMix64::new(0xF4A3E);
+    for case in 0..CASES {
+        let frame = random_frame(&mut rng);
+        let decoded = Frame::decode(&frame.encode())
+            .unwrap_or_else(|e| panic!("case {case}: valid frame rejected: {e}"));
+        assert_eq!(decoded, frame, "case {case}");
+    }
+}
+
+#[test]
+fn any_single_byte_flip_is_detected() {
+    // The FNV-1a absorb step is a bijection on the running state for every
+    // byte, so a single flipped byte can never cancel out: decode must
+    // fail with a typed transport error at every position, for every
+    // non-zero delta tried.
+    let mut rng = SplitMix64::new(0xC0557);
+    for case in 0..16 {
+        let bytes = random_frame(&mut rng).encode();
+        for pos in 0..bytes.len() {
+            let delta = 1 + rng.next_below(255) as u8;
+            let mut bad = bytes.clone();
+            bad[pos] ^= delta;
+            match Frame::decode(&bad) {
+                Err(PprlError::Transport(_)) => {}
+                other => {
+                    panic!("case {case}: flip of byte {pos} by {delta:#04x} yielded {other:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_and_oversized_frames_are_typed_errors() {
+    let frame = Frame::data(7, vec![1, 2, 3, 4]);
+    let bytes = frame.encode();
+    for cut in 0..bytes.len() {
+        assert!(
+            matches!(Frame::decode(&bytes[..cut]), Err(PprlError::Transport(_))),
+            "truncation to {cut} bytes must be a transport error"
+        );
+    }
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(matches!(
+        Frame::decode(&padded),
+        Err(PprlError::Transport(_))
+    ));
+}
+
+#[test]
+fn count_vector_packing_round_trips() {
+    // Nibble packing is exact for counts <= 15, which covers every
+    // supported party count.
+    let mut rng = SplitMix64::new(0x9ACC5);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(700) as usize;
+        let counts: Vec<u32> = (0..len).map(|_| rng.next_below(16) as u32).collect();
+        let cbf = CountingBloomFilter::from_counts(counts);
+        let packed = pack_counts(&cbf).unwrap();
+        assert_eq!(
+            packed.len(),
+            len.div_ceil(8) * 4,
+            "case {case}: packed size must match the analytical payload"
+        );
+        let back = unpack_counts(&packed, len).unwrap();
+        assert_eq!(back, cbf, "case {case}");
+    }
+}
+
+#[test]
+fn fault_free_multi_party_cost_is_exactly_analytical() {
+    // The E5 invariant: with FaultPlan::none() the session-measured
+    // CommCost of a full multi-party linkage equals the closed-form
+    // aggregation cost, summed over the tuples actually scored.
+    let mut g = Generator::new(GeneratorConfig {
+        seed: 0xE5,
+        corruption_rate: 0.1,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let ds = g.multi_party(5, 12, 4).unwrap();
+    for pattern in [
+        Pattern::Sequential,
+        Pattern::Ring,
+        Pattern::Tree { fanout: 2 },
+        Pattern::Tree { fanout: 3 },
+        Pattern::Hierarchical { group_size: 2 },
+    ] {
+        let mut cfg = MultiPartyConfig::standard(b"e5".to_vec());
+        cfg.pattern = pattern;
+        let out = multi_party_linkage(&ds, &cfg).unwrap();
+        let filter_len = RecordEncoder::new(cfg.encoder.clone(), ds[0].schema())
+            .unwrap()
+            .output_len();
+        let payload = filter_len.div_ceil(8) * 4;
+        let mut expected = CommCost::new();
+        for _ in 0..out.tuples_compared {
+            expected.merge(&pattern.aggregation_cost(5, payload).unwrap());
+        }
+        assert_eq!(out.cost, expected, "pattern {pattern:?}");
+        assert_eq!(out.session_stats.retransmissions, 0, "pattern {pattern:?}");
+        assert!(out.failed_parties.is_empty(), "pattern {pattern:?}");
+    }
+}
+
+#[test]
+fn ack_frames_carry_no_payload_but_are_counted() {
+    let ack = Frame::ack(3);
+    assert!(ack.payload.is_empty());
+    assert_eq!(ack.kind, FrameKind::Ack);
+    let decoded = Frame::decode(&ack.encode()).unwrap();
+    assert_eq!(decoded.seq, 3);
+}
