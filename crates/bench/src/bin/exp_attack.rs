@@ -198,4 +198,6 @@ fn main() {
     println!("record-specific randomness do: BLIP at low epsilon, and salting (which");
     println!("preserves same-salt utility, see the dice columns). This parameter");
     println!("dependence is exactly the point of refs [7, 23].");
+
+    pprl_bench::report::save();
 }

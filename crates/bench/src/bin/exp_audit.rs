@@ -92,4 +92,6 @@ fn main() {
     println!("suffices to catch any systematic tampering while recomputing only a");
     println!("twentieth of the work — the accountable-computing middle ground the");
     println!("paper describes between semi-honest and malicious models.");
+
+    pprl_bench::report::save();
 }

@@ -53,4 +53,6 @@ fn main() {
     println!("\nMeasured Dice matches the expected window overlap up to Bloom-filter");
     println!("collision noise, and reaches 0 beyond the matchable window — the");
     println!("behaviour Figure 2 (right) of the paper illustrates.");
+
+    pprl_bench::report::save();
 }

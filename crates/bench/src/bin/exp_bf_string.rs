@@ -177,4 +177,6 @@ fn main() {
         ]);
     }
     t.print();
+
+    pprl_bench::report::save();
 }

@@ -161,4 +161,6 @@ fn main() {
         "filter pruned {} pairs by bit-count alone (no AND computed) and {} by overlap",
         filtered.pruned_by_length, filtered.pruned_by_overlap
     );
+
+    pprl_bench::report::save();
 }

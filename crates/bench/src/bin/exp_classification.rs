@@ -145,4 +145,6 @@ fn main() {
     println!("per-field m/u weights adapt to where the errors actually are, without");
     println!("labels. The supervised model is competitive but pays for its label");
     println!("requirement (the survey's point about supervised classifiers in PPRL).");
+
+    pprl_bench::report::save();
 }

@@ -152,4 +152,6 @@ fn main() {
         ]);
     }
     t.print();
+
+    pprl_bench::report::save();
 }

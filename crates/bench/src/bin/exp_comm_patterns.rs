@@ -83,4 +83,6 @@ fn main() {
         "  additive shares:  nothing beyond the sum (collusion-resistant to n-2), at {} vs {} messages",
         shares.cost.messages, ring.cost.messages
     );
+
+    pprl_bench::report::save();
 }

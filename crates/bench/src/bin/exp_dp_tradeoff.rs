@@ -131,4 +131,6 @@ fn main() {
         ]);
     }
     t.print();
+
+    pprl_bench::report::save();
 }

@@ -147,4 +147,6 @@ fn main() {
     );
     println!("The gap closes at the cost of more false positives in the noisy group —");
     println!("the fairness/precision trade-off the paper flags as open for PPRL.");
+
+    pprl_bench::report::save();
 }

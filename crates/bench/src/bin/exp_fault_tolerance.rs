@@ -153,4 +153,6 @@ fn main() {
     println!("  with quorum 2 the ring re-forms around the crashed party and the remaining");
     println!("  three parties finish the linkage; demanding all four aborts with a typed");
     println!("  quorum error the caller can act on — never a panic, never silent garbage.");
+
+    pprl_bench::report::save();
 }

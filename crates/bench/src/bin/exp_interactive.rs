@@ -78,4 +78,6 @@ fn main() {
     println!("\nQuality climbs with budget and saturates when the whole band has been");
     println!("reviewed — each further unit of privacy spending buys nothing, which is");
     println!("how Kum et al. argue the disclosure can be kept bounded.");
+
+    pprl_bench::report::save();
 }

@@ -60,4 +60,6 @@ fn main() {
         println!("only add overhead here; on a multi-core host the speedup column");
         println!("approaches the thread count (partitioning is embarrassingly parallel).");
     }
+
+    pprl_bench::report::save();
 }

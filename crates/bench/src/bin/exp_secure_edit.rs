@@ -91,4 +91,6 @@ fn main() {
     println!("cryptographic matching is accurate but computationally far heavier than");
     println!("the probabilistic (Bloom-filter) techniques, and the gap widens with");
     println!("input length and key size.");
+
+    pprl_bench::report::save();
 }

@@ -144,4 +144,6 @@ fn main() {
     println!("\nSLK recall collapses with corruption while CLK degrades gracefully,");
     println!("and the deterministic SLK leaks surnames under frequency alignment —");
     println!("both findings of Randall et al. (ref [31]).");
+
+    pprl_bench::report::save();
 }

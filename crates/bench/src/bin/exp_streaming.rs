@@ -126,4 +126,6 @@ fn main() {
     t.print();
     println!("Life events (moves, name changes, ageing) erode matchability over time —");
     println!("the reason §5.1 calls for adaptive systems rather than frozen indexes.");
+
+    pprl_bench::report::save();
 }

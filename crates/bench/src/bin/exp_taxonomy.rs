@@ -211,4 +211,6 @@ fn main() {
     }
     t.print();
     println!("\n{} taxonomy leaves covered.", rows.len());
+
+    pprl_bench::report::save();
 }

@@ -106,4 +106,6 @@ fn main() {
     }
     t.print();
     println!("\ntotal pipeline evaluations spent: {}", evals.get());
+
+    pprl_bench::report::save();
 }

@@ -8,7 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod micro;
+pub mod report;
 
 use std::time::Instant;
 
@@ -33,8 +35,10 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Renders the table to stdout.
+    /// Renders the table to stdout and mirrors it into the machine-
+    /// readable report (see [`report::save`]).
     pub fn print(&self) {
+        report::record_table(&self.headers, &self.rows);
         let widths: Vec<usize> = self
             .headers
             .iter()
@@ -92,8 +96,10 @@ pub fn secs(s: f64) -> String {
     }
 }
 
-/// Prints an experiment banner.
+/// Prints an experiment banner and opens the machine-readable report
+/// (finalised by [`report::save`] at the end of the binary).
 pub fn banner(id: &str, title: &str, claim: &str) {
+    report::begin(id, title, claim);
     println!("==============================================================");
     println!("{id}: {title}");
     println!("claim: {claim}");

@@ -131,6 +131,7 @@ impl Bencher {
 
     fn report(&self, name: &str) {
         println!("{name:<44} median {}", crate::secs(self.median_secs));
+        crate::report::record_bench(name, self.median_secs);
     }
 }
 
@@ -145,12 +146,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Shim for `criterion::criterion_main!`.
+/// Shim for `criterion::criterion_main!`. After the benches run, the
+/// collected medians are written to `results/bench_<name>.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($name:ident) => {
         fn main() {
             $name();
+            $crate::report::save_bench();
         }
     };
 }

@@ -1,0 +1,242 @@
+//! Machine-readable experiment reports.
+//!
+//! Every experiment binary already prints human-readable tables; this
+//! module mirrors those tables into `results/<binary>.json` so downstream
+//! tooling can consume the numbers without scraping text. [`banner`]
+//! opens a report, [`Table::print`] records each table it renders, and
+//! the binary calls [`save`] at the end of `main`. The micro-benchmark
+//! shim records medians the same way via [`record_bench`] /
+//! [`save_bench`] (called by `criterion_main!`).
+//!
+//! [`banner`]: crate::banner
+//! [`Table::print`]: crate::Table::print
+
+use crate::json::Json;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Report {
+    id: String,
+    title: String,
+    claim: String,
+    tables: Vec<(Vec<String>, Vec<Vec<String>>)>,
+    notes: Vec<String>,
+}
+
+static REPORT: Mutex<Option<Report>> = Mutex::new(None);
+static BENCHES: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// The workspace `results/` directory (fixed relative to this crate, so
+/// binaries land their JSON in the same place regardless of CWD).
+pub fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.join("results")
+}
+
+/// Opens a fresh report. Called by [`crate::banner`]; an experiment that
+/// calls `banner` more than once keeps the first id and accumulates.
+pub fn begin(id: &str, title: &str, claim: &str) {
+    let mut guard = REPORT.lock().expect("report lock");
+    match guard.as_mut() {
+        None => {
+            *guard = Some(Report {
+                id: id.to_string(),
+                title: title.to_string(),
+                claim: claim.to_string(),
+                ..Report::default()
+            });
+        }
+        Some(r) => r.notes.push(format!("{id}: {title}")),
+    }
+}
+
+/// Records one printed table (headers + formatted cells).
+pub fn record_table(headers: &[String], rows: &[Vec<String>]) {
+    if let Some(r) = REPORT.lock().expect("report lock").as_mut() {
+        r.tables.push((headers.to_vec(), rows.to_vec()));
+    }
+}
+
+/// Attaches a free-form note to the current report.
+pub fn note(msg: impl Into<String>) {
+    if let Some(r) = REPORT.lock().expect("report lock").as_mut() {
+        r.notes.push(msg.into());
+    }
+}
+
+fn table_json(headers: &[String], rows: &[Vec<String>]) -> Json {
+    Json::Obj(vec![
+        (
+            "headers".into(),
+            Json::Arr(headers.iter().map(Json::str).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|c| Json::cell(c)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Takes the open report and renders it; `None` if no banner ran.
+fn take_report_json() -> Option<(String, Json)> {
+    let report = REPORT.lock().expect("report lock").take()?;
+    let json = Json::Obj(vec![
+        ("experiment".into(), Json::str(&report.id)),
+        ("title".into(), Json::str(&report.title)),
+        ("claim".into(), Json::str(&report.claim)),
+        (
+            "tables".into(),
+            Json::Arr(
+                report
+                    .tables
+                    .iter()
+                    .map(|(h, r)| table_json(h, r))
+                    .collect(),
+            ),
+        ),
+        (
+            "notes".into(),
+            Json::Arr(report.notes.iter().map(Json::str).collect()),
+        ),
+    ]);
+    Some((report.id, json))
+}
+
+/// Writes the current report to `<dir>/<name>.json`; `name` defaults to
+/// the running binary's stem. Returns the path written, if any.
+pub fn save_to(dir: &std::path::Path) -> Option<PathBuf> {
+    let (id, json) = take_report_json()?;
+    let name = exe_stem().unwrap_or_else(|| id.to_lowercase());
+    let path = dir.join(format!("{name}.json"));
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    std::fs::write(&path, json.render()).ok()?;
+    Some(path)
+}
+
+/// Writes the current report to `results/<binary>.json`. Call at the end
+/// of each experiment `main`. No-op (returning `None`) if `banner` never
+/// ran.
+pub fn save() -> Option<PathBuf> {
+    let path = save_to(&results_dir())?;
+    println!("\nmachine-readable results: {}", path.display());
+    Some(path)
+}
+
+/// Records one micro-benchmark median (called by the criterion shim).
+pub fn record_bench(name: &str, median_secs: f64) {
+    BENCHES
+        .lock()
+        .expect("bench lock")
+        .push((name.to_string(), median_secs));
+}
+
+/// Writes accumulated micro-benchmark medians to
+/// `<dir>/bench_<binary>.json`.
+pub fn save_bench_to(dir: &std::path::Path) -> Option<PathBuf> {
+    let benches = std::mem::take(&mut *BENCHES.lock().expect("bench lock"));
+    if benches.is_empty() {
+        return None;
+    }
+    let stem = exe_stem().unwrap_or_else(|| "bench".into());
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::str(&stem)),
+        (
+            "results".into(),
+            Json::Arr(
+                benches
+                    .iter()
+                    .map(|(name, median)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::str(name)),
+                            ("median_secs".into(), Json::Num(*median)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = dir.join(format!("bench_{stem}.json"));
+    std::fs::create_dir_all(dir).ok()?;
+    std::fs::write(&path, json.render()).ok()?;
+    Some(path)
+}
+
+/// Writes micro-benchmark medians to `results/bench_<binary>.json`.
+/// Called by `criterion_main!` after the benches run.
+pub fn save_bench() -> Option<PathBuf> {
+    let path = save_bench_to(&results_dir())?;
+    println!("machine-readable results: {}", path.display());
+    Some(path)
+}
+
+/// The running executable's name, with cargo's `-<hash>` suffix stripped
+/// (bench binaries are named e.g. `encoding-3f2a...`).
+fn exe_stem() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?.to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            Some(base.to_string())
+        }
+        _ => Some(stem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is global, so exercise the full lifecycle in ONE test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn report_lifecycle_round_trip() {
+        let dir = std::env::temp_dir().join("pprl-bench-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Nothing open → nothing written.
+        assert!(save_to(&dir).is_none());
+
+        begin("E99", "test experiment", "a claim");
+        record_table(
+            &["n".to_string(), "rate".to_string()],
+            &[vec!["10".to_string(), "0.5".to_string()]],
+        );
+        note("extra context");
+        begin("E99b", "second banner", "ignored");
+        let path = save_to(&dir).expect("report written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"E99\""));
+        assert!(text.contains("\"claim\": \"a claim\""));
+        // Numeric cells are numbers, not strings.
+        assert!(text.contains("0.5"));
+        assert!(!text.contains("\"0.5\""));
+        assert!(text.contains("extra context"));
+        assert!(text.contains("E99b: second banner"));
+        // Saving consumed the report.
+        assert!(save_to(&dir).is_none());
+
+        // Bench collector (the micro-shim's own tests may add entries
+        // concurrently, so only assert on what this test records).
+        record_bench("dice/1000", 1.5e-6);
+        let path = save_bench_to(&dir).expect("bench written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\": \"dice/1000\""));
+        assert!(text.contains("0.0000015"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace() {
+        assert!(results_dir().ends_with("results"));
+        assert!(results_dir().parent().unwrap().join("Cargo.toml").exists());
+    }
+}

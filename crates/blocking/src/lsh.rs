@@ -123,6 +123,31 @@ impl HammingLsh {
             .collect()
     }
 
+    /// The sampled bit positions of every hash table for filters of `len`
+    /// bits — the projection underlying [`HammingLsh::band_key`]. Callers
+    /// that key many filters should fetch this once and apply
+    /// [`BitVec::sample`] themselves instead of paying the sampling setup
+    /// per record.
+    pub fn sampled_positions(&self, len: usize) -> Vec<Vec<usize>> {
+        self.table_positions(len)
+    }
+
+    /// The band key of `filter` in hash table `table`: the sampled bit
+    /// positions of that table serialised to bytes. Two filters collide in
+    /// the table iff their band keys are equal, so the key doubles as a
+    /// deterministic partitioning token (e.g. shard routing in
+    /// `pprl-index`) that keeps Hamming-similar filters together.
+    pub fn band_key(&self, filter: &BitVec, table: usize) -> Result<Vec<u8>> {
+        if table >= self.tables {
+            return Err(PprlError::invalid(
+                "table",
+                format!("table {table} out of range ({} tables)", self.tables),
+            ));
+        }
+        let positions = &self.table_positions(filter.len())[table];
+        Ok(filter.sample(positions)?.to_bytes())
+    }
+
     /// Candidate pairs between two filter sets of equal bit length.
     pub fn candidates(
         &self,
@@ -294,6 +319,28 @@ mod tests {
             .candidates(&[&zero, &sparse], &[&zero, &sparse])
             .unwrap();
         assert_eq!(pairs, vec![(1, 1)], "only the sparse self-pair collides");
+    }
+
+    #[test]
+    fn band_key_matches_table_collisions() {
+        let lsh = HammingLsh::new(4, 16, 7).unwrap();
+        let f = BitVec::from_positions(256, &[1, 17, 33, 200]).unwrap();
+        let mut g = f.clone();
+        g.flip(2);
+        // Identical filters share every band key.
+        for t in 0..4 {
+            assert_eq!(lsh.band_key(&f, t).unwrap(), lsh.band_key(&f, t).unwrap());
+        }
+        // Band keys agree with the published sampled positions.
+        let positions = lsh.sampled_positions(256);
+        for (t, pos) in positions.iter().enumerate() {
+            assert_eq!(
+                lsh.band_key(&g, t).unwrap(),
+                g.sample(pos).unwrap().to_bytes()
+            );
+        }
+        // Out-of-range table is a typed error.
+        assert!(lsh.band_key(&f, 4).is_err());
     }
 
     #[test]

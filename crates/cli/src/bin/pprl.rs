@@ -9,22 +9,30 @@ fn main() {
         println!("{}", commands::help());
         return;
     }
-    let args = match Args::parse(&raw, &["evaluate"]) {
+    // `index` takes its own action subcommand: parse the tail so the
+    // action lands in `Args::command`.
+    let is_index = raw[0] == "index";
+    let parse_from = if is_index { &raw[1..] } else { &raw[..] };
+    let args = match Args::parse(parse_from, &["evaluate", "compact"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::help());
             std::process::exit(2);
         }
     };
-    let result = match args.command.as_str() {
-        "generate" => commands::generate(args),
-        "link" => commands::link_cmd(args),
-        "dedup" => commands::dedup_cmd(args),
-        "encode" => commands::encode_cmd(args),
-        "multiparty" => commands::multiparty_cmd(args),
-        other => {
-            eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
-            std::process::exit(2);
+    let result = if is_index {
+        commands::index_cmd(args)
+    } else {
+        match args.command.as_str() {
+            "generate" => commands::generate(args),
+            "link" => commands::link_cmd(args),
+            "dedup" => commands::dedup_cmd(args),
+            "encode" => commands::encode_cmd(args),
+            "multiparty" => commands::multiparty_cmd(args),
+            other => {
+                eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
+                std::process::exit(2);
+            }
         }
     };
     if let Err(e) = result {

@@ -12,6 +12,7 @@ use pprl_core::schema::Schema;
 use pprl_datagen::generator::{Generator, GeneratorConfig};
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_eval::quality::Confusion;
+use pprl_index::store::{IndexConfig, IndexStore};
 use pprl_pipeline::batch::{link, BlockingChoice, PipelineConfig};
 use pprl_pipeline::dedup::{deduplicate, deduplicated_dataset, DedupConfig};
 use pprl_protocols::transport::Crash;
@@ -158,7 +159,7 @@ pub fn encode_cmd(mut args: Args) -> CmdResult {
     let encoded = enc.encode_dataset(&ds).map_err(fail)?;
     let mut csv = String::from("row,clk_hex\n");
     for (i, r) in encoded.records.iter().enumerate() {
-        let clk = r.clk().ok_or("expected CLK encoding")?;
+        let clk = r.try_clk().map_err(fail)?;
         let hex: String = clk.to_bytes().iter().map(|b| format!("{b:02x}")).collect();
         csv.push_str(&format!("{i},{hex}\n"));
     }
@@ -251,6 +252,147 @@ pub fn multiparty_cmd(mut args: Args) -> CmdResult {
     Ok(())
 }
 
+/// Encodes a CSV dataset to `(row id, CLK filter)` pairs for the index.
+fn encode_filters(
+    path: &str,
+    key: &str,
+    id_base: u64,
+) -> Result<Vec<(u64, pprl_core::bitvec::BitVec)>, String> {
+    let ds = read_dataset(path)?;
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(key.as_bytes().to_vec()),
+        ds.schema(),
+    )
+    .map_err(fail)?;
+    let encoded = enc.encode_dataset(&ds).map_err(fail)?;
+    encoded
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Ok((id_base + i as u64, r.try_clk().map_err(fail)?.clone())))
+        .collect()
+}
+
+/// Filter length of the person CLK encoder (what `index build` stores).
+fn person_clk_len(key: &str) -> Result<usize, String> {
+    let enc = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(key.as_bytes().to_vec()),
+        &Schema::person(),
+    )
+    .map_err(fail)?;
+    Ok(enc.output_len())
+}
+
+/// `pprl index <action>` — manage a persistent sharded filter index.
+///
+/// The caller parses the action as the subcommand (`build`, `insert`,
+/// `query`, `stats`), so `args.command` holds the action here.
+pub fn index_cmd(mut args: Args) -> CmdResult {
+    match args.command.as_str() {
+        "build" => {
+            let dir = args.require("dir").map_err(fail)?;
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let shards: u32 = args.parse_or("shards", 8).map_err(fail)?;
+            args.finish().map_err(fail)?;
+            let started = std::time::Instant::now();
+            let records = encode_filters(&input, &key, 0)?;
+            let config = IndexConfig::new(person_clk_len(&key)?, shards);
+            let mut store = IndexStore::create(std::path::Path::new(&dir), config).map_err(fail)?;
+            store.insert_batch(&records).map_err(fail)?;
+            store.flush().map_err(fail)?;
+            println!(
+                "built {dir}: {} records, {} shards, {}-bit filters in {:.2?}",
+                records.len(),
+                shards,
+                config.filter_len,
+                started.elapsed()
+            );
+            Ok(())
+        }
+        "insert" => {
+            let dir = args.require("dir").map_err(fail)?;
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let compact = args.flag("compact");
+            let id_base_flag: Option<u64> = match args.get("id-base") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("flag `--id-base`: cannot parse `{v}`"))?,
+                ),
+            };
+            args.finish().map_err(fail)?;
+            let mut store = IndexStore::open(std::path::Path::new(&dir)).map_err(fail)?;
+            let stats = store.stats().map_err(fail)?;
+            let id_base =
+                id_base_flag.unwrap_or((stats.persisted_records + stats.pending_records) as u64);
+            let records = encode_filters(&input, &key, id_base)?;
+            store.insert_batch(&records).map_err(fail)?;
+            store.flush().map_err(fail)?;
+            print!(
+                "inserted {} records into {dir} (ids from {id_base})",
+                records.len()
+            );
+            if compact {
+                let reclaimed = store.compact().map_err(fail)?;
+                print!(", compacted {reclaimed} segments");
+            }
+            println!();
+            Ok(())
+        }
+        "query" => {
+            let dir = args.require("dir").map_err(fail)?;
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let row: usize = args.parse_or("row", 0).map_err(fail)?;
+            let top_k: usize = args.parse_or("top-k", 10).map_err(fail)?;
+            let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
+            args.finish().map_err(fail)?;
+            let queries = encode_filters(&input, &key, 0)?;
+            let Some((_, query)) = queries.get(row) else {
+                return Err(format!("--row {row} out of range ({} rows)", queries.len()));
+            };
+            let store = IndexStore::open(std::path::Path::new(&dir)).map_err(fail)?;
+            let reader = store.reader().map_err(fail)?;
+            let started = std::time::Instant::now();
+            let hits = reader.top_k(query, top_k, threads).map_err(fail)?;
+            println!(
+                "top-{top_k} of {} records for {input} row {row} ({:.2?}):",
+                reader.len(),
+                started.elapsed()
+            );
+            for hit in &hits {
+                println!("  id {:>8}  dice {:.4}", hit.id, hit.score);
+            }
+            if hits.is_empty() {
+                println!("  (no records indexed)");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let dir = args.require("dir").map_err(fail)?;
+            args.finish().map_err(fail)?;
+            let store = IndexStore::open(std::path::Path::new(&dir)).map_err(fail)?;
+            let s = store.stats().map_err(fail)?;
+            println!(
+                "{dir}: {} records persisted in {} segments across {} shards, \
+                 {} pending in log, {}-bit filters, {} bytes on disk",
+                s.persisted_records,
+                s.segments,
+                s.num_shards,
+                s.pending_records,
+                s.filter_len,
+                s.disk_bytes
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown index action `{other}` (build|insert|query|stats)"
+        )),
+    }
+}
+
 /// Top-level help text.
 pub fn help() -> &'static str {
     "pprl — privacy-preserving record linkage toolkit
@@ -274,6 +416,16 @@ COMMANDS:
 
   encode    --input A.csv --key SECRET --output clks.csv
             encode records to CLK Bloom filters (hex)
+
+  index     build  --dir IDX --input A.csv --key SECRET [--shards N]
+            insert --dir IDX --input B.csv --key SECRET [--id-base N]
+                   [--compact]
+            query  --dir IDX --input Q.csv --key SECRET [--row N]
+                   [--top-k K] [--threads N]
+            stats  --dir IDX
+            persistent sharded CLK filter store: build from CSV, add
+            records incrementally, run exact top-k Dice queries
+            (multi-threaded), inspect/verify the on-disk state
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]
@@ -415,6 +567,85 @@ mod tests {
     }
 
     #[test]
+    fn index_build_insert_query_stats_lifecycle() {
+        let a = tmp("idx-a.csv");
+        let b = tmp("idx-b.csv");
+        let dir = tmp("idx-store");
+        let _ = std::fs::remove_dir_all(&dir);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 60 --overlap 20 --seed 11"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "build --dir {dir} --input {a} --key s3cret --shards 4"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "insert --dir {dir} --input {b} --key s3cret --compact"
+                )),
+                &["compact"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --dir {dir} --input {a} --key s3cret --row 3 --top-k 5 --threads 2"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(Args::parse(&raw(&format!("stats --dir {dir}")), &[]).unwrap()).unwrap();
+
+        // The store really holds both datasets, and a stored record's own
+        // filter is its unit-similarity top hit.
+        let store = IndexStore::open(std::path::Path::new(&dir)).unwrap();
+        let s = store.stats().unwrap();
+        assert_eq!(s.persisted_records, 120);
+        assert_eq!(s.pending_records, 0);
+        let reader = store.reader().unwrap();
+        let queries = encode_filters(&a, "s3cret", 0).unwrap();
+        let hits = reader.top_k(&queries[3].1, 5, 2).unwrap();
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[0].score, 1.0);
+
+        // Bad action and out-of-range row are clean errors.
+        let e =
+            index_cmd(Args::parse(&raw(&format!("drop --dir {dir}")), &[]).unwrap()).unwrap_err();
+        assert!(e.contains("unknown index action"), "{e}");
+        let e = index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --dir {dir} --input {a} --key s3cret --row 999"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn helpful_errors() {
         // missing files
         let e = link_cmd(
@@ -448,7 +679,7 @@ mod tests {
 
     #[test]
     fn help_mentions_every_command() {
-        for c in ["generate", "link", "dedup", "encode", "multiparty"] {
+        for c in ["generate", "link", "dedup", "encode", "multiparty", "index"] {
             assert!(help().contains(c));
         }
     }

@@ -39,6 +39,9 @@ pub enum PprlError {
     /// A send (or an entire exchange) exceeded its deadline even after all
     /// configured retries.
     Timeout(String),
+    /// A persistent-store failure: an I/O error, or a segment/manifest/log
+    /// file that is corrupted, truncated, or structurally malformed.
+    Storage(String),
 }
 
 impl PprlError {
@@ -75,6 +78,7 @@ impl fmt::Display for PprlError {
             PprlError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             PprlError::Transport(msg) => write!(f, "transport error: {msg}"),
             PprlError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            PprlError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -130,6 +134,9 @@ mod tests {
         assert!(PprlError::Timeout("x".into())
             .to_string()
             .starts_with("timeout"));
+        assert!(PprlError::Storage("x".into())
+            .to_string()
+            .starts_with("storage"));
     }
 
     #[test]

@@ -153,17 +153,31 @@ impl BloomEncoder {
     /// Encodes a token set into a fresh filter.
     pub fn encode_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> BitVec {
         let mut bv = BitVec::zeros(self.params.len);
-        self.encode_tokens_into(tokens, &mut bv);
+        self.encode_tokens_into(tokens, &mut bv)
+            .expect("freshly sized filter always matches the encoder length");
         bv
     }
 
-    /// ORs a token set into an existing filter (CLK composition).
-    pub fn encode_tokens_into<S: AsRef<str>>(&self, tokens: &[S], filter: &mut BitVec) {
+    /// ORs a token set into an existing filter (CLK composition). The
+    /// filter must match the encoder's configured length; a mismatch is a
+    /// typed error, not a panic.
+    pub fn encode_tokens_into<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        filter: &mut BitVec,
+    ) -> Result<()> {
+        if filter.len() != self.params.len {
+            return Err(PprlError::shape(
+                format!("{} bits", self.params.len),
+                format!("{} bits", filter.len()),
+            ));
+        }
         for t in tokens {
             for p in self.positions(t.as_ref()) {
                 filter.set(p);
             }
         }
+        Ok(())
     }
 
     /// Membership test for a token (standard Bloom filter query).
@@ -270,10 +284,18 @@ mod tests {
     fn encode_into_accumulates() {
         let e = encoder(HashingScheme::DoubleHashing);
         let mut acc = BitVec::zeros(512);
-        e.encode_tokens_into(&["ab"], &mut acc);
-        e.encode_tokens_into(&["cd"], &mut acc);
+        e.encode_tokens_into(&["ab"], &mut acc).unwrap();
+        e.encode_tokens_into(&["cd"], &mut acc).unwrap();
         let direct = e.encode_tokens(&["ab", "cd"]);
         assert_eq!(acc, direct);
+    }
+
+    #[test]
+    fn encode_into_wrong_length_is_typed_error() {
+        let e = encoder(HashingScheme::DoubleHashing);
+        let mut short = BitVec::zeros(8);
+        let err = e.encode_tokens_into(&["ab"], &mut short).unwrap_err();
+        assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]

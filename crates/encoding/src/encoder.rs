@@ -194,6 +194,27 @@ impl EncodedRecord {
         }
     }
 
+    /// The per-field filters, if field-level.
+    pub fn fields(&self) -> Option<&[BitVec]> {
+        match self {
+            EncodedRecord::Clk(_) => None,
+            EncodedRecord::Fields(f) => Some(f),
+        }
+    }
+
+    /// The CLK filter, or a typed error for field-level records. Use this
+    /// instead of matching-and-panicking when CLK encoding is required.
+    pub fn try_clk(&self) -> Result<&BitVec> {
+        self.clk()
+            .ok_or_else(|| PprlError::Unsupported("record is field-level encoded, not CLK".into()))
+    }
+
+    /// The per-field filters, or a typed error for CLK records.
+    pub fn try_fields(&self) -> Result<&[BitVec]> {
+        self.fields()
+            .ok_or_else(|| PprlError::Unsupported("record is CLK encoded, not field-level".into()))
+    }
+
     /// Dice similarity to another encoded record: CLK Dice, or the mean of
     /// per-field Dice scores.
     pub fn dice(&self, other: &EncodedRecord) -> Result<f64> {
@@ -359,7 +380,7 @@ impl RecordEncoder {
                         self.config.fields.iter().zip(&field_idx).zip(encoders)
                     {
                         let tokens = spec.encoding.tokens(&spec.field, &record.values[idx])?;
-                        enc.encode_tokens_into(&tokens, &mut filter);
+                        enc.encode_tokens_into(&tokens, &mut filter)?;
                     }
                     EncodedRecord::Clk(apply_pipeline(&filter, &self.config.hardening, nonce)?)
                 }
@@ -467,10 +488,12 @@ mod tests {
         let enc = RecordEncoder::new(cfg, &Schema::person()).unwrap();
         let ds = dataset(vec![person("anna", "smith", (1987, 6, 5), 39)]);
         let e = enc.encode_dataset(&ds).unwrap();
-        match &e.records[0] {
-            EncodedRecord::Fields(f) => assert_eq!(f.len(), 8),
-            _ => panic!("expected field-level"),
-        }
+        let fields = e.records[0].try_fields().expect("field-level encoding");
+        assert_eq!(fields.len(), 8);
+        // The typed accessors reject the wrong granularity without panicking.
+        let err = e.records[0].try_clk().unwrap_err();
+        assert!(matches!(err, PprlError::Unsupported(_)), "{err}");
+        assert!(e.records[0].clk().is_none());
         // Self similarity is 1.
         assert_eq!(e.records[0].dice(&e.records[0]).unwrap(), 1.0);
     }
@@ -544,6 +567,12 @@ mod tests {
         assert_eq!(e.clks().unwrap().len(), 1);
         assert_eq!(e.len(), 1);
         assert!(!e.is_empty());
+        assert!(e.records[0].try_clk().is_ok());
+        assert!(matches!(
+            e.records[0].try_fields().unwrap_err(),
+            PprlError::Unsupported(_)
+        ));
+        assert!(e.records[0].fields().is_none());
     }
 
     #[test]

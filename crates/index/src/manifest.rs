@@ -1,0 +1,299 @@
+//! The index manifest: the authoritative, checksummed catalogue of an
+//! on-disk index.
+//!
+//! The manifest records the index configuration (filter geometry, shard
+//! count, LSH routing parameters), the next segment id to allocate, and
+//! which segment files belong to which shard. It is rewritten atomically
+//! (write to `MANIFEST.tmp`, then rename) so a crash mid-update leaves
+//! either the old or the new manifest, never a torn one. Layout:
+//!
+//! ```text
+//! magic    u32   "PMF1"
+//! version  u16   1
+//! flen     u32   filter length in bits
+//! shards   u32   number of shards
+//! lsh_seed u64   Hamming-LSH routing seed
+//! lsh_bits u32   bits per LSH band key
+//! next_seg u64   next segment id to allocate
+//! segs     u32   number of segment entries
+//! entry × segs:
+//!   shard  u32
+//!   seg_id u64
+//! fnv1a    u64   checksum of everything above
+//! ```
+
+use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
+use pprl_core::error::{PprlError, Result};
+use std::path::{Path, PathBuf};
+
+/// Manifest file magic ("PMF1").
+const MANIFEST_MAGIC: u32 = 0x3146_4d50;
+/// Current manifest format version.
+const MANIFEST_VERSION: u16 = 1;
+/// Fixed bytes before the segment entries.
+const HEADER_LEN: usize = 38;
+
+/// Manifest file name inside an index directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Immutable index configuration, fixed at creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Bloom-filter length in bits; every stored record must match.
+    pub filter_len: usize,
+    /// Number of shards records are routed across.
+    pub num_shards: u32,
+    /// Seed for the Hamming-LSH shard router.
+    pub lsh_seed: u64,
+    /// Sampled bits per LSH band key used for routing.
+    pub lsh_bits: u32,
+}
+
+impl IndexConfig {
+    /// Configuration with default routing parameters (seed 0x5eed,
+    /// 16-bit band keys).
+    pub fn new(filter_len: usize, num_shards: u32) -> Self {
+        IndexConfig {
+            filter_len,
+            num_shards,
+            lsh_seed: 0x5eed,
+            lsh_bits: 16,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.filter_len == 0 {
+            return Err(PprlError::invalid("filter_len", "must be positive"));
+        }
+        if self.num_shards == 0 {
+            return Err(PprlError::invalid("num_shards", "must be positive"));
+        }
+        if self.lsh_bits == 0 {
+            return Err(PprlError::invalid("lsh_bits", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The manifest: configuration plus the current segment catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Index configuration.
+    pub config: IndexConfig,
+    /// Next segment id to allocate.
+    pub next_segment_id: u64,
+    /// `(shard, segment id)` pairs, in catalogue order.
+    pub segments: Vec<(u32, u64)>,
+}
+
+impl Manifest {
+    /// A fresh manifest for a new, empty index.
+    pub fn new(config: IndexConfig) -> Self {
+        Manifest {
+            config,
+            next_segment_id: 0,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Segment ids belonging to `shard`, in catalogue order.
+    pub fn shard_segments(&self, shard: u32) -> Vec<u64> {
+        self.segments
+            .iter()
+            .filter(|(s, _)| *s == shard)
+            .map(|(_, id)| *id)
+            .collect()
+    }
+
+    /// Serialises the manifest to its file image.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let flen = u32::try_from(self.config.filter_len)
+            .map_err(|_| PprlError::invalid("filter_len", "exceeds u32 bits"))?;
+        let segs = u32::try_from(self.segments.len())
+            .map_err(|_| PprlError::invalid("segments", "catalogue exceeds u32 entries"))?;
+        let mut out = Vec::with_capacity(HEADER_LEN + self.segments.len() * 12 + 8);
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&flen.to_le_bytes());
+        out.extend_from_slice(&self.config.num_shards.to_le_bytes());
+        out.extend_from_slice(&self.config.lsh_seed.to_le_bytes());
+        out.extend_from_slice(&self.config.lsh_bits.to_le_bytes());
+        out.extend_from_slice(&self.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&segs.to_le_bytes());
+        for (shard, seg_id) in &self.segments {
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&seg_id.to_le_bytes());
+        }
+        append_checksum(&mut out);
+        Ok(out)
+    }
+
+    /// Parses and verifies a manifest file image.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        if bytes.len() < HEADER_LEN + 8 {
+            return Err(storage_err(format!(
+                "manifest too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        let mut header = Reader::new(&bytes[..HEADER_LEN], "manifest header");
+        let magic = header.u32()?;
+        if magic != MANIFEST_MAGIC {
+            return Err(storage_err(format!(
+                "not a manifest file (magic {magic:#x})"
+            )));
+        }
+        let version = header.u16()?;
+        if version != MANIFEST_VERSION {
+            return Err(storage_err(format!(
+                "unsupported manifest version {version}"
+            )));
+        }
+        let filter_len = header.u32()? as usize;
+        let num_shards = header.u32()?;
+        let lsh_seed = header.u64()?;
+        let lsh_bits = header.u32()?;
+        let next_segment_id = header.u64()?;
+        let segs = header.u32()? as usize;
+        let expected =
+            HEADER_LEN
+                .checked_add(segs.checked_mul(12).ok_or_else(|| {
+                    storage_err(format!("manifest segment count {segs} overflows"))
+                })?)
+                .and_then(|n| n.checked_add(8))
+                .ok_or_else(|| storage_err(format!("manifest segment count {segs} overflows")))?;
+        if bytes.len() != expected {
+            return Err(storage_err(format!(
+                "manifest size mismatch: header declares {segs} segment entries \
+                 ({expected} bytes total), file has {}",
+                bytes.len()
+            )));
+        }
+        let body = checked_body(bytes, "manifest")?;
+        let mut r = Reader::new(&body[HEADER_LEN..], "manifest entries");
+        let mut segments = Vec::with_capacity(segs);
+        for i in 0..segs {
+            let shard = r.u32()?;
+            if shard >= num_shards {
+                return Err(storage_err(format!(
+                    "manifest entry {i}: shard {shard} out of range ({num_shards} shards)"
+                )));
+            }
+            segments.push((shard, r.u64()?));
+        }
+        r.finish()?;
+        let config = IndexConfig {
+            filter_len,
+            num_shards,
+            lsh_seed,
+            lsh_bits,
+        };
+        config
+            .validate()
+            .map_err(|e| storage_err(format!("manifest config invalid: {e}")))?;
+        Ok(Manifest {
+            config,
+            next_segment_id,
+            segments,
+        })
+    }
+
+    /// Atomically persists the manifest into `dir` (tmp file + rename).
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let bytes = self.encode()?;
+        let tmp = dir.join("MANIFEST.tmp");
+        let path = dir.join(MANIFEST_FILE);
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, "writing", e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "renaming manifest into", e))
+    }
+
+    /// Loads and verifies the manifest from `dir`.
+    pub fn load(dir: &Path) -> Result<Manifest> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, "reading", e))?;
+        Manifest::decode(&bytes).map_err(|e| storage_err(format!("{}: {e}", path.display())))
+    }
+}
+
+/// Path of segment `seg_id` inside `dir`.
+pub fn segment_path(dir: &Path, seg_id: u64) -> PathBuf {
+    dir.join(format!("seg-{seg_id}.seg"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(IndexConfig::new(1000, 4));
+        m.next_segment_id = 5;
+        m.segments = vec![(0, 0), (1, 1), (0, 2), (3, 4)];
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let decoded = Manifest::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(m, decoded);
+        assert_eq!(decoded.shard_segments(0), vec![0, 2]);
+        assert_eq!(decoded.shard_segments(2), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample().encode().unwrap();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1u8 << bit;
+                let err = Manifest::decode(&bad).expect_err(&format!("byte {pos} bit {bit}"));
+                assert!(
+                    matches!(err, PprlError::Storage(_)),
+                    "byte {pos} bit {bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode().unwrap();
+        for cut in 0..bytes.len() {
+            let err = Manifest::decode(&bytes[..cut]).expect_err(&format!("cut at {cut}"));
+            assert!(matches!(err, PprlError::Storage(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_shard_rejected() {
+        let mut m = sample();
+        m.segments.push((9, 7)); // only 4 shards configured
+        let err = Manifest::decode(&m.encode().unwrap()).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+    }
+
+    #[test]
+    fn save_load_round_trip_is_atomic() {
+        let dir = std::env::temp_dir().join("pprl-index-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = sample();
+        m.save(&dir).unwrap();
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        // Overwrite with a changed manifest: rename replaces atomically.
+        let mut m2 = m.clone();
+        m2.next_segment_id = 6;
+        m2.save(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(IndexConfig::new(0, 4).validate().is_err());
+        assert!(IndexConfig::new(64, 0).validate().is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Exact top-k Dice queries over the sharded store.
+//!
+//! Each shard keeps its records sorted by filter cardinality (popcount).
+//! For a query with popcount `q`, the Dice score against a filter with
+//! popcount `x` is bounded above by `ub(x) = 2·min(q, x)/(q + x)`, which
+//! increases on `x ≤ q` and decreases on `x ≥ q`. The scan therefore
+//! starts at the records whose popcount is closest to `q` and expands
+//! outward with two pointers; once the running top-k is full, a direction
+//! stops as soon as its bound drops *below* the current k-th score (a
+//! bound equal to the k-th score must still be scanned because ties are
+//! broken by record id). This early exit is lossless: results are
+//! bit-identical to a brute-force scan using the same `dice_bits` calls.
+//!
+//! Shards fan out across `std::thread::scope` workers that claim shards
+//! from a shared atomic counter; each worker keeps its own local top-k
+//! and the partial results are merged at the end.
+
+use crate::format::storage_err;
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use pprl_similarity::bitvec_sim::dice_bits;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One query result: a stored record id and its Dice similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Record id as supplied at insert time.
+    pub id: u64,
+    /// Dice similarity in `[0, 1]`.
+    pub score: f64,
+}
+
+/// One shard's records, popcount-sorted, with popcounts precomputed.
+#[derive(Debug)]
+struct Shard {
+    /// `(popcount, id, filter)` sorted ascending by `(popcount, id)`.
+    records: Vec<(usize, u64, BitVec)>,
+}
+
+/// An immutable, in-memory snapshot of an index, ready for queries.
+#[derive(Debug)]
+pub struct IndexReader {
+    shards: Vec<Shard>,
+    filter_len: usize,
+    len: usize,
+}
+
+impl IndexReader {
+    /// Builds a reader from per-shard record lists. Every filter must
+    /// have length `filter_len`.
+    pub fn new(shard_records: Vec<Vec<(u64, BitVec)>>, filter_len: usize) -> Result<IndexReader> {
+        let mut len = 0;
+        let mut shards = Vec::with_capacity(shard_records.len());
+        for records in shard_records {
+            let mut rows = Vec::with_capacity(records.len());
+            for (id, filter) in records {
+                if filter.len() != filter_len {
+                    return Err(storage_err(format!(
+                        "record {id} has {} bits, reader expects {filter_len}",
+                        filter.len()
+                    )));
+                }
+                rows.push((filter.count_ones(), id, filter));
+            }
+            rows.sort_by_key(|&(pc, id, _)| (pc, id));
+            len += rows.len();
+            shards.push(Shard { records: rows });
+        }
+        Ok(IndexReader {
+            shards,
+            filter_len,
+            len,
+        })
+    }
+
+    /// Total records across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the reader holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Filter length in bits.
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// Iterates every `(id, filter)` in the reader (shard-major order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BitVec)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.records.iter().map(|(_, id, f)| (*id, f)))
+    }
+
+    /// The exact `k` most Dice-similar records to `query`, fanned out
+    /// over up to `threads` worker threads. Results are sorted by score
+    /// descending, ties broken by ascending record id, and are
+    /// bit-identical to a brute-force scan.
+    pub fn top_k(&self, query: &BitVec, k: usize, threads: usize) -> Result<Vec<Hit>> {
+        if query.len() != self.filter_len {
+            return Err(PprlError::shape(
+                format!("{} bits", self.filter_len),
+                format!("{} bits", query.len()),
+            ));
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let q = query.count_ones();
+        let workers = threads.max(1).min(self.shards.len().max(1));
+        let mut merged = TopK::new(k);
+        if workers <= 1 {
+            for shard in &self.shards {
+                scan_shard(shard, query, q, &mut merged)?;
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let partials: Vec<Result<TopK>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = TopK::new(k);
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(shard) = self.shards.get(i) else {
+                                    return Ok(local);
+                                };
+                                scan_shard(shard, query, q, &mut local)?;
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query worker panicked"))
+                    .collect()
+            });
+            for partial in partials {
+                for hit in partial?.heap {
+                    merged.push(hit.0);
+                }
+            }
+        }
+        Ok(merged.into_sorted())
+    }
+}
+
+/// Scans one shard into `top`, expanding outward from the query popcount
+/// with the lossless Dice upper-bound early exit.
+fn scan_shard(shard: &Shard, query: &BitVec, q: usize, top: &mut TopK) -> Result<()> {
+    let rows = &shard.records;
+    if rows.is_empty() {
+        return Ok(());
+    }
+    // First row with popcount ≥ q: everything below scans downward,
+    // everything from here scans upward.
+    let split = rows.partition_point(|(pc, _, _)| *pc < q);
+    let mut up = split;
+    while up < rows.len() {
+        let (pc, id, filter) = &rows[up];
+        if let Some(theta) = top.threshold() {
+            if dice_upper_bound(q, *pc) < theta {
+                break; // ub only decreases as popcount grows past q
+            }
+        }
+        top.push(Hit {
+            id: *id,
+            score: dice_bits(query, filter)?,
+        });
+        up += 1;
+    }
+    let mut down = split;
+    while down > 0 {
+        down -= 1;
+        let (pc, id, filter) = &rows[down];
+        if let Some(theta) = top.threshold() {
+            if dice_upper_bound(q, *pc) < theta {
+                break; // ub only decreases as popcount shrinks below q
+            }
+        }
+        top.push(Hit {
+            id: *id,
+            score: dice_bits(query, filter)?,
+        });
+    }
+    Ok(())
+}
+
+/// `2·min(q, x)/(q + x)`, the best Dice score any filter with popcount
+/// `x` can reach against a query with popcount `q`. Two empty filters
+/// have Dice 1.0 by convention, matching `dice_bits`.
+fn dice_upper_bound(q: usize, x: usize) -> f64 {
+    if q + x == 0 {
+        return 1.0;
+    }
+    2.0 * q.min(x) as f64 / (q + x) as f64
+}
+
+/// Worst-at-top ordering so a max-`BinaryHeap` evicts the weakest hit:
+/// lower score is "greater"; on ties the larger id is "greater" (ids
+/// break ties ascending in the final ranking).
+#[derive(Debug)]
+struct WorstFirst(Hit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Bounded top-k accumulator.
+struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The score a candidate must reach to possibly place, once full.
+    fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|w| w.0.score)
+        } else {
+            None
+        }
+    }
+
+    fn push(&mut self, hit: Hit) {
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(hit));
+            return;
+        }
+        let worst = self.heap.peek().expect("heap full").0;
+        let better = hit.score > worst.score || (hit.score == worst.score && hit.id < worst.id);
+        if better {
+            self.heap.pop();
+            self.heap.push(WorstFirst(hit));
+        }
+    }
+
+    /// Drains into the final ranking: score descending, id ascending.
+    fn into_sorted(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::rng::SplitMix64;
+
+    fn random_filters(n: usize, len: usize, seed: u64) -> Vec<(u64, BitVec)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                let ones: Vec<usize> = (0..len)
+                    .filter(|_| rng.next_u64().is_multiple_of(4))
+                    .collect();
+                (i as u64, BitVec::from_positions(len, &ones).unwrap())
+            })
+            .collect()
+    }
+
+    /// Reference implementation: score everything, sort, truncate.
+    fn brute_force(records: &[(u64, BitVec)], query: &BitVec, k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = records
+            .iter()
+            .map(|(id, f)| Hit {
+                id: *id,
+                score: dice_bits(query, f).unwrap(),
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        hits
+    }
+
+    fn shard_split(records: &[(u64, BitVec)], shards: usize) -> Vec<Vec<(u64, BitVec)>> {
+        let mut out = vec![Vec::new(); shards];
+        for (i, r) in records.iter().enumerate() {
+            out[i % shards].push(r.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_across_k_and_threads() {
+        let records = random_filters(300, 128, 7);
+        let reader = IndexReader::new(shard_split(&records, 4), 128).unwrap();
+        let queries = random_filters(20, 128, 99);
+        for (_, query) in &queries {
+            for k in [1, 3, 10, 300, 500] {
+                let expected = brute_force(&records, query, k);
+                for threads in [1, 2, 4] {
+                    let got = reader.top_k(query, k, threads).unwrap();
+                    assert_eq!(got, expected, "k={k} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let records = random_filters(100, 96, 3);
+        let reader = IndexReader::new(shard_split(&records, 2), 96).unwrap();
+        let (id, query) = records[37].clone();
+        let hits = reader.top_k(&query, 5, 2).unwrap();
+        assert_eq!(hits[0].id, id);
+        assert_eq!(hits[0].score, 1.0);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        // Three identical filters: scores tie at 1.0, ids decide.
+        let f = BitVec::from_positions(64, &[1, 5, 9]).unwrap();
+        let records = vec![(30, f.clone()), (10, f.clone()), (20, f.clone())];
+        let reader = IndexReader::new(vec![records], 64).unwrap();
+        let hits = reader.top_k(&f, 2, 1).unwrap();
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn empty_query_and_empty_records() {
+        let empty = BitVec::zeros(64);
+        let records = vec![(0, empty.clone()), (1, BitVec::ones(64))];
+        let reader = IndexReader::new(vec![records.clone()], 64).unwrap();
+        // dice(empty, empty) = 1.0 by convention; dice(empty, ones) = 0.
+        let hits = reader.top_k(&empty, 2, 1).unwrap();
+        assert_eq!(hits, brute_force(&records, &empty, 2));
+        assert_eq!(hits[0], Hit { id: 0, score: 1.0 });
+    }
+
+    #[test]
+    fn k_zero_and_wrong_length() {
+        let records = random_filters(10, 64, 1);
+        let reader = IndexReader::new(vec![records], 64).unwrap();
+        assert!(reader.top_k(&BitVec::zeros(64), 0, 1).unwrap().is_empty());
+        let err = reader.top_k(&BitVec::zeros(32), 1, 1).unwrap_err();
+        assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn reader_rejects_mismatched_record_length() {
+        let err = IndexReader::new(vec![vec![(0, BitVec::zeros(32))]], 64).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_fine() {
+        let records = random_filters(50, 64, 5);
+        let reader = IndexReader::new(shard_split(&records, 2), 64).unwrap();
+        let (_, q) = &records[0];
+        assert_eq!(reader.top_k(q, 5, 16).unwrap(), brute_force(&records, q, 5));
+    }
+}

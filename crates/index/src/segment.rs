@@ -1,0 +1,280 @@
+//! Immutable segment files of Bloom-filter-encoded records.
+//!
+//! A segment is the unit of persistent storage: one shard's worth of
+//! `(record id, filter)` entries written once and never modified (updates
+//! happen by writing new segments and compacting). The layout is
+//!
+//! ```text
+//! magic   u32   "PSG1"
+//! version u16   1
+//! shard   u32   owning shard
+//! flen    u32   filter length in bits
+//! count   u32   number of entries
+//! entry × count:
+//!   elen  u32   length prefix (= 8 + ⌈flen/8⌉)
+//!   id    u64   record id
+//!   bits  ⌈flen/8⌉ bytes, little-endian bit order
+//! fnv1a   u64   checksum of everything above
+//! ```
+//!
+//! Decoding validates the declared sizes *exactly* before trusting any
+//! entry, so every truncation is detected deterministically, and verifies
+//! the trailing FNV-1a checksum, so every byte flip is detected — both as
+//! typed [`PprlError::Storage`] errors.
+
+use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use std::path::Path;
+
+/// Segment file magic ("PSG1").
+const SEGMENT_MAGIC: u32 = 0x3147_5350;
+/// Current segment format version.
+const SEGMENT_VERSION: u16 = 1;
+/// Header bytes before the entries.
+const HEADER_LEN: usize = 18;
+
+/// One stored record: id plus encoded filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Caller-assigned record id (unique across the index by convention).
+    pub id: u64,
+    /// The Bloom-filter encoding.
+    pub filter: BitVec,
+}
+
+/// Decoded segment: shard ownership, filter geometry, entries.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Owning shard.
+    pub shard: u32,
+    /// Filter length in bits.
+    pub filter_len: usize,
+    /// Stored records.
+    pub records: Vec<SegmentRecord>,
+}
+
+/// Serialises a segment to its file image.
+pub fn encode_segment(
+    shard: u32,
+    filter_len: usize,
+    records: &[(u64, &BitVec)],
+) -> Result<Vec<u8>> {
+    let filter_bytes = filter_len.div_ceil(8);
+    let count = u32::try_from(records.len())
+        .map_err(|_| PprlError::invalid("records", "segment exceeds u32 entries"))?;
+    let flen = u32::try_from(filter_len)
+        .map_err(|_| PprlError::invalid("filter_len", "exceeds u32 bits"))?;
+    let entry_len = 8 + filter_bytes;
+    let mut out = Vec::with_capacity(HEADER_LEN + records.len() * (4 + entry_len) + 8);
+    out.extend_from_slice(&SEGMENT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&flen.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    for (id, filter) in records {
+        if filter.len() != filter_len {
+            return Err(PprlError::shape(
+                format!("{filter_len} bits"),
+                format!("{} bits", filter.len()),
+            ));
+        }
+        out.extend_from_slice(&(entry_len as u32).to_le_bytes());
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&filter.to_bytes());
+    }
+    append_checksum(&mut out);
+    Ok(out)
+}
+
+/// Parses and verifies a segment file image. Any byte flip, truncation,
+/// or structural malformation yields a typed [`PprlError::Storage`].
+pub fn decode_segment(bytes: &[u8]) -> Result<Segment> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(storage_err(format!(
+            "segment too short: {} bytes",
+            bytes.len()
+        )));
+    }
+    // Structural validation first: header sizes determine the exact file
+    // length, so truncation (and flips inside the size fields) are caught
+    // deterministically before the checksum is even consulted.
+    let mut header = Reader::new(&bytes[..HEADER_LEN], "segment header");
+    let magic = header.u32()?;
+    if magic != SEGMENT_MAGIC {
+        return Err(storage_err(format!(
+            "not a segment file (magic {magic:#x})"
+        )));
+    }
+    let version = header.u16()?;
+    if version != SEGMENT_VERSION {
+        return Err(storage_err(format!(
+            "unsupported segment version {version}"
+        )));
+    }
+    let shard = header.u32()?;
+    let filter_len = header.u32()? as usize;
+    let count = header.u32()? as usize;
+    let filter_bytes = filter_len.div_ceil(8);
+    let entry_len = 8 + filter_bytes;
+    let expected = HEADER_LEN
+        .checked_add(
+            count
+                .checked_mul(4 + entry_len)
+                .ok_or_else(|| storage_err(format!("segment entry count {count} overflows")))?,
+        )
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(|| storage_err(format!("segment entry count {count} overflows")))?;
+    if bytes.len() != expected {
+        return Err(storage_err(format!(
+            "segment size mismatch: header declares {count} entries of {entry_len} bytes \
+             ({expected} bytes total), file has {}",
+            bytes.len()
+        )));
+    }
+    let body = checked_body(bytes, "segment")?;
+    let mut r = Reader::new(&body[HEADER_LEN..], "segment entries");
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let declared = r.u32()? as usize;
+        if declared != entry_len {
+            return Err(storage_err(format!(
+                "segment entry {i} length prefix {declared}, expected {entry_len}"
+            )));
+        }
+        let id = r.u64()?;
+        let filter = BitVec::from_bytes(r.take(filter_bytes)?, filter_len)
+            .map_err(|e| storage_err(format!("segment entry {i}: {e}")))?;
+        records.push(SegmentRecord { id, filter });
+    }
+    r.finish()?;
+    Ok(Segment {
+        shard,
+        filter_len,
+        records,
+    })
+}
+
+/// Writes a segment file (whole-file write; segments are immutable).
+pub fn write_segment(
+    path: &Path,
+    shard: u32,
+    filter_len: usize,
+    records: &[(u64, &BitVec)],
+) -> Result<()> {
+    let bytes = encode_segment(shard, filter_len, records)?;
+    std::fs::write(path, &bytes).map_err(|e| io_err(path, "writing", e))
+}
+
+/// Reads and verifies a segment file.
+pub fn read_segment(path: &Path) -> Result<Segment> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, "reading", e))?;
+    decode_segment(&bytes).map_err(|e| storage_err(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize, len: usize) -> Vec<(u64, BitVec)> {
+        (0..n)
+            .map(|i| {
+                let ones: Vec<usize> = (0..len).filter(|p| (p + i) % 7 == 0).collect();
+                (
+                    i as u64 * 3 + 1,
+                    BitVec::from_positions(len, &ones).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    fn refs(records: &[(u64, BitVec)]) -> Vec<(u64, &BitVec)> {
+        records.iter().map(|(id, f)| (*id, f)).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let records = sample_records(5, 100);
+        let bytes = encode_segment(3, 100, &refs(&records)).unwrap();
+        let seg = decode_segment(&bytes).unwrap();
+        assert_eq!(seg.shard, 3);
+        assert_eq!(seg.filter_len, 100);
+        assert_eq!(seg.records.len(), 5);
+        for ((id, filter), rec) in records.iter().zip(&seg.records) {
+            assert_eq!(*id, rec.id);
+            assert_eq!(*filter, rec.filter);
+        }
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let bytes = encode_segment(0, 64, &[]).unwrap();
+        let seg = decode_segment(&bytes).unwrap();
+        assert!(seg.records.is_empty());
+        assert_eq!(seg.filter_len, 64);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let records = sample_records(3, 80);
+        let bytes = encode_segment(1, 80, &refs(&records)).unwrap();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1u8 << bit;
+                let err = decode_segment(&bad).expect_err(&format!("byte {pos} bit {bit}"));
+                assert!(
+                    matches!(err, PprlError::Storage(_)),
+                    "byte {pos} bit {bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let records = sample_records(4, 64);
+        let bytes = encode_segment(0, 64, &refs(&records)).unwrap();
+        for cut in 0..bytes.len() {
+            let err = decode_segment(&bytes[..cut]).expect_err(&format!("cut at {cut}"));
+            assert!(matches!(err, PprlError::Storage(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn extension_is_detected() {
+        let records = sample_records(2, 64);
+        let mut bytes = encode_segment(0, 64, &refs(&records)).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_segment(&bytes).unwrap_err(),
+            PprlError::Storage(_)
+        ));
+    }
+
+    #[test]
+    fn filter_length_mismatch_rejected_at_encode() {
+        let f = BitVec::zeros(32);
+        let err = encode_segment(0, 64, &[(1, &f)]).unwrap_err();
+        assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pprl-index-segment-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-0.seg");
+        let records = sample_records(6, 120);
+        write_segment(&path, 2, 120, &refs(&records)).unwrap();
+        let seg = read_segment(&path).unwrap();
+        assert_eq!(seg.records.len(), 6);
+        assert_eq!(seg.shard, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_storage_error() {
+        let err = read_segment(Path::new("/nonexistent/seg.seg")).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+    }
+}

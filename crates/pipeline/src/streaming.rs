@@ -22,6 +22,7 @@ use pprl_core::error::{PprlError, Result};
 use pprl_core::record::{Record, RecordRef};
 use pprl_core::schema::Schema;
 use pprl_encoding::encoder::{EncodedRecord, RecordEncoder, RecordEncoderConfig};
+use pprl_index::store::IndexStore;
 use pprl_matching::clustering::IncrementalClusterer;
 use pprl_protocols::transport::{Frame, FrameKind};
 use pprl_similarity::bitvec_sim::dice_bits;
@@ -135,6 +136,9 @@ pub struct StreamingLinker {
     filters: Vec<BitVec>,
     refs: Vec<RecordRef>,
     clusterer: IncrementalClusterer,
+    /// Rows already handed to a persistent index via
+    /// [`StreamingLinker::flush_to_index`].
+    indexed_rows: usize,
 }
 
 impl StreamingLinker {
@@ -155,7 +159,39 @@ impl StreamingLinker {
             filters: Vec::new(),
             refs: Vec::new(),
             clusterer: IncrementalClusterer::new(threshold)?,
+            indexed_rows: 0,
         })
+    }
+
+    /// Flushes every not-yet-indexed filter into a persistent
+    /// [`IndexStore`] and returns how many records were written. Record
+    /// ids are `party << 32 | row`, so linker rows stay recoverable from
+    /// query hits. Repeated calls only ship the rows inserted since the
+    /// previous flush; a linker rebuilt via [`StreamingLinker::restore`]
+    /// starts from a zero watermark and re-ships everything.
+    pub fn flush_to_index(&mut self, store: &mut IndexStore) -> Result<usize> {
+        if store.config().filter_len != self.encoder.output_len() {
+            return Err(PprlError::shape(
+                format!("{}-bit index", store.config().filter_len),
+                format!("{}-bit filters", self.encoder.output_len()),
+            ));
+        }
+        let mut batch = Vec::with_capacity(self.filters.len() - self.indexed_rows);
+        for row in self.indexed_rows..self.filters.len() {
+            let rref = self.refs[row];
+            let row32 = u32::try_from(rref.row).map_err(|_| {
+                PprlError::invalid("row", format!("row {} exceeds u32 range", rref.row))
+            })?;
+            let id = (u64::from(rref.party.0) << 32) | u64::from(row32);
+            batch.push((id, self.filters[row].clone()));
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        store.insert_batch(&batch)?;
+        store.flush()?;
+        self.indexed_rows = self.filters.len();
+        Ok(batch.len())
     }
 
     /// Number of indexed records.
@@ -359,6 +395,7 @@ impl StreamingLinker {
             filters,
             refs,
             clusterer: IncrementalClusterer::from_state(threshold, clusters)?,
+            indexed_rows: 0,
         })
     }
 }
@@ -533,6 +570,48 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn flush_to_index_is_incremental_and_queryable() {
+        use pprl_index::store::{IndexConfig, IndexStore};
+        let dir = std::env::temp_dir().join("pprl-streaming-flush-index");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = generator(8);
+        let mut l = linker();
+        for id in 0..15 {
+            l.insert(0, &g.entity(id)).unwrap();
+        }
+        let flen = RecordEncoderConfig::person_clk(b"stream-key".to_vec())
+            .params
+            .len;
+        let mut store = IndexStore::create(&dir, IndexConfig::new(flen, 4)).unwrap();
+        assert_eq!(l.flush_to_index(&mut store).unwrap(), 15);
+        // Only new rows ship on the second flush.
+        assert_eq!(l.flush_to_index(&mut store).unwrap(), 0);
+        l.insert(1, &g.entity(99)).unwrap();
+        assert_eq!(l.flush_to_index(&mut store).unwrap(), 1);
+        let reader = store.reader().unwrap();
+        assert_eq!(reader.len(), 16);
+        // A stored record's own filter is its top hit, id = party<<32|row.
+        let hits = reader.top_k(&l.filters[3], 1, 2).unwrap();
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[0].score, 1.0);
+        let hits = reader.top_k(&l.filters[15], 1, 2).unwrap();
+        assert_eq!(hits[0].id, (1u64 << 32) | 15);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_to_index_rejects_mismatched_filter_length() {
+        use pprl_index::store::{IndexConfig, IndexStore};
+        let dir = std::env::temp_dir().join("pprl-streaming-flush-badlen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut l = linker();
+        let mut store = IndexStore::create(&dir, IndexConfig::new(8, 2)).unwrap();
+        let err = l.flush_to_index(&mut store).unwrap_err();
+        assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! complexity-reduction technologies (`blocking`), classification and
 //! clustering (`matching`), linkage protocols (`protocols`), privacy
 //! attacks (`attacks`), synthetic data generation (`datagen`), evaluation
-//! metrics and tuning (`eval`), and end-to-end pipelines (`pipeline`).
+//! metrics and tuning (`eval`), end-to-end pipelines (`pipeline`), and a
+//! persistent sharded filter store with a concurrent query engine
+//! (`index`).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use pprl_crypto as crypto;
 pub use pprl_datagen as datagen;
 pub use pprl_encoding as encoding;
 pub use pprl_eval as eval;
+pub use pprl_index as index;
 pub use pprl_matching as matching;
 pub use pprl_pipeline as pipeline;
 pub use pprl_protocols as protocols;
