@@ -6,36 +6,64 @@
 //! count; measures build throughput (insert + flush), compaction time and
 //! queries/sec. Also writes a top-level `BENCH_index.json` summary.
 //!
+//! The stored population is real CLK encodings of GeCo-style person
+//! records (every third record a corrupted duplicate), so popcounts and
+//! pairwise similarities have the realistic, skewed distribution that
+//! drives the popcount-ordered scan pruning — not uniform noise.
+//!
 //! Run: `cargo run --release -p pprl-bench --bin exp_index`
 
 use pprl_bench::json::Json;
 use pprl_bench::{banner, report, secs, Table};
 use pprl_core::bitvec::BitVec;
+use pprl_core::record::Dataset;
 use pprl_core::rng::SplitMix64;
+use pprl_core::schema::Schema;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_index::store::{IndexConfig, IndexStore};
 
 const FILTER_BITS: usize = 1000;
 const TOP_K: usize = 10;
 
-/// Synthetic CLK-like filters: 1000 bits at ~25% density (AND of two
-/// uniform words per byte-pair), deterministic in `seed`.
-fn synth_filters(n: usize, seed: u64) -> Vec<(u64, BitVec)> {
-    let mut rng = SplitMix64::new(seed);
-    let bytes_per_filter = FILTER_BITS / 8;
-    (0..n)
-        .map(|i| {
-            let mut bytes = Vec::with_capacity(bytes_per_filter);
-            while bytes.len() < bytes_per_filter {
-                let word = rng.next_u64() & rng.next_u64();
-                bytes.extend_from_slice(&word.to_le_bytes());
-            }
-            bytes.truncate(bytes_per_filter);
-            (
-                i as u64,
-                BitVec::from_bytes(&bytes, FILTER_BITS).expect("whole bytes"),
-            )
-        })
-        .collect()
+/// CLK encodings of GeCo-style person records, generated and encoded in
+/// chunks so the 1M-record sweep never holds a million plaintext records
+/// in memory. Every third record is a corrupted duplicate of an earlier
+/// entity, so near-matches exist below the exact-match score.
+fn clk_filters(n: usize, seed: u64) -> Vec<(u64, BitVec)> {
+    let mut g = Generator::new(GeneratorConfig {
+        seed,
+        corruption_rate: 0.3,
+        ..GeneratorConfig::default()
+    })
+    .expect("generator");
+    let schema = Schema::person();
+    let encoder = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"exp-index".to_vec()),
+        &schema,
+    )
+    .expect("encoder");
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let chunk = (n - start).min(50_000);
+        let mut ds = Dataset::new(schema.clone());
+        for j in start..start + chunk {
+            let r = if j % 3 == 2 {
+                let base = g.entity((j / 3) as u64);
+                g.corrupt_record(&base)
+            } else {
+                g.entity(j as u64)
+            };
+            ds.push(r).expect("push");
+        }
+        let encoded = encoder.encode_dataset(&ds).expect("encode");
+        for (j, r) in encoded.records.iter().enumerate() {
+            out.push(((start + j) as u64, r.try_clk().expect("clk").clone()));
+        }
+        start += chunk;
+    }
+    out
 }
 
 /// Queries are stored records with ~5% of bits flipped — near-duplicates
@@ -75,7 +103,12 @@ fn main() {
     let mut summary_rows = Vec::new();
 
     for &n in &sizes {
-        let records = synth_filters(n, 0xE17);
+        let (records, gen_secs) = pprl_bench::timed(|| clk_filters(n, 0xE17));
+        assert_eq!(records[0].1.len(), FILTER_BITS, "person CLK is 1000 bits");
+        println!(
+            "generated + CLK-encoded {n} GeCo records in {}",
+            secs(gen_secs)
+        );
         let n_queries = if n >= 1_000_000 { 50 } else { 200 };
         let mut qrng = SplitMix64::new(0xBEEF);
         let queries: Vec<BitVec> = (0..n_queries)
@@ -141,7 +174,7 @@ fn main() {
 
     println!("\nBuild throughput (WAL append + segment flush per 100k chunk):");
     build_table.print();
-    println!("\nExact top-{TOP_K} query throughput ({FILTER_BITS}-bit filters):");
+    println!("\nExact top-{TOP_K} query throughput ({FILTER_BITS}-bit GeCo CLKs):");
     query_table.print();
     println!("\nQueries are exact: popcount-ordered scans with the Dice upper bound");
     println!("2*min(q,x)/(q+x) prune only candidates that provably cannot place.");
@@ -150,6 +183,10 @@ fn main() {
 
     let summary = Json::Obj(vec![
         ("experiment".into(), Json::str("E17")),
+        (
+            "record_source".into(),
+            Json::str("clk-encoded GeCo person records"),
+        ),
         ("filter_bits".into(), Json::num(FILTER_BITS as f64)),
         ("top_k".into(), Json::num(TOP_K as f64)),
         ("rows".into(), Json::Arr(summary_rows)),

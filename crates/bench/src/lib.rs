@@ -8,9 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
 pub mod micro;
 pub mod report;
+
+/// Re-export of the shared JSON writer, which lives in `pprl-core` so the
+/// CLI and pipeline can emit machine-readable stats without depending on
+/// the bench harness.
+pub use pprl_core::json;
 
 use std::time::Instant;
 

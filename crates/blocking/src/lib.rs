@@ -20,6 +20,7 @@ pub mod index;
 pub mod keys;
 pub mod lsh;
 pub mod metablocking;
+pub mod source;
 pub mod standard;
 
 pub use canopy::CanopyBlocking;
@@ -27,4 +28,8 @@ pub use engine::{compare_pairs, compare_pairs_parallel, CompareOutcome, ScoredPa
 pub use index::{DiceIndex, QueryOutcome};
 pub use keys::{BlockingKey, KeyPart};
 pub use lsh::{HammingLsh, MinHashLsh};
+pub use source::{
+    CanopySource, DiceFilterSource, FullSource, HammingLshSource, KeyBlockSource, MetaBlockSource,
+    MinHashLshSource, SortedNeighbourhoodSource,
+};
 pub use standard::{full_cross_product, sorted_neighbourhood, standard_blocking, CandidatePair};

@@ -13,7 +13,7 @@ fn main() {
     // action lands in `Args::command`.
     let is_index = raw[0] == "index";
     let parse_from = if is_index { &raw[1..] } else { &raw[..] };
-    let args = match Args::parse(parse_from, &["evaluate", "compact"]) {
+    let args = match Args::parse(parse_from, &["evaluate", "compact", "json"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::help());

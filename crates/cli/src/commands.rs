@@ -7,13 +7,14 @@
 use crate::args::Args;
 use pprl_blocking::keys::BlockingKey;
 use pprl_blocking::lsh::HammingLsh;
+use pprl_core::json::Json;
 use pprl_core::record::Dataset;
 use pprl_core::schema::Schema;
 use pprl_datagen::generator::{Generator, GeneratorConfig};
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_eval::quality::Confusion;
 use pprl_index::store::{IndexConfig, IndexStore};
-use pprl_pipeline::batch::{link, BlockingChoice, PipelineConfig};
+use pprl_pipeline::batch::{link, BlockingChoice, IndexSourceConfig, PipelineConfig};
 use pprl_pipeline::dedup::{deduplicate, deduplicated_dataset, DedupConfig};
 use pprl_protocols::transport::Crash;
 use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
@@ -64,9 +65,13 @@ pub fn link_cmd(mut args: Args) -> CmdResult {
     let path_b = args.require("b").map_err(fail)?;
     let key = args.require("key").map_err(fail)?;
     let threshold: f64 = args.parse_or("threshold", 0.8).map_err(fail)?;
+    let backend = args.get_or("backend", "memory");
     let blocking = args.get_or("blocking", "lsh");
+    let index_dir = args.get("index-dir");
+    let top_k: usize = args.parse_or("top-k", 10).map_err(fail)?;
     let output = args.get("output");
     let evaluate = args.flag("evaluate");
+    let json = args.flag("json");
     let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
     args.finish().map_err(fail)?;
 
@@ -75,31 +80,64 @@ pub fn link_cmd(mut args: Args) -> CmdResult {
     let mut cfg = PipelineConfig::standard(key.into_bytes()).map_err(fail)?;
     cfg.threshold = threshold;
     cfg.threads = threads;
-    cfg.blocking = match blocking.as_str() {
-        "lsh" => BlockingChoice::Lsh(HammingLsh::new(16, 24, 0xC11).map_err(fail)?),
-        "standard" => BlockingChoice::Standard(BlockingKey::person_default()),
-        "full" => BlockingChoice::Full,
-        other => return Err(format!("unknown blocking `{other}` (lsh|standard|full)")),
+    cfg.blocking = match backend.as_str() {
+        "memory" => match blocking.as_str() {
+            "lsh" => BlockingChoice::Lsh(HammingLsh::new(16, 24, 0xC11).map_err(fail)?),
+            "standard" => BlockingChoice::Standard(BlockingKey::person_default()),
+            "full" => BlockingChoice::Full,
+            other => return Err(format!("unknown blocking `{other}` (lsh|standard|full)")),
+        },
+        "index" => {
+            let Some(dir) = index_dir else {
+                return Err("--backend index needs --index-dir".into());
+            };
+            BlockingChoice::Index(IndexSourceConfig {
+                dir: dir.into(),
+                top_k,
+            })
+        }
+        other => return Err(format!("unknown backend `{other}` (memory|index)")),
     };
     let started = std::time::Instant::now();
     let result = link(&a, &b, &cfg).map_err(fail)?;
-    println!(
-        "linked {} x {} records: {} candidates, {} matches in {:.2?}",
-        a.len(),
-        b.len(),
-        result.candidates,
-        result.matches.len(),
-        started.elapsed()
-    );
-    if evaluate {
+    let quality = evaluate.then(|| {
         let truth = a.ground_truth_pairs(&b);
-        let q = Confusion::from_pairs(&result.pairs(), &truth);
+        Confusion::from_pairs(&result.pairs(), &truth)
+    });
+    if json {
+        let Json::Obj(mut fields) = result.to_json() else {
+            unreachable!("LinkageResult::to_json returns an object");
+        };
+        fields.insert(0, ("records_a".into(), Json::num(a.len() as f64)));
+        fields.insert(1, ("records_b".into(), Json::num(b.len() as f64)));
+        fields.push((
+            "elapsed_ms".into(),
+            Json::num(started.elapsed().as_secs_f64() * 1000.0),
+        ));
+        if let Some(q) = &quality {
+            fields.push(("precision".into(), Json::num(q.precision())));
+            fields.push(("recall".into(), Json::num(q.recall())));
+            fields.push(("f1".into(), Json::num(q.f1())));
+        }
+        print!("{}", Json::Obj(fields).render());
+    } else {
         println!(
-            "evaluation vs entity_id ground truth: precision {:.3}, recall {:.3}, f1 {:.3}",
-            q.precision(),
-            q.recall(),
-            q.f1()
+            "linked {} x {} records via {}: {} candidates, {} matches in {:.2?}",
+            a.len(),
+            b.len(),
+            result.source,
+            result.candidates,
+            result.matches.len(),
+            started.elapsed()
         );
+        if let Some(q) = &quality {
+            println!(
+                "evaluation vs entity_id ground truth: precision {:.3}, recall {:.3}, f1 {:.3}",
+                q.precision(),
+                q.recall(),
+                q.f1()
+            );
+        }
     }
     if let Some(path) = output {
         let mut csv = String::from("row_a,row_b,similarity\n");
@@ -107,7 +145,9 @@ pub fn link_cmd(mut args: Args) -> CmdResult {
             csv.push_str(&format!("{i},{j},{s:.4}\n"));
         }
         write_file(&path, &csv)?;
-        println!("matches written to {path}");
+        if !json {
+            println!("matches written to {path}");
+        }
     }
     Ok(())
 }
@@ -348,6 +388,7 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
             let row: usize = args.parse_or("row", 0).map_err(fail)?;
             let top_k: usize = args.parse_or("top-k", 10).map_err(fail)?;
             let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
+            let json = args.flag("json");
             args.finish().map_err(fail)?;
             let queries = encode_filters(&input, &key, 0)?;
             let Some((_, query)) = queries.get(row) else {
@@ -357,6 +398,32 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
             let reader = store.reader().map_err(fail)?;
             let started = std::time::Instant::now();
             let hits = reader.top_k(query, top_k, threads).map_err(fail)?;
+            if json {
+                let obj = Json::Obj(vec![
+                    ("records".into(), Json::num(reader.len() as f64)),
+                    ("row".into(), Json::num(row as f64)),
+                    ("top_k".into(), Json::num(top_k as f64)),
+                    (
+                        "elapsed_ms".into(),
+                        Json::num(started.elapsed().as_secs_f64() * 1000.0),
+                    ),
+                    (
+                        "hits".into(),
+                        Json::Arr(
+                            hits.iter()
+                                .map(|h| {
+                                    Json::Obj(vec![
+                                        ("id".into(), Json::num(h.id as f64)),
+                                        ("score".into(), Json::num(h.score)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                print!("{}", obj.render());
+                return Ok(());
+            }
             println!(
                 "top-{top_k} of {} records for {input} row {row} ({:.2?}):",
                 reader.len(),
@@ -406,9 +473,14 @@ COMMANDS:
             synthesise a linked dataset pair with ground truth
 
   link      --a A.csv --b B.csv --key SECRET [--threshold F]
-            [--blocking lsh|standard|full] [--threads N]
-            [--output matches.csv] [--evaluate]
-            privacy-preserving linkage of two CSV datasets
+            [--backend memory|index] [--blocking lsh|standard|full]
+            [--index-dir IDX] [--top-k K] [--threads N]
+            [--output matches.csv] [--evaluate] [--json]
+            privacy-preserving linkage of two CSV datasets;
+            --backend index links A against a pre-built persistent
+            index (see `pprl index build`) instead of re-blocking B
+            in memory; --json emits machine-readable stats (source,
+            candidates, comparisons saved, bytes read, pairs)
 
   dedup     --input A.csv [--threshold F] [--output clean.csv]
             find internal duplicate clusters; optionally materialise
@@ -421,7 +493,7 @@ COMMANDS:
             insert --dir IDX --input B.csv --key SECRET [--id-base N]
                    [--compact]
             query  --dir IDX --input Q.csv --key SECRET [--row N]
-                   [--top-k K] [--threads N]
+                   [--top-k K] [--threads N] [--json]
             stats  --dir IDX
             persistent sharded CLK filter store: build from CSV, add
             records incrementally, run exact top-k Dice queries
@@ -642,6 +714,89 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.contains("out of range"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn link_backend_index_matches_memory_full() {
+        let a = tmp("lbi-a.csv");
+        let b = tmp("lbi-b.csv");
+        let dir = tmp("lbi-idx");
+        let mem = tmp("lbi-mem.csv");
+        let idx = tmp("lbi-via-idx.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 80 --overlap 30 --seed 13"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Index dataset B with id = row, the contract of --backend index.
+        index_cmd(
+            Args::parse(
+                &raw(&format!("build --dir {dir} --input {b} --key s3cret")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Exhaustive in-memory reference vs index-backed run with
+        // top_k ≥ |B|: the match CSVs must be identical.
+        link_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "link --a {a} --b {b} --key s3cret --blocking full --output {mem}"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        link_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "link --a {a} --b {b} --key s3cret --backend index --index-dir {dir} \
+                     --top-k 80 --json --output {idx}"
+                )),
+                &["json"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mem_csv = std::fs::read_to_string(&mem).unwrap();
+        let idx_csv = std::fs::read_to_string(&idx).unwrap();
+        assert!(mem_csv.lines().count() > 10, "reference run found matches");
+        assert_eq!(
+            mem_csv, idx_csv,
+            "index backend must reproduce the match set"
+        );
+        // JSON query against the same index runs cleanly.
+        index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --dir {dir} --input {a} --key s3cret --row 1 --top-k 3 --json"
+                )),
+                &["json"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // --backend index without --index-dir is a clean error.
+        let e = link_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "link --a {a} --b {b} --key s3cret --backend index"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("--index-dir"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,192 @@
+//! The candidate-generation abstraction shared by every blocking engine
+//! and the persistent index backend.
+//!
+//! The paper's complexity-reduction taxonomy (standard blocking, sorted
+//! neighbourhood, canopy clustering, LSH, meta-blocking, filtering) and a
+//! pre-built on-disk index all answer the same question: *which record
+//! pairs are worth comparing?* [`CandidateSource`] captures exactly that
+//! contract. A source is bound to the **target** side (dataset B, or the
+//! stored population of a persistent index) at construction; each call to
+//! [`CandidateSource::candidates`] takes a batch of **probe** records
+//! (dataset A, or records arriving on a stream) and returns candidate
+//! `(probe_row, target_row)` pairs. The pipeline then scores the pairs —
+//! candidate generation and comparison stay separate stages.
+//!
+//! Probes carry every modality a source might consume ([`Probes`]):
+//! encoded Bloom filters, blocking keys, q-gram token sets, MinHash
+//! signatures. A source that needs a modality the caller did not supply
+//! fails with a typed [`InvalidParameter`] error instead of guessing.
+//!
+//! Every source also reports [`SourceStats`]: candidates emitted,
+//! pairwise comparisons saved relative to the full cross product, and —
+//! for disk-backed sources — bytes read from storage. These flow into
+//! `LinkageResult` and the `--json` CLI output so backends can be
+//! compared on equal terms (experiment E4a).
+//!
+//! [`InvalidParameter`]: crate::error::PprlError::InvalidParameter
+
+use crate::bitvec::BitVec;
+use crate::error::{PprlError, Result};
+
+/// A candidate record pair `(probe_row, target_row)`.
+pub type CandidatePair = (usize, usize);
+
+/// Cumulative statistics of a [`CandidateSource`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Candidate pairs emitted so far.
+    pub candidates: usize,
+    /// Pairwise comparisons avoided relative to the full cross product
+    /// (`probes · targets − candidates`, accumulated over calls).
+    pub comparisons_saved: usize,
+    /// Bytes read from persistent storage (0 for in-memory sources).
+    pub bytes_read: u64,
+}
+
+impl SourceStats {
+    /// Accounts one `candidates` call: `emitted` pairs out of a
+    /// `probes × targets` cross product.
+    pub fn record_call(&mut self, probes: usize, targets: usize, emitted: usize) {
+        self.candidates += emitted;
+        self.comparisons_saved += probes.saturating_mul(targets).saturating_sub(emitted);
+    }
+}
+
+/// One batch of probe records, in the modalities sources consume. All
+/// populated modalities must be row-aligned (same length, same order);
+/// [`Probes::len`] is taken from the first populated one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Probes<'a> {
+    /// Encoded Bloom filters, one per probe row.
+    pub filters: Option<&'a [&'a BitVec]>,
+    /// Blocking key per probe row.
+    pub keys: Option<&'a [String]>,
+    /// Sorted, deduplicated q-gram token sets per probe row.
+    pub tokens: Option<&'a [Vec<String>]>,
+    /// MinHash signatures per probe row.
+    pub signatures: Option<&'a [Vec<u64>]>,
+}
+
+impl<'a> Probes<'a> {
+    /// Probes carrying only encoded filters.
+    pub fn from_filters(filters: &'a [&'a BitVec]) -> Self {
+        Probes {
+            filters: Some(filters),
+            ..Probes::default()
+        }
+    }
+
+    /// Number of probe rows (from the first populated modality).
+    pub fn len(&self) -> usize {
+        self.filters
+            .map(<[_]>::len)
+            .or(self.keys.map(<[_]>::len))
+            .or(self.tokens.map(<[_]>::len))
+            .or(self.signatures.map(<[_]>::len))
+            .unwrap_or(0)
+    }
+
+    /// True when no probe rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The filters, or a typed error naming the requesting source.
+    pub fn require_filters(&self, source: &str) -> Result<&'a [&'a BitVec]> {
+        self.filters
+            .ok_or_else(|| PprlError::invalid("probes", format!("{source} needs probe filters")))
+    }
+
+    /// The blocking keys, or a typed error naming the requesting source.
+    pub fn require_keys(&self, source: &str) -> Result<&'a [String]> {
+        self.keys
+            .ok_or_else(|| PprlError::invalid("probes", format!("{source} needs probe keys")))
+    }
+
+    /// The token sets, or a typed error naming the requesting source.
+    pub fn require_tokens(&self, source: &str) -> Result<&'a [Vec<String>]> {
+        self.tokens
+            .ok_or_else(|| PprlError::invalid("probes", format!("{source} needs probe tokens")))
+    }
+
+    /// The MinHash signatures, or a typed error naming the source.
+    pub fn require_signatures(&self, source: &str) -> Result<&'a [Vec<u64>]> {
+        self.signatures
+            .ok_or_else(|| PprlError::invalid("probes", format!("{source} needs probe signatures")))
+    }
+}
+
+/// A pluggable candidate-pair generator bound to a target record set.
+///
+/// Implementations must be deterministic: the same probes against the
+/// same target state yield the same pairs (sorted ascending, no
+/// duplicates), so pipeline runs are reproducible across backends.
+pub trait CandidateSource {
+    /// Short stable name (`"hamming-lsh"`, `"index"`, …) used in stats
+    /// output.
+    fn name(&self) -> &'static str;
+
+    /// Number of target records candidates can refer to.
+    fn target_len(&self) -> usize;
+
+    /// Candidate `(probe_row, target_row)` pairs for one probe batch,
+    /// sorted ascending and deduplicated.
+    fn candidates(&mut self, probes: &Probes<'_>) -> Result<Vec<CandidatePair>>;
+
+    /// Cumulative statistics over every `candidates` call so far.
+    fn stats(&self) -> SourceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_saturate() {
+        let mut s = SourceStats::default();
+        s.record_call(10, 100, 40);
+        assert_eq!(s.candidates, 40);
+        assert_eq!(s.comparisons_saved, 960);
+        s.record_call(1, 100, 100);
+        assert_eq!(s.candidates, 140);
+        assert_eq!(s.comparisons_saved, 960);
+        // Emitting more than the cross product never underflows.
+        s.record_call(1, 1, 5);
+        assert_eq!(s.comparisons_saved, 960);
+    }
+
+    #[test]
+    fn probes_len_prefers_first_modality() {
+        let keys = vec!["a".to_string(), "b".to_string()];
+        let p = Probes {
+            keys: Some(&keys),
+            ..Probes::default()
+        };
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Probes::default().is_empty());
+    }
+
+    #[test]
+    fn missing_modalities_are_typed_errors() {
+        let p = Probes::default();
+        for err in [
+            p.require_filters("x").unwrap_err(),
+            p.require_keys("x").unwrap_err(),
+            p.require_tokens("x").unwrap_err(),
+            p.require_signatures("x").unwrap_err(),
+        ] {
+            assert!(matches!(err, PprlError::InvalidParameter { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn from_filters_round_trip() {
+        let f = BitVec::zeros(8);
+        let refs = vec![&f];
+        let p = Probes::from_filters(&refs);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.require_filters("x").unwrap().len(), 1);
+        assert!(p.require_keys("x").is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! A minimal JSON value and serialiser (std-only; the build environment
-//! cannot fetch serde). Only what the experiment reports need: objects,
+//! cannot fetch serde). Shared by the CLI (`--json` output), the pipeline
+//! (machine-readable linkage stats) and the experiment harness: objects,
 //! arrays, strings, finite numbers and booleans, with correct string
 //! escaping.
 

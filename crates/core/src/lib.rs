@@ -3,7 +3,9 @@
 //! Foundation types for the PPRL (privacy-preserving record linkage)
 //! workspace: errors, typed values and dates, schemas, records/datasets,
 //! q-gram tokenisation, bit vectors, phonetic codes, string normalisation,
-//! and a small deterministic PRNG.
+//! a small deterministic PRNG, the [`candidate::CandidateSource`]
+//! abstraction every blocking engine and index backend implements, and a
+//! minimal JSON writer shared by the CLI, pipeline and bench harness.
 //!
 //! Everything here is dependency-free and shared by every other crate in the
 //! workspace. See the workspace `DESIGN.md` for the system inventory.
@@ -15,8 +17,10 @@
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod candidate;
 pub mod csv;
 pub mod error;
+pub mod json;
 pub mod normalize;
 pub mod phonetic;
 pub mod qgram;
@@ -26,7 +30,9 @@ pub mod schema;
 pub mod value;
 
 pub use bitvec::BitVec;
+pub use candidate::{CandidatePair, CandidateSource, Probes, SourceStats};
 pub use error::{PprlError, Result};
+pub use json::Json;
 pub use record::{Dataset, PartyId, Record, RecordRef};
 pub use rng::SplitMix64;
 pub use schema::{FieldDef, FieldType, Schema};

@@ -89,11 +89,8 @@ pub fn corrupt_string(s: &str, kind: StringCorruption, rng: &mut SplitMix64) -> 
     match kind {
         StringCorruption::Insert => {
             let pos = rng.next_below(chars.len() as u64 + 1) as usize;
-            let alphabet = "abcdefghijklmnopqrstuvwxyz";
-            let c = alphabet
-                .chars()
-                .nth(rng.next_below(26) as usize)
-                .expect("alphabet has 26 letters");
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+            let c = ALPHABET[rng.next_below(ALPHABET.len() as u64) as usize] as char;
             let mut out = chars.clone();
             out.insert(pos, c);
             out.into_iter().collect()
@@ -241,7 +238,9 @@ pub fn corrupt_value(value: &Value, missing_rate: f64, rng: &mut SplitMix64) -> 
                     } else {
                         d.year() - dy
                     };
-                    Value::Date(Date::new(y, d.month(), d.day().min(28)).expect("day ≤ 28 valid"))
+                    Date::new(y, d.month(), d.day().min(28))
+                        .map(Value::Date)
+                        .unwrap_or(Value::Date(*d))
                 }
             }
         }

@@ -86,7 +86,7 @@ impl Generator {
                 .collect()
         });
         let u = self.rng.next_f64();
-        match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(n - 1),
         }
     }
@@ -102,7 +102,9 @@ impl Generator {
         let year = 1930 + self.rng.next_below(85) as i32;
         let month = 1 + self.rng.next_below(12) as u8;
         let day = 1 + self.rng.next_below(Date::days_in_month(year, month) as u64) as u8;
-        let dob = Date::new(year, month, day).expect("generated date valid");
+        // Day is drawn within days_in_month, so construction cannot fail;
+        // fall back to the epoch rather than panic if that ever changes.
+        let dob = Date::new(year, month, day).unwrap_or_else(|_| Date::from_epoch_days(0));
         let gender = if self.rng.next_bool(0.5) { "f" } else { "m" };
         let age = (2026 - year) as i64;
         Record::new(

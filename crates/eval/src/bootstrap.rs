@@ -109,7 +109,7 @@ pub fn bootstrap_metric(
             metric,
         ));
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite metrics"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((resamples as f64) * alpha).floor() as usize;
     let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);

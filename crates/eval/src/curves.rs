@@ -46,7 +46,7 @@ pub fn threshold_sweep(
     }
     let gt: HashSet<(usize, usize)> = truth.iter().copied().collect();
     let mut order: Vec<&(usize, usize, f64)> = scored.iter().collect();
-    order.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite"));
+    order.sort_by(|x, y| y.2.total_cmp(&x.2));
 
     let mut points = Vec::new();
     let mut tp = 0usize;
@@ -81,7 +81,7 @@ pub fn best_f1_threshold(points: &[SweepPoint]) -> Result<SweepPoint> {
     points
         .iter()
         .copied()
-        .max_by(|a, b| a.f1().partial_cmp(&b.f1()).expect("finite"))
+        .max_by(|a, b| a.f1().total_cmp(&b.f1()))
         .ok_or_else(|| PprlError::invalid("points", "empty sweep"))
 }
 
@@ -92,7 +92,7 @@ pub fn pr_auc(points: &[SweepPoint]) -> f64 {
         .iter()
         .map(|p| (p.confusion.recall(), p.confusion.precision()))
         .collect();
-    curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    curve.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut area = 0.0;
     let mut prev = (0.0f64, 1.0f64);
     for (r, p) in curve {

@@ -104,18 +104,17 @@ pub fn best_estimated_threshold(
             "need at least one threshold",
         ));
     }
-    let mut best: Option<(f64, EstimatedQuality)> = None;
-    for &t in candidates {
+    let mut best = (
+        candidates[0],
+        estimate_quality(probabilities, candidates[0])?,
+    );
+    for &t in &candidates[1..] {
         let q = estimate_quality(probabilities, t)?;
-        if best
-            .as_ref()
-            .map(|(_, bq)| q.f1() > bq.f1())
-            .unwrap_or(true)
-        {
-            best = Some((t, q));
+        if q.f1() > best.1.f1() {
+            best = (t, q);
         }
     }
-    Ok(best.expect("candidates non-empty"))
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -136,7 +136,7 @@ pub fn equalised_thresholds(
             out.insert(g.to_string(), 0.5);
             continue;
         }
-        match_scores.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        match_scores.sort_by(|a, b| b.total_cmp(a));
         let needed = (target_recall * match_scores.len() as f64).ceil() as usize;
         let t = match_scores[needed.min(match_scores.len()) - 1];
         out.insert(g.to_string(), t);
@@ -245,6 +245,31 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(recall_gap(&q), 0.0);
         assert_eq!(demographic_parity_gap(&q), 0.0);
+    }
+
+    #[test]
+    fn non_finite_scores_do_not_panic() {
+        // Degenerate upstream scorers can emit NaN; threshold selection
+        // must stay total (NaN sorts after every finite score) rather
+        // than panicking mid-sort.
+        let pairs = vec![
+            GroupedPair {
+                a: 0,
+                b: 0,
+                score: f64::NAN,
+                group: "g".into(),
+                is_match: true,
+            },
+            GroupedPair {
+                a: 1,
+                b: 1,
+                score: 0.8,
+                group: "g".into(),
+                is_match: true,
+            },
+        ];
+        let t = equalised_thresholds(&pairs, 0.5).unwrap();
+        assert!(t.contains_key("g"));
     }
 
     #[test]

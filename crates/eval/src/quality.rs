@@ -84,7 +84,7 @@ pub fn auc(scored: &[(usize, usize, f64)], truth: &[(usize, usize)]) -> Result<f
         ));
     }
     // Sort-based O((m+n) log(m+n)) computation.
-    neg.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    neg.sort_by(|a, b| a.total_cmp(b));
     let mut u = 0.0f64;
     for &p in &pos {
         // count of negatives < p, plus half the ties

@@ -283,10 +283,8 @@ where
         let best_y = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
         // Maximise EI over random candidates.
-        let mut best_candidate: Option<(Vec<f64>, f64)> = None;
-        for _ in 0..CANDIDATES {
-            let cand = space.sample(&mut rng);
-            let cn = space.normalise(&cand);
+        let expected_improvement = |cand: &[f64]| -> f64 {
+            let cn = space.normalise(cand);
             let kstar: Vec<f64> = xs.iter().map(|x| rbf(x, &cn, LENGTHSCALE)).collect();
             let mu: f64 = kstar.iter().zip(&alpha).map(|(a, b)| a * b).sum();
             let v = cholesky_solve(&l, &kstar);
@@ -294,16 +292,18 @@ where
                 (1.0 + NOISE - kstar.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>()).max(1e-12);
             let sigma = var.sqrt();
             let z = (mu - best_y) / sigma;
-            let ei = (mu - best_y) * normal_cdf(z) + sigma * normal_pdf(z);
-            if best_candidate
-                .as_ref()
-                .map(|(_, e)| ei > *e)
-                .unwrap_or(true)
-            {
-                best_candidate = Some((cand, ei));
+            (mu - best_y) * normal_cdf(z) + sigma * normal_pdf(z)
+        };
+        let first = space.sample(&mut rng);
+        let mut best_candidate = (expected_improvement(&first), first);
+        for _ in 1..CANDIDATES {
+            let cand = space.sample(&mut rng);
+            let ei = expected_improvement(&cand);
+            if ei > best_candidate.0 {
+                best_candidate = (ei, cand);
             }
         }
-        let (next, _) = best_candidate.expect("CANDIDATES > 0");
+        let (_, next) = best_candidate;
         let v = objective(&next)?;
         history.push((next, v));
     }

@@ -53,8 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod format;
 pub mod manifest;
 pub mod query;
 pub mod segment;
 pub mod store;
+
+pub use backend::IndexBackend;

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! magic    u32   "PMF1"
-//! version  u16   1
+//! version  u16   2
 //! flen     u32   filter length in bits
 //! shards   u32   number of shards
 //! lsh_seed u64   Hamming-LSH routing seed
@@ -19,8 +19,17 @@
 //! entry × segs:
 //!   shard  u32
 //!   seg_id u64
+//!   pc_min u32   smallest filter popcount in the segment
+//!   pc_max u32   largest filter popcount in the segment
 //! fnv1a    u64   checksum of everything above
 //! ```
+//!
+//! The per-segment popcount bounds enable segment-level pruning: a
+//! threshold query whose Dice length bounds cannot intersect
+//! `[pc_min, pc_max]` skips the segment without reading it (see
+//! `IndexStore::reader_for_popcounts`). Version-1 manifests (no bounds)
+//! still decode; their entries get the never-prune sentinel
+//! `[0, u32::MAX]`.
 
 use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
 use pprl_core::error::{PprlError, Result};
@@ -28,10 +37,16 @@ use std::path::{Path, PathBuf};
 
 /// Manifest file magic ("PMF1").
 const MANIFEST_MAGIC: u32 = 0x3146_4d50;
-/// Current manifest format version.
-const MANIFEST_VERSION: u16 = 1;
+/// Current manifest format version (2 = per-segment popcount bounds).
+const MANIFEST_VERSION: u16 = 2;
+/// Oldest manifest version still decodable.
+const MANIFEST_VERSION_MIN: u16 = 1;
 /// Fixed bytes before the segment entries.
 const HEADER_LEN: usize = 38;
+/// Bytes per segment entry in version 1 (shard + seg_id).
+const ENTRY_LEN_V1: usize = 12;
+/// Bytes per segment entry in version 2 (+ popcount min/max).
+const ENTRY_LEN_V2: usize = 20;
 
 /// Manifest file name inside an index directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -76,6 +91,28 @@ impl IndexConfig {
     }
 }
 
+/// One catalogued segment: its shard, id and filter-popcount range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Owning shard.
+    pub shard: u32,
+    /// Segment id (names the `seg-<id>.seg` file).
+    pub id: u64,
+    /// Smallest filter popcount stored in the segment.
+    pub pc_min: u32,
+    /// Largest filter popcount stored in the segment.
+    pub pc_max: u32,
+}
+
+impl SegmentEntry {
+    /// True when the segment may hold filters with a popcount in
+    /// `[lo, hi]` — false means a query bounded to that range can skip
+    /// the segment without reading it.
+    pub fn intersects(&self, lo: usize, hi: usize) -> bool {
+        (self.pc_min as usize) <= hi && lo <= (self.pc_max as usize)
+    }
+}
+
 /// The manifest: configuration plus the current segment catalogue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
@@ -83,8 +120,8 @@ pub struct Manifest {
     pub config: IndexConfig,
     /// Next segment id to allocate.
     pub next_segment_id: u64,
-    /// `(shard, segment id)` pairs, in catalogue order.
-    pub segments: Vec<(u32, u64)>,
+    /// Segment entries, in catalogue order.
+    pub segments: Vec<SegmentEntry>,
 }
 
 impl Manifest {
@@ -97,12 +134,12 @@ impl Manifest {
         }
     }
 
-    /// Segment ids belonging to `shard`, in catalogue order.
-    pub fn shard_segments(&self, shard: u32) -> Vec<u64> {
+    /// Segment entries belonging to `shard`, in catalogue order.
+    pub fn shard_segments(&self, shard: u32) -> Vec<SegmentEntry> {
         self.segments
             .iter()
-            .filter(|(s, _)| *s == shard)
-            .map(|(_, id)| *id)
+            .filter(|e| e.shard == shard)
+            .copied()
             .collect()
     }
 
@@ -112,7 +149,7 @@ impl Manifest {
             .map_err(|_| PprlError::invalid("filter_len", "exceeds u32 bits"))?;
         let segs = u32::try_from(self.segments.len())
             .map_err(|_| PprlError::invalid("segments", "catalogue exceeds u32 entries"))?;
-        let mut out = Vec::with_capacity(HEADER_LEN + self.segments.len() * 12 + 8);
+        let mut out = Vec::with_capacity(HEADER_LEN + self.segments.len() * ENTRY_LEN_V2 + 8);
         out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
         out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         out.extend_from_slice(&flen.to_le_bytes());
@@ -121,9 +158,11 @@ impl Manifest {
         out.extend_from_slice(&self.config.lsh_bits.to_le_bytes());
         out.extend_from_slice(&self.next_segment_id.to_le_bytes());
         out.extend_from_slice(&segs.to_le_bytes());
-        for (shard, seg_id) in &self.segments {
-            out.extend_from_slice(&shard.to_le_bytes());
-            out.extend_from_slice(&seg_id.to_le_bytes());
+        for entry in &self.segments {
+            out.extend_from_slice(&entry.shard.to_le_bytes());
+            out.extend_from_slice(&entry.id.to_le_bytes());
+            out.extend_from_slice(&entry.pc_min.to_le_bytes());
+            out.extend_from_slice(&entry.pc_max.to_le_bytes());
         }
         append_checksum(&mut out);
         Ok(out)
@@ -145,11 +184,16 @@ impl Manifest {
             )));
         }
         let version = header.u16()?;
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_VERSION_MIN..=MANIFEST_VERSION).contains(&version) {
             return Err(storage_err(format!(
                 "unsupported manifest version {version}"
             )));
         }
+        let entry_len = if version == 1 {
+            ENTRY_LEN_V1
+        } else {
+            ENTRY_LEN_V2
+        };
         let filter_len = header.u32()? as usize;
         let num_shards = header.u32()?;
         let lsh_seed = header.u64()?;
@@ -158,7 +202,7 @@ impl Manifest {
         let segs = header.u32()? as usize;
         let expected =
             HEADER_LEN
-                .checked_add(segs.checked_mul(12).ok_or_else(|| {
+                .checked_add(segs.checked_mul(entry_len).ok_or_else(|| {
                     storage_err(format!("manifest segment count {segs} overflows"))
                 })?)
                 .and_then(|n| n.checked_add(8))
@@ -180,7 +224,25 @@ impl Manifest {
                     "manifest entry {i}: shard {shard} out of range ({num_shards} shards)"
                 )));
             }
-            segments.push((shard, r.u64()?));
+            let id = r.u64()?;
+            // Version-1 entries carry no bounds: assume the whole popcount
+            // range so pruning never skips them incorrectly.
+            let (pc_min, pc_max) = if version == 1 {
+                (0, u32::MAX)
+            } else {
+                (r.u32()?, r.u32()?)
+            };
+            if pc_min > pc_max {
+                return Err(storage_err(format!(
+                    "manifest entry {i}: popcount bounds inverted ({pc_min} > {pc_max})"
+                )));
+            }
+            segments.push(SegmentEntry {
+                shard,
+                id,
+                pc_min,
+                pc_max,
+            });
         }
         r.finish()?;
         let config = IndexConfig {
@@ -225,10 +287,24 @@ pub fn segment_path(dir: &Path, seg_id: u64) -> PathBuf {
 mod tests {
     use super::*;
 
+    fn entry(shard: u32, id: u64, pc_min: u32, pc_max: u32) -> SegmentEntry {
+        SegmentEntry {
+            shard,
+            id,
+            pc_min,
+            pc_max,
+        }
+    }
+
     fn sample() -> Manifest {
         let mut m = Manifest::new(IndexConfig::new(1000, 4));
         m.next_segment_id = 5;
-        m.segments = vec![(0, 0), (1, 1), (0, 2), (3, 4)];
+        m.segments = vec![
+            entry(0, 0, 10, 250),
+            entry(1, 1, 5, 40),
+            entry(0, 2, 100, 300),
+            entry(3, 4, 0, 1000),
+        ];
         m
     }
 
@@ -237,8 +313,60 @@ mod tests {
         let m = sample();
         let decoded = Manifest::decode(&m.encode().unwrap()).unwrap();
         assert_eq!(m, decoded);
-        assert_eq!(decoded.shard_segments(0), vec![0, 2]);
-        assert_eq!(decoded.shard_segments(2), Vec::<u64>::new());
+        assert_eq!(
+            decoded
+                .shard_segments(0)
+                .iter()
+                .map(|e| e.id)
+                .collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(decoded.shard_segments(2).is_empty());
+    }
+
+    #[test]
+    fn popcount_intersection_decides_pruning() {
+        let e = entry(0, 0, 10, 20);
+        assert!(e.intersects(0, 10));
+        assert!(e.intersects(20, 99));
+        assert!(e.intersects(12, 15));
+        assert!(e.intersects(0, usize::MAX));
+        assert!(!e.intersects(0, 9));
+        assert!(!e.intersects(21, 99));
+    }
+
+    #[test]
+    fn version_1_manifest_still_decodes_with_sentinel_bounds() {
+        // Hand-build a v1 image: 12-byte entries, version field 1.
+        let m = sample();
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x3146_4d50u32.to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&(m.config.filter_len as u32).to_le_bytes());
+        out.extend_from_slice(&m.config.num_shards.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_seed.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_bits.to_le_bytes());
+        out.extend_from_slice(&m.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&(m.segments.len() as u32).to_le_bytes());
+        for e in &m.segments {
+            out.extend_from_slice(&e.shard.to_le_bytes());
+            out.extend_from_slice(&e.id.to_le_bytes());
+        }
+        crate::format::append_checksum(&mut out);
+        let decoded = Manifest::decode(&out).unwrap();
+        assert_eq!(decoded.config, m.config);
+        for (got, want) in decoded.segments.iter().zip(&m.segments) {
+            assert_eq!((got.shard, got.id), (want.shard, want.id));
+            assert_eq!((got.pc_min, got.pc_max), (0, u32::MAX));
+        }
+    }
+
+    #[test]
+    fn inverted_popcount_bounds_rejected() {
+        let mut m = sample();
+        m.segments[0] = entry(0, 0, 50, 10);
+        let err = Manifest::decode(&m.encode().unwrap()).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
     }
 
     #[test]
@@ -269,7 +397,7 @@ mod tests {
     #[test]
     fn out_of_range_shard_rejected() {
         let mut m = sample();
-        m.segments.push((9, 7)); // only 4 shards configured
+        m.segments.push(entry(9, 7, 0, 1)); // only 4 shards configured
         let err = Manifest::decode(&m.encode().unwrap()).unwrap_err();
         assert!(matches!(err, PprlError::Storage(_)), "{err}");
     }

@@ -11,9 +11,12 @@
 //! broken by record id). This early exit is lossless: results are
 //! bit-identical to a brute-force scan using the same `dice_bits` calls.
 //!
-//! Shards fan out across `std::thread::scope` workers that claim shards
-//! from a shared atomic counter; each worker keeps its own local top-k
-//! and the partial results are merged at the end.
+//! Work fans out across `std::thread::scope` workers that claim
+//! `(shard, range)` tasks from a shared atomic counter; each worker keeps
+//! its own local top-k and the partial results are merged at the end.
+//! Large shards are split into sub-ranges (each still popcount-sorted, so
+//! the outward scan stays lossless per range), which lets parallelism
+//! scale past `min(threads, shards)` when one shard dominates.
 
 use crate::format::storage_err;
 use pprl_core::bitvec::BitVec;
@@ -115,11 +118,12 @@ impl IndexReader {
             return Ok(Vec::new());
         }
         let q = query.count_ones();
-        let workers = threads.max(1).min(self.shards.len().max(1));
+        let tasks = self.split_tasks(threads.max(1));
+        let workers = threads.max(1).min(tasks.len().max(1));
         let mut merged = TopK::new(k);
         if workers <= 1 {
-            for shard in &self.shards {
-                scan_shard(shard, query, q, &mut merged)?;
+            for &(si, start, end) in &tasks {
+                scan_range(&self.shards[si].records[start..end], query, q, &mut merged)?;
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -127,14 +131,20 @@ impl IndexReader {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
+                        let tasks = &tasks;
                         scope.spawn(move || {
                             let mut local = TopK::new(k);
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
-                                let Some(shard) = self.shards.get(i) else {
+                                let Some(&(si, start, end)) = tasks.get(i) else {
                                     return Ok(local);
                                 };
-                                scan_shard(shard, query, q, &mut local)?;
+                                scan_range(
+                                    &self.shards[si].records[start..end],
+                                    query,
+                                    q,
+                                    &mut local,
+                                )?;
                             }
                         })
                     })
@@ -152,12 +162,49 @@ impl IndexReader {
         }
         Ok(merged.into_sorted())
     }
+
+    /// Splits shards into `(shard, start, end)` scan tasks. Chunk length
+    /// scales with the total record count (oversubscribed 4× so workers
+    /// stay busy despite uneven early exits) but never drops below
+    /// [`MIN_SPLIT`], so tiny shards are not shredded into per-record
+    /// tasks. With one worker this degenerates to one task per shard.
+    fn split_tasks(&self, workers: usize) -> Vec<(usize, usize, usize)> {
+        let total: usize = self.shards.iter().map(|s| s.records.len()).sum();
+        let chunk = if workers <= 1 {
+            usize::MAX
+        } else {
+            MIN_SPLIT.max(total.div_ceil(workers * 4))
+        };
+        let mut tasks = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let n = shard.records.len();
+            if n == 0 {
+                continue;
+            }
+            let mut start = 0;
+            while start < n {
+                let end = n.min(start.saturating_add(chunk));
+                tasks.push((si, start, end));
+                start = end;
+            }
+        }
+        tasks
+    }
 }
 
-/// Scans one shard into `top`, expanding outward from the query popcount
-/// with the lossless Dice upper-bound early exit.
-fn scan_shard(shard: &Shard, query: &BitVec, q: usize, top: &mut TopK) -> Result<()> {
-    let rows = &shard.records;
+/// Smallest sub-shard scan task; see [`IndexReader::split_tasks`].
+const MIN_SPLIT: usize = 32;
+
+/// Scans one popcount-sorted slice into `top`, expanding outward from the
+/// query popcount with the lossless Dice upper-bound early exit. Any
+/// contiguous range of a popcount-sorted shard is itself popcount-sorted,
+/// so the bound argument holds per range.
+fn scan_range(
+    rows: &[(usize, u64, BitVec)],
+    query: &BitVec,
+    q: usize,
+    top: &mut TopK,
+) -> Result<()> {
     if rows.is_empty() {
         return Ok(());
     }
@@ -383,5 +430,44 @@ mod tests {
         let reader = IndexReader::new(shard_split(&records, 2), 64).unwrap();
         let (_, q) = &records[0];
         assert_eq!(reader.top_k(q, 5, 16).unwrap(), brute_force(&records, q, 5));
+    }
+
+    #[test]
+    fn single_shard_splits_into_sub_ranges() {
+        // One big shard, many threads: split_tasks must produce more tasks
+        // than shards so the scan actually parallelises.
+        let records = random_filters(400, 128, 11);
+        let reader = IndexReader::new(vec![records.clone()], 128).unwrap();
+        let tasks = reader.split_tasks(8);
+        assert!(
+            tasks.len() > 1,
+            "expected sub-shard splitting, got {tasks:?}"
+        );
+        assert!(tasks.iter().all(|&(si, s, e)| si == 0 && s < e && e <= 400));
+        let covered: usize = tasks.iter().map(|&(_, s, e)| e - s).sum();
+        assert_eq!(covered, 400, "tasks must tile the shard exactly");
+    }
+
+    #[test]
+    fn sub_shard_split_matches_single_thread_scan() {
+        // Regression: the per-range outward scan must stay lossless — the
+        // multi-threaded, sub-shard-split result is bit-identical to the
+        // one-task-per-shard single-thread scan and to brute force.
+        let records = random_filters(500, 128, 23);
+        let reader = IndexReader::new(shard_split(&records, 3), 128).unwrap();
+        let queries = random_filters(10, 128, 77);
+        for (_, query) in &queries {
+            for k in [1, 7, 25] {
+                let single = reader.top_k(query, k, 1).unwrap();
+                assert_eq!(single, brute_force(&records, query, k));
+                for threads in [2, 5, 8, 32] {
+                    assert_eq!(
+                        reader.top_k(query, k, threads).unwrap(),
+                        single,
+                        "k={k} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -54,6 +54,14 @@ pub struct Segment {
     pub records: Vec<SegmentRecord>,
 }
 
+/// Number of records a well-formed segment file of `bytes` length holds
+/// for `filter_len`-bit filters, derived purely from the file size (the
+/// layout is fixed: header, `count` equal-length entries, checksum).
+pub fn record_count_for_size(bytes: u64, filter_len: usize) -> usize {
+    let entry = (4 + 8 + filter_len.div_ceil(8)) as u64;
+    (bytes.saturating_sub((HEADER_LEN + 8) as u64) / entry) as usize
+}
+
 /// Serialises a segment to its file image.
 pub fn encode_segment(
     shard: u32,

@@ -16,7 +16,7 @@
 //! co-locate and the routing is stable across process restarts.
 
 use crate::format::{fnv1a, io_err, storage_err, Reader};
-use crate::manifest::{segment_path, Manifest};
+use crate::manifest::{segment_path, Manifest, SegmentEntry};
 use crate::query::IndexReader;
 use crate::segment::{read_segment, write_segment};
 use pprl_blocking::lsh::HammingLsh;
@@ -52,6 +52,17 @@ pub struct IndexStats {
     pub pending_records: usize,
     /// Total bytes of segment + log + manifest files.
     pub disk_bytes: u64,
+}
+
+/// What building an [`IndexReader`] actually read from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Bytes read (manifest + log + loaded segment files).
+    pub bytes_read: u64,
+    /// Segments decoded.
+    pub segments_read: usize,
+    /// Segments skipped by popcount pruning (not read at all).
+    pub segments_skipped: usize,
 }
 
 /// A persistent, sharded store of Bloom-filter-encoded records.
@@ -176,7 +187,11 @@ impl IndexStore {
                 flen,
                 records,
             )?;
-            new_segments.push((shard as u32, seg_id));
+            new_segments.push(entry_with_bounds(
+                shard as u32,
+                seg_id,
+                records.iter().map(|(_, f)| f.count_ones()),
+            )?);
         }
         self.manifest.next_segment_id += new_segments.len() as u64;
         self.manifest.segments.extend(new_segments);
@@ -197,14 +212,14 @@ impl IndexStore {
         let mut removed_paths = Vec::new();
         let mut reclaimed = 0usize;
         for shard in 0..num_shards {
-            let seg_ids = self.manifest.shard_segments(shard);
-            if seg_ids.len() < 2 {
-                catalogue.extend(seg_ids.into_iter().map(|id| (shard, id)));
+            let entries = self.manifest.shard_segments(shard);
+            if entries.len() < 2 {
+                catalogue.extend(entries);
                 continue;
             }
             let mut merged: Vec<(u64, BitVec)> = Vec::new();
-            for seg_id in &seg_ids {
-                let seg = self.load_segment(*seg_id, shard)?;
+            for entry in &entries {
+                let seg = self.load_segment(entry.id, shard)?;
                 merged.extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
             }
             merged.sort_by_key(|(id, f)| (f.count_ones(), *id));
@@ -212,9 +227,13 @@ impl IndexStore {
             let new_id = self.manifest.next_segment_id;
             self.manifest.next_segment_id += 1;
             write_segment(&segment_path(&self.dir, new_id), shard, flen, &refs)?;
-            catalogue.push((shard, new_id));
-            reclaimed += seg_ids.len() - 1;
-            removed_paths.extend(seg_ids.iter().map(|id| segment_path(&self.dir, *id)));
+            catalogue.push(entry_with_bounds(
+                shard,
+                new_id,
+                merged.iter().map(|(_, f)| f.count_ones()),
+            )?);
+            reclaimed += entries.len() - 1;
+            removed_paths.extend(entries.iter().map(|e| segment_path(&self.dir, e.id)));
         }
         self.manifest.segments = catalogue;
         self.manifest.save(&self.dir)?;
@@ -228,16 +247,56 @@ impl IndexStore {
     /// Loads every segment plus pending records into an in-memory
     /// [`IndexReader`] for querying.
     pub fn reader(&self) -> Result<IndexReader> {
+        Ok(self.reader_for_popcounts(0, usize::MAX)?.0)
+    }
+
+    /// Like [`reader`], but skips segments whose manifest popcount range
+    /// `[pc_min, pc_max]` does not intersect `[lo, hi]` — those segment
+    /// files are never opened. Pending (log-resident) records are always
+    /// included, since the manifest holds no bounds for them. The returned
+    /// [`ReadStats`] report what was actually read versus pruned.
+    ///
+    /// Pruning is lossless for queries whose candidates all have popcounts
+    /// in `[lo, hi]` (e.g. the Dice length bound at a score threshold).
+    ///
+    /// [`reader`]: IndexStore::reader
+    pub fn reader_for_popcounts(&self, lo: usize, hi: usize) -> Result<(IndexReader, ReadStats)> {
         let num_shards = self.manifest.config.num_shards;
         let mut shards: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); num_shards as usize];
-        for (shard, seg_id) in &self.manifest.segments {
-            let seg = self.load_segment(*seg_id, *shard)?;
-            shards[*shard as usize].extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
+        let mut stats = ReadStats {
+            bytes_read: file_size(&self.dir.join(MANIFEST_FILE))?
+                + file_size(&self.dir.join(WAL_FILE))?,
+            ..ReadStats::default()
+        };
+        for entry in &self.manifest.segments {
+            if !entry.intersects(lo, hi) {
+                stats.segments_skipped += 1;
+                continue;
+            }
+            let seg = self.load_segment(entry.id, entry.shard)?;
+            stats.segments_read += 1;
+            stats.bytes_read += file_size(&segment_path(&self.dir, entry.id))?;
+            shards[entry.shard as usize].extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
         }
         for (id, filter) in &self.pending {
             shards[self.shard_of(filter)? as usize].push((*id, filter.clone()));
         }
-        IndexReader::new(shards, self.manifest.config.filter_len)
+        let reader = IndexReader::new(shards, self.manifest.config.filter_len)?;
+        Ok((reader, stats))
+    }
+
+    /// Total records in the index (segment-resident + pending), derived
+    /// from segment file sizes without decoding any segment. Structural
+    /// only: corruption inside a segment surfaces when it is actually
+    /// read, not here.
+    pub fn record_count(&self) -> Result<usize> {
+        let flen = self.manifest.config.filter_len;
+        let mut n = self.pending.len();
+        for entry in &self.manifest.segments {
+            let bytes = file_size(&segment_path(&self.dir, entry.id))?;
+            n += crate::segment::record_count_for_size(bytes, flen);
+        }
+        Ok(n)
     }
 
     /// Verifies and summarises the index: every segment is fully decoded,
@@ -246,10 +305,10 @@ impl IndexStore {
         let mut persisted = 0usize;
         let mut disk_bytes =
             file_size(&self.dir.join(MANIFEST_FILE))? + file_size(&self.dir.join(WAL_FILE))?;
-        for (shard, seg_id) in &self.manifest.segments {
-            let seg = self.load_segment(*seg_id, *shard)?;
+        for entry in &self.manifest.segments {
+            let seg = self.load_segment(entry.id, entry.shard)?;
             persisted += seg.records.len();
-            disk_bytes += file_size(&segment_path(&self.dir, *seg_id))?;
+            disk_bytes += file_size(&segment_path(&self.dir, entry.id))?;
         }
         Ok(IndexStats {
             filter_len: self.manifest.config.filter_len,
@@ -282,6 +341,30 @@ impl IndexStore {
 fn routing_positions(config: &IndexConfig) -> Result<Vec<usize>> {
     let lsh = HammingLsh::new(1, config.lsh_bits as usize, config.lsh_seed)?;
     Ok(lsh.sampled_positions(config.filter_len).swap_remove(0))
+}
+
+/// Builds a manifest entry for a freshly written segment, recording the
+/// min/max popcount of its records so readers can prune it.
+fn entry_with_bounds(
+    shard: u32,
+    id: u64,
+    popcounts: impl Iterator<Item = usize>,
+) -> Result<SegmentEntry> {
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+    for pc in popcounts {
+        lo = lo.min(pc);
+        hi = hi.max(pc);
+    }
+    debug_assert!(lo <= hi, "segments are never empty");
+    let bound = |pc: usize, what: &str| {
+        u32::try_from(pc).map_err(|_| storage_err(format!("segment {id}: {what} {pc} exceeds u32")))
+    };
+    Ok(SegmentEntry {
+        shard,
+        id,
+        pc_min: bound(lo, "popcount min")?,
+        pc_max: bound(hi, "popcount max")?,
+    })
 }
 
 fn file_size(path: &Path) -> Result<u64> {
@@ -482,6 +565,50 @@ mod tests {
         std::fs::write(&wal, &flipped).unwrap();
         let err = IndexStore::open(&dir).unwrap_err();
         assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn popcount_pruned_reader_skips_disjoint_segments() {
+        let dir = temp_dir("prune");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 1)).unwrap();
+        // Two flushes with disjoint popcount ranges: sparse (~8 ones) and
+        // dense (~64 ones) segments in the same shard.
+        let sparse: Vec<(u64, BitVec)> = (0..5u64)
+            .map(|i| {
+                let ones: Vec<usize> = (0..8).map(|k| (k * 16 + i as usize) % 128).collect();
+                (i, BitVec::from_positions(128, &ones).unwrap())
+            })
+            .collect();
+        let dense: Vec<(u64, BitVec)> = (0..5u64)
+            .map(|i| {
+                let ones: Vec<usize> = (0..64).map(|k| (k * 2 + i as usize) % 128).collect();
+                (100 + i, BitVec::from_positions(128, &ones).unwrap())
+            })
+            .collect();
+        store.insert_batch(&sparse).unwrap();
+        store.flush().unwrap();
+        store.insert_batch(&dense).unwrap();
+        store.flush().unwrap();
+
+        let (full, full_stats) = store.reader_for_popcounts(0, usize::MAX).unwrap();
+        assert_eq!(full.len(), 10);
+        assert_eq!(full_stats.segments_read, 2);
+        assert_eq!(full_stats.segments_skipped, 0);
+
+        // Only the sparse range: the dense segment is never opened.
+        let (pruned, stats) = store.reader_for_popcounts(0, 20).unwrap();
+        assert_eq!(pruned.len(), 5);
+        assert_eq!(stats.segments_read, 1);
+        assert_eq!(stats.segments_skipped, 1);
+        assert!(stats.bytes_read < full_stats.bytes_read);
+
+        // Pending records are always included, even outside the range.
+        store
+            .insert_batch(&[(200, BitVec::from_positions(128, &[0]).unwrap())])
+            .unwrap();
+        let (with_pending, _) = store.reader_for_popcounts(50, 70).unwrap();
+        assert_eq!(with_pending.len(), 6, "dense segment + pending record");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,16 +4,46 @@
 //! block → compare → classify (→ one-to-one assign), with every stage
 //! configurable and instrumented. This is the high-level API the examples
 //! and experiment harness use.
+//!
+//! Candidate generation goes through the [`CandidateSource`] trait: every
+//! [`BlockingChoice`] builds a source bound to dataset B (or, for
+//! [`BlockingChoice::Index`], to a pre-built persistent index on disk —
+//! no per-run in-memory block rebuild), and the pipeline probes it with
+//! dataset A. Scores are always recomputed from the encoded filters with
+//! the same `dice_bits` call, so the match scores are bit-identical
+//! across backends that emit the same candidate pairs.
 
+use pprl_blocking::canopy::CanopyBlocking;
 use pprl_blocking::engine::{compare_pairs, compare_pairs_parallel};
 use pprl_blocking::keys::BlockingKey;
 use pprl_blocking::lsh::HammingLsh;
-use pprl_blocking::standard::{full_cross_product, sorted_neighbourhood, standard_blocking};
+use pprl_blocking::source::{
+    CanopySource, FullSource, HammingLshSource, KeyBlockSource, MetaBlockSource,
+    SortedNeighbourhoodSource,
+};
+use pprl_core::candidate::{CandidateSource, Probes, SourceStats};
 use pprl_core::error::{PprlError, Result};
+use pprl_core::json::Json;
+use pprl_core::qgram::{qgram_set, QGramConfig};
 use pprl_core::record::Dataset;
+use pprl_core::value::Value;
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+use pprl_index::backend::IndexBackend;
 use pprl_matching::assignment::greedy_one_to_one;
 use pprl_similarity::bitvec_sim::dice_bits;
+use std::path::PathBuf;
+
+/// Linking against a pre-built persistent index (see `pprl-index`).
+#[derive(Debug, Clone)]
+pub struct IndexSourceConfig {
+    /// Index directory (as produced by `pprl index build` or
+    /// `StreamingLinker::flush_to_index`).
+    pub dir: PathBuf,
+    /// Neighbours fetched per probe record. Candidates are the exact
+    /// top-k stored records per probe with Dice ≥ the pipeline threshold;
+    /// `top_k ≥` the stored population makes the candidate set complete.
+    pub top_k: usize,
+}
 
 /// Blocking strategy of the pipeline.
 #[derive(Debug, Clone)]
@@ -26,6 +56,20 @@ pub enum BlockingChoice {
     SortedNeighbourhood(BlockingKey, usize),
     /// Hamming LSH over the encoded filters.
     Lsh(HammingLsh),
+    /// Canopy clustering over q-gram token sets of the text fields.
+    Canopy(CanopyBlocking),
+    /// Standard key blocking refined by meta-blocking (block purging +
+    /// per-record block filtering).
+    Metablocked {
+        /// Blocking key.
+        key: BlockingKey,
+        /// Purge blocks above this many cross comparisons.
+        max_block_comparisons: usize,
+        /// Blocks each record keeps (smallest first).
+        keep_per_record: usize,
+    },
+    /// A pre-built persistent index as the target population.
+    Index(IndexSourceConfig),
 }
 
 /// Pipeline configuration.
@@ -66,6 +110,11 @@ pub struct LinkageResult {
     pub candidates: usize,
     /// Similarity comparisons computed.
     pub comparisons: usize,
+    /// Name of the candidate source that generated the pairs.
+    pub source: &'static str,
+    /// The source's own accounting (candidates, comparisons saved
+    /// relative to the cross product, bytes read from storage).
+    pub source_stats: SourceStats,
 }
 
 impl LinkageResult {
@@ -73,6 +122,97 @@ impl LinkageResult {
     pub fn pairs(&self) -> Vec<(usize, usize)> {
         self.matches.iter().map(|&(a, b, _)| (a, b)).collect()
     }
+
+    /// Machine-readable run summary (the same shape the CLI's `--json`
+    /// flag emits), including per-source statistics for backend
+    /// comparisons.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("source".into(), Json::str(self.source)),
+            ("matches".into(), Json::num(self.matches.len() as f64)),
+            ("candidates".into(), Json::num(self.candidates as f64)),
+            ("comparisons".into(), Json::num(self.comparisons as f64)),
+            (
+                "comparisons_saved".into(),
+                Json::num(self.source_stats.comparisons_saved as f64),
+            ),
+            (
+                "bytes_read".into(),
+                Json::num(self.source_stats.bytes_read as f64),
+            ),
+            (
+                "pairs".into(),
+                Json::Arr(
+                    self.matches
+                        .iter()
+                        .map(|&(a, b, s)| {
+                            Json::Arr(vec![Json::num(a as f64), Json::num(b as f64), Json::num(s)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Sorted, deduplicated bigram token set per record, over every text
+/// field (the canopy similarity space).
+fn record_tokens(dataset: &Dataset) -> Vec<Vec<String>> {
+    let cfg = QGramConfig::bigrams();
+    dataset
+        .records()
+        .iter()
+        .map(|r| {
+            let text: Vec<&str> = r
+                .values
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Text(s) | Value::Categorical(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            qgram_set(&text.join(" "), &cfg)
+        })
+        .collect()
+}
+
+/// Builds the candidate source for `config.blocking`, bound to dataset
+/// `b` (or to the configured persistent index, which must hold dataset
+/// B's encoded filters with `id = row`).
+pub fn build_source(
+    b: &Dataset,
+    filters_b: &[&pprl_core::bitvec::BitVec],
+    config: &PipelineConfig,
+) -> Result<Box<dyn CandidateSource>> {
+    Ok(match &config.blocking {
+        BlockingChoice::Full => Box::new(FullSource::new(b.len())),
+        BlockingChoice::Standard(key) => Box::new(KeyBlockSource::from_keys(&key.extract(b)?)),
+        BlockingChoice::SortedNeighbourhood(key, window) => {
+            Box::new(SortedNeighbourhoodSource::new(key.extract(b)?, *window)?)
+        }
+        BlockingChoice::Lsh(lsh) => Box::new(HammingLshSource::new(
+            lsh.clone(),
+            filters_b.iter().map(|f| (*f).clone()).collect(),
+        )),
+        BlockingChoice::Canopy(canopy) => {
+            Box::new(CanopySource::new(canopy.clone(), record_tokens(b)))
+        }
+        BlockingChoice::Metablocked {
+            key,
+            max_block_comparisons,
+            keep_per_record,
+        } => Box::new(MetaBlockSource::new(
+            key.extract(b)?,
+            *max_block_comparisons,
+            *keep_per_record,
+        )?),
+        BlockingChoice::Index(index) => Box::new(IndexBackend::open(
+            &index.dir,
+            index.top_k,
+            config.threshold,
+            config.threads,
+        )?),
+    })
 }
 
 /// Runs the batch pipeline over two datasets with a shared schema.
@@ -89,20 +229,27 @@ pub fn link(a: &Dataset, b: &Dataset, config: &PipelineConfig) -> Result<Linkage
     let filters_a = enc_a.clks()?;
     let filters_b = enc_b.clks()?;
 
-    let candidates = match &config.blocking {
-        BlockingChoice::Full => full_cross_product(a.len(), b.len()),
-        BlockingChoice::Standard(key) => {
-            let ka = key.extract(a)?;
-            let kb = key.extract(b)?;
-            standard_blocking(&ka, &kb)
-        }
-        BlockingChoice::SortedNeighbourhood(key, window) => {
-            let ka = key.extract(a)?;
-            let kb = key.extract(b)?;
-            sorted_neighbourhood(&ka, &kb, *window)?
-        }
-        BlockingChoice::Lsh(lsh) => lsh.candidates(&filters_a, &filters_b)?,
+    let mut source = build_source(b, &filters_b, config)?;
+
+    // Probe modalities: filters always (already encoded); keys and tokens
+    // only for the choices that consume them.
+    let probe_keys: Option<Vec<String>> = match &config.blocking {
+        BlockingChoice::Standard(key)
+        | BlockingChoice::SortedNeighbourhood(key, _)
+        | BlockingChoice::Metablocked { key, .. } => Some(key.extract(a)?),
+        _ => None,
     };
+    let probe_tokens: Option<Vec<Vec<String>>> = match &config.blocking {
+        BlockingChoice::Canopy(_) => Some(record_tokens(a)),
+        _ => None,
+    };
+    let probes = Probes {
+        filters: Some(&filters_a),
+        keys: probe_keys.as_deref(),
+        tokens: probe_tokens.as_deref(),
+        signatures: None,
+    };
+    let candidates = source.candidates(&probes)?;
 
     let similarity = |i: usize, j: usize| dice_bits(filters_a[i], filters_b[j]);
     let outcome = if config.threads > 1 {
@@ -123,6 +270,8 @@ pub fn link(a: &Dataset, b: &Dataset, config: &PipelineConfig) -> Result<Linkage
         matches,
         candidates: candidates.len(),
         comparisons: outcome.comparisons,
+        source: source.name(),
+        source_stats: source.stats(),
     })
 }
 
@@ -154,6 +303,9 @@ mod tests {
         let q = quality(&a, &b, &r);
         assert!(q.precision() > 0.9, "precision {}", q.precision());
         assert!(q.recall() > 0.6, "recall {}", q.recall());
+        assert_eq!(r.source, "hamming-lsh");
+        assert!(r.source_stats.comparisons_saved > 0);
+        assert_eq!(r.source_stats.bytes_read, 0, "in-memory source");
     }
 
     #[test]
@@ -165,6 +317,8 @@ mod tests {
         cfg.blocking = BlockingChoice::Standard(BlockingKey::person_default());
         let std = link(&a, &b, &cfg).unwrap();
         assert_eq!(full.candidates, 120 * 120);
+        assert_eq!(full.source, "full");
+        assert_eq!(std.source, "standard");
         assert!(std.candidates < full.candidates / 4);
         // Standard blocking loses at most some recall, never precision.
         let qf = quality(&a, &b, &full);
@@ -180,6 +334,25 @@ mod tests {
         let r = link(&a, &b, &cfg).unwrap();
         assert!(r.candidates > 0);
         assert!(quality(&a, &b, &r).precision() > 0.8);
+    }
+
+    #[test]
+    fn canopy_and_metablocked_choices_run() {
+        let (a, b) = data(7);
+        let mut cfg = PipelineConfig::standard(b"key".to_vec()).unwrap();
+        cfg.blocking = BlockingChoice::Canopy(CanopyBlocking::new(0.3, 0.7, 42).unwrap());
+        let canopy = link(&a, &b, &cfg).unwrap();
+        assert_eq!(canopy.source, "canopy");
+        assert!(canopy.candidates > 0);
+        assert!(quality(&a, &b, &canopy).precision() > 0.8);
+        cfg.blocking = BlockingChoice::Metablocked {
+            key: BlockingKey::person_default(),
+            max_block_comparisons: 500,
+            keep_per_record: 4,
+        };
+        let meta = link(&a, &b, &cfg).unwrap();
+        assert_eq!(meta.source, "metablocking");
+        assert!(quality(&a, &b, &meta).precision() > 0.8);
     }
 
     #[test]
@@ -211,5 +384,17 @@ mod tests {
         let other = Dataset::new(pprl_core::schema::Schema::default());
         let cfg = PipelineConfig::standard(b"key".to_vec()).unwrap();
         assert!(link(&a, &other, &cfg).is_err());
+    }
+
+    #[test]
+    fn result_json_has_stats() {
+        let (a, b) = data(8);
+        let cfg = PipelineConfig::standard(b"key".to_vec()).unwrap();
+        let r = link(&a, &b, &cfg).unwrap();
+        let rendered = r.to_json().render();
+        assert!(rendered.contains("\"source\": \"hamming-lsh\""));
+        assert!(rendered.contains("\"comparisons_saved\""));
+        assert!(rendered.contains("\"bytes_read\": 0"));
+        assert!(rendered.contains("\"pairs\""));
     }
 }

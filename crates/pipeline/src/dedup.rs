@@ -2,17 +2,19 @@
 //!
 //! §3.4 "matching": it is common practice to de-duplicate each database
 //! before cross-database linkage, so the subsequent linking can be
-//! one-to-one. This module links a dataset against itself (upper-triangle
-//! candidate space), clusters the duplicate pairs, and can materialise a
-//! de-duplicated dataset keeping one representative per cluster.
+//! one-to-one. This module links a dataset against itself — a
+//! [`KeyBlockSource`] self-join restricted to the upper triangle —
+//! clusters the duplicate pairs, and can materialise a de-duplicated
+//! dataset keeping one representative per cluster.
 
 use pprl_blocking::keys::BlockingKey;
+use pprl_blocking::source::KeyBlockSource;
+use pprl_core::candidate::{CandidateSource, Probes};
 use pprl_core::error::Result;
 use pprl_core::record::{Dataset, RecordRef};
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
 use pprl_matching::clustering::connected_components;
 use pprl_similarity::bitvec_sim::dice_bits;
-use std::collections::HashMap;
 
 /// Configuration for de-duplication.
 #[derive(Debug, Clone)]
@@ -69,26 +71,23 @@ pub fn deduplicate(dataset: &Dataset, config: &DedupConfig) -> Result<DedupOutco
     let filters = encoded.clks()?;
     let keys = config.blocking.extract(dataset)?;
 
-    // Self-join within blocks, upper triangle only.
-    let mut blocks: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (row, k) in keys.iter().enumerate() {
-        if !k.chars().all(|c| c == '|') {
-            blocks.entry(k.as_str()).or_default().push(row);
-        }
-    }
+    // Self-join through the candidate source: probe the key-blocked
+    // dataset with its own keys, keep the upper triangle.
+    let mut source = KeyBlockSource::from_keys(&keys);
+    let probes = Probes {
+        keys: Some(&keys),
+        ..Probes::default()
+    };
     let mut pairs = Vec::new();
     let mut comparisons = 0usize;
-    let mut block_list: Vec<&Vec<usize>> = blocks.values().collect();
-    block_list.sort_by_key(|rows| rows.first().copied());
-    for rows in block_list {
-        for (x, &i) in rows.iter().enumerate() {
-            for &j in &rows[x + 1..] {
-                comparisons += 1;
-                let s = dice_bits(filters[i], filters[j])?;
-                if s >= config.threshold {
-                    pairs.push((i, j, s));
-                }
-            }
+    for (i, j) in source.candidates(&probes)? {
+        if i >= j {
+            continue; // self-pairs and mirrored duplicates
+        }
+        comparisons += 1;
+        let s = dice_bits(filters[i], filters[j])?;
+        if s >= config.threshold {
+            pairs.push((i, j, s));
         }
     }
 
@@ -125,6 +124,7 @@ pub fn deduplicated_dataset(dataset: &Dataset, outcome: &DedupOutcome) -> Result
 mod tests {
     use super::*;
     use pprl_datagen::generator::{Generator, GeneratorConfig};
+    use std::collections::HashMap;
 
     fn dirty_dataset(seed: u64) -> Dataset {
         let mut g = Generator::new(GeneratorConfig {

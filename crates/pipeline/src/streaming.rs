@@ -3,11 +3,13 @@
 //!
 //! Current PPRL techniques are batch-only; the paper calls for systems
 //! that link records "as they arrive at an organization, ideally in (near)
-//! real-time". [`StreamingLinker`] maintains a blocked index of encoded
-//! records; each arriving record is encoded, matched against the records
-//! in its blocks, classified, clustered incrementally, and inserted — all
-//! in one call, with per-insert comparison counts for throughput
-//! experiments.
+//! real-time". [`StreamingLinker`] maintains a growing
+//! [`KeyBlockSource`] over the encoded records; each arriving record is
+//! encoded, probed against the source (so streaming and batch share one
+//! standard-blocking implementation — records with an empty blocking key
+//! are never compared), classified, clustered incrementally, and
+//! inserted — all in one call, with per-insert comparison counts for
+//! throughput experiments.
 //!
 //! For fault tolerance the linker can be checkpointed:
 //! [`StreamingLinker::snapshot`] serialises the full index/cluster state
@@ -17,7 +19,9 @@
 //! [`PprlError::Transport`] instead of silently resuming from bad state.
 
 use pprl_blocking::keys::BlockingKey;
+use pprl_blocking::source::KeyBlockSource;
 use pprl_core::bitvec::BitVec;
+use pprl_core::candidate::{CandidateSource, Probes};
 use pprl_core::error::{PprlError, Result};
 use pprl_core::record::{Record, RecordRef};
 use pprl_core::schema::Schema;
@@ -130,8 +134,9 @@ pub struct StreamingLinker {
     encoder: RecordEncoder,
     blocking: BlockingKey,
     threshold: f64,
-    /// Blocking key → stored rows.
-    index: HashMap<String, Vec<usize>>,
+    /// Key-blocked candidate source over the stored rows (grows with
+    /// every insert via [`KeyBlockSource::push_target`]).
+    blocks: KeyBlockSource,
     /// All stored filters (insertion order).
     filters: Vec<BitVec>,
     refs: Vec<RecordRef>,
@@ -155,7 +160,7 @@ impl StreamingLinker {
             encoder,
             blocking,
             threshold,
-            index: HashMap::new(),
+            blocks: KeyBlockSource::new(),
             filters: Vec::new(),
             refs: Vec::new(),
             clusterer: IncrementalClusterer::new(threshold)?,
@@ -230,19 +235,21 @@ impl StreamingLinker {
         };
         let key = self.blocking.extract(&ds)?.pop().expect("one key");
 
-        // Compare within the record's block.
+        // Compare within the record's block, via the candidate source.
+        let probes = Probes {
+            keys: Some(std::slice::from_ref(&key)),
+            ..Probes::default()
+        };
         let mut matches = Vec::new();
         let mut comparisons = 0usize;
-        if let Some(rows) = self.index.get(&key) {
-            for &row in rows {
-                comparisons += 1;
-                let s = dice_bits(&filter, &self.filters[row])?;
-                if s >= self.threshold {
-                    matches.push(StreamMatch {
-                        existing: self.refs[row],
-                        similarity: s,
-                    });
-                }
+        for (_, row) in self.blocks.candidates(&probes)? {
+            comparisons += 1;
+            let s = dice_bits(&filter, &self.filters[row])?;
+            if s >= self.threshold {
+                matches.push(StreamMatch {
+                    existing: self.refs[row],
+                    similarity: s,
+                });
             }
         }
         matches.sort_by(|x, y| {
@@ -257,7 +264,7 @@ impl StreamingLinker {
         let edges: Vec<(RecordRef, f64)> =
             matches.iter().map(|m| (m.existing, m.similarity)).collect();
         let cluster = self.clusterer.add(rref, &edges)?;
-        self.index.entry(key).or_default().push(row);
+        self.blocks.push_target(&key, row);
         self.filters.push(filter);
         self.refs.push(rref);
         Ok(InsertOutcome {
@@ -285,13 +292,14 @@ impl StreamingLinker {
             payload.extend_from_slice(&filter.to_bytes());
         }
         // Blocking index, keys sorted for a deterministic blob.
-        let mut keys: Vec<&String> = self.index.keys().collect();
+        let blocks = self.blocks.blocks();
+        let mut keys: Vec<&String> = blocks.keys().collect();
         keys.sort_unstable();
         push_u32(&mut payload, keys.len(), "block count")?;
         for key in keys {
             push_u32(&mut payload, key.len(), "block key length")?;
             payload.extend_from_slice(key.as_bytes());
-            let rows = &self.index[key];
+            let rows = &blocks[key];
             push_u32(&mut payload, rows.len(), "block size")?;
             for &row in rows {
                 push_u32(&mut payload, row, "row index")?;
@@ -391,7 +399,7 @@ impl StreamingLinker {
             encoder,
             blocking,
             threshold,
-            index,
+            blocks: KeyBlockSource::from_parts(index, n),
             filters,
             refs,
             clusterer: IncrementalClusterer::from_state(threshold, clusters)?,
