@@ -1,0 +1,278 @@
+//! E18 — serving linkage queries: load-test of `pprl-server`, the
+//! concurrent query service over the persistent index (§5.1's volume and
+//! velocity axes meet deployment: linkage as a long-running service, not
+//! a batch job).
+//!
+//! Builds an on-disk index of real GeCo-person CLKs, starts an in-process
+//! server, then sweeps the number of concurrent closed-loop clients
+//! (1 → 8). Each client hammers top-k queries over a framed TCP socket;
+//! we report wall-clock QPS and client-observed p50/p99 latency per
+//! level. Before each level a batch of fresh records is inserted over the
+//! wire so the background size-tiered compaction runs *while* the
+//! query load is in flight — the sweep therefore also demonstrates that
+//! snapshot-isolated reads never block on (or fail during) compaction.
+//!
+//! Run: `cargo run --release -p pprl-bench --bin exp_serve`
+
+use pprl_bench::{banner, report, secs, Table};
+use pprl_core::bitvec::BitVec;
+use pprl_core::record::Dataset;
+use pprl_core::rng::SplitMix64;
+use pprl_core::schema::Schema;
+use pprl_datagen::generator::{Generator, GeneratorConfig};
+use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
+use pprl_index::store::{IndexConfig, IndexStore, TieredPolicy};
+use pprl_server::client::Client;
+use pprl_server::server::{serve, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FILTER_BITS: usize = 1000;
+const TOP_K: usize = 10;
+const INDEX_RECORDS: usize = 5_000;
+const QUERIES_PER_CLIENT: usize = 100;
+const CLIENT_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+/// CLK encodings of GeCo person records; every third is a corrupted
+/// duplicate so queries have realistic near-matches (same population
+/// recipe as E17).
+fn clk_filters(n: usize, seed: u64) -> Vec<(u64, BitVec)> {
+    let mut g = Generator::new(GeneratorConfig {
+        seed,
+        corruption_rate: 0.3,
+        ..GeneratorConfig::default()
+    })
+    .expect("generator");
+    let schema = Schema::person();
+    let encoder = RecordEncoder::new(
+        RecordEncoderConfig::person_clk(b"exp-serve".to_vec()),
+        &schema,
+    )
+    .expect("encoder");
+    let mut ds = Dataset::new(schema);
+    for j in 0..n {
+        let r = if j % 3 == 2 {
+            let base = g.entity((j / 3) as u64);
+            g.corrupt_record(&base)
+        } else {
+            g.entity(j as u64)
+        };
+        ds.push(r).expect("push");
+    }
+    let encoded = encoder.encode_dataset(&ds).expect("encode");
+    encoded
+        .records
+        .iter()
+        .enumerate()
+        .map(|(j, r)| (j as u64, r.try_clk().expect("clk").clone()))
+        .collect()
+}
+
+/// Near-duplicate probe: a stored filter with ~5% of bits flipped.
+fn perturb(filter: &BitVec, rng: &mut SplitMix64) -> BitVec {
+    let mut out = filter.clone();
+    for pos in 0..out.len() {
+        if rng.next_u64().is_multiple_of(20) {
+            out.flip(pos);
+        }
+    }
+    out
+}
+
+/// Upper-quantile from a sorted latency sample, in milliseconds.
+fn quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1_000.0
+}
+
+fn main() {
+    banner(
+        "E18",
+        "Concurrent linkage query service (pprl-server)",
+        "snapshot-isolated top-k over TCP sustains concurrent clients while compaction runs",
+    );
+    let dir = std::env::temp_dir().join("pprl-exp-serve");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build the served population in several flushes so the maintenance
+    // thread has segment tiers to merge from the very first level.
+    let (records, gen_secs) = pprl_bench::timed(|| clk_filters(INDEX_RECORDS, 0xE18));
+    println!(
+        "generated + CLK-encoded {INDEX_RECORDS} GeCo records in {}",
+        secs(gen_secs)
+    );
+    let mut store =
+        IndexStore::create(&dir, IndexConfig::new(FILTER_BITS, 4)).expect("create index");
+    for chunk in records.chunks(500) {
+        store.insert_batch(chunk).expect("insert");
+        store.flush().expect("flush");
+    }
+    drop(store);
+
+    // Fresh records inserted over the wire mid-load, one batch per level.
+    let churn = clk_filters(CLIENT_LEVELS.len() * 200, 0x18E);
+
+    let config = ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        compact_interval: Some(Duration::from_millis(100)),
+        tiered: TieredPolicy {
+            min_segments: 2,
+            growth: 4,
+            min_bytes: 4096,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = serve(&dir, "127.0.0.1:0", config).expect("serve");
+    let addr = handle.addr().to_string();
+    println!("serving {INDEX_RECORDS} records on {addr} (4 workers, queue 64)");
+
+    let probes: Arc<Vec<BitVec>> = {
+        let mut rng = SplitMix64::new(0xBEEF);
+        Arc::new(
+            (0..256)
+                .map(|qi| perturb(&records[(qi * 97) % INDEX_RECORDS].1, &mut rng))
+                .collect(),
+        )
+    };
+
+    let mut sweep = Table::new(&[
+        "clients",
+        "queries",
+        "wall time",
+        "QPS",
+        "p50 ms",
+        "p99 ms",
+        "retries",
+    ]);
+    let mut server_side = Table::new(&[
+        "clients",
+        "cache hits",
+        "cache misses",
+        "compactions",
+        "segs merged",
+        "MB read",
+        "busy",
+    ]);
+
+    for (level, &clients) in CLIENT_LEVELS.iter().enumerate() {
+        // Kick compaction work: insert a fresh batch over the wire, then
+        // query while the maintenance thread merges tiers underneath.
+        let batch: Vec<(u64, BitVec)> = churn[level * 200..(level + 1) * 200]
+            .iter()
+            .map(|(id, f)| (0x0E18_0000 + level as u64 * 1000 + id, f.clone()))
+            .collect();
+        let mut admin =
+            Client::connect_retry(&addr, 50, Duration::from_millis(20)).expect("connect");
+        admin.insert(&batch).expect("insert churn batch");
+
+        let started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let probes = Arc::clone(&probes);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect_retry(&addr, 50, Duration::from_millis(20))
+                        .expect("client connect");
+                    let mut lat_us = Vec::with_capacity(QUERIES_PER_CLIENT);
+                    let mut retries = 0usize;
+                    let mut q = 0usize;
+                    while q < QUERIES_PER_CLIENT {
+                        let probe = &probes[(c * 131 + q * 17) % probes.len()];
+                        let t = Instant::now();
+                        match client.query(probe, TOP_K) {
+                            Ok(hits) => {
+                                assert!(!hits.is_empty(), "top-k over a full index");
+                                lat_us.push(t.elapsed().as_micros() as u64);
+                                q += 1;
+                            }
+                            Err(_) => {
+                                // Backpressure: reconnect and retry.
+                                retries += 1;
+                                std::thread::sleep(Duration::from_millis(20));
+                                client =
+                                    Client::connect_retry(&addr, 50, Duration::from_millis(20))
+                                        .expect("client reconnect");
+                            }
+                        }
+                    }
+                    (lat_us, retries)
+                })
+            })
+            .collect();
+        let mut all_us = Vec::new();
+        let mut retries = 0usize;
+        for t in threads {
+            let (lat, r) = t.join().expect("client thread");
+            all_us.extend(lat);
+            retries += r;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        all_us.sort_unstable();
+        let total = clients * QUERIES_PER_CLIENT;
+        sweep.row(vec![
+            clients.to_string(),
+            total.to_string(),
+            secs(wall),
+            format!("{:.1}", total as f64 / wall),
+            format!("{:.2}", quantile_ms(&all_us, 0.50)),
+            format!("{:.2}", quantile_ms(&all_us, 0.99)),
+            retries.to_string(),
+        ]);
+
+        let stats = admin.stats().expect("stats");
+        server_side.row(vec![
+            clients.to_string(),
+            stats.cache_hits.to_string(),
+            stats.cache_misses.to_string(),
+            stats.compactions.to_string(),
+            stats.segments_merged.to_string(),
+            format!("{:.1}", stats.bytes_read as f64 / 1e6),
+            stats.busy_rejected.to_string(),
+        ]);
+    }
+
+    let mut admin = Client::connect_retry(&addr, 50, Duration::from_millis(20)).expect("connect");
+    let final_stats = admin.stats().expect("final stats");
+    admin.shutdown().expect("shutdown");
+    handle.join();
+
+    println!("\nClosed-loop client sweep (client-observed latency):");
+    sweep.print();
+    println!("\nServer-side counters after each level (cumulative):");
+    server_side.print();
+    println!(
+        "\nfinal: {} records at generation {}, {} queries served, {} compactions \
+         ({} segments merged), server p50/p99 {}/{} ms",
+        final_stats.records,
+        final_stats.generation,
+        final_stats.queries,
+        final_stats.compactions,
+        final_stats.segments_merged,
+        final_stats.latency_p50_us as f64 / 1000.0,
+        final_stats.latency_p99_us as f64 / 1000.0,
+    );
+    assert!(
+        final_stats.compactions >= 1,
+        "background compaction should have run during the sweep"
+    );
+    assert_eq!(
+        final_stats.records as usize,
+        INDEX_RECORDS + CLIENT_LEVELS.len() * 200,
+        "every wire-inserted record is durable"
+    );
+    report::note(format!(
+        "{} background compactions completed during query load; no failed reads",
+        final_stats.compactions
+    ));
+    println!("\nAll queries returned non-empty top-k while compaction rewrote segments");
+    println!("underneath: readers pin a manifest generation, so swaps never block them.");
+    println!("Single-core container: the client sweep measures queueing, not parallel");
+    println!("speedup — on multi-core hosts worker threads scale QPS with clients.");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    report::save();
+}

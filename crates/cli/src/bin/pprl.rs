@@ -9,10 +9,15 @@ fn main() {
         println!("{}", commands::help());
         return;
     }
-    // `index` takes its own action subcommand: parse the tail so the
-    // action lands in `Args::command`.
+    // `index` and `client` take their own action subcommand: parse the
+    // tail so the action lands in `Args::command`.
     let is_index = raw[0] == "index";
-    let parse_from = if is_index { &raw[1..] } else { &raw[..] };
+    let is_client = raw[0] == "client";
+    let parse_from = if is_index || is_client {
+        &raw[1..]
+    } else {
+        &raw[..]
+    };
     let args = match Args::parse(parse_from, &["evaluate", "compact", "json"]) {
         Ok(a) => a,
         Err(e) => {
@@ -22,6 +27,8 @@ fn main() {
     };
     let result = if is_index {
         commands::index_cmd(args)
+    } else if is_client {
+        commands::client_cmd(args)
     } else {
         match args.command.as_str() {
             "generate" => commands::generate(args),
@@ -29,6 +36,7 @@ fn main() {
             "dedup" => commands::dedup_cmd(args),
             "encode" => commands::encode_cmd(args),
             "multiparty" => commands::multiparty_cmd(args),
+            "serve" => commands::serve_cmd(args),
             other => {
                 eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
                 std::process::exit(2);

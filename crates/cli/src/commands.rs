@@ -18,6 +18,8 @@ use pprl_pipeline::batch::{link, BlockingChoice, IndexSourceConfig, PipelineConf
 use pprl_pipeline::dedup::{deduplicate, deduplicated_dataset, DedupConfig};
 use pprl_protocols::transport::Crash;
 use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
+use pprl_server::client::Client;
+use pprl_server::server::{serve, ServerConfig};
 
 type CmdResult = Result<(), String>;
 
@@ -460,6 +462,232 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
     }
 }
 
+/// `pprl serve` — serve a persistent index over TCP until a client
+/// sends `shutdown` (or the process is killed).
+pub fn serve_cmd(mut args: Args) -> CmdResult {
+    let dir = args.require("index").map_err(fail)?;
+    let host = args.get_or("host", "127.0.0.1");
+    let port: u16 = args.parse_or("port", 7878).map_err(fail)?;
+    let workers: usize = args.parse_or("workers", 2).map_err(fail)?;
+    let queue: usize = args.parse_or("queue", 32).map_err(fail)?;
+    let cache: usize = args.parse_or("cache", 256).map_err(fail)?;
+    let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
+    let compact_ms: u64 = args.parse_or("compact-interval-ms", 500).map_err(fail)?;
+    let addr_file = args.get("addr-file");
+    args.finish().map_err(fail)?;
+
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        query_threads: threads,
+        cache_capacity: cache,
+        compact_interval: (compact_ms > 0).then(|| std::time::Duration::from_millis(compact_ms)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(
+        std::path::Path::new(&dir),
+        &format!("{host}:{port}"),
+        config,
+    )
+    .map_err(fail)?;
+    let addr = handle.addr();
+    // With --port 0 the kernel picks the port; publish the resolved
+    // address so scripts (and the CI smoke job) can find it.
+    if let Some(path) = addr_file {
+        write_file(&path, &addr.to_string())?;
+    }
+    println!(
+        "serving {dir} on {addr}: {workers} workers, queue {queue}, cache {cache}, \
+         compaction every {compact_ms} ms (0 = disabled)"
+    );
+    let service = handle.join();
+    let stats = service.stats_report(workers as u32, queue as u32);
+    println!(
+        "shut down after {} queries, {} links, {} inserts, {} compactions",
+        stats.queries, stats.links, stats.inserts, stats.compactions
+    );
+    Ok(())
+}
+
+/// `pprl client <action>` — talk to a running `pprl serve`.
+///
+/// Like `index`, the action is parsed as the subcommand, so
+/// `args.command` holds `query|link|insert|stats|shutdown`.
+pub fn client_cmd(mut args: Args) -> CmdResult {
+    let action = args.command.clone();
+    let addr = args.require("addr").map_err(fail)?;
+    match action.as_str() {
+        "query" => {
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let row: usize = args.parse_or("row", 0).map_err(fail)?;
+            let top_k: usize = args.parse_or("top-k", 10).map_err(fail)?;
+            let json = args.flag("json");
+            args.finish().map_err(fail)?;
+            let queries = encode_filters(&input, &key, 0)?;
+            let Some((_, query)) = queries.get(row) else {
+                return Err(format!("--row {row} out of range ({} rows)", queries.len()));
+            };
+            let started = std::time::Instant::now();
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            let hits = client.query(query, top_k).map_err(fail)?;
+            if json {
+                let obj = Json::Obj(vec![
+                    ("addr".into(), Json::Str(addr)),
+                    ("row".into(), Json::num(row as f64)),
+                    ("top_k".into(), Json::num(top_k as f64)),
+                    (
+                        "elapsed_ms".into(),
+                        Json::num(started.elapsed().as_secs_f64() * 1000.0),
+                    ),
+                    (
+                        "hits".into(),
+                        Json::Arr(
+                            hits.iter()
+                                .map(|h| {
+                                    Json::Obj(vec![
+                                        ("id".into(), Json::num(h.id as f64)),
+                                        ("score".into(), Json::num(h.score)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                print!("{}", obj.render());
+                return Ok(());
+            }
+            println!(
+                "top-{top_k} from {addr} for {input} row {row} ({:.2?}):",
+                started.elapsed()
+            );
+            for hit in &hits {
+                println!("  id {:>8}  dice {:.4}", hit.id, hit.score);
+            }
+            if hits.is_empty() {
+                println!("  (no hits)");
+            }
+            Ok(())
+        }
+        "link" => {
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let top_k: usize = args.parse_or("top-k", 5).map_err(fail)?;
+            let min_score: f64 = args.parse_or("min-score", 0.8).map_err(fail)?;
+            let output = args.get("output");
+            args.finish().map_err(fail)?;
+            let probes = encode_filters(&input, &key, 0)?;
+            let filters: Vec<_> = probes.into_iter().map(|(_, f)| f).collect();
+            let started = std::time::Instant::now();
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            let per_probe = client.link(&filters, top_k, min_score).map_err(fail)?;
+            let total: usize = per_probe.iter().map(|h| h.len()).sum();
+            println!(
+                "linked {} probes against {addr}: {total} hits at dice >= {min_score} in {:.2?}",
+                filters.len(),
+                started.elapsed()
+            );
+            let mut csv = String::from("row,id,similarity\n");
+            for (row, hits) in per_probe.iter().enumerate() {
+                for hit in hits {
+                    csv.push_str(&format!("{row},{},{:.4}\n", hit.id, hit.score));
+                }
+            }
+            match output {
+                Some(path) => {
+                    write_file(&path, &csv)?;
+                    println!("hits written to {path}");
+                }
+                None => print!("{csv}"),
+            }
+            Ok(())
+        }
+        "insert" => {
+            let input = args.require("input").map_err(fail)?;
+            let key = args.require("key").map_err(fail)?;
+            let id_base_flag: Option<u64> = match args.get("id-base") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("flag `--id-base`: cannot parse `{v}`"))?,
+                ),
+            };
+            args.finish().map_err(fail)?;
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            let id_base = match id_base_flag {
+                Some(v) => v,
+                // Default to appending after the currently served records.
+                None => client.stats().map_err(fail)?.records,
+            };
+            let records = encode_filters(&input, &key, id_base)?;
+            let (count, generation) = client.insert(&records).map_err(fail)?;
+            println!(
+                "inserted {count} records into {addr} (ids from {id_base}); \
+                 now serving generation {generation}"
+            );
+            Ok(())
+        }
+        "stats" => {
+            let json = args.flag("json");
+            args.finish().map_err(fail)?;
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            let s = client.stats().map_err(fail)?;
+            if json {
+                let obj = Json::Obj(vec![
+                    ("records".into(), Json::num(s.records as f64)),
+                    ("generation".into(), Json::num(s.generation as f64)),
+                    ("queries".into(), Json::num(s.queries as f64)),
+                    ("links".into(), Json::num(s.links as f64)),
+                    ("inserts".into(), Json::num(s.inserts as f64)),
+                    ("cache_hits".into(), Json::num(s.cache_hits as f64)),
+                    ("cache_misses".into(), Json::num(s.cache_misses as f64)),
+                    ("busy_rejected".into(), Json::num(s.busy_rejected as f64)),
+                    ("compactions".into(), Json::num(s.compactions as f64)),
+                    (
+                        "segments_merged".into(),
+                        Json::num(s.segments_merged as f64),
+                    ),
+                    ("bytes_read".into(), Json::num(s.bytes_read as f64)),
+                    ("latency_p50_us".into(), Json::num(s.latency_p50_us as f64)),
+                    ("latency_p99_us".into(), Json::num(s.latency_p99_us as f64)),
+                    ("uptime_ms".into(), Json::num(s.uptime_ms as f64)),
+                    ("workers".into(), Json::num(s.workers as f64)),
+                    ("queue_capacity".into(), Json::num(s.queue_capacity as f64)),
+                ]);
+                print!("{}", obj.render());
+                return Ok(());
+            }
+            println!(
+                "{addr}: {} records at generation {}, up {} ms",
+                s.records, s.generation, s.uptime_ms
+            );
+            println!(
+                "  requests: {} queries, {} links, {} inserts; latency p50 {} us, p99 {} us",
+                s.queries, s.links, s.inserts, s.latency_p50_us, s.latency_p99_us
+            );
+            println!(
+                "  cache: {} hits / {} misses; backpressure: {} rejected (queue {}, {} workers)",
+                s.cache_hits, s.cache_misses, s.busy_rejected, s.queue_capacity, s.workers
+            );
+            println!(
+                "  maintenance: {} compactions merged {} segments; {} bytes read",
+                s.compactions, s.segments_merged, s.bytes_read
+            );
+            Ok(())
+        }
+        "shutdown" => {
+            args.finish().map_err(fail)?;
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            client.shutdown().map_err(fail)?;
+            println!("server at {addr} acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client action `{other}` (query|link|insert|stats|shutdown)"
+        )),
+    }
+}
+
 /// Top-level help text.
 pub fn help() -> &'static str {
     "pprl — privacy-preserving record linkage toolkit
@@ -498,6 +726,26 @@ COMMANDS:
             persistent sharded CLK filter store: build from CSV, add
             records incrementally, run exact top-k Dice queries
             (multi-threaded), inspect/verify the on-disk state
+
+  serve     --index IDX [--host H] [--port P] [--workers N] [--queue N]
+            [--cache N] [--threads N] [--compact-interval-ms MS]
+            [--addr-file PATH]
+            serve the index over TCP: concurrent top-k Dice queries,
+            batch link, durable inserts, background size-tiered
+            compaction (set MS to 0 to disable), snapshot-isolated
+            reads; --port 0 binds an ephemeral port and --addr-file
+            publishes the resolved address; runs until a client sends
+            shutdown
+
+  client    query    --addr H:P --input Q.csv --key SECRET [--row N]
+                     [--top-k K] [--json]
+            link     --addr H:P --input Q.csv --key SECRET [--top-k K]
+                     [--min-score F] [--output hits.csv]
+            insert   --addr H:P --input B.csv --key SECRET [--id-base N]
+            stats    --addr H:P [--json]
+            shutdown --addr H:P
+            talk to a running `pprl serve`; query/link results are
+            bit-for-bit identical to offline `pprl index query`
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]
@@ -801,6 +1049,155 @@ mod tests {
     }
 
     #[test]
+    fn serve_and_client_round_trip() {
+        let a = tmp("srv-a.csv");
+        let b = tmp("srv-b.csv");
+        let dir = tmp("srv-idx");
+        let hits_csv = tmp("srv-hits.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 50 --overlap 15 --seed 5"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(
+            Args::parse(
+                &raw(&format!("build --dir {dir} --input {a} --key s3cret")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Serve on an ephemeral port; discover it via --addr-file.
+        let addr_file = tmp("srv-addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let serve_args = Args::parse(
+            &raw(&format!(
+                "serve --index {dir} --port 0 --workers 2 --compact-interval-ms 50 \
+                 --addr-file {addr_file}"
+            )),
+            &[],
+        )
+        .unwrap();
+        let server = std::thread::spawn(move || serve_cmd(serve_args));
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                waited += 1;
+                assert!(waited < 200, "server never published its address");
+            }
+        };
+
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --addr {addr} --input {b} --key s3cret --row 2 --top-k 5 --json"
+                )),
+                &["json"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "link --addr {addr} --input {b} --key s3cret --top-k 3 --min-score 0.7 \
+                     --output {hits_csv}"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let hits = std::fs::read_to_string(&hits_csv).unwrap();
+        assert!(hits.starts_with("row,id,similarity"));
+        assert!(hits.lines().count() > 10, "overlapping rows should link");
+        client_cmd(
+            Args::parse(
+                &raw(&format!("insert --addr {addr} --input {b} --key s3cret")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        client_cmd(Args::parse(&raw(&format!("stats --addr {addr}")), &[]).unwrap()).unwrap();
+        // Bad action is a clean error that doesn't touch the server.
+        let e = client_cmd(Args::parse(&raw(&format!("poke --addr {addr}")), &[]).unwrap())
+            .unwrap_err();
+        assert!(e.contains("unknown client action"), "{e}");
+        client_cmd(Args::parse(&raw(&format!("shutdown --addr {addr}")), &[]).unwrap()).unwrap();
+        server.join().unwrap().unwrap();
+
+        // The wire insert was durable: 50 built + 50 inserted.
+        let store = IndexStore::open(std::path::Path::new(&dir)).unwrap();
+        assert_eq!(store.record_count().unwrap(), 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_or_truncated_manifest_is_a_clean_error() {
+        // Regression: `pprl index` against a directory that is not an
+        // index (or whose manifest was cut short) must return a typed
+        // error string, never panic.
+        let dir = tmp("no-manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let e =
+            index_cmd(Args::parse(&raw(&format!("stats --dir {dir}")), &[]).unwrap()).unwrap_err();
+        assert!(e.contains("MANIFEST missing"), "{e}");
+        let a = tmp("no-manifest-q.csv");
+        let bdummy = tmp("no-manifest-b.csv");
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {bdummy} --size 5 --overlap 1"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let e = index_cmd(
+            Args::parse(&raw(&format!("query --dir {dir} --input {a} --key k")), &[]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("MANIFEST missing"), "{e}");
+        let e = index_cmd(
+            Args::parse(
+                &raw(&format!("insert --dir {dir} --input {a} --key k")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("MANIFEST missing"), "{e}");
+
+        // A truncated manifest is a storage error, also non-panicking.
+        std::fs::write(std::path::Path::new(&dir).join("MANIFEST"), b"PIDX").unwrap();
+        let e =
+            index_cmd(Args::parse(&raw(&format!("stats --dir {dir}")), &[]).unwrap()).unwrap_err();
+        assert!(e.contains("storage error"), "{e}");
+        // `pprl serve` surfaces the same typed error.
+        let e =
+            serve_cmd(Args::parse(&raw(&format!("serve --index {dir} --port 0")), &[]).unwrap())
+                .unwrap_err();
+        assert!(e.contains("storage error"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn helpful_errors() {
         // missing files
         let e = link_cmd(
@@ -834,7 +1231,16 @@ mod tests {
 
     #[test]
     fn help_mentions_every_command() {
-        for c in ["generate", "link", "dedup", "encode", "multiparty", "index"] {
+        for c in [
+            "generate",
+            "link",
+            "dedup",
+            "encode",
+            "multiparty",
+            "index",
+            "serve",
+            "client",
+        ] {
             assert!(help().contains(c));
         }
     }

@@ -65,6 +65,102 @@ pub struct ReadStats {
     pub segments_skipped: usize,
 }
 
+/// Policy for [`IndexStore::compact_tiered`]: segments are grouped into
+/// size tiers (tier `t` covers files of `min_bytes·growth^t` up to
+/// `min_bytes·growth^(t+1)` bytes) and a tier is merged only once it
+/// accumulates `min_segments` files. Small fresh segments therefore merge
+/// often and cheaply, while a large settled segment is rewritten only
+/// when enough peers of its own size exist — the classic size-tiered
+/// bound on write amplification, which keeps individual compaction steps
+/// short enough to run on a maintenance thread between queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredPolicy {
+    /// Segments a tier must hold before it is merged (≥ 2).
+    pub min_segments: usize,
+    /// Size ratio between consecutive tiers (≥ 2).
+    pub growth: u64,
+    /// Floor of tier 0 in bytes; files smaller than this share a tier.
+    pub min_bytes: u64,
+}
+
+impl Default for TieredPolicy {
+    fn default() -> Self {
+        TieredPolicy {
+            min_segments: 4,
+            growth: 4,
+            min_bytes: 4096,
+        }
+    }
+}
+
+impl TieredPolicy {
+    /// Validates the policy parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_segments < 2 {
+            return Err(PprlError::invalid("min_segments", "must be at least 2"));
+        }
+        if self.growth < 2 {
+            return Err(PprlError::invalid("growth", "must be at least 2"));
+        }
+        if self.min_bytes == 0 {
+            return Err(PprlError::invalid("min_bytes", "must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The size tier a segment of `bytes` belongs to.
+    fn tier(&self, bytes: u64) -> u32 {
+        let mut tier = 0u32;
+        let mut ceiling = self.min_bytes;
+        while bytes >= ceiling && tier < 63 {
+            tier += 1;
+            ceiling = ceiling.saturating_mul(self.growth);
+        }
+        tier
+    }
+}
+
+/// What one [`IndexStore::compact_tiered`] step did. The rewritten
+/// segment files in `obsolete` are **not** deleted by the store — they
+/// stay on disk until the caller decides every reader of the previous
+/// manifest generation has drained, then removes them via [`reclaim`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Segments merged away (inputs of merges).
+    pub merged_segments: usize,
+    /// Replacement segments written.
+    pub new_segments: usize,
+    /// Records rewritten into the new segments.
+    pub records_rewritten: usize,
+    /// Old segment files superseded by the new manifest, awaiting
+    /// [`reclaim`] once readers of the old generation drain.
+    pub obsolete: Vec<PathBuf>,
+}
+
+impl CompactionOutcome {
+    /// True when this step changed nothing (no tier was full).
+    pub fn is_noop(&self) -> bool {
+        self.merged_segments == 0
+    }
+}
+
+/// Deletes segment files superseded by a compaction, once the caller
+/// knows no reader of the old manifest generation remains. Returns how
+/// many files were removed; a file already gone is not an error (crash
+/// between manifest swap and reclaim leaves orphans that a later pass
+/// may have cleaned).
+pub fn reclaim(paths: &[PathBuf]) -> Result<usize> {
+    let mut removed = 0usize;
+    for path in paths {
+        match std::fs::remove_file(path) {
+            Ok(()) => removed += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(path, "reclaiming", e)),
+        }
+    }
+    Ok(removed)
+}
+
 /// A persistent, sharded store of Bloom-filter-encoded records.
 #[derive(Debug)]
 pub struct IndexStore {
@@ -100,7 +196,20 @@ impl IndexStore {
     }
 
     /// Opens an existing index, replaying any pending log entries.
+    ///
+    /// A directory without a `MANIFEST` is reported as a typed
+    /// [`PprlError::Storage`] error naming the directory — not a panic,
+    /// and not a bare "file not found" that hides *which* file an index
+    /// was expected to provide. A truncated or corrupted manifest
+    /// likewise surfaces as a typed error from [`Manifest::load`].
     pub fn open(dir: &Path) -> Result<IndexStore> {
+        if !dir.join(MANIFEST_FILE).exists() {
+            return Err(storage_err(format!(
+                "no index at {}: MANIFEST missing (not an index directory, \
+                 or the manifest was deleted)",
+                dir.display()
+            )));
+        }
         let manifest = Manifest::load(dir)?;
         let pending = replay_wal(&dir.join(WAL_FILE), manifest.config.filter_len)?;
         Ok(IndexStore {
@@ -207,7 +316,6 @@ impl IndexStore {
     pub fn compact(&mut self) -> Result<usize> {
         self.flush()?;
         let num_shards = self.manifest.config.num_shards;
-        let flen = self.manifest.config.filter_len;
         let mut catalogue = Vec::new();
         let mut removed_paths = Vec::new();
         let mut reclaimed = 0usize;
@@ -217,21 +325,8 @@ impl IndexStore {
                 catalogue.extend(entries);
                 continue;
             }
-            let mut merged: Vec<(u64, BitVec)> = Vec::new();
-            for entry in &entries {
-                let seg = self.load_segment(entry.id, shard)?;
-                merged.extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
-            }
-            merged.sort_by_key(|(id, f)| (f.count_ones(), *id));
-            let refs: Vec<(u64, &BitVec)> = merged.iter().map(|(id, f)| (*id, f)).collect();
-            let new_id = self.manifest.next_segment_id;
-            self.manifest.next_segment_id += 1;
-            write_segment(&segment_path(&self.dir, new_id), shard, flen, &refs)?;
-            catalogue.push(entry_with_bounds(
-                shard,
-                new_id,
-                merged.iter().map(|(_, f)| f.count_ones()),
-            )?);
+            let (entry, _) = self.merge_segments(shard, &entries)?;
+            catalogue.push(entry);
             reclaimed += entries.len() - 1;
             removed_paths.extend(entries.iter().map(|e| segment_path(&self.dir, e.id)));
         }
@@ -242,6 +337,82 @@ impl IndexStore {
             std::fs::remove_file(&path).map_err(|e| io_err(&path, "removing", e))?;
         }
         Ok(reclaimed)
+    }
+
+    /// One size-tiered compaction step: in every shard, each size tier
+    /// (see [`TieredPolicy`]) holding at least `policy.min_segments`
+    /// segments is merged into a single popcount-sorted segment. Unlike
+    /// [`compact`], pending log records are left alone (flushing is the
+    /// caller's cadence, not compaction's) and superseded segment files
+    /// are **not** deleted — they are listed in
+    /// [`CompactionOutcome::obsolete`] so a serving layer can hold them
+    /// until every reader pinned to the previous manifest generation has
+    /// drained, then [`reclaim`] them. The manifest swap itself is atomic
+    /// (tmp + rename), so a crash at any point leaves a readable index.
+    ///
+    /// [`compact`]: IndexStore::compact
+    pub fn compact_tiered(&mut self, policy: &TieredPolicy) -> Result<CompactionOutcome> {
+        policy.validate()?;
+        let num_shards = self.manifest.config.num_shards;
+        let mut catalogue = Vec::new();
+        let mut outcome = CompactionOutcome::default();
+        for shard in 0..num_shards {
+            let entries = self.manifest.shard_segments(shard);
+            if entries.len() < policy.min_segments {
+                catalogue.extend(entries);
+                continue;
+            }
+            // Group this shard's segments into size tiers.
+            let mut tiers: std::collections::BTreeMap<u32, Vec<SegmentEntry>> =
+                std::collections::BTreeMap::new();
+            for entry in entries {
+                let bytes = file_size(&segment_path(&self.dir, entry.id))?;
+                tiers.entry(policy.tier(bytes)).or_default().push(entry);
+            }
+            for (_, members) in tiers {
+                if members.len() < policy.min_segments {
+                    catalogue.extend(members);
+                    continue;
+                }
+                let (entry, records) = self.merge_segments(shard, &members)?;
+                catalogue.push(entry);
+                outcome.merged_segments += members.len();
+                outcome.new_segments += 1;
+                outcome.records_rewritten += records;
+                outcome
+                    .obsolete
+                    .extend(members.iter().map(|e| segment_path(&self.dir, e.id)));
+            }
+        }
+        if outcome.is_noop() {
+            return Ok(outcome);
+        }
+        self.manifest.segments = catalogue;
+        self.manifest.save(&self.dir)?;
+        Ok(outcome)
+    }
+
+    /// Loads `entries` (all of `shard`), merges their records into one
+    /// popcount-sorted segment file, and returns its manifest entry plus
+    /// the record count. The old files are left untouched.
+    fn merge_segments(
+        &mut self,
+        shard: u32,
+        entries: &[SegmentEntry],
+    ) -> Result<(SegmentEntry, usize)> {
+        let flen = self.manifest.config.filter_len;
+        let mut merged: Vec<(u64, BitVec)> = Vec::new();
+        for entry in entries {
+            let seg = self.load_segment(entry.id, shard)?;
+            merged.extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
+        }
+        merged.sort_by_key(|(id, f)| (f.count_ones(), *id));
+        let refs: Vec<(u64, &BitVec)> = merged.iter().map(|(id, f)| (*id, f)).collect();
+        let new_id = self.manifest.next_segment_id;
+        self.manifest.next_segment_id += 1;
+        write_segment(&segment_path(&self.dir, new_id), shard, flen, &refs)?;
+        let entry = entry_with_bounds(shard, new_id, merged.iter().map(|(_, f)| f.count_ones()))?;
+        Ok((entry, merged.len()))
     }
 
     /// Loads every segment plus pending records into an in-memory
@@ -544,6 +715,140 @@ mod tests {
             })
             .count();
         assert_eq!(on_disk, after.segments);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_or_truncated_manifest_is_typed_error() {
+        // Missing directory entirely.
+        let dir = temp_dir("no-index");
+        let err = IndexStore::open(&dir).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        assert!(err.to_string().contains("MANIFEST missing"), "{err}");
+        // Directory exists but was never an index.
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = IndexStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("MANIFEST missing"), "{err}");
+        // A real index whose manifest got truncated.
+        IndexStore::create(&dir, IndexConfig::new(64, 2)).unwrap();
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = IndexStore::open(&dir).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_compaction_merges_full_tiers_and_defers_reclaim() {
+        let dir = temp_dir("tiered");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 1)).unwrap();
+        let records = filters(40, 128);
+        // Four similar-sized segments in one shard: one full tier.
+        for chunk in records.chunks(10) {
+            store.insert_batch(chunk).unwrap();
+            store.flush().unwrap();
+        }
+        let policy = TieredPolicy {
+            min_segments: 4,
+            ..TieredPolicy::default()
+        };
+        let before = store.reader().unwrap();
+        let query = records[7].1.clone();
+        let expected = before.top_k(&query, 5, 1).unwrap();
+
+        let outcome = store.compact_tiered(&policy).unwrap();
+        assert_eq!(outcome.merged_segments, 4);
+        assert_eq!(outcome.new_segments, 1);
+        assert_eq!(outcome.records_rewritten, 40);
+        assert_eq!(outcome.obsolete.len(), 4);
+        // Old files are NOT deleted until the caller reclaims them.
+        for path in &outcome.obsolete {
+            assert!(path.exists(), "{} reclaimed too early", path.display());
+        }
+        // The new manifest answers bit-for-bit identically.
+        let after = store.reader().unwrap();
+        assert_eq!(after.top_k(&query, 5, 1).unwrap(), expected);
+        assert_eq!(after.len(), 40);
+
+        assert_eq!(reclaim(&outcome.obsolete).unwrap(), 4);
+        for path in &outcome.obsolete {
+            assert!(!path.exists());
+        }
+        // Double reclaim is a clean no-op, and the store still reads.
+        assert_eq!(reclaim(&outcome.obsolete).unwrap(), 0);
+        let reopened = IndexStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.reader().unwrap().top_k(&query, 5, 1).unwrap(),
+            expected
+        );
+
+        // A second step with nothing mergeable is a no-op.
+        let noop = store.compact_tiered(&policy).unwrap();
+        assert!(noop.is_noop());
+        assert!(noop.obsolete.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiered_policy_separates_size_tiers() {
+        let policy = TieredPolicy {
+            min_segments: 2,
+            growth: 4,
+            min_bytes: 1024,
+        };
+        assert_eq!(policy.tier(0), 0);
+        assert_eq!(policy.tier(1023), 0);
+        assert_eq!(policy.tier(1024), 1);
+        assert_eq!(policy.tier(4095), 1);
+        assert_eq!(policy.tier(4096), 2);
+        assert!(TieredPolicy::default().validate().is_ok());
+        assert!(TieredPolicy {
+            min_segments: 1,
+            ..TieredPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TieredPolicy {
+            growth: 1,
+            ..TieredPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TieredPolicy {
+            min_bytes: 0,
+            ..TieredPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn tiered_compaction_spares_segments_of_a_different_tier() {
+        let dir = temp_dir("tiered-spare");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 1)).unwrap();
+        let records = filters(64, 128);
+        // One big segment …
+        store.insert_batch(&records[..60]).unwrap();
+        store.flush().unwrap();
+        // … plus two tiny ones: with min_bytes small enough to separate
+        // them into different tiers, only the tiny tier merges.
+        store.insert_batch(&records[60..62]).unwrap();
+        store.flush().unwrap();
+        store.insert_batch(&records[62..]).unwrap();
+        store.flush().unwrap();
+        let policy = TieredPolicy {
+            min_segments: 2,
+            growth: 4,
+            min_bytes: 256,
+        };
+        let outcome = store.compact_tiered(&policy).unwrap();
+        assert_eq!(outcome.merged_segments, 2, "only the small tier merges");
+        assert_eq!(outcome.records_rewritten, 4);
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.persisted_records, 64);
+        assert_eq!(stats.segments, 2, "big segment + merged small segment");
+        reclaim(&outcome.obsolete).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

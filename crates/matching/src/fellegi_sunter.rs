@@ -19,9 +19,10 @@ use pprl_core::error::{PprlError, Result};
 /// // Agreement patterns of candidate pairs (no labels needed).
 /// let mut patterns = vec![vec![true, true, true]; 20]; // look like matches
 /// patterns.extend(vec![vec![false, false, true]; 80]); // look like non-matches
-/// let model = FellegiSunter::fit_em(&patterns, 30, 0.2).unwrap();
-/// assert!(model.posterior(&[true, true, true]).unwrap()
-///     > model.posterior(&[false, false, true]).unwrap());
+/// let model = FellegiSunter::fit_em(&patterns, 30, 0.2)?;
+/// assert!(model.posterior(&[true, true, true])?
+///     > model.posterior(&[false, false, true])?);
+/// # Ok::<(), pprl_core::error::PprlError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct FellegiSunter {

@@ -214,9 +214,9 @@ impl StreamingLinker {
         self.clusterer.clusters()
     }
 
-    /// Inserts one record from `party`, matching it against the current
-    /// index first.
-    pub fn insert(&mut self, party: u32, record: &Record) -> Result<InsertOutcome> {
+    /// Validates and encodes one arriving record to its CLK filter and
+    /// blocking key.
+    fn encode_one(&self, record: &Record) -> Result<(BitVec, String)> {
         if record.values.len() != self.schema.len() {
             return Err(PprlError::shape(
                 format!("{} values", self.schema.len()),
@@ -234,17 +234,21 @@ impl StreamingLinker {
             ));
         };
         let key = self.blocking.extract(&ds)?.pop().expect("one key");
+        Ok((filter, key))
+    }
 
-        // Compare within the record's block, via the candidate source.
-        let probes = Probes {
-            keys: Some(std::slice::from_ref(&key)),
-            ..Probes::default()
-        };
-        let mut matches = Vec::new();
+    /// Scores `rows` against `filter`, appending matches at or above the
+    /// threshold. Returns comparisons performed.
+    fn score_rows(
+        &self,
+        filter: &BitVec,
+        rows: impl IntoIterator<Item = usize>,
+        matches: &mut Vec<StreamMatch>,
+    ) -> Result<usize> {
         let mut comparisons = 0usize;
-        for (_, row) in self.blocks.candidates(&probes)? {
+        for row in rows {
             comparisons += 1;
-            let s = dice_bits(&filter, &self.filters[row])?;
+            let s = dice_bits(filter, &self.filters[row])?;
             if s >= self.threshold {
                 matches.push(StreamMatch {
                     existing: self.refs[row],
@@ -252,19 +256,29 @@ impl StreamingLinker {
                 });
             }
         }
+        Ok(comparisons)
+    }
+
+    /// Clusters and stores an encoded record, completing an insert.
+    fn commit(
+        &mut self,
+        party: u32,
+        filter: BitVec,
+        key: &str,
+        mut matches: Vec<StreamMatch>,
+        comparisons: usize,
+    ) -> Result<InsertOutcome> {
         matches.sort_by(|x, y| {
             y.similarity
                 .partial_cmp(&x.similarity)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-
-        // Insert into the index and the incremental clustering.
         let row = self.filters.len();
         let rref = RecordRef::new(party, row);
         let edges: Vec<(RecordRef, f64)> =
             matches.iter().map(|m| (m.existing, m.similarity)).collect();
         let cluster = self.clusterer.add(rref, &edges)?;
-        self.blocks.push_target(&key, row);
+        self.blocks.push_target(key, row);
         self.filters.push(filter);
         self.refs.push(rref);
         Ok(InsertOutcome {
@@ -273,6 +287,92 @@ impl StreamingLinker {
             comparisons,
             cluster,
         })
+    }
+
+    /// Inserts one record from `party`, matching it against the current
+    /// index first.
+    pub fn insert(&mut self, party: u32, record: &Record) -> Result<InsertOutcome> {
+        let (filter, key) = self.encode_one(record)?;
+
+        // Compare within the record's block, via the candidate source.
+        let probes = Probes {
+            keys: Some(std::slice::from_ref(&key)),
+            ..Probes::default()
+        };
+        let candidate_rows: Vec<usize> = self
+            .blocks
+            .candidates(&probes)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect();
+        let mut matches = Vec::new();
+        let comparisons = self.score_rows(&filter, candidate_rows, &mut matches)?;
+        self.commit(party, filter, &key, matches, comparisons)
+    }
+
+    /// Inserts one record, generating candidates for the already-flushed
+    /// rows from a **persistent index** instead of the in-memory blocks —
+    /// the other half of the index-backed streaming story next to
+    /// [`StreamingLinker::flush_to_index`]: the linker no longer needs
+    /// its full history in memory to match against it.
+    ///
+    /// `index` is any [`CandidateSource`] over an index this linker
+    /// flushed to (typically `pprl_index::IndexBackend` opened on that
+    /// directory, or a served snapshot). Candidate ids are decoded by the
+    /// `party << 32 | row` contract of [`flush_to_index`]; rows the
+    /// linker never flushed are rejected as a typed error rather than
+    /// silently matched. Rows inserted *after* the last flush are not in
+    /// the index yet, so they are still probed via the in-memory blocks —
+    /// together the two paths cover exactly the linker's history.
+    ///
+    /// The caller configures the source's own candidate policy (top-k,
+    /// score floor); a floor above this linker's threshold will drop
+    /// matches [`StreamingLinker::insert`] would have found.
+    ///
+    /// [`flush_to_index`]: StreamingLinker::flush_to_index
+    pub fn insert_via(
+        &mut self,
+        party: u32,
+        record: &Record,
+        index: &mut dyn CandidateSource,
+    ) -> Result<InsertOutcome> {
+        let (filter, key) = self.encode_one(record)?;
+
+        // Flushed rows: candidates from the persistent index.
+        let filter_refs = [&filter];
+        let pairs = index.candidates(&Probes::from_filters(&filter_refs))?;
+        let mut indexed_rows = Vec::with_capacity(pairs.len());
+        for (_, id) in pairs {
+            let row = id & 0xffff_ffff;
+            if row >= self.indexed_rows {
+                return Err(PprlError::invalid(
+                    "index",
+                    format!(
+                        "candidate id {id} does not decode to a flushed linker row \
+                         (row {row}, {} flushed)",
+                        self.indexed_rows
+                    ),
+                ));
+            }
+            indexed_rows.push(row);
+        }
+        let mut matches = Vec::new();
+        let mut comparisons = self.score_rows(&filter, indexed_rows, &mut matches)?;
+
+        // Unflushed tail: still only in memory, probe the blocks.
+        let probes = Probes {
+            keys: Some(std::slice::from_ref(&key)),
+            ..Probes::default()
+        };
+        let tail_rows: Vec<usize> = self
+            .blocks
+            .candidates(&probes)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .filter(|&row| row >= self.indexed_rows)
+            .collect();
+        comparisons += self.score_rows(&filter, tail_rows, &mut matches)?;
+        self.commit(party, filter, &key, matches, comparisons)
     }
 
     /// Serialises the linker's mutable state (filters, blocking index,
@@ -608,6 +708,111 @@ mod tests {
         let hits = reader.top_k(&l.filters[15], 1, 2).unwrap();
         assert_eq!(hits[0].id, (1u64 << 32) | 15);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_via_persistent_index_matches_in_memory_insert() {
+        use pprl_index::backend::IndexBackend;
+        use pprl_index::store::{IndexConfig, IndexStore};
+        let dir = std::env::temp_dir().join("pprl-streaming-insert-via");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = generator(9);
+        let mut indexed = linker();
+        let mut memory = linker();
+        let mut originals = Vec::new();
+        for id in 0..20 {
+            let r = g.entity(id);
+            indexed.insert(0, &r).unwrap();
+            memory.insert(0, &r).unwrap();
+            originals.push(r);
+        }
+        let flen = RecordEncoderConfig::person_clk(b"stream-key".to_vec())
+            .params
+            .len;
+        let mut store = IndexStore::create(&dir, IndexConfig::new(flen, 4)).unwrap();
+        assert_eq!(indexed.flush_to_index(&mut store).unwrap(), 20);
+        // One record arrives after the flush: only the in-memory tail
+        // knows it.
+        let late = g.entity(50);
+        indexed.insert(0, &late).unwrap();
+        memory.insert(0, &late).unwrap();
+        drop(store);
+        let mut backend = IndexBackend::open(&dir, 64, 0.0, 1).unwrap();
+
+        // A duplicate of a flushed entity: found through the index, and
+        // every match the blocking-only linker finds is found here too,
+        // with the identical similarity.
+        let dup = g.corrupt_record(&originals[3]);
+        let via = indexed.insert_via(1, &dup, &mut backend).unwrap();
+        let plain = memory.insert(1, &dup).unwrap();
+        assert!(
+            via.matches.iter().any(|m| m.existing.row == 3),
+            "flushed duplicate not found via index: {:?}",
+            via.matches
+        );
+        for m in &plain.matches {
+            assert!(
+                via.matches.contains(m),
+                "in-memory match {m:?} missing from insert_via: {:?}",
+                via.matches
+            );
+        }
+        assert_eq!(via.cluster, plain.cluster);
+
+        // A duplicate of the unflushed record: only the tail path can
+        // find it (row 20 >= indexed_rows).
+        let late_dup = g.corrupt_record(&late);
+        let via = indexed.insert_via(1, &late_dup, &mut backend).unwrap();
+        assert!(
+            via.matches.iter().any(|m| m.existing.row == 20),
+            "unflushed tail record not matched: {:?}",
+            via.matches
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_via_rejects_foreign_index() {
+        use pprl_index::backend::IndexBackend;
+        use pprl_index::store::{IndexConfig, IndexStore};
+        let dir = std::env::temp_dir().join("pprl-streaming-insert-via-foreign");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut g = generator(10);
+        // The index holds 8 rows, but this linker only ever flushed 5:
+        // candidate ids 5..8 cannot be resolved to local filters.
+        let mut other = linker();
+        for id in 0..8 {
+            other.insert(0, &g.entity(id)).unwrap();
+        }
+        let flen = RecordEncoderConfig::person_clk(b"stream-key".to_vec())
+            .params
+            .len;
+        let mut store = IndexStore::create(&dir, IndexConfig::new(flen, 4)).unwrap();
+        other.flush_to_index(&mut store).unwrap();
+        drop(store);
+        let own_dir = std::env::temp_dir().join("pprl-streaming-insert-via-own");
+        let _ = std::fs::remove_dir_all(&own_dir);
+        let mut g2 = generator(10);
+        let mut local = linker();
+        for id in 0..5 {
+            local.insert(0, &g2.entity(id)).unwrap();
+        }
+        let mut own = IndexStore::create(&own_dir, IndexConfig::new(flen, 4)).unwrap();
+        local.flush_to_index(&mut own).unwrap();
+        drop(own);
+        // Probing the *foreign* index surfaces rows 5..8 the local linker
+        // cannot resolve — a typed error, not a silent wrong match.
+        let probe = g2.entity(6);
+        let mut backend = IndexBackend::open(&dir, 64, 0.0, 1).unwrap();
+        let err = local.insert_via(0, &probe, &mut backend).unwrap_err();
+        assert!(
+            matches!(err, PprlError::InvalidParameter { name: "index", .. }),
+            "{err}"
+        );
+        // The failed insert must not have half-committed anything.
+        assert_eq!(local.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&own_dir).unwrap();
     }
 
     #[test]

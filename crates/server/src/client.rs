@@ -1,0 +1,134 @@
+//! A blocking client for the `pprl-server` wire protocol.
+
+use crate::wire::{read_payload, write_payload, Incoming, Request, Response, StatsReport};
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use pprl_index::query::Hit;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A connected client. One request is in flight at a time; the
+/// connection persists across requests.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| PprlError::Transport(format!("connecting to {addr}: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| PprlError::Transport(format!("configuring socket: {e}")))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| PprlError::Transport(format!("configuring socket: {e}")))?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying up to `attempts` times with `delay` between
+    /// tries — for racing a server that is still binding its port.
+    pub fn connect_retry(addr: &str, attempts: u32, delay: Duration) -> Result<Client> {
+        let mut last = PprlError::Transport(format!("no attempt made connecting to {addr}"));
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last)
+    }
+
+    /// Sends one request and reads one response. `Busy` and
+    /// `ServerError` replies are surfaced as typed errors here so the
+    /// typed helpers below only see their success shape.
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        write_payload(&mut self.stream, &request.encode())?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            if std::time::Instant::now() >= deadline {
+                return Err(PprlError::Timeout(
+                    "no response from server within 60 s".into(),
+                ));
+            }
+            match read_payload(&mut self.stream)? {
+                Incoming::Payload(p) => {
+                    return match Response::decode(&p)? {
+                        Response::Busy { retry_after_ms } => Err(PprlError::Timeout(format!(
+                            "server busy; retry after {retry_after_ms} ms"
+                        ))),
+                        Response::ServerError { message } => Err(PprlError::ProtocolError(
+                            format!("server rejected request: {message}"),
+                        )),
+                        other => Ok(other),
+                    };
+                }
+                Incoming::TimedOut => continue, // server still working
+                Incoming::Eof => {
+                    return Err(PprlError::Transport(
+                        "server closed the connection before responding".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn unexpected(got: &Response) -> PprlError {
+        PprlError::Transport(format!("unexpected response type: {got:?}"))
+    }
+
+    /// Top-k Dice query for one filter.
+    pub fn query(&mut self, filter: &BitVec, k: usize) -> Result<Vec<Hit>> {
+        let resp = self.call(&Request::Query {
+            filter: filter.clone(),
+            k: k as u32,
+        })?;
+        match resp {
+            Response::Hits(hits) => Ok(hits),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Batch link: per-probe top-k hits at or above `min_score`.
+    pub fn link(&mut self, probes: &[BitVec], k: usize, min_score: f64) -> Result<Vec<Vec<Hit>>> {
+        let resp = self.call(&Request::Link {
+            probes: probes.to_vec(),
+            k: k as u32,
+            min_score,
+        })?;
+        match resp {
+            Response::LinkHits(hits) => Ok(hits),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Appends records; returns `(count, new generation)`.
+    pub fn insert(&mut self, records: &[(u64, BitVec)]) -> Result<(u32, u64)> {
+        let resp = self.call(&Request::Insert {
+            records: records.to_vec(),
+        })?;
+        match resp {
+            Response::Inserted { count, generation } => Ok((count, generation)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's stats surface.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down; resolves once `Bye` arrives.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `pprl-server`: a concurrent linkage query service over the
+//! persistent `pprl-index` store — std-only, like the rest of the
+//! workspace.
+//!
+//! The survey's Big-Data axis is volume *and velocity*: deployed PPRL
+//! answers a stream of link queries against an ever-growing encoded
+//! database. This crate turns the offline index into that service:
+//!
+//! - [`wire`] — a framed, FNV-1a-checksummed request/response protocol
+//!   with typed [`pprl_core::error::PprlError::Transport`] errors;
+//! - [`pool`] — a bounded connection queue with explicit backpressure
+//!   (`Busy {retry_after}`), never unbounded buffering;
+//! - [`snapshot`] — generation-tagged snapshot isolation: queries pin an
+//!   immutable reader while writes install the next generation, and
+//!   superseded segment files are reclaimed only once readers drain;
+//! - [`service`] — queries, batch link, durable insert, background
+//!   size-tiered compaction, and an LRU result cache keyed by
+//!   (generation, filter bits, k);
+//! - [`metrics`] — lock-free counters and a fixed-bucket latency
+//!   histogram behind the `STATS` wire command;
+//! - [`server`] / [`client`] — the TCP front end and its blocking
+//!   counterpart.
+//!
+//! ```no_run
+//! use pprl_server::server::{serve, ServerConfig};
+//! use pprl_server::client::Client;
+//! # fn main() -> pprl_core::error::Result<()> {
+//! let handle = serve(std::path::Path::new("idx"), "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(&handle.addr().to_string())?;
+//! let stats = client.stats()?;
+//! assert_eq!(stats.generation, 0);
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+pub mod service;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use service::{LinkageService, ServiceConfig};
+pub use wire::StatsReport;

@@ -1,0 +1,321 @@
+//! The TCP front end: accept loop, bounded worker pool, sessions, and
+//! the background maintenance thread.
+//!
+//! One connection is one job. The acceptor never blocks the world: the
+//! listener is non-blocking and polls the shutdown flag; a connection
+//! that does not fit in the bounded queue is answered immediately with
+//! `Busy {retry_after}` and closed — the server's memory use is bounded
+//! by `workers + queue_capacity` sessions no matter the offered load.
+//! Workers poll the queue with a short timeout, and session sockets
+//! carry a short read timeout, so every thread observes a shutdown
+//! request within ~100 ms without any platform-specific socket tricks.
+
+use crate::pool::BoundedQueue;
+use crate::service::{LinkageService, ServiceConfig};
+use crate::wire::{read_payload, write_payload, Incoming, Request, Response};
+use pprl_core::error::{PprlError, Result};
+use pprl_index::store::TieredPolicy;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long blocked reads/pops wait before re-checking the shutdown
+/// flag. Bounds shutdown latency; invisible to throughput.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving sessions.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; overflow is rejected with
+    /// `Busy` rather than buffered.
+    pub queue_capacity: usize,
+    /// Threads fanned out per top-k scan.
+    pub query_threads: usize,
+    /// Result-cache capacity in entries (0 disables).
+    pub cache_capacity: usize,
+    /// Back-off hint sent with `Busy` rejections, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Interval between background compaction steps; `None` disables
+    /// the maintenance thread entirely.
+    pub compact_interval: Option<Duration>,
+    /// Size-tiered compaction policy for the maintenance thread.
+    pub tiered: TieredPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 32,
+            query_threads: 1,
+            cache_capacity: 256,
+            retry_after_ms: 50,
+            compact_interval: Some(Duration::from_millis(500)),
+            tiered: TieredPolicy::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(PprlError::invalid("workers", "must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(PprlError::invalid("queue_capacity", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a session needs, shared across threads.
+struct ServerContext {
+    service: Arc<LinkageService>,
+    shutdown: Arc<AtomicBool>,
+    workers: u32,
+    queue_capacity: u32,
+    retry_after_ms: u32,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown_now`] or send a `Shutdown` request.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    service: Arc<LinkageService>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process inspection and tests).
+    pub fn service(&self) -> &Arc<LinkageService> {
+        &self.service
+    }
+
+    /// True once a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests an orderly shutdown without waiting for it.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for every server thread to exit. Returns the service so
+    /// callers can read final stats.
+    pub fn join(self) -> Arc<LinkageService> {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.service
+    }
+
+    /// Requests shutdown and waits for it to complete.
+    pub fn shutdown_now(self) -> Arc<LinkageService> {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+/// Opens the index at `dir` and serves it on `addr` (e.g.
+/// `"127.0.0.1:0"` to bind an ephemeral port). Returns immediately;
+/// the returned handle owns the acceptor, worker, and maintenance
+/// threads.
+pub fn serve(dir: &Path, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
+    config.validate()?;
+    let service = Arc::new(LinkageService::open(
+        dir,
+        ServiceConfig {
+            query_threads: config.query_threads,
+            cache_capacity: config.cache_capacity,
+            tiered: config.tiered,
+        },
+    )?);
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| PprlError::Transport(format!("binding {addr}: {e}")))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| PprlError::Transport(format!("resolving bound address: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| PprlError::Transport(format!("setting listener non-blocking: {e}")))?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let context = Arc::new(ServerContext {
+        service: Arc::clone(&service),
+        shutdown: Arc::clone(&shutdown),
+        workers: config.workers as u32,
+        queue_capacity: config.queue_capacity as u32,
+        retry_after_ms: config.retry_after_ms,
+    });
+
+    let mut threads = Vec::with_capacity(config.workers + 2);
+    for _ in 0..config.workers {
+        let queue = Arc::clone(&queue);
+        let context = Arc::clone(&context);
+        threads.push(std::thread::spawn(move || worker_loop(&queue, &context)));
+    }
+    {
+        let queue = Arc::clone(&queue);
+        let context = Arc::clone(&context);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &queue, &context);
+        }));
+    }
+    if let Some(interval) = config.compact_interval {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            maintenance_loop(&service, &shutdown, interval);
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        shutdown,
+        service,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, context: &ServerContext) {
+    while !context.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                if let Err(mut rejected) = queue.try_push(stream) {
+                    crate::metrics::Metrics::add(&context.service.metrics.busy_rejected, 1);
+                    let busy = Response::Busy {
+                        retry_after_ms: context.retry_after_ms,
+                    };
+                    let _ = write_payload(&mut rejected, &busy.encode());
+                    // Dropping the stream closes the rejected connection.
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Stop producers; workers drain what's queued, then exit.
+    queue.close();
+}
+
+fn worker_loop(queue: &BoundedQueue<TcpStream>, context: &ServerContext) {
+    loop {
+        match queue.pop_timeout(POLL_INTERVAL) {
+            Some(stream) => handle_session(stream, context),
+            None => {
+                if context.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn maintenance_loop(service: &LinkageService, shutdown: &AtomicBool, interval: Duration) {
+    let slice = Duration::from_millis(20);
+    'outer: loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shutdown.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        // Compaction is best-effort maintenance: a failed step (e.g. a
+        // transient I/O error) must not kill the serving path; the next
+        // tick retries. reclaim_drained runs inside compact_step.
+        let _ = service.compact_step();
+    }
+    let _ = service.reclaim_drained();
+}
+
+/// Serves one connection until EOF, shutdown, or a framing error.
+fn handle_session(mut stream: TcpStream, context: &ServerContext) {
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_payload(&mut stream) {
+            Ok(Incoming::TimedOut) => continue,
+            Ok(Incoming::Eof) => return,
+            Ok(Incoming::Payload(payload)) => {
+                let response = match Request::decode(&payload) {
+                    Ok(Request::Shutdown) => {
+                        let _ = write_payload(&mut stream, &Response::Bye.encode());
+                        context.shutdown.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    // The frame was checksum-intact, so the stream is
+                    // still in sync: report the bad body, keep serving.
+                    Err(e) => Response::ServerError {
+                        message: e.to_string(),
+                    },
+                    Ok(request) => dispatch(request, context),
+                };
+                if write_payload(&mut stream, &response.encode()).is_err() {
+                    return; // peer went away mid-response
+                }
+            }
+            Err(e) => {
+                // Framing is broken (bad checksum / truncation): the
+                // byte stream can no longer be trusted, so answer
+                // best-effort and drop the connection.
+                let err = Response::ServerError {
+                    message: e.to_string(),
+                };
+                let _ = write_payload(&mut stream, &err.encode());
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch(request: Request, context: &ServerContext) -> Response {
+    let service = &context.service;
+    let result = match request {
+        Request::Query { filter, k } => service.query(&filter, k as usize).map(Response::Hits),
+        Request::Link {
+            probes,
+            k,
+            min_score,
+        } => service
+            .link(&probes, k as usize, min_score)
+            .map(Response::LinkHits),
+        Request::Insert { records } => {
+            service
+                .insert(&records)
+                .map(|generation| Response::Inserted {
+                    count: records.len() as u32,
+                    generation,
+                })
+        }
+        Request::Stats => Ok(Response::Stats(
+            service.stats_report(context.workers, context.queue_capacity),
+        )),
+        Request::Shutdown => unreachable!("handled by the session loop"),
+    };
+    result.unwrap_or_else(|e| Response::ServerError {
+        message: e.to_string(),
+    })
+}

@@ -1,0 +1,187 @@
+//! Snapshot isolation for index reads.
+//!
+//! The server never queries the [`pprl_index::IndexStore`] directly.
+//! Instead a [`SnapshotHub`] holds the current [`Snapshot`] — an
+//! immutable in-memory [`IndexReader`] tagged with a monotonically
+//! increasing generation. Queries *pin* the current snapshot (clone the
+//! `Arc`) and keep using it for their whole lifetime; installs (after an
+//! insert or a compaction's atomic manifest swap) replace the current
+//! `Arc` without touching pinned ones. A reader therefore always sees
+//! one consistent generation — never a half-swapped manifest — and never
+//! blocks on, or is blocked by, the writer.
+//!
+//! Reclamation is the second half of the contract: compaction rewrites
+//! segment files but must not delete the superseded ones while any
+//! pinned snapshot of an older generation might still exist. The hub
+//! keeps `(Weak<Snapshot>, obsolete files)` pairs in install order and
+//! [`SnapshotHub::reclaim_drained`] deletes files only for prefix
+//! entries whose snapshots have fully dropped — oldest first, stopping
+//! at the first still-live generation so files are removed strictly in
+//! retirement order.
+
+use pprl_core::error::Result;
+use pprl_index::query::IndexReader;
+use pprl_index::store::reclaim;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, Weak};
+
+/// One immutable, queryable view of the index.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic generation number (0 for the snapshot built at open).
+    pub generation: u64,
+    /// The in-memory reader serving this generation.
+    pub reader: IndexReader,
+}
+
+/// Retired generation awaiting drain: the snapshot (weakly held) and the
+/// segment files its supersession made obsolete.
+#[derive(Debug)]
+struct Retired {
+    snapshot: Weak<Snapshot>,
+    obsolete: Vec<PathBuf>,
+}
+
+/// Publishes snapshots to readers and reclaims superseded files.
+#[derive(Debug)]
+pub struct SnapshotHub {
+    current: Mutex<Arc<Snapshot>>,
+    retired: Mutex<VecDeque<Retired>>,
+}
+
+impl SnapshotHub {
+    /// Creates a hub serving `reader` as generation 0.
+    pub fn new(reader: IndexReader) -> Self {
+        SnapshotHub {
+            current: Mutex::new(Arc::new(Snapshot {
+                generation: 0,
+                reader,
+            })),
+            retired: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pins the current snapshot. The caller may hold it for as long as
+    /// it likes; installs never invalidate it.
+    pub fn pin(&self) -> Arc<Snapshot> {
+        self.current.lock().expect("snapshot lock").clone()
+    }
+
+    /// Generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.pin().generation
+    }
+
+    /// Atomically installs `reader` as the next generation, retiring the
+    /// previous snapshot together with the segment files (`obsolete`)
+    /// its supersession made reclaimable. Returns the new generation.
+    pub fn install(&self, reader: IndexReader, obsolete: Vec<PathBuf>) -> u64 {
+        let mut current = self.current.lock().expect("snapshot lock");
+        let next = Arc::new(Snapshot {
+            generation: current.generation + 1,
+            reader,
+        });
+        let old = std::mem::replace(&mut *current, next.clone());
+        self.retired
+            .lock()
+            .expect("retired lock")
+            .push_back(Retired {
+                snapshot: Arc::downgrade(&old),
+                obsolete,
+            });
+        drop(old); // may or may not be the last strong ref; readers decide
+        next.generation
+    }
+
+    /// Retired generations whose files have not been reclaimed yet.
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().expect("retired lock").len()
+    }
+
+    /// Deletes obsolete files of every *drained* retired generation —
+    /// oldest first, stopping at the first generation still pinned by a
+    /// reader. Returns how many files were removed. Safe to call from
+    /// the maintenance thread at any time.
+    pub fn reclaim_drained(&self) -> Result<usize> {
+        let mut removed = 0usize;
+        let mut retired = self.retired.lock().expect("retired lock");
+        while let Some(front) = retired.front() {
+            if front.snapshot.strong_count() > 0 {
+                break; // a reader still holds this generation
+            }
+            let entry = retired.pop_front().expect("front exists");
+            removed += reclaim(&entry.obsolete)?;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::bitvec::BitVec;
+
+    fn reader_with(ids: &[u64]) -> IndexReader {
+        let records = ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    BitVec::from_positions(32, &[(id as usize) % 32]).unwrap(),
+                )
+            })
+            .collect();
+        IndexReader::new(vec![records], 32).unwrap()
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_installs() {
+        let hub = SnapshotHub::new(reader_with(&[1, 2]));
+        let pinned = hub.pin();
+        assert_eq!(pinned.generation, 0);
+        let g1 = hub.install(reader_with(&[1, 2, 3]), vec![]);
+        assert_eq!(g1, 1);
+        // The pinned snapshot still serves the old view.
+        assert_eq!(pinned.reader.len(), 2);
+        assert_eq!(hub.pin().reader.len(), 3);
+        assert_eq!(hub.generation(), 1);
+    }
+
+    #[test]
+    fn reclaim_waits_for_pinned_readers_and_preserves_order() {
+        let dir = std::env::temp_dir().join(format!("pprl-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f0 = dir.join("gen0.seg");
+        let f1 = dir.join("gen1.seg");
+        std::fs::write(&f0, b"old0").unwrap();
+        std::fs::write(&f1, b"old1").unwrap();
+
+        let hub = SnapshotHub::new(reader_with(&[1]));
+        let pinned_g0 = hub.pin();
+        hub.install(reader_with(&[1, 2]), vec![f0.clone()]);
+        let pinned_g1 = hub.pin();
+        hub.install(reader_with(&[1, 2, 3]), vec![f1.clone()]);
+
+        // Both old generations still pinned: nothing reclaimable.
+        assert_eq!(hub.reclaim_drained().unwrap(), 0);
+        assert!(f0.exists() && f1.exists());
+
+        // Dropping only the *newer* pin must not free the older one's
+        // files: reclamation is strictly oldest-first.
+        drop(pinned_g1);
+        assert_eq!(hub.reclaim_drained().unwrap(), 0);
+        assert!(f0.exists() && f1.exists());
+        assert_eq!(hub.retired_len(), 2);
+
+        // Dropping the oldest pin drains both retired generations.
+        drop(pinned_g0);
+        assert_eq!(hub.reclaim_drained().unwrap(), 2);
+        assert!(!f0.exists() && !f1.exists());
+        assert_eq!(hub.retired_len(), 0);
+
+        // Idempotent once drained.
+        assert_eq!(hub.reclaim_drained().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

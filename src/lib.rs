@@ -6,9 +6,10 @@
 //! complexity-reduction technologies (`blocking`), classification and
 //! clustering (`matching`), linkage protocols (`protocols`), privacy
 //! attacks (`attacks`), synthetic data generation (`datagen`), evaluation
-//! metrics and tuning (`eval`), end-to-end pipelines (`pipeline`), and a
+//! metrics and tuning (`eval`), end-to-end pipelines (`pipeline`), a
 //! persistent sharded filter store with a concurrent query engine
-//! (`index`).
+//! (`index`), and a concurrent TCP linkage query service over that
+//! store (`server`).
 //!
 //! ## Quickstart
 //!
@@ -43,4 +44,5 @@ pub use pprl_index as index;
 pub use pprl_matching as matching;
 pub use pprl_pipeline as pipeline;
 pub use pprl_protocols as protocols;
+pub use pprl_server as server;
 pub use pprl_similarity as similarity;
