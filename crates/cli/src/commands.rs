@@ -158,12 +158,32 @@ pub fn link_cmd(mut args: Args) -> CmdResult {
 pub fn dedup_cmd(mut args: Args) -> CmdResult {
     let input = args.require("input").map_err(fail)?;
     let threshold: f64 = args.parse_or("threshold", 0.85).map_err(fail)?;
+    let backend = args.get_or("backend", "memory");
+    let index_dir = args.get("index-dir");
+    let top_k: usize = args.parse_or("top-k", 10).map_err(fail)?;
+    let key = args.get_or("key", "local-dedup");
+    let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
     let output = args.get("output");
     args.finish().map_err(fail)?;
 
     let ds = read_dataset(&input)?;
     let mut cfg = DedupConfig::standard();
+    cfg.encoder = RecordEncoderConfig::person_clk(key.into_bytes());
     cfg.threshold = threshold;
+    cfg.threads = threads;
+    match backend.as_str() {
+        "memory" => {}
+        "index" => {
+            let Some(dir) = index_dir else {
+                return Err("--backend index needs --index-dir".into());
+            };
+            cfg.blocking = BlockingChoice::Index(IndexSourceConfig {
+                dir: dir.into(),
+                top_k,
+            });
+        }
+        other => return Err(format!("unknown backend `{other}` (memory|index)")),
+    }
     let out = deduplicate(&ds, &cfg).map_err(fail)?;
     println!(
         "{}: {} records, {} duplicate clusters ({} rows removable), {} comparisons",
@@ -710,9 +730,14 @@ COMMANDS:
             in memory; --json emits machine-readable stats (source,
             candidates, comparisons saved, bytes read, pairs)
 
-  dedup     --input A.csv [--threshold F] [--output clean.csv]
+  dedup     --input A.csv [--threshold F] [--backend memory|index]
+            [--index-dir IDX] [--top-k K] [--key SECRET] [--threads N]
+            [--output clean.csv]
             find internal duplicate clusters; optionally materialise
-            the deduplicated dataset
+            the deduplicated dataset; --backend index self-joins
+            through a pre-built persistent index of the same dataset
+            (build it with `pprl index build` and the same --key,
+            default local-dedup)
 
   encode    --input A.csv --key SECRET --output clks.csv
             encode records to CLK Bloom filters (hex)
@@ -825,6 +850,52 @@ mod tests {
         let c = std::fs::read_to_string(&clks).unwrap();
         assert!(c.starts_with("row,clk_hex"));
         assert_eq!(c.lines().count(), 121); // header + 120 rows
+    }
+
+    #[test]
+    fn dedup_via_index_backend() {
+        let input = tmp("dedup-src.csv");
+        let other = tmp("dedup-other.csv");
+        let idx = tmp("dedup-idx");
+        let _ = std::fs::remove_dir_all(&idx);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {input} --out-b {other} --size 60 --overlap 20 --seed 11"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Index the dataset under the dedup encoder key, then self-join
+        // through it. Missing --index-dir must be a clean usage error.
+        index_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "build --dir {idx} --input {input} --key local-dedup"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = dedup_cmd(
+            Args::parse(&raw(&format!("dedup --input {input} --backend index")), &[]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--index-dir"), "{err}");
+        dedup_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "dedup --input {input} --backend index --index-dir {idx} --top-k 60 --threads 2"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&idx).ok();
     }
 
     #[test]

@@ -135,6 +135,44 @@ impl BitVec {
         }
     }
 
+    /// Number of `u64` words backing a vector of `len` bits.
+    #[inline]
+    pub const fn words_for_len(len: usize) -> usize {
+        len.div_ceil(WORD_BITS)
+    }
+
+    /// The backing words, little-endian bit order (bit `i` is bit
+    /// `i % 64` of word `i / 64`). Trailing bits of the last word are
+    /// guaranteed zero, so word-level popcounts are exact.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a vector from backing words as produced by
+    /// [`BitVec::as_words`]. The word count must match `len` and bits
+    /// beyond `len` must be zero (the tail invariant).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Self> {
+        if words.len() != Self::words_for_len(len) {
+            return Err(PprlError::shape(
+                format!("{} words for {len} bits", Self::words_for_len(len)),
+                format!("{} words", words.len()),
+            ));
+        }
+        let v = BitVec { words, len };
+        let rem = len % WORD_BITS;
+        if rem != 0 {
+            if let Some(&last) = v.words.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return Err(PprlError::ValueError(
+                        "word-backed bit vector has bits set beyond its length".into(),
+                    ));
+                }
+            }
+        }
+        Ok(v)
+    }
+
     /// Number of set bits.
     #[inline]
     pub fn count_ones(&self) -> usize {
@@ -482,6 +520,23 @@ mod tests {
         let v = BitVec::from_positions(10, &[0, 1, 2, 3, 4]).unwrap();
         assert!((v.fill_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(BitVec::zeros(0).fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn words_round_trip_and_reject_tail_bits() {
+        let v = BitVec::from_positions(100, &[0, 63, 64, 99]).unwrap();
+        assert_eq!(v.as_words().len(), BitVec::words_for_len(100));
+        let back = BitVec::from_words(v.as_words().to_vec(), 100).unwrap();
+        assert_eq!(back, v);
+        // Wrong word count.
+        assert!(BitVec::from_words(vec![0u64; 3], 100).is_err());
+        // A bit set beyond `len` violates the tail invariant.
+        let mut words = v.as_words().to_vec();
+        words[1] |= 1u64 << 40; // bit 104 of a 100-bit vector
+        assert!(BitVec::from_words(words, 100).is_err());
+        // Word-aligned lengths have no tail to validate.
+        let w = BitVec::ones(128);
+        assert_eq!(BitVec::from_words(w.as_words().to_vec(), 128).unwrap(), w);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Columnar filter arena: one shard slot's filters as a flat word array.
+//!
+//! Instead of a `Vec<BitVec>` (one heap allocation and pointer chase per
+//! record), an arena stores every filter back-to-back in a single
+//! contiguous `Vec<u64>` with a fixed words-per-filter `stride`, plus
+//! parallel `ids` and `popcounts` arrays. Rows are sorted ascending by
+//! `(popcount, id)`, so any contiguous row range supports the same
+//! popcount-based Dice upper-bound reasoning as the old per-record
+//! layout, and the scan kernel walks memory strictly linearly. Row `i`'s
+//! words are `words[i * stride .. (i + 1) * stride]`; four consecutive
+//! rows form one block for the batched `and_count4` kernel.
+
+use crate::format::storage_err;
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::Result;
+
+/// A popcount-sorted, flat columnar store of equal-length filters.
+#[derive(Debug, Default)]
+pub struct FilterArena {
+    /// Words per filter (`BitVec::words_for_len(filter_len)`).
+    stride: usize,
+    /// Filter length in bits.
+    filter_len: usize,
+    /// All filter words, row-major: row `i` at `i*stride..(i+1)*stride`.
+    words: Vec<u64>,
+    /// Record ids, parallel to rows.
+    ids: Vec<u64>,
+    /// Filter popcounts, parallel to rows, ascending.
+    popcounts: Vec<u32>,
+}
+
+impl FilterArena {
+    /// Builds an arena from `(id, filter)` records, sorting rows by
+    /// `(popcount, id)`. Every filter must have `filter_len` bits.
+    pub fn from_records(records: Vec<(u64, BitVec)>, filter_len: usize) -> Result<FilterArena> {
+        let stride = BitVec::words_for_len(filter_len);
+        let mut rows = Vec::with_capacity(records.len());
+        for (id, filter) in records {
+            if filter.len() != filter_len {
+                return Err(storage_err(format!(
+                    "record {id} has {} bits, arena expects {filter_len}",
+                    filter.len()
+                )));
+            }
+            rows.push((filter.count_ones() as u32, id, filter));
+        }
+        rows.sort_by_key(|&(pc, id, _)| (pc, id));
+        let mut words = Vec::with_capacity(rows.len() * stride);
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut popcounts = Vec::with_capacity(rows.len());
+        for (pc, id, filter) in rows {
+            words.extend_from_slice(filter.as_words());
+            ids.push(id);
+            popcounts.push(pc);
+        }
+        Ok(FilterArena {
+            stride,
+            filter_len,
+            words,
+            ids,
+            popcounts,
+        })
+    }
+
+    /// Number of rows (records).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Words per filter row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Filter length in bits.
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// Row `i`'s filter words.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The whole word array (row-major).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Record id of row `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Popcount of row `i`'s filter.
+    #[inline]
+    pub fn popcount(&self, i: usize) -> u32 {
+        self.popcounts[i]
+    }
+
+    /// All row popcounts (ascending).
+    #[inline]
+    pub fn popcounts(&self) -> &[u32] {
+        &self.popcounts
+    }
+
+    /// Smallest popcount in the arena (`None` when empty).
+    pub fn pc_min(&self) -> Option<u32> {
+        self.popcounts.first().copied()
+    }
+
+    /// Largest popcount in the arena (`None` when empty).
+    pub fn pc_max(&self) -> Option<u32> {
+        self.popcounts.last().copied()
+    }
+
+    /// Approximate heap footprint in bytes (words + ids + popcounts).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8 + self.ids.len() * 8 + self.popcounts.len() * 4
+    }
+
+    /// Reconstructs row `i` as an owned `(id, BitVec)` pair.
+    pub fn get(&self, i: usize) -> Result<(u64, BitVec)> {
+        let filter = BitVec::from_words(self.row(i).to_vec(), self.filter_len)?;
+        Ok((self.ids[i], filter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::error::PprlError;
+    use pprl_core::rng::SplitMix64;
+
+    fn random_records(n: usize, len: usize, seed: u64) -> Vec<(u64, BitVec)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                let ones: Vec<usize> = (0..len)
+                    .filter(|_| rng.next_u64().is_multiple_of(3))
+                    .collect();
+                (i as u64, BitVec::from_positions(len, &ones).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rows_are_popcount_sorted_and_round_trip() {
+        let records = random_records(60, 100, 9);
+        let arena = FilterArena::from_records(records.clone(), 100).unwrap();
+        assert_eq!(arena.len(), 60);
+        assert_eq!(arena.stride(), 2);
+        assert_eq!(arena.words().len(), 120);
+        let mut prev = (0u32, 0u64);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..arena.len() {
+            let key = (arena.popcount(i), arena.id(i));
+            assert!(i == 0 || key > prev, "rows not sorted at {i}");
+            prev = key;
+            let (id, filter) = arena.get(i).unwrap();
+            let original = &records.iter().find(|(rid, _)| *rid == id).unwrap().1;
+            assert_eq!(&filter, original, "row {i} round-trip");
+            assert_eq!(arena.popcount(i) as usize, original.count_ones());
+            seen.insert(id);
+        }
+        assert_eq!(seen.len(), 60, "every record present exactly once");
+        assert_eq!(arena.pc_min(), Some(arena.popcount(0)));
+        assert_eq!(arena.pc_max(), Some(arena.popcount(59)));
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_handles_empty() {
+        let err = FilterArena::from_records(vec![(0, BitVec::zeros(32))], 64).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        let arena = FilterArena::from_records(Vec::new(), 64).unwrap();
+        assert!(arena.is_empty());
+        assert_eq!(arena.pc_min(), None);
+        assert_eq!(arena.pc_max(), None);
+    }
+}

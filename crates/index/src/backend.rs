@@ -7,20 +7,16 @@
 //! built by inserting dataset B row-by-row (`id = row`) yields pairs
 //! directly comparable to any in-memory source over the same dataset.
 //!
-//! Candidates come from the exact top-k Dice query engine, filtered to
-//! `score ≥ min_score`. Because the engine is exact, the emitted pairs
-//! are precisely the k nearest stored records per probe at or above the
-//! threshold — no false dismissals within k.
-//!
-//! The reader is built lazily on the first probe batch, restricted to the
-//! popcount range any probe could match at `min_score` (the Dice length
-//! bound), so segments whose manifest popcount bounds fall outside the
-//! range are never read. Later batches widen the range and rebuild only
-//! if they actually need records outside what is loaded.
+//! Candidates come from the exact batched top-k Dice engine
+//! ([`IndexReader::top_k_batch`]): each probe batch walks the columnar
+//! arenas once for all probes together, and the `min_score` bound is
+//! pushed down so a segment no probe can reach (by popcount or band-key
+//! summary) is never read from disk at all. Because the engine is exact,
+//! the emitted pairs are precisely the k nearest stored records per
+//! probe at or above the threshold — no false dismissals within k.
 
 use crate::query::IndexReader;
 use crate::store::{IndexStore, ReadStats};
-use pprl_blocking::filtering::dice_length_bounds;
 use pprl_core::candidate::{CandidatePair, CandidateSource, Probes, SourceStats};
 use pprl_core::error::{PprlError, Result};
 use std::path::Path;
@@ -28,22 +24,19 @@ use std::path::Path;
 /// A [`CandidateSource`] over a persistent [`IndexStore`].
 #[derive(Debug)]
 pub struct IndexBackend {
-    store: IndexStore,
-    reader: Option<IndexReader>,
-    /// Popcount range the current reader covers.
-    built_range: (usize, usize),
+    reader: IndexReader,
     target_len: usize,
     top_k: usize,
     min_score: f64,
     threads: usize,
     stats: SourceStats,
-    read_stats: ReadStats,
 }
 
 impl IndexBackend {
     /// Opens the index at `dir` as a candidate source emitting up to
     /// `top_k` neighbours per probe with Dice score ≥ `min_score`,
-    /// querying with up to `threads` worker threads.
+    /// querying with up to `threads` worker threads. Segment files load
+    /// lazily, on the first probe batch that actually needs them.
     pub fn open(dir: &Path, top_k: usize, min_score: f64, threads: usize) -> Result<IndexBackend> {
         if top_k == 0 {
             return Err(PprlError::invalid("top_k", "must be at least 1"));
@@ -53,57 +46,20 @@ impl IndexBackend {
         }
         let store = IndexStore::open(dir)?;
         let target_len = store.record_count()?;
+        let reader = store.lazy_reader()?;
         Ok(IndexBackend {
-            store,
-            reader: None,
-            built_range: (0, 0),
+            reader,
             target_len,
             top_k,
             min_score,
             threads: threads.max(1),
             stats: SourceStats::default(),
-            read_stats: ReadStats::default(),
         })
     }
 
     /// What the backend has read from (and pruned out of) storage so far.
     pub fn read_stats(&self) -> ReadStats {
-        self.read_stats
-    }
-
-    /// Popcount range probes with counts in `[pc_lo, pc_hi]` could match
-    /// at `min_score`. The Dice length bounds are monotone in the count,
-    /// so the union over the probe batch is `[lo(pc_lo), hi(pc_hi)]`.
-    fn match_range(&self, pc_lo: usize, pc_hi: usize) -> Result<(usize, usize)> {
-        if self.min_score <= 0.0 {
-            return Ok((0, usize::MAX));
-        }
-        let (lo, _) = dice_length_bounds(pc_lo, self.min_score)?;
-        let (_, hi) = dice_length_bounds(pc_hi, self.min_score)?;
-        Ok((lo, hi))
-    }
-
-    /// Ensures the loaded reader covers popcounts `[lo, hi]`, building or
-    /// widening (union with what is already covered) as needed.
-    fn ensure_reader(&mut self, lo: usize, hi: usize) -> Result<&IndexReader> {
-        let covered = self
-            .reader
-            .as_ref()
-            .is_some_and(|_| self.built_range.0 <= lo && hi <= self.built_range.1);
-        if !covered {
-            let (lo, hi) = if self.reader.is_some() {
-                (lo.min(self.built_range.0), hi.max(self.built_range.1))
-            } else {
-                (lo, hi)
-            };
-            let (reader, rs) = self.store.reader_for_popcounts(lo, hi)?;
-            self.read_stats.bytes_read += rs.bytes_read;
-            self.read_stats.segments_read += rs.segments_read;
-            self.read_stats.segments_skipped += rs.segments_skipped;
-            self.reader = Some(reader);
-            self.built_range = (lo, hi);
-        }
-        Ok(self.reader.as_ref().expect("reader just ensured"))
+        self.reader.read_stats()
     }
 }
 
@@ -121,28 +77,18 @@ impl CandidateSource for IndexBackend {
         if filters.is_empty() {
             return Ok(Vec::new());
         }
-        let (mut pc_lo, mut pc_hi) = (usize::MAX, 0usize);
-        for f in filters {
-            let pc = f.count_ones();
-            pc_lo = pc_lo.min(pc);
-            pc_hi = pc_hi.max(pc);
-        }
-        let (lo, hi) = self.match_range(pc_lo, pc_hi)?;
-        let (top_k, min_score, threads) = (self.top_k, self.min_score, self.threads);
-        let reader = self.ensure_reader(lo, hi)?;
+        let per_probe =
+            self.reader
+                .top_k_batch(filters, self.top_k, self.threads, Some(self.min_score))?;
         let mut pairs = Vec::new();
-        for (row, filter) in filters.iter().enumerate() {
-            for hit in reader.top_k(filter, top_k, threads)? {
-                if hit.score >= min_score {
-                    pairs.push((row, hit.id as usize));
-                }
-            }
+        for (row, hits) in per_probe.into_iter().enumerate() {
+            pairs.extend(hits.into_iter().map(|hit| (row, hit.id as usize)));
         }
         pairs.sort_unstable();
         pairs.dedup();
         self.stats
             .record_call(filters.len(), self.target_len, pairs.len());
-        self.stats.bytes_read = self.read_stats.bytes_read;
+        self.stats.bytes_read = self.reader.read_stats().bytes_read;
         Ok(pairs)
     }
 
@@ -248,8 +194,8 @@ mod tests {
     }
 
     #[test]
-    fn reader_widens_when_later_batch_needs_more() {
-        let dir = temp_dir("widen");
+    fn lazy_reader_loads_only_segments_probes_can_reach() {
+        let dir = temp_dir("lazy");
         // Sparse and dense targets land in segments with disjoint bounds.
         let mut targets = Vec::new();
         for i in 0..6usize {
@@ -274,19 +220,27 @@ mod tests {
         drop(store);
 
         let mut backend = IndexBackend::open(&dir, 2, 0.6, 1).unwrap();
-        // A sparse probe prunes the dense segment.
+        assert_eq!(
+            backend.read_stats().segments_read,
+            0,
+            "opening reads no segments"
+        );
+        // A sparse probe cannot reach the dense segment at 0.6: it stays
+        // unread on disk.
         let sparse = BitVec::from_positions(128, &[0, 12]).unwrap();
         let refs = vec![&sparse];
         backend.candidates(&Probes::from_filters(&refs)).unwrap();
         assert_eq!(backend.read_stats().segments_skipped, 1);
+        assert_eq!(backend.read_stats().segments_read, 1);
         let bytes_after_first = backend.read_stats().bytes_read;
-        // A dense probe forces the reader to widen and load the rest.
+        // A dense probe needs the dense segment, which loads on demand.
         let ones: Vec<usize> = (0..60).map(|k| k * 2 % 128).collect();
         let dense = BitVec::from_positions(128, &ones).unwrap();
         let refs = vec![&dense];
         let pairs = backend.candidates(&Probes::from_filters(&refs)).unwrap();
         assert!(!pairs.is_empty(), "dense probe finds dense targets");
         assert!(backend.read_stats().bytes_read > bytes_after_first);
+        assert_eq!(backend.read_stats().segments_skipped, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -25,12 +25,18 @@
 //!
 //! Records are routed to shards by a Hamming-LSH band key (reused from
 //! `pprl-blocking`), which keeps Hamming-similar filters co-located.
-//! Queries answer exact top-k Dice similarity: per shard the candidate
-//! list is sorted by filter cardinality (popcount) and scanned outward
-//! from the query's own popcount, pruning with the Dice upper bound
-//! `2·min(q,x)/(q+x)` — a lossless early exit, so results are bit-exact
-//! against a brute-force scan. Shards are fanned out over
-//! `std::thread::scope` workers.
+//! In memory each segment is a columnar [`arena::FilterArena`]: one
+//! flat fixed-stride `Vec<u64>` of filter words sorted by `(popcount,
+//! id)`, with parallel id and popcount arrays — scanned by the unrolled
+//! slice kernels in `pprl-similarity` (4-row blocks score a whole query
+//! batch per block load). Queries answer exact top-k Dice similarity:
+//! segments whose popcount range or band-key Bloom summary (manifest
+//! v3) proves a score ceiling below the running k-th score are skipped
+//! — and with [`store::IndexStore::lazy_reader`] never even read from
+//! disk — while surviving arenas are walked with per-block Dice
+//! upper-bound cutoffs `2·min(q,x)/(q+x)`. All pruning is lossless:
+//! results are bit-exact against a brute-force scan. Slots are split
+//! into sub-ranges and fanned out over `std::thread::scope` workers.
 //!
 //! ```
 //! use pprl_core::bitvec::BitVec;
@@ -53,11 +59,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod backend;
 pub mod format;
 pub mod manifest;
 pub mod query;
 pub mod segment;
 pub mod store;
+pub mod summary;
 
 pub use backend::IndexBackend;

@@ -2,51 +2,66 @@
 //! on-disk index.
 //!
 //! The manifest records the index configuration (filter geometry, shard
-//! count, LSH routing parameters), the next segment id to allocate, and
-//! which segment files belong to which shard. It is rewritten atomically
-//! (write to `MANIFEST.tmp`, then rename) so a crash mid-update leaves
-//! either the old or the new manifest, never a torn one. Layout:
+//! count, LSH routing parameters, band-key summary geometry), the next
+//! segment id to allocate, and which segment files belong to which
+//! shard. It is rewritten atomically (write to `MANIFEST.tmp`, then
+//! rename) so a crash mid-update leaves either the old or the new
+//! manifest, never a torn one. Version-3 layout:
 //!
 //! ```text
-//! magic    u32   "PMF1"
-//! version  u16   2
-//! flen     u32   filter length in bits
-//! shards   u32   number of shards
-//! lsh_seed u64   Hamming-LSH routing seed
-//! lsh_bits u32   bits per LSH band key
-//! next_seg u64   next segment id to allocate
-//! segs     u32   number of segment entries
+//! magic      u32   "PMF1"
+//! version    u16   3
+//! flen       u32   filter length in bits
+//! shards     u32   number of shards
+//! lsh_seed   u64   Hamming-LSH routing seed
+//! lsh_bits   u32   bits per LSH band key
+//! sum_tables u16   band-key summary tables (0 = summaries disabled)
+//! sum_bits   u16   sampled positions per summary table
+//! next_seg   u64   next segment id to allocate
+//! segs       u32   number of segment entries
+//! entry_len  u32   total bytes of the entry region (entries vary in size)
 //! entry × segs:
-//!   shard  u32
-//!   seg_id u64
-//!   pc_min u32   smallest filter popcount in the segment
-//!   pc_max u32   largest filter popcount in the segment
-//! fnv1a    u64   checksum of everything above
+//!   shard     u32
+//!   seg_id    u64
+//!   pc_min    u32   smallest filter popcount in the segment
+//!   pc_max    u32   largest filter popcount in the segment
+//!   sum_words u32   Bloom words following (0 = no summary stored)
+//!   words     sum_words × u64
+//! fnv1a      u64   checksum of everything above
 //! ```
 //!
-//! The per-segment popcount bounds enable segment-level pruning: a
-//! threshold query whose Dice length bounds cannot intersect
-//! `[pc_min, pc_max]` skips the segment without reading it (see
-//! `IndexStore::reader_for_popcounts`). Version-1 manifests (no bounds)
-//! still decode; their entries get the never-prune sentinel
-//! `[0, u32::MAX]`.
+//! The per-segment popcount bounds enable length pruning (a threshold
+//! query whose Dice length bounds cannot intersect `[pc_min, pc_max]`
+//! skips the segment) and the per-segment band-key Bloom summary enables
+//! *content* pruning (see [`crate::summary`]) — both before the segment
+//! file is ever read. Version-1 manifests (no bounds) and version-2
+//! manifests (no summaries) still decode; missing bounds become the
+//! never-prune sentinel `[0, u32::MAX]` and missing summaries decode to
+//! `None` with the summary geometry disabled.
 
 use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
+use crate::summary::{BandKeySummary, SummaryConfig};
 use pprl_core::error::{PprlError, Result};
 use std::path::{Path, PathBuf};
 
 /// Manifest file magic ("PMF1").
 const MANIFEST_MAGIC: u32 = 0x3146_4d50;
-/// Current manifest format version (2 = per-segment popcount bounds).
-const MANIFEST_VERSION: u16 = 2;
+/// Current manifest format version (3 = band-key summaries).
+const MANIFEST_VERSION: u16 = 3;
 /// Oldest manifest version still decodable.
 const MANIFEST_VERSION_MIN: u16 = 1;
-/// Fixed bytes before the segment entries.
-const HEADER_LEN: usize = 38;
+/// Fixed bytes before the segment entries (versions 1 and 2).
+const HEADER_LEN_V2: usize = 38;
+/// Fixed bytes before the segment entries (version 3).
+const HEADER_LEN_V3: usize = 46;
 /// Bytes per segment entry in version 1 (shard + seg_id).
 const ENTRY_LEN_V1: usize = 12;
 /// Bytes per segment entry in version 2 (+ popcount min/max).
 const ENTRY_LEN_V2: usize = 20;
+/// Fixed bytes per version-3 entry before the variable Bloom words.
+const ENTRY_FIXED_V3: usize = 24;
+/// Largest admissible per-segment summary, in u64 words (16 KiB).
+const MAX_SUMMARY_WORDS: usize = 131_072 / 64;
 
 /// Manifest file name inside an index directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -62,17 +77,21 @@ pub struct IndexConfig {
     pub lsh_seed: u64,
     /// Sampled bits per LSH band key used for routing.
     pub lsh_bits: u32,
+    /// Band-key summary geometry (disabled when `tables == 0`).
+    pub summary: SummaryConfig,
 }
 
 impl IndexConfig {
     /// Configuration with default routing parameters (seed 0x5eed,
-    /// 16-bit band keys).
+    /// 16-bit band keys) and the default summary geometry when the
+    /// filter is long enough to support it.
     pub fn new(filter_len: usize, num_shards: u32) -> Self {
         IndexConfig {
             filter_len,
             num_shards,
             lsh_seed: 0x5eed,
             lsh_bits: 16,
+            summary: SummaryConfig::for_filter_len(filter_len),
         }
     }
 
@@ -87,12 +106,25 @@ impl IndexConfig {
         if self.lsh_bits == 0 {
             return Err(PprlError::invalid("lsh_bits", "must be positive"));
         }
+        if self.summary.enabled() {
+            if self.summary.bits > 64 {
+                return Err(PprlError::invalid("summary.bits", "must be at most 64"));
+            }
+            let need = self.summary.tables as usize * self.summary.bits as usize;
+            if self.filter_len < need {
+                return Err(PprlError::invalid(
+                    "summary",
+                    "tables × bits exceeds the filter length",
+                ));
+            }
+        }
         Ok(())
     }
 }
 
-/// One catalogued segment: its shard, id and filter-popcount range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One catalogued segment: its shard, id, filter-popcount range and
+/// optional band-key Bloom summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentEntry {
     /// Owning shard.
     pub shard: u32,
@@ -102,6 +134,9 @@ pub struct SegmentEntry {
     pub pc_min: u32,
     /// Largest filter popcount stored in the segment.
     pub pc_max: u32,
+    /// Band-key Bloom summary over the segment's filters, when the index
+    /// was built with summaries enabled.
+    pub summary: Option<BandKeySummary>,
 }
 
 impl SegmentEntry {
@@ -139,44 +174,69 @@ impl Manifest {
         self.segments
             .iter()
             .filter(|e| e.shard == shard)
-            .copied()
+            .cloned()
             .collect()
     }
 
-    /// Serialises the manifest to its file image.
+    /// Serialises the manifest to its (version 3) file image.
     pub fn encode(&self) -> Result<Vec<u8>> {
         let flen = u32::try_from(self.config.filter_len)
             .map_err(|_| PprlError::invalid("filter_len", "exceeds u32 bits"))?;
         let segs = u32::try_from(self.segments.len())
             .map_err(|_| PprlError::invalid("segments", "catalogue exceeds u32 entries"))?;
-        let mut out = Vec::with_capacity(HEADER_LEN + self.segments.len() * ENTRY_LEN_V2 + 8);
+        let mut entry_bytes = 0usize;
+        for entry in &self.segments {
+            let words = entry.summary.as_ref().map_or(0, |s| s.words().len());
+            if words > MAX_SUMMARY_WORDS {
+                return Err(PprlError::invalid(
+                    "summary",
+                    "segment summary exceeds the size cap",
+                ));
+            }
+            entry_bytes += ENTRY_FIXED_V3 + words * 8;
+        }
+        let entry_bytes_u32 = u32::try_from(entry_bytes)
+            .map_err(|_| PprlError::invalid("segments", "entry region exceeds u32 bytes"))?;
+        let mut out = Vec::with_capacity(HEADER_LEN_V3 + entry_bytes + 8);
         out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
         out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         out.extend_from_slice(&flen.to_le_bytes());
         out.extend_from_slice(&self.config.num_shards.to_le_bytes());
         out.extend_from_slice(&self.config.lsh_seed.to_le_bytes());
         out.extend_from_slice(&self.config.lsh_bits.to_le_bytes());
+        out.extend_from_slice(&self.config.summary.tables.to_le_bytes());
+        out.extend_from_slice(&self.config.summary.bits.to_le_bytes());
         out.extend_from_slice(&self.next_segment_id.to_le_bytes());
         out.extend_from_slice(&segs.to_le_bytes());
+        out.extend_from_slice(&entry_bytes_u32.to_le_bytes());
         for entry in &self.segments {
             out.extend_from_slice(&entry.shard.to_le_bytes());
             out.extend_from_slice(&entry.id.to_le_bytes());
             out.extend_from_slice(&entry.pc_min.to_le_bytes());
             out.extend_from_slice(&entry.pc_max.to_le_bytes());
+            match &entry.summary {
+                None => out.extend_from_slice(&0u32.to_le_bytes()),
+                Some(s) => {
+                    out.extend_from_slice(&(s.words().len() as u32).to_le_bytes());
+                    for w in s.words() {
+                        out.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
         }
         append_checksum(&mut out);
         Ok(out)
     }
 
-    /// Parses and verifies a manifest file image.
+    /// Parses and verifies a manifest file image (versions 1–3).
     pub fn decode(bytes: &[u8]) -> Result<Manifest> {
-        if bytes.len() < HEADER_LEN + 8 {
+        if bytes.len() < HEADER_LEN_V2 + 8 {
             return Err(storage_err(format!(
                 "manifest too short: {} bytes",
                 bytes.len()
             )));
         }
-        let mut header = Reader::new(&bytes[..HEADER_LEN], "manifest header");
+        let mut header = Reader::new(bytes, "manifest header");
         let magic = header.u32()?;
         if magic != MANIFEST_MAGIC {
             return Err(storage_err(format!(
@@ -189,24 +249,37 @@ impl Manifest {
                 "unsupported manifest version {version}"
             )));
         }
-        let entry_len = if version == 1 {
-            ENTRY_LEN_V1
-        } else {
-            ENTRY_LEN_V2
-        };
         let filter_len = header.u32()? as usize;
         let num_shards = header.u32()?;
         let lsh_seed = header.u64()?;
         let lsh_bits = header.u32()?;
+        // v1/v2 manifests predate summaries: geometry decodes disabled.
+        let summary = if version >= 3 {
+            SummaryConfig {
+                tables: header.u16()?,
+                bits: header.u16()?,
+            }
+        } else {
+            SummaryConfig::DISABLED
+        };
         let next_segment_id = header.u64()?;
         let segs = header.u32()? as usize;
-        let expected =
-            HEADER_LEN
-                .checked_add(segs.checked_mul(entry_len).ok_or_else(|| {
-                    storage_err(format!("manifest segment count {segs} overflows"))
-                })?)
-                .and_then(|n| n.checked_add(8))
-                .ok_or_else(|| storage_err(format!("manifest segment count {segs} overflows")))?;
+        let entry_bytes = if version >= 3 {
+            header.u32()? as usize
+        } else {
+            let entry_len = if version == 1 {
+                ENTRY_LEN_V1
+            } else {
+                ENTRY_LEN_V2
+            };
+            segs.checked_mul(entry_len)
+                .ok_or_else(|| storage_err(format!("manifest segment count {segs} overflows")))?
+        };
+        let header_len = header.pos();
+        let expected = header_len
+            .checked_add(entry_bytes)
+            .and_then(|n| n.checked_add(8))
+            .ok_or_else(|| storage_err("manifest entry region overflows".to_string()))?;
         if bytes.len() != expected {
             return Err(storage_err(format!(
                 "manifest size mismatch: header declares {segs} segment entries \
@@ -215,7 +288,7 @@ impl Manifest {
             )));
         }
         let body = checked_body(bytes, "manifest")?;
-        let mut r = Reader::new(&body[HEADER_LEN..], "manifest entries");
+        let mut r = Reader::new(&body[header_len..], "manifest entries");
         let mut segments = Vec::with_capacity(segs);
         for i in 0..segs {
             let shard = r.u32()?;
@@ -237,11 +310,31 @@ impl Manifest {
                     "manifest entry {i}: popcount bounds inverted ({pc_min} > {pc_max})"
                 )));
             }
+            let entry_summary = if version >= 3 {
+                let sum_words = r.u32()? as usize;
+                if sum_words == 0 {
+                    None
+                } else {
+                    if sum_words > MAX_SUMMARY_WORDS || !sum_words.is_power_of_two() {
+                        return Err(storage_err(format!(
+                            "manifest entry {i}: invalid summary size ({sum_words} words)"
+                        )));
+                    }
+                    let mut words = Vec::with_capacity(sum_words);
+                    for _ in 0..sum_words {
+                        words.push(r.u64()?);
+                    }
+                    Some(BandKeySummary::from_words(words))
+                }
+            } else {
+                None
+            };
             segments.push(SegmentEntry {
                 shard,
                 id,
                 pc_min,
                 pc_max,
+                summary: entry_summary,
             });
         }
         r.finish()?;
@@ -250,6 +343,7 @@ impl Manifest {
             num_shards,
             lsh_seed,
             lsh_bits,
+            summary,
         };
         config
             .validate()
@@ -293,6 +387,21 @@ mod tests {
             id,
             pc_min,
             pc_max,
+            summary: None,
+        }
+    }
+
+    fn entry_with_summary(shard: u32, id: u64, pc_min: u32, pc_max: u32) -> SegmentEntry {
+        let mut summary = BandKeySummary::with_capacity(64, 8);
+        for t in 0..8usize {
+            summary.insert(t, id ^ ((t as u64) << 8));
+        }
+        SegmentEntry {
+            shard,
+            id,
+            pc_min,
+            pc_max,
+            summary: Some(summary),
         }
     }
 
@@ -300,9 +409,9 @@ mod tests {
         let mut m = Manifest::new(IndexConfig::new(1000, 4));
         m.next_segment_id = 5;
         m.segments = vec![
-            entry(0, 0, 10, 250),
+            entry_with_summary(0, 0, 10, 250),
             entry(1, 1, 5, 40),
-            entry(0, 2, 100, 300),
+            entry_with_summary(0, 2, 100, 300),
             entry(3, 4, 0, 1000),
         ];
         m
@@ -322,6 +431,8 @@ mod tests {
             vec![0, 2]
         );
         assert!(decoded.shard_segments(2).is_empty());
+        assert!(decoded.segments[0].summary.is_some());
+        assert!(decoded.segments[1].summary.is_none());
     }
 
     #[test]
@@ -337,7 +448,8 @@ mod tests {
 
     #[test]
     fn version_1_manifest_still_decodes_with_sentinel_bounds() {
-        // Hand-build a v1 image: 12-byte entries, version field 1.
+        // Hand-build a v1 image: 12-byte entries, version field 1, no
+        // summary geometry in the header.
         let m = sample();
         let mut out = Vec::new();
         out.extend_from_slice(&0x3146_4d50u32.to_le_bytes());
@@ -354,10 +466,47 @@ mod tests {
         }
         crate::format::append_checksum(&mut out);
         let decoded = Manifest::decode(&out).unwrap();
-        assert_eq!(decoded.config, m.config);
+        // Pre-summary manifests decode with summaries disabled; routing
+        // and geometry fields carry over unchanged.
+        assert_eq!(decoded.config.filter_len, m.config.filter_len);
+        assert_eq!(decoded.config.num_shards, m.config.num_shards);
+        assert_eq!(decoded.config.lsh_seed, m.config.lsh_seed);
+        assert_eq!(decoded.config.lsh_bits, m.config.lsh_bits);
+        assert_eq!(decoded.config.summary, SummaryConfig::DISABLED);
         for (got, want) in decoded.segments.iter().zip(&m.segments) {
             assert_eq!((got.shard, got.id), (want.shard, want.id));
             assert_eq!((got.pc_min, got.pc_max), (0, u32::MAX));
+            assert!(got.summary.is_none());
+        }
+    }
+
+    #[test]
+    fn version_2_manifest_decodes_without_summaries() {
+        // Hand-build a v2 image: 20-byte entries with popcount bounds but
+        // no summary fields.
+        let m = sample();
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x3146_4d50u32.to_le_bytes());
+        out.extend_from_slice(&2u16.to_le_bytes());
+        out.extend_from_slice(&(m.config.filter_len as u32).to_le_bytes());
+        out.extend_from_slice(&m.config.num_shards.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_seed.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_bits.to_le_bytes());
+        out.extend_from_slice(&m.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&(m.segments.len() as u32).to_le_bytes());
+        for e in &m.segments {
+            out.extend_from_slice(&e.shard.to_le_bytes());
+            out.extend_from_slice(&e.id.to_le_bytes());
+            out.extend_from_slice(&e.pc_min.to_le_bytes());
+            out.extend_from_slice(&e.pc_max.to_le_bytes());
+        }
+        crate::format::append_checksum(&mut out);
+        let decoded = Manifest::decode(&out).unwrap();
+        assert_eq!(decoded.config.summary, SummaryConfig::DISABLED);
+        for (got, want) in decoded.segments.iter().zip(&m.segments) {
+            assert_eq!((got.shard, got.id), (want.shard, want.id));
+            assert_eq!((got.pc_min, got.pc_max), (want.pc_min, want.pc_max));
+            assert!(got.summary.is_none());
         }
     }
 
@@ -423,5 +572,17 @@ mod tests {
     fn invalid_config_rejected() {
         assert!(IndexConfig::new(0, 4).validate().is_err());
         assert!(IndexConfig::new(64, 0).validate().is_err());
+        // Summary geometry must fit inside the filter.
+        let mut c = IndexConfig::new(1000, 4);
+        c.summary = SummaryConfig {
+            tables: 100,
+            bits: 16,
+        };
+        assert!(c.validate().is_err());
+        c.summary = SummaryConfig {
+            tables: 2,
+            bits: 65,
+        };
+        assert!(c.validate().is_err());
     }
 }

@@ -1,28 +1,52 @@
-//! Exact top-k Dice queries over the sharded store.
+//! Exact top-k Dice queries over the sharded store, on a columnar scan
+//! kernel.
 //!
-//! Each shard keeps its records sorted by filter cardinality (popcount).
-//! For a query with popcount `q`, the Dice score against a filter with
-//! popcount `x` is bounded above by `ub(x) = 2·min(q, x)/(q + x)`, which
-//! increases on `x ≤ q` and decreases on `x ≥ q`. The scan therefore
-//! starts at the records whose popcount is closest to `q` and expands
-//! outward with two pointers; once the running top-k is full, a direction
-//! stops as soon as its bound drops *below* the current k-th score (a
-//! bound equal to the k-th score must still be scanned because ties are
-//! broken by record id). This early exit is lossless: results are
-//! bit-identical to a brute-force scan using the same `dice_bits` calls.
+//! The reader is a list of *slots*, each one popcount-sorted
+//! [`FilterArena`] (flat `Vec<u64>`, fixed stride, parallel id/popcount
+//! arrays). A slot is either memory-resident from construction or backed
+//! by a segment file that is materialised lazily, on first scan, under a
+//! per-reader load lock — so segments pruned for every query of a
+//! batch are never read at all.
 //!
-//! Work fans out across `std::thread::scope` workers that claim
-//! `(shard, range)` tasks from a shared atomic counter; each worker keeps
-//! its own local top-k and the partial results are merged at the end.
-//! Large shards are split into sub-ranges (each still popcount-sorted, so
-//! the outward scan stays lossless per range), which lets parallelism
-//! scale past `min(threads, shards)` when one shard dominates.
+//! Three pruning layers keep the scan lossless (results are bit-identical
+//! to brute force over the same `dice_bits` arithmetic):
+//!
+//! 1. **Slot popcount bound** — for query popcount `q` and a slot whose
+//!    popcounts span `[pc_min, pc_max]`, no record can beat
+//!    `ub = 2·min(q,x)/(q+x)` at `x = clamp(q, pc_min, pc_max)` (the
+//!    bound is unimodal in `x`, peaked at `x = q`).
+//! 2. **Band-key summary bound** — if the query's band keys miss the
+//!    slot's Bloom summary in every table, the Hamming distance to every
+//!    record is at least `tables`, capping Dice at
+//!    [`no_match_dice_bound`] (see [`crate::summary`]).
+//! 3. **Block popcount bound** — within an arena, every 4-row block is
+//!    checked against the scanning query's current k-th score before its
+//!    words are touched.
+//!
+//! A skip needs `bound < θ` *strictly* — candidates tying the k-th score
+//! must still be scanned because ties break by ascending id. Work fans
+//! out across `std::thread::scope` workers claiming `(slot, range)`
+//! tasks from a shared atomic counter; each worker keeps one local top-k
+//! per query (sound: a candidate below a worker's own k-th score cannot
+//! be in the global top k either) and partial results merge at the end.
+//!
+//! The batched entry point [`IndexReader::top_k_batch`] walks each arena
+//! block once for a whole batch of queries: a block of 4 rows is loaded
+//! and every live query runs [`and_count4`] against it, which is what
+//! `pprl link --backend index`, the server's `Link`, and index-backed
+//! dedup call.
 
+use crate::arena::FilterArena;
 use crate::format::storage_err;
+use crate::segment::read_segment;
+use crate::store::ReadStats;
+use crate::summary::{band_keys, no_match_dice_bound, BandKeySummary};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
-use pprl_similarity::bitvec_sim::dice_bits;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pprl_similarity::kernel::{and_count, and_count4, dice_from_counts};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// One query result: a stored record id and its Dice similarity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,50 +57,162 @@ pub struct Hit {
     pub score: f64,
 }
 
-/// One shard's records, popcount-sorted, with popcounts precomputed.
+/// Where a slot's rows come from.
 #[derive(Debug)]
-struct Shard {
-    /// `(popcount, id, filter)` sorted ascending by `(popcount, id)`.
-    records: Vec<(usize, u64, BitVec)>,
+enum SlotSource {
+    /// Arena resident since construction.
+    Memory,
+    /// Backed by a segment file, materialised on first scan.
+    File {
+        path: PathBuf,
+        shard: u32,
+        seg_id: u64,
+        bytes: u64,
+    },
 }
 
-/// An immutable, in-memory snapshot of an index, ready for queries.
+/// One scannable unit: a (possibly not yet materialised) filter arena
+/// plus everything needed to prune it without reading it.
+#[derive(Debug)]
+struct Slot {
+    /// Row count (known up front, from the file size for lazy slots).
+    rows: usize,
+    /// Smallest filter popcount in the slot.
+    pc_min: usize,
+    /// Largest filter popcount in the slot.
+    pc_max: usize,
+    /// Band-key Bloom summary (file slots of summary-enabled indexes).
+    summary: Option<BandKeySummary>,
+    source: SlotSource,
+    arena: OnceLock<FilterArena>,
+}
+
+/// Constructor input for [`IndexReader::from_specs`].
+#[derive(Debug)]
+pub(crate) enum SlotSpec {
+    /// An in-memory arena (pending records, or an eager build).
+    Memory(FilterArena),
+    /// A segment file to materialise on demand.
+    File {
+        /// Segment file path.
+        path: PathBuf,
+        /// Shard the segment must declare.
+        shard: u32,
+        /// Segment id (for error messages).
+        seg_id: u64,
+        /// File size in bytes (for read accounting).
+        bytes: u64,
+        /// Record count derived from the file size.
+        rows: usize,
+        /// Manifest popcount lower bound.
+        pc_min: usize,
+        /// Manifest popcount upper bound.
+        pc_max: usize,
+        /// Manifest band-key summary, if the index stores them.
+        summary: Option<BandKeySummary>,
+    },
+}
+
+/// An immutable snapshot of an index, ready for queries. Memory-resident
+/// slots are scanned directly; file-backed slots (from
+/// [`crate::store::IndexStore::lazy_reader`]) are read only when some
+/// query's pruning bounds fail to exclude them.
 #[derive(Debug)]
 pub struct IndexReader {
-    shards: Vec<Shard>,
+    slots: Vec<Slot>,
     filter_len: usize,
+    num_shards: usize,
     len: usize,
+    /// Disjoint band-key position tables (empty = summaries disabled).
+    summary_positions: Vec<Vec<usize>>,
+    /// Cumulative bytes read materialising file slots.
+    bytes_read: AtomicU64,
+    /// File slots materialised so far.
+    segments_loaded: AtomicUsize,
+    /// Serialises lazy materialisation so each file is read exactly once.
+    load_lock: Mutex<()>,
 }
 
 impl IndexReader {
-    /// Builds a reader from per-shard record lists. Every filter must
-    /// have length `filter_len`.
+    /// Builds an eager, memory-resident reader from per-shard record
+    /// lists. Every filter must have length `filter_len`.
     pub fn new(shard_records: Vec<Vec<(u64, BitVec)>>, filter_len: usize) -> Result<IndexReader> {
-        let mut len = 0;
-        let mut shards = Vec::with_capacity(shard_records.len());
-        for records in shard_records {
-            let mut rows = Vec::with_capacity(records.len());
-            for (id, filter) in records {
-                if filter.len() != filter_len {
-                    return Err(storage_err(format!(
-                        "record {id} has {} bits, reader expects {filter_len}",
-                        filter.len()
-                    )));
+        let num_shards = shard_records.len();
+        let specs = shard_records
+            .into_iter()
+            .map(|records| {
+                Ok(SlotSpec::Memory(FilterArena::from_records(
+                    records, filter_len,
+                )?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_specs(specs, filter_len, num_shards, Vec::new())
+    }
+
+    /// Builds a reader from slot specs (crate-internal; the public
+    /// constructors are [`IndexReader::new`] and the store's reader
+    /// methods).
+    pub(crate) fn from_specs(
+        specs: Vec<SlotSpec>,
+        filter_len: usize,
+        num_shards: usize,
+        summary_positions: Vec<Vec<usize>>,
+    ) -> Result<IndexReader> {
+        let mut slots = Vec::with_capacity(specs.len());
+        let mut len = 0usize;
+        for spec in specs {
+            let slot = match spec {
+                SlotSpec::Memory(arena) => {
+                    let slot = Slot {
+                        rows: arena.len(),
+                        pc_min: arena.pc_min().unwrap_or(0) as usize,
+                        pc_max: arena.pc_max().unwrap_or(0) as usize,
+                        summary: None,
+                        source: SlotSource::Memory,
+                        arena: OnceLock::new(),
+                    };
+                    slot.arena.set(arena).expect("fresh OnceLock");
+                    slot
                 }
-                rows.push((filter.count_ones(), id, filter));
-            }
-            rows.sort_by_key(|&(pc, id, _)| (pc, id));
-            len += rows.len();
-            shards.push(Shard { records: rows });
+                SlotSpec::File {
+                    path,
+                    shard,
+                    seg_id,
+                    bytes,
+                    rows,
+                    pc_min,
+                    pc_max,
+                    summary,
+                } => Slot {
+                    rows,
+                    pc_min,
+                    pc_max,
+                    summary,
+                    source: SlotSource::File {
+                        path,
+                        shard,
+                        seg_id,
+                        bytes,
+                    },
+                    arena: OnceLock::new(),
+                },
+            };
+            len += slot.rows;
+            slots.push(slot);
         }
         Ok(IndexReader {
-            shards,
+            slots,
             filter_len,
+            num_shards,
             len,
+            summary_positions,
+            bytes_read: AtomicU64::new(0),
+            segments_loaded: AtomicUsize::new(0),
+            load_lock: Mutex::new(()),
         })
     }
 
-    /// Total records across all shards.
+    /// Total records across all slots.
     pub fn len(&self) -> usize {
         self.len
     }
@@ -86,9 +222,9 @@ impl IndexReader {
         self.len == 0
     }
 
-    /// Number of shards.
+    /// Number of shards the underlying index routes across.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.num_shards
     }
 
     /// Filter length in bits.
@@ -96,11 +232,75 @@ impl IndexReader {
         self.filter_len
     }
 
-    /// Iterates every `(id, filter)` in the reader (shard-major order).
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &BitVec)> + '_ {
-        self.shards
+    /// What this reader has read (and avoided reading) so far: lazy
+    /// file-backed slots count as skipped until some scan materialises
+    /// them. Counters are cumulative over the reader's lifetime.
+    pub fn read_stats(&self) -> ReadStats {
+        let segments_skipped = self
+            .slots
             .iter()
-            .flat_map(|s| s.records.iter().map(|(_, id, f)| (*id, f)))
+            .filter(|s| matches!(s.source, SlotSource::File { .. }) && s.arena.get().is_none())
+            .count();
+        ReadStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            segments_read: self.segments_loaded.load(Ordering::Relaxed),
+            segments_skipped,
+        }
+    }
+
+    /// Materialises every file-backed slot (corruption surfaces here).
+    pub fn materialise_all(&self) -> Result<()> {
+        for slot in &self.slots {
+            self.arena(slot)?;
+        }
+        Ok(())
+    }
+
+    /// The slot's arena, loading it from its segment file on first use.
+    fn arena<'a>(&self, slot: &'a Slot) -> Result<&'a FilterArena> {
+        if let Some(arena) = slot.arena.get() {
+            return Ok(arena);
+        }
+        let _guard = self.load_lock.lock().expect("load lock");
+        if let Some(arena) = slot.arena.get() {
+            return Ok(arena);
+        }
+        let SlotSource::File {
+            path,
+            shard,
+            seg_id,
+            bytes,
+        } = &slot.source
+        else {
+            return Err(storage_err("memory slot lost its arena".to_string()));
+        };
+        let seg = read_segment(path)?;
+        if seg.shard != *shard {
+            return Err(storage_err(format!(
+                "segment {seg_id} claims shard {}, manifest says {shard}",
+                seg.shard
+            )));
+        }
+        if seg.filter_len != self.filter_len {
+            return Err(storage_err(format!(
+                "segment {seg_id} has {}-bit filters, index expects {}",
+                seg.filter_len, self.filter_len
+            )));
+        }
+        let records: Vec<(u64, BitVec)> =
+            seg.records.into_iter().map(|r| (r.id, r.filter)).collect();
+        let arena = FilterArena::from_records(records, self.filter_len)?;
+        if arena.len() != slot.rows {
+            return Err(storage_err(format!(
+                "segment {seg_id} decoded {} records, manifest size implies {}",
+                arena.len(),
+                slot.rows
+            )));
+        }
+        self.bytes_read.fetch_add(*bytes, Ordering::Relaxed);
+        self.segments_loaded.fetch_add(1, Ordering::Relaxed);
+        let _ = slot.arena.set(arena);
+        Ok(slot.arena.get().expect("arena just set"))
     }
 
     /// The exact `k` most Dice-similar records to `query`, fanned out
@@ -108,43 +308,75 @@ impl IndexReader {
     /// descending, ties broken by ascending record id, and are
     /// bit-identical to a brute-force scan.
     pub fn top_k(&self, query: &BitVec, k: usize, threads: usize) -> Result<Vec<Hit>> {
-        if query.len() != self.filter_len {
-            return Err(PprlError::shape(
-                format!("{} bits", self.filter_len),
-                format!("{} bits", query.len()),
-            ));
+        let mut results = self.top_k_batch(&[query], k, threads, None)?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
+    /// Exact top-k for a whole batch of queries in one pass: every arena
+    /// block is loaded once and compared against all still-live queries
+    /// via the 4-row [`and_count4`] kernel. With `min_score`, hits below
+    /// it are dropped from the results — equivalently (and bit-for-bit
+    /// identically), the top k among hits scoring at least `min_score` —
+    /// which lets slots whose upper bound cannot reach `min_score` be
+    /// skipped without ever materialising them.
+    pub fn top_k_batch(
+        &self,
+        queries: &[&BitVec],
+        k: usize,
+        threads: usize,
+        min_score: Option<f64>,
+    ) -> Result<Vec<Vec<Hit>>> {
+        for query in queries {
+            if query.len() != self.filter_len {
+                return Err(PprlError::shape(
+                    format!("{} bits", self.filter_len),
+                    format!("{} bits", query.len()),
+                ));
+            }
         }
-        if k == 0 {
+        if let Some(ms) = min_score {
+            if !(0.0..=1.0).contains(&ms) {
+                return Err(PprlError::invalid("min_score", "must be in [0, 1]"));
+            }
+        }
+        if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let q = query.count_ones();
+        if k == 0 {
+            return Ok(vec![Vec::new(); queries.len()]);
+        }
+        let ctxs: Vec<QueryCtx> = queries
+            .iter()
+            .map(|q| QueryCtx {
+                words: q.as_words(),
+                q: q.count_ones(),
+                keys: band_keys(q, &self.summary_positions),
+            })
+            .collect();
         let tasks = self.split_tasks(threads.max(1));
         let workers = threads.max(1).min(tasks.len().max(1));
-        let mut merged = TopK::new(k);
+        let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
         if workers <= 1 {
             for &(si, start, end) in &tasks {
-                scan_range(&self.shards[si].records[start..end], query, q, &mut merged)?;
+                self.scan_task(si, start, end, &ctxs, min_score, &mut merged)?;
             }
         } else {
             let next = AtomicUsize::new(0);
-            let partials: Vec<Result<TopK>> = std::thread::scope(|scope| {
+            let partials: Vec<Result<Vec<TopK>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
                         let tasks = &tasks;
+                        let ctxs = &ctxs;
                         scope.spawn(move || {
-                            let mut local = TopK::new(k);
+                            let mut locals: Vec<TopK> =
+                                (0..ctxs.len()).map(|_| TopK::new(k)).collect();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(&(si, start, end)) = tasks.get(i) else {
-                                    return Ok(local);
+                                    return Ok(locals);
                                 };
-                                scan_range(
-                                    &self.shards[si].records[start..end],
-                                    query,
-                                    q,
-                                    &mut local,
-                                )?;
+                                self.scan_task(si, start, end, ctxs, min_score, &mut locals)?;
                             }
                         })
                     })
@@ -155,29 +387,151 @@ impl IndexReader {
                     .collect()
             });
             for partial in partials {
-                for hit in partial?.heap {
-                    merged.push(hit.0);
+                for (qi, local) in partial?.into_iter().enumerate() {
+                    for hit in local.heap {
+                        merged[qi].push(hit.0);
+                    }
                 }
             }
         }
-        Ok(merged.into_sorted())
+        Ok(merged
+            .into_iter()
+            .map(|top| {
+                let mut hits = top.into_sorted();
+                if let Some(ms) = min_score {
+                    hits.retain(|h| h.score >= ms);
+                }
+                hits
+            })
+            .collect())
     }
 
-    /// Splits shards into `(shard, start, end)` scan tasks. Chunk length
+    /// Best Dice score any record in `slot` could reach against `ctx`:
+    /// the popcount bound at `clamp(q, pc_min, pc_max)`, tightened by the
+    /// band-key summary bound when the query misses every summary table.
+    fn slot_upper_bound(&self, slot: &Slot, ctx: &QueryCtx) -> f64 {
+        let mut ub = dice_upper_bound(ctx.q, ctx.q.clamp(slot.pc_min, slot.pc_max));
+        if !ctx.keys.is_empty() {
+            if let Some(summary) = &slot.summary {
+                if !summary.contains_any(&ctx.keys) {
+                    ub = ub.min(no_match_dice_bound(
+                        ctx.q,
+                        slot.pc_max,
+                        self.summary_positions.len(),
+                    ));
+                }
+            }
+        }
+        ub
+    }
+
+    /// Scans rows `[start, end)` of slot `si` for every query whose
+    /// bounds cannot exclude the slot, pushing into the caller's
+    /// per-query accumulators. Pruned-for-all tasks return without
+    /// materialising the slot.
+    fn scan_task(
+        &self,
+        si: usize,
+        start: usize,
+        end: usize,
+        ctxs: &[QueryCtx],
+        min_score: Option<f64>,
+        locals: &mut [TopK],
+    ) -> Result<()> {
+        let slot = &self.slots[si];
+        // Slot-level pruning, before the segment file is touched: the
+        // static min_score bound plus each query's current k-th score.
+        let mut active: Vec<usize> = Vec::with_capacity(ctxs.len());
+        for (qi, ctx) in ctxs.iter().enumerate() {
+            let ub = self.slot_upper_bound(slot, ctx);
+            if min_score.is_some_and(|ms| ub < ms) {
+                continue;
+            }
+            if locals[qi].threshold().is_some_and(|theta| ub < theta) {
+                continue;
+            }
+            active.push(qi);
+        }
+        if active.is_empty() {
+            return Ok(());
+        }
+        let arena = self.arena(slot)?;
+        let stride = arena.stride();
+        let words = arena.words();
+        // `done[ai]`: this query's bound can only worsen for the rest of
+        // the (popcount-ascending) range, so it stops scanning early.
+        let mut done = vec![false; active.len()];
+        let mut i = start;
+        while i < end {
+            let block_end = end.min(i + 4);
+            let lo = arena.popcount(i) as usize;
+            let hi = arena.popcount(block_end - 1) as usize;
+            if block_end - i == 4 {
+                let rows = &words[i * stride..(i + 4) * stride];
+                for (ai, &qi) in active.iter().enumerate() {
+                    if done[ai] {
+                        continue;
+                    }
+                    let ctx = &ctxs[qi];
+                    let theta = effective_theta(&locals[qi], min_score);
+                    if let Some(theta) = theta {
+                        if dice_upper_bound(ctx.q, ctx.q.clamp(lo, hi)) < theta {
+                            if lo >= ctx.q {
+                                done[ai] = true;
+                            }
+                            continue;
+                        }
+                    }
+                    let counts = and_count4(ctx.words, rows);
+                    for (j, &c) in counts.iter().enumerate() {
+                        let row = i + j;
+                        locals[qi].push(Hit {
+                            id: arena.id(row),
+                            score: dice_from_counts(c, ctx.q, arena.popcount(row) as usize),
+                        });
+                    }
+                }
+            } else {
+                // Tail block (< 4 rows): scalar kernel per row.
+                for (ai, &qi) in active.iter().enumerate() {
+                    if done[ai] {
+                        continue;
+                    }
+                    let ctx = &ctxs[qi];
+                    for row in i..block_end {
+                        let x = arena.popcount(row) as usize;
+                        if let Some(theta) = effective_theta(&locals[qi], min_score) {
+                            if dice_upper_bound(ctx.q, x) < theta {
+                                continue;
+                            }
+                        }
+                        locals[qi].push(Hit {
+                            id: arena.id(row),
+                            score: dice_from_counts(and_count(ctx.words, arena.row(row)), ctx.q, x),
+                        });
+                    }
+                }
+            }
+            i = block_end;
+        }
+        Ok(())
+    }
+
+    /// Splits slots into `(slot, start, end)` scan tasks. Chunk length
     /// scales with the total record count (oversubscribed 4× so workers
-    /// stay busy despite uneven early exits) but never drops below
-    /// [`MIN_SPLIT`], so tiny shards are not shredded into per-record
-    /// tasks. With one worker this degenerates to one task per shard.
+    /// stay busy despite uneven pruning) but never drops below
+    /// [`MIN_SPLIT`], so tiny slots are not shredded into per-record
+    /// tasks. With one worker this degenerates to one task per slot.
     fn split_tasks(&self, workers: usize) -> Vec<(usize, usize, usize)> {
-        let total: usize = self.shards.iter().map(|s| s.records.len()).sum();
+        let total: usize = self.slots.iter().map(|s| s.rows).sum();
         let chunk = if workers <= 1 {
             usize::MAX
         } else {
             MIN_SPLIT.max(total.div_ceil(workers * 4))
         };
         let mut tasks = Vec::new();
-        for (si, shard) in self.shards.iter().enumerate() {
-            let n = shard.records.len();
+        for (si, slot) in self.slots.iter().enumerate() {
+            let n = slot.rows;
             if n == 0 {
                 continue;
             }
@@ -192,55 +546,27 @@ impl IndexReader {
     }
 }
 
-/// Smallest sub-shard scan task; see [`IndexReader::split_tasks`].
-const MIN_SPLIT: usize = 32;
-
-/// Scans one popcount-sorted slice into `top`, expanding outward from the
-/// query popcount with the lossless Dice upper-bound early exit. Any
-/// contiguous range of a popcount-sorted shard is itself popcount-sorted,
-/// so the bound argument holds per range.
-fn scan_range(
-    rows: &[(usize, u64, BitVec)],
-    query: &BitVec,
+/// Per-query scan state: the query's words, popcount and band keys.
+struct QueryCtx<'a> {
+    words: &'a [u64],
     q: usize,
-    top: &mut TopK,
-) -> Result<()> {
-    if rows.is_empty() {
-        return Ok(());
-    }
-    // First row with popcount ≥ q: everything below scans downward,
-    // everything from here scans upward.
-    let split = rows.partition_point(|(pc, _, _)| *pc < q);
-    let mut up = split;
-    while up < rows.len() {
-        let (pc, id, filter) = &rows[up];
-        if let Some(theta) = top.threshold() {
-            if dice_upper_bound(q, *pc) < theta {
-                break; // ub only decreases as popcount grows past q
-            }
-        }
-        top.push(Hit {
-            id: *id,
-            score: dice_bits(query, filter)?,
-        });
-        up += 1;
-    }
-    let mut down = split;
-    while down > 0 {
-        down -= 1;
-        let (pc, id, filter) = &rows[down];
-        if let Some(theta) = top.threshold() {
-            if dice_upper_bound(q, *pc) < theta {
-                break; // ub only decreases as popcount shrinks below q
-            }
-        }
-        top.push(Hit {
-            id: *id,
-            score: dice_bits(query, filter)?,
-        });
-    }
-    Ok(())
+    keys: Vec<u64>,
 }
+
+/// The score a candidate must beat (or tie) to matter for this query:
+/// the local k-th score once the accumulator is full, floored by
+/// `min_score` (sub-threshold hits are dropped from the final result, so
+/// skipping them early is lossless).
+fn effective_theta(top: &TopK, min_score: Option<f64>) -> Option<f64> {
+    match (top.threshold(), min_score) {
+        (Some(t), Some(ms)) => Some(t.max(ms)),
+        (Some(t), None) => Some(t),
+        (None, ms) => ms,
+    }
+}
+
+/// Smallest sub-slot scan task; see [`IndexReader::split_tasks`].
+const MIN_SPLIT: usize = 32;
 
 /// `2·min(q, x)/(q + x)`, the best Dice score any filter with popcount
 /// `x` can reach against a query with popcount `q`. Two empty filters
@@ -327,6 +653,7 @@ impl TopK {
 mod tests {
     use super::*;
     use pprl_core::rng::SplitMix64;
+    use pprl_similarity::bitvec_sim::dice_bits;
 
     fn random_filters(n: usize, len: usize, seed: u64) -> Vec<(u64, BitVec)> {
         let mut rng = SplitMix64::new(seed);
@@ -379,6 +706,51 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_per_query_top_k() {
+        let records = random_filters(250, 128, 13);
+        let reader = IndexReader::new(shard_split(&records, 3), 128).unwrap();
+        let queries = random_filters(17, 128, 31);
+        let probes: Vec<&BitVec> = queries.iter().map(|(_, q)| q).collect();
+        for k in [1, 5, 40] {
+            for threads in [1, 3, 8] {
+                let batched = reader.top_k_batch(&probes, k, threads, None).unwrap();
+                assert_eq!(batched.len(), probes.len());
+                for (qi, probe) in probes.iter().enumerate() {
+                    assert_eq!(
+                        batched[qi],
+                        reader.top_k(probe, k, 1).unwrap(),
+                        "k={k} threads={threads} query={qi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_score_equals_top_k_then_filter() {
+        // Hits at or above min_score always outrank hits below it, so
+        // "top-k then filter" and "filter then top-k" coincide — the
+        // batched path with min_score must be bit-identical to the
+        // unbounded scan with a retain() after it.
+        let records = random_filters(200, 128, 41);
+        let reader = IndexReader::new(shard_split(&records, 2), 128).unwrap();
+        let queries = random_filters(10, 128, 5);
+        let probes: Vec<&BitVec> = queries.iter().map(|(_, q)| q).collect();
+        for ms in [0.0, 0.4, 0.7, 1.0] {
+            for k in [1, 6, 300] {
+                let bounded = reader.top_k_batch(&probes, k, 2, Some(ms)).unwrap();
+                for (qi, probe) in probes.iter().enumerate() {
+                    let mut expected = reader.top_k(probe, k, 1).unwrap();
+                    expected.retain(|h| h.score >= ms);
+                    assert_eq!(bounded[qi], expected, "ms={ms} k={k} query={qi}");
+                }
+            }
+        }
+        let err = reader.top_k_batch(&probes, 3, 1, Some(1.5)).unwrap_err();
+        assert!(matches!(err, PprlError::InvalidParameter { .. }), "{err}");
+    }
+
+    #[test]
     fn exact_match_ranks_first() {
         let records = random_filters(100, 96, 3);
         let reader = IndexReader::new(shard_split(&records, 2), 96).unwrap();
@@ -410,10 +782,11 @@ mod tests {
     }
 
     #[test]
-    fn k_zero_and_wrong_length() {
+    fn k_zero_empty_batch_and_wrong_length() {
         let records = random_filters(10, 64, 1);
         let reader = IndexReader::new(vec![records], 64).unwrap();
         assert!(reader.top_k(&BitVec::zeros(64), 0, 1).unwrap().is_empty());
+        assert!(reader.top_k_batch(&[], 3, 1, None).unwrap().is_empty());
         let err = reader.top_k(&BitVec::zeros(32), 1, 1).unwrap_err();
         assert!(matches!(err, PprlError::ShapeMismatch { .. }), "{err}");
     }
@@ -434,25 +807,25 @@ mod tests {
 
     #[test]
     fn single_shard_splits_into_sub_ranges() {
-        // One big shard, many threads: split_tasks must produce more tasks
-        // than shards so the scan actually parallelises.
+        // One big slot, many threads: split_tasks must produce more tasks
+        // than slots so the scan actually parallelises.
         let records = random_filters(400, 128, 11);
         let reader = IndexReader::new(vec![records.clone()], 128).unwrap();
         let tasks = reader.split_tasks(8);
         assert!(
             tasks.len() > 1,
-            "expected sub-shard splitting, got {tasks:?}"
+            "expected sub-slot splitting, got {tasks:?}"
         );
         assert!(tasks.iter().all(|&(si, s, e)| si == 0 && s < e && e <= 400));
         let covered: usize = tasks.iter().map(|&(_, s, e)| e - s).sum();
-        assert_eq!(covered, 400, "tasks must tile the shard exactly");
+        assert_eq!(covered, 400, "tasks must tile the slot exactly");
     }
 
     #[test]
     fn sub_shard_split_matches_single_thread_scan() {
-        // Regression: the per-range outward scan must stay lossless — the
-        // multi-threaded, sub-shard-split result is bit-identical to the
-        // one-task-per-shard single-thread scan and to brute force.
+        // Regression: per-range pruning must stay lossless — the
+        // multi-threaded, sub-slot-split result is bit-identical to the
+        // one-task-per-slot single-thread scan and to brute force.
         let records = random_filters(500, 128, 23);
         let reader = IndexReader::new(shard_split(&records, 3), 128).unwrap();
         let queries = random_filters(10, 128, 77);
@@ -469,5 +842,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn memory_reader_read_stats_are_zero() {
+        let records = random_filters(20, 64, 3);
+        let reader = IndexReader::new(vec![records], 64).unwrap();
+        let stats = reader.read_stats();
+        assert_eq!(stats.bytes_read, 0);
+        assert_eq!(stats.segments_read, 0);
+        assert_eq!(stats.segments_skipped, 0);
     }
 }

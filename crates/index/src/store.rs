@@ -15,10 +15,12 @@
 //! the manifest's routing seed), so Hamming-similar filters tend to
 //! co-locate and the routing is stable across process restarts.
 
+use crate::arena::FilterArena;
 use crate::format::{fnv1a, io_err, storage_err, Reader};
 use crate::manifest::{segment_path, Manifest, SegmentEntry};
-use crate::query::IndexReader;
-use crate::segment::{read_segment, write_segment};
+use crate::query::{IndexReader, SlotSpec};
+use crate::segment::{read_segment, record_count_for_size, write_segment};
+use crate::summary::{band_keys, summary_positions, BandKeySummary};
 use pprl_blocking::lsh::HammingLsh;
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
@@ -170,6 +172,9 @@ pub struct IndexStore {
     pending: Vec<(u64, BitVec)>,
     /// Cached LSH bit positions (table 0) used for shard routing.
     routing_positions: Vec<usize>,
+    /// Cached disjoint band-key position tables for segment summaries
+    /// (empty when summaries are disabled).
+    band_positions: Vec<Vec<usize>>,
 }
 
 impl IndexStore {
@@ -190,6 +195,7 @@ impl IndexStore {
         Ok(IndexStore {
             dir: dir.to_path_buf(),
             routing_positions: routing_positions(&config)?,
+            band_positions: summary_positions(config.lsh_seed, config.filter_len, config.summary),
             manifest,
             pending: Vec::new(),
         })
@@ -215,6 +221,11 @@ impl IndexStore {
         Ok(IndexStore {
             dir: dir.to_path_buf(),
             routing_positions: routing_positions(&manifest.config)?,
+            band_positions: summary_positions(
+                manifest.config.lsh_seed,
+                manifest.config.filter_len,
+                manifest.config.summary,
+            ),
             manifest,
             pending,
         })
@@ -299,7 +310,8 @@ impl IndexStore {
             new_segments.push(entry_with_bounds(
                 shard as u32,
                 seg_id,
-                records.iter().map(|(_, f)| f.count_ones()),
+                records.iter().map(|(_, f)| *f),
+                &self.band_positions,
             )?);
         }
         self.manifest.next_segment_id += new_segments.len() as u64;
@@ -411,7 +423,12 @@ impl IndexStore {
         let new_id = self.manifest.next_segment_id;
         self.manifest.next_segment_id += 1;
         write_segment(&segment_path(&self.dir, new_id), shard, flen, &refs)?;
-        let entry = entry_with_bounds(shard, new_id, merged.iter().map(|(_, f)| f.count_ones()))?;
+        let entry = entry_with_bounds(
+            shard,
+            new_id,
+            merged.iter().map(|(_, f)| f),
+            &self.band_positions,
+        )?;
         Ok((entry, merged.len()))
     }
 
@@ -454,6 +471,47 @@ impl IndexStore {
         }
         let reader = IndexReader::new(shards, self.manifest.config.filter_len)?;
         Ok((reader, stats))
+    }
+
+    /// A reader that defers segment loading to query time: every segment
+    /// becomes a lazily-materialised slot carrying its manifest popcount
+    /// bounds and band-key summary, so a segment every query of a batch
+    /// can prune (by length, content, or a full top-k) is never read at
+    /// all. Pending records are memory-resident from the start. Unlike
+    /// [`reader`], disk corruption in a pruned segment goes unnoticed
+    /// until some query actually needs it — call
+    /// [`IndexReader::materialise_all`] to force full verification.
+    ///
+    /// [`reader`]: IndexStore::reader
+    pub fn lazy_reader(&self) -> Result<IndexReader> {
+        let flen = self.manifest.config.filter_len;
+        let num_shards = self.manifest.config.num_shards as usize;
+        let mut specs = Vec::with_capacity(self.manifest.segments.len() + num_shards);
+        for entry in &self.manifest.segments {
+            let path = segment_path(&self.dir, entry.id);
+            let bytes = file_size(&path)?;
+            specs.push(SlotSpec::File {
+                path,
+                shard: entry.shard,
+                seg_id: entry.id,
+                bytes,
+                rows: record_count_for_size(bytes, flen),
+                pc_min: entry.pc_min as usize,
+                pc_max: entry.pc_max as usize,
+                summary: entry.summary.clone(),
+            });
+        }
+        let mut shards: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); num_shards];
+        for (id, filter) in &self.pending {
+            shards[self.shard_of(filter)? as usize].push((*id, filter.clone()));
+        }
+        for records in shards {
+            if records.is_empty() {
+                continue;
+            }
+            specs.push(SlotSpec::Memory(FilterArena::from_records(records, flen)?));
+        }
+        IndexReader::from_specs(specs, flen, num_shards, self.band_positions.clone())
     }
 
     /// Total records in the index (segment-resident + pending), derived
@@ -514,17 +572,34 @@ fn routing_positions(config: &IndexConfig) -> Result<Vec<usize>> {
     Ok(lsh.sampled_positions(config.filter_len).swap_remove(0))
 }
 
-/// Builds a manifest entry for a freshly written segment, recording the
-/// min/max popcount of its records so readers can prune it.
-fn entry_with_bounds(
+/// Builds a manifest entry for a freshly written segment: the min/max
+/// popcount of its records (for length pruning) and, when `positions` is
+/// non-empty, a band-key Bloom summary over its filters (for content
+/// pruning).
+fn entry_with_bounds<'a>(
     shard: u32,
     id: u64,
-    popcounts: impl Iterator<Item = usize>,
+    filters: impl ExactSizeIterator<Item = &'a BitVec>,
+    positions: &[Vec<usize>],
 ) -> Result<SegmentEntry> {
+    let mut summary = if positions.is_empty() {
+        None
+    } else {
+        Some(BandKeySummary::with_capacity(
+            filters.len(),
+            positions.len(),
+        ))
+    };
     let (mut lo, mut hi) = (usize::MAX, 0usize);
-    for pc in popcounts {
+    for filter in filters {
+        let pc = filter.count_ones();
         lo = lo.min(pc);
         hi = hi.max(pc);
+        if let Some(summary) = &mut summary {
+            for (table, key) in band_keys(filter, positions).into_iter().enumerate() {
+                summary.insert(table, key);
+            }
+        }
     }
     debug_assert!(lo <= hi, "segments are never empty");
     let bound = |pc: usize, what: &str| {
@@ -535,6 +610,7 @@ fn entry_with_bounds(
         id,
         pc_min: bound(lo, "popcount min")?,
         pc_max: bound(hi, "popcount max")?,
+        summary,
     })
 }
 
@@ -914,6 +990,107 @@ mod tests {
             .unwrap();
         let (with_pending, _) = store.reader_for_popcounts(50, 70).unwrap();
         assert_eq!(with_pending.len(), 6, "dense segment + pending record");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_matches_eager_reader_bit_for_bit() {
+        let dir = temp_dir("lazy-eq");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 2)).unwrap();
+        let records = filters(45, 128);
+        for chunk in records[..40].chunks(10) {
+            store.insert_batch(chunk).unwrap();
+            store.flush().unwrap();
+        }
+        // Leave 5 records pending in the log.
+        store.insert_batch(&records[40..]).unwrap();
+        let eager = store.reader().unwrap();
+        let lazy = store.lazy_reader().unwrap();
+        assert_eq!(lazy.len(), eager.len());
+        assert_eq!(lazy.num_shards(), eager.num_shards());
+        for (_, query) in &records[..10] {
+            for k in [1, 5, 50] {
+                let expected = eager.top_k(query, k, 1).unwrap();
+                assert_eq!(lazy.top_k(query, k, 2).unwrap(), expected, "k={k}");
+                let mut thresholded = expected.clone();
+                thresholded.retain(|h| h.score >= 0.7);
+                assert_eq!(
+                    lazy.top_k_batch(&[query], k, 1, Some(0.7)).unwrap()[0],
+                    thresholded,
+                    "k={k} with min_score"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_defers_segment_reads_and_prunes_by_popcount() {
+        let dir = temp_dir("lazy-prune");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 1)).unwrap();
+        let sparse: Vec<(u64, BitVec)> = (0..5u64)
+            .map(|i| {
+                let ones: Vec<usize> = (0..8).map(|k| (k * 16 + i as usize) % 128).collect();
+                (i, BitVec::from_positions(128, &ones).unwrap())
+            })
+            .collect();
+        let dense: Vec<(u64, BitVec)> = (0..5u64)
+            .map(|i| {
+                let ones: Vec<usize> = (0..64).map(|k| (k * 2 + i as usize) % 128).collect();
+                (100 + i, BitVec::from_positions(128, &ones).unwrap())
+            })
+            .collect();
+        store.insert_batch(&sparse).unwrap();
+        store.flush().unwrap();
+        store.insert_batch(&dense).unwrap();
+        store.flush().unwrap();
+
+        let lazy = store.lazy_reader().unwrap();
+        let fresh = lazy.read_stats();
+        assert_eq!(fresh.segments_read, 0, "nothing read before any query");
+        assert_eq!(fresh.bytes_read, 0);
+        assert_eq!(fresh.segments_skipped, 2);
+
+        // A sparse probe at a high threshold: the dense segment's popcount
+        // upper bound (2·8/(8+64) ≈ 0.22) cannot reach 0.8, so its file is
+        // never opened.
+        let probe = &sparse[0].1;
+        let hits = lazy.top_k_batch(&[probe], 3, 1, Some(0.8)).unwrap();
+        assert_eq!(hits[0][0].id, 0);
+        let stats = lazy.read_stats();
+        assert_eq!(stats.segments_read, 1);
+        assert_eq!(stats.segments_skipped, 1);
+        assert!(stats.bytes_read > 0);
+
+        // Forcing materialisation reads the rest.
+        lazy.materialise_all().unwrap();
+        assert_eq!(lazy.read_stats().segments_read, 2);
+        assert_eq!(lazy.read_stats().segments_skipped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_reader_surfaces_corruption_when_segment_is_needed() {
+        let dir = temp_dir("lazy-corrupt");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(64, 1)).unwrap();
+        store.insert_batch(&filters(8, 64)).unwrap();
+        store.flush().unwrap();
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+        // Constructing the lazy reader succeeds (nothing is read) …
+        let lazy = store.lazy_reader().unwrap();
+        // … but touching the segment is a typed error, not silence.
+        let err = lazy.materialise_all().unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        let err = lazy.top_k(&filters(1, 64)[0].1, 3, 1).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,248 @@
+//! Cross-path equivalence of the columnar scan kernel.
+//!
+//! The correctness bar for the arena rewrite is *bit-for-bit* agreement
+//! with the scalar `BitVec` path at every layer:
+//!
+//! 1. The flat-slice kernels (`and_count`, `and_count4`,
+//!    `dice_from_counts`) must reproduce `BitVec::and_count` /
+//!    `dice_bits` exactly, including all-zero and all-one edges and
+//!    lengths that straddle word boundaries.
+//! 2. A lazy [`IndexReader`] over segment files, the eager store
+//!    reader, and a brute-force scan must return identical `(id,
+//!    score)` hit lists for the same queries.
+//! 3. Band-key summary pruning is an *optimisation only*: an index
+//!    built with summaries enabled must answer every query — at every
+//!    `min_score` — identically to one built with summaries disabled.
+
+use pprl_core::bitvec::BitVec;
+use pprl_index::arena::FilterArena;
+use pprl_index::query::Hit;
+use pprl_index::store::{IndexConfig, IndexStore};
+use pprl_index::summary::SummaryConfig;
+use pprl_similarity::bitvec_sim::dice_bits;
+use pprl_similarity::kernel::{and_count, and_count4, dice_from_counts};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pprl-kernel-eq-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Random filter with roughly `per_mille`/1000 of its bits set.
+fn random_filter(len: usize, per_mille: u64, state: &mut u64) -> BitVec {
+    let mut f = BitVec::zeros(len);
+    for i in 0..len {
+        if splitmix(state) % 1000 < per_mille {
+            f.set(i);
+        }
+    }
+    f
+}
+
+#[test]
+fn slice_kernels_match_bitvec_ops_bit_for_bit() {
+    let mut state = 0xA11CEu64;
+    for len in [1usize, 7, 63, 64, 65, 127, 128, 1000, 1024, 2048] {
+        let mut cases = vec![
+            (BitVec::zeros(len), BitVec::zeros(len)),
+            (BitVec::ones(len), BitVec::ones(len)),
+            (BitVec::zeros(len), BitVec::ones(len)),
+        ];
+        for fill in [50, 300, 900] {
+            cases.push((
+                random_filter(len, fill, &mut state),
+                random_filter(len, fill, &mut state),
+            ));
+        }
+        for (a, b) in &cases {
+            let inter = and_count(a.as_words(), b.as_words());
+            assert_eq!(inter, a.and_count(b), "and_count at len {len}");
+            let fast = dice_from_counts(inter, a.count_ones(), b.count_ones());
+            let exact = dice_bits(a, b).expect("dice");
+            assert!(
+                fast == exact,
+                "dice mismatch at len {len}: {fast} vs {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_kernel_matches_scalar_over_arena_blocks() {
+    let mut state = 0xB10Cu64;
+    for len in [64usize, 500, 1000, 2048] {
+        let records: Vec<(u64, BitVec)> = (0..37)
+            .map(|i| (i, random_filter(len, 100 + 20 * (i % 11), &mut state)))
+            .collect();
+        let arena = FilterArena::from_records(records, len).expect("arena");
+        let stride = arena.stride();
+        let query = random_filter(len, 250, &mut state);
+        let q = query.as_words();
+        let mut i = 0;
+        while i + 4 <= arena.len() {
+            let block = &arena.words()[i * stride..(i + 4) * stride];
+            let counts = and_count4(q, block);
+            for (lane, &count) in counts.iter().enumerate() {
+                assert_eq!(
+                    count,
+                    and_count(q, arena.row(i + lane)),
+                    "lane {lane} of block at row {i}, len {len}"
+                );
+            }
+            i += 4;
+        }
+        // Tail rows go through the scalar kernel; check them against the
+        // original BitVec too (arena rows round-trip exactly).
+        for row in 0..arena.len() {
+            let (_, filter) = arena.get(row).expect("row");
+            assert_eq!(
+                and_count(q, arena.row(row)),
+                query.and_count(&filter),
+                "row {row} at len {len}"
+            );
+        }
+    }
+}
+
+/// Builds a store at `dir` from `records`, flushing in two batches so the
+/// reader sees multiple segment files per shard.
+fn build_store(
+    dir: &std::path::Path,
+    config: IndexConfig,
+    records: &[(u64, BitVec)],
+) -> IndexStore {
+    let mut store = IndexStore::create(dir, config).expect("create");
+    let mid = records.len() / 2;
+    store.insert_batch(&records[..mid]).expect("insert");
+    store.flush().expect("flush");
+    store.insert_batch(&records[mid..]).expect("insert");
+    store.flush().expect("flush");
+    store
+}
+
+fn brute_force(records: &[(u64, BitVec)], query: &BitVec, k: usize, min_score: f64) -> Vec<Hit> {
+    let mut hits: Vec<Hit> = records
+        .iter()
+        .map(|(id, f)| Hit {
+            id: *id,
+            score: dice_bits(query, f).expect("dice"),
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    hits.truncate(k);
+    hits.retain(|h| h.score >= min_score);
+    hits
+}
+
+#[test]
+fn lazy_reader_eager_reader_and_brute_force_agree() {
+    let len = 256; // long enough that summaries are enabled by default
+    let mut state = 0x5EEDu64;
+    let records: Vec<(u64, BitVec)> = (0..180)
+        .map(|i| (i, random_filter(len, 60 + 10 * (i % 30), &mut state)))
+        .collect();
+    let dir = temp_dir("agree");
+    let store = build_store(&dir, IndexConfig::new(len, 4), &records);
+    let eager = store.reader().expect("eager");
+    let lazy = store.lazy_reader().expect("lazy");
+
+    // Queries: members, perturbed members, and foreign filters (likely
+    // full summary misses).
+    let mut queries: Vec<BitVec> = records.iter().step_by(23).map(|(_, f)| f.clone()).collect();
+    for (_, f) in records.iter().step_by(31) {
+        let mut p = f.clone();
+        for _ in 0..8 {
+            p.flip((splitmix(&mut state) % len as u64) as usize);
+        }
+        queries.push(p);
+    }
+    for _ in 0..4 {
+        queries.push(random_filter(len, 80, &mut state));
+    }
+
+    for query in &queries {
+        for k in [1usize, 7, 50, 400] {
+            let expect = brute_force(&records, query, k, 0.0);
+            for threads in [1usize, 3] {
+                let e = eager.top_k(query, k, threads).expect("eager top_k");
+                let l = lazy.top_k(query, k, threads).expect("lazy top_k");
+                assert_eq!(e, expect, "eager k={k} threads={threads}");
+                assert_eq!(l, expect, "lazy k={k} threads={threads}");
+            }
+        }
+    }
+
+    // One batched columnar scan over all queries must equal the
+    // per-query answers exactly.
+    let refs: Vec<&BitVec> = queries.iter().collect();
+    let batch = lazy.top_k_batch(&refs, 9, 2, None).expect("batch");
+    for (qi, query) in queries.iter().enumerate() {
+        assert_eq!(
+            batch[qi],
+            brute_force(&records, query, 9, 0.0),
+            "query {qi}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn summary_pruning_never_drops_a_true_hit() {
+    let len = 512;
+    let mut state = 0xFACEu64;
+    let records: Vec<(u64, BitVec)> = (0..150)
+        .map(|i| (i, random_filter(len, 50 + 15 * (i % 12), &mut state)))
+        .collect();
+    let with = IndexConfig::new(len, 3);
+    assert!(
+        with.summary.enabled(),
+        "default config must enable summaries at {len} bits"
+    );
+    let without = IndexConfig {
+        summary: SummaryConfig::DISABLED,
+        ..with
+    };
+    let dir_on = temp_dir("sum-on");
+    let dir_off = temp_dir("sum-off");
+    let pruned = build_store(&dir_on, with, &records)
+        .lazy_reader()
+        .expect("pruned reader");
+    let plain = build_store(&dir_off, without, &records)
+        .lazy_reader()
+        .expect("plain reader");
+
+    let mut queries: Vec<BitVec> = records.iter().step_by(17).map(|(_, f)| f.clone()).collect();
+    for _ in 0..6 {
+        // Foreign probes: most segments are all-tables Bloom misses, the
+        // case where content pruning actually fires.
+        queries.push(random_filter(len, 70, &mut state));
+    }
+    let refs: Vec<&BitVec> = queries.iter().collect();
+    for min_score in [0.0, 0.5, 0.8, 0.95] {
+        let a = pruned
+            .top_k_batch(&refs, 12, 2, Some(min_score))
+            .expect("pruned batch");
+        let b = plain
+            .top_k_batch(&refs, 12, 2, Some(min_score))
+            .expect("plain batch");
+        assert_eq!(a, b, "summary pruning changed results at ms={min_score}");
+        for (qi, query) in queries.iter().enumerate() {
+            assert_eq!(
+                a[qi],
+                brute_force(&records, query, 12, min_score),
+                "query {qi} at ms={min_score}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir_on).expect("cleanup");
+    std::fs::remove_dir_all(&dir_off).expect("cleanup");
+}

@@ -157,7 +157,7 @@ impl LinkageResult {
 
 /// Sorted, deduplicated bigram token set per record, over every text
 /// field (the canopy similarity space).
-fn record_tokens(dataset: &Dataset) -> Vec<Vec<String>> {
+pub(crate) fn record_tokens(dataset: &Dataset) -> Vec<Vec<String>> {
     let cfg = QGramConfig::bigrams();
     dataset
         .records()
@@ -176,15 +176,19 @@ fn record_tokens(dataset: &Dataset) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Builds the candidate source for `config.blocking`, bound to dataset
-/// `b` (or to the configured persistent index, which must hold dataset
-/// B's encoded filters with `id = row`).
+/// Builds the candidate source for `blocking`, bound to dataset `b` (or
+/// to the configured persistent index, which must hold dataset B's
+/// encoded filters with `id = row`). `threshold` and `threads` only
+/// matter to the index backend, which pushes the score bound down into
+/// the scan and fans queries out over worker threads.
 pub fn build_source(
     b: &Dataset,
     filters_b: &[&pprl_core::bitvec::BitVec],
-    config: &PipelineConfig,
+    blocking: &BlockingChoice,
+    threshold: f64,
+    threads: usize,
 ) -> Result<Box<dyn CandidateSource>> {
-    Ok(match &config.blocking {
+    Ok(match blocking {
         BlockingChoice::Full => Box::new(FullSource::new(b.len())),
         BlockingChoice::Standard(key) => Box::new(KeyBlockSource::from_keys(&key.extract(b)?)),
         BlockingChoice::SortedNeighbourhood(key, window) => {
@@ -209,10 +213,31 @@ pub fn build_source(
         BlockingChoice::Index(index) => Box::new(IndexBackend::open(
             &index.dir,
             index.top_k,
-            config.threshold,
-            config.threads,
+            threshold,
+            threads,
         )?),
     })
+}
+
+/// Per-record blocking keys and q-gram token sets, either absent when
+/// the chosen blocking does not consume that modality.
+pub(crate) type ProbeModalities = (Option<Vec<String>>, Option<Vec<Vec<String>>>);
+
+/// The probe modalities `blocking` consumes from dataset `a`: blocking
+/// keys for the key-based choices, q-gram token sets for canopy, nothing
+/// extra otherwise (filters are always probed separately).
+pub(crate) fn probe_modalities(a: &Dataset, blocking: &BlockingChoice) -> Result<ProbeModalities> {
+    let keys = match blocking {
+        BlockingChoice::Standard(key)
+        | BlockingChoice::SortedNeighbourhood(key, _)
+        | BlockingChoice::Metablocked { key, .. } => Some(key.extract(a)?),
+        _ => None,
+    };
+    let tokens = match blocking {
+        BlockingChoice::Canopy(_) => Some(record_tokens(a)),
+        _ => None,
+    };
+    Ok((keys, tokens))
 }
 
 /// Runs the batch pipeline over two datasets with a shared schema.
@@ -229,20 +254,17 @@ pub fn link(a: &Dataset, b: &Dataset, config: &PipelineConfig) -> Result<Linkage
     let filters_a = enc_a.clks()?;
     let filters_b = enc_b.clks()?;
 
-    let mut source = build_source(b, &filters_b, config)?;
+    let mut source = build_source(
+        b,
+        &filters_b,
+        &config.blocking,
+        config.threshold,
+        config.threads,
+    )?;
 
     // Probe modalities: filters always (already encoded); keys and tokens
     // only for the choices that consume them.
-    let probe_keys: Option<Vec<String>> = match &config.blocking {
-        BlockingChoice::Standard(key)
-        | BlockingChoice::SortedNeighbourhood(key, _)
-        | BlockingChoice::Metablocked { key, .. } => Some(key.extract(a)?),
-        _ => None,
-    };
-    let probe_tokens: Option<Vec<Vec<String>>> = match &config.blocking {
-        BlockingChoice::Canopy(_) => Some(record_tokens(a)),
-        _ => None,
-    };
+    let (probe_keys, probe_tokens) = probe_modalities(a, &config.blocking)?;
     let probes = Probes {
         filters: Some(&filters_a),
         keys: probe_keys.as_deref(),

@@ -2,14 +2,18 @@
 //!
 //! §3.4 "matching": it is common practice to de-duplicate each database
 //! before cross-database linkage, so the subsequent linking can be
-//! one-to-one. This module links a dataset against itself — a
-//! [`KeyBlockSource`] self-join restricted to the upper triangle —
-//! clusters the duplicate pairs, and can materialise a de-duplicated
-//! dataset keeping one representative per cluster.
+//! one-to-one. This module links a dataset against itself through any
+//! [`BlockingChoice`] candidate source — in-memory key blocking by
+//! default, or a pre-built persistent index
+//! ([`BlockingChoice::Index`]), whose batched columnar scan makes the
+//! self-join feasible without rebuilding blocks in RAM — restricts the
+//! pairs to the upper triangle, clusters the duplicates, and can
+//! materialise a de-duplicated dataset keeping one representative per
+//! cluster.
 
+use crate::batch::{build_source, probe_modalities, BlockingChoice};
 use pprl_blocking::keys::BlockingKey;
-use pprl_blocking::source::KeyBlockSource;
-use pprl_core::candidate::{CandidateSource, Probes};
+use pprl_core::candidate::Probes;
 use pprl_core::error::Result;
 use pprl_core::record::{Dataset, RecordRef};
 use pprl_encoding::encoder::{RecordEncoder, RecordEncoderConfig};
@@ -21,19 +25,25 @@ use pprl_similarity::bitvec_sim::dice_bits;
 pub struct DedupConfig {
     /// Encoder (the dataset owner can use any key; this runs locally).
     pub encoder: RecordEncoderConfig,
-    /// Blocking key bounding the quadratic self-join.
-    pub blocking: BlockingKey,
+    /// Candidate source bounding the quadratic self-join. An
+    /// [`BlockingChoice::Index`] choice probes a pre-built persistent
+    /// index of this same dataset (`id = row`, same encoder key).
+    pub blocking: BlockingChoice,
     /// Dice duplicate threshold.
     pub threshold: f64,
+    /// Worker threads for index-backed scans (ignored by the in-memory
+    /// sources).
+    pub threads: usize,
 }
 
 impl DedupConfig {
-    /// Defaults for the person schema.
+    /// Defaults for the person schema: key blocking, threshold 0.85.
     pub fn standard() -> Self {
         DedupConfig {
             encoder: RecordEncoderConfig::person_clk(b"local-dedup".to_vec()),
-            blocking: BlockingKey::person_default(),
+            blocking: BlockingChoice::Standard(BlockingKey::person_default()),
             threshold: 0.85,
+            threads: 1,
         }
     }
 }
@@ -69,21 +79,37 @@ pub fn deduplicate(dataset: &Dataset, config: &DedupConfig) -> Result<DedupOutco
     let encoder = RecordEncoder::new(config.encoder.clone(), dataset.schema())?;
     let encoded = encoder.encode_dataset(dataset)?;
     let filters = encoded.clks()?;
-    let keys = config.blocking.extract(dataset)?;
 
-    // Self-join through the candidate source: probe the key-blocked
-    // dataset with its own keys, keep the upper triangle.
-    let mut source = KeyBlockSource::from_keys(&keys);
+    // Self-join through the candidate source: probe the blocked dataset
+    // with itself. Sources may emit self-pairs and both orientations of a
+    // pair (an index backend returns each probe's top-k, which includes
+    // the probe itself at score 1.0); normalise to the upper triangle.
+    let mut source = build_source(
+        dataset,
+        &filters,
+        &config.blocking,
+        config.threshold,
+        config.threads,
+    )?;
+    let (probe_keys, probe_tokens) = probe_modalities(dataset, &config.blocking)?;
     let probes = Probes {
-        keys: Some(&keys),
-        ..Probes::default()
+        filters: Some(&filters),
+        keys: probe_keys.as_deref(),
+        tokens: probe_tokens.as_deref(),
+        signatures: None,
     };
+    let mut candidates: Vec<(usize, usize)> = source
+        .candidates(&probes)?
+        .into_iter()
+        .filter(|&(i, j)| i != j)
+        .map(|(i, j)| (i.min(j), i.max(j)))
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
     let mut pairs = Vec::new();
     let mut comparisons = 0usize;
-    for (i, j) in source.candidates(&probes)? {
-        if i >= j {
-            continue; // self-pairs and mirrored duplicates
-        }
+    for (i, j) in candidates {
         comparisons += 1;
         let s = dice_bits(filters[i], filters[j])?;
         if s >= config.threshold {
@@ -123,7 +149,9 @@ pub fn deduplicated_dataset(dataset: &Dataset, outcome: &DedupOutcome) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::IndexSourceConfig;
     use pprl_datagen::generator::{Generator, GeneratorConfig};
+    use pprl_index::store::{IndexConfig, IndexStore};
     use std::collections::HashMap;
 
     fn dirty_dataset(seed: u64) -> Dataset {
@@ -172,6 +200,61 @@ mod tests {
             "comparisons {}",
             out.comparisons
         );
+    }
+
+    #[test]
+    fn index_backed_dedup_finds_every_thresholded_pair() {
+        let ds = dirty_dataset(9);
+        let config = DedupConfig::standard();
+        // Build a persistent index of the dataset's own encoded filters
+        // (id = row, same encoder key).
+        let dir = std::env::temp_dir().join("pprl-dedup-index-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let encoder = RecordEncoder::new(config.encoder.clone(), ds.schema()).unwrap();
+        let encoded = encoder.encode_dataset(&ds).unwrap();
+        let filters = encoded.clks().unwrap();
+        let mut store = IndexStore::create(&dir, IndexConfig::new(filters[0].len(), 4)).unwrap();
+        let records: Vec<(u64, pprl_core::bitvec::BitVec)> = filters
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u64, (*f).clone()))
+            .collect();
+        store.insert_batch(&records).unwrap();
+        store.flush().unwrap();
+        drop(store);
+
+        // top_k covering the whole population: the index self-join is the
+        // exact thresholded cross product, so its pairs must equal brute
+        // force and form a superset of the key-blocked run's pairs.
+        let indexed = deduplicate(
+            &ds,
+            &DedupConfig {
+                blocking: BlockingChoice::Index(IndexSourceConfig {
+                    dir: dir.clone(),
+                    top_k: ds.len(),
+                }),
+                threads: 2,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        let mut brute = Vec::new();
+        for i in 0..filters.len() {
+            for j in (i + 1)..filters.len() {
+                let s = dice_bits(filters[i], filters[j]).unwrap();
+                if s >= config.threshold {
+                    brute.push((i, j, s));
+                }
+            }
+        }
+        assert_eq!(indexed.pairs, brute);
+        let blocked = deduplicate(&ds, &config).unwrap();
+        let indexed_set: std::collections::HashSet<(usize, usize)> =
+            indexed.pairs.iter().map(|&(i, j, _)| (i, j)).collect();
+        for (i, j, _) in &blocked.pairs {
+            assert!(indexed_set.contains(&(*i, *j)), "({i},{j}) missing");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

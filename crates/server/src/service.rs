@@ -59,20 +59,21 @@ pub struct LinkageService {
 
 impl LinkageService {
     /// Opens the index at `dir` and builds the generation-0 snapshot.
+    /// The snapshot's reader is *lazy*: segment files are read on the
+    /// first query that actually needs them (popcount bounds and
+    /// band-key summaries prune the rest), not all up front.
     pub fn open(dir: &Path, config: ServiceConfig) -> Result<LinkageService> {
         config.tiered.validate()?;
         let store = IndexStore::open(dir)?;
-        let (reader, read_stats) = store.reader_for_popcounts(0, usize::MAX)?;
-        let service = LinkageService {
+        let reader = store.lazy_reader()?;
+        Ok(LinkageService {
             store: Mutex::new(store),
             hub: SnapshotHub::new(reader),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
-        };
-        Metrics::add(&service.metrics.bytes_read, read_stats.bytes_read);
-        Ok(service)
+        })
     }
 
     /// Pins the snapshot currently being served.
@@ -130,30 +131,40 @@ impl LinkageService {
     }
 
     /// Batch link: top-k per probe against one pinned snapshot, dropping
-    /// hits below `min_score`. All probes see the same generation.
+    /// hits below `min_score`. All probes see the same generation. The
+    /// whole batch runs through one columnar
+    /// [`pprl_index::query::IndexReader::top_k_batch`] scan — every arena
+    /// block is walked once for all probes — with results bit-identical
+    /// to per-probe `top_k` followed by a `min_score` filter.
     pub fn link(&self, probes: &[BitVec], k: usize, min_score: f64) -> Result<Vec<Vec<Hit>>> {
-        if !(0.0..=1.0).contains(&min_score) {
-            return Err(PprlError::invalid("min_score", "must be in [0, 1]"));
-        }
         let started = Instant::now();
         let snap = self.hub.pin();
-        let mut out = Vec::with_capacity(probes.len());
         for probe in probes {
             self.check_filter(probe, snap.reader.filter_len())?;
-            let mut hits = snap.reader.top_k(probe, k, self.config.query_threads)?;
-            hits.retain(|h| h.score >= min_score);
-            out.push(hits);
         }
+        let refs: Vec<&BitVec> = probes.iter().collect();
+        let out = snap
+            .reader
+            .top_k_batch(&refs, k, self.config.query_threads, Some(min_score))?;
         Metrics::add(&self.metrics.links, 1);
         self.metrics.observe_latency(started);
         Ok(out)
     }
 
-    /// Builds a fresh reader from the (locked) store and installs it as
-    /// the next generation, clearing the result cache.
+    /// Builds a fresh lazy reader from the (locked) store and installs it
+    /// as the next generation, clearing the result cache. The retiring
+    /// snapshot's cumulative read counter folds into the service metrics
+    /// here, so `bytes_read` in [`stats_report`] stays a running total
+    /// across generations.
+    ///
+    /// [`stats_report`]: LinkageService::stats_report
     fn install_fresh(&self, store: &IndexStore, obsolete: Vec<std::path::PathBuf>) -> Result<u64> {
-        let (reader, read_stats) = store.reader_for_popcounts(0, usize::MAX)?;
-        Metrics::add(&self.metrics.bytes_read, read_stats.bytes_read);
+        let reader = store.lazy_reader()?;
+        let retiring = self.hub.pin();
+        Metrics::add(
+            &self.metrics.bytes_read,
+            retiring.reader.read_stats().bytes_read,
+        );
         let generation = self.hub.install(reader, obsolete);
         self.cache.lock().expect("cache lock").clear();
         Ok(generation)
@@ -221,7 +232,10 @@ impl LinkageService {
             busy_rejected: Metrics::get(&self.metrics.busy_rejected),
             compactions: Metrics::get(&self.metrics.compactions),
             segments_merged: Metrics::get(&self.metrics.segments_merged),
-            bytes_read: Metrics::get(&self.metrics.bytes_read),
+            // Retired generations' reads (folded in at install) plus what
+            // the live snapshot has lazily materialised so far.
+            bytes_read: Metrics::get(&self.metrics.bytes_read)
+                + snap.reader.read_stats().bytes_read,
             latency_p50_us: self.metrics.latency.quantile_us(0.50),
             latency_p99_us: self.metrics.latency.quantile_us(0.99),
             uptime_ms: self.started.elapsed().as_millis() as u64,

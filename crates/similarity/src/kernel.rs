@@ -1,0 +1,146 @@
+//! Word-slice comparison kernels for the columnar scan path.
+//!
+//! The index query engine stores Bloom filters in flat `u64` arenas (see
+//! `pprl-index`), so its hot loop works on `&[u64]` slices rather than
+//! `BitVec`s. These kernels are the slice-level counterparts of
+//! [`pprl_core::bitvec::BitVec::and_count`] and
+//! [`crate::bitvec_sim::dice_bits`], with two throughput-oriented
+//! variants:
+//!
+//! * [`and_count`] — one pair, four independent accumulators so the
+//!   popcounts pipeline instead of serialising on one add chain;
+//! * [`and_count4`] — one query against four rows stored contiguously,
+//!   loading each query word once per *four* intersections, which is
+//!   what makes the batched arena scan memory-bandwidth-friendly.
+//!
+//! Every kernel is exact: the intersection popcounts are integers and
+//! [`dice_from_counts`] reproduces `dice_bits`' f64 expression term for
+//! term, so scores computed through this module are bit-identical to the
+//! scalar `BitVec` path.
+
+/// Intersection popcount of two equal-length word slices, unrolled into
+/// four accumulators.
+///
+/// Equals [`pprl_core::bitvec::BitVec::and_count`] on the backing words
+/// of two equal-length vectors (trailing bits are zero by invariant).
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0usize; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc[0] += (ca[0] & cb[0]).count_ones() as usize;
+        acc[1] += (ca[1] & cb[1]).count_ones() as usize;
+        acc[2] += (ca[2] & cb[2]).count_ones() as usize;
+        acc[3] += (ca[3] & cb[3]).count_ones() as usize;
+    }
+    let mut tail = 0usize;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += (x & y).count_ones() as usize;
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Intersection popcounts of one query against four rows laid out
+/// back-to-back in `rows` (`rows.len() == 4 * query.len()`). Each query
+/// word is loaded once and ANDed against all four rows, so a batched
+/// arena scan touches every arena word exactly once per block.
+#[inline]
+pub fn and_count4(query: &[u64], rows: &[u64]) -> [usize; 4] {
+    let stride = query.len();
+    debug_assert_eq!(rows.len(), 4 * stride);
+    let (r0, rest) = rows.split_at(stride);
+    let (r1, rest) = rest.split_at(stride);
+    let (r2, r3) = rest.split_at(stride);
+    let mut acc = [0usize; 4];
+    for w in 0..stride {
+        let q = query[w];
+        acc[0] += (q & r0[w]).count_ones() as usize;
+        acc[1] += (q & r1[w]).count_ones() as usize;
+        acc[2] += (q & r2[w]).count_ones() as usize;
+        acc[3] += (q & r3[w]).count_ones() as usize;
+    }
+    acc
+}
+
+/// Dice coefficient from an intersection popcount and the two filter
+/// cardinalities — the exact f64 expression of
+/// [`crate::bitvec_sim::dice_bits`], so kernel-computed scores are
+/// bit-identical to the scalar path (including the both-empty = 1.0
+/// convention).
+#[inline]
+pub fn dice_from_counts(intersection: usize, ones_a: usize, ones_b: usize) -> f64 {
+    if ones_a + ones_b == 0 {
+        return 1.0;
+    }
+    2.0 * intersection as f64 / (ones_a + ones_b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec_sim::dice_bits;
+    use pprl_core::bitvec::BitVec;
+    use pprl_core::rng::SplitMix64;
+
+    fn random_filter(len: usize, denom: u64, rng: &mut SplitMix64) -> BitVec {
+        let ones: Vec<usize> = (0..len)
+            .filter(|_| rng.next_u64().is_multiple_of(denom))
+            .collect();
+        BitVec::from_positions(len, &ones).unwrap()
+    }
+
+    #[test]
+    fn and_count_matches_bitvec_over_random_filters() {
+        let mut rng = SplitMix64::new(0xA11D);
+        for len in [1usize, 7, 63, 64, 65, 256, 1000, 2048] {
+            for denom in [1u64, 2, 5, 17] {
+                let a = random_filter(len, denom, &mut rng);
+                let b = random_filter(len, denom, &mut rng);
+                assert_eq!(
+                    and_count(a.as_words(), b.as_words()),
+                    a.and_count(&b),
+                    "len={len} denom={denom}"
+                );
+            }
+            // Edge cases: empty against everything, all-ones pairs.
+            let zero = BitVec::zeros(len);
+            let ones = BitVec::ones(len);
+            assert_eq!(and_count(zero.as_words(), ones.as_words()), 0);
+            assert_eq!(and_count(ones.as_words(), ones.as_words()), len);
+        }
+    }
+
+    #[test]
+    fn and_count4_matches_four_scalar_calls() {
+        let mut rng = SplitMix64::new(0xB10C);
+        for len in [64usize, 100, 1000] {
+            let q = random_filter(len, 3, &mut rng);
+            let rows: Vec<BitVec> = (0..4).map(|_| random_filter(len, 3, &mut rng)).collect();
+            let mut flat = Vec::new();
+            for r in &rows {
+                flat.extend_from_slice(r.as_words());
+            }
+            let got = and_count4(q.as_words(), &flat);
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(got[i], q.and_count(r), "len={len} row={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dice_from_counts_is_bit_identical_to_dice_bits() {
+        let mut rng = SplitMix64::new(0xD1CE);
+        for _ in 0..200 {
+            let a = random_filter(512, 1 + rng.next_u64() % 6, &mut rng);
+            let b = random_filter(512, 1 + rng.next_u64() % 6, &mut rng);
+            let inter = and_count(a.as_words(), b.as_words());
+            let got = dice_from_counts(inter, a.count_ones(), b.count_ones());
+            let want = dice_bits(&a, &b).unwrap();
+            assert!(got == want, "kernel {got} != scalar {want}");
+        }
+        // Both-empty convention.
+        assert_eq!(dice_from_counts(0, 0, 0), 1.0);
+    }
+}

@@ -17,6 +17,7 @@ pub mod bitvec_sim;
 pub mod composite;
 pub mod edit;
 pub mod jaro;
+pub mod kernel;
 pub mod monge_elkan;
 pub mod numeric;
 pub mod token;
