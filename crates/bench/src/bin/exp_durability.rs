@@ -1,0 +1,180 @@
+//! E20 — §5.1 "veracity" as deployment: durability has a measurable,
+//! tunable price. Insert throughput into the persistent index under the
+//! three WAL fsync policies, same records, same batching, fresh store
+//! per mode:
+//!
+//! - `Always` (the default): fsync before every acked batch — an acked
+//!   insert survives any crash.
+//! - `Interval(500)`: fsync once per 500 appended records — bounded loss
+//!   window, amortised sync cost.
+//! - `Never`: leave WAL persistence to the OS — segments and the
+//!   manifest are still fsynced on flush.
+//!
+//! Runs on the real filesystem (`StdVfs`) because the quantity under
+//! test *is* the fsync. Appends a `"durability"` summary to the
+//! top-level `BENCH_index.json` written by E17, preserving E17's rows.
+//!
+//! Run: `cargo run --release -p pprl-bench --bin exp_durability [-- --smoke]`
+
+use pprl_bench::json::Json;
+use pprl_bench::{banner, report, secs, Table};
+use pprl_core::bitvec::BitVec;
+use pprl_core::rng::SplitMix64;
+use pprl_index::store::{DurabilityMode, IndexConfig, IndexStore, StoreOptions};
+
+const FILTER_BITS: usize = 1000;
+const BATCH: usize = 50;
+const TRIALS: usize = 3;
+
+fn filters(n: usize, seed: u64) -> Vec<(u64, BitVec)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|id| {
+            let ones: Vec<usize> = (0..FILTER_BITS)
+                .filter(|_| rng.next_below(4) == 0)
+                .collect();
+            (
+                id as u64,
+                BitVec::from_positions(FILTER_BITS, &ones).expect("filter"),
+            )
+        })
+        .collect()
+}
+
+fn mode_name(mode: DurabilityMode) -> &'static str {
+    match mode {
+        DurabilityMode::Always => "always",
+        DurabilityMode::Interval(_) => "interval-500",
+        DurabilityMode::Never => "never",
+    }
+}
+
+/// Best-of-`TRIALS` insert wall time for one durability mode; returns
+/// (records/sec, acked batches). The store is re-created per trial so
+/// every trial starts from an empty WAL.
+fn run_mode(base: &std::path::Path, records: &[(u64, BitVec)], mode: DurabilityMode) -> f64 {
+    let mut best = f64::INFINITY;
+    for trial in 0..TRIALS {
+        let dir = base.join(format!("{}-t{trial}", mode_name(mode)));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions {
+            durability: mode,
+            ..StoreOptions::default()
+        };
+        let mut store =
+            IndexStore::create_with(&dir, IndexConfig::new(FILTER_BITS, 4), opts).expect("create");
+        let start = std::time::Instant::now();
+        for chunk in records.chunks(BATCH) {
+            store.insert_batch(chunk).expect("insert");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        // The data must actually be there under every mode.
+        assert_eq!(store.pending_len(), records.len());
+        store.flush().expect("flush");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    records.len() as f64 / best
+}
+
+/// Splices `"durability": <summary>` into an existing top-level
+/// `BENCH_index.json` (E17's output) without disturbing its rows, or
+/// writes a fresh document when E17 has not run yet.
+fn append_to_bench_index(path: &std::path::Path, summary: Json) {
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.strip_suffix('}') {
+                Some(head) if trimmed.starts_with('{') => {
+                    // Replace any previous durability key from an earlier
+                    // run by truncating at its insertion marker.
+                    let head = head
+                        .rfind(",\n  \"durability\":")
+                        .map_or(head, |at| &head[..at]);
+                    format!(
+                        "{},\n  \"durability\": {}\n}}",
+                        head.trim_end().trim_end_matches(','),
+                        summary.render()
+                    )
+                }
+                _ => summary.render(),
+            }
+        }
+        Err(_) => Json::Obj(vec![
+            ("experiment".into(), Json::str("E20")),
+            ("durability".into(), summary),
+        ])
+        .render(),
+    };
+    std::fs::write(path, merged).expect("write BENCH_index.json");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 400 } else { 2000 };
+    banner(
+        "E20",
+        "Durability cost of the WAL fsync policy",
+        "fsync-per-ack durability has a measurable, tunable insert-throughput price",
+    );
+    let base = std::env::temp_dir().join("pprl-exp-durability");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("bench dir");
+    let records = filters(n, 0xE20);
+
+    let modes = [
+        DurabilityMode::Always,
+        DurabilityMode::Interval(500),
+        DurabilityMode::Never,
+    ];
+    let mut table = Table::new(&["mode", "inserts/sec", "vs never"]);
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    for mode in modes {
+        let rate = run_mode(&base, &records, mode);
+        rates.push((mode_name(mode), rate));
+        rows.push(Json::Obj(vec![
+            ("mode".into(), Json::str(mode_name(mode))),
+            ("inserts_per_sec".into(), Json::Num(rate)),
+        ]));
+    }
+    let never_rate = rates.last().expect("modes ran").1;
+    for (name, rate) in &rates {
+        table.row(vec![
+            (*name).to_string(),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / never_rate),
+        ]);
+    }
+    println!(
+        "\nInsert throughput, {n} x {FILTER_BITS}-bit filters in {BATCH}-record \
+         batches (best of {TRIALS}):"
+    );
+    table.print();
+    println!("\nAlways = fsync before every acked batch; Interval(500) amortises the");
+    println!("sync over 500 records; Never defers to the OS (flush still syncs).");
+    println!(
+        "elapsed per mode: {}",
+        rates
+            .iter()
+            .map(|(name, rate)| format!("{name} {}", secs(n as f64 / rate)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let summary = Json::Obj(vec![
+        ("experiment".into(), Json::str("E20")),
+        ("records".into(), Json::num(n as f64)),
+        ("batch".into(), Json::num(BATCH as f64)),
+        ("filter_bits".into(), Json::num(FILTER_BITS as f64)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let path = report::results_dir()
+        .parent()
+        .expect("workspace root")
+        .join("BENCH_index.json");
+    append_to_bench_index(&path, summary);
+    println!("\nappended durability summary: {}", path.display());
+    let _ = std::fs::remove_dir_all(&base);
+    pprl_bench::report::save();
+}

@@ -36,6 +36,14 @@ fn write_file(path: &str, content: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Writes via tmp + rename so a concurrent reader never observes a
+/// partially written file (e.g. `--addr-file` racing a client start).
+fn write_file_atomic(path: &str, content: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, content).map_err(|e| format!("writing {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))
+}
+
 /// `pprl generate` — synthesise a linked CSV dataset pair with ground truth.
 pub fn generate(mut args: Args) -> CmdResult {
     let out_a = args.require("out-a").map_err(fail)?;
@@ -474,6 +482,13 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
                 s.filter_len,
                 s.disk_bytes
             );
+            if s.quarantined_segments > 0 {
+                println!(
+                    "  DEGRADED: {} segment(s) quarantined at open; reads cover \
+                     surviving segments only (see {dir}/quarantine/)",
+                    s.quarantined_segments
+                );
+            }
             Ok(())
         }
         other => Err(format!(
@@ -514,7 +529,7 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
     // With --port 0 the kernel picks the port; publish the resolved
     // address so scripts (and the CI smoke job) can find it.
     if let Some(path) = addr_file {
-        write_file(&path, &addr.to_string())?;
+        write_file_atomic(&path, &addr.to_string())?;
     }
     println!(
         "serving {dir} on {addr}: {workers} workers, queue {queue}, cache {cache}, \
@@ -536,6 +551,13 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
 pub fn client_cmd(mut args: Args) -> CmdResult {
     let action = args.command.clone();
     let addr = args.require("addr").map_err(fail)?;
+    // Overall per-call budget, including Busy backoff-and-retry cycles.
+    let deadline_ms: u64 = args.parse_or("deadline-ms", 60_000).map_err(fail)?;
+    let connect = |addr: &str| -> Result<Client, String> {
+        let mut client = Client::connect(addr).map_err(fail)?;
+        client.set_deadline(std::time::Duration::from_millis(deadline_ms.max(1)));
+        Ok(client)
+    };
     match action.as_str() {
         "query" => {
             let input = args.require("input").map_err(fail)?;
@@ -549,7 +571,7 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
                 return Err(format!("--row {row} out of range ({} rows)", queries.len()));
             };
             let started = std::time::Instant::now();
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = connect(&addr)?;
             let hits = client.query(query, top_k).map_err(fail)?;
             if json {
                 let obj = Json::Obj(vec![
@@ -599,7 +621,7 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
             let probes = encode_filters(&input, &key, 0)?;
             let filters: Vec<_> = probes.into_iter().map(|(_, f)| f).collect();
             let started = std::time::Instant::now();
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = connect(&addr)?;
             let per_probe = client.link(&filters, top_k, min_score).map_err(fail)?;
             let total: usize = per_probe.iter().map(|h| h.len()).sum();
             println!(
@@ -633,7 +655,7 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
                 ),
             };
             args.finish().map_err(fail)?;
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = connect(&addr)?;
             let id_base = match id_base_flag {
                 Some(v) => v,
                 // Default to appending after the currently served records.
@@ -650,7 +672,7 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
         "stats" => {
             let json = args.flag("json");
             args.finish().map_err(fail)?;
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = connect(&addr)?;
             let s = client.stats().map_err(fail)?;
             if json {
                 let obj = Json::Obj(vec![
@@ -673,6 +695,11 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
                     ("uptime_ms".into(), Json::num(s.uptime_ms as f64)),
                     ("workers".into(), Json::num(s.workers as f64)),
                     ("queue_capacity".into(), Json::num(s.queue_capacity as f64)),
+                    (
+                        "quarantined_segments".into(),
+                        Json::num(s.quarantined_segments as f64),
+                    ),
+                    ("degraded".into(), Json::Bool(s.degraded)),
                 ]);
                 print!("{}", obj.render());
                 return Ok(());
@@ -693,11 +720,18 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
                 "  maintenance: {} compactions merged {} segments; {} bytes read",
                 s.compactions, s.segments_merged, s.bytes_read
             );
+            if s.degraded {
+                println!(
+                    "  DEGRADED: {} segment(s) quarantined; results cover \
+                     surviving segments only",
+                    s.quarantined_segments
+                );
+            }
             Ok(())
         }
         "shutdown" => {
             args.finish().map_err(fail)?;
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = connect(&addr)?;
             client.shutdown().map_err(fail)?;
             println!("server at {addr} acknowledged shutdown");
             Ok(())
@@ -750,7 +784,10 @@ COMMANDS:
             stats  --dir IDX
             persistent sharded CLK filter store: build from CSV, add
             records incrementally, run exact top-k Dice queries
-            (multi-threaded), inspect/verify the on-disk state
+            (multi-threaded), inspect/verify the on-disk state; WAL
+            appends are fsynced before inserts are acked, and opening
+            quarantines corrupt segments (stats reports DEGRADED)
+            instead of refusing
 
   serve     --index IDX [--host H] [--port P] [--workers N] [--queue N]
             [--cache N] [--threads N] [--compact-interval-ms MS]
@@ -759,8 +796,8 @@ COMMANDS:
             batch link, durable inserts, background size-tiered
             compaction (set MS to 0 to disable), snapshot-isolated
             reads; --port 0 binds an ephemeral port and --addr-file
-            publishes the resolved address; runs until a client sends
-            shutdown
+            publishes the resolved address atomically (tmp + rename);
+            runs until a client sends shutdown
 
   client    query    --addr H:P --input Q.csv --key SECRET [--row N]
                      [--top-k K] [--json]
@@ -769,8 +806,11 @@ COMMANDS:
             insert   --addr H:P --input B.csv --key SECRET [--id-base N]
             stats    --addr H:P [--json]
             shutdown --addr H:P
-            talk to a running `pprl serve`; query/link results are
-            bit-for-bit identical to offline `pprl index query`
+            talk to a running `pprl serve`; every action also takes
+            [--deadline-ms MS] (default 60000), the total budget for
+            the call including bounded-backoff retries after Busy
+            rejections; query/link results are bit-for-bit identical
+            to offline `pprl index query`
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]

@@ -41,6 +41,13 @@ pub struct SourceStats {
     pub comparisons_saved: usize,
     /// Bytes read from persistent storage (0 for in-memory sources).
     pub bytes_read: u64,
+    /// True when the source is serving over a partially available
+    /// backing store (e.g. segments quarantined at open). Results are
+    /// exact over what survives, but may be missing records.
+    pub degraded: bool,
+    /// Backing-store units (segments) excluded from service, when the
+    /// source tracks them (0 for in-memory sources).
+    pub quarantined_segments: usize,
 }
 
 impl SourceStats {

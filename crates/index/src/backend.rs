@@ -47,14 +47,25 @@ impl IndexBackend {
         let store = IndexStore::open(dir)?;
         let target_len = store.record_count()?;
         let reader = store.lazy_reader()?;
+        let stats = SourceStats {
+            degraded: reader.is_degraded(),
+            quarantined_segments: reader.quarantined_segments(),
+            ..SourceStats::default()
+        };
         Ok(IndexBackend {
             reader,
             target_len,
             top_k,
             min_score,
             threads: threads.max(1),
-            stats: SourceStats::default(),
+            stats,
         })
+    }
+
+    /// True when segments were quarantined at open: candidates are exact
+    /// over the surviving records only.
+    pub fn is_degraded(&self) -> bool {
+        self.stats.degraded
     }
 
     /// What the backend has read from (and pruned out of) storage so far.

@@ -67,5 +67,6 @@ pub mod query;
 pub mod segment;
 pub mod store;
 pub mod summary;
+pub mod vfs;
 
 pub use backend::IndexBackend;

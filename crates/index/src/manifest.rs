@@ -5,21 +5,24 @@
 //! count, LSH routing parameters, band-key summary geometry), the next
 //! segment id to allocate, and which segment files belong to which
 //! shard. It is rewritten atomically (write to `MANIFEST.tmp`, then
-//! rename) so a crash mid-update leaves either the old or the new
-//! manifest, never a torn one. Version-3 layout:
+//! rename, with fsync barriers on the tmp file and the directory) so a
+//! crash mid-update leaves either the old or the new manifest, never a
+//! torn one. Version-4 layout:
 //!
 //! ```text
-//! magic      u32   "PMF1"
-//! version    u16   3
-//! flen       u32   filter length in bits
-//! shards     u32   number of shards
-//! lsh_seed   u64   Hamming-LSH routing seed
-//! lsh_bits   u32   bits per LSH band key
-//! sum_tables u16   band-key summary tables (0 = summaries disabled)
-//! sum_bits   u16   sampled positions per summary table
-//! next_seg   u64   next segment id to allocate
-//! segs       u32   number of segment entries
-//! entry_len  u32   total bytes of the entry region (entries vary in size)
+//! magic       u32   "PMF1"
+//! version     u16   4
+//! flen        u32   filter length in bits
+//! shards      u32   number of shards
+//! lsh_seed    u64   Hamming-LSH routing seed
+//! lsh_bits    u32   bits per LSH band key
+//! sum_tables  u16   band-key summary tables (0 = summaries disabled)
+//! sum_bits    u16   sampled positions per summary table
+//! flush_epoch u64   WAL flush epoch (see below)
+//! next_seg    u64   next segment id to allocate
+//! segs        u32   number of segment entries
+//! quar        u32   number of quarantined-segment records
+//! entry_len   u32   total bytes of the entry region (entries vary in size)
 //! entry × segs:
 //!   shard     u32
 //!   seg_id    u64
@@ -27,8 +30,20 @@
 //!   pc_max    u32   largest filter popcount in the segment
 //!   sum_words u32   Bloom words following (0 = no summary stored)
 //!   words     sum_words × u64
-//! fnv1a      u64   checksum of everything above
+//! quarantined × quar:
+//!   shard     u32
+//!   seg_id    u64
+//! fnv1a       u64   checksum of everything above
 //! ```
+//!
+//! `flush_epoch` counts WAL→segment flushes and is stamped into the WAL
+//! header each time the log is reset: a crash *between* the manifest
+//! swap and the WAL reset leaves a stale WAL whose epoch lags the
+//! manifest, so replay can discard those already-flushed entries instead
+//! of doubling them. The quarantine records are the index's health
+//! ledger: segments whose file failed verification at open were moved to
+//! `quarantine/` and remain listed here until an operator intervenes,
+//! letting every stats surface report degraded reads honestly.
 //!
 //! The per-segment popcount bounds enable length pruning (a threshold
 //! query whose Dice length bounds cannot intersect `[pc_min, pc_max]`
@@ -41,25 +56,29 @@
 
 use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
 use crate::summary::{BandKeySummary, SummaryConfig};
+use crate::vfs::{StdVfs, Vfs};
 use pprl_core::error::{PprlError, Result};
 use std::path::{Path, PathBuf};
 
 /// Manifest file magic ("PMF1").
 const MANIFEST_MAGIC: u32 = 0x3146_4d50;
-/// Current manifest format version (3 = band-key summaries).
-const MANIFEST_VERSION: u16 = 3;
+/// Current manifest format version (4 = flush epoch + quarantine
+/// ledger).
+const MANIFEST_VERSION: u16 = 4;
 /// Oldest manifest version still decodable.
 const MANIFEST_VERSION_MIN: u16 = 1;
 /// Fixed bytes before the segment entries (versions 1 and 2).
 const HEADER_LEN_V2: usize = 38;
-/// Fixed bytes before the segment entries (version 3).
-const HEADER_LEN_V3: usize = 46;
+/// Fixed bytes before the segment entries (version 4).
+const HEADER_LEN_V4: usize = 58;
 /// Bytes per segment entry in version 1 (shard + seg_id).
 const ENTRY_LEN_V1: usize = 12;
 /// Bytes per segment entry in version 2 (+ popcount min/max).
 const ENTRY_LEN_V2: usize = 20;
-/// Fixed bytes per version-3 entry before the variable Bloom words.
+/// Fixed bytes per version-3+ entry before the variable Bloom words.
 const ENTRY_FIXED_V3: usize = 24;
+/// Bytes per quarantined-segment record (version 4).
+const QUAR_ENTRY_LEN: usize = 12;
 /// Largest admissible per-segment summary, in u64 words (16 KiB).
 const MAX_SUMMARY_WORDS: usize = 131_072 / 64;
 
@@ -148,15 +167,32 @@ impl SegmentEntry {
     }
 }
 
+/// A segment that failed verification at open and was moved to the
+/// `quarantine/` subdirectory instead of being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedSegment {
+    /// Shard the segment belonged to.
+    pub shard: u32,
+    /// Segment id (the file now lives at `quarantine/seg-<id>.seg`).
+    pub id: u64,
+}
+
 /// The manifest: configuration plus the current segment catalogue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Index configuration.
     pub config: IndexConfig,
+    /// WAL flush epoch: incremented on every WAL→segment flush and
+    /// stamped into the WAL header, so replay can recognise (and
+    /// discard) a stale log that survived a crash after the manifest
+    /// swap but before the WAL reset.
+    pub flush_epoch: u64,
     /// Next segment id to allocate.
     pub next_segment_id: u64,
     /// Segment entries, in catalogue order.
     pub segments: Vec<SegmentEntry>,
+    /// Health ledger of segments quarantined at open.
+    pub quarantined: Vec<QuarantinedSegment>,
 }
 
 impl Manifest {
@@ -164,8 +200,10 @@ impl Manifest {
     pub fn new(config: IndexConfig) -> Self {
         Manifest {
             config,
+            flush_epoch: 0,
             next_segment_id: 0,
             segments: Vec::new(),
+            quarantined: Vec::new(),
         }
     }
 
@@ -178,12 +216,14 @@ impl Manifest {
             .collect()
     }
 
-    /// Serialises the manifest to its (version 3) file image.
+    /// Serialises the manifest to its (version 4) file image.
     pub fn encode(&self) -> Result<Vec<u8>> {
         let flen = u32::try_from(self.config.filter_len)
             .map_err(|_| PprlError::invalid("filter_len", "exceeds u32 bits"))?;
         let segs = u32::try_from(self.segments.len())
             .map_err(|_| PprlError::invalid("segments", "catalogue exceeds u32 entries"))?;
+        let quar = u32::try_from(self.quarantined.len())
+            .map_err(|_| PprlError::invalid("quarantined", "ledger exceeds u32 entries"))?;
         let mut entry_bytes = 0usize;
         for entry in &self.segments {
             let words = entry.summary.as_ref().map_or(0, |s| s.words().len());
@@ -197,7 +237,8 @@ impl Manifest {
         }
         let entry_bytes_u32 = u32::try_from(entry_bytes)
             .map_err(|_| PprlError::invalid("segments", "entry region exceeds u32 bytes"))?;
-        let mut out = Vec::with_capacity(HEADER_LEN_V3 + entry_bytes + 8);
+        let mut out =
+            Vec::with_capacity(HEADER_LEN_V4 + entry_bytes + self.quarantined.len() * 12 + 8);
         out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
         out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         out.extend_from_slice(&flen.to_le_bytes());
@@ -206,8 +247,10 @@ impl Manifest {
         out.extend_from_slice(&self.config.lsh_bits.to_le_bytes());
         out.extend_from_slice(&self.config.summary.tables.to_le_bytes());
         out.extend_from_slice(&self.config.summary.bits.to_le_bytes());
+        out.extend_from_slice(&self.flush_epoch.to_le_bytes());
         out.extend_from_slice(&self.next_segment_id.to_le_bytes());
         out.extend_from_slice(&segs.to_le_bytes());
+        out.extend_from_slice(&quar.to_le_bytes());
         out.extend_from_slice(&entry_bytes_u32.to_le_bytes());
         for entry in &self.segments {
             out.extend_from_slice(&entry.shard.to_le_bytes());
@@ -224,11 +267,15 @@ impl Manifest {
                 }
             }
         }
+        for q in &self.quarantined {
+            out.extend_from_slice(&q.shard.to_le_bytes());
+            out.extend_from_slice(&q.id.to_le_bytes());
+        }
         append_checksum(&mut out);
         Ok(out)
     }
 
-    /// Parses and verifies a manifest file image (versions 1–3).
+    /// Parses and verifies a manifest file image (versions 1–4).
     pub fn decode(bytes: &[u8]) -> Result<Manifest> {
         if bytes.len() < HEADER_LEN_V2 + 8 {
             return Err(storage_err(format!(
@@ -262,8 +309,16 @@ impl Manifest {
         } else {
             SummaryConfig::DISABLED
         };
+        // Pre-v4 manifests predate the flush epoch and the quarantine
+        // ledger: epoch 0 matches the implicit epoch of their WAL.
+        let flush_epoch = if version >= 4 { header.u64()? } else { 0 };
         let next_segment_id = header.u64()?;
         let segs = header.u32()? as usize;
+        let quar = if version >= 4 {
+            header.u32()? as usize
+        } else {
+            0
+        };
         let entry_bytes = if version >= 3 {
             header.u32()? as usize
         } else {
@@ -278,6 +333,7 @@ impl Manifest {
         let header_len = header.pos();
         let expected = header_len
             .checked_add(entry_bytes)
+            .and_then(|n| n.checked_add(quar.checked_mul(QUAR_ENTRY_LEN)?))
             .and_then(|n| n.checked_add(8))
             .ok_or_else(|| storage_err("manifest entry region overflows".to_string()))?;
         if bytes.len() != expected {
@@ -337,6 +393,12 @@ impl Manifest {
                 summary: entry_summary,
             });
         }
+        let mut quarantined = Vec::with_capacity(quar);
+        for _ in 0..quar {
+            let shard = r.u32()?;
+            let id = r.u64()?;
+            quarantined.push(QuarantinedSegment { shard, id });
+        }
         r.finish()?;
         let config = IndexConfig {
             filter_len,
@@ -350,25 +412,47 @@ impl Manifest {
             .map_err(|e| storage_err(format!("manifest config invalid: {e}")))?;
         Ok(Manifest {
             config,
+            flush_epoch,
             next_segment_id,
             segments,
+            quarantined,
         })
     }
 
-    /// Atomically persists the manifest into `dir` (tmp file + rename).
-    pub fn save(&self, dir: &Path) -> Result<()> {
+    /// Atomically and durably persists the manifest into `dir` through
+    /// `vfs`: write `MANIFEST.tmp`, fsync it, rename over `MANIFEST`,
+    /// fsync the directory. After this returns, a crash at any point
+    /// leaves either the old or the new manifest — never a torn or
+    /// vanished one.
+    pub fn save_with(&self, vfs: &dyn Vfs, dir: &Path) -> Result<()> {
         let bytes = self.encode()?;
         let tmp = dir.join("MANIFEST.tmp");
         let path = dir.join(MANIFEST_FILE);
-        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, "writing", e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "renaming manifest into", e))
+        vfs.write(&tmp, &bytes)
+            .map_err(|e| io_err(&tmp, "writing", e))?;
+        vfs.sync_file(&tmp)
+            .map_err(|e| io_err(&tmp, "syncing", e))?;
+        vfs.rename(&tmp, &path)
+            .map_err(|e| io_err(&path, "renaming manifest into", e))?;
+        vfs.sync_dir(dir)
+            .map_err(|e| io_err(dir, "syncing directory", e))
     }
 
-    /// Loads and verifies the manifest from `dir`.
-    pub fn load(dir: &Path) -> Result<Manifest> {
+    /// [`Manifest::save_with`] on the real filesystem.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        self.save_with(&StdVfs, dir)
+    }
+
+    /// Loads and verifies the manifest from `dir` through `vfs`.
+    pub fn load_with(vfs: &dyn Vfs, dir: &Path) -> Result<Manifest> {
         let path = dir.join(MANIFEST_FILE);
-        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, "reading", e))?;
+        let bytes = vfs.read(&path).map_err(|e| io_err(&path, "reading", e))?;
         Manifest::decode(&bytes).map_err(|e| storage_err(format!("{}: {e}", path.display())))
+    }
+
+    /// [`Manifest::load_with`] on the real filesystem.
+    pub fn load(dir: &Path) -> Result<Manifest> {
+        Manifest::load_with(&StdVfs, dir)
     }
 }
 
@@ -407,6 +491,7 @@ mod tests {
 
     fn sample() -> Manifest {
         let mut m = Manifest::new(IndexConfig::new(1000, 4));
+        m.flush_epoch = 9;
         m.next_segment_id = 5;
         m.segments = vec![
             entry_with_summary(0, 0, 10, 250),
@@ -414,6 +499,7 @@ mod tests {
             entry_with_summary(0, 2, 100, 300),
             entry(3, 4, 0, 1000),
         ];
+        m.quarantined = vec![QuarantinedSegment { shard: 2, id: 3 }];
         m
     }
 
@@ -508,6 +594,81 @@ mod tests {
             assert_eq!((got.pc_min, got.pc_max), (want.pc_min, want.pc_max));
             assert!(got.summary.is_none());
         }
+    }
+
+    #[test]
+    fn version_3_manifest_decodes_with_epoch_zero_and_empty_ledger() {
+        // Hand-build a v3 image: 46-byte header (summary geometry +
+        // entry_len, but no flush epoch or quarantine count) and
+        // variable-size entries.
+        let m = sample();
+        let mut out = Vec::new();
+        out.extend_from_slice(&0x3146_4d50u32.to_le_bytes());
+        out.extend_from_slice(&3u16.to_le_bytes());
+        out.extend_from_slice(&(m.config.filter_len as u32).to_le_bytes());
+        out.extend_from_slice(&m.config.num_shards.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_seed.to_le_bytes());
+        out.extend_from_slice(&m.config.lsh_bits.to_le_bytes());
+        out.extend_from_slice(&m.config.summary.tables.to_le_bytes());
+        out.extend_from_slice(&m.config.summary.bits.to_le_bytes());
+        out.extend_from_slice(&m.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&(m.segments.len() as u32).to_le_bytes());
+        let mut entries = Vec::new();
+        for e in &m.segments {
+            entries.extend_from_slice(&e.shard.to_le_bytes());
+            entries.extend_from_slice(&e.id.to_le_bytes());
+            entries.extend_from_slice(&e.pc_min.to_le_bytes());
+            entries.extend_from_slice(&e.pc_max.to_le_bytes());
+            match &e.summary {
+                None => entries.extend_from_slice(&0u32.to_le_bytes()),
+                Some(s) => {
+                    entries.extend_from_slice(&(s.words().len() as u32).to_le_bytes());
+                    for w in s.words() {
+                        entries.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&entries);
+        crate::format::append_checksum(&mut out);
+        let decoded = Manifest::decode(&out).unwrap();
+        assert_eq!(decoded.config, m.config);
+        assert_eq!(decoded.segments, m.segments);
+        assert_eq!(decoded.flush_epoch, 0);
+        assert!(decoded.quarantined.is_empty());
+    }
+
+    #[test]
+    fn quarantine_ledger_round_trips() {
+        let mut m = sample();
+        m.quarantined = vec![
+            QuarantinedSegment { shard: 0, id: 11 },
+            QuarantinedSegment { shard: 3, id: 7 },
+        ];
+        let decoded = Manifest::decode(&m.encode().unwrap()).unwrap();
+        assert_eq!(decoded.quarantined, m.quarantined);
+        assert_eq!(decoded.flush_epoch, m.flush_epoch);
+    }
+
+    #[test]
+    fn save_through_fault_vfs_is_crash_atomic() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = Path::new("/idx");
+        let vfs = FaultVfs::new(FaultPlan {
+            seed: 5,
+            ..FaultPlan::none()
+        });
+        vfs.create_dir_all(dir).unwrap();
+        let m = sample();
+        m.save_with(&*vfs, dir).unwrap();
+        let mut m2 = m.clone();
+        m2.next_segment_id = 42;
+        m2.save_with(&*vfs, dir).unwrap();
+        // A crash after a fully barriered save must preserve the *new*
+        // manifest exactly.
+        vfs.crash_and_recover();
+        assert_eq!(Manifest::load_with(&*vfs, dir).unwrap(), m2);
     }
 
     #[test]

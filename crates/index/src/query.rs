@@ -38,9 +38,10 @@
 
 use crate::arena::FilterArena;
 use crate::format::storage_err;
-use crate::segment::read_segment;
+use crate::segment::read_segment_with;
 use crate::store::ReadStats;
 use crate::summary::{band_keys, no_match_dice_bound, BandKeySummary};
+use crate::vfs::{std_vfs, Vfs};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
 use pprl_similarity::kernel::{and_count, and_count4, dice_from_counts};
@@ -131,6 +132,11 @@ pub struct IndexReader {
     segments_loaded: AtomicUsize,
     /// Serialises lazy materialisation so each file is read exactly once.
     load_lock: Mutex<()>,
+    /// IO layer file-backed slots are materialised through.
+    vfs: std::sync::Arc<dyn Vfs>,
+    /// Segments the store quarantined at open; > 0 means this reader
+    /// serves a degraded view of the index.
+    quarantined_segments: usize,
 }
 
 impl IndexReader {
@@ -146,7 +152,7 @@ impl IndexReader {
                 )?))
             })
             .collect::<Result<Vec<_>>>()?;
-        Self::from_specs(specs, filter_len, num_shards, Vec::new())
+        Self::from_specs(specs, filter_len, num_shards, Vec::new(), std_vfs())
     }
 
     /// Builds a reader from slot specs (crate-internal; the public
@@ -157,6 +163,7 @@ impl IndexReader {
         filter_len: usize,
         num_shards: usize,
         summary_positions: Vec<Vec<usize>>,
+        vfs: std::sync::Arc<dyn Vfs>,
     ) -> Result<IndexReader> {
         let mut slots = Vec::with_capacity(specs.len());
         let mut len = 0usize;
@@ -209,7 +216,26 @@ impl IndexReader {
             bytes_read: AtomicU64::new(0),
             segments_loaded: AtomicUsize::new(0),
             load_lock: Mutex::new(()),
+            vfs,
+            quarantined_segments: 0,
         })
+    }
+
+    /// Records how many segments the store quarantined at open, so the
+    /// degraded flag propagates through every stats surface.
+    pub(crate) fn set_quarantined(&mut self, n: usize) {
+        self.quarantined_segments = n;
+    }
+
+    /// Segments quarantined by the store this reader was built from.
+    pub fn quarantined_segments(&self) -> usize {
+        self.quarantined_segments
+    }
+
+    /// True when quarantined segments mean reads cover only the
+    /// surviving part of the index.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined_segments > 0
     }
 
     /// Total records across all slots.
@@ -274,7 +300,7 @@ impl IndexReader {
         else {
             return Err(storage_err("memory slot lost its arena".to_string()));
         };
-        let seg = read_segment(path)?;
+        let seg = read_segment_with(&*self.vfs, path)?;
         if seg.shard != *shard {
             return Err(storage_err(format!(
                 "segment {seg_id} claims shard {}, manifest says {shard}",

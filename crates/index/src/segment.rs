@@ -23,6 +23,7 @@
 //! typed [`PprlError::Storage`] errors.
 
 use crate::format::{append_checksum, checked_body, io_err, storage_err, Reader};
+use crate::vfs::{StdVfs, Vfs};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
 use std::path::Path;
@@ -170,13 +171,33 @@ pub fn write_segment(
     filter_len: usize,
     records: &[(u64, &BitVec)],
 ) -> Result<()> {
+    write_segment_with(&StdVfs, path, shard, filter_len, records)
+}
+
+/// [`write_segment`] through an injectable [`Vfs`]. Durably persists the
+/// file's *content* (write + fsync); making its directory entry durable
+/// is the caller's barrier (`sync_dir` once per batch of segments).
+pub fn write_segment_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    shard: u32,
+    filter_len: usize,
+    records: &[(u64, &BitVec)],
+) -> Result<()> {
     let bytes = encode_segment(shard, filter_len, records)?;
-    std::fs::write(path, &bytes).map_err(|e| io_err(path, "writing", e))
+    vfs.write(path, &bytes)
+        .map_err(|e| io_err(path, "writing", e))?;
+    vfs.sync_file(path).map_err(|e| io_err(path, "syncing", e))
 }
 
 /// Reads and verifies a segment file.
 pub fn read_segment(path: &Path) -> Result<Segment> {
-    let bytes = std::fs::read(path).map_err(|e| io_err(path, "reading", e))?;
+    read_segment_with(&StdVfs, path)
+}
+
+/// [`read_segment`] through an injectable [`Vfs`].
+pub fn read_segment_with(vfs: &dyn Vfs, path: &Path) -> Result<Segment> {
+    let bytes = vfs.read(path).map_err(|e| io_err(path, "reading", e))?;
     decode_segment(&bytes).map_err(|e| storage_err(format!("{}: {e}", path.display())))
 }
 

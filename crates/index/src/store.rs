@@ -2,13 +2,29 @@
 //! segment flushes, and background-style compaction.
 //!
 //! An [`IndexStore`] owns one index directory. Inserts are appended to a
-//! write-ahead log (`wal.log`, per-entry checksums) so they survive a
-//! crash before the next flush; [`IndexStore::flush`] groups pending
-//! records by shard, writes one immutable segment per non-empty shard,
-//! commits the new catalogue to the manifest (atomic rename) and then
-//! resets the log. [`IndexStore::compact`] merges each shard's segments
-//! into a single popcount-sorted segment, which keeps per-shard file
-//! counts bounded under incremental insert workloads.
+//! write-ahead log (`wal.log`, per-entry checksums) and — under the
+//! default [`DurabilityMode::Always`] — fsynced before the call
+//! returns, so an acked insert survives a crash before the next flush;
+//! [`IndexStore::flush`] groups pending records by shard, writes (and
+//! fsyncs) one immutable segment per non-empty shard, syncs the
+//! directory, commits the new catalogue to the manifest (fsynced tmp +
+//! rename + directory fsync) and then resets the log under a new flush
+//! epoch. [`IndexStore::compact`] merges each shard's segments into a
+//! single popcount-sorted segment, which keeps per-shard file counts
+//! bounded under incremental insert workloads.
+//!
+//! All file IO goes through an injectable [`Vfs`] (see
+//! [`StoreOptions`]), so the crash-recovery property tests drive the
+//! identical code paths against a deterministic in-memory
+//! [`crate::vfs::FaultVfs`]. Recovery distinguishes benign crash
+//! artefacts (a torn WAL tail, a stale-epoch log left by a crash
+//! between the manifest swap and the WAL reset — both repaired
+//! silently on open) from real corruption (a flipped byte mid-file is
+//! a typed [`PprlError::Storage`] error naming the byte offset). A
+//! catalogued segment that fails verification at open is moved to the
+//! `quarantine/` subdirectory and recorded in the manifest's health
+//! ledger, so the surviving index still opens and serves degraded
+//! reads instead of refusing entirely.
 //!
 //! Records are routed to shards by the FNV-1a hash of their Hamming-LSH
 //! band key (table 0 of a [`pprl_blocking::lsh::HammingLsh`] built from
@@ -19,25 +35,34 @@ use crate::arena::FilterArena;
 use crate::format::{fnv1a, io_err, storage_err, Reader};
 use crate::manifest::{segment_path, Manifest, SegmentEntry};
 use crate::query::{IndexReader, SlotSpec};
-use crate::segment::{read_segment, record_count_for_size, write_segment};
+use crate::segment::{read_segment_with, record_count_for_size, write_segment_with};
 use crate::summary::{band_keys, summary_positions, BandKeySummary};
+use crate::vfs::{std_vfs, Vfs};
 use pprl_blocking::lsh::HammingLsh;
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-pub use crate::manifest::{IndexConfig, MANIFEST_FILE};
+pub use crate::manifest::{IndexConfig, QuarantinedSegment, MANIFEST_FILE};
 
 /// WAL file name inside an index directory.
 pub const WAL_FILE: &str = "wal.log";
 
+/// Subdirectory segments that fail verification at open are moved to.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 /// WAL file magic ("PWL1").
 const WAL_MAGIC: u32 = 0x314c_5750;
-/// Current WAL format version.
-const WAL_VERSION: u16 = 1;
-/// WAL header bytes.
-const WAL_HEADER_LEN: usize = 10;
+/// Current WAL format version (2 = flush epoch + header checksum).
+const WAL_VERSION: u16 = 2;
+/// Version-1 WAL header bytes (`magic u32 | version u16 | flen u32`).
+const WAL_HEADER_LEN_V1: usize = 10;
+/// Version-2 WAL header bytes: `magic u32 | version u16 | flen u32 |
+/// flush_epoch u64 | fnv1a u64`, the checksum covering the preceding 18
+/// bytes. A flipped header byte is therefore a typed error, while a
+/// short header can only be a torn creation — benign and repairable.
+const WAL_HEADER_LEN: usize = 26;
 
 /// Summary of an index's on-disk and in-log state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +79,9 @@ pub struct IndexStats {
     pub pending_records: usize,
     /// Total bytes of segment + log + manifest files.
     pub disk_bytes: u64,
+    /// Segments quarantined at open (0 = healthy; > 0 = the index
+    /// serves degraded reads over the surviving segments).
+    pub quarantined_segments: usize,
 }
 
 /// What building an [`IndexReader`] actually read from disk.
@@ -65,6 +93,56 @@ pub struct ReadStats {
     pub segments_read: usize,
     /// Segments skipped by popcount pruning (not read at all).
     pub segments_skipped: usize,
+}
+
+/// When the WAL is fsynced relative to acking an insert.
+///
+/// The trade-off is the classic one: `Always` makes every acked insert
+/// crash-durable at the cost of one fsync per batch; `Interval(n)`
+/// amortises the fsync over `n` records and bounds the crash-loss
+/// window to at most `n` acked records; `Never` leaves durability to
+/// the next [`IndexStore::flush`] (or the OS), the fastest and least
+/// safe setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Fsync the WAL before every [`IndexStore::insert_batch`] returns.
+    #[default]
+    Always,
+    /// Fsync once at least this many records have been appended since
+    /// the last sync.
+    Interval(u32),
+    /// Never fsync the WAL on insert; segments and the manifest are
+    /// still fsynced on flush.
+    Never,
+}
+
+/// How an [`IndexStore`] talks to storage: the durability policy and
+/// the [`Vfs`] implementation every file operation is routed through.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// WAL fsync policy (default [`DurabilityMode::Always`]).
+    pub durability: DurabilityMode,
+    /// IO layer (default [`crate::vfs::StdVfs`]).
+    pub vfs: Arc<dyn Vfs>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            durability: DurabilityMode::Always,
+            vfs: std_vfs(),
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Default durability on the given VFS — the common harness setup.
+    pub fn with_vfs(vfs: Arc<dyn Vfs>) -> Self {
+        StoreOptions {
+            durability: DurabilityMode::Always,
+            vfs,
+        }
+    }
 }
 
 /// Policy for [`IndexStore::compact_tiered`]: segments are grouped into
@@ -152,9 +230,14 @@ impl CompactionOutcome {
 /// between manifest swap and reclaim leaves orphans that a later pass
 /// may have cleaned).
 pub fn reclaim(paths: &[PathBuf]) -> Result<usize> {
+    reclaim_with(&crate::vfs::StdVfs, paths)
+}
+
+/// [`reclaim`] through an injectable [`Vfs`].
+pub fn reclaim_with(vfs: &dyn Vfs, paths: &[PathBuf]) -> Result<usize> {
     let mut removed = 0usize;
     for path in paths {
-        match std::fs::remove_file(path) {
+        match vfs.remove_file(path) {
             Ok(()) => removed += 1,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(io_err(path, "reclaiming", e)),
@@ -175,29 +258,62 @@ pub struct IndexStore {
     /// Cached disjoint band-key position tables for segment summaries
     /// (empty when summaries are disabled).
     band_positions: Vec<Vec<usize>>,
+    /// IO layer every file operation goes through.
+    vfs: Arc<dyn Vfs>,
+    /// WAL fsync policy.
+    durability: DurabilityMode,
+    /// Records appended since the last WAL fsync (Interval mode).
+    wal_unsynced: u64,
+    /// False after a failed WAL write: the on-disk log may be torn or
+    /// carry a stale epoch, so it is rewritten from `pending` before
+    /// the next append.
+    wal_ok: bool,
 }
 
 impl IndexStore {
     /// Creates a new, empty index in `dir` (which must not already hold
     /// one). The directory is created if missing.
     pub fn create(dir: &Path, config: IndexConfig) -> Result<IndexStore> {
+        Self::create_with(dir, config, StoreOptions::default())
+    }
+
+    /// [`IndexStore::create`] with an explicit durability policy and
+    /// IO layer.
+    pub fn create_with(
+        dir: &Path,
+        config: IndexConfig,
+        options: StoreOptions,
+    ) -> Result<IndexStore> {
         config.validate()?;
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "creating", e))?;
-        if dir.join(MANIFEST_FILE).exists() {
+        let vfs = options.vfs;
+        vfs.create_dir_all(dir)
+            .map_err(|e| io_err(dir, "creating", e))?;
+        if vfs.exists(&dir.join(MANIFEST_FILE)) {
             return Err(storage_err(format!(
                 "{} already holds an index (MANIFEST exists)",
                 dir.display()
             )));
         }
         let manifest = Manifest::new(config);
-        manifest.save(dir)?;
-        write_wal_header(&dir.join(WAL_FILE), config.filter_len)?;
+        let wal = dir.join(WAL_FILE);
+        let image = encode_wal_image(config.filter_len, manifest.flush_epoch, &[]);
+        vfs.write(&wal, &image)
+            .map_err(|e| io_err(&wal, "writing", e))?;
+        vfs.sync_file(&wal)
+            .map_err(|e| io_err(&wal, "syncing", e))?;
+        // save_with ends in a directory fsync, which also persists the
+        // fresh WAL's directory entry.
+        manifest.save_with(&*vfs, dir)?;
         Ok(IndexStore {
             dir: dir.to_path_buf(),
             routing_positions: routing_positions(&config)?,
             band_positions: summary_positions(config.lsh_seed, config.filter_len, config.summary),
             manifest,
             pending: Vec::new(),
+            vfs,
+            durability: options.durability,
+            wal_unsynced: 0,
+            wal_ok: true,
         })
     }
 
@@ -208,17 +324,61 @@ impl IndexStore {
     /// and not a bare "file not found" that hides *which* file an index
     /// was expected to provide. A truncated or corrupted manifest
     /// likewise surfaces as a typed error from [`Manifest::load`].
+    ///
+    /// Open is also where crash recovery happens: a missing, torn, or
+    /// stale-epoch WAL is repaired (rewritten with exactly the entries
+    /// that survive the recovery rules; see [`DurabilityMode`] and the
+    /// module docs), and every catalogued segment is fully verified —
+    /// one that fails its checksum, length, or shard/geometry checks is
+    /// moved to `quarantine/` and recorded in the manifest's health
+    /// ledger rather than refusing the open. Check
+    /// [`IndexStore::is_degraded`] after opening.
     pub fn open(dir: &Path) -> Result<IndexStore> {
-        if !dir.join(MANIFEST_FILE).exists() {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`IndexStore::open`] with an explicit durability policy and IO
+    /// layer.
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<IndexStore> {
+        let vfs = options.vfs;
+        if !vfs.exists(&dir.join(MANIFEST_FILE)) {
             return Err(storage_err(format!(
                 "no index at {}: MANIFEST missing (not an index directory, \
                  or the manifest was deleted)",
                 dir.display()
             )));
         }
-        let manifest = Manifest::load(dir)?;
-        let pending = replay_wal(&dir.join(WAL_FILE), manifest.config.filter_len)?;
-        Ok(IndexStore {
+        let mut manifest = Manifest::load_with(&*vfs, dir)?;
+        let replay = replay_wal_with(
+            &*vfs,
+            &dir.join(WAL_FILE),
+            manifest.config.filter_len,
+            manifest.flush_epoch,
+        )?;
+        // Verify every catalogued segment up front; quarantine failures
+        // instead of refusing to open. The full read costs one pass over
+        // the index, paid once per open, and is what makes "the store
+        // opened" mean "every segment it will serve is intact".
+        let mut newly_quarantined = false;
+        let mut kept = Vec::with_capacity(manifest.segments.len());
+        for entry in std::mem::take(&mut manifest.segments) {
+            match verify_segment(&*vfs, dir, &entry, manifest.config.filter_len) {
+                Ok(()) => kept.push(entry),
+                Err(_) => {
+                    quarantine_segment(&*vfs, dir, entry.id)?;
+                    manifest.quarantined.push(QuarantinedSegment {
+                        shard: entry.shard,
+                        id: entry.id,
+                    });
+                    newly_quarantined = true;
+                }
+            }
+        }
+        manifest.segments = kept;
+        if newly_quarantined {
+            manifest.save_with(&*vfs, dir)?;
+        }
+        let mut store = IndexStore {
             dir: dir.to_path_buf(),
             routing_positions: routing_positions(&manifest.config)?,
             band_positions: summary_positions(
@@ -227,8 +387,22 @@ impl IndexStore {
                 manifest.config.summary,
             ),
             manifest,
-            pending,
-        })
+            pending: replay.records,
+            vfs,
+            durability: options.durability,
+            wal_unsynced: 0,
+            wal_ok: true,
+        };
+        if replay.repair {
+            // Rewrite the log so the torn/stale bytes are gone before
+            // any new append lands after them.
+            store.rewrite_wal()?;
+            store
+                .vfs
+                .sync_dir(dir)
+                .map_err(|e| io_err(dir, "syncing directory", e))?;
+        }
+        Ok(store)
     }
 
     /// The index configuration.
@@ -246,14 +420,23 @@ impl IndexStore {
         self.pending.len()
     }
 
+    /// The WAL-resident records themselves, in append order. Exactly
+    /// what a reopen after a crash would replay.
+    pub fn pending(&self) -> &[(u64, BitVec)] {
+        &self.pending
+    }
+
     /// Shard a filter routes to (stable across restarts).
     pub fn shard_of(&self, filter: &BitVec) -> Result<u32> {
         let key = filter.sample(&self.routing_positions)?.to_bytes();
         Ok((fnv1a(&key) % u64::from(self.manifest.config.num_shards)) as u32)
     }
 
-    /// Appends records to the write-ahead log. They are durable once this
-    /// returns and become segment-resident on the next [`flush`].
+    /// Appends records to the write-ahead log. Under
+    /// [`DurabilityMode::Always`] (the default) the log is fsynced before
+    /// this returns, so an acked batch survives a crash; see
+    /// [`DurabilityMode`] for the weaker settings. Records become
+    /// segment-resident on the next [`flush`].
     ///
     /// [`flush`]: IndexStore::flush
     pub fn insert_batch(&mut self, records: &[(u64, BitVec)]) -> Result<()> {
@@ -267,24 +450,79 @@ impl IndexStore {
             }
         }
         let path = self.dir.join(WAL_FILE);
-        let mut file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| io_err(&path, "opening", e))?;
+        if !self.wal_ok {
+            // A previous write failed, so the on-disk log may be torn:
+            // rebuild it from the authoritative in-memory pending set
+            // before appending anything after the damage.
+            self.rewrite_wal()?;
+        }
         let mut buf = Vec::new();
         for (id, filter) in records {
             encode_wal_entry(&mut buf, *id, filter);
         }
-        file.write_all(&buf)
-            .map_err(|e| io_err(&path, "appending to", e))?;
-        file.flush().map_err(|e| io_err(&path, "flushing", e))?;
+        if let Err(e) = self.vfs.append(&path, &buf) {
+            // The append may have half-landed (short write, crash,
+            // ENOSPC). Best-effort repair now; if the disk is still
+            // failing the flag makes the next insert retry the repair.
+            self.wal_ok = false;
+            if self.rewrite_wal().is_ok() {
+                self.wal_ok = true;
+            }
+            return Err(io_err(&path, "appending to", e));
+        }
+        match self.durability {
+            DurabilityMode::Always => {
+                self.vfs
+                    .sync_file(&path)
+                    .map_err(|e| io_err(&path, "syncing", e))?;
+            }
+            DurabilityMode::Interval(n) => {
+                self.wal_unsynced += records.len() as u64;
+                if self.wal_unsynced >= u64::from(n.max(1)) {
+                    self.vfs
+                        .sync_file(&path)
+                        .map_err(|e| io_err(&path, "syncing", e))?;
+                    self.wal_unsynced = 0;
+                }
+            }
+            DurabilityMode::Never => {}
+        }
         self.pending.extend(records.iter().cloned());
+        Ok(())
+    }
+
+    /// Rewrites the log from scratch — header at the current flush epoch
+    /// plus every pending record — and fsyncs it.
+    fn rewrite_wal(&mut self) -> Result<()> {
+        let path = self.dir.join(WAL_FILE);
+        let image = encode_wal_image(
+            self.manifest.config.filter_len,
+            self.manifest.flush_epoch,
+            &self.pending,
+        );
+        self.vfs
+            .write(&path, &image)
+            .map_err(|e| io_err(&path, "rewriting", e))?;
+        self.vfs
+            .sync_file(&path)
+            .map_err(|e| io_err(&path, "syncing", e))?;
+        self.wal_ok = true;
+        self.wal_unsynced = 0;
         Ok(())
     }
 
     /// Flushes pending records into immutable segments: one new segment
     /// per non-empty shard, committed via the manifest, after which the
     /// log is reset. A no-op when nothing is pending.
+    ///
+    /// Barrier order: segment contents are fsynced by the segment
+    /// writer, the directory is fsynced so their entries are durable
+    /// *before* the manifest names them, the manifest commits under a
+    /// bumped flush epoch (fsynced tmp + rename + dir fsync), and only
+    /// then is the log reset under the new epoch. A crash anywhere in
+    /// between leaves either the old manifest + intact WAL (the flush
+    /// simply never happened) or the new manifest + a stale-epoch WAL
+    /// that replay discards — never a double replay of flushed records.
     pub fn flush(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
@@ -301,7 +539,8 @@ impl IndexStore {
                 continue;
             }
             let seg_id = self.manifest.next_segment_id + new_segments.len() as u64;
-            write_segment(
+            write_segment_with(
+                &*self.vfs,
                 &segment_path(&self.dir, seg_id),
                 shard as u32,
                 flen,
@@ -314,12 +553,20 @@ impl IndexStore {
                 &self.band_positions,
             )?);
         }
-        self.manifest.next_segment_id += new_segments.len() as u64;
-        self.manifest.segments.extend(new_segments);
-        self.manifest.save(&self.dir)?;
-        write_wal_header(&self.dir.join(WAL_FILE), flen)?;
+        self.vfs
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, "syncing directory", e))?;
+        // Commit on a scratch manifest so a failed save leaves the
+        // in-memory state (and the next segment id) untouched; the
+        // orphaned segment files are simply overwritten by a retry.
+        let mut next = self.manifest.clone();
+        next.next_segment_id += new_segments.len() as u64;
+        next.segments.extend(new_segments);
+        next.flush_epoch += 1;
+        next.save_with(&*self.vfs, &self.dir)?;
+        self.manifest = next;
         self.pending.clear();
-        Ok(())
+        self.rewrite_wal()
     }
 
     /// Flushes, then merges every shard with more than one segment into a
@@ -342,11 +589,16 @@ impl IndexStore {
             reclaimed += entries.len() - 1;
             removed_paths.extend(entries.iter().map(|e| segment_path(&self.dir, e.id)));
         }
+        self.vfs
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, "syncing directory", e))?;
         self.manifest.segments = catalogue;
-        self.manifest.save(&self.dir)?;
+        self.manifest.save_with(&*self.vfs, &self.dir)?;
         // Only after the manifest commit is it safe to reclaim old files.
         for path in removed_paths {
-            std::fs::remove_file(&path).map_err(|e| io_err(&path, "removing", e))?;
+            self.vfs
+                .remove_file(&path)
+                .map_err(|e| io_err(&path, "removing", e))?;
         }
         Ok(reclaimed)
     }
@@ -378,7 +630,7 @@ impl IndexStore {
             let mut tiers: std::collections::BTreeMap<u32, Vec<SegmentEntry>> =
                 std::collections::BTreeMap::new();
             for entry in entries {
-                let bytes = file_size(&segment_path(&self.dir, entry.id))?;
+                let bytes = file_size_with(&*self.vfs, &segment_path(&self.dir, entry.id))?;
                 tiers.entry(policy.tier(bytes)).or_default().push(entry);
             }
             for (_, members) in tiers {
@@ -399,8 +651,11 @@ impl IndexStore {
         if outcome.is_noop() {
             return Ok(outcome);
         }
+        self.vfs
+            .sync_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, "syncing directory", e))?;
         self.manifest.segments = catalogue;
-        self.manifest.save(&self.dir)?;
+        self.manifest.save_with(&*self.vfs, &self.dir)?;
         Ok(outcome)
     }
 
@@ -422,7 +677,13 @@ impl IndexStore {
         let refs: Vec<(u64, &BitVec)> = merged.iter().map(|(id, f)| (*id, f)).collect();
         let new_id = self.manifest.next_segment_id;
         self.manifest.next_segment_id += 1;
-        write_segment(&segment_path(&self.dir, new_id), shard, flen, &refs)?;
+        write_segment_with(
+            &*self.vfs,
+            &segment_path(&self.dir, new_id),
+            shard,
+            flen,
+            &refs,
+        )?;
         let entry = entry_with_bounds(
             shard,
             new_id,
@@ -452,8 +713,8 @@ impl IndexStore {
         let num_shards = self.manifest.config.num_shards;
         let mut shards: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); num_shards as usize];
         let mut stats = ReadStats {
-            bytes_read: file_size(&self.dir.join(MANIFEST_FILE))?
-                + file_size(&self.dir.join(WAL_FILE))?,
+            bytes_read: file_size_with(&*self.vfs, &self.dir.join(MANIFEST_FILE))?
+                + file_size_with(&*self.vfs, &self.dir.join(WAL_FILE))?,
             ..ReadStats::default()
         };
         for entry in &self.manifest.segments {
@@ -463,7 +724,7 @@ impl IndexStore {
             }
             let seg = self.load_segment(entry.id, entry.shard)?;
             stats.segments_read += 1;
-            stats.bytes_read += file_size(&segment_path(&self.dir, entry.id))?;
+            stats.bytes_read += file_size_with(&*self.vfs, &segment_path(&self.dir, entry.id))?;
             shards[entry.shard as usize].extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
         }
         for (id, filter) in &self.pending {
@@ -489,7 +750,7 @@ impl IndexStore {
         let mut specs = Vec::with_capacity(self.manifest.segments.len() + num_shards);
         for entry in &self.manifest.segments {
             let path = segment_path(&self.dir, entry.id);
-            let bytes = file_size(&path)?;
+            let bytes = file_size_with(&*self.vfs, &path)?;
             specs.push(SlotSpec::File {
                 path,
                 shard: entry.shard,
@@ -511,7 +772,15 @@ impl IndexStore {
             }
             specs.push(SlotSpec::Memory(FilterArena::from_records(records, flen)?));
         }
-        IndexReader::from_specs(specs, flen, num_shards, self.band_positions.clone())
+        let mut reader = IndexReader::from_specs(
+            specs,
+            flen,
+            num_shards,
+            self.band_positions.clone(),
+            Arc::clone(&self.vfs),
+        )?;
+        reader.set_quarantined(self.manifest.quarantined.len());
+        Ok(reader)
     }
 
     /// Total records in the index (segment-resident + pending), derived
@@ -522,7 +791,7 @@ impl IndexStore {
         let flen = self.manifest.config.filter_len;
         let mut n = self.pending.len();
         for entry in &self.manifest.segments {
-            let bytes = file_size(&segment_path(&self.dir, entry.id))?;
+            let bytes = file_size_with(&*self.vfs, &segment_path(&self.dir, entry.id))?;
             n += crate::segment::record_count_for_size(bytes, flen);
         }
         Ok(n)
@@ -532,12 +801,12 @@ impl IndexStore {
     /// so corruption anywhere surfaces here as a typed error.
     pub fn stats(&self) -> Result<IndexStats> {
         let mut persisted = 0usize;
-        let mut disk_bytes =
-            file_size(&self.dir.join(MANIFEST_FILE))? + file_size(&self.dir.join(WAL_FILE))?;
+        let mut disk_bytes = file_size_with(&*self.vfs, &self.dir.join(MANIFEST_FILE))?
+            + file_size_with(&*self.vfs, &self.dir.join(WAL_FILE))?;
         for entry in &self.manifest.segments {
             let seg = self.load_segment(entry.id, entry.shard)?;
             persisted += seg.records.len();
-            disk_bytes += file_size(&segment_path(&self.dir, entry.id))?;
+            disk_bytes += file_size_with(&*self.vfs, &segment_path(&self.dir, entry.id))?;
         }
         Ok(IndexStats {
             filter_len: self.manifest.config.filter_len,
@@ -546,11 +815,33 @@ impl IndexStore {
             persisted_records: persisted,
             pending_records: self.pending.len(),
             disk_bytes,
+            quarantined_segments: self.manifest.quarantined.len(),
         })
     }
 
+    /// Segments quarantined at open, from the manifest's health ledger.
+    pub fn quarantined(&self) -> &[QuarantinedSegment] {
+        &self.manifest.quarantined
+    }
+
+    /// True when any segment has been quarantined: the index serves
+    /// reads over the survivors only.
+    pub fn is_degraded(&self) -> bool {
+        !self.manifest.quarantined.is_empty()
+    }
+
+    /// Flush epochs committed so far (bumped once per non-empty flush).
+    pub fn flush_epoch(&self) -> u64 {
+        self.manifest.flush_epoch
+    }
+
+    /// The IO layer this store routes file operations through.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
     fn load_segment(&self, seg_id: u64, shard: u32) -> Result<crate::segment::Segment> {
-        let seg = read_segment(&segment_path(&self.dir, seg_id))?;
+        let seg = read_segment_with(&*self.vfs, &segment_path(&self.dir, seg_id))?;
         if seg.shard != shard {
             return Err(storage_err(format!(
                 "segment {seg_id} claims shard {}, manifest says {shard}",
@@ -614,18 +905,69 @@ fn entry_with_bounds<'a>(
     })
 }
 
-fn file_size(path: &Path) -> Result<u64> {
-    Ok(std::fs::metadata(path)
-        .map_err(|e| io_err(path, "inspecting", e))?
-        .len())
+fn file_size_with(vfs: &dyn Vfs, path: &Path) -> Result<u64> {
+    vfs.file_size(path)
+        .map_err(|e| io_err(path, "inspecting", e))
 }
 
-fn write_wal_header(path: &Path, filter_len: usize) -> Result<()> {
+/// Fully decodes one catalogued segment and checks its shard and filter
+/// geometry against the manifest — the open-time health check behind
+/// quarantining.
+fn verify_segment(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    entry: &SegmentEntry,
+    filter_len: usize,
+) -> Result<()> {
+    let seg = read_segment_with(vfs, &segment_path(dir, entry.id))?;
+    if seg.shard != entry.shard {
+        return Err(storage_err(format!(
+            "segment {} claims shard {}, manifest says {}",
+            entry.id, seg.shard, entry.shard
+        )));
+    }
+    if seg.filter_len != filter_len {
+        return Err(storage_err(format!(
+            "segment {} has {}-bit filters, index expects {filter_len}",
+            entry.id, seg.filter_len
+        )));
+    }
+    Ok(())
+}
+
+/// Moves a failed segment file into the `quarantine/` subdirectory so a
+/// later forensic pass can inspect it. A file that is already missing is
+/// quarantined by ledger record alone.
+fn quarantine_segment(vfs: &dyn Vfs, dir: &Path, seg_id: u64) -> Result<()> {
+    let src = segment_path(dir, seg_id);
+    if !vfs.exists(&src) {
+        return Ok(());
+    }
+    let qdir = dir.join(QUARANTINE_DIR);
+    vfs.create_dir_all(&qdir)
+        .map_err(|e| io_err(&qdir, "creating", e))?;
+    let dst = qdir.join(format!("seg-{seg_id}.seg"));
+    vfs.rename(&src, &dst)
+        .map_err(|e| io_err(&dst, "quarantining segment into", e))?;
+    vfs.sync_dir(&qdir)
+        .map_err(|e| io_err(&qdir, "syncing directory", e))?;
+    vfs.sync_dir(dir)
+        .map_err(|e| io_err(dir, "syncing directory", e))
+}
+
+/// A complete WAL image: header at `flush_epoch` followed by `records`.
+fn encode_wal_image(filter_len: usize, flush_epoch: u64, records: &[(u64, BitVec)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(WAL_HEADER_LEN);
     out.extend_from_slice(&WAL_MAGIC.to_le_bytes());
     out.extend_from_slice(&WAL_VERSION.to_le_bytes());
     out.extend_from_slice(&(filter_len as u32).to_le_bytes());
-    std::fs::write(path, &out).map_err(|e| io_err(path, "writing", e))
+    out.extend_from_slice(&flush_epoch.to_le_bytes());
+    let hsum = fnv1a(&out);
+    out.extend_from_slice(&hsum.to_le_bytes());
+    for (id, filter) in records {
+        encode_wal_entry(&mut out, *id, filter);
+    }
+    out
 }
 
 /// One log entry: `elen u32 | id u64 | bits | fnv1a u64` where the
@@ -641,28 +983,128 @@ fn encode_wal_entry(out: &mut Vec<u8>, id: u64, filter: &BitVec) {
     out.extend_from_slice(&sum.to_le_bytes());
 }
 
-fn replay_wal(path: &Path, filter_len: usize) -> Result<Vec<(u64, BitVec)>> {
-    let bytes = std::fs::read(path).map_err(|e| io_err(path, "reading", e))?;
+/// What [`replay_wal_with`] recovered, plus whether the on-disk log
+/// needs rewriting (missing file, torn header or tail, stale epoch).
+struct WalReplay {
+    records: Vec<(u64, BitVec)>,
+    repair: bool,
+}
+
+impl WalReplay {
+    fn repaired(records: Vec<(u64, BitVec)>) -> WalReplay {
+        WalReplay {
+            records,
+            repair: true,
+        }
+    }
+}
+
+/// Replays the log, distinguishing three outcomes per the recovery
+/// state machine (DESIGN.md):
+///
+/// - **Benign crash artefacts** — a missing log, a header shorter than
+///   its fixed length, a tail that is a proper prefix of a well-formed
+///   entry, or a header epoch *behind* the manifest (crash between the
+///   manifest swap and the WAL reset — the entries are already
+///   segment-resident): recovered silently, `repair` set so the caller
+///   rewrites the log.
+/// - **Corruption** — bad magic/version, a header or entry checksum
+///   mismatch, a wrong length prefix with its bytes fully present, or
+///   an epoch *ahead* of the manifest: a typed [`PprlError::Storage`]
+///   error naming the byte offset. Flipped bits never replay silently.
+/// - **Clean** — every entry verifies; `repair` is false.
+fn replay_wal_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    filter_len: usize,
+    manifest_epoch: u64,
+) -> Result<WalReplay> {
+    let bytes = match vfs.read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay::repaired(Vec::new()))
+        }
+        Err(e) => return Err(io_err(path, "reading", e)),
+    };
+    // A header shorter than the version-1 fixed length can only be a
+    // torn creation or reset: nothing was logged yet.
+    if bytes.len() < WAL_HEADER_LEN_V1 {
+        return Ok(WalReplay::repaired(Vec::new()));
+    }
     let mut r = Reader::new(&bytes, "wal");
     let magic = r.u32()?;
     if magic != WAL_MAGIC {
         return Err(storage_err(format!("not a wal file (magic {magic:#x})")));
     }
     let version = r.u16()?;
-    if version != WAL_VERSION {
-        return Err(storage_err(format!("unsupported wal version {version}")));
-    }
-    let flen = r.u32()? as usize;
+    let epoch = match version {
+        // Version-1 logs (pre-durability) carry no epoch; they pair
+        // with manifests whose flush_epoch decodes as 0.
+        1 => {
+            let _flen = r.u32()?;
+            0
+        }
+        2 => {
+            if bytes.len() < WAL_HEADER_LEN {
+                // Torn mid-header: the reset crashed before the epoch
+                // and checksum landed. Nothing was logged after it.
+                return Ok(WalReplay::repaired(Vec::new()));
+            }
+            let _flen = r.u32()?;
+            let epoch = r.u64()?;
+            let declared = r.u64()?;
+            let actual = fnv1a(&bytes[..WAL_HEADER_LEN - 8]);
+            if declared != actual {
+                return Err(storage_err(format!(
+                    "wal header checksum mismatch ({declared:#x} declared, {actual:#x} actual)"
+                )));
+            }
+            epoch
+        }
+        v => return Err(storage_err(format!("unsupported wal version {v}"))),
+    };
+    let flen = u32::from_le_bytes(bytes[6..10].try_into().expect("length checked")) as usize;
     if flen != filter_len {
         return Err(storage_err(format!(
             "wal declares {flen}-bit filters, index expects {filter_len}"
         )));
     }
+    if epoch < manifest_epoch {
+        // Stale log: a flush committed the manifest but crashed before
+        // resetting the WAL. Replaying it would duplicate records that
+        // are already segment-resident, so discard it.
+        return Ok(WalReplay::repaired(Vec::new()));
+    }
+    if epoch > manifest_epoch {
+        return Err(storage_err(format!(
+            "wal flush epoch {epoch} is ahead of manifest epoch {manifest_epoch}: \
+             this log does not pair with this manifest"
+        )));
+    }
     let filter_bytes = filter_len.div_ceil(8);
     let entry_len = 8 + filter_bytes;
+    let frame_len = 4 + entry_len + 8;
     let mut records = Vec::new();
     while r.pos() < bytes.len() {
         let start = r.pos();
+        let remaining = bytes.len() - start;
+        if remaining < frame_len {
+            // Short tail. It is a benign torn append only if what *is*
+            // present is a prefix of a well-formed entry; a fully
+            // present length prefix that disagrees is corruption.
+            if remaining >= 4 {
+                let declared =
+                    u32::from_le_bytes(bytes[start..start + 4].try_into().expect("4 bytes"))
+                        as usize;
+                if declared != entry_len {
+                    return Err(storage_err(format!(
+                        "wal entry at offset {start}: length prefix {declared}, \
+                         expected {entry_len}"
+                    )));
+                }
+            }
+            return Ok(WalReplay::repaired(records));
+        }
         let declared = r.u32()? as usize;
         if declared != entry_len {
             return Err(storage_err(format!(
@@ -682,7 +1124,10 @@ fn replay_wal(path: &Path, filter_len: usize) -> Result<Vec<(u64, BitVec)>> {
         }
         records.push((id, filter));
     }
-    Ok(records)
+    Ok(WalReplay {
+        records,
+        repair: false,
+    })
 }
 
 #[cfg(test)]
@@ -929,17 +1374,26 @@ mod tests {
     }
 
     #[test]
-    fn torn_wal_tail_is_typed_error() {
+    fn torn_wal_tail_recovers_prefix_but_flipped_byte_is_typed_error() {
         let dir = temp_dir("torn");
         let mut store = IndexStore::create(&dir, IndexConfig::new(64, 2)).unwrap();
         store.insert_batch(&filters(3, 64)).unwrap();
         drop(store);
         let wal = dir.join(WAL_FILE);
         let bytes = std::fs::read(&wal).unwrap();
-        // Tear mid-entry and flip a byte: both must be typed errors.
+        // A tear mid-entry is a benign crash artefact: open recovers
+        // exactly the entries before it and repairs the log in place.
         std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
-        let err = IndexStore::open(&dir).unwrap_err();
-        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        let store = IndexStore::open(&dir).unwrap();
+        assert_eq!(store.record_count().unwrap(), 2, "entries before the tear");
+        let repaired = std::fs::read(&wal).unwrap();
+        assert_eq!(
+            repaired.len(),
+            bytes.len() - (bytes.len() - WAL_HEADER_LEN) / 3,
+            "repair drops exactly the torn frame"
+        );
+        drop(store);
+        // A flipped byte mid-file is corruption, not a crash: typed error.
         let mut flipped = bytes.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0x40;

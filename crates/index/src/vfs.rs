@@ -1,0 +1,794 @@
+//! The injectable IO layer every file operation in this crate goes
+//! through.
+//!
+//! [`Vfs`] is the narrow, object-safe surface the store actually needs
+//! (whole-file read/write, append, rename, fsync of files and
+//! directories). [`StdVfs`] is the production passthrough to `std::fs`.
+//! [`FaultVfs`] is a deterministic, fully in-memory filesystem with a
+//! seeded fault model — the storage-side twin of the network
+//! `FaultPlan` in `pprl-protocols` — that injects short writes, crash
+//! points discarding un-synced data, torn renames, `ENOSPC`, and
+//! read-side bit flips. Because it never touches disk, crash-recovery
+//! property tests can sweep hundreds of fault schedules in
+//! milliseconds with no temp-dir cleanup races.
+//!
+//! ## Durability model of `FaultVfs`
+//!
+//! Each file has *live* content (what the process observes) and
+//! *durable* content (what survives a crash: everything up to the last
+//! `sync_file`). Directory entries are durable only once the parent
+//! directory is synced: creates, renames, and removes sit in a pending
+//! log that [`Vfs::sync_dir`] applies. At a crash point the surviving
+//! image of a file is its durable content plus a seeded-RNG prefix of
+//! the un-synced tail — the classic torn-write outcome. A file
+//! *overwritten* (not appended) since its last sync survives as an
+//! arbitrary prefix of the new bytes, modelling truncate-then-write;
+//! this is the pessimistic assumption `std::fs::write` deserves, and it
+//! is why the store only ever overwrites via tmp + `rename`. Directory
+//! *creation* is assumed durable (real filesystems journal it far more
+//! aggressively than data), which keeps the model focused on the
+//! file-level hazards the store must survive.
+
+use pprl_core::rng::SplitMix64;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Object-safe filesystem abstraction for the index store.
+///
+/// All methods use `std::io::Result`; callers in this crate convert to
+/// typed [`pprl_core::error::PprlError::Storage`] errors with the path
+/// and operation via `format::io_err`.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Writes `data` to `path`, creating or truncating it. **Not**
+    /// atomic and **not** durable by itself — pair with [`Vfs::sync_file`]
+    /// and [`Vfs::sync_dir`], or write to a tmp path and [`Vfs::rename`].
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` to `path`, creating it if absent.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Renames `from` to `to` (same directory: atomic replace).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Fsyncs the file's *content*. Does not persist its directory
+    /// entry — a freshly created file also needs [`Vfs::sync_dir`].
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory, persisting creates/renames/removes of its
+    /// entries.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Size of the file in bytes.
+    fn file_size(&self, path: &Path) -> io::Result<u64>;
+    /// Removes the file. Missing files are an error (callers that
+    /// tolerate `NotFound` check the error kind).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Creates the directory and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// True if a file or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Vfs`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(data)?;
+        file.flush()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // POSIX idiom for persisting its entries; on platforms where
+        // directories cannot be opened (e.g. Windows) the open fails
+        // and we treat directory durability as implicit.
+        match std::fs::File::open(path) {
+            Ok(dir) => dir.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Returns the default production VFS as a shareable handle.
+pub fn std_vfs() -> Arc<dyn Vfs> {
+    Arc::new(StdVfs)
+}
+
+/// Deterministic storage-fault schedule for [`FaultVfs`], mirroring the
+/// network `FaultPlan` of `pprl-protocols`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG; identical plans replay identical faults.
+    pub seed: u64,
+    /// Probability a `write`/`append` fails after applying only a
+    /// prefix of its bytes (the caller sees an error; the file is torn).
+    pub short_write_rate: f64,
+    /// Probability a `read` returns the content with one bit flipped
+    /// (transient — the stored bytes are unchanged).
+    pub read_flip_rate: f64,
+    /// One-shot `ENOSPC`: the first `write`/`append` after cumulative
+    /// written bytes exceed this threshold fails with
+    /// [`io::ErrorKind::StorageFull`], then the device "frees space".
+    pub enospc_after_bytes: Option<u64>,
+    /// Crash at the N-th mutating operation (1-based): the op partially
+    /// applies, every later call fails, and
+    /// [`FaultVfs::crash_and_recover`] rolls the filesystem back to
+    /// what a real power loss would have preserved.
+    pub crash_after_ops: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A perfectly reliable disk.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A reliable disk that crashes at mutating operation `n` (1-based).
+    pub fn crash_at(seed: u64, n: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_after_ops: Some(n),
+            ..FaultPlan::none()
+        }
+    }
+}
+
+/// A pending directory-entry mutation, applied on [`Vfs::sync_dir`].
+#[derive(Debug, Clone)]
+enum DirOp {
+    Create(PathBuf),
+    Rename(PathBuf, PathBuf),
+    Remove(PathBuf),
+}
+
+impl DirOp {
+    /// The directory whose fsync persists this op.
+    fn parent(&self) -> &Path {
+        let p = match self {
+            DirOp::Create(p) | DirOp::Remove(p) => p,
+            // A same-directory rename (the only kind the store issues
+            // within one dir) persists with the destination's parent;
+            // cross-directory moves (quarantine) also sync that side.
+            DirOp::Rename(_, to) => to,
+        };
+        p.parent().unwrap_or(Path::new(""))
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// What the running process observes.
+    live: BTreeMap<PathBuf, Vec<u8>>,
+    /// Content as of each file's last `sync_file`.
+    durable: BTreeMap<PathBuf, Vec<u8>>,
+    /// Paths whose directory entry has been persisted by `sync_dir`.
+    durable_dirent: BTreeSet<PathBuf>,
+    /// Dirent mutations awaiting their parent directory's fsync.
+    pending: Vec<DirOp>,
+    /// Existing directories (assumed durable; see module docs).
+    dirs: BTreeSet<PathBuf>,
+    rng: SplitMix64,
+    plan: FaultPlan,
+    /// Cumulative bytes handed to `write`/`append` (drives `ENOSPC`).
+    bytes_written: u64,
+    /// Mutating operations performed (drives `crash_after_ops`).
+    ops: u64,
+    crashed: bool,
+}
+
+/// A deterministic in-memory [`Vfs`] with seeded fault injection.
+///
+/// See the module docs for the durability model. All state sits behind
+/// a mutex, so one `FaultVfs` can safely back a store and its readers.
+#[derive(Debug)]
+pub struct FaultVfs {
+    state: Mutex<FaultState>,
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other("simulated crash: vfs is offline until recovery")
+}
+
+fn chance(rng: &mut SplitMix64, rate: f64) -> bool {
+    rate > 0.0 && (rng.next_u64() as f64 / u64::MAX as f64) < rate
+}
+
+impl FaultVfs {
+    /// A fault-injecting in-memory filesystem following `plan`.
+    pub fn new(plan: FaultPlan) -> Arc<FaultVfs> {
+        Arc::new(FaultVfs {
+            state: Mutex::new(FaultState {
+                live: BTreeMap::new(),
+                durable: BTreeMap::new(),
+                durable_dirent: BTreeSet::new(),
+                pending: Vec::new(),
+                dirs: BTreeSet::new(),
+                rng: SplitMix64::new(plan.seed ^ 0x005d_15c0_de0f_d15c),
+                plan,
+                bytes_written: 0,
+                ops: 0,
+                crashed: false,
+            }),
+        })
+    }
+
+    /// A perfectly reliable in-memory filesystem — the oracle twin of a
+    /// faulty store, and a fast backing for unit tests.
+    pub fn reliable() -> Arc<FaultVfs> {
+        FaultVfs::new(FaultPlan::none())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().expect("fault vfs lock")
+    }
+
+    /// Mutating operations performed so far. A fault-free dry run of a
+    /// workload measures this to enumerate every crash point.
+    pub fn mutating_ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// True once an injected crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Arms (or re-arms) a crash `n` mutating operations from *now*.
+    pub fn arm_crash_after(&self, n: u64) {
+        let mut st = self.lock();
+        let at = st.ops + n;
+        st.plan.crash_after_ops = Some(at);
+    }
+
+    /// Simulates the machine rebooting: every file rolls back to what a
+    /// power loss would have preserved (durable content plus a seeded
+    /// prefix of any un-synced tail; un-persisted dirents vanish), and
+    /// the VFS accepts operations again.
+    pub fn crash_and_recover(&self) {
+        let mut st = self.lock();
+        let mut survivors: BTreeMap<PathBuf, Vec<u8>> = BTreeMap::new();
+        // The destination of an un-persisted rename still points at the
+        // *old* inode after a crash: the new content was only ever
+        // reachable through the dirent swap that never hit the platters.
+        let renamed_to: BTreeSet<PathBuf> = st
+            .pending
+            .iter()
+            .filter_map(|op| match op {
+                DirOp::Rename(_, to) => Some(to.clone()),
+                _ => None,
+            })
+            .collect();
+        let dirents: Vec<PathBuf> = st.durable_dirent.iter().cloned().collect();
+        for path in dirents {
+            let durable = st.durable.get(&path).cloned().unwrap_or_default();
+            if renamed_to.contains(&path) {
+                survivors.insert(path, durable);
+                continue;
+            }
+            let content = match st.live.get(&path).cloned() {
+                Some(live) if live.starts_with(&durable) => {
+                    // Append-style growth: the synced prefix survives;
+                    // the un-synced tail survives up to a torn point.
+                    let keep = durable.len() as u64
+                        + st.rng.next_below((live.len() - durable.len()) as u64 + 1);
+                    live[..keep as usize].to_vec()
+                }
+                Some(live) => {
+                    // Overwritten in place since the last sync: the old
+                    // bytes are gone, an arbitrary prefix of the new
+                    // bytes made it to the platters.
+                    let keep = st.rng.next_below(live.len() as u64 + 1);
+                    live[..keep as usize].to_vec()
+                }
+                // Removed in live but the remove never reached the
+                // directory: the old durable content survives.
+                None => durable,
+            };
+            survivors.insert(path, content);
+        }
+        st.live = survivors.clone();
+        st.durable = survivors;
+        st.pending.clear();
+        st.crashed = false;
+        st.plan.crash_after_ops = None;
+    }
+
+    /// Flips bits of the *stored* bytes at `path` (live and durable):
+    /// `byte ^= mask`. Drives quarantine tests deterministically.
+    /// Panics if the path or offset does not exist — a test bug.
+    pub fn corrupt_stored(&self, path: &Path, byte: usize, mask: u8) {
+        let mut st = self.lock();
+        let st = &mut *st;
+        for map in [&mut st.live, &mut st.durable] {
+            if let Some(content) = map.get_mut(path) {
+                assert!(byte < content.len(), "corrupt_stored: offset out of range");
+                content[byte] ^= mask;
+            }
+        }
+    }
+
+    /// Sorted live file listing (for assertions in tests).
+    pub fn list_files(&self) -> Vec<PathBuf> {
+        self.lock().live.keys().cloned().collect()
+    }
+
+    /// Runs the pre-op fault gates shared by every mutating operation.
+    /// Returns `Ok(true)` when this op is the crash point (the caller
+    /// partially applies, then reports the crash).
+    fn mutating_gate(st: &mut FaultState) -> io::Result<bool> {
+        if st.crashed {
+            return Err(crash_err());
+        }
+        st.ops += 1;
+        if st.plan.crash_after_ops.is_some_and(|n| st.ops >= n) {
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// ENOSPC gate for data-writing ops; charges `len` bytes.
+    fn charge_bytes(st: &mut FaultState, len: usize) -> io::Result<()> {
+        st.bytes_written += len as u64;
+        if let Some(limit) = st.plan.enospc_after_bytes {
+            if st.bytes_written > limit {
+                st.plan.enospc_after_bytes = None; // one-shot
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "simulated ENOSPC: no space left on device",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn parent_exists(st: &FaultState, path: &Path) -> io::Result<()> {
+        match path.parent() {
+            Some(parent) if parent.as_os_str().is_empty() => Ok(()),
+            Some(parent) if st.dirs.contains(parent) => Ok(()),
+            Some(parent) => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such directory: {}", parent.display()),
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut st = self.lock();
+        if st.crashed {
+            return Err(crash_err());
+        }
+        let mut content = st
+            .live
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        let rate = st.plan.read_flip_rate;
+        if !content.is_empty() && chance(&mut st.rng, rate) {
+            let bit = st.rng.next_below(content.len() as u64 * 8);
+            content[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        Ok(content)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        Self::parent_exists(&st, path)?;
+        Self::charge_bytes(&mut st, data.len())?;
+        let is_new = !st.live.contains_key(path);
+        let rate = st.plan.short_write_rate;
+        let short = !crash && chance(&mut st.rng, rate);
+        let keep = if crash || short {
+            st.rng.next_below(data.len() as u64 + 1) as usize
+        } else {
+            data.len()
+        };
+        st.live.insert(path.to_path_buf(), data[..keep].to_vec());
+        if is_new {
+            st.pending.push(DirOp::Create(path.to_path_buf()));
+        } else {
+            // Overwrite invalidates the synced image: from here on the
+            // crash model treats the file as truncate-then-rewrite.
+            st.durable.remove(path);
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        if short {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("simulated short write: {keep} of {} bytes", data.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        Self::parent_exists(&st, path)?;
+        Self::charge_bytes(&mut st, data.len())?;
+        let is_new = !st.live.contains_key(path);
+        let rate = st.plan.short_write_rate;
+        let short = !crash && chance(&mut st.rng, rate);
+        let keep = if crash || short {
+            st.rng.next_below(data.len() as u64 + 1) as usize
+        } else {
+            data.len()
+        };
+        st.live
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(&data[..keep]);
+        if is_new {
+            st.pending.push(DirOp::Create(path.to_path_buf()));
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        if short {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("simulated short write: {keep} of {} bytes", data.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        // A crash *at* the rename leaves it un-applied half the time.
+        let apply = !crash || st.rng.next_below(2) == 1;
+        if apply {
+            let content = st.live.remove(from).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, "rename source does not exist")
+            })?;
+            st.live.insert(to.to_path_buf(), content);
+            st.pending
+                .push(DirOp::Rename(from.to_path_buf(), to.to_path_buf()));
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        // A crash at the sync point: coin-flip whether it completed.
+        let apply = !crash || st.rng.next_below(2) == 1;
+        if apply {
+            let content = st.live.get(path).cloned().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, "sync_file: no such file")
+            })?;
+            st.durable.insert(path.to_path_buf(), content);
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        let apply = !crash || st.rng.next_below(2) == 1;
+        if apply {
+            let (for_dir, rest): (Vec<DirOp>, Vec<DirOp>) = std::mem::take(&mut st.pending)
+                .into_iter()
+                .partition(|op| op.parent() == path);
+            st.pending = rest;
+            for op in for_dir {
+                match op {
+                    DirOp::Create(p) => {
+                        st.durable_dirent.insert(p);
+                    }
+                    DirOp::Rename(from, to) => {
+                        st.durable_dirent.remove(&from);
+                        st.durable_dirent.insert(to.clone());
+                        if let Some(content) = st.durable.remove(&from) {
+                            st.durable.insert(to, content);
+                        }
+                    }
+                    DirOp::Remove(p) => {
+                        st.durable_dirent.remove(&p);
+                        st.durable.remove(&p);
+                    }
+                }
+            }
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn file_size(&self, path: &Path) -> io::Result<u64> {
+        let st = self.lock();
+        if st.crashed {
+            return Err(crash_err());
+        }
+        st.live
+            .get(path)
+            .map(|c| c.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        let apply = !crash || st.rng.next_below(2) == 1;
+        let mut result = Ok(());
+        if apply {
+            if st.live.remove(path).is_none() {
+                result = Err(io::Error::new(io::ErrorKind::NotFound, "no such file"));
+            } else {
+                st.pending.push(DirOp::Remove(path.to_path_buf()));
+            }
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        result
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let crash = Self::mutating_gate(&mut st)?;
+        let mut dir = Some(path);
+        while let Some(d) = dir {
+            if !d.as_os_str().is_empty() {
+                st.dirs.insert(d.to_path_buf());
+            }
+            dir = d.parent();
+        }
+        if crash {
+            st.crashed = true;
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.lock();
+        !st.crashed && (st.live.contains_key(path) || st.dirs.contains(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn setup(plan: FaultPlan) -> Arc<FaultVfs> {
+        let vfs = FaultVfs::new(plan);
+        vfs.create_dir_all(&p("/idx")).unwrap();
+        vfs
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/a"), b"hello").unwrap();
+        assert_eq!(vfs.read(&p("/idx/a")).unwrap(), b"hello");
+        assert_eq!(vfs.file_size(&p("/idx/a")).unwrap(), 5);
+        vfs.append(&p("/idx/a"), b" world").unwrap();
+        assert_eq!(vfs.read(&p("/idx/a")).unwrap(), b"hello world");
+        assert!(vfs.exists(&p("/idx/a")));
+        assert!(!vfs.exists(&p("/idx/b")));
+    }
+
+    #[test]
+    fn unsynced_file_vanishes_on_crash() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/a"), b"hello").unwrap();
+        vfs.crash_and_recover();
+        assert!(!vfs.exists(&p("/idx/a")), "dirent was never synced");
+    }
+
+    #[test]
+    fn synced_file_survives_crash_fully() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/a"), b"hello").unwrap();
+        vfs.sync_file(&p("/idx/a")).unwrap();
+        vfs.sync_dir(&p("/idx")).unwrap();
+        vfs.crash_and_recover();
+        assert_eq!(vfs.read(&p("/idx/a")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unsynced_append_tail_is_torn_not_lost_before_sync_point() {
+        let vfs = setup(FaultPlan {
+            seed: 7,
+            ..FaultPlan::none()
+        });
+        vfs.write(&p("/idx/a"), b"base").unwrap();
+        vfs.sync_file(&p("/idx/a")).unwrap();
+        vfs.sync_dir(&p("/idx")).unwrap();
+        vfs.append(&p("/idx/a"), b"tailtailtail").unwrap();
+        vfs.crash_and_recover();
+        let got = vfs.read(&p("/idx/a")).unwrap();
+        assert!(got.starts_with(b"base"), "synced prefix must survive");
+        assert!(got.len() <= b"basetailtailtail".len());
+        assert!(b"basetailtailtail".starts_with(&got[..]));
+    }
+
+    #[test]
+    fn rename_is_atomic_once_dir_synced() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/t.tmp"), b"new").unwrap();
+        vfs.sync_file(&p("/idx/t.tmp")).unwrap();
+        vfs.rename(&p("/idx/t.tmp"), &p("/idx/t")).unwrap();
+        vfs.sync_dir(&p("/idx")).unwrap();
+        vfs.crash_and_recover();
+        assert_eq!(vfs.read(&p("/idx/t")).unwrap(), b"new");
+        assert!(!vfs.exists(&p("/idx/t.tmp")));
+    }
+
+    #[test]
+    fn unsynced_rename_rolls_back_to_old_content() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/t"), b"old").unwrap();
+        vfs.sync_file(&p("/idx/t")).unwrap();
+        vfs.sync_dir(&p("/idx")).unwrap();
+        vfs.write(&p("/idx/t.tmp"), b"new").unwrap();
+        vfs.sync_file(&p("/idx/t.tmp")).unwrap();
+        vfs.rename(&p("/idx/t.tmp"), &p("/idx/t")).unwrap();
+        // no sync_dir: the rename's dirent update is lost.
+        vfs.crash_and_recover();
+        assert_eq!(vfs.read(&p("/idx/t")).unwrap(), b"old");
+    }
+
+    #[test]
+    fn crash_point_fires_then_everything_fails_until_recovery() {
+        let vfs = setup(FaultPlan::crash_at(3, 3));
+        vfs.write(&p("/idx/a"), b"x").unwrap(); // op 2 (mkdir was op 1)
+        let err = vfs.write(&p("/idx/b"), b"y").unwrap_err(); // op 3: crash
+        assert!(err.to_string().contains("simulated crash"));
+        assert!(vfs.crashed());
+        assert!(vfs.write(&p("/idx/c"), b"z").is_err());
+        assert!(vfs.read(&p("/idx/a")).is_err());
+        vfs.crash_and_recover();
+        assert!(!vfs.crashed());
+        vfs.write(&p("/idx/c"), b"z").unwrap();
+    }
+
+    #[test]
+    fn enospc_fires_once_then_clears() {
+        let vfs = setup(FaultPlan {
+            enospc_after_bytes: Some(4),
+            ..FaultPlan::none()
+        });
+        vfs.write(&p("/idx/a"), b"1234").unwrap();
+        let err = vfs.write(&p("/idx/b"), b"5").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        vfs.write(&p("/idx/b"), b"5").unwrap();
+    }
+
+    #[test]
+    fn read_flips_are_transient() {
+        let vfs = setup(FaultPlan {
+            seed: 1,
+            read_flip_rate: 1.0,
+            ..FaultPlan::none()
+        });
+        vfs.write(&p("/idx/a"), b"data").unwrap();
+        let flipped = vfs.read(&p("/idx/a")).unwrap();
+        assert_ne!(flipped, b"data", "rate 1.0 must flip a bit");
+        let mut st = vfs.lock();
+        assert_eq!(st.live.get(&p("/idx/a")).unwrap(), b"data");
+        st.plan.read_flip_rate = 0.0;
+        drop(st);
+        assert_eq!(vfs.read(&p("/idx/a")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn short_writes_tear_the_file_and_error() {
+        let vfs = setup(FaultPlan {
+            seed: 9,
+            short_write_rate: 1.0,
+            ..FaultPlan::none()
+        });
+        let err = vfs.write(&p("/idx/a"), b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let torn = {
+            let st = vfs.lock();
+            st.live.get(&p("/idx/a")).cloned().unwrap()
+        };
+        assert!(torn.len() < 10);
+        assert!(b"0123456789".starts_with(&torn[..]));
+    }
+
+    #[test]
+    fn corrupt_stored_flips_persisted_bytes() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/a"), b"abcd").unwrap();
+        vfs.sync_file(&p("/idx/a")).unwrap();
+        vfs.corrupt_stored(&p("/idx/a"), 1, 0xFF);
+        assert_eq!(
+            vfs.read(&p("/idx/a")).unwrap(),
+            [b'a', b'b' ^ 0xFF, b'c', b'd']
+        );
+    }
+
+    #[test]
+    fn mutating_ops_counts_deterministically() {
+        let ops = |seed| {
+            let vfs = setup(FaultPlan {
+                seed,
+                ..FaultPlan::none()
+            });
+            vfs.write(&p("/idx/a"), b"x").unwrap();
+            vfs.append(&p("/idx/a"), b"y").unwrap();
+            vfs.sync_file(&p("/idx/a")).unwrap();
+            vfs.sync_dir(&p("/idx")).unwrap();
+            vfs.mutating_ops()
+        };
+        assert_eq!(ops(1), ops(2));
+        assert_eq!(ops(1), 5); // mkdir + write + append + sync + syncdir
+    }
+
+    #[test]
+    fn remove_without_dir_sync_resurrects_on_crash() {
+        let vfs = setup(FaultPlan::none());
+        vfs.write(&p("/idx/a"), b"keep").unwrap();
+        vfs.sync_file(&p("/idx/a")).unwrap();
+        vfs.sync_dir(&p("/idx")).unwrap();
+        vfs.remove_file(&p("/idx/a")).unwrap();
+        assert!(!vfs.exists(&p("/idx/a")));
+        vfs.crash_and_recover();
+        assert_eq!(vfs.read(&p("/idx/a")).unwrap(), b"keep");
+    }
+}

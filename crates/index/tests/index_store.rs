@@ -1,8 +1,9 @@
 //! End-to-end properties of the persistent index:
 //!
 //! 1. Corruption detection: every single-byte flip and every truncation
-//!    of a segment file on disk is reported as a typed
-//!    `PprlError::Storage` — never a panic, never silently wrong results.
+//!    of a segment file on disk is caught at open — the damaged segment
+//!    is quarantined and the store reports degraded reads over the
+//!    survivors; never a panic, never silently wrong results.
 //! 2. Query exactness: `top_k` returns exactly the same `(id, dice)`
 //!    pairs as a brute-force in-memory scan — on a fresh build, after
 //!    incremental inserts, and after compaction — for real CLK-encoded
@@ -128,7 +129,7 @@ fn top_k_equals_brute_force_fresh_inserted_compacted() {
 }
 
 #[test]
-fn every_segment_byte_flip_and_truncation_is_typed_error() {
+fn every_segment_byte_flip_and_truncation_quarantines_and_degrades() {
     let dir = temp_dir("corruption");
     let records = clk_filters(12, 7);
     let filter_len = records[0].1.len();
@@ -145,30 +146,60 @@ fn every_segment_byte_flip_and_truncation_is_typed_error() {
     assert!(!seg_paths.is_empty());
     let victim = &seg_paths[0];
     let pristine = std::fs::read(victim).unwrap();
+    let victim_records = pprl_index::segment::read_segment(victim)
+        .expect("pristine segment")
+        .records
+        .len();
+    let manifest_path = dir.join("MANIFEST");
+    let pristine_manifest = std::fs::read(&manifest_path).unwrap();
+
+    // Opening a store whose segment is damaged quarantines it (moved to
+    // quarantine/, recorded in the manifest's health ledger) and serves
+    // the survivors — open never returns silently wrong data and never
+    // refuses outright. Restore the index between corruptions, since
+    // quarantining rewrites the manifest and moves the file.
+    let check = |bad: &[u8], what: &str| {
+        std::fs::write(&manifest_path, &pristine_manifest).unwrap();
+        std::fs::write(victim, bad).unwrap();
+        let _ = std::fs::remove_dir_all(dir.join("quarantine"));
+        let store = IndexStore::open(&dir).expect(what);
+        assert!(store.is_degraded(), "{what}: must be degraded");
+        assert_eq!(store.quarantined().len(), 1, "{what}");
+        let stats = store.stats().expect(what);
+        assert_eq!(stats.quarantined_segments, 1, "{what}");
+        assert_eq!(
+            stats.persisted_records,
+            records.len() - victim_records,
+            "{what}: survivors only"
+        );
+        let reader = store.reader().expect(what);
+        assert_eq!(reader.len(), records.len() - victim_records, "{what}");
+        assert!(
+            dir.join("quarantine")
+                .join(victim.file_name().unwrap())
+                .exists(),
+            "{what}: file moved to quarantine/"
+        );
+    };
 
     // Every single-byte flip anywhere in the segment file.
     for pos in 0..pristine.len() {
         let mut bad = pristine.clone();
         bad[pos] ^= 1 << (pos % 8);
-        std::fs::write(victim, &bad).unwrap();
-        let store = IndexStore::open(&dir).expect("manifest+wal untouched");
-        let err = store.reader().expect_err(&format!("flip at byte {pos}"));
-        assert!(matches!(err, PprlError::Storage(_)), "byte {pos}: {err}");
-        let err = store.stats().expect_err(&format!("flip at byte {pos}"));
-        assert!(matches!(err, PprlError::Storage(_)), "byte {pos}: {err}");
+        check(&bad, &format!("flip at byte {pos}"));
     }
 
     // Every truncation length, including the empty file.
     for cut in 0..pristine.len() {
-        std::fs::write(victim, &pristine[..cut]).unwrap();
-        let store = IndexStore::open(&dir).expect("manifest+wal untouched");
-        let err = store.reader().expect_err(&format!("truncated to {cut}"));
-        assert!(matches!(err, PprlError::Storage(_)), "cut {cut}: {err}");
+        check(&pristine[..cut], &format!("truncated to {cut}"));
     }
 
-    // Restore the pristine bytes: queries work again.
+    // Restore the pristine bytes: the store opens healthy again.
+    std::fs::write(&manifest_path, &pristine_manifest).unwrap();
     std::fs::write(victim, &pristine).unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("quarantine"));
     let store = IndexStore::open(&dir).expect("open");
+    assert!(!store.is_degraded());
     let reader = store.reader().expect("reader");
     assert_eq!(reader.len(), records.len());
     std::fs::remove_dir_all(&dir).unwrap();

@@ -3,20 +3,52 @@
 use crate::wire::{read_payload, write_payload, Incoming, Request, Response, StatsReport};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
 use pprl_index::query::Hit;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Ceiling on one `Busy` backoff sleep, in milliseconds.
+const MAX_BACKOFF_MS: u64 = 2000;
+
+/// Seeds the backoff jitter so concurrent clients rejected by the same
+/// burst do not retry in lockstep: a hash of the address mixed with
+/// sub-second wall-clock nanoseconds.
+fn jitter_seed(addr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    h ^ nanos
+}
 
 /// A connected client. One request is in flight at a time; the
 /// connection persists across requests.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    addr: String,
+    deadline: Duration,
+    rng: SplitMix64,
 }
 
 impl Client {
     /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
     pub fn connect(addr: &str) -> Result<Client> {
+        Ok(Client {
+            stream: Self::open_stream(addr)?,
+            addr: addr.to_string(),
+            deadline: Duration::from_secs(60),
+            rng: SplitMix64::new(jitter_seed(addr)),
+        })
+    }
+
+    fn open_stream(addr: &str) -> Result<TcpStream> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| PprlError::Transport(format!("connecting to {addr}: {e}")))?;
         stream
@@ -25,7 +57,16 @@ impl Client {
         stream
             .set_read_timeout(Some(Duration::from_secs(30)))
             .map_err(|e| PprlError::Transport(format!("configuring socket: {e}")))?;
-        Ok(Client { stream })
+        Ok(stream)
+    }
+
+    /// Sets the overall per-call deadline (default 60 s): the budget one
+    /// [`call`] may spend on the request, server think time, and any
+    /// `Busy` backoff-and-retry cycles combined.
+    ///
+    /// [`call`]: Client::call
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = deadline.max(Duration::from_millis(1));
     }
 
     /// Connects, retrying up to `attempts` times with `delay` between
@@ -42,30 +83,61 @@ impl Client {
         Err(last)
     }
 
-    /// Sends one request and reads one response. `Busy` and
-    /// `ServerError` replies are surfaced as typed errors here so the
-    /// typed helpers below only see their success shape.
+    /// Sends one request and reads one response, absorbing `Busy`
+    /// rejections with bounded exponential backoff plus jitter until
+    /// the call deadline (see [`set_deadline`]) runs out. A rejected
+    /// connection was closed server-side *before* dispatch, so the
+    /// request was never processed and resending after a reconnect is
+    /// safe. `ServerError` replies are surfaced as typed errors here so
+    /// the typed helpers below only see their success shape.
+    ///
+    /// [`set_deadline`]: Client::set_deadline
     pub fn call(&mut self, request: &Request) -> Result<Response> {
-        write_payload(&mut self.stream, &request.encode())?;
-        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let deadline = Instant::now() + self.deadline;
+        let mut attempt: u32 = 0;
         loop {
-            if std::time::Instant::now() >= deadline {
-                return Err(PprlError::Timeout(
-                    "no response from server within 60 s".into(),
-                ));
+            match self.call_once(request, deadline)? {
+                Response::Busy { retry_after_ms } => {
+                    attempt += 1;
+                    let base = u64::from(retry_after_ms.max(1))
+                        .saturating_mul(1 << (attempt - 1).min(6))
+                        .min(MAX_BACKOFF_MS);
+                    // Sleep in [base/2, base]: the random half keeps a
+                    // burst of rejected clients from retrying in phase.
+                    let wait = Duration::from_millis(base / 2 + self.rng.next_below(base / 2 + 1));
+                    if Instant::now() + wait >= deadline {
+                        return Err(PprlError::Timeout(format!(
+                            "server still busy after {attempt} attempts within the \
+                             {} ms deadline",
+                            self.deadline.as_millis()
+                        )));
+                    }
+                    std::thread::sleep(wait);
+                    // The server closed the rejected connection.
+                    self.stream = Self::open_stream(&self.addr)?;
+                }
+                Response::ServerError { message } => {
+                    return Err(PprlError::ProtocolError(format!(
+                        "server rejected request: {message}"
+                    )))
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// One request/response exchange on the current connection.
+    fn call_once(&mut self, request: &Request, deadline: Instant) -> Result<Response> {
+        write_payload(&mut self.stream, &request.encode())?;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(PprlError::Timeout(format!(
+                    "no response from server within {} ms",
+                    self.deadline.as_millis()
+                )));
             }
             match read_payload(&mut self.stream)? {
-                Incoming::Payload(p) => {
-                    return match Response::decode(&p)? {
-                        Response::Busy { retry_after_ms } => Err(PprlError::Timeout(format!(
-                            "server busy; retry after {retry_after_ms} ms"
-                        ))),
-                        Response::ServerError { message } => Err(PprlError::ProtocolError(
-                            format!("server rejected request: {message}"),
-                        )),
-                        other => Ok(other),
-                    };
-                }
+                Incoming::Payload(p) => return Response::decode(&p),
                 Incoming::TimedOut => continue, // server still working
                 Incoming::Eof => {
                     return Err(PprlError::Transport(

@@ -9,6 +9,11 @@
 //! Workers poll the queue with a short timeout, and session sockets
 //! carry a short read timeout, so every thread observes a shutdown
 //! request within ~100 ms without any platform-specific socket tricks.
+//! Sockets also carry a write timeout, and a connection idle for longer
+//! than [`ServerConfig::idle_timeout`] is closed — a stalled or
+//! half-closed client can delay a worker, never pin it indefinitely.
+//! The maintenance thread treats a failed compaction step as transient:
+//! it backs off exponentially (capped) and retries rather than dying.
 
 use crate::pool::BoundedQueue;
 use crate::service::{LinkageService, ServiceConfig};
@@ -45,6 +50,12 @@ pub struct ServerConfig {
     pub compact_interval: Option<Duration>,
     /// Size-tiered compaction policy for the maintenance thread.
     pub tiered: TieredPolicy,
+    /// Write timeout on accepted sockets: a client that stops draining
+    /// responses is disconnected instead of pinning a worker.
+    pub write_timeout: Duration,
+    /// An established session that completes no frame for this long is
+    /// closed (the read side of the anti-pinning guarantee).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +68,8 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             compact_interval: Some(Duration::from_millis(500)),
             tiered: TieredPolicy::default(),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -69,6 +82,12 @@ impl ServerConfig {
         if self.queue_capacity == 0 {
             return Err(PprlError::invalid("queue_capacity", "must be at least 1"));
         }
+        if self.write_timeout.is_zero() {
+            return Err(PprlError::invalid("write_timeout", "must be non-zero"));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(PprlError::invalid("idle_timeout", "must be non-zero"));
+        }
         Ok(())
     }
 }
@@ -80,6 +99,8 @@ struct ServerContext {
     workers: u32,
     queue_capacity: u32,
     retry_after_ms: u32,
+    write_timeout: Duration,
+    idle_timeout: Duration,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -159,6 +180,8 @@ pub fn serve(dir: &Path, addr: &str, config: ServerConfig) -> Result<ServerHandl
         workers: config.workers as u32,
         queue_capacity: config.queue_capacity as u32,
         retry_after_ms: config.retry_after_ms,
+        write_timeout: config.write_timeout,
+        idle_timeout: config.idle_timeout,
     });
 
     let mut threads = Vec::with_capacity(config.workers + 2);
@@ -196,6 +219,7 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, context:
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                let _ = stream.set_write_timeout(Some(context.write_timeout));
                 if let Err(mut rejected) = queue.try_push(stream) {
                     crate::metrics::Metrics::add(&context.service.metrics.busy_rejected, 1);
                     let busy = Response::Busy {
@@ -233,9 +257,14 @@ fn worker_loop(queue: &BoundedQueue<TcpStream>, context: &ServerContext) {
 
 fn maintenance_loop(service: &LinkageService, shutdown: &AtomicBool, interval: Duration) {
     let slice = Duration::from_millis(20);
+    let mut failures: u32 = 0;
     'outer: loop {
+        // Exponential backoff after failed steps (2x per consecutive
+        // failure, capped at 32x the base interval) so a disk that is
+        // briefly unwritable is not hammered every tick.
+        let wait = interval.saturating_mul(1 << failures.min(5));
         let mut slept = Duration::ZERO;
-        while slept < interval {
+        while slept < wait {
             if shutdown.load(Ordering::SeqCst) {
                 break 'outer;
             }
@@ -243,23 +272,37 @@ fn maintenance_loop(service: &LinkageService, shutdown: &AtomicBool, interval: D
             slept += slice;
         }
         // Compaction is best-effort maintenance: a failed step (e.g. a
-        // transient I/O error) must not kill the serving path; the next
+        // transient I/O error) must not kill the serving path; a later
         // tick retries. reclaim_drained runs inside compact_step.
-        let _ = service.compact_step();
+        match service.compact_step() {
+            Ok(_) => failures = 0,
+            Err(_) => failures = failures.saturating_add(1),
+        }
     }
     let _ = service.reclaim_drained();
 }
 
 /// Serves one connection until EOF, shutdown, or a framing error.
 fn handle_session(mut stream: TcpStream, context: &ServerContext) {
+    let mut idle = Duration::ZERO;
     loop {
         if context.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match read_payload(&mut stream) {
-            Ok(Incoming::TimedOut) => continue,
+            Ok(Incoming::TimedOut) => {
+                // Each timed-out read is one POLL_INTERVAL of silence; a
+                // session idle past the cap is closed so it cannot pin
+                // its worker forever.
+                idle += POLL_INTERVAL;
+                if idle >= context.idle_timeout {
+                    return;
+                }
+                continue;
+            }
             Ok(Incoming::Eof) => return,
             Ok(Incoming::Payload(payload)) => {
+                idle = Duration::ZERO;
                 let response = match Request::decode(&payload) {
                     Ok(Request::Shutdown) => {
                         let _ = write_payload(&mut stream, &Response::Bye.encode());

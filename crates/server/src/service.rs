@@ -241,6 +241,8 @@ impl LinkageService {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             workers,
             queue_capacity,
+            quarantined_segments: snap.reader.quarantined_segments() as u64,
+            degraded: snap.reader.is_degraded(),
         }
     }
 }

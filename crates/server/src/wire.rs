@@ -144,6 +144,11 @@ pub struct StatsReport {
     pub workers: u32,
     /// Capacity of the bounded connection queue.
     pub queue_capacity: u32,
+    /// Segments quarantined when the index was opened.
+    pub quarantined_segments: u64,
+    /// True when the index serves degraded reads over surviving
+    /// segments only (some were quarantined at open).
+    pub degraded: bool,
 }
 
 /// Bounds-checked little-endian reader over a frame payload.
@@ -373,6 +378,8 @@ impl Response {
                 }
                 out.extend_from_slice(&s.workers.to_le_bytes());
                 out.extend_from_slice(&s.queue_capacity.to_le_bytes());
+                out.extend_from_slice(&s.quarantined_segments.to_le_bytes());
+                out.push(u8::from(s.degraded));
             }
             Response::Busy { retry_after_ms } => {
                 out.push(OP_BUSY);
@@ -424,10 +431,14 @@ impl Response {
                     uptime_ms: next()?,
                     workers: 0,
                     queue_capacity: 0,
+                    quarantined_segments: 0,
+                    degraded: false,
                 };
                 Response::Stats(StatsReport {
                     workers: r.u32()?,
                     queue_capacity: r.u32()?,
+                    quarantined_segments: r.u64()?,
+                    degraded: r.u8()? != 0,
                     ..s
                 })
             }
@@ -592,6 +603,8 @@ mod tests {
             uptime_ms: 60000,
             workers: 4,
             queue_capacity: 16,
+            quarantined_segments: 1,
+            degraded: true,
         }));
         round_trip_response(Response::Busy { retry_after_ms: 50 });
         round_trip_response(Response::ServerError {

@@ -241,10 +241,13 @@ fn full_queue_rejects_with_busy_retry_after() {
         other => panic!("expected a frame, got {other:?}"),
     }
 
-    // The typed client surfaces the same rejection as a Timeout error.
+    // The typed client absorbs Busy with backoff + reconnect; with the
+    // server still saturated and a short deadline, the rejection
+    // surfaces as a busy Timeout once the deadline is spent.
     let mut rejected = Client::connect(&addr).unwrap();
+    rejected.set_deadline(Duration::from_millis(300));
     match rejected.stats() {
-        Err(PprlError::Timeout(msg)) => assert!(msg.contains("77")),
+        Err(PprlError::Timeout(msg)) => assert!(msg.contains("busy"), "{msg}"),
         other => panic!("expected busy Timeout, got {other:?}"),
     }
 
@@ -269,6 +272,56 @@ fn full_queue_rejects_with_busy_retry_after() {
     }
     let stats = stats.expect("server never recovered from backpressure");
     assert!(stats.busy_rejected >= 2);
+    ok.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that connects and then goes silent (or half-closes) must
+/// not pin the only worker forever: after `idle_timeout` the server
+/// closes the session and serves the next connection.
+#[test]
+fn stalled_client_cannot_pin_a_worker() {
+    use std::io::Read;
+    let dir = temp_dir("slow-client");
+    drop(build_index(&dir, 30, 2));
+    let handle = serve(
+        &dir,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            compact_interval: None,
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // The stalled client occupies the worker without ever sending a
+    // complete frame.
+    let mut stalled = std::net::TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // worker adopts it
+
+    // A well-behaved client queues behind it and is served once the
+    // idle cap evicts the staller (its internal Busy backoff absorbs
+    // any queue-full rejections in between).
+    let mut ok = Client::connect_retry(&addr, 40, Duration::from_millis(25)).unwrap();
+    ok.set_deadline(Duration::from_secs(10));
+    let stats = ok.stats().expect("server must free the pinned worker");
+    assert!(stats.records > 0);
+
+    // The server closed the stalled session: its socket reads EOF.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 16];
+    match stalled.read(&mut sink) {
+        Ok(0) => {}
+        other => panic!("expected server-side close, got {other:?}"),
+    }
+
     ok.shutdown().unwrap();
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
