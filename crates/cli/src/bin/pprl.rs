@@ -9,16 +9,17 @@ fn main() {
         println!("{}", commands::help());
         return;
     }
-    // `index` and `client` take their own action subcommand: parse the
-    // tail so the action lands in `Args::command`.
+    // `index`, `client`, and `cluster` take their own action
+    // subcommand: parse the tail so the action lands in `Args::command`.
     let is_index = raw[0] == "index";
     let is_client = raw[0] == "client";
-    let parse_from = if is_index || is_client {
+    let is_cluster = raw[0] == "cluster";
+    let parse_from = if is_index || is_client || is_cluster {
         &raw[1..]
     } else {
         &raw[..]
     };
-    let args = match Args::parse(parse_from, &["evaluate", "compact", "json"]) {
+    let args = match Args::parse(parse_from, &["evaluate", "compact", "json", "cluster"]) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::help());
@@ -29,6 +30,8 @@ fn main() {
         commands::index_cmd(args)
     } else if is_client {
         commands::client_cmd(args)
+    } else if is_cluster {
+        commands::cluster_cmd(args)
     } else {
         match args.command.as_str() {
             "generate" => commands::generate(args),

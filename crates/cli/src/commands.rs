@@ -7,6 +7,8 @@
 use crate::args::Args;
 use pprl_blocking::keys::BlockingKey;
 use pprl_blocking::lsh::HammingLsh;
+use pprl_cluster::coordinator::{ClusterConfig, Coordinator};
+use pprl_cluster::server::{serve_cluster, ClusterServerConfig};
 use pprl_core::json::Json;
 use pprl_core::record::Dataset;
 use pprl_core::schema::Schema;
@@ -20,6 +22,7 @@ use pprl_protocols::transport::Crash;
 use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
 use pprl_server::client::Client;
 use pprl_server::server::{serve, ServerConfig};
+use pprl_server::wire::StatsReport;
 
 type CmdResult = Result<(), String>;
 
@@ -491,8 +494,31 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
             }
             Ok(())
         }
+        "snapshot" => {
+            let dir = args.require("dir").map_err(fail)?;
+            let out = args.require("out").map_err(fail)?;
+            args.finish().map_err(fail)?;
+            let store = IndexStore::open(std::path::Path::new(&dir)).map_err(fail)?;
+            let started = std::time::Instant::now();
+            let shipped = store
+                .export_snapshot(std::path::Path::new(&out))
+                .map_err(fail)?;
+            // Round-trip verification: the copy must open clean, exactly
+            // as a fresh shard node receiving it would.
+            let replica = IndexStore::import_snapshot(std::path::Path::new(&out)).map_err(fail)?;
+            println!(
+                "snapshot of {dir} shipped to {out}: {} records in {} segments \
+                 ({} bytes) in {:.2?}; copy verified clean",
+                shipped.records,
+                shipped.segments,
+                shipped.bytes,
+                started.elapsed()
+            );
+            drop(replica);
+            Ok(())
+        }
         other => Err(format!(
-            "unknown index action `{other}` (build|insert|query|stats)"
+            "unknown index action `{other}` (build|insert|query|stats|snapshot)"
         )),
     }
 }
@@ -553,9 +579,24 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
     let addr = args.require("addr").map_err(fail)?;
     // Overall per-call budget, including Busy backoff-and-retry cycles.
     let deadline_ms: u64 = args.parse_or("deadline-ms", 60_000).map_err(fail)?;
+    // --cluster asserts the peer is a `pprl cluster serve` coordinator
+    // (the wire protocol is identical either way, so without the flag a
+    // client cannot tell — with it, pointing at a lone shard by mistake
+    // is a loud error instead of silently partial results).
+    let cluster = args.flag("cluster");
     let connect = |addr: &str| -> Result<Client, String> {
         let mut client = Client::connect(addr).map_err(fail)?;
         client.set_deadline(std::time::Duration::from_millis(deadline_ms.max(1)));
+        if cluster {
+            let probe = client.stats().map_err(fail)?;
+            if probe.cluster_shards == 0 {
+                return Err(format!(
+                    "{addr} is a single pprl-server node, not a cluster \
+                     coordinator (drop --cluster, or point at a `pprl cluster \
+                     serve` address)"
+                ));
+            }
+        }
         Ok(client)
     };
     match action.as_str() {
@@ -675,58 +716,10 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
             let mut client = connect(&addr)?;
             let s = client.stats().map_err(fail)?;
             if json {
-                let obj = Json::Obj(vec![
-                    ("records".into(), Json::num(s.records as f64)),
-                    ("generation".into(), Json::num(s.generation as f64)),
-                    ("queries".into(), Json::num(s.queries as f64)),
-                    ("links".into(), Json::num(s.links as f64)),
-                    ("inserts".into(), Json::num(s.inserts as f64)),
-                    ("cache_hits".into(), Json::num(s.cache_hits as f64)),
-                    ("cache_misses".into(), Json::num(s.cache_misses as f64)),
-                    ("busy_rejected".into(), Json::num(s.busy_rejected as f64)),
-                    ("compactions".into(), Json::num(s.compactions as f64)),
-                    (
-                        "segments_merged".into(),
-                        Json::num(s.segments_merged as f64),
-                    ),
-                    ("bytes_read".into(), Json::num(s.bytes_read as f64)),
-                    ("latency_p50_us".into(), Json::num(s.latency_p50_us as f64)),
-                    ("latency_p99_us".into(), Json::num(s.latency_p99_us as f64)),
-                    ("uptime_ms".into(), Json::num(s.uptime_ms as f64)),
-                    ("workers".into(), Json::num(s.workers as f64)),
-                    ("queue_capacity".into(), Json::num(s.queue_capacity as f64)),
-                    (
-                        "quarantined_segments".into(),
-                        Json::num(s.quarantined_segments as f64),
-                    ),
-                    ("degraded".into(), Json::Bool(s.degraded)),
-                ]);
-                print!("{}", obj.render());
+                print!("{}", stats_json(&addr, &s).render());
                 return Ok(());
             }
-            println!(
-                "{addr}: {} records at generation {}, up {} ms",
-                s.records, s.generation, s.uptime_ms
-            );
-            println!(
-                "  requests: {} queries, {} links, {} inserts; latency p50 {} us, p99 {} us",
-                s.queries, s.links, s.inserts, s.latency_p50_us, s.latency_p99_us
-            );
-            println!(
-                "  cache: {} hits / {} misses; backpressure: {} rejected (queue {}, {} workers)",
-                s.cache_hits, s.cache_misses, s.busy_rejected, s.queue_capacity, s.workers
-            );
-            println!(
-                "  maintenance: {} compactions merged {} segments; {} bytes read",
-                s.compactions, s.segments_merged, s.bytes_read
-            );
-            if s.degraded {
-                println!(
-                    "  DEGRADED: {} segment(s) quarantined; results cover \
-                     surviving segments only",
-                    s.quarantined_segments
-                );
-            }
+            print_stats(&addr, &s);
             Ok(())
         }
         "shutdown" => {
@@ -739,6 +732,205 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
         other => Err(format!(
             "unknown client action `{other}` (query|link|insert|stats|shutdown)"
         )),
+    }
+}
+
+/// Renders a `StatsReport` as JSON (shared by `client stats` and
+/// `cluster stats`).
+fn stats_json(addr: &str, s: &StatsReport) -> Json {
+    Json::Obj(vec![
+        ("addr".into(), Json::Str(addr.to_string())),
+        ("records".into(), Json::num(s.records as f64)),
+        ("generation".into(), Json::num(s.generation as f64)),
+        ("queries".into(), Json::num(s.queries as f64)),
+        ("links".into(), Json::num(s.links as f64)),
+        ("inserts".into(), Json::num(s.inserts as f64)),
+        ("cache_hits".into(), Json::num(s.cache_hits as f64)),
+        ("cache_misses".into(), Json::num(s.cache_misses as f64)),
+        ("plan_hits".into(), Json::num(s.plan_hits as f64)),
+        ("plan_misses".into(), Json::num(s.plan_misses as f64)),
+        ("busy_rejected".into(), Json::num(s.busy_rejected as f64)),
+        ("compactions".into(), Json::num(s.compactions as f64)),
+        (
+            "segments_merged".into(),
+            Json::num(s.segments_merged as f64),
+        ),
+        ("bytes_read".into(), Json::num(s.bytes_read as f64)),
+        ("latency_p50_us".into(), Json::num(s.latency_p50_us as f64)),
+        ("latency_p99_us".into(), Json::num(s.latency_p99_us as f64)),
+        ("uptime_ms".into(), Json::num(s.uptime_ms as f64)),
+        ("workers".into(), Json::num(s.workers as f64)),
+        ("queue_capacity".into(), Json::num(s.queue_capacity as f64)),
+        (
+            "quarantined_segments".into(),
+            Json::num(s.quarantined_segments as f64),
+        ),
+        ("degraded".into(), Json::Bool(s.degraded)),
+        ("cluster_shards".into(), Json::num(s.cluster_shards as f64)),
+        ("shards_down".into(), Json::num(s.shards_down as f64)),
+        (
+            "missing_shards".into(),
+            Json::Arr(
+                s.missing_shards
+                    .iter()
+                    .map(|i| Json::num(*i as f64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Prints a `StatsReport` for humans, including the cluster section and
+/// degraded-mode banners when they apply.
+fn print_stats(addr: &str, s: &StatsReport) {
+    println!(
+        "{addr}: {} records at generation {}, up {} ms",
+        s.records, s.generation, s.uptime_ms
+    );
+    println!(
+        "  requests: {} queries, {} links, {} inserts; latency p50 {} us, p99 {} us",
+        s.queries, s.links, s.inserts, s.latency_p50_us, s.latency_p99_us
+    );
+    println!(
+        "  cache: {} hits / {} misses (plans: {} hits / {} misses); \
+         backpressure: {} rejected (queue {}, {} workers)",
+        s.cache_hits,
+        s.cache_misses,
+        s.plan_hits,
+        s.plan_misses,
+        s.busy_rejected,
+        s.queue_capacity,
+        s.workers
+    );
+    println!(
+        "  maintenance: {} compactions merged {} segments; {} bytes read",
+        s.compactions, s.segments_merged, s.bytes_read
+    );
+    if s.cluster_shards > 0 {
+        println!(
+            "  cluster: {} shards, {} down",
+            s.cluster_shards, s.shards_down
+        );
+        if s.shards_down > 0 {
+            println!(
+                "  DEGRADED CLUSTER: shard(s) {:?} unreachable; results cover \
+                 surviving shards only",
+                s.missing_shards
+            );
+        }
+    }
+    if s.degraded && s.quarantined_segments > 0 {
+        println!(
+            "  DEGRADED: {} segment(s) quarantined; results cover \
+             surviving segments only",
+            s.quarantined_segments
+        );
+    }
+}
+
+/// `pprl cluster <action>` — run or inspect a scatter–gather cluster
+/// coordinator over sharded `pprl serve` nodes.
+///
+/// Like `index`/`client`, the action is parsed as the subcommand, so
+/// `args.command` holds `serve|stats`.
+pub fn cluster_cmd(mut args: Args) -> CmdResult {
+    match args.command.as_str() {
+        "serve" => {
+            let shards_arg = args.require("shards").map_err(fail)?;
+            let host = args.get_or("host", "127.0.0.1");
+            let port: u16 = args.parse_or("port", 7879).map_err(fail)?;
+            let workers: usize = args.parse_or("workers", 2).map_err(fail)?;
+            let queue: usize = args.parse_or("queue", 32).map_err(fail)?;
+            let quorum_flag: Option<usize> = match args.get("quorum") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("flag `--quorum`: cannot parse `{v}`"))?,
+                ),
+            };
+            let deadline_ms: u64 = args.parse_or("deadline-ms", 10_000).map_err(fail)?;
+            let addr_file = args.get("addr-file");
+            args.finish().map_err(fail)?;
+
+            let shards: Vec<String> = shards_arg
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if shards.is_empty() {
+                return Err("--shards needs a comma-separated list of host:port".into());
+            }
+            // Default quorum: all shards (reads degrade only if asked to).
+            let min_shards = quorum_flag.unwrap_or(shards.len());
+            let n_shards = shards.len();
+            let coordinator = std::sync::Arc::new(
+                Coordinator::connect(ClusterConfig {
+                    shards,
+                    min_shards,
+                    deadline: std::time::Duration::from_millis(deadline_ms.max(1)),
+                })
+                .map_err(fail)?,
+            );
+            let missing = coordinator.missing_shards();
+            let handle = serve_cluster(
+                std::sync::Arc::clone(&coordinator),
+                &format!("{host}:{port}"),
+                ClusterServerConfig {
+                    workers,
+                    queue_capacity: queue,
+                    ..ClusterServerConfig::default()
+                },
+            )
+            .map_err(fail)?;
+            let addr = handle.addr();
+            if let Some(path) = addr_file {
+                write_file_atomic(&path, &addr.to_string())?;
+            }
+            println!(
+                "cluster coordinator on {addr}: {n_shards} shards, quorum {min_shards}, \
+                 {workers} workers, queue {queue}, shard deadline {deadline_ms} ms"
+            );
+            if !missing.is_empty() {
+                println!(
+                    "  DEGRADED CLUSTER: shard(s) {missing:?} unreachable at start; \
+                     serving from the survivors"
+                );
+            }
+            let coordinator = handle.join();
+            let stats = coordinator.stats(0);
+            println!(
+                "coordinator shut down after {} queries, {} links, {} inserts \
+                 ({} degraded replies); shards keep running",
+                stats.queries,
+                stats.links,
+                stats.inserts,
+                coordinator
+                    .metrics
+                    .degraded_replies
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            );
+            Ok(())
+        }
+        "stats" => {
+            let addr = args.require("addr").map_err(fail)?;
+            let json = args.flag("json");
+            args.finish().map_err(fail)?;
+            let mut client = Client::connect(&addr).map_err(fail)?;
+            let s = client.stats().map_err(fail)?;
+            if s.cluster_shards == 0 {
+                return Err(format!(
+                    "{addr} is a single pprl-server node, not a cluster \
+                     coordinator (use `pprl client stats`)"
+                ));
+            }
+            if json {
+                print!("{}", stats_json(&addr, &s).render());
+                return Ok(());
+            }
+            print_stats(&addr, &s);
+            Ok(())
+        }
+        other => Err(format!("unknown cluster action `{other}` (serve|stats)")),
     }
 }
 
@@ -782,12 +974,15 @@ COMMANDS:
             query  --dir IDX --input Q.csv --key SECRET [--row N]
                    [--top-k K] [--threads N] [--json]
             stats  --dir IDX
+            snapshot --dir IDX --out COPY
             persistent sharded CLK filter store: build from CSV, add
             records incrementally, run exact top-k Dice queries
             (multi-threaded), inspect/verify the on-disk state; WAL
             appends are fsynced before inserts are acked, and opening
             quarantines corrupt segments (stats reports DEGRADED)
-            instead of refusing
+            instead of refusing; snapshot ships a verified byte-exact
+            copy (sealed segments + WAL tail) for seeding a new
+            cluster shard node
 
   serve     --index IDX [--host H] [--port P] [--workers N] [--queue N]
             [--cache N] [--threads N] [--compact-interval-ms MS]
@@ -806,11 +1001,27 @@ COMMANDS:
             insert   --addr H:P --input B.csv --key SECRET [--id-base N]
             stats    --addr H:P [--json]
             shutdown --addr H:P
-            talk to a running `pprl serve`; every action also takes
-            [--deadline-ms MS] (default 60000), the total budget for
-            the call including bounded-backoff retries after Busy
-            rejections; query/link results are bit-for-bit identical
-            to offline `pprl index query`
+            talk to a running `pprl serve` or `pprl cluster serve`;
+            every action also takes [--deadline-ms MS] (default 60000),
+            the total budget for the call including bounded-backoff
+            retries after Busy rejections, and [--cluster], which
+            asserts the address is a cluster coordinator (loud error
+            when pointed at a lone shard); query/link results are
+            bit-for-bit identical to offline `pprl index query`
+
+  cluster   serve --shards H:P,H:P,... [--host H] [--port P]
+                  [--workers N] [--queue N] [--quorum N]
+                  [--deadline-ms MS] [--addr-file PATH]
+            stats --addr H:P [--json]
+            scatter-gather coordinator over sharded `pprl serve` nodes,
+            speaking the same wire protocol on both sides: queries
+            broadcast to every shard and merge exactly (results
+            bit-identical to one node holding the union corpus),
+            inserts route by a stable hash of the record id, and a
+            dead shard degrades reads down to --quorum survivors
+            (default: all shards) instead of failing them — stats
+            shows a DEGRADED CLUSTER banner with the missing shards;
+            shutdown stops only the coordinator, never the shards
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]
@@ -1351,8 +1562,185 @@ mod tests {
             "index",
             "serve",
             "client",
+            "cluster",
+            "snapshot",
         ] {
             assert!(help().contains(c));
         }
+    }
+
+    #[test]
+    fn index_snapshot_ships_a_verified_copy() {
+        let a = tmp("snap-a.csv");
+        let b = tmp("snap-b.csv");
+        let dir = tmp("snap-idx");
+        let copy = tmp("snap-copy");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&copy);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 40 --overlap 10 --seed 9"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(
+            Args::parse(
+                &raw(&format!("build --dir {dir} --input {a} --key s3cret")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(Args::parse(&raw(&format!("snapshot --dir {dir} --out {copy}")), &[]).unwrap())
+            .unwrap();
+        // The copy is a fully working index: stats and queries run.
+        index_cmd(Args::parse(&raw(&format!("stats --dir {copy}")), &[]).unwrap()).unwrap();
+        let replica = IndexStore::open(std::path::Path::new(&copy)).unwrap();
+        assert_eq!(replica.record_count().unwrap(), 40);
+        drop(replica);
+        // Re-exporting onto an existing index is a clean error.
+        let e = index_cmd(
+            Args::parse(&raw(&format!("snapshot --dir {dir} --out {copy}")), &[]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("already holds an index"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&copy).unwrap();
+    }
+
+    #[test]
+    fn cluster_serve_stats_and_client_round_trip() {
+        let a = tmp("cl-a.csv");
+        let b = tmp("cl-b.csv");
+        let dir0 = tmp("cl-s0");
+        let dir1 = tmp("cl-s1");
+        let _ = std::fs::remove_dir_all(&dir0);
+        let _ = std::fs::remove_dir_all(&dir1);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 40 --overlap 15 --seed 3"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for (dir, input) in [(&dir0, &a), (&dir1, &b)] {
+            index_cmd(
+                Args::parse(
+                    &raw(&format!("build --dir {dir} --input {input} --key s3cret")),
+                    &[],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+
+        // Two shard nodes on ephemeral ports.
+        let wait_addr = |path: &str| -> String {
+            let mut waited = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(path) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                waited += 1;
+                assert!(waited < 200, "no address published at {path}");
+            }
+        };
+        let mut shard_threads = Vec::new();
+        let mut shard_addrs = Vec::new();
+        for (i, dir) in [&dir0, &dir1].into_iter().enumerate() {
+            let addr_file = tmp(&format!("cl-shard{i}.addr"));
+            let _ = std::fs::remove_file(&addr_file);
+            let serve_args = Args::parse(
+                &raw(&format!(
+                    "serve --index {dir} --port 0 --workers 1 --compact-interval-ms 0 \
+                     --addr-file {addr_file}"
+                )),
+                &[],
+            )
+            .unwrap();
+            shard_threads.push(std::thread::spawn(move || serve_cmd(serve_args)));
+            shard_addrs.push(wait_addr(&addr_file));
+        }
+
+        // `cluster stats` against a lone shard is a loud error.
+        let e = cluster_cmd(
+            Args::parse(&raw(&format!("stats --addr {}", shard_addrs[0])), &[]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("not a cluster coordinator"), "{e}");
+
+        // The coordinator fronting both shards.
+        let coord_file = tmp("cl-coord.addr");
+        let _ = std::fs::remove_file(&coord_file);
+        let cluster_args = Args::parse(
+            &raw(&format!(
+                "serve --shards {} --port 0 --workers 2 --addr-file {coord_file}",
+                shard_addrs.join(",")
+            )),
+            &[],
+        )
+        .unwrap();
+        let coordinator = std::thread::spawn(move || cluster_cmd(cluster_args));
+        let coord_addr = wait_addr(&coord_file);
+
+        // A stock client (with --cluster asserting the topology) sees
+        // the union corpus through the coordinator.
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --addr {coord_addr} --input {a} --key s3cret --row 1 \
+                     --top-k 3 --cluster --json"
+                )),
+                &["cluster", "json"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // --cluster against a lone shard is the mirrored loud error.
+        let e = client_cmd(
+            Args::parse(
+                &raw(&format!("stats --addr {} --cluster", shard_addrs[0])),
+                &["cluster"],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("not a cluster coordinator"), "{e}");
+        cluster_cmd(Args::parse(&raw(&format!("stats --addr {coord_addr}")), &[]).unwrap())
+            .unwrap();
+        cluster_cmd(
+            Args::parse(
+                &raw(&format!("stats --addr {coord_addr} --json")),
+                &["json"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Shutdown stops the coordinator only; the shards then answer
+        // their own shutdowns.
+        client_cmd(Args::parse(&raw(&format!("shutdown --addr {coord_addr}")), &[]).unwrap())
+            .unwrap();
+        coordinator.join().unwrap().unwrap();
+        for addr in &shard_addrs {
+            client_cmd(Args::parse(&raw(&format!("stats --addr {addr}")), &[]).unwrap()).unwrap();
+            client_cmd(Args::parse(&raw(&format!("shutdown --addr {addr}")), &[]).unwrap())
+                .unwrap();
+        }
+        for t in shard_threads {
+            t.join().unwrap().unwrap();
+        }
+        std::fs::remove_dir_all(&dir0).unwrap();
+        std::fs::remove_dir_all(&dir1).unwrap();
     }
 }

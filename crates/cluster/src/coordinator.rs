@@ -1,0 +1,544 @@
+//! The scatter–gather coordinator: shard connections, routing, quorum,
+//! and degraded-mode bookkeeping.
+//!
+//! Topology is deliberately dumb: N independent `pprl-server` shard
+//! nodes, each holding a disjoint slice of the corpus, fronted by one
+//! coordinator that speaks the same wire protocol downstream (through
+//! the stock [`Client`], inheriting its jittered `Busy` backoff and
+//! per-call deadline) and upstream (see [`crate::server`]). Reads
+//! (Query/Link) are broadcast to every shard and the per-shard top-k
+//! lists merged exactly by [`crate::merge::merge_top_k`]; writes
+//! (Insert) are routed to a single shard by a stable hash of the record
+//! id, so a record always lands — and is always found — on the same
+//! node.
+//!
+//! Failure handling follows the quorum/degraded-mode semantics of
+//! `protocols::session`: a shard whose call fails at the transport
+//! layer is marked down and the operation proceeds over the survivors,
+//! as long as at least [`ClusterConfig::min_shards`] answered.
+//! Degradation is never silent — it is surfaced through the Stats
+//! opcode (`degraded`, `shards_down`, `missing_shards`), the CLI
+//! banner, and the coordinator's own metrics. A down shard is probed
+//! again on the next request; recovery is automatic once it answers.
+
+use crate::merge::merge_top_k;
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::{PprlError, Result};
+use pprl_index::query::Hit;
+use pprl_server::client::Client;
+use pprl_server::metrics::LatencyHistogram;
+use pprl_server::wire::{StatsReport, WIRE_VERSION};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shard node addresses (`host:port`), in shard-index order. The
+    /// order is part of the cluster's identity: insert routing hashes
+    /// record ids onto *indices* of this list.
+    pub shards: Vec<String>,
+    /// Read quorum: a broadcast read succeeds as long as at least this
+    /// many shards answered; fewer is a typed error, not a silently
+    /// partial result. Writes always require their routed shard.
+    pub min_shards: usize,
+    /// Per shard-call deadline (request + shard think time + `Busy`
+    /// backoff cycles), enforced by the underlying [`Client`].
+    pub deadline: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: Vec::new(),
+            min_shards: 1,
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config fronting `shards` with default quorum and deadline.
+    pub fn new(shards: Vec<String>) -> Self {
+        ClusterConfig {
+            shards,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards.is_empty() {
+            return Err(PprlError::invalid("shards", "need at least one address"));
+        }
+        if self.min_shards == 0 || self.min_shards > self.shards.len() {
+            return Err(PprlError::invalid(
+                "min_shards",
+                format!("must be in 1..={}", self.shards.len()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Coordinator-level counters: requests as seen at the coordinator
+/// (one broadcast query counts once here, once per shard downstream).
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Broadcast queries answered.
+    pub queries: AtomicU64,
+    /// Broadcast link batches answered.
+    pub links: AtomicU64,
+    /// Routed insert batches applied.
+    pub inserts: AtomicU64,
+    /// Shard calls that failed at the transport layer.
+    pub shard_failures: AtomicU64,
+    /// Reads answered from a strict subset of shards.
+    pub degraded_replies: AtomicU64,
+    /// Connections the coordinator front end rejected with `Busy`.
+    pub busy_rejected: AtomicU64,
+    /// Coordinator-side request latency (scatter + gather + merge).
+    pub latency: LatencyHistogram,
+}
+
+fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+/// One shard node: its address, a small pool of idle connections
+/// (workers return connections after successful calls, so concurrent
+/// requests multiplex without a global lock), and the last known
+/// health, updated by every call outcome.
+#[derive(Debug)]
+struct ShardSlot {
+    addr: String,
+    idle: Mutex<Vec<Client>>,
+    down: AtomicBool,
+}
+
+/// Stable routing of a record id onto `shards` buckets: FNV-1a over the
+/// id's little-endian bytes. Not the Hamming-LSH sharding `pprl-index`
+/// uses *inside* each node — cluster routing must depend only on the
+/// id, so a client can later locate a record without knowing its
+/// filter.
+pub fn route_id(id: u64, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// True for errors that mean "this shard is unreachable or unusable"
+/// (connect failures, broken frames, deadline exhaustion, version
+/// skew) as opposed to "the shard is fine but rejected this request"
+/// (e.g. a filter-length mismatch), which must surface to the caller
+/// rather than degrade the cluster.
+fn is_shard_failure(e: &PprlError) -> bool {
+    matches!(
+        e,
+        PprlError::Transport(_) | PprlError::Timeout(_) | PprlError::UnsupportedVersion { .. }
+    )
+}
+
+/// The scatter–gather coordinator. All methods take `&self`; concurrent
+/// requests from the front end's worker threads share the per-shard
+/// connection pools.
+#[derive(Debug)]
+pub struct Coordinator {
+    shards: Vec<ShardSlot>,
+    config: ClusterConfig,
+    /// Coordinator-level counters and latency histogram.
+    pub metrics: ClusterMetrics,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `config.shards`. Connections are opened
+    /// lazily per call, so a cluster can be assembled before every
+    /// shard is up — health is discovered (and re-discovered) on use.
+    pub fn new(config: ClusterConfig) -> Result<Coordinator> {
+        config.validate()?;
+        let shards = config
+            .shards
+            .iter()
+            .map(|addr| ShardSlot {
+                addr: addr.clone(),
+                idle: Mutex::new(Vec::new()),
+                down: AtomicBool::new(false),
+            })
+            .collect();
+        Ok(Coordinator {
+            shards,
+            config,
+            metrics: ClusterMetrics::default(),
+        })
+    }
+
+    /// [`Coordinator::new`] plus an eager reachability probe: connects
+    /// to every shard once (retrying briefly, for shards still binding
+    /// their port) and fails unless at least the read quorum is up.
+    pub fn connect(config: ClusterConfig) -> Result<Coordinator> {
+        let coordinator = Self::new(config)?;
+        let mut up = 0usize;
+        for slot in &coordinator.shards {
+            match Client::connect_retry(&slot.addr, 20, Duration::from_millis(50)) {
+                Ok(mut client) => {
+                    client.set_deadline(coordinator.config.deadline);
+                    slot.idle.lock().expect("idle lock").push(client);
+                    up += 1;
+                }
+                Err(_) => {
+                    slot.down.store(true, Ordering::SeqCst);
+                    add(&coordinator.metrics.shard_failures, 1);
+                }
+            }
+        }
+        if up < coordinator.config.min_shards {
+            return Err(PprlError::Transport(format!(
+                "cluster below quorum at startup: {up} of {} shards reachable \
+                 (quorum {})",
+                coordinator.shards.len(),
+                coordinator.config.min_shards
+            )));
+        }
+        Ok(coordinator)
+    }
+
+    /// Shard addresses, in shard-index order.
+    pub fn shard_addrs(&self) -> Vec<String> {
+        self.shards.iter().map(|s| s.addr.clone()).collect()
+    }
+
+    /// Number of shards this coordinator fronts.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Indices of shards whose last call failed (down as of the most
+    /// recent contact; a later successful call clears the mark).
+    pub fn missing_shards(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.down.load(Ordering::SeqCst))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Runs one call against shard `i` on a pooled (or fresh)
+    /// connection, updating the shard's health mark from the outcome.
+    /// Connections survive successful calls; a failed call's connection
+    /// is dropped so the next attempt starts clean.
+    ///
+    /// A transport failure on a *pooled* connection proves nothing
+    /// about the shard — nodes close sessions idle past their
+    /// `idle_timeout`, so a pool that sat quiet holds dead sockets.
+    /// Such a failure falls through to one fresh dial before the shard
+    /// is declared down. The redial cannot double-apply an insert:
+    /// a node that reads a request always writes the acknowledgement
+    /// on the same connection before closing it, so an EOF with no
+    /// response means the request was never processed.
+    fn call_shard<T>(&self, i: usize, f: impl Fn(&mut Client) -> Result<T>) -> Result<T> {
+        let slot = &self.shards[i];
+        // Bind the pop before matching on it: an `if let` on the locked
+        // pool would hold the mutex guard across the call below and
+        // self-deadlock when the success path re-locks to return the
+        // connection.
+        let pooled = slot.idle.lock().expect("idle lock").pop();
+        if let Some(mut pooled) = pooled {
+            match f(&mut pooled) {
+                Ok(v) => {
+                    slot.down.store(false, Ordering::SeqCst);
+                    slot.idle.lock().expect("idle lock").push(pooled);
+                    return Ok(v);
+                }
+                // The shard answered with a typed rejection: it is up,
+                // and retrying the same request would not help. Drop
+                // the connection (it may hold a half-read response).
+                Err(e) if !is_shard_failure(&e) => return Err(e),
+                // Possibly-stale pooled socket: fall through and redial.
+                Err(_) => {}
+            }
+        }
+        let mut client = match Client::connect(&slot.addr) {
+            Ok(mut c) => {
+                c.set_deadline(self.config.deadline);
+                c
+            }
+            Err(e) => {
+                slot.down.store(true, Ordering::SeqCst);
+                add(&self.metrics.shard_failures, 1);
+                return Err(e);
+            }
+        };
+        match f(&mut client) {
+            Ok(v) => {
+                slot.down.store(false, Ordering::SeqCst);
+                slot.idle.lock().expect("idle lock").push(client);
+                Ok(v)
+            }
+            Err(e) => {
+                if is_shard_failure(&e) {
+                    slot.down.store(true, Ordering::SeqCst);
+                    add(&self.metrics.shard_failures, 1);
+                }
+                // Drop the connection: the stream may hold a half-read
+                // response.
+                Err(e)
+            }
+        }
+    }
+
+    /// Scatters `f` to every shard concurrently (one scoped thread per
+    /// shard) and gathers the per-shard outcomes in shard order.
+    fn scatter<T: Send>(&self, f: impl Fn(&mut Client) -> Result<T> + Sync) -> Vec<Result<T>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| {
+                    let f = &f;
+                    scope.spawn(move || self.call_shard(i, f))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard call panicked"))
+                .collect()
+        })
+    }
+
+    /// Splits gather results into per-shard successes and a missing
+    /// count, enforcing the read quorum. Non-shard-failure errors (the
+    /// shard answered, but with a typed rejection) abort the whole
+    /// operation — they indicate a caller bug, not a down node.
+    fn gather<T>(&self, results: Vec<Result<T>>) -> Result<(Vec<T>, usize)> {
+        let total = results.len();
+        let mut values = Vec::with_capacity(total);
+        let mut missing = 0usize;
+        for r in results {
+            match r {
+                Ok(v) => values.push(v),
+                Err(e) if is_shard_failure(&e) => missing += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if values.len() < self.config.min_shards {
+            return Err(PprlError::Transport(format!(
+                "cluster below quorum: {} of {total} shards answered \
+                 (quorum {})",
+                values.len(),
+                self.config.min_shards
+            )));
+        }
+        if missing > 0 {
+            add(&self.metrics.degraded_replies, 1);
+        }
+        Ok((values, missing))
+    }
+
+    /// Broadcast top-k query: every reachable shard computes its local
+    /// top k, and the lists merge exactly into the global top k. With
+    /// every shard up the result is bit-identical to a single node
+    /// holding the union corpus; with shards down it is the exact
+    /// answer over the surviving sub-corpus (and the reply is counted
+    /// as degraded).
+    pub fn query(&self, filter: &BitVec, k: usize) -> Result<Vec<Hit>> {
+        let started = Instant::now();
+        let results = self.scatter(|c| c.query(filter, k));
+        let (lists, _missing) = self.gather(results)?;
+        let merged = merge_top_k(&lists, k);
+        add(&self.metrics.queries, 1);
+        self.metrics
+            .latency
+            .record_us(started.elapsed().as_micros() as u64);
+        Ok(merged)
+    }
+
+    /// Broadcast batch link: per-probe top-k at or above `min_score`,
+    /// merged per probe with the same exact k-way merge as
+    /// [`Coordinator::query`].
+    pub fn link(&self, probes: &[BitVec], k: usize, min_score: f64) -> Result<Vec<Vec<Hit>>> {
+        let started = Instant::now();
+        let results = self.scatter(|c| c.link(probes, k, min_score));
+        let (per_shard, _missing) = self.gather(results)?;
+        let merged = (0..probes.len())
+            .map(|pi| {
+                let lists: Vec<Vec<Hit>> = per_shard
+                    .iter()
+                    .map(|shard| shard.get(pi).cloned().unwrap_or_default())
+                    .collect();
+                merge_top_k(&lists, k)
+            })
+            .collect();
+        add(&self.metrics.links, 1);
+        self.metrics
+            .latency
+            .record_us(started.elapsed().as_micros() as u64);
+        Ok(merged)
+    }
+
+    /// Routed insert: each record goes to the shard chosen by
+    /// [`route_id`] of its id, so lookups and future inserts agree on
+    /// placement. Unlike reads there is no quorum forgiveness — every
+    /// shard that owns part of the batch must acknowledge, because a
+    /// dropped sub-batch would silently lose acknowledged records.
+    /// Returns the total count and the highest shard generation
+    /// observed in the acknowledgements.
+    pub fn insert(&self, records: &[(u64, BitVec)]) -> Result<(u32, u64)> {
+        let started = Instant::now();
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); n];
+        for (id, filter) in records {
+            groups[route_id(*id, n)].push((*id, filter.clone()));
+        }
+        let outcomes: Vec<Result<(u32, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(i, group)| scope.spawn(move || self.call_shard(i, |c| c.insert(group))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard insert panicked"))
+                .collect()
+        });
+        let mut count = 0u32;
+        let mut generation = 0u64;
+        for outcome in outcomes {
+            let (c, g) = outcome?;
+            count += c;
+            generation = generation.max(g);
+        }
+        add(&self.metrics.inserts, 1);
+        self.metrics
+            .latency
+            .record_us(started.elapsed().as_micros() as u64);
+        Ok((count, generation))
+    }
+
+    /// The cluster stats surface. Corpus-shaped fields (`records`,
+    /// `generation`, cache/plan counters, compaction counters,
+    /// `quarantined_segments`, `busy_rejected`) are summed over the
+    /// shards that answered — `generation` in particular is the *sum*
+    /// of shard generations, a counter that bumps whenever any shard
+    /// changes. `workers`/`queue_capacity` are left 0 for the serving
+    /// front end to fill with its own pool size. Request-shaped
+    /// fields (`queries`, `links`, `inserts`, latency quantiles,
+    /// uptime) are the coordinator's own, since one broadcast query
+    /// would otherwise count N times. Unlike reads, stats never fails
+    /// on lost shards: operators need this surface *most* when the
+    /// cluster is degraded, so it reports whatever subset answered,
+    /// with `degraded`/`shards_down`/`missing_shards` telling the
+    /// truth about the rest.
+    pub fn stats(&self, uptime_ms: u64) -> StatsReport {
+        let results = self.scatter(|c| c.stats());
+        let mut report = StatsReport::default();
+        let mut missing_shards = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(s) => {
+                    report.records += s.records;
+                    report.generation += s.generation;
+                    report.cache_hits += s.cache_hits;
+                    report.cache_misses += s.cache_misses;
+                    report.plan_hits += s.plan_hits;
+                    report.plan_misses += s.plan_misses;
+                    report.busy_rejected += s.busy_rejected;
+                    report.compactions += s.compactions;
+                    report.segments_merged += s.segments_merged;
+                    report.bytes_read += s.bytes_read;
+                    report.quarantined_segments += s.quarantined_segments;
+                    report.degraded |= s.degraded;
+                }
+                Err(_) => missing_shards.push(i as u32),
+            }
+        }
+        report.queries = get(&self.metrics.queries);
+        report.links = get(&self.metrics.links);
+        report.inserts = get(&self.metrics.inserts);
+        report.busy_rejected += get(&self.metrics.busy_rejected);
+        report.latency_p50_us = self.metrics.latency.quantile_us(0.50);
+        report.latency_p99_us = self.metrics.latency.quantile_us(0.99);
+        report.uptime_ms = uptime_ms;
+        report.cluster_shards = self.shards.len() as u32;
+        report.shards_down = missing_shards.len() as u32;
+        report.degraded |= !missing_shards.is_empty();
+        report.missing_shards = missing_shards;
+        report
+    }
+
+    /// Asks every reachable shard to shut down; returns how many
+    /// acknowledged. Used by orderly cluster teardown (the coordinator
+    /// front end itself is stopped separately).
+    pub fn shutdown_shards(&self) -> usize {
+        let results = self.scatter(|c| c.shutdown());
+        results.into_iter().filter(Result::is_ok).count()
+    }
+
+    /// The wire version this coordinator speaks to its shards — shards
+    /// built at a different version answer every call with a typed
+    /// [`PprlError::UnsupportedVersion`] instead of garbage.
+    pub fn wire_version(&self) -> u8 {
+        WIRE_VERSION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 5, 16] {
+            for id in 0..200u64 {
+                let a = route_id(id, shards);
+                let b = route_id(id, shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn route_spreads_ids_over_shards() {
+        let shards = 4usize;
+        let mut counts = vec![0usize; shards];
+        for id in 0..4000u64 {
+            counts[route_id(id, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(&c),
+                "shard {i} got {c} of 4000 ids — routing is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClusterConfig::new(vec![]).validate().is_err());
+        let mut c = ClusterConfig::new(vec!["a:1".into(), "b:2".into()]);
+        assert!(c.validate().is_ok());
+        c.min_shards = 3;
+        assert!(c.validate().is_err());
+        c.min_shards = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shard_failure_classification() {
+        assert!(is_shard_failure(&PprlError::Transport("x".into())));
+        assert!(is_shard_failure(&PprlError::Timeout("x".into())));
+        assert!(is_shard_failure(&PprlError::UnsupportedVersion {
+            found: 1,
+            expected: 2
+        }));
+        assert!(!is_shard_failure(&PprlError::ProtocolError("x".into())));
+        assert!(!is_shard_failure(&PprlError::shape("a", "b")));
+    }
+}

@@ -1,0 +1,195 @@
+//! Exact k-way merge of per-shard top-k hit lists.
+//!
+//! The coordinator's correctness hinges on one invariant: merging the
+//! per-shard top-k lists must give *exactly* the list a single node
+//! holding the union corpus would return. Dice scores are deterministic
+//! functions of the filters, so the only freedom is ordering — pinned
+//! down here by the total order of [`hit_order`]: score descending
+//! (IEEE-754 `total_cmp`, so even exotic bit patterns order
+//! consistently), ties broken by ascending record id. This is the same
+//! order `pprl_index::query::IndexReader::top_k` sorts by, which is
+//! what makes cluster-vs-single-node bit-equivalence a testable
+//! property rather than an aspiration.
+
+use pprl_index::query::Hit;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The total order of the final ranking: score descending, then record
+/// id ascending. `Less` means `a` ranks *before* `b`. Total even under
+/// NaN/-0.0 score bit patterns thanks to `f64::total_cmp`.
+pub fn hit_order(a: &Hit, b: &Hit) -> Ordering {
+    b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
+}
+
+/// One list head waiting in the merge heap. `BinaryHeap` is a max-heap,
+/// so `Ord` is "better ranks greater"; equal `(score, id)` pairs from
+/// different shards tie-break by ascending list index, making the merge
+/// deterministic regardless of how shards are numbered or how their
+/// replies interleave.
+struct Head<'a> {
+    hit: &'a Hit,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for Head<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Head<'_> {}
+impl PartialOrd for Head<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // hit_order(a, b) == Less ⇔ a ranks first ⇔ a is "greater" here.
+        hit_order(other.hit, self.hit).then(other.list.cmp(&self.list))
+    }
+}
+
+/// Merges per-shard top-k lists into the global top `k`.
+///
+/// Each input list must already be sorted by [`hit_order`] (the order
+/// every `pprl-server` node returns); the output is the first `k` of
+/// the merged sequence in that same order. A k-way heap of list heads
+/// does it in `O(total · log(lists))` without concatenating, and —
+/// because every shard already truncated to its local top k — the
+/// global top k is guaranteed to be among the inputs.
+pub fn merge_top_k(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(lists.iter().all(|l| l
+        .windows(2)
+        .all(|w| hit_order(&w[0], &w[1]) != Ordering::Greater)));
+    let mut heap: BinaryHeap<Head<'_>> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(list, hits)| hits.first().map(|hit| Head { hit, list, pos: 0 }))
+        .collect();
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(*head.hit);
+        if let Some(hit) = lists[head.list].get(head.pos + 1) {
+            heap.push(Head {
+                hit,
+                list: head.list,
+                pos: head.pos + 1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pprl_core::rng::SplitMix64;
+
+    fn sorted(mut hits: Vec<Hit>) -> Vec<Hit> {
+        hits.sort_by(hit_order);
+        hits
+    }
+
+    /// Reference merge: concatenate, sort by the total order, truncate.
+    fn reference(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+        let mut all: Vec<Hit> = lists.iter().flatten().copied().collect();
+        all.sort_by(hit_order);
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn merge_matches_concat_sort_truncate() {
+        let mut rng = SplitMix64::new(0xC1u64);
+        for trial in 0..50 {
+            let lists: Vec<Vec<Hit>> = (0..1 + rng.next_below(5))
+                .map(|_| {
+                    sorted(
+                        (0..rng.next_below(20))
+                            .map(|_| Hit {
+                                id: rng.next_below(1000),
+                                // Quantised scores force plenty of ties.
+                                score: rng.next_below(8) as f64 / 8.0,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            for k in [0, 1, 3, 10, 100] {
+                assert_eq!(
+                    merge_top_k(&lists, k),
+                    reference(&lists, k),
+                    "trial={trial} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_scores_order_by_ascending_id() {
+        // Three shards answering the same score: the merged order must
+        // be by id, regardless of which shard held which record.
+        let lists = vec![
+            vec![Hit { id: 30, score: 0.5 }],
+            vec![Hit { id: 10, score: 0.5 }],
+            vec![Hit { id: 20, score: 0.5 }],
+        ];
+        let merged = merge_top_k(&lists, 3);
+        assert_eq!(
+            merged.iter().map(|h| h.id).collect::<Vec<_>>(),
+            [10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn merge_is_invariant_under_shard_permutation() {
+        let a = vec![
+            Hit { id: 1, score: 0.9 },
+            Hit { id: 4, score: 0.5 },
+            Hit { id: 9, score: 0.5 },
+        ];
+        let b = vec![Hit { id: 2, score: 0.9 }, Hit { id: 3, score: 0.5 }];
+        let c = vec![Hit { id: 0, score: 0.5 }];
+        let orders: [Vec<Vec<Hit>>; 3] = [
+            vec![a.clone(), b.clone(), c.clone()],
+            vec![c.clone(), a.clone(), b.clone()],
+            vec![b.clone(), c.clone(), a.clone()],
+        ];
+        let expected = merge_top_k(&orders[0], 4);
+        for lists in &orders[1..] {
+            assert_eq!(merge_top_k(lists, 4), expected);
+        }
+        assert_eq!(
+            expected.iter().map(|h| h.id).collect::<Vec<_>>(),
+            [1, 2, 0, 3],
+            "0.9 pair by id first, then the 0.5 tie broken by id"
+        );
+    }
+
+    #[test]
+    fn hit_order_is_total_on_funny_floats() {
+        let zero_pos = Hit { id: 1, score: 0.0 };
+        let zero_neg = Hit { id: 1, score: -0.0 };
+        // total_cmp: +0.0 > -0.0, so the order is defined (not Equal)
+        // and antisymmetric — the property a comparator must have.
+        assert_eq!(hit_order(&zero_pos, &zero_neg), Ordering::Less);
+        assert_eq!(hit_order(&zero_neg, &zero_pos), Ordering::Greater);
+        let same = Hit { id: 7, score: 0.25 };
+        assert_eq!(hit_order(&same, &same), Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        assert!(merge_top_k(&[], 5).is_empty());
+        assert!(merge_top_k(&[vec![], vec![]], 5).is_empty());
+        let one = vec![vec![Hit { id: 3, score: 1.0 }]];
+        assert_eq!(merge_top_k(&one, 5), one[0]);
+        assert!(merge_top_k(&one, 0).is_empty());
+    }
+}

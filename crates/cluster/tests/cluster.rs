@@ -1,0 +1,606 @@
+//! End-to-end tests for `pprl-cluster`: 3-shard scatter–gather results
+//! bit-identical to a single node holding the union corpus, degraded
+//! merges after a shard dies mid-query, quorum enforcement, `Busy`
+//! absorption within the deadline, snapshot-shipped replicas, and the
+//! TCP front end speaking the stock client protocol.
+
+use pprl_cluster::coordinator::{route_id, ClusterConfig, Coordinator};
+use pprl_cluster::server::{serve_cluster, ClusterServerConfig};
+use pprl_core::bitvec::BitVec;
+use pprl_core::error::PprlError;
+use pprl_index::manifest::IndexConfig;
+use pprl_index::query::Hit;
+use pprl_index::store::IndexStore;
+use pprl_server::client::Client;
+use pprl_server::server::{serve, ServerConfig, ServerHandle};
+use pprl_server::wire::{read_payload, write_payload, Incoming, Request, Response};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const FILTER_LEN: usize = 256;
+const SHARDS: usize = 3;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pprl-cluster-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic pseudo-random filter for record `id`.
+fn filter_for(id: u64) -> BitVec {
+    let mut positions = Vec::new();
+    let mut x = id.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(17);
+    for _ in 0..40 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        positions.push((x % FILTER_LEN as u64) as usize);
+    }
+    positions.sort_unstable();
+    positions.dedup();
+    BitVec::from_positions(FILTER_LEN, &positions).unwrap()
+}
+
+/// Creates an index at `dir` holding exactly `records`.
+fn build_store(dir: &Path, records: &[(u64, BitVec)]) {
+    let mut store = IndexStore::create(dir, IndexConfig::new(FILTER_LEN, 4)).unwrap();
+    if !records.is_empty() {
+        store.insert_batch(records).unwrap();
+        store.flush().unwrap();
+    }
+}
+
+fn serve_shard(dir: &Path) -> ServerHandle {
+    serve(
+        dir,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            compact_interval: None,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The union corpus: ids 0..180 routed across shards by `route_id`,
+/// plus six records over three shards sharing one filter (equal Dice
+/// score against it from every shard) to exercise cross-shard
+/// tie-breaking in the merge.
+fn union_corpus() -> Vec<(u64, BitVec)> {
+    let mut records: Vec<(u64, BitVec)> = (0..180u64).map(|id| (id, filter_for(id))).collect();
+    let tie_filter = filter_for(999_999);
+    for id in [10_001u64, 10_002, 10_003, 10_004, 10_005, 10_006] {
+        records.push((id, tie_filter.clone()));
+    }
+    records
+}
+
+/// Partitions `records` by the coordinator's routing function.
+fn partition(records: &[(u64, BitVec)]) -> Vec<Vec<(u64, BitVec)>> {
+    let mut parts = vec![Vec::new(); SHARDS];
+    for (id, f) in records {
+        parts[route_id(*id, SHARDS)].push((*id, f.clone()));
+    }
+    parts
+}
+
+/// Offline single-node oracle answers over an arbitrary record set.
+fn oracle_top_k(
+    tag: &str,
+    records: &[(u64, BitVec)],
+    probes: &[BitVec],
+    k: usize,
+) -> Vec<Vec<Hit>> {
+    let dir = temp_dir(tag);
+    build_store(&dir, records);
+    let store = IndexStore::open(&dir).unwrap();
+    let reader = store.reader().unwrap();
+    let out = probes
+        .iter()
+        .map(|p| reader.top_k(p, k, 1).unwrap())
+        .collect();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+struct TestCluster {
+    shards: Vec<ServerHandle>,
+    dirs: Vec<PathBuf>,
+}
+
+impl TestCluster {
+    /// 3 shard nodes over a routed partition of `records`.
+    fn start(tag: &str, records: &[(u64, BitVec)]) -> TestCluster {
+        let parts = partition(records);
+        let dirs: Vec<PathBuf> = (0..SHARDS)
+            .map(|i| temp_dir(&format!("{tag}-s{i}")))
+            .collect();
+        let shards = dirs
+            .iter()
+            .zip(&parts)
+            .map(|(dir, part)| {
+                build_store(dir, part);
+                serve_shard(dir)
+            })
+            .collect();
+        TestCluster { shards, dirs }
+    }
+
+    fn addrs(&self) -> Vec<String> {
+        self.shards.iter().map(|h| h.addr().to_string()).collect()
+    }
+
+    fn stop(self) {
+        for shard in self.shards {
+            shard.shutdown_now();
+        }
+        for dir in self.dirs {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// The headline acceptance criterion: a 3-shard cluster answers query
+/// and link bit-identically to a single node holding the union corpus,
+/// including crafted cross-shard score ties.
+#[test]
+fn cluster_matches_single_node_union_oracle() {
+    let records = union_corpus();
+    // The tie records must actually land on distinct shards for the
+    // cross-shard tie-break to be exercised.
+    let tie_shards: std::collections::HashSet<usize> = (10_001u64..=10_006)
+        .map(|id| route_id(id, SHARDS))
+        .collect();
+    assert!(tie_shards.len() >= 2, "tie ids all routed to one shard");
+
+    let cluster = TestCluster::start("oracle", &records);
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: cluster.addrs(),
+        min_shards: SHARDS,
+        deadline: Duration::from_secs(10),
+    })
+    .unwrap();
+
+    // Probes: in-corpus records, unseen records, and the tie filter.
+    let mut probes: Vec<BitVec> = (0..10u64).map(filter_for).collect();
+    probes.extend((5000..5010u64).map(filter_for));
+    probes.push(filter_for(999_999));
+
+    for k in [1usize, 5, 17] {
+        let expected = oracle_top_k("oracle-ref", &records, &probes, k);
+        for (probe, want) in probes.iter().zip(&expected) {
+            let got = coordinator.query(probe, k).unwrap();
+            assert_eq!(&got, want, "k={k}: cluster diverged from union oracle");
+        }
+    }
+
+    // The tie probe must rank the six equal-score records by id.
+    let ties = coordinator.query(&filter_for(999_999), 6).unwrap();
+    assert_eq!(
+        ties.iter().map(|h| h.id).collect::<Vec<_>>(),
+        [10_001, 10_002, 10_003, 10_004, 10_005, 10_006]
+    );
+    let first_score = ties[0].score;
+    assert!(ties.iter().all(|h| h.score == first_score));
+
+    // Batch link with a threshold merges identically too.
+    let min_score = 0.55;
+    let k = 6;
+    let expected: Vec<Vec<Hit>> = oracle_top_k("oracle-link", &records, &probes, k)
+        .into_iter()
+        .map(|mut hits| {
+            hits.retain(|h| h.score >= min_score);
+            hits
+        })
+        .collect();
+    let got = coordinator.link(&probes, k, min_score).unwrap();
+    assert_eq!(got, expected, "cluster link diverged from union oracle");
+
+    assert!(coordinator.missing_shards().is_empty());
+    assert_eq!(
+        coordinator
+            .metrics
+            .degraded_replies
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    cluster.stop();
+}
+
+/// Inserts through the coordinator route by id hash, are acknowledged
+/// with the summed count, and are immediately visible to broadcast
+/// queries — from every shard they landed on.
+#[test]
+fn routed_inserts_are_visible_cluster_wide() {
+    let records = union_corpus();
+    let cluster = TestCluster::start("insert", &records);
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: cluster.addrs(),
+        min_shards: SHARDS,
+        deadline: Duration::from_secs(10),
+    })
+    .unwrap();
+
+    let fresh: Vec<(u64, BitVec)> = (20_000..20_030u64).map(|id| (id, filter_for(id))).collect();
+    // The batch must split across at least two shards to test routing.
+    let routed: std::collections::HashSet<usize> =
+        fresh.iter().map(|(id, _)| route_id(*id, SHARDS)).collect();
+    assert!(routed.len() >= 2);
+
+    let (count, generation) = coordinator.insert(&fresh).unwrap();
+    assert_eq!(count, 30);
+    assert!(generation >= 1);
+
+    for (id, filter) in &fresh {
+        let hits = coordinator.query(filter, 1).unwrap();
+        assert_eq!(
+            hits[0].id, *id,
+            "inserted record not the top hit for its own filter"
+        );
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+    }
+
+    // The stats surface sums the shard corpora: originals + the batch.
+    let stats = coordinator.stats(0);
+    assert_eq!(stats.records, records.len() as u64 + 30);
+    assert_eq!(stats.cluster_shards, SHARDS as u32);
+    assert_eq!(stats.shards_down, 0);
+    assert!(!stats.degraded);
+    cluster.stop();
+}
+
+/// Killing a shard degrades reads instead of failing them: queries
+/// merge the survivors exactly (bit-identical to an oracle over the
+/// surviving sub-corpus), stats reports the missing shard, and losing
+/// quorum turns reads into typed errors.
+#[test]
+fn killed_shard_degrades_merge_and_stats_then_quorum_fails() {
+    let records = union_corpus();
+    let parts = partition(&records);
+    let cluster = TestCluster::start("degraded", &records);
+    let addrs = cluster.addrs();
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: addrs.clone(),
+        min_shards: 1,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap();
+
+    let probes: Vec<BitVec> = (0..8u64).map(filter_for).collect();
+    let full = oracle_top_k("degraded-full", &records, &probes, 5);
+    for (probe, want) in probes.iter().zip(&full) {
+        assert_eq!(&coordinator.query(probe, 5).unwrap(), want);
+    }
+
+    // Kill shard 1 out from under the coordinator.
+    let mut killer = Client::connect(&addrs[1]).unwrap();
+    killer.shutdown().unwrap();
+    drop(killer);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Reads still succeed, now exactly over shards 0 and 2.
+    let survivors: Vec<(u64, BitVec)> = parts[0].iter().chain(&parts[2]).cloned().collect();
+    let degraded = oracle_top_k("degraded-rest", &survivors, &probes, 5);
+    for (probe, want) in probes.iter().zip(&degraded) {
+        assert_eq!(
+            &coordinator.query(probe, 5).unwrap(),
+            want,
+            "degraded merge diverged from the surviving sub-corpus"
+        );
+    }
+    assert_eq!(coordinator.missing_shards(), vec![1]);
+    assert!(
+        coordinator
+            .metrics
+            .degraded_replies
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= probes.len() as u64
+    );
+
+    // Stats never fails on lost shards; it reports them.
+    let stats = coordinator.stats(0);
+    assert!(stats.degraded);
+    assert_eq!(stats.cluster_shards, 3);
+    assert_eq!(stats.shards_down, 1);
+    assert_eq!(stats.missing_shards, vec![1]);
+    assert_eq!(
+        stats.records,
+        (parts[0].len() + parts[2].len()) as u64,
+        "degraded stats must count the surviving corpus only"
+    );
+
+    // Writes routed to the dead shard fail loudly — no silent loss.
+    let doomed_id = (0..u64::MAX).find(|id| route_id(*id, SHARDS) == 1).unwrap();
+    let err = coordinator
+        .insert(&[(doomed_id, filter_for(doomed_id))])
+        .unwrap_err();
+    assert!(
+        matches!(err, PprlError::Transport(_) | PprlError::Timeout(_)),
+        "got {err:?}"
+    );
+
+    // Below quorum (min_shards back up to 2 conceptually): kill another
+    // shard with a 2-survivor quorum coordinator and reads must error.
+    let strict = Coordinator::new(ClusterConfig {
+        shards: addrs.clone(),
+        min_shards: 2,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap();
+    let mut killer = Client::connect(&addrs[2]).unwrap();
+    killer.shutdown().unwrap();
+    drop(killer);
+    std::thread::sleep(Duration::from_millis(300));
+    match strict.query(&probes[0], 5) {
+        Err(PprlError::Transport(msg)) => assert!(msg.contains("quorum"), "{msg}"),
+        other => panic!("expected a quorum error, got {other:?}"),
+    }
+    cluster.stop();
+}
+
+/// A scripted wire-speaking shard that answers the first request with
+/// `Busy` (closing the connection, as the real server does) and the
+/// second with real hits: the coordinator's client absorbs the
+/// rejection with backoff and the scatter still succeeds within its
+/// deadline.
+#[test]
+fn busy_shard_is_retried_within_the_deadline() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let hits = vec![
+        Hit {
+            id: 7,
+            score: 0.875,
+        },
+        Hit { id: 9, score: 0.5 },
+    ];
+    let scripted = hits.clone();
+    let fake = std::thread::spawn(move || {
+        // Connection 1: read the request, reject with Busy, close.
+        let (mut conn, _) = listener.accept().unwrap();
+        loop {
+            match read_payload(&mut conn).unwrap() {
+                Incoming::Payload(p) => {
+                    assert!(matches!(
+                        Request::decode(&p).unwrap(),
+                        Request::Query { .. }
+                    ));
+                    break;
+                }
+                Incoming::TimedOut => continue,
+                Incoming::Eof => panic!("client hung up before sending"),
+            }
+        }
+        let busy = Response::Busy { retry_after_ms: 5 };
+        write_payload(&mut conn, &busy.encode()).unwrap();
+        drop(conn);
+        // Connection 2: the retried request gets real hits.
+        let (mut conn, _) = listener.accept().unwrap();
+        loop {
+            match read_payload(&mut conn).unwrap() {
+                Incoming::Payload(p) => {
+                    assert!(matches!(
+                        Request::decode(&p).unwrap(),
+                        Request::Query { .. }
+                    ));
+                    break;
+                }
+                Incoming::TimedOut => continue,
+                Incoming::Eof => panic!("client never retried after Busy"),
+            }
+        }
+        write_payload(&mut conn, &Response::Hits(scripted).encode()).unwrap();
+    });
+
+    let coordinator = Coordinator::new(ClusterConfig {
+        shards: vec![addr],
+        min_shards: 1,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap();
+    let got = coordinator.query(&filter_for(1), 2).unwrap();
+    assert_eq!(got, hits);
+    fake.join().unwrap();
+    // The Busy bounce was absorbed inside the client, not surfaced as a
+    // shard failure.
+    assert!(coordinator.missing_shards().is_empty());
+}
+
+/// Snapshot shipping: a replica built by `export_snapshot` from a
+/// donor store serves as a drop-in shard — the rebuilt cluster answers
+/// bit-identically to the union oracle.
+#[test]
+fn snapshot_shipped_replica_serves_as_a_shard() {
+    let records = union_corpus();
+    let parts = partition(&records);
+
+    // Donor for shard 1: includes an unflushed WAL tail, which the
+    // export must carry over.
+    let donor_dir = temp_dir("ship-donor");
+    let (flushed, tail) = parts[1].split_at(parts[1].len() - 3);
+    let mut donor = IndexStore::create(&donor_dir, IndexConfig::new(FILTER_LEN, 4)).unwrap();
+    donor.insert_batch(flushed).unwrap();
+    donor.flush().unwrap();
+    donor.insert_batch(tail).unwrap(); // pending, not flushed
+
+    let replica_dir = temp_dir("ship-replica");
+    std::fs::remove_dir_all(&replica_dir).ok(); // export wants a fresh dir
+    std::fs::create_dir_all(&replica_dir).unwrap();
+    let shipped = donor.export_snapshot(&replica_dir).unwrap();
+    assert!(shipped.records >= flushed.len());
+    drop(donor);
+    std::fs::remove_dir_all(&donor_dir).ok();
+
+    // Shards 0 and 2 from the routed partition; shard 1 is the replica.
+    let dir0 = temp_dir("ship-s0");
+    let dir2 = temp_dir("ship-s2");
+    build_store(&dir0, &parts[0]);
+    build_store(&dir2, &parts[2]);
+    let shards = [
+        serve_shard(&dir0),
+        serve_shard(&replica_dir),
+        serve_shard(&dir2),
+    ];
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: shards.iter().map(|h| h.addr().to_string()).collect(),
+        min_shards: 3,
+        deadline: Duration::from_secs(10),
+    })
+    .unwrap();
+
+    let probes: Vec<BitVec> = (0..6u64)
+        .map(filter_for)
+        .chain(parts[1].iter().take(4).map(|(_, f)| f.clone()))
+        .collect();
+    let expected = oracle_top_k("ship-oracle", &records, &probes, 5);
+    for (probe, want) in probes.iter().zip(&expected) {
+        assert_eq!(
+            &coordinator.query(probe, 5).unwrap(),
+            want,
+            "replica-backed cluster diverged from the union oracle"
+        );
+    }
+
+    for shard in shards {
+        shard.shutdown_now();
+    }
+    for dir in [dir0, replica_dir, dir2] {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The TCP front end: a stock client talks to the cluster exactly as
+/// to one node — same results, cluster-shaped stats, and `Shutdown`
+/// stopping only the coordinator while shards keep serving.
+#[test]
+fn front_end_speaks_the_stock_client_protocol() {
+    let records = union_corpus();
+    let cluster = TestCluster::start("front", &records);
+    let coordinator = std::sync::Arc::new(
+        Coordinator::connect(ClusterConfig {
+            shards: cluster.addrs(),
+            min_shards: SHARDS,
+            deadline: Duration::from_secs(10),
+        })
+        .unwrap(),
+    );
+    let front = serve_cluster(
+        std::sync::Arc::clone(&coordinator),
+        "127.0.0.1:0",
+        ClusterServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ClusterServerConfig::default()
+        },
+    )
+    .unwrap();
+    let front_addr = front.addr().to_string();
+
+    let probes: Vec<BitVec> = (0..6u64).map(filter_for).collect();
+    let expected = oracle_top_k("front-oracle", &records, &probes, 4);
+    let mut client = Client::connect_retry(&front_addr, 20, Duration::from_millis(10)).unwrap();
+    for (probe, want) in probes.iter().zip(&expected) {
+        assert_eq!(&client.query(probe, 4).unwrap(), want);
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cluster_shards, SHARDS as u32);
+    assert_eq!(stats.shards_down, 0);
+    assert!(!stats.degraded);
+    assert_eq!(stats.records, records.len() as u64);
+    assert_eq!(stats.queries, probes.len() as u64);
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.queue_capacity, 8);
+
+    // Shutdown through the wire stops the coordinator only.
+    client.shutdown().unwrap();
+    front.join();
+    for addr in cluster.addrs() {
+        let mut direct = Client::connect(&addr).unwrap();
+        assert!(direct.stats().is_ok(), "shard died with the coordinator");
+    }
+    cluster.stop();
+}
+
+/// Shard nodes close sessions idle past their `idle_timeout`, so a
+/// coordinator that sat quiet holds a pool of dead sockets. The first
+/// call on such a socket must fall through to a fresh dial instead of
+/// declaring the (perfectly healthy) shard down.
+#[test]
+fn stale_pooled_connections_are_redialed_not_degraded() {
+    let records = union_corpus();
+    let parts = partition(&records);
+    let dirs: Vec<PathBuf> = (0..SHARDS)
+        .map(|i| temp_dir(&format!("stale-s{i}")))
+        .collect();
+    let shards: Vec<ServerHandle> = dirs
+        .iter()
+        .zip(&parts)
+        .map(|(dir, part)| {
+            build_store(dir, part);
+            serve(
+                dir,
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    queue_capacity: 16,
+                    compact_interval: None,
+                    // Aggressive reaping: pooled coordinator
+                    // connections go stale almost immediately.
+                    idle_timeout: Duration::from_millis(300),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|h| h.addr().to_string()).collect();
+
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: addrs,
+        min_shards: SHARDS,
+        deadline: Duration::from_secs(10),
+    })
+    .unwrap();
+    let probes: Vec<BitVec> = (0..4u64).map(filter_for).collect();
+    let expected = oracle_top_k("stale-ref", &records, &probes, 5);
+
+    // Populate the pool, let every shard reap the idle sessions, then
+    // query again: answers stay exact, no shard is reported missing,
+    // and no reply is counted degraded. Quorum is ALL shards, so a
+    // single wrongly-degraded node would fail the whole query.
+    for round in 0..3 {
+        for (probe, want) in probes.iter().zip(&expected) {
+            let got = coordinator.query(probe, 5).unwrap();
+            assert_eq!(&got, want, "round {round}: stale pool changed answers");
+        }
+        std::thread::sleep(Duration::from_millis(700));
+    }
+    let (count, _) = coordinator
+        .insert(&[(40_000, filter_for(40_000))])
+        .expect("insert over a stale pool");
+    assert_eq!(count, 1);
+    assert!(coordinator.missing_shards().is_empty());
+    assert_eq!(
+        coordinator
+            .metrics
+            .degraded_replies
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+
+    for shard in shards {
+        shard.shutdown_now();
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -36,6 +36,16 @@ pub enum PprlError {
     /// A transport-level failure: corrupted frame, malformed wire data, or
     /// a send to/through a crashed party that could not be routed.
     Transport(String),
+    /// The peer speaks a different wire-protocol version. Distinct from
+    /// [`PprlError::Transport`] so a mixed-version deployment (say an old
+    /// shard behind a new coordinator) fails with a clear upgrade message
+    /// instead of a checksum or decode error.
+    UnsupportedVersion {
+        /// Version byte found in the frame.
+        found: u8,
+        /// Version this peer speaks.
+        expected: u8,
+    },
     /// A send (or an entire exchange) exceeded its deadline even after all
     /// configured retries.
     Timeout(String),
@@ -77,6 +87,11 @@ impl fmt::Display for PprlError {
             PprlError::ProtocolError(msg) => write!(f, "protocol error: {msg}"),
             PprlError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             PprlError::Transport(msg) => write!(f, "transport error: {msg}"),
+            PprlError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported wire protocol version {found} (this peer speaks \
+                 version {expected}); upgrade the older side"
+            ),
             PprlError::Timeout(msg) => write!(f, "timeout: {msg}"),
             PprlError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
@@ -137,6 +152,13 @@ mod tests {
         assert!(PprlError::Storage("x".into())
             .to_string()
             .starts_with("storage"));
+        let v = PprlError::UnsupportedVersion {
+            found: 1,
+            expected: 2,
+        }
+        .to_string();
+        assert!(v.contains("version 1") || v.contains("version 2"), "{v}");
+        assert!(v.starts_with("unsupported wire protocol version"));
     }
 
     #[test]

@@ -338,6 +338,46 @@ impl IndexReader {
         Ok(results.pop().expect("one result per query"))
     }
 
+    /// The slot visiting order that serves a query of popcount `q`
+    /// best: indices of non-empty slots sorted by their popcount-only
+    /// Dice ceiling `2·min(q, clamp(q, pc_min, pc_max)) / (q + ·)`
+    /// descending, ties by index ascending. Scanning the
+    /// highest-ceiling slots first makes the running k-th score rise as
+    /// early as possible, so later low-ceiling slots are pruned without
+    /// ever being materialised. The order depends only on this reader's
+    /// slot geometry and `q` — never on filter *content* — which is
+    /// what makes it cacheable per `(generation, popcount)`.
+    pub fn popcount_scan_order(&self, q: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&si| self.slots[si as usize].rows > 0)
+            .collect();
+        order.sort_by(|&a, &b| {
+            let sa = &self.slots[a as usize];
+            let sb = &self.slots[b as usize];
+            let ba = dice_upper_bound(q, q.clamp(sa.pc_min, sa.pc_max));
+            let bb = dice_upper_bound(q, q.clamp(sb.pc_min, sb.pc_max));
+            bb.total_cmp(&ba).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// [`IndexReader::top_k`] visiting slots in the given order (as
+    /// produced by [`IndexReader::popcount_scan_order`], possibly served
+    /// from a cache). The order is a *hint*: invalid or duplicate
+    /// indices are ignored and unmentioned slots are appended, so the
+    /// scan always covers the whole index and results stay bit-identical
+    /// to the default order — only the amount of pruning changes.
+    pub fn top_k_planned(
+        &self,
+        query: &BitVec,
+        k: usize,
+        threads: usize,
+        order: &[u32],
+    ) -> Result<Vec<Hit>> {
+        let mut results = self.top_k_batch_inner(&[query], k, threads, None, Some(order))?;
+        Ok(results.pop().expect("one result per query"))
+    }
+
     /// Exact top-k for a whole batch of queries in one pass: every arena
     /// block is loaded once and compared against all still-live queries
     /// via the 4-row [`and_count4`] kernel. With `min_score`, hits below
@@ -351,6 +391,17 @@ impl IndexReader {
         k: usize,
         threads: usize,
         min_score: Option<f64>,
+    ) -> Result<Vec<Vec<Hit>>> {
+        self.top_k_batch_inner(queries, k, threads, min_score, None)
+    }
+
+    fn top_k_batch_inner(
+        &self,
+        queries: &[&BitVec],
+        k: usize,
+        threads: usize,
+        min_score: Option<f64>,
+        order: Option<&[u32]>,
     ) -> Result<Vec<Vec<Hit>>> {
         for query in queries {
             if query.len() != self.filter_len {
@@ -379,7 +430,7 @@ impl IndexReader {
                 keys: band_keys(q, &self.summary_positions),
             })
             .collect();
-        let tasks = self.split_tasks(threads.max(1));
+        let tasks = self.split_tasks(threads.max(1), order);
         let workers = threads.max(1).min(tasks.len().max(1));
         let mut merged: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
         if workers <= 1 {
@@ -548,7 +599,29 @@ impl IndexReader {
     /// stay busy despite uneven pruning) but never drops below
     /// [`MIN_SPLIT`], so tiny slots are not shredded into per-record
     /// tasks. With one worker this degenerates to one task per slot.
-    fn split_tasks(&self, workers: usize) -> Vec<(usize, usize, usize)> {
+    ///
+    /// `order` is the optional slot-visiting hint from
+    /// [`IndexReader::popcount_scan_order`]: tasks are emitted (and thus
+    /// claimed by workers) in that order, with out-of-range or repeated
+    /// indices dropped and unmentioned slots appended so coverage is
+    /// identical either way.
+    fn split_tasks(&self, workers: usize, order: Option<&[u32]>) -> Vec<(usize, usize, usize)> {
+        let visit: Vec<usize> = match order {
+            None => (0..self.slots.len()).collect(),
+            Some(hint) => {
+                let mut seen = vec![false; self.slots.len()];
+                let mut visit = Vec::with_capacity(self.slots.len());
+                for &si in hint {
+                    let si = si as usize;
+                    if si < self.slots.len() && !seen[si] {
+                        seen[si] = true;
+                        visit.push(si);
+                    }
+                }
+                visit.extend((0..self.slots.len()).filter(|&si| !seen[si]));
+                visit
+            }
+        };
         let total: usize = self.slots.iter().map(|s| s.rows).sum();
         let chunk = if workers <= 1 {
             usize::MAX
@@ -556,8 +629,8 @@ impl IndexReader {
             MIN_SPLIT.max(total.div_ceil(workers * 4))
         };
         let mut tasks = Vec::new();
-        for (si, slot) in self.slots.iter().enumerate() {
-            let n = slot.rows;
+        for si in visit {
+            let n = self.slots[si].rows;
             if n == 0 {
                 continue;
             }
@@ -732,6 +805,62 @@ mod tests {
     }
 
     #[test]
+    fn planned_scan_is_bit_identical_to_default_order() {
+        let records = random_filters(260, 128, 23);
+        let reader = IndexReader::new(shard_split(&records, 5), 128).unwrap();
+        let queries = random_filters(12, 128, 71);
+        for (_, query) in &queries {
+            let plan = reader.popcount_scan_order(query.count_ones());
+            for k in [1, 4, 50] {
+                for threads in [1, 3] {
+                    let default = reader.top_k(query, k, threads).unwrap();
+                    let planned = reader.top_k_planned(query, k, threads, &plan).unwrap();
+                    assert_eq!(planned, default, "k={k} threads={threads}");
+                }
+            }
+            // A garbage hint (wrong indices, duplicates, empty) must not
+            // change results either — it is only a visiting order.
+            let garbage: Vec<u32> = vec![99, 99, 3, 3, 1_000_000];
+            assert_eq!(
+                reader.top_k_planned(query, 10, 2, &garbage).unwrap(),
+                reader.top_k(query, 10, 1).unwrap()
+            );
+            assert_eq!(
+                reader.top_k_planned(query, 10, 1, &[]).unwrap(),
+                reader.top_k(query, 10, 1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn scan_order_sorts_slots_by_popcount_ceiling() {
+        // Three shards with forced popcount bands: sparse, medium, dense.
+        let len = 128;
+        let mk = |ones: std::ops::Range<usize>, base: u64| -> Vec<(u64, BitVec)> {
+            ones.clone()
+                .map(|n| {
+                    let pos: Vec<usize> = (0..n.max(1)).collect();
+                    (base + n as u64, BitVec::from_positions(len, &pos).unwrap())
+                })
+                .collect()
+        };
+        let shards = vec![mk(2..6, 0), mk(40..48, 100), mk(100..110, 200)];
+        let reader = IndexReader::new(shards, len).unwrap();
+        // A dense query should visit the dense slot first, sparse last.
+        let dense_query = BitVec::from_positions(len, &(0..104).collect::<Vec<_>>()).unwrap();
+        assert_eq!(
+            reader.popcount_scan_order(dense_query.count_ones()),
+            [2, 1, 0]
+        );
+        // A sparse query reverses the preference.
+        let sparse_query = BitVec::from_positions(len, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(
+            reader.popcount_scan_order(sparse_query.count_ones()),
+            [0, 1, 2]
+        );
+    }
+
+    #[test]
     fn batch_matches_per_query_top_k() {
         let records = random_filters(250, 128, 13);
         let reader = IndexReader::new(shard_split(&records, 3), 128).unwrap();
@@ -837,7 +966,7 @@ mod tests {
         // than slots so the scan actually parallelises.
         let records = random_filters(400, 128, 11);
         let reader = IndexReader::new(vec![records.clone()], 128).unwrap();
-        let tasks = reader.split_tasks(8);
+        let tasks = reader.split_tasks(8, None);
         assert!(
             tasks.len() > 1,
             "expected sub-slot splitting, got {tasks:?}"

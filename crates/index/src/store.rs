@@ -224,6 +224,17 @@ impl CompactionOutcome {
     }
 }
 
+/// What [`IndexStore::export_snapshot`] shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Sealed segment files copied.
+    pub segments: usize,
+    /// Records the snapshot holds (sealed + WAL tail).
+    pub records: usize,
+    /// Segment bytes copied (excludes manifest and WAL image).
+    pub bytes: u64,
+}
+
 /// Deletes segment files superseded by a compaction, once the caller
 /// knows no reader of the old manifest generation remains. Returns how
 /// many files were removed; a file already gone is not an error (crash
@@ -838,6 +849,100 @@ impl IndexStore {
     /// The IO layer this store routes file operations through.
     pub fn vfs(&self) -> Arc<dyn Vfs> {
         Arc::clone(&self.vfs)
+    }
+
+    /// Exports a complete, self-contained snapshot of this index into
+    /// `dest`: every sealed segment file is copied byte-for-byte
+    /// (segments are immutable and carry their own checksums), a WAL
+    /// image holding the not-yet-flushed tail is written at the
+    /// manifest's flush epoch, and the manifest itself lands last via
+    /// its usual tmp+fsync+rename swap — whose closing directory fsync
+    /// also persists everything copied before it. Opening the copy
+    /// replays the WAL tail and re-verifies every segment, so the
+    /// replica is bit-identical to the donor at export time.
+    ///
+    /// This is the shipping half of cluster replication/rebalancing: a
+    /// fresh shard node starts by receiving such a snapshot directory.
+    /// A degraded donor (quarantined segments) is refused — replicas
+    /// must be built from intact data — as is a `dest` that already
+    /// holds an index.
+    pub fn export_snapshot(&self, dest: &Path) -> Result<SnapshotStats> {
+        if self.is_degraded() {
+            return Err(storage_err(format!(
+                "refusing to export a snapshot of a degraded index ({} \
+                 quarantined segment(s) at {})",
+                self.manifest.quarantined.len(),
+                self.dir.display()
+            )));
+        }
+        if self.vfs.exists(&dest.join(MANIFEST_FILE)) {
+            return Err(storage_err(format!(
+                "{} already holds an index (MANIFEST exists)",
+                dest.display()
+            )));
+        }
+        self.vfs
+            .create_dir_all(dest)
+            .map_err(|e| io_err(dest, "creating", e))?;
+        let mut bytes = 0u64;
+        for entry in &self.manifest.segments {
+            let src = segment_path(&self.dir, entry.id);
+            let data = self
+                .vfs
+                .read(&src)
+                .map_err(|e| io_err(&src, "reading", e))?;
+            bytes += data.len() as u64;
+            let dst = segment_path(dest, entry.id);
+            self.vfs
+                .write(&dst, &data)
+                .map_err(|e| io_err(&dst, "writing", e))?;
+            self.vfs
+                .sync_file(&dst)
+                .map_err(|e| io_err(&dst, "syncing", e))?;
+        }
+        let image = encode_wal_image(
+            self.manifest.config.filter_len,
+            self.manifest.flush_epoch,
+            &self.pending,
+        );
+        let wal = dest.join(WAL_FILE);
+        self.vfs
+            .write(&wal, &image)
+            .map_err(|e| io_err(&wal, "writing", e))?;
+        self.vfs
+            .sync_file(&wal)
+            .map_err(|e| io_err(&wal, "syncing", e))?;
+        self.manifest.save_with(&*self.vfs, dest)?;
+        Ok(SnapshotStats {
+            segments: self.manifest.segments.len(),
+            records: self.record_count()?,
+            bytes,
+        })
+    }
+
+    /// Opens a shipped snapshot directory, insisting it verifies clean:
+    /// the usual open-time checks run (WAL replay, full segment
+    /// verification), and any segment that fails — i.e. was corrupted
+    /// in transit — turns the whole import into a typed
+    /// [`PprlError::Storage`] error instead of a silently degraded
+    /// replica. Use [`IndexStore::open`] for the forgiving behaviour.
+    pub fn import_snapshot(dir: &Path) -> Result<IndexStore> {
+        Self::import_snapshot_with(dir, StoreOptions::default())
+    }
+
+    /// [`IndexStore::import_snapshot`] with an explicit IO layer and
+    /// durability policy.
+    pub fn import_snapshot_with(dir: &Path, options: StoreOptions) -> Result<IndexStore> {
+        let store = Self::open_with(dir, options)?;
+        if store.is_degraded() {
+            return Err(storage_err(format!(
+                "snapshot at {} failed verification: {} segment(s) \
+                 quarantined at open",
+                dir.display(),
+                store.quarantined().len()
+            )));
+        }
+        Ok(store)
     }
 
     fn load_segment(&self, seg_id: u64, shard: u32) -> Result<crate::segment::Segment> {
@@ -1562,5 +1667,94 @@ mod tests {
         assert_eq!(stats.filter_len, 64);
         assert!(stats.disk_bytes > 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ships_sealed_segments_and_wal_tail() {
+        let dir = temp_dir("snap-src");
+        let dest = temp_dir("snap-dst");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(128, 2)).unwrap();
+        let records = filters(30, 128);
+        // Two sealed segments plus a pending WAL tail at export time.
+        store.insert_batch(&records[..12]).unwrap();
+        store.flush().unwrap();
+        store.insert_batch(&records[12..24]).unwrap();
+        store.flush().unwrap();
+        store.insert_batch(&records[24..]).unwrap();
+        let shipped = store.export_snapshot(&dest).unwrap();
+        assert_eq!(shipped.records, 30);
+        assert!(shipped.segments >= 2);
+        assert!(shipped.bytes > 0);
+        // The replica opens clean and answers queries bit-identically.
+        let replica = IndexStore::import_snapshot(&dest).unwrap();
+        assert_eq!(replica.record_count().unwrap(), 30);
+        assert_eq!(replica.flush_epoch(), store.flush_epoch());
+        let donor_reader = store.reader().unwrap();
+        let replica_reader = replica.reader().unwrap();
+        for (_, probe) in &records[..6] {
+            assert_eq!(
+                replica_reader.top_k(probe, 5, 1).unwrap(),
+                donor_reader.top_k(probe, 5, 1).unwrap()
+            );
+        }
+        // Exporting onto an existing index is refused.
+        let err = store.export_snapshot(&dest).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dest).unwrap();
+    }
+
+    #[test]
+    fn snapshot_import_rejects_a_corrupted_copy() {
+        let dir = temp_dir("snap-corrupt-src");
+        let dest = temp_dir("snap-corrupt-dst");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(64, 1)).unwrap();
+        store.insert_batch(&filters(10, 64)).unwrap();
+        store.flush().unwrap();
+        store.export_snapshot(&dest).unwrap();
+        // Flip a byte in the shipped segment: the open-time verification
+        // must turn the import into a typed error, not a degraded
+        // replica that silently misses records.
+        let seg = std::fs::read_dir(&dest)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .expect("shipped segment");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = IndexStore::import_snapshot(&dest).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dest).unwrap();
+    }
+
+    #[test]
+    fn degraded_donor_refuses_to_export() {
+        let dir = temp_dir("snap-degraded");
+        let dest = temp_dir("snap-degraded-dst");
+        let mut store = IndexStore::create(&dir, IndexConfig::new(64, 1)).unwrap();
+        store.insert_batch(&filters(8, 64)).unwrap();
+        store.flush().unwrap();
+        // Corrupt the only segment so reopening quarantines it.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .expect("segment");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes[10] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+        drop(store);
+        let store = IndexStore::open(&dir).unwrap();
+        assert!(store.is_degraded());
+        let err = store.export_snapshot(&dest).unwrap_err();
+        assert!(matches!(err, PprlError::Storage(_)), "{err}");
+        assert!(!dest.join(MANIFEST_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dest);
     }
 }

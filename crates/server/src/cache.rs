@@ -19,6 +19,15 @@ use std::collections::{HashMap, VecDeque};
 /// Cache key: snapshot generation, packed filter bytes, k.
 pub type QueryKey = (u64, Vec<u8>, u32);
 
+/// Scan-plan cache key: snapshot generation and query popcount. Unlike
+/// [`QueryKey`] there are no filter bytes — a plan (the slot-visiting
+/// order from `popcount_scan_order`) depends only on the slot geometry
+/// of a generation and the probe's popcount, so *different* probes with
+/// the same popcount share one entry. That is what lets miss-heavy
+/// broadcast workloads, where exact-key result caching never hits,
+/// still skip the per-query plan computation.
+pub type PlanKey = (u64, u32);
+
 /// A generic LRU cache with stamped lazy recency tracking.
 #[derive(Debug)]
 pub struct LruCache<K, V> {

@@ -80,6 +80,10 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Query answers computed against a snapshot.
     pub cache_misses: AtomicU64,
+    /// Cache-missing queries that reused a cached popcount scan plan.
+    pub plan_hits: AtomicU64,
+    /// Cache-missing queries that computed (and cached) a fresh plan.
+    pub plan_misses: AtomicU64,
     /// Connections rejected with a `Busy` frame.
     pub busy_rejected: AtomicU64,
     /// Background compaction steps that merged at least one tier.

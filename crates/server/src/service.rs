@@ -12,7 +12,7 @@
 //! and the superseded segment files wait in the hub until every reader
 //! of an older generation drains.
 
-use crate::cache::{LruCache, QueryKey};
+use crate::cache::{LruCache, PlanKey, QueryKey};
 use crate::metrics::Metrics;
 use crate::snapshot::{Snapshot, SnapshotHub};
 use crate::wire::StatsReport;
@@ -51,6 +51,10 @@ pub struct LinkageService {
     store: Mutex<IndexStore>,
     hub: SnapshotHub,
     cache: Mutex<LruCache<QueryKey, Vec<Hit>>>,
+    /// Popcount scan plans, keyed `(generation, popcount)`: probes that
+    /// miss the exact-key result cache still reuse the slot-visiting
+    /// order computed for any earlier probe of the same popcount.
+    plans: Mutex<LruCache<PlanKey, Arc<Vec<u32>>>>,
     /// Aggregate counters and the latency histogram.
     pub metrics: Metrics,
     config: ServiceConfig,
@@ -70,6 +74,7 @@ impl LinkageService {
             store: Mutex::new(store),
             hub: SnapshotHub::new(reader),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            plans: Mutex::new(LruCache::new(config.cache_capacity)),
             metrics: Metrics::default(),
             config,
             started: Instant::now(),
@@ -120,7 +125,10 @@ impl LinkageService {
             return Ok(hits);
         }
         Metrics::add(&self.metrics.cache_misses, 1);
-        let hits = snap.reader.top_k(filter, k, self.config.query_threads)?;
+        let plan = self.scan_plan(&snap, filter.count_ones());
+        let hits = snap
+            .reader
+            .top_k_planned(filter, k, self.config.query_threads, &plan)?;
         self.cache
             .lock()
             .expect("cache lock")
@@ -128,6 +136,26 @@ impl LinkageService {
         Metrics::add(&self.metrics.queries, 1);
         self.metrics.observe_latency(started);
         Ok(hits)
+    }
+
+    /// The cached slot-visiting order for a probe of popcount `q`
+    /// against `snap`'s generation, computing and caching it on a miss.
+    /// The plan is purely an ordering hint — results are bit-identical
+    /// with or without it (see `IndexReader::top_k_planned`) — so a
+    /// cache race can at worst cost a recomputation, never correctness.
+    fn scan_plan(&self, snap: &Snapshot, q: usize) -> Arc<Vec<u32>> {
+        let key: PlanKey = (snap.generation, q as u32);
+        if let Some(plan) = self.plans.lock().expect("plan lock").get(&key) {
+            Metrics::add(&self.metrics.plan_hits, 1);
+            return plan;
+        }
+        Metrics::add(&self.metrics.plan_misses, 1);
+        let plan = Arc::new(snap.reader.popcount_scan_order(q));
+        self.plans
+            .lock()
+            .expect("plan lock")
+            .put(key, Arc::clone(&plan));
+        plan
     }
 
     /// Batch link: top-k per probe against one pinned snapshot, dropping
@@ -167,6 +195,7 @@ impl LinkageService {
         );
         let generation = self.hub.install(reader, obsolete);
         self.cache.lock().expect("cache lock").clear();
+        self.plans.lock().expect("plan lock").clear();
         Ok(generation)
     }
 
@@ -229,6 +258,8 @@ impl LinkageService {
             inserts: Metrics::get(&self.metrics.inserts),
             cache_hits: Metrics::get(&self.metrics.cache_hits),
             cache_misses: Metrics::get(&self.metrics.cache_misses),
+            plan_hits: Metrics::get(&self.metrics.plan_hits),
+            plan_misses: Metrics::get(&self.metrics.plan_misses),
             busy_rejected: Metrics::get(&self.metrics.busy_rejected),
             compactions: Metrics::get(&self.metrics.compactions),
             segments_merged: Metrics::get(&self.metrics.segments_merged),
@@ -243,6 +274,9 @@ impl LinkageService {
             queue_capacity,
             quarantined_segments: snap.reader.quarantined_segments() as u64,
             degraded: snap.reader.is_degraded(),
+            cluster_shards: 0,
+            shards_down: 0,
+            missing_shards: Vec::new(),
         }
     }
 }

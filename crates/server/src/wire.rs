@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! plen    u32 LE   payload length in bytes
-//! payload          opcode u8 | body
+//! payload          version u8 | opcode u8 | body
 //! fnv1a   u64 LE   checksum of the length prefix + payload
 //! ```
 //!
@@ -14,6 +14,12 @@
 //! prefix turns every truncation into a detectable short read. All
 //! malformations surface as typed [`PprlError::Transport`] errors —
 //! never a panic, never a silently misparsed request.
+//!
+//! The leading [`WIRE_VERSION`] byte exists for mixed deployments: a
+//! coordinator fronting shard nodes that were built from a different
+//! checkout must fail with a typed
+//! [`PprlError::UnsupportedVersion`] naming both versions, not with a
+//! baffling checksum or opcode error deep in the decoder.
 //!
 //! Bodies use little-endian fixed-width integers. Bloom filters are
 //! shipped as a `u32` bit length followed by `ceil(len/8)` raw bytes;
@@ -28,6 +34,23 @@ use std::io::{Read, Write};
 /// Hard cap on a frame payload (64 MiB): a garbled or hostile length
 /// prefix must never make the server allocate unbounded memory.
 pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Wire protocol version, the first byte of every frame payload.
+/// Version 1 had no version byte (the payload began with the opcode);
+/// version 2 added the prefix plus the cluster/plan-cache stats fields.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Checks the leading version byte of a frame payload.
+fn check_version(r: &mut WireReader<'_>) -> Result<()> {
+    let found = r.u8()?;
+    if found != WIRE_VERSION {
+        return Err(PprlError::UnsupportedVersion {
+            found,
+            expected: WIRE_VERSION,
+        });
+    }
+    Ok(())
+}
 
 /// Request opcodes.
 const OP_QUERY: u8 = 0x01;
@@ -110,7 +133,12 @@ pub enum Response {
 }
 
 /// Aggregate server statistics, as served by the `STATS` command.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// A single `pprl-server` node reports `cluster_shards == 0`; a
+/// `pprl-cluster` coordinator reports its shard topology and health in
+/// the `cluster_*` / `missing_shards` fields, with the counter fields
+/// summed across the shards that answered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsReport {
     /// Records in the currently served snapshot.
     pub records: u64,
@@ -126,6 +154,10 @@ pub struct StatsReport {
     pub cache_hits: u64,
     /// Query answers computed from a snapshot.
     pub cache_misses: u64,
+    /// Cache-missing queries that reused a cached popcount scan plan.
+    pub plan_hits: u64,
+    /// Cache-missing queries that had to compute a fresh scan plan.
+    pub plan_misses: u64,
     /// Connections rejected with [`Response::Busy`].
     pub busy_rejected: u64,
     /// Background compaction steps that merged at least one tier.
@@ -147,8 +179,16 @@ pub struct StatsReport {
     /// Segments quarantined when the index was opened.
     pub quarantined_segments: u64,
     /// True when the index serves degraded reads over surviving
-    /// segments only (some were quarantined at open).
+    /// segments only (some were quarantined at open), or — for a
+    /// coordinator — when at least one shard is unreachable.
     pub degraded: bool,
+    /// Shards this coordinator fronts; 0 for a single server node.
+    pub cluster_shards: u32,
+    /// Shards currently unreachable from the coordinator.
+    pub shards_down: u32,
+    /// Indices (into the coordinator's shard list) of the unreachable
+    /// shards; empty on a healthy cluster and on single nodes.
+    pub missing_shards: Vec<u32>,
 }
 
 /// Bounds-checked little-endian reader over a frame payload.
@@ -247,7 +287,7 @@ fn read_hits(r: &mut WireReader<'_>) -> Result<Vec<Hit>> {
 impl Request {
     /// Serialises the request to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = vec![WIRE_VERSION];
         match self {
             Request::Query { filter, k } => {
                 out.push(OP_QUERY);
@@ -286,9 +326,12 @@ impl Request {
         out
     }
 
-    /// Parses a frame payload into a request.
+    /// Parses a frame payload into a request. A payload whose leading
+    /// version byte differs from [`WIRE_VERSION`] is rejected with
+    /// [`PprlError::UnsupportedVersion`] before any body parsing.
     pub fn decode(payload: &[u8]) -> Result<Request> {
         let mut r = WireReader::new(payload);
+        check_version(&mut r)?;
         let req = match r.u8()? {
             OP_QUERY => {
                 let flen = read_filter_len(&mut r)?;
@@ -338,7 +381,7 @@ impl Request {
 impl Response {
     /// Serialises the response to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = vec![WIRE_VERSION];
         match self {
             Response::Hits(hits) => {
                 out.push(OP_HITS);
@@ -366,6 +409,8 @@ impl Response {
                     s.inserts,
                     s.cache_hits,
                     s.cache_misses,
+                    s.plan_hits,
+                    s.plan_misses,
                     s.busy_rejected,
                     s.compactions,
                     s.segments_merged,
@@ -380,6 +425,12 @@ impl Response {
                 out.extend_from_slice(&s.queue_capacity.to_le_bytes());
                 out.extend_from_slice(&s.quarantined_segments.to_le_bytes());
                 out.push(u8::from(s.degraded));
+                out.extend_from_slice(&s.cluster_shards.to_le_bytes());
+                out.extend_from_slice(&s.shards_down.to_le_bytes());
+                out.extend_from_slice(&(s.missing_shards.len() as u32).to_le_bytes());
+                for shard in &s.missing_shards {
+                    out.extend_from_slice(&shard.to_le_bytes());
+                }
             }
             Response::Busy { retry_after_ms } => {
                 out.push(OP_BUSY);
@@ -395,9 +446,11 @@ impl Response {
         out
     }
 
-    /// Parses a frame payload into a response.
+    /// Parses a frame payload into a response, rejecting foreign
+    /// [`WIRE_VERSION`]s up front like [`Request::decode`].
     pub fn decode(payload: &[u8]) -> Result<Response> {
         let mut r = WireReader::new(payload);
+        check_version(&mut r)?;
         let resp = match r.u8()? {
             OP_HITS => Response::Hits(read_hits(&mut r)?),
             OP_LINK_HITS => {
@@ -422,6 +475,8 @@ impl Response {
                     inserts: next()?,
                     cache_hits: next()?,
                     cache_misses: next()?,
+                    plan_hits: next()?,
+                    plan_misses: next()?,
                     busy_rejected: next()?,
                     compactions: next()?,
                     segments_merged: next()?,
@@ -433,12 +488,29 @@ impl Response {
                     queue_capacity: 0,
                     quarantined_segments: 0,
                     degraded: false,
+                    cluster_shards: 0,
+                    shards_down: 0,
+                    missing_shards: Vec::new(),
                 };
+                let workers = r.u32()?;
+                let queue_capacity = r.u32()?;
+                let quarantined_segments = r.u64()?;
+                let degraded = r.u8()? != 0;
+                let cluster_shards = r.u32()?;
+                let shards_down = r.u32()?;
+                let n_missing = r.u32()? as usize;
+                let mut missing_shards = Vec::with_capacity(n_missing.min(1 << 16));
+                for _ in 0..n_missing {
+                    missing_shards.push(r.u32()?);
+                }
                 Response::Stats(StatsReport {
-                    workers: r.u32()?,
-                    queue_capacity: r.u32()?,
-                    quarantined_segments: r.u64()?,
-                    degraded: r.u8()? != 0,
+                    workers,
+                    queue_capacity,
+                    quarantined_segments,
+                    degraded,
+                    cluster_shards,
+                    shards_down,
+                    missing_shards,
                     ..s
                 })
             }
@@ -594,6 +666,8 @@ mod tests {
             inserts: 3,
             cache_hits: 20,
             cache_misses: 35,
+            plan_hits: 18,
+            plan_misses: 17,
             busy_rejected: 2,
             compactions: 1,
             segments_merged: 6,
@@ -605,6 +679,9 @@ mod tests {
             queue_capacity: 16,
             quarantined_segments: 1,
             degraded: true,
+            cluster_shards: 3,
+            shards_down: 1,
+            missing_shards: vec![2],
         }));
         round_trip_response(Response::Busy { retry_after_ms: 50 });
         round_trip_response(Response::ServerError {
@@ -677,11 +754,34 @@ mod tests {
 
     #[test]
     fn unknown_opcodes_rejected() {
-        assert!(Request::decode(&[0x7f]).is_err());
-        assert!(Response::decode(&[0x01]).is_err());
+        assert!(Request::decode(&[WIRE_VERSION, 0x7f]).is_err());
+        assert!(Response::decode(&[WIRE_VERSION, 0x01]).is_err());
         // Trailing garbage after a valid body is rejected too.
         let mut p = Request::Stats.encode();
         p.push(0);
         assert!(Request::decode(&p).is_err());
+    }
+
+    #[test]
+    fn foreign_versions_fail_with_a_typed_error() {
+        // A v1 peer's frame began directly with the opcode byte — from a
+        // v2 decoder's perspective that is a version-1 prefix. Both
+        // requests and responses must name the two versions instead of
+        // tripping over the opcode or body.
+        for payload in [vec![0x04u8], vec![0x01, 0x04], vec![0x03, 0x84, 0, 0]] {
+            let req = Request::decode(&payload);
+            let resp = Response::decode(&payload);
+            for got in [req.map(|_| ()), resp.map(|_| ())] {
+                match got {
+                    Err(PprlError::UnsupportedVersion { found, expected }) => {
+                        assert_eq!(found, payload[0]);
+                        assert_eq!(expected, WIRE_VERSION);
+                    }
+                    other => panic!("expected UnsupportedVersion, got {other:?}"),
+                }
+            }
+        }
+        // The current version is of course accepted.
+        assert!(Request::decode(&Request::Stats.encode()).is_ok());
     }
 }

@@ -8,8 +8,9 @@
 //! attacks (`attacks`), synthetic data generation (`datagen`), evaluation
 //! metrics and tuning (`eval`), end-to-end pipelines (`pipeline`), a
 //! persistent sharded filter store with a concurrent query engine
-//! (`index`), and a concurrent TCP linkage query service over that
-//! store (`server`).
+//! (`index`), a concurrent TCP linkage query service over that store
+//! (`server`), and a scatter–gather coordinator distributing linkage
+//! over sharded server nodes (`cluster`).
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@
 
 pub use pprl_attacks as attacks;
 pub use pprl_blocking as blocking;
+pub use pprl_cluster as cluster;
 pub use pprl_core as core;
 pub use pprl_crypto as crypto;
 pub use pprl_datagen as datagen;
