@@ -179,16 +179,25 @@ impl Coordinator {
         })
     }
 
-    /// [`Coordinator::new`] plus an eager reachability probe: connects
-    /// to every shard once (retrying briefly, for shards still binding
-    /// their port) and fails unless at least the read quorum is up.
+    /// [`Coordinator::new`] plus an eager health probe: connects to
+    /// every shard (retrying briefly, for shards still binding their
+    /// port) and exchanges one real request — a Stats round-trip — so a
+    /// version-skewed shard, or some non-pprl service that happens to
+    /// accept on the configured port, fails fast at startup instead of
+    /// on first use. Fails unless at least the read quorum answered
+    /// the probe.
     pub fn connect(config: ClusterConfig) -> Result<Coordinator> {
         let coordinator = Self::new(config)?;
         let mut up = 0usize;
         for slot in &coordinator.shards {
-            match Client::connect_retry(&slot.addr, 20, Duration::from_millis(50)) {
-                Ok(mut client) => {
+            let probed = Client::connect_retry(&slot.addr, 20, Duration::from_millis(50)).and_then(
+                |mut client| {
                     client.set_deadline(coordinator.config.deadline);
+                    client.stats().map(|_| client)
+                },
+            );
+            match probed {
+                Ok(client) => {
                     slot.idle.lock().expect("idle lock").push(client);
                     up += 1;
                 }
@@ -200,8 +209,8 @@ impl Coordinator {
         }
         if up < coordinator.config.min_shards {
             return Err(PprlError::Transport(format!(
-                "cluster below quorum at startup: {up} of {} shards reachable \
-                 (quorum {})",
+                "cluster below quorum at startup: {up} of {} shards answered \
+                 the stats probe (quorum {})",
                 coordinator.shards.len(),
                 coordinator.config.min_shards
             )));
@@ -235,14 +244,19 @@ impl Coordinator {
     /// Connections survive successful calls; a failed call's connection
     /// is dropped so the next attempt starts clean.
     ///
-    /// A transport failure on a *pooled* connection proves nothing
-    /// about the shard — nodes close sessions idle past their
-    /// `idle_timeout`, so a pool that sat quiet holds dead sockets.
-    /// Such a failure falls through to one fresh dial before the shard
-    /// is declared down. The redial cannot double-apply an insert:
-    /// a node that reads a request always writes the acknowledgement
-    /// on the same connection before closing it, so an EOF with no
-    /// response means the request was never processed.
+    /// A connection-level `Transport` failure (EOF, reset) on a
+    /// *pooled* connection proves nothing about the shard — nodes close
+    /// sessions idle past their `idle_timeout`, so a pool that sat
+    /// quiet holds dead sockets. Only that failure falls through to one
+    /// fresh dial before the shard is declared down, and the redial
+    /// cannot double-apply an insert: a node that reads a request
+    /// always writes the acknowledgement on the same connection before
+    /// closing it, so an EOF with no response means the request was
+    /// never processed. A `Timeout` carries no such proof — the request
+    /// may be fully written to a slow-but-alive shard that applies it
+    /// after we give up, so resending would double-apply non-idempotent
+    /// calls — and a version-skewed shard answers a redial identically;
+    /// both are terminal here.
     fn call_shard<T>(&self, i: usize, f: impl Fn(&mut Client) -> Result<T>) -> Result<T> {
         let slot = &self.shards[i];
         // Bind the pop before matching on it: an `if let` on the locked
@@ -261,8 +275,16 @@ impl Coordinator {
                 // and retrying the same request would not help. Drop
                 // the connection (it may hold a half-read response).
                 Err(e) if !is_shard_failure(&e) => return Err(e),
-                // Possibly-stale pooled socket: fall through and redial.
-                Err(_) => {}
+                // Possibly-stale pooled socket (EOF/reset before any
+                // response): provably unprocessed, safe to redial.
+                Err(PprlError::Transport(_)) => {}
+                // Timeout (maybe applied — resending could duplicate)
+                // or version skew (redial answers the same): terminal.
+                Err(e) => {
+                    slot.down.store(true, Ordering::SeqCst);
+                    add(&self.metrics.shard_failures, 1);
+                    return Err(e);
+                }
             }
         }
         let mut client = match Client::connect(&slot.addr) {
@@ -388,6 +410,20 @@ impl Coordinator {
     /// dropped sub-batch would silently lose acknowledged records.
     /// Returns the total count and the highest shard generation
     /// observed in the acknowledgements.
+    ///
+    /// # Partial application
+    ///
+    /// Sub-batches land on their shards independently, and shard stores
+    /// are append-only with no id-level dedup. When some shards ack and
+    /// others fail, the acked sub-batches **are** durably applied; the
+    /// call waits for every sub-batch outcome and then returns
+    /// [`PprlError::PartialWrite`] naming the applied and failed shard
+    /// indices — retrying the whole batch would duplicate the applied
+    /// records, so retry only the records whose [`route_id`] falls in
+    /// `failed_shards`. (A shard that failed with a timeout may still
+    /// apply its sub-batch late; verify — e.g. query one of its records
+    /// — before resending to it.) When no shard acked anything, the
+    /// first underlying error is returned unchanged.
     pub fn insert(&self, records: &[(u64, BitVec)]) -> Result<(u32, u64)> {
         let started = Instant::now();
         let n = self.shards.len();
@@ -395,12 +431,12 @@ impl Coordinator {
         for (id, filter) in records {
             groups[route_id(*id, n)].push((*id, filter.clone()));
         }
-        let outcomes: Vec<Result<(u32, u64)>> = std::thread::scope(|scope| {
+        let outcomes: Vec<(usize, Result<(u32, u64)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = groups
                 .iter()
                 .enumerate()
                 .filter(|(_, g)| !g.is_empty())
-                .map(|(i, group)| scope.spawn(move || self.call_shard(i, |c| c.insert(group))))
+                .map(|(i, group)| scope.spawn(move || (i, self.call_shard(i, |c| c.insert(group)))))
                 .collect();
             handles
                 .into_iter()
@@ -409,10 +445,37 @@ impl Coordinator {
         });
         let mut count = 0u32;
         let mut generation = 0u64;
-        for outcome in outcomes {
-            let (c, g) = outcome?;
-            count += c;
-            generation = generation.max(g);
+        let mut applied_shards = Vec::new();
+        let mut failed_shards = Vec::new();
+        let mut first_error = None;
+        for (shard, outcome) in outcomes {
+            match outcome {
+                Ok((c, g)) => {
+                    count += c;
+                    generation = generation.max(g);
+                    applied_shards.push(shard as u32);
+                }
+                Err(e) => {
+                    failed_shards.push(shard as u32);
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(cause) = first_error {
+            // Nothing acked: the caller may retry the whole batch
+            // (modulo the timeout caveat above), so the underlying
+            // error speaks for itself.
+            if applied_shards.is_empty() {
+                return Err(cause);
+            }
+            return Err(PprlError::PartialWrite {
+                applied: count,
+                applied_shards,
+                failed_shards,
+                cause: cause.to_string(),
+            });
         }
         add(&self.metrics.inserts, 1);
         self.metrics

@@ -530,6 +530,192 @@ fn front_end_speaks_the_stock_client_protocol() {
     cluster.stop();
 }
 
+/// A timed-out call on a pooled connection must NOT fall through to a
+/// fresh dial: the request may be fully written to a slow-but-alive
+/// shard that applies it after the deadline, so resending the insert
+/// on a new connection could append the same records twice (shard
+/// stores are append-only with no id dedup). Scripted shard: it acks
+/// the first insert (populating the pool), then answers the second
+/// with a `Busy` whose backoff cannot fit in the deadline — the client
+/// gives up with a `Timeout` — and watches for a forbidden redial.
+#[test]
+fn timed_out_insert_is_not_redialed() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    let fake_accepts = Arc::clone(&accepts);
+    let fake = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        fake_accepts.fetch_add(1, Ordering::SeqCst);
+        let script = [
+            Response::Inserted {
+                count: 1,
+                generation: 1,
+            },
+            Response::Busy {
+                retry_after_ms: 5000,
+            },
+        ];
+        for response in script {
+            loop {
+                match read_payload(&mut conn).unwrap() {
+                    Incoming::Payload(p) => {
+                        assert!(matches!(
+                            Request::decode(&p).unwrap(),
+                            Request::Insert { .. }
+                        ));
+                        break;
+                    }
+                    Incoming::TimedOut => continue,
+                    Incoming::Eof => panic!("coordinator hung up before sending"),
+                }
+            }
+            write_payload(&mut conn, &response.encode()).unwrap();
+        }
+        // The timed-out insert must not arrive again on a fresh dial.
+        listener.set_nonblocking(true).unwrap();
+        let end = std::time::Instant::now() + Duration::from_millis(800);
+        while std::time::Instant::now() < end {
+            if listener.accept().is_ok() {
+                fake_accepts.fetch_add(1, Ordering::SeqCst);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+
+    let coordinator = Coordinator::new(ClusterConfig {
+        shards: vec![addr],
+        min_shards: 1,
+        deadline: Duration::from_millis(200),
+    })
+    .unwrap();
+    let (count, _) = coordinator.insert(&[(1, filter_for(1))]).unwrap();
+    assert_eq!(count, 1);
+    let err = coordinator.insert(&[(2, filter_for(2))]).unwrap_err();
+    assert!(matches!(err, PprlError::Timeout(_)), "got {err:?}");
+    fake.join().unwrap();
+    assert_eq!(
+        accepts.load(Ordering::SeqCst),
+        1,
+        "coordinator redialed after a timeout — a slow shard could have \
+         applied the first send, and the resend would duplicate it"
+    );
+    // The timeout marks the shard down (health is re-probed on use).
+    assert_eq!(coordinator.missing_shards(), vec![0]);
+}
+
+/// Killing a shard mid-batch: the insert still waits for every
+/// sub-batch outcome, then names exactly which shards applied theirs
+/// and which failed, so a caller retries only the failed subset
+/// instead of duplicating the applied records.
+#[test]
+fn partial_insert_names_applied_and_failed_shards() {
+    let records = union_corpus();
+    let cluster = TestCluster::start("partial", &records);
+    let addrs = cluster.addrs();
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: addrs.clone(),
+        min_shards: 1,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap();
+
+    let batch: Vec<(u64, BitVec)> = (50_000..50_030u64).map(|id| (id, filter_for(id))).collect();
+    let routed: Vec<usize> = batch.iter().map(|(id, _)| route_id(*id, SHARDS)).collect();
+    assert!(
+        (0..SHARDS).all(|s| routed.contains(&s)),
+        "batch must span all shards"
+    );
+    let survivors_share = routed.iter().filter(|&&s| s != 1).count() as u32;
+
+    let mut killer = Client::connect(&addrs[1]).unwrap();
+    killer.shutdown().unwrap();
+    drop(killer);
+    std::thread::sleep(Duration::from_millis(300));
+
+    match coordinator.insert(&batch).unwrap_err() {
+        PprlError::PartialWrite {
+            applied,
+            applied_shards,
+            failed_shards,
+            cause,
+        } => {
+            assert_eq!(applied, survivors_share);
+            assert_eq!(applied_shards, vec![0, 2]);
+            assert_eq!(failed_shards, vec![1]);
+            assert!(!cause.is_empty());
+        }
+        other => panic!("expected PartialWrite, got {other:?}"),
+    }
+
+    // The acked sub-batches are really there, served degraded by the
+    // surviving shards.
+    for (id, filter) in batch.iter().filter(|(id, _)| route_id(*id, SHARDS) != 1) {
+        let hits = coordinator.query(filter, 1).unwrap();
+        assert_eq!(hits[0].id, *id, "applied record missing from its shard");
+    }
+    cluster.stop();
+}
+
+/// The startup probe exchanges a real Stats round-trip, so a listener
+/// that accepts TCP but does not speak the pprl protocol (here: it
+/// hangs up on every connection) cannot satisfy the startup quorum.
+#[test]
+fn connect_probe_rejects_a_non_pprl_listener() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let records = union_corpus();
+    let cluster = TestCluster::start("probe", &records);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap().to_string();
+    listener.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let fake_stop = Arc::clone(&stop);
+    let fake = std::thread::spawn(move || {
+        while !fake_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((conn, _)) => drop(conn), // accept, then hang up
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+
+    let mut addrs = cluster.addrs();
+    addrs.push(fake_addr);
+
+    // All four must answer: the impostor cannot, so startup fails.
+    let err = Coordinator::connect(ClusterConfig {
+        shards: addrs.clone(),
+        min_shards: 4,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap_err();
+    match err {
+        PprlError::Transport(msg) => assert!(msg.contains("quorum"), "{msg}"),
+        other => panic!("expected a startup quorum error, got {other:?}"),
+    }
+
+    // With quorum 3 the real shards carry the cluster, and the
+    // impostor starts out marked down instead of lurking until first
+    // use.
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shards: addrs,
+        min_shards: 3,
+        deadline: Duration::from_secs(5),
+    })
+    .unwrap();
+    assert_eq!(coordinator.missing_shards(), vec![3]);
+
+    stop.store(true, Ordering::SeqCst);
+    fake.join().unwrap();
+    cluster.stop();
+}
+
 /// Shard nodes close sessions idle past their `idle_timeout`, so a
 /// coordinator that sat quiet holds a pool of dead sockets. The first
 /// call on such a socket must fall through to a fresh dial instead of

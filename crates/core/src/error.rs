@@ -49,6 +49,23 @@ pub enum PprlError {
     /// A send (or an entire exchange) exceeded its deadline even after all
     /// configured retries.
     Timeout(String),
+    /// A multi-shard write landed on some shards but not others. The
+    /// shards that acknowledged have durably applied their sub-batch —
+    /// shard stores are append-only with no id-level dedup — so
+    /// retrying the *whole* batch would duplicate those records. Retry
+    /// only the records routed to `failed_shards`.
+    PartialWrite {
+        /// Records acknowledged by the shards that succeeded.
+        applied: u32,
+        /// Shard indices whose sub-batches were acknowledged.
+        applied_shards: Vec<u32>,
+        /// Shard indices whose sub-batches failed. A shard that failed
+        /// with a timeout may still apply its sub-batch late (it was
+        /// slow, not provably dead) — verify before resending to it.
+        failed_shards: Vec<u32>,
+        /// The first underlying shard error, rendered.
+        cause: String,
+    },
     /// A persistent-store failure: an I/O error, or a segment/manifest/log
     /// file that is corrupted, truncated, or structurally malformed.
     Storage(String),
@@ -93,6 +110,19 @@ impl fmt::Display for PprlError {
                  version {expected}); upgrade the older side"
             ),
             PprlError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            PprlError::PartialWrite {
+                applied,
+                applied_shards,
+                failed_shards,
+                cause,
+            } => write!(
+                f,
+                "partial write: {applied} record(s) applied on shard(s) \
+                 {applied_shards:?}, failed on shard(s) {failed_shards:?} \
+                 ({cause}); retrying the whole batch would duplicate the \
+                 applied records — retry only records routed to the failed \
+                 shards"
+            ),
             PprlError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
@@ -159,6 +189,23 @@ mod tests {
         .to_string();
         assert!(v.contains("version 1") || v.contains("version 2"), "{v}");
         assert!(v.starts_with("unsupported wire protocol version"));
+    }
+
+    #[test]
+    fn display_partial_write() {
+        let e = PprlError::PartialWrite {
+            applied: 20,
+            applied_shards: vec![0, 2],
+            failed_shards: vec![1],
+            cause: "transport error: connection reset".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("partial write"), "{msg}");
+        assert!(msg.contains("20 record(s)"), "{msg}");
+        assert!(msg.contains("[0, 2]"), "{msg}");
+        assert!(msg.contains("[1]"), "{msg}");
+        assert!(msg.contains("duplicate"), "{msg}");
+        assert!(msg.contains("connection reset"), "{msg}");
     }
 
     #[test]
