@@ -19,7 +19,10 @@ fn main() {
     } else {
         &raw[..]
     };
-    let args = match Args::parse(parse_from, &["evaluate", "compact", "json", "cluster"]) {
+    let args = match Args::parse(
+        parse_from,
+        &["evaluate", "compact", "json", "cluster", "list", "check"],
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", commands::help());
@@ -40,6 +43,7 @@ fn main() {
             "encode" => commands::encode_cmd(args),
             "multiparty" => commands::multiparty_cmd(args),
             "serve" => commands::serve_cmd(args),
+            "kernels" => commands::kernels_cmd(args),
             other => {
                 eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
                 std::process::exit(2);

@@ -485,6 +485,11 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
                 s.filter_len,
                 s.disk_bytes
             );
+            println!(
+                "  scan kernel: {} (set PPRL_KERNEL to override; \
+                 `pprl kernels` lists this host's options)",
+                pprl_similarity::kernel::kernel_name()
+            );
             if s.quarantined_segments > 0 {
                 println!(
                     "  DEGRADED: {} segment(s) quarantined at open; reads cover \
@@ -755,6 +760,8 @@ fn stats_json(addr: &str, s: &StatsReport) -> Json {
             "segments_merged".into(),
             Json::num(s.segments_merged as f64),
         ),
+        ("merge_rows".into(), Json::num(s.merge_rows as f64)),
+        ("kernel".into(), Json::Str(s.kernel.clone())),
         ("bytes_read".into(), Json::num(s.bytes_read as f64)),
         ("latency_p50_us".into(), Json::num(s.latency_p50_us as f64)),
         ("latency_p99_us".into(), Json::num(s.latency_p99_us as f64)),
@@ -803,9 +810,13 @@ fn print_stats(addr: &str, s: &StatsReport) {
         s.workers
     );
     println!(
-        "  maintenance: {} compactions merged {} segments; {} bytes read",
-        s.compactions, s.segments_merged, s.bytes_read
+        "  maintenance: {} compactions merged {} segments ({} rows rewritten); \
+         {} bytes read",
+        s.compactions, s.segments_merged, s.merge_rows, s.bytes_read
     );
+    if !s.kernel.is_empty() {
+        println!("  scan kernel: {}", s.kernel);
+    }
     if s.cluster_shards > 0 {
         println!(
             "  cluster: {} shards, {} down",
@@ -934,6 +945,59 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
     }
 }
 
+/// `pprl kernels` — report this host's scan-kernel dispatch: detected
+/// CPU features, every runnable implementation, the `PPRL_KERNEL`
+/// override when one is set, and the active choice.
+///
+/// `--list` prints just the runnable kernel names, one per line, for
+/// scripting (CI iterates it to force each path in turn). `--check`
+/// turns an unsupported `PPRL_KERNEL` request into a hard error
+/// instead of the silent best-available fallback the library applies.
+pub fn kernels_cmd(mut args: Args) -> CmdResult {
+    use pprl_similarity::kernel;
+    let list = args.flag("list");
+    let check = args.flag("check");
+    args.finish().map_err(fail)?;
+    let names: Vec<&str> = kernel::available_kernels()
+        .iter()
+        .map(|k| k.name())
+        .collect();
+    if list {
+        for name in &names {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    let features = kernel::cpu_features();
+    println!(
+        "cpu features: {}",
+        if features.is_empty() {
+            "(none relevant)".to_string()
+        } else {
+            features.join(" ")
+        }
+    );
+    println!("available kernels (worst to best): {}", names.join(" "));
+    match kernel::requested_kernel() {
+        Some(req) if kernel::requested_is_supported() => {
+            println!("requested via PPRL_KERNEL: {req}");
+        }
+        Some(req) => {
+            println!("requested via PPRL_KERNEL: {req} (NOT runnable on this host)");
+        }
+        None => println!("requested via PPRL_KERNEL: (unset; best available wins)"),
+    }
+    println!("active kernel: {}", kernel::kernel_name());
+    if check && !kernel::requested_is_supported() {
+        return Err(format!(
+            "PPRL_KERNEL={} is not runnable on this host (available: {})",
+            kernel::requested_kernel().unwrap_or("?"),
+            names.join(" ")
+        ));
+    }
+    Ok(())
+}
+
 /// Top-level help text.
 pub fn help() -> &'static str {
     "pprl — privacy-preserving record linkage toolkit
@@ -1022,6 +1086,14 @@ COMMANDS:
             (default: all shards) instead of failing them — stats
             shows a DEGRADED CLUSTER banner with the missing shards;
             shutdown stops only the coordinator, never the shards
+
+  kernels   [--list] [--check]
+            report the scan-kernel dispatch on this host: detected CPU
+            features, runnable implementations, and the active choice;
+            every scan obeys PPRL_KERNEL=scalar|portable|avx2|avx512|neon
+            (unset or `auto` picks the best the CPU supports); --list
+            prints just the runnable names for scripting, --check fails
+            loudly when PPRL_KERNEL names a kernel this host cannot run
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]

@@ -517,6 +517,15 @@ impl Coordinator {
                     report.bytes_read += s.bytes_read;
                     report.quarantined_segments += s.quarantined_segments;
                     report.degraded |= s.degraded;
+                    report.merge_rows += s.merge_rows;
+                    // One kernel name when every shard agrees; "mixed"
+                    // flags heterogeneous fleets (worth knowing when
+                    // chasing a per-shard throughput gap).
+                    if report.kernel.is_empty() {
+                        report.kernel = s.kernel;
+                    } else if report.kernel != s.kernel {
+                        report.kernel = "mixed".to_string();
+                    }
                 }
                 Err(_) => missing_shards.push(i as u32),
             }

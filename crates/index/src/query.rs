@@ -32,19 +32,21 @@
 //!
 //! The batched entry point [`IndexReader::top_k_batch`] walks each arena
 //! block once for a whole batch of queries: a block of 4 rows is loaded
-//! and every live query runs [`and_count4`] against it, which is what
-//! `pprl link --backend index`, the server's `Link`, and index-backed
-//! dedup call.
+//! and every live query runs the dispatched
+//! [`pprl_similarity::kernel::and_count4`] kernel against it (the
+//! CPU-feature path is resolved once per process; see the kernel module
+//! docs), which is what `pprl link --backend index`, the server's
+//! `Link`, and index-backed dedup call.
 
 use crate::arena::FilterArena;
 use crate::format::storage_err;
-use crate::segment::read_segment_with;
+use crate::segment::read_segment_arena_with;
 use crate::store::ReadStats;
 use crate::summary::{band_keys, no_match_dice_bound, BandKeySummary};
 use crate::vfs::{std_vfs, Vfs};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
-use pprl_similarity::kernel::{and_count, and_count4, dice_from_counts};
+use pprl_similarity::kernel::{active_kernel, dice_from_counts};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -271,6 +273,7 @@ impl IndexReader {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             segments_read: self.segments_loaded.load(Ordering::Relaxed),
             segments_skipped,
+            kernel: pprl_similarity::kernel::kernel_name(),
         }
     }
 
@@ -300,22 +303,21 @@ impl IndexReader {
         else {
             return Err(storage_err("memory slot lost its arena".to_string()));
         };
-        let seg = read_segment_with(&*self.vfs, path)?;
-        if seg.shard != *shard {
+        // Decode straight into the columnar arena — no per-record BitVec.
+        let (seg_shard, arena) = read_segment_arena_with(&*self.vfs, path)?;
+        if seg_shard != *shard {
             return Err(storage_err(format!(
                 "segment {seg_id} claims shard {}, manifest says {shard}",
-                seg.shard
+                seg_shard
             )));
         }
-        if seg.filter_len != self.filter_len {
+        if arena.filter_len() != self.filter_len {
             return Err(storage_err(format!(
                 "segment {seg_id} has {}-bit filters, index expects {}",
-                seg.filter_len, self.filter_len
+                arena.filter_len(),
+                self.filter_len
             )));
         }
-        let records: Vec<(u64, BitVec)> =
-            seg.records.into_iter().map(|r| (r.id, r.filter)).collect();
-        let arena = FilterArena::from_records(records, self.filter_len)?;
         if arena.len() != slot.rows {
             return Err(storage_err(format!(
                 "segment {seg_id} decoded {} records, manifest size implies {}",
@@ -535,6 +537,9 @@ impl IndexReader {
         let arena = self.arena(slot)?;
         let stride = arena.stride();
         let words = arena.words();
+        // One dispatch-table fetch per task; the per-block calls below go
+        // through plain fn pointers.
+        let kernel = active_kernel();
         // `done[ai]`: this query's bound can only worsen for the rest of
         // the (popcount-ascending) range, so it stops scanning early.
         let mut done = vec![false; active.len()];
@@ -559,7 +564,7 @@ impl IndexReader {
                             continue;
                         }
                     }
-                    let counts = and_count4(ctx.words, rows);
+                    let counts = kernel.and_count4(ctx.words, rows);
                     for (j, &c) in counts.iter().enumerate() {
                         let row = i + j;
                         locals[qi].push(Hit {
@@ -584,7 +589,11 @@ impl IndexReader {
                         }
                         locals[qi].push(Hit {
                             id: arena.id(row),
-                            score: dice_from_counts(and_count(ctx.words, arena.row(row)), ctx.q, x),
+                            score: dice_from_counts(
+                                kernel.and_count(ctx.words, arena.row(row)),
+                                ctx.q,
+                                x,
+                            ),
                         });
                     }
                 }

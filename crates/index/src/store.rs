@@ -31,12 +31,14 @@
 //! the manifest's routing seed), so Hamming-similar filters tend to
 //! co-locate and the routing is stable across process restarts.
 
-use crate::arena::FilterArena;
+use crate::arena::{ArenaBuilder, FilterArena};
 use crate::format::{fnv1a, io_err, storage_err, Reader};
 use crate::manifest::{segment_path, Manifest, SegmentEntry};
 use crate::query::{IndexReader, SlotSpec};
-use crate::segment::{read_segment_with, record_count_for_size, write_segment_with};
-use crate::summary::{band_keys, summary_positions, BandKeySummary};
+use crate::segment::{
+    read_segment_arena_with, read_segment_with, record_count_for_size, write_segment_arena_with,
+};
+use crate::summary::{band_keys_words_into, summary_positions, BandKeySummary};
 use crate::vfs::{std_vfs, Vfs};
 use pprl_blocking::lsh::HammingLsh;
 use pprl_core::bitvec::BitVec;
@@ -93,6 +95,9 @@ pub struct ReadStats {
     pub segments_read: usize,
     /// Segments skipped by popcount pruning (not read at all).
     pub segments_skipped: usize,
+    /// Name of the dispatched scan-kernel path serving these reads
+    /// (`"scalar"`, `"avx2"`, …; empty in a default-constructed value).
+    pub kernel: &'static str,
 }
 
 /// When the WAL is fsynced relative to acking an insert.
@@ -262,8 +267,10 @@ pub fn reclaim_with(vfs: &dyn Vfs, paths: &[PathBuf]) -> Result<usize> {
 pub struct IndexStore {
     dir: PathBuf,
     manifest: Manifest,
-    /// Replayed + newly appended records not yet flushed to segments.
-    pending: Vec<(u64, BitVec)>,
+    /// Replayed + newly appended records not yet flushed to segments,
+    /// held columnar (flat words + ids) in append order — the write
+    /// path never materialises a per-record `BitVec`.
+    pending: ArenaBuilder,
     /// Cached LSH bit positions (table 0) used for shard routing.
     routing_positions: Vec<usize>,
     /// Cached disjoint band-key position tables for segment summaries
@@ -307,7 +314,11 @@ impl IndexStore {
         }
         let manifest = Manifest::new(config);
         let wal = dir.join(WAL_FILE);
-        let image = encode_wal_image(config.filter_len, manifest.flush_epoch, &[]);
+        let image = encode_wal_image(
+            config.filter_len,
+            manifest.flush_epoch,
+            &ArenaBuilder::new(config.filter_len),
+        );
         vfs.write(&wal, &image)
             .map_err(|e| io_err(&wal, "writing", e))?;
         vfs.sync_file(&wal)
@@ -320,7 +331,7 @@ impl IndexStore {
             routing_positions: routing_positions(&config)?,
             band_positions: summary_positions(config.lsh_seed, config.filter_len, config.summary),
             manifest,
-            pending: Vec::new(),
+            pending: ArenaBuilder::new(config.filter_len),
             vfs,
             durability: options.durability,
             wal_unsynced: 0,
@@ -431,16 +442,34 @@ impl IndexStore {
         self.pending.len()
     }
 
-    /// The WAL-resident records themselves, in append order. Exactly
-    /// what a reopen after a crash would replay.
-    pub fn pending(&self) -> &[(u64, BitVec)] {
+    /// The WAL-resident records themselves, columnar, in append order.
+    /// Exactly what a reopen after a crash would replay.
+    pub fn pending(&self) -> &ArenaBuilder {
         &self.pending
     }
 
     /// Shard a filter routes to (stable across restarts).
     pub fn shard_of(&self, filter: &BitVec) -> Result<u32> {
-        let key = filter.sample(&self.routing_positions)?.to_bytes();
-        Ok((fnv1a(&key) % u64::from(self.manifest.config.num_shards)) as u32)
+        // `sample` also validates the positions are in range for this
+        // filter; the word-slice fast path assumes store-length rows.
+        filter.sample(&self.routing_positions)?;
+        Ok(self.shard_of_words(filter.as_words()))
+    }
+
+    /// [`shard_of`] over a filter's backing words: builds the same LSH
+    /// band-key bytes `BitVec::sample(..).to_bytes()` would (bit `j` of
+    /// the key = filter bit `routing_positions[j]`) without allocating
+    /// the intermediate `BitVec`, so routing stays bit-identical.
+    ///
+    /// [`shard_of`]: IndexStore::shard_of
+    fn shard_of_words(&self, row: &[u64]) -> u32 {
+        let mut key = vec![0u8; self.routing_positions.len().div_ceil(8)];
+        for (j, &p) in self.routing_positions.iter().enumerate() {
+            if (row[p / 64] >> (p % 64)) & 1 == 1 {
+                key[j / 8] |= 1 << (j % 8);
+            }
+        }
+        (fnv1a(&key) % u64::from(self.manifest.config.num_shards)) as u32
     }
 
     /// Appends records to the write-ahead log. Under
@@ -498,7 +527,11 @@ impl IndexStore {
             }
             DurabilityMode::Never => {}
         }
-        self.pending.extend(records.iter().cloned());
+        for (id, filter) in records {
+            self.pending
+                .push_filter(*id, filter)
+                .expect("length validated above; BitVec tail bits are zero by invariant");
+        }
         Ok(())
     }
 
@@ -540,27 +573,35 @@ impl IndexStore {
         }
         let num_shards = self.manifest.config.num_shards;
         let flen = self.manifest.config.filter_len;
-        let mut by_shard: Vec<Vec<(u64, &BitVec)>> = vec![Vec::new(); num_shards as usize];
-        for (id, filter) in &self.pending {
-            by_shard[self.shard_of(filter)? as usize].push((*id, filter));
+        // Route pending rows to shards by index — no per-record BitVec.
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards as usize];
+        for i in 0..self.pending.len() {
+            let shard = self.shard_of_words(self.pending.row(i));
+            by_shard[shard as usize].push(i as u32);
         }
         let mut new_segments = Vec::new();
-        for (shard, records) in by_shard.iter().enumerate() {
-            if records.is_empty() {
+        for (shard, rows) in by_shard.iter().enumerate() {
+            if rows.is_empty() {
                 continue;
             }
+            let mut builder = ArenaBuilder::with_capacity(flen, rows.len());
+            for &i in rows {
+                builder.push(self.pending.id(i as usize), self.pending.row(i as usize))?;
+            }
+            // Segments are written popcount-sorted, the arena's native
+            // order, so later decodes and merges skip re-sorting.
+            let arena = builder.finish();
             let seg_id = self.manifest.next_segment_id + new_segments.len() as u64;
-            write_segment_with(
+            write_segment_arena_with(
                 &*self.vfs,
                 &segment_path(&self.dir, seg_id),
                 shard as u32,
-                flen,
-                records,
+                &arena,
             )?;
-            new_segments.push(entry_with_bounds(
+            new_segments.push(entry_with_bounds_arena(
                 shard as u32,
                 seg_id,
-                records.iter().map(|(_, f)| *f),
+                &arena,
                 &self.band_positions,
             )?);
         }
@@ -670,38 +711,52 @@ impl IndexStore {
         Ok(outcome)
     }
 
-    /// Loads `entries` (all of `shard`), merges their records into one
-    /// popcount-sorted segment file, and returns its manifest entry plus
-    /// the record count. The old files are left untouched.
+    /// Loads `entries` (all of `shard`) as popcount-sorted arena runs
+    /// and k-way merges them by `(popcount, id)` straight into one new
+    /// segment file — rows stream from run slices into the output
+    /// builder with no per-record `BitVec` and no re-sort (the merged
+    /// order is already the arena order, so `finish` is a move).
+    /// Returns the new manifest entry plus the row count. The old files
+    /// are left untouched.
+    ///
+    /// Output bytes are identical to the old concatenate-then-
+    /// stable-sort merge: the heap key ends with the run index, which
+    /// reproduces a stable sort's tie-breaking by original (segment,
+    /// entry) order.
     fn merge_segments(
         &mut self,
         shard: u32,
         entries: &[SegmentEntry],
     ) -> Result<(SegmentEntry, usize)> {
         let flen = self.manifest.config.filter_len;
-        let mut merged: Vec<(u64, BitVec)> = Vec::new();
+        let mut runs = Vec::with_capacity(entries.len());
         for entry in entries {
-            let seg = self.load_segment(entry.id, shard)?;
-            merged.extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
+            runs.push(self.load_segment_arena(entry.id, shard)?);
         }
-        merged.sort_by_key(|(id, f)| (f.count_ones(), *id));
-        let refs: Vec<(u64, &BitVec)> = merged.iter().map(|(id, f)| (*id, f)).collect();
+        let total = runs.iter().map(|a| a.len()).sum();
+        let mut builder = ArenaBuilder::with_capacity(flen, total);
+        let mut cursor = vec![0usize; runs.len()];
+        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+        for (r, run) in runs.iter().enumerate() {
+            if !run.is_empty() {
+                heap.push(std::cmp::Reverse((run.popcount(0), run.id(0), r)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, _, r))) = heap.pop() {
+            let run = &runs[r];
+            let i = cursor[r];
+            builder.push(run.id(i), run.row(i))?;
+            cursor[r] = i + 1;
+            if i + 1 < run.len() {
+                heap.push(std::cmp::Reverse((run.popcount(i + 1), run.id(i + 1), r)));
+            }
+        }
+        let arena = builder.finish();
         let new_id = self.manifest.next_segment_id;
         self.manifest.next_segment_id += 1;
-        write_segment_with(
-            &*self.vfs,
-            &segment_path(&self.dir, new_id),
-            shard,
-            flen,
-            &refs,
-        )?;
-        let entry = entry_with_bounds(
-            shard,
-            new_id,
-            merged.iter().map(|(_, f)| f),
-            &self.band_positions,
-        )?;
-        Ok((entry, merged.len()))
+        write_segment_arena_with(&*self.vfs, &segment_path(&self.dir, new_id), shard, &arena)?;
+        let entry = entry_with_bounds_arena(shard, new_id, &arena, &self.band_positions)?;
+        Ok((entry, arena.len()))
     }
 
     /// Loads every segment plus pending records into an in-memory
@@ -721,28 +776,50 @@ impl IndexStore {
     ///
     /// [`reader`]: IndexStore::reader
     pub fn reader_for_popcounts(&self, lo: usize, hi: usize) -> Result<(IndexReader, ReadStats)> {
-        let num_shards = self.manifest.config.num_shards;
-        let mut shards: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); num_shards as usize];
+        let num_shards = self.manifest.config.num_shards as usize;
+        let flen = self.manifest.config.filter_len;
         let mut stats = ReadStats {
             bytes_read: file_size_with(&*self.vfs, &self.dir.join(MANIFEST_FILE))?
                 + file_size_with(&*self.vfs, &self.dir.join(WAL_FILE))?,
+            kernel: pprl_similarity::kernel::kernel_name(),
             ..ReadStats::default()
         };
+        // Each surviving segment decodes straight into its own arena
+        // slot; per-shard builders gather the pending rows. No
+        // per-record BitVec is materialised anywhere on this path.
+        let mut specs = Vec::with_capacity(self.manifest.segments.len() + num_shards);
         for entry in &self.manifest.segments {
             if !entry.intersects(lo, hi) {
                 stats.segments_skipped += 1;
                 continue;
             }
-            let seg = self.load_segment(entry.id, entry.shard)?;
+            let arena = self.load_segment_arena(entry.id, entry.shard)?;
             stats.segments_read += 1;
             stats.bytes_read += file_size_with(&*self.vfs, &segment_path(&self.dir, entry.id))?;
-            shards[entry.shard as usize].extend(seg.records.into_iter().map(|r| (r.id, r.filter)));
+            specs.push(SlotSpec::Memory(arena));
         }
-        for (id, filter) in &self.pending {
-            shards[self.shard_of(filter)? as usize].push((*id, filter.clone()));
+        for builder in self.pending_by_shard()? {
+            if !builder.is_empty() {
+                specs.push(SlotSpec::Memory(builder.finish()));
+            }
         }
-        let reader = IndexReader::new(shards, self.manifest.config.filter_len)?;
+        let mut reader =
+            IndexReader::from_specs(specs, flen, num_shards, Vec::new(), Arc::clone(&self.vfs))?;
+        reader.set_quarantined(self.manifest.quarantined.len());
         Ok((reader, stats))
+    }
+
+    /// Splits the pending buffer into one builder per shard (row order
+    /// preserved within a shard).
+    fn pending_by_shard(&self) -> Result<Vec<ArenaBuilder>> {
+        let flen = self.manifest.config.filter_len;
+        let num_shards = self.manifest.config.num_shards as usize;
+        let mut out: Vec<ArenaBuilder> = (0..num_shards).map(|_| ArenaBuilder::new(flen)).collect();
+        for i in 0..self.pending.len() {
+            let shard = self.shard_of_words(self.pending.row(i)) as usize;
+            out[shard].push(self.pending.id(i), self.pending.row(i))?;
+        }
+        Ok(out)
     }
 
     /// A reader that defers segment loading to query time: every segment
@@ -773,15 +850,10 @@ impl IndexStore {
                 summary: entry.summary.clone(),
             });
         }
-        let mut shards: Vec<Vec<(u64, BitVec)>> = vec![Vec::new(); num_shards];
-        for (id, filter) in &self.pending {
-            shards[self.shard_of(filter)? as usize].push((*id, filter.clone()));
-        }
-        for records in shards {
-            if records.is_empty() {
-                continue;
+        for builder in self.pending_by_shard()? {
+            if !builder.is_empty() {
+                specs.push(SlotSpec::Memory(builder.finish()));
             }
-            specs.push(SlotSpec::Memory(FilterArena::from_records(records, flen)?));
         }
         let mut reader = IndexReader::from_specs(
             specs,
@@ -961,6 +1033,28 @@ impl IndexStore {
         }
         Ok(seg)
     }
+
+    /// [`load_segment`] decoding straight into a columnar arena, with
+    /// the same shard and geometry checks.
+    ///
+    /// [`load_segment`]: IndexStore::load_segment
+    fn load_segment_arena(&self, seg_id: u64, shard: u32) -> Result<FilterArena> {
+        let (seg_shard, arena) =
+            read_segment_arena_with(&*self.vfs, &segment_path(&self.dir, seg_id))?;
+        if seg_shard != shard {
+            return Err(storage_err(format!(
+                "segment {seg_id} claims shard {seg_shard}, manifest says {shard}"
+            )));
+        }
+        if arena.filter_len() != self.manifest.config.filter_len {
+            return Err(storage_err(format!(
+                "segment {seg_id} has {}-bit filters, index expects {}",
+                arena.filter_len(),
+                self.manifest.config.filter_len
+            )));
+        }
+        Ok(arena)
+    }
 }
 
 fn routing_positions(config: &IndexConfig) -> Result<Vec<usize>> {
@@ -968,44 +1062,36 @@ fn routing_positions(config: &IndexConfig) -> Result<Vec<usize>> {
     Ok(lsh.sampled_positions(config.filter_len).swap_remove(0))
 }
 
-/// Builds a manifest entry for a freshly written segment: the min/max
-/// popcount of its records (for length pruning) and, when `positions` is
-/// non-empty, a band-key Bloom summary over its filters (for content
-/// pruning).
-fn entry_with_bounds<'a>(
+/// Builds a manifest entry for a freshly written arena-backed segment:
+/// the popcount bounds come straight off the sorted arena's ends, and
+/// the band-key Bloom summary (when `positions` is non-empty) is built
+/// from each row's word slice — no per-record `BitVec`.
+fn entry_with_bounds_arena(
     shard: u32,
     id: u64,
-    filters: impl ExactSizeIterator<Item = &'a BitVec>,
+    arena: &FilterArena,
     positions: &[Vec<usize>],
 ) -> Result<SegmentEntry> {
+    debug_assert!(!arena.is_empty(), "segments are never empty");
     let mut summary = if positions.is_empty() {
         None
     } else {
-        Some(BandKeySummary::with_capacity(
-            filters.len(),
-            positions.len(),
-        ))
+        Some(BandKeySummary::with_capacity(arena.len(), positions.len()))
     };
-    let (mut lo, mut hi) = (usize::MAX, 0usize);
-    for filter in filters {
-        let pc = filter.count_ones();
-        lo = lo.min(pc);
-        hi = hi.max(pc);
-        if let Some(summary) = &mut summary {
-            for (table, key) in band_keys(filter, positions).into_iter().enumerate() {
+    if let Some(summary) = &mut summary {
+        let mut keys = Vec::with_capacity(positions.len());
+        for i in 0..arena.len() {
+            band_keys_words_into(arena.row(i), positions, &mut keys);
+            for (table, &key) in keys.iter().enumerate() {
                 summary.insert(table, key);
             }
         }
     }
-    debug_assert!(lo <= hi, "segments are never empty");
-    let bound = |pc: usize, what: &str| {
-        u32::try_from(pc).map_err(|_| storage_err(format!("segment {id}: {what} {pc} exceeds u32")))
-    };
     Ok(SegmentEntry {
         shard,
         id,
-        pc_min: bound(lo, "popcount min")?,
-        pc_max: bound(hi, "popcount max")?,
+        pc_min: arena.pc_min().unwrap_or(0),
+        pc_max: arena.pc_max().unwrap_or(0),
         summary,
     })
 }
@@ -1060,8 +1146,11 @@ fn quarantine_segment(vfs: &dyn Vfs, dir: &Path, seg_id: u64) -> Result<()> {
         .map_err(|e| io_err(dir, "syncing directory", e))
 }
 
-/// A complete WAL image: header at `flush_epoch` followed by `records`.
-fn encode_wal_image(filter_len: usize, flush_epoch: u64, records: &[(u64, BitVec)]) -> Vec<u8> {
+/// A complete WAL image: header at `flush_epoch` followed by the
+/// pending rows in append order. Byte-identical to the log the appends
+/// originally produced (word rows serialise to the same little-endian
+/// bytes `BitVec::to_bytes` emits).
+fn encode_wal_image(filter_len: usize, flush_epoch: u64, records: &ArenaBuilder) -> Vec<u8> {
     let mut out = Vec::with_capacity(WAL_HEADER_LEN);
     out.extend_from_slice(&WAL_MAGIC.to_le_bytes());
     out.extend_from_slice(&WAL_VERSION.to_le_bytes());
@@ -1069,8 +1158,8 @@ fn encode_wal_image(filter_len: usize, flush_epoch: u64, records: &[(u64, BitVec
     out.extend_from_slice(&flush_epoch.to_le_bytes());
     let hsum = fnv1a(&out);
     out.extend_from_slice(&hsum.to_le_bytes());
-    for (id, filter) in records {
-        encode_wal_entry(&mut out, *id, filter);
+    for i in 0..records.len() {
+        encode_wal_entry_words(&mut out, records.id(i), records.row(i), filter_len);
     }
     out
 }
@@ -1088,15 +1177,29 @@ fn encode_wal_entry(out: &mut Vec<u8>, id: u64, filter: &BitVec) {
     out.extend_from_slice(&sum.to_le_bytes());
 }
 
+/// [`encode_wal_entry`] from a filter's backing words — the same bytes,
+/// read off the word slice instead of an owned `BitVec`.
+fn encode_wal_entry_words(out: &mut Vec<u8>, id: u64, row: &[u64], filter_len: usize) {
+    let start = out.len();
+    let nbytes = filter_len.div_ceil(8);
+    out.extend_from_slice(&((8 + nbytes) as u32).to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    for b in 0..nbytes {
+        out.push((row[b / 8] >> ((b % 8) * 8)) as u8);
+    }
+    let sum = fnv1a(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
 /// What [`replay_wal_with`] recovered, plus whether the on-disk log
 /// needs rewriting (missing file, torn header or tail, stale epoch).
 struct WalReplay {
-    records: Vec<(u64, BitVec)>,
+    records: ArenaBuilder,
     repair: bool,
 }
 
 impl WalReplay {
-    fn repaired(records: Vec<(u64, BitVec)>) -> WalReplay {
+    fn repaired(records: ArenaBuilder) -> WalReplay {
         WalReplay {
             records,
             repair: true,
@@ -1127,14 +1230,14 @@ fn replay_wal_with(
     let bytes = match vfs.read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalReplay::repaired(Vec::new()))
+            return Ok(WalReplay::repaired(ArenaBuilder::new(filter_len)))
         }
         Err(e) => return Err(io_err(path, "reading", e)),
     };
     // A header shorter than the version-1 fixed length can only be a
     // torn creation or reset: nothing was logged yet.
     if bytes.len() < WAL_HEADER_LEN_V1 {
-        return Ok(WalReplay::repaired(Vec::new()));
+        return Ok(WalReplay::repaired(ArenaBuilder::new(filter_len)));
     }
     let mut r = Reader::new(&bytes, "wal");
     let magic = r.u32()?;
@@ -1153,7 +1256,7 @@ fn replay_wal_with(
             if bytes.len() < WAL_HEADER_LEN {
                 // Torn mid-header: the reset crashed before the epoch
                 // and checksum landed. Nothing was logged after it.
-                return Ok(WalReplay::repaired(Vec::new()));
+                return Ok(WalReplay::repaired(ArenaBuilder::new(filter_len)));
             }
             let _flen = r.u32()?;
             let epoch = r.u64()?;
@@ -1178,7 +1281,7 @@ fn replay_wal_with(
         // Stale log: a flush committed the manifest but crashed before
         // resetting the WAL. Replaying it would duplicate records that
         // are already segment-resident, so discard it.
-        return Ok(WalReplay::repaired(Vec::new()));
+        return Ok(WalReplay::repaired(ArenaBuilder::new(filter_len)));
     }
     if epoch > manifest_epoch {
         return Err(storage_err(format!(
@@ -1189,7 +1292,8 @@ fn replay_wal_with(
     let filter_bytes = filter_len.div_ceil(8);
     let entry_len = 8 + filter_bytes;
     let frame_len = 4 + entry_len + 8;
-    let mut records = Vec::new();
+    let mut records = ArenaBuilder::new(filter_len);
+    let mut row = vec![0u64; records.stride()];
     while r.pos() < bytes.len() {
         let start = r.pos();
         let remaining = bytes.len() - start;
@@ -1218,7 +1322,12 @@ fn replay_wal_with(
         }
         let id = r.u64()?;
         let bits = r.take(filter_bytes)?;
-        let filter = BitVec::from_bytes(bits, filter_len)
+        row.fill(0);
+        for (b, &byte) in bits.iter().enumerate() {
+            row[b / 8] |= (byte as u64) << ((b % 8) * 8);
+        }
+        records
+            .push(id, &row)
             .map_err(|e| storage_err(format!("wal entry at offset {start}: {e}")))?;
         let declared_sum = r.u64()?;
         let actual = fnv1a(&bytes[start..start + 4 + entry_len]);
@@ -1227,7 +1336,6 @@ fn replay_wal_with(
                 "wal entry at offset {start}: checksum mismatch"
             )));
         }
-        records.push((id, filter));
     }
     Ok(WalReplay {
         records,

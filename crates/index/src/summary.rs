@@ -96,18 +96,33 @@ pub fn summary_positions(seed: u64, filter_len: usize, config: SummaryConfig) ->
 /// The query/record key for each table: bit `j` of table `t`'s key is
 /// the filter bit at `positions[t][j]`.
 pub fn band_keys(filter: &BitVec, positions: &[Vec<usize>]) -> Vec<u64> {
-    positions
-        .iter()
-        .map(|table| {
-            let mut key = 0u64;
-            for (j, &pos) in table.iter().enumerate() {
-                if filter.get(pos) {
-                    key |= 1u64 << j;
-                }
+    band_keys_words(filter.as_words(), positions)
+}
+
+/// [`band_keys`] over a filter's backing words (little-endian bit
+/// order), for callers holding arena rows rather than `BitVec`s. Every
+/// position must be within the words' bit span; positions come from
+/// [`summary_positions`], which samples below the filter length.
+pub fn band_keys_words(words: &[u64], positions: &[Vec<usize>]) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(positions.len());
+    band_keys_words_into(words, positions, &mut keys);
+    keys
+}
+
+/// [`band_keys_words`] into a caller-owned buffer (cleared first), so
+/// per-record loops — segment sealing walks every arena row — can reuse
+/// one allocation across the whole segment.
+pub fn band_keys_words_into(words: &[u64], positions: &[Vec<usize>], keys: &mut Vec<u64>) {
+    keys.clear();
+    keys.extend(positions.iter().map(|table| {
+        let mut key = 0u64;
+        for (j, &pos) in table.iter().enumerate() {
+            if (words[pos / 64] >> (pos % 64)) & 1 == 1 {
+                key |= 1u64 << j;
             }
-            key
-        })
-        .collect()
+        }
+        key
+    }));
 }
 
 /// Sound Dice upper bound for a query (popcount `q`) against any record

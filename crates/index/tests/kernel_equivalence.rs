@@ -20,7 +20,10 @@ use pprl_index::query::Hit;
 use pprl_index::store::{IndexConfig, IndexStore};
 use pprl_index::summary::SummaryConfig;
 use pprl_similarity::bitvec_sim::dice_bits;
-use pprl_similarity::kernel::{and_count, and_count4, dice_from_counts};
+use pprl_similarity::kernel::{
+    and_count, and_count4, available_kernels, dice_from_counts, kernel_name,
+    requested_is_supported, requested_kernel,
+};
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -71,6 +74,92 @@ fn slice_kernels_match_bitvec_ops_bit_for_bit() {
             assert!(
                 fast == exact,
                 "dice mismatch at len {len}: {fast} vs {exact}"
+            );
+        }
+    }
+}
+
+/// Every dispatch path this host can run — not just the active one —
+/// must agree with the `BitVec` oracle bit for bit, across filter
+/// lengths whose word counts leave 0–3 trailing words after any SIMD
+/// block width (1, 2, 3, 5, 7, 8, 9 ... words).
+#[test]
+fn every_dispatch_path_matches_the_bitvec_oracle() {
+    let mut state = 0xD15Au64;
+    let lens = [
+        1usize, 63, 64, 65, 127, 129, 191, 193, 255, 257, 319, 321, 447, 449, 511, 513, 575, 1000,
+        1001,
+    ];
+    for kernel in available_kernels() {
+        for &len in &lens {
+            let mut cases = vec![
+                (BitVec::zeros(len), BitVec::zeros(len)),
+                (BitVec::ones(len), BitVec::ones(len)),
+                (BitVec::zeros(len), BitVec::ones(len)),
+            ];
+            for fill in [30, 250, 700, 970] {
+                cases.push((
+                    random_filter(len, fill, &mut state),
+                    random_filter(len, fill, &mut state),
+                ));
+            }
+            for (a, b) in &cases {
+                assert_eq!(
+                    kernel.and_count(a.as_words(), b.as_words()),
+                    a.and_count(b),
+                    "kernel {} at len {len}",
+                    kernel.name()
+                );
+            }
+            // Batched lanes over a 4-row block, against the same oracle.
+            let query = random_filter(len, 400, &mut state);
+            let rows: Vec<BitVec> = (0..4)
+                .map(|i| random_filter(len, 150 + 200 * i, &mut state))
+                .collect();
+            let mut block = Vec::new();
+            for row in &rows {
+                block.extend_from_slice(row.as_words());
+            }
+            let counts = kernel.and_count4(query.as_words(), &block);
+            for (lane, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    counts[lane],
+                    query.and_count(row),
+                    "kernel {} lane {lane} at len {len}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+/// When CI (or an operator) forces a path with `PPRL_KERNEL`, the
+/// dispatcher must actually honour it: the active kernel is the
+/// requested one whenever this host can run it, and always one of the
+/// advertised paths. Run under each forced value by the CI matrix.
+#[test]
+fn forced_kernel_env_is_honored() {
+    let names: Vec<&str> = available_kernels().iter().map(|k| k.name()).collect();
+    assert!(
+        names.contains(&kernel_name()),
+        "active kernel {} not among available {names:?}",
+        kernel_name()
+    );
+    match requested_kernel() {
+        Some(req) if req != "auto" && names.contains(&req) => {
+            assert_eq!(
+                kernel_name(),
+                req,
+                "PPRL_KERNEL={req} is runnable here but was not dispatched"
+            );
+            assert!(requested_is_supported());
+        }
+        Some(_) | None => {
+            // Unset, `auto`, or unsupported: best available wins.
+            assert_eq!(
+                kernel_name(),
+                *names.last().expect("scalar always available"),
+                "default dispatch must pick the best available path"
             );
         }
     }

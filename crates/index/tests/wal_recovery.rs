@@ -77,7 +77,7 @@ fn every_prefix_truncation_recovers_exactly_the_complete_entries() {
             "cut at {cut}: wrong number of entries recovered"
         );
         // Recovered ids are the schedule prefix, in order.
-        let got: Vec<u64> = store.pending().iter().map(|(id, _)| *id).collect();
+        let got: Vec<u64> = store.pending().ids().to_vec();
         let want: Vec<u64> = (0..expect as u64).collect();
         assert_eq!(got, want, "cut at {cut}: recovered the wrong entries");
         // Open repaired the log in place: the surviving image is a
@@ -129,6 +129,6 @@ fn truncated_tail_repairs_and_store_keeps_accepting_inserts() {
         .expect("insert after repair");
     drop(store);
     let store = reopen(&vfs).expect("reopen after repair");
-    let ids: Vec<u64> = store.pending().iter().map(|(id, _)| *id).collect();
+    let ids: Vec<u64> = store.pending().ids().to_vec();
     assert_eq!(ids, vec![0, 1, 100, 101]);
 }

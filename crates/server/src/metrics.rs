@@ -90,6 +90,8 @@ pub struct Metrics {
     pub compactions: AtomicU64,
     /// Segments merged away by background compaction.
     pub segments_merged: AtomicU64,
+    /// Rows rewritten by arena-native segment merges during compaction.
+    pub merge_rows: AtomicU64,
     /// Bytes read from storage while building snapshots.
     pub bytes_read: AtomicU64,
     /// Request latency histogram (query + link).

@@ -230,6 +230,7 @@ impl LinkageService {
                     &self.metrics.segments_merged,
                     outcome.merged_segments as u64,
                 );
+                Metrics::add(&self.metrics.merge_rows, outcome.records_rewritten as u64);
             }
             outcome
         };
@@ -250,6 +251,7 @@ impl LinkageService {
     /// Snapshot of the aggregate stats surface.
     pub fn stats_report(&self, workers: u32, queue_capacity: u32) -> StatsReport {
         let snap = self.hub.pin();
+        let read_stats = snap.reader.read_stats();
         StatsReport {
             records: snap.reader.len() as u64,
             generation: snap.generation,
@@ -265,8 +267,7 @@ impl LinkageService {
             segments_merged: Metrics::get(&self.metrics.segments_merged),
             // Retired generations' reads (folded in at install) plus what
             // the live snapshot has lazily materialised so far.
-            bytes_read: Metrics::get(&self.metrics.bytes_read)
-                + snap.reader.read_stats().bytes_read,
+            bytes_read: Metrics::get(&self.metrics.bytes_read) + read_stats.bytes_read,
             latency_p50_us: self.metrics.latency.quantile_us(0.50),
             latency_p99_us: self.metrics.latency.quantile_us(0.99),
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -277,6 +278,8 @@ impl LinkageService {
             cluster_shards: 0,
             shards_down: 0,
             missing_shards: Vec::new(),
+            merge_rows: Metrics::get(&self.metrics.merge_rows),
+            kernel: read_stats.kernel.to_string(),
         }
     }
 }

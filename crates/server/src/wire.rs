@@ -37,8 +37,10 @@ pub const MAX_PAYLOAD: usize = 64 << 20;
 
 /// Wire protocol version, the first byte of every frame payload.
 /// Version 1 had no version byte (the payload began with the opcode);
-/// version 2 added the prefix plus the cluster/plan-cache stats fields.
-pub const WIRE_VERSION: u8 = 2;
+/// version 2 added the prefix plus the cluster/plan-cache stats fields;
+/// version 3 added the scan-kernel name and merged-row counter to the
+/// stats reply.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Checks the leading version byte of a frame payload.
 fn check_version(r: &mut WireReader<'_>) -> Result<()> {
@@ -189,6 +191,13 @@ pub struct StatsReport {
     /// Indices (into the coordinator's shard list) of the unreachable
     /// shards; empty on a healthy cluster and on single nodes.
     pub missing_shards: Vec<u32>,
+    /// Rows rewritten by arena-native segment merges (flushes and
+    /// compactions) since startup. Summed across shards on a cluster.
+    pub merge_rows: u64,
+    /// Scan kernel the node dispatched to at startup (`scalar`,
+    /// `portable`, `avx2`, ...); `mixed` on a cluster whose shards
+    /// disagree, empty when no shard answered.
+    pub kernel: String,
 }
 
 /// Bounds-checked little-endian reader over a frame payload.
@@ -431,6 +440,9 @@ impl Response {
                 for shard in &s.missing_shards {
                     out.extend_from_slice(&shard.to_le_bytes());
                 }
+                out.extend_from_slice(&s.merge_rows.to_le_bytes());
+                out.extend_from_slice(&(s.kernel.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.kernel.as_bytes());
             }
             Response::Busy { retry_after_ms } => {
                 out.push(OP_BUSY);
@@ -491,6 +503,8 @@ impl Response {
                     cluster_shards: 0,
                     shards_down: 0,
                     missing_shards: Vec::new(),
+                    merge_rows: 0,
+                    kernel: String::new(),
                 };
                 let workers = r.u32()?;
                 let queue_capacity = r.u32()?;
@@ -503,6 +517,11 @@ impl Response {
                 for _ in 0..n_missing {
                     missing_shards.push(r.u32()?);
                 }
+                let merge_rows = r.u64()?;
+                let klen = r.u32()? as usize;
+                let kernel = std::str::from_utf8(r.take(klen)?)
+                    .map_err(|_| transport_err("kernel name not UTF-8"))?
+                    .to_string();
                 Response::Stats(StatsReport {
                     workers,
                     queue_capacity,
@@ -511,6 +530,8 @@ impl Response {
                     cluster_shards,
                     shards_down,
                     missing_shards,
+                    merge_rows,
+                    kernel,
                     ..s
                 })
             }
@@ -682,6 +703,8 @@ mod tests {
             cluster_shards: 3,
             shards_down: 1,
             missing_shards: vec![2],
+            merge_rows: 4321,
+            kernel: "avx2".into(),
         }));
         round_trip_response(Response::Busy { retry_after_ms: 50 });
         round_trip_response(Response::ServerError {
@@ -765,10 +788,10 @@ mod tests {
     #[test]
     fn foreign_versions_fail_with_a_typed_error() {
         // A v1 peer's frame began directly with the opcode byte — from a
-        // v2 decoder's perspective that is a version-1 prefix. Both
+        // v3 decoder's perspective that is a version-1 prefix. Both
         // requests and responses must name the two versions instead of
         // tripping over the opcode or body.
-        for payload in [vec![0x04u8], vec![0x01, 0x04], vec![0x03, 0x84, 0, 0]] {
+        for payload in [vec![0x05u8], vec![0x01, 0x04], vec![0x02, 0x84, 0, 0]] {
             let req = Request::decode(&payload);
             let resp = Response::decode(&payload);
             for got in [req.map(|_| ()), resp.map(|_| ())] {

@@ -1,4 +1,5 @@
-//! Word-slice comparison kernels for the columnar scan path.
+//! Word-slice comparison kernels for the columnar scan path, with
+//! runtime CPU-feature dispatch.
 //!
 //! The index query engine stores Bloom filters in flat `u64` arenas (see
 //! `pprl-index`), so its hot loop works on `&[u64]` slices rather than
@@ -13,55 +14,119 @@
 //!   loading each query word once per *four* intersections, which is
 //!   what makes the batched arena scan memory-bandwidth-friendly.
 //!
+//! # Dispatch
+//!
+//! Each kernel has several implementations, selected **once per process**
+//! by runtime CPU-feature detection (`is_x86_feature_detected!` and the
+//! aarch64 equivalent). The default x86-64 code model does not even
+//! guarantee a hardware `popcnt` instruction, so the paths form a real
+//! performance ladder:
+//!
+//! | name       | arch     | requires                  | technique                          |
+//! |------------|----------|---------------------------|------------------------------------|
+//! | `scalar`   | any      | —                         | unrolled loop, SWAR popcount       |
+//! | `portable` | x86-64   | `popcnt`                  | same loop, hardware popcount       |
+//! | `avx2`     | x86-64   | `avx2`                    | Muła nibble-LUT popcount, 256-bit  |
+//! | `avx512`   | x86-64   | `avx512f+avx512vpopcntdq` | `vpopcntq`, 512-bit lanes          |
+//! | `neon`     | aarch64  | `neon`                    | `cnt.16b` + widening adds, 128-bit |
+//!
+//! (`portable` is the portable-width stand-in for `std::simd`, which is
+//! still nightly-only: the scalar loop recompiled with the baseline
+//! popcount feature enabled, which the autovectoriser is free to widen.)
+//!
+//! The environment variable `PPRL_KERNEL` forces a path by name (`scalar`
+//! included) for tests and benches; `auto` or unset picks the best
+//! supported path. Forcing an *unsupported* path falls back to the best
+//! supported one rather than executing illegal instructions — compare
+//! [`requested_kernel`] with [`kernel_name`] (or call
+//! [`requested_is_supported`]) to detect the fallback.
+//!
 //! Every kernel is exact: the intersection popcounts are integers and
 //! [`dice_from_counts`] reproduces `dice_bits`' f64 expression term for
 //! term, so scores computed through this module are bit-identical to the
-//! scalar `BitVec` path.
+//! scalar `BitVec` path. The property suite in
+//! `crates/index/tests/kernel_equivalence.rs` checks every path available
+//! on the host against the `BitVec` oracle, including odd tail lengths.
 
-/// Intersection popcount of two equal-length word slices, unrolled into
-/// four accumulators.
+use std::sync::OnceLock;
+
+/// One dispatchable implementation of the scan kernels.
 ///
-/// Equals [`pprl_core::bitvec::BitVec::and_count`] on the backing words
-/// of two equal-length vectors (trailing bits are zero by invariant).
-#[inline]
-pub fn and_count(a: &[u64], b: &[u64]) -> usize {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0usize; 4];
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        acc[0] += (ca[0] & cb[0]).count_ones() as usize;
-        acc[1] += (ca[1] & cb[1]).count_ones() as usize;
-        acc[2] += (ca[2] & cb[2]).count_ones() as usize;
-        acc[3] += (ca[3] & cb[3]).count_ones() as usize;
-    }
-    let mut tail = 0usize;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        tail += (x & y).count_ones() as usize;
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+/// Instances only come out of [`available_kernels`] / [`active_kernel`],
+/// which guarantees the backing functions are safe to execute on this
+/// CPU: the constructors are private and a `Kernel` is only built after
+/// its required features were detected at runtime.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    name: &'static str,
+    and_count: fn(&[u64], &[u64]) -> usize,
+    and_count4: fn(&[u64], &[u64]) -> [usize; 4],
 }
 
-/// Intersection popcounts of one query against four rows laid out
-/// back-to-back in `rows` (`rows.len() == 4 * query.len()`). Each query
-/// word is loaded once and ANDed against all four rows, so a batched
-/// arena scan touches every arena word exactly once per block.
+impl Kernel {
+    /// Path name as accepted by `PPRL_KERNEL` (e.g. `"avx2"`).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Intersection popcount of two equal-length word slices.
+    ///
+    /// The length check is a cheap release-mode assert: a mismatched pair
+    /// means a corrupt arena stride, and silently mis-scoring records is
+    /// strictly worse than aborting the scan.
+    #[inline]
+    pub fn and_count(&self, a: &[u64], b: &[u64]) -> usize {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "and_count: word-count mismatch (arena stride corrupt?)"
+        );
+        (self.and_count)(a, b)
+    }
+
+    /// Intersection popcounts of one query against four rows laid out
+    /// back-to-back in `rows` (`rows.len() == 4 * query.len()`).
+    ///
+    /// As with [`Kernel::and_count`], the stride check stays on in
+    /// release builds; it is one comparison per 4-row block.
+    #[inline]
+    pub fn and_count4(&self, query: &[u64], rows: &[u64]) -> [usize; 4] {
+        assert_eq!(
+            rows.len(),
+            4 * query.len(),
+            "and_count4: rows must hold exactly 4 query-width rows"
+        );
+        (self.and_count4)(query, rows)
+    }
+}
+
+impl PartialEq for Kernel {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+/// Intersection popcount of two equal-length word slices, through the
+/// dispatched kernel. Equals
+/// [`pprl_core::bitvec::BitVec::and_count`] on the backing words of two
+/// equal-length vectors (trailing bits are zero by invariant).
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+    active_kernel().and_count(a, b)
+}
+
+/// Intersection popcounts of one query against four contiguous rows,
+/// through the dispatched kernel. See [`Kernel::and_count4`].
 #[inline]
 pub fn and_count4(query: &[u64], rows: &[u64]) -> [usize; 4] {
-    let stride = query.len();
-    debug_assert_eq!(rows.len(), 4 * stride);
-    let (r0, rest) = rows.split_at(stride);
-    let (r1, rest) = rest.split_at(stride);
-    let (r2, r3) = rest.split_at(stride);
-    let mut acc = [0usize; 4];
-    for w in 0..stride {
-        let q = query[w];
-        acc[0] += (q & r0[w]).count_ones() as usize;
-        acc[1] += (q & r1[w]).count_ones() as usize;
-        acc[2] += (q & r2[w]).count_ones() as usize;
-        acc[3] += (q & r3[w]).count_ones() as usize;
-    }
-    acc
+    active_kernel().and_count4(query, rows)
 }
 
 /// Dice coefficient from an intersection popcount and the two filter
@@ -75,6 +140,507 @@ pub fn dice_from_counts(intersection: usize, ones_a: usize, ones_b: usize) -> f6
         return 1.0;
     }
     2.0 * intersection as f64 / (ones_a + ones_b) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference path (always available, any architecture).
+// ---------------------------------------------------------------------------
+
+mod scalar {
+    #[inline]
+    pub(super) fn and_count(a: &[u64], b: &[u64]) -> usize {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [0usize; 4];
+        let mut chunks_a = a.chunks_exact(4);
+        let mut chunks_b = b.chunks_exact(4);
+        for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+            acc[0] += (ca[0] & cb[0]).count_ones() as usize;
+            acc[1] += (ca[1] & cb[1]).count_ones() as usize;
+            acc[2] += (ca[2] & cb[2]).count_ones() as usize;
+            acc[3] += (ca[3] & cb[3]).count_ones() as usize;
+        }
+        let mut tail = 0usize;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            tail += (x & y).count_ones() as usize;
+        }
+        acc[0] + acc[1] + acc[2] + acc[3] + tail
+    }
+
+    #[inline]
+    pub(super) fn and_count4(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        let stride = query.len();
+        debug_assert_eq!(rows.len(), 4 * stride);
+        let (r0, rest) = rows.split_at(stride);
+        let (r1, rest) = rest.split_at(stride);
+        let (r2, r3) = rest.split_at(stride);
+        let mut acc = [0usize; 4];
+        for w in 0..stride {
+            let q = query[w];
+            acc[0] += (q & r0[w]).count_ones() as usize;
+            acc[1] += (q & r1[w]).count_ones() as usize;
+            acc[2] += (q & r2[w]).count_ones() as usize;
+            acc[3] += (q & r3[w]).count_ones() as usize;
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 paths. Every `unsafe` here is justified by runtime feature
+// detection: the wrappers are only ever reachable through a `Kernel`
+// that `detect_kernels` constructed after the matching
+// `is_x86_feature_detected!` returned true.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    // ---- portable: the scalar loop with hardware popcount enabled ----
+    //
+    // The default x86-64 baseline predates `popcnt`, so release builds of
+    // the scalar path emit a SWAR bit-count sequence per word. Recompiling
+    // the same loop with the feature enabled replaces that with one
+    // instruction — and leaves the autovectoriser free to widen it.
+
+    #[target_feature(enable = "popcnt")]
+    fn and_count_popcnt_impl(a: &[u64], b: &[u64]) -> usize {
+        super::scalar::and_count(a, b)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    fn and_count4_popcnt_impl(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        super::scalar::and_count4(query, rows)
+    }
+
+    pub(super) fn and_count_portable(a: &[u64], b: &[u64]) -> usize {
+        // SAFETY: reachable only via a Kernel built after
+        // is_x86_feature_detected!("popcnt") succeeded.
+        unsafe { and_count_popcnt_impl(a, b) }
+    }
+
+    pub(super) fn and_count4_portable(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        // SAFETY: as above — popcnt was detected at runtime.
+        unsafe { and_count4_popcnt_impl(query, rows) }
+    }
+
+    // ---- avx2: Muła nibble-LUT popcount over 256-bit lanes ----
+    //
+    // No popcount instruction exists at 256 bits, so each byte is split
+    // into nibbles looked up in an in-register table (`vpshufb`), and the
+    // byte counts are folded into u64 lanes with `vpsadbw` — the classic
+    // Muła/Kurz/Lemire harley-seal building block.
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn popcnt_bytes_avx2(v: __m256i) -> __m256i {
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+        _mm256_add_epi8(
+            _mm256_shuffle_epi8(lookup, lo),
+            _mm256_shuffle_epi8(lookup, hi),
+        )
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn hsum_epi64_avx2(v: __m256i) -> usize {
+        let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is a 32-byte writable buffer; storeu has no
+        // alignment requirement.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
+        (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn and_count_avx2_impl(a: &[u64], b: &[u64]) -> usize {
+        let n = a.len();
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: i + 4 <= n, so 32 bytes starting at offset i are in
+            // bounds for both slices; loadu tolerates any alignment.
+            let v = unsafe {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+                let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+                _mm256_and_si256(va, vb)
+            };
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcnt_bytes_avx2(v), zero));
+            i += 4;
+        }
+        let mut total = hsum_epi64_avx2(acc);
+        while i < n {
+            total += (a[i] & b[i]).count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn and_count4_avx2_impl(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        let stride = query.len();
+        let (r0, rest) = rows.split_at(stride);
+        let (r1, rest) = rest.split_at(stride);
+        let (r2, r3) = rest.split_at(stride);
+        let zero = _mm256_setzero_si256();
+        let mut acc = [zero; 4];
+        let mut i = 0usize;
+        while i + 4 <= stride {
+            // SAFETY: i + 4 <= stride keeps all five 32-byte loads in
+            // bounds of their respective stride-length slices.
+            unsafe {
+                let q = _mm256_loadu_si256(query.as_ptr().add(i).cast());
+                for (lane, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+                    let v = _mm256_and_si256(q, _mm256_loadu_si256(r.as_ptr().add(i).cast()));
+                    acc[lane] =
+                        _mm256_add_epi64(acc[lane], _mm256_sad_epu8(popcnt_bytes_avx2(v), zero));
+                }
+            }
+            i += 4;
+        }
+        let mut out = [
+            hsum_epi64_avx2(acc[0]),
+            hsum_epi64_avx2(acc[1]),
+            hsum_epi64_avx2(acc[2]),
+            hsum_epi64_avx2(acc[3]),
+        ];
+        while i < stride {
+            let q = query[i];
+            out[0] += (q & r0[i]).count_ones() as usize;
+            out[1] += (q & r1[i]).count_ones() as usize;
+            out[2] += (q & r2[i]).count_ones() as usize;
+            out[3] += (q & r3[i]).count_ones() as usize;
+            i += 1;
+        }
+        out
+    }
+
+    pub(super) fn and_count_avx2(a: &[u64], b: &[u64]) -> usize {
+        // SAFETY: reachable only via a Kernel built after
+        // is_x86_feature_detected!("avx2") succeeded.
+        unsafe { and_count_avx2_impl(a, b) }
+    }
+
+    pub(super) fn and_count4_avx2(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        // SAFETY: as above — avx2 was detected at runtime.
+        unsafe { and_count4_avx2_impl(query, rows) }
+    }
+
+    // ---- avx512: native 64-bit-lane popcount (VPOPCNTDQ) ----
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn and_count_avx512_impl(a: &[u64], b: &[u64]) -> usize {
+        let n = a.len();
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: i + 8 <= n keeps both 64-byte loads in bounds;
+            // loadu tolerates any alignment.
+            let v = unsafe {
+                let va = _mm512_loadu_si512(a.as_ptr().add(i).cast());
+                let vb = _mm512_loadu_si512(b.as_ptr().add(i).cast());
+                _mm512_and_si512(va, vb)
+            };
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        while i < n {
+            total += (a[i] & b[i]).count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn and_count4_avx512_impl(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        let stride = query.len();
+        let (r0, rest) = rows.split_at(stride);
+        let (r1, rest) = rest.split_at(stride);
+        let (r2, r3) = rest.split_at(stride);
+        let mut acc = [_mm512_setzero_si512(); 4];
+        let mut i = 0usize;
+        while i + 8 <= stride {
+            // SAFETY: i + 8 <= stride keeps all five 64-byte loads in
+            // bounds of their respective stride-length slices.
+            unsafe {
+                let q = _mm512_loadu_si512(query.as_ptr().add(i).cast());
+                for (lane, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+                    let v = _mm512_and_si512(q, _mm512_loadu_si512(r.as_ptr().add(i).cast()));
+                    acc[lane] = _mm512_add_epi64(acc[lane], _mm512_popcnt_epi64(v));
+                }
+            }
+            i += 8;
+        }
+        let mut out = [
+            _mm512_reduce_add_epi64(acc[0]) as usize,
+            _mm512_reduce_add_epi64(acc[1]) as usize,
+            _mm512_reduce_add_epi64(acc[2]) as usize,
+            _mm512_reduce_add_epi64(acc[3]) as usize,
+        ];
+        while i < stride {
+            let q = query[i];
+            out[0] += (q & r0[i]).count_ones() as usize;
+            out[1] += (q & r1[i]).count_ones() as usize;
+            out[2] += (q & r2[i]).count_ones() as usize;
+            out[3] += (q & r3[i]).count_ones() as usize;
+            i += 1;
+        }
+        out
+    }
+
+    pub(super) fn and_count_avx512(a: &[u64], b: &[u64]) -> usize {
+        // SAFETY: reachable only via a Kernel built after
+        // is_x86_feature_detected! confirmed avx512f + avx512vpopcntdq.
+        unsafe { and_count_avx512_impl(a, b) }
+    }
+
+    pub(super) fn and_count4_avx512(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        // SAFETY: as above — avx512f + avx512vpopcntdq were detected.
+        unsafe { and_count4_avx512_impl(query, rows) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 path: `cnt.16b` counts bits per byte, then three widening
+// pairwise adds fold bytes → u64 lanes.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod arm {
+    use core::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    fn and_count_neon_impl(a: &[u64], b: &[u64]) -> usize {
+        let n = a.len();
+        let mut acc = vdupq_n_u64(0);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            // SAFETY: i + 2 <= n keeps both 16-byte loads in bounds.
+            let v = unsafe {
+                let va = vld1q_u64(a.as_ptr().add(i));
+                let vb = vld1q_u64(b.as_ptr().add(i));
+                vandq_u64(va, vb)
+            };
+            let cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+            acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+            i += 2;
+        }
+        let mut total = (vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1)) as usize;
+        while i < n {
+            total += (a[i] & b[i]).count_ones() as usize;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "neon")]
+    fn and_count4_neon_impl(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        let stride = query.len();
+        let (r0, rest) = rows.split_at(stride);
+        let (r1, rest) = rest.split_at(stride);
+        let (r2, r3) = rest.split_at(stride);
+        let mut acc = [vdupq_n_u64(0); 4];
+        let mut i = 0usize;
+        while i + 2 <= stride {
+            // SAFETY: i + 2 <= stride keeps all five 16-byte loads in
+            // bounds of their respective stride-length slices.
+            unsafe {
+                let q = vld1q_u64(query.as_ptr().add(i));
+                for (lane, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+                    let v = vandq_u64(q, vld1q_u64(r.as_ptr().add(i)));
+                    let cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+                    acc[lane] = vaddq_u64(acc[lane], vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt))));
+                }
+            }
+            i += 2;
+        }
+        let fold = |v: uint64x2_t| (vgetq_lane_u64(v, 0) + vgetq_lane_u64(v, 1)) as usize;
+        let mut out = [fold(acc[0]), fold(acc[1]), fold(acc[2]), fold(acc[3])];
+        while i < stride {
+            let q = query[i];
+            out[0] += (q & r0[i]).count_ones() as usize;
+            out[1] += (q & r1[i]).count_ones() as usize;
+            out[2] += (q & r2[i]).count_ones() as usize;
+            out[3] += (q & r3[i]).count_ones() as usize;
+            i += 1;
+        }
+        out
+    }
+
+    pub(super) fn and_count_neon(a: &[u64], b: &[u64]) -> usize {
+        // SAFETY: reachable only via a Kernel built after the aarch64
+        // runtime detection of "neon" succeeded.
+        unsafe { and_count_neon_impl(a, b) }
+    }
+
+    pub(super) fn and_count4_neon(query: &[u64], rows: &[u64]) -> [usize; 4] {
+        // SAFETY: as above — neon was detected at runtime.
+        unsafe { and_count4_neon_impl(query, rows) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: one-time detection + PPRL_KERNEL override.
+// ---------------------------------------------------------------------------
+
+const SCALAR: Kernel = Kernel {
+    name: "scalar",
+    and_count: scalar::and_count,
+    and_count4: scalar::and_count4,
+};
+
+/// Detect what this CPU supports, worst path first / best path last.
+fn detect_kernels() -> Vec<Kernel> {
+    #[allow(unused_mut)]
+    let mut v = vec![SCALAR];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            v.push(Kernel {
+                name: "portable",
+                and_count: x86::and_count_portable,
+                and_count4: x86::and_count4_portable,
+            });
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            v.push(Kernel {
+                name: "avx2",
+                and_count: x86::and_count_avx2,
+                and_count4: x86::and_count4_avx2,
+            });
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            v.push(Kernel {
+                name: "avx512",
+                and_count: x86::and_count_avx512,
+                and_count4: x86::and_count4_avx512,
+            });
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            v.push(Kernel {
+                name: "neon",
+                and_count: arm::and_count_neon,
+                and_count4: arm::and_count4_neon,
+            });
+        }
+    }
+    v
+}
+
+/// Every kernel path this CPU can execute, worst first, best last.
+/// `scalar` is always present. Detection runs once per process.
+pub fn available_kernels() -> &'static [Kernel] {
+    static KERNELS: OnceLock<Vec<Kernel>> = OnceLock::new();
+    KERNELS.get_or_init(detect_kernels)
+}
+
+struct Dispatch {
+    active: Kernel,
+    requested: Option<String>,
+}
+
+/// Pure selection rule, factored out so it is testable without touching
+/// process-global environment: `None` / `"auto"` pick the best available
+/// path; a known name picks that path; an unknown or unsupported name
+/// falls back to the best path (the caller can detect this via
+/// [`requested_is_supported`]).
+fn select_kernel(requested: Option<&str>, kernels: &[Kernel]) -> Kernel {
+    let best = *kernels.last().expect("scalar kernel is always available");
+    match requested {
+        None | Some("auto") => best,
+        Some(name) => kernels
+            .iter()
+            .find(|k| k.name == name)
+            .copied()
+            .unwrap_or(best),
+    }
+}
+
+fn dispatch() -> &'static Dispatch {
+    static DISPATCH: OnceLock<Dispatch> = OnceLock::new();
+    DISPATCH.get_or_init(|| {
+        let requested = std::env::var("PPRL_KERNEL")
+            .ok()
+            .map(|s| s.trim().to_ascii_lowercase())
+            .filter(|s| !s.is_empty());
+        let active = select_kernel(requested.as_deref(), available_kernels());
+        Dispatch { active, requested }
+    })
+}
+
+/// The kernel every [`and_count`] / [`and_count4`] call dispatches to.
+/// Resolved once per process from CPU detection and `PPRL_KERNEL`.
+#[inline]
+pub fn active_kernel() -> Kernel {
+    dispatch().active
+}
+
+/// Name of the active kernel path (`"scalar"`, `"avx512"`, …).
+#[inline]
+pub fn kernel_name() -> &'static str {
+    dispatch().active.name
+}
+
+/// The normalised `PPRL_KERNEL` value, if one was set (including
+/// `"auto"` and unsupported names that fell back to the best path).
+pub fn requested_kernel() -> Option<&'static str> {
+    dispatch().requested.as_deref()
+}
+
+/// False iff `PPRL_KERNEL` named a path this host cannot run (the
+/// dispatcher then fell back to the best supported path). CI uses this
+/// to fail fast instead of silently benchmarking the wrong kernel.
+pub fn requested_is_supported() -> bool {
+    match requested_kernel() {
+        None => true,
+        Some("auto") => true,
+        Some(name) => name == kernel_name(),
+    }
+}
+
+/// The kernel-relevant CPU features detected on this host, for
+/// recording in benchmark output so cross-machine numbers stay
+/// interpretable.
+pub fn cpu_features() -> Vec<&'static str> {
+    #[allow(unused_mut)]
+    let mut v = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, hit) in [
+            ("popcnt", std::arch::is_x86_feature_detected!("popcnt")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            (
+                "avx512vpopcntdq",
+                std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+            ),
+        ] {
+            if hit {
+                v.push(name);
+            }
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            v.push("neon");
+        }
+    }
+    v
 }
 
 #[cfg(test)]
@@ -127,6 +693,76 @@ mod tests {
                 assert_eq!(got[i], q.and_count(r), "len={len} row={i}");
             }
         }
+    }
+
+    #[test]
+    fn every_available_path_matches_the_scalar_oracle() {
+        // Lengths chosen so the word count mod the widest vector width
+        // (8 words) covers every tail size, including 0.
+        let mut rng = SplitMix64::new(0x51D);
+        for len in [
+            1usize, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 320, 321, 448, 449,
+            512, 513, 1000, 2048,
+        ] {
+            for denom in [1u64, 2, 7] {
+                let a = random_filter(len, denom, &mut rng);
+                let b = random_filter(len, denom, &mut rng);
+                let rows: Vec<BitVec> = (0..4)
+                    .map(|_| random_filter(len, denom, &mut rng))
+                    .collect();
+                let mut flat = Vec::new();
+                for r in &rows {
+                    flat.extend_from_slice(r.as_words());
+                }
+                let want1 = a.and_count(&b);
+                let want4: Vec<usize> = rows.iter().map(|r| a.and_count(r)).collect();
+                for k in available_kernels() {
+                    assert_eq!(
+                        k.and_count(a.as_words(), b.as_words()),
+                        want1,
+                        "kernel={} len={len} denom={denom}",
+                        k.name()
+                    );
+                    assert_eq!(
+                        k.and_count4(a.as_words(), &flat).to_vec(),
+                        want4,
+                        "kernel={} len={len} denom={denom}",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_kernel_honors_names_and_falls_back() {
+        let kernels = available_kernels();
+        let best = kernels.last().unwrap();
+        // Unset and "auto" pick the best path.
+        assert_eq!(select_kernel(None, kernels).name(), best.name());
+        assert_eq!(select_kernel(Some("auto"), kernels).name(), best.name());
+        // Every supported name picks exactly that path.
+        for k in kernels {
+            assert_eq!(select_kernel(Some(k.name()), kernels).name(), k.name());
+        }
+        // Unknown names fall back to the best path instead of panicking.
+        assert_eq!(select_kernel(Some("quantum"), kernels).name(), best.name());
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_first() {
+        let kernels = available_kernels();
+        assert_eq!(kernels[0].name(), "scalar");
+        // The active kernel is always one of the available paths.
+        assert!(kernels.iter().any(|k| k.name() == kernel_name()));
+    }
+
+    #[test]
+    #[should_panic(expected = "and_count4")]
+    fn mismatched_stride_panics_in_release_too() {
+        let q = [0u64; 4];
+        let rows = [0u64; 12]; // 3 rows, not 4
+        active_kernel().and_count4(&q, &rows);
     }
 
     #[test]

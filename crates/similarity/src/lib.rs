@@ -7,7 +7,10 @@
 //! weighted record-level comparator producing similarity vectors for
 //! classification.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and re-allowed only inside the
+// target-feature kernel modules in `kernel`, where every block carries a
+// safety comment tying it to runtime CPU-feature detection.
+#![deny(unsafe_code)]
 // `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
 // `x <= 0.0` would accept.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
