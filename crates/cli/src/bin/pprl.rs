@@ -21,7 +21,9 @@ fn main() {
     };
     let args = match Args::parse(
         parse_from,
-        &["evaluate", "compact", "json", "cluster", "list", "check"],
+        &[
+            "evaluate", "compact", "json", "cluster", "list", "check", "encrypt",
+        ],
     ) {
         Ok(a) => a,
         Err(e) => {
@@ -43,6 +45,7 @@ fn main() {
             "encode" => commands::encode_cmd(args),
             "multiparty" => commands::multiparty_cmd(args),
             "serve" => commands::serve_cmd(args),
+            "keygen" => commands::keygen(args),
             "kernels" => commands::kernels_cmd(args),
             other => {
                 eprintln!("error: unknown command `{other}`\n\n{}", commands::help());

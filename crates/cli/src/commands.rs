@@ -8,7 +8,7 @@ use crate::args::Args;
 use pprl_blocking::keys::BlockingKey;
 use pprl_blocking::lsh::HammingLsh;
 use pprl_cluster::coordinator::{ClusterConfig, Coordinator};
-use pprl_cluster::server::{serve_cluster, ClusterServerConfig};
+use pprl_cluster::server::{serve_cluster, serve_cluster_auth, ClusterServerConfig};
 use pprl_core::json::Json;
 use pprl_core::record::Dataset;
 use pprl_core::schema::Schema;
@@ -21,8 +21,9 @@ use pprl_pipeline::dedup::{deduplicate, deduplicated_dataset, DedupConfig};
 use pprl_protocols::transport::Crash;
 use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
 use pprl_server::client::Client;
-use pprl_server::server::{serve, ServerConfig};
+use pprl_server::server::{serve, serve_auth, ServerConfig};
 use pprl_server::wire::StatsReport;
+use pprl_server::{AuthRegistry, ClientAuth, PartyKey};
 
 type CmdResult = Result<(), String>;
 
@@ -528,8 +529,88 @@ pub fn index_cmd(mut args: Args) -> CmdResult {
     }
 }
 
+/// `pprl keygen` — generate a party key and write it with owner-only
+/// permissions, either to an explicit `--out` path or into an auth
+/// directory as `<identity>.psk` (optionally granting the identity a
+/// tenant in `tenants.map`). Only the fingerprint is ever printed.
+pub fn keygen(mut args: Args) -> CmdResult {
+    let out = args.get("out");
+    let auth_dir = args.get("auth-dir");
+    let identity = args.get("identity");
+    let tenant = args.get("tenant");
+    args.finish().map_err(fail)?;
+
+    let key = PartyKey::generate();
+    let path = match (&out, &auth_dir, &identity) {
+        (Some(path), None, _) => std::path::PathBuf::from(path),
+        (None, Some(dir), Some(identity)) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            std::path::Path::new(dir).join(format!("{identity}.psk"))
+        }
+        _ => return Err("keygen needs either --out FILE or --auth-dir DIR --identity NAME".into()),
+    };
+    key.save(&path).map_err(fail)?;
+    println!(
+        "wrote key {} (fingerprint {})",
+        path.display(),
+        key.fingerprint()
+    );
+    if let Some(tenant) = tenant {
+        let (Some(dir), Some(identity)) = (&auth_dir, &identity) else {
+            return Err("--tenant needs --auth-dir and --identity".into());
+        };
+        let map = std::path::Path::new(dir).join("tenants.map");
+        let mut lines = match std::fs::read_to_string(&map) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("reading {}: {e}", map.display())),
+        };
+        if !lines.is_empty() && !lines.ends_with('\n') {
+            lines.push('\n');
+        }
+        lines.push_str(&format!("{identity} {tenant}\n"));
+        std::fs::write(&map, lines).map_err(|e| format!("writing {}: {e}", map.display()))?;
+        println!(
+            "granted `{identity}` tenant `{tenant}` in {} ({})",
+            map.display(),
+            if tenant == "*" {
+                "privileged: any tenant, may shut servers down"
+            } else {
+                "single tenant"
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Reads the session-auth client flags — `--identity NAME --key-file
+/// PATH [--tenant T] [--encrypt]` — into an optional [`ClientAuth`].
+/// Absent flags mean plaintext wire v3, exactly as before.
+fn auth_from_args(args: &mut Args) -> Result<Option<ClientAuth>, String> {
+    let identity = args.get("identity");
+    let key_file = args.get("key-file");
+    let tenant = args.get_or("tenant", "default");
+    let encrypt = args.flag("encrypt");
+    match (identity, key_file) {
+        (Some(identity), Some(path)) => {
+            let key = PartyKey::load(std::path::Path::new(&path)).map_err(fail)?;
+            Ok(Some(ClientAuth {
+                identity,
+                key,
+                tenant,
+                encrypt,
+            }))
+        }
+        (None, None) if !encrypt => Ok(None),
+        (None, None) => Err("--encrypt needs --identity and --key-file".into()),
+        _ => Err("--identity and --key-file must be given together".into()),
+    }
+}
+
 /// `pprl serve` — serve a persistent index over TCP until a client
-/// sends `shutdown` (or the process is killed).
+/// sends `shutdown` (or the process is killed). With `--auth-dir` the
+/// server only accepts authenticated wire v4 sessions and serves the
+/// tenant namespaces named by the directory's grants.
 pub fn serve_cmd(mut args: Args) -> CmdResult {
     let dir = args.require("index").map_err(fail)?;
     let host = args.get_or("host", "127.0.0.1");
@@ -540,6 +621,7 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
     let threads: usize = args.parse_or("threads", 1).map_err(fail)?;
     let compact_ms: u64 = args.parse_or("compact-interval-ms", 500).map_err(fail)?;
     let addr_file = args.get("addr-file");
+    let auth_dir = args.get("auth-dir");
     args.finish().map_err(fail)?;
 
     let config = ServerConfig {
@@ -550,12 +632,14 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
         compact_interval: (compact_ms > 0).then(|| std::time::Duration::from_millis(compact_ms)),
         ..ServerConfig::default()
     };
-    let handle = serve(
-        std::path::Path::new(&dir),
-        &format!("{host}:{port}"),
-        config,
-    )
-    .map_err(fail)?;
+    let bind = format!("{host}:{port}");
+    let handle = match &auth_dir {
+        Some(auth) => {
+            let registry = AuthRegistry::load(std::path::Path::new(auth)).map_err(fail)?;
+            serve_auth(std::path::Path::new(&dir), &bind, config, registry).map_err(fail)?
+        }
+        None => serve(std::path::Path::new(&dir), &bind, config).map_err(fail)?,
+    };
     let addr = handle.addr();
     // With --port 0 the kernel picks the port; publish the resolved
     // address so scripts (and the CI smoke job) can find it.
@@ -564,7 +648,11 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
     }
     println!(
         "serving {dir} on {addr}: {workers} workers, queue {queue}, cache {cache}, \
-         compaction every {compact_ms} ms (0 = disabled)"
+         compaction every {compact_ms} ms (0 = disabled){}",
+        match &auth_dir {
+            Some(auth) => format!(", authenticated sessions only (auth dir {auth})"),
+            None => String::new(),
+        }
     );
     let service = handle.join();
     let stats = service.stats_report(workers as u32, queue as u32);
@@ -589,8 +677,9 @@ pub fn client_cmd(mut args: Args) -> CmdResult {
     // client cannot tell — with it, pointing at a lone shard by mistake
     // is a loud error instead of silently partial results).
     let cluster = args.flag("cluster");
+    let auth = auth_from_args(&mut args)?;
     let connect = |addr: &str| -> Result<Client, String> {
-        let mut client = Client::connect(addr).map_err(fail)?;
+        let mut client = Client::connect_with(addr, auth.clone()).map_err(fail)?;
         client.set_deadline(std::time::Duration::from_millis(deadline_ms.max(1)));
         if cluster {
             let probe = client.stats().map_err(fail)?;
@@ -861,6 +950,11 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
             };
             let deadline_ms: u64 = args.parse_or("deadline-ms", 10_000).map_err(fail)?;
             let addr_file = args.get("addr-file");
+            // Shard-leg credentials: the coordinator is itself a client
+            // to the shard nodes, so it reuses the client auth flags.
+            let shard_auth = auth_from_args(&mut args)?;
+            // Front-end registry: who may connect to the coordinator.
+            let auth_dir = args.get("auth-dir");
             args.finish().map_err(fail)?;
 
             let shards: Vec<String> = shards_arg
@@ -879,20 +973,31 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
                     shards,
                     min_shards,
                     deadline: std::time::Duration::from_millis(deadline_ms.max(1)),
+                    shard_auth,
                 })
                 .map_err(fail)?,
             );
             let missing = coordinator.missing_shards();
-            let handle = serve_cluster(
-                std::sync::Arc::clone(&coordinator),
-                &format!("{host}:{port}"),
-                ClusterServerConfig {
-                    workers,
-                    queue_capacity: queue,
-                    ..ClusterServerConfig::default()
-                },
-            )
-            .map_err(fail)?;
+            let front_config = ClusterServerConfig {
+                workers,
+                queue_capacity: queue,
+                ..ClusterServerConfig::default()
+            };
+            let bind = format!("{host}:{port}");
+            let handle = match &auth_dir {
+                Some(auth) => {
+                    let registry = AuthRegistry::load(std::path::Path::new(auth)).map_err(fail)?;
+                    serve_cluster_auth(
+                        std::sync::Arc::clone(&coordinator),
+                        &bind,
+                        front_config,
+                        registry,
+                    )
+                    .map_err(fail)?
+                }
+                None => serve_cluster(std::sync::Arc::clone(&coordinator), &bind, front_config)
+                    .map_err(fail)?,
+            };
             let addr = handle.addr();
             if let Some(path) = addr_file {
                 write_file_atomic(&path, &addr.to_string())?;
@@ -925,8 +1030,9 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
         "stats" => {
             let addr = args.require("addr").map_err(fail)?;
             let json = args.flag("json");
+            let auth = auth_from_args(&mut args)?;
             args.finish().map_err(fail)?;
-            let mut client = Client::connect(&addr).map_err(fail)?;
+            let mut client = Client::connect_with(&addr, auth).map_err(fail)?;
             let s = client.stats().map_err(fail)?;
             if s.cluster_shards == 0 {
                 return Err(format!(
@@ -1048,15 +1154,26 @@ COMMANDS:
             copy (sealed segments + WAL tail) for seeding a new
             cluster shard node
 
+  keygen    --out key.psk | --auth-dir DIR --identity NAME [--tenant T]
+            generate a 32-byte party key and write it hex-encoded with
+            owner-only (0600) permissions; with --auth-dir the key
+            lands as DIR/NAME.psk and --tenant appends a grant to
+            DIR/tenants.map (`*` = privileged: any tenant, may shut
+            servers down); only the fingerprint is printed
+
   serve     --index IDX [--host H] [--port P] [--workers N] [--queue N]
             [--cache N] [--threads N] [--compact-interval-ms MS]
-            [--addr-file PATH]
+            [--addr-file PATH] [--auth-dir DIR]
             serve the index over TCP: concurrent top-k Dice queries,
             batch link, durable inserts, background size-tiered
             compaction (set MS to 0 to disable), snapshot-isolated
             reads; --port 0 binds an ephemeral port and --addr-file
             publishes the resolved address atomically (tmp + rename);
-            runs until a client sends shutdown
+            --auth-dir requires every client to complete the wire v4
+            handshake against DIR's keys and serves one namespace per
+            granted tenant (IDX/<tenant>, or IDX itself as `default`
+            when it holds a MANIFEST directly); runs until a client
+            sends shutdown
 
   client    query    --addr H:P --input Q.csv --key SECRET [--row N]
                      [--top-k K] [--json]
@@ -1068,15 +1185,22 @@ COMMANDS:
             talk to a running `pprl serve` or `pprl cluster serve`;
             every action also takes [--deadline-ms MS] (default 60000),
             the total budget for the call including bounded-backoff
-            retries after Busy rejections, and [--cluster], which
-            asserts the address is a cluster coordinator (loud error
-            when pointed at a lone shard); query/link results are
-            bit-for-bit identical to offline `pprl index query`
+            retries after Busy rejections, [--cluster], which asserts
+            the address is a cluster coordinator (loud error when
+            pointed at a lone shard), and the session-auth flags
+            [--identity NAME --key-file K.psk] [--tenant T] [--encrypt]
+            for servers running with --auth-dir (--encrypt additionally
+            encrypts frame bodies; shutdown needs a `*` grant);
+            query/link results are bit-for-bit identical to offline
+            `pprl index query`
 
   cluster   serve --shards H:P,H:P,... [--host H] [--port P]
                   [--workers N] [--queue N] [--quorum N]
                   [--deadline-ms MS] [--addr-file PATH]
+                  [--identity NAME --key-file K.psk] [--encrypt]
+                  [--auth-dir DIR]
             stats --addr H:P [--json]
+                  [--identity NAME --key-file K.psk] [--encrypt]
             scatter-gather coordinator over sharded `pprl serve` nodes,
             speaking the same wire protocol on both sides: queries
             broadcast to every shard and merge exactly (results
@@ -1085,7 +1209,10 @@ COMMANDS:
             dead shard degrades reads down to --quorum survivors
             (default: all shards) instead of failing them — stats
             shows a DEGRADED CLUSTER banner with the missing shards;
-            shutdown stops only the coordinator, never the shards
+            shutdown stops only the coordinator, never the shards;
+            --identity/--key-file authenticate the coordinator to
+            auth-enabled shards and --auth-dir makes the front end
+            demand the same handshake from its own clients
 
   kernels   [--list] [--check]
             report the scan-kernel dispatch on this host: detected CPU
@@ -1538,6 +1665,138 @@ mod tests {
         let store = IndexStore::open(std::path::Path::new(&dir)).unwrap();
         assert_eq!(store.record_count().unwrap(), 100);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keygen_serve_auth_and_client_round_trip() {
+        let a = tmp("auth-a.csv");
+        let b = tmp("auth-b.csv");
+        let dir = tmp("auth-idx");
+        let auth_dir = tmp("auth-keys");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&auth_dir);
+        generate(
+            Args::parse(
+                &raw(&format!(
+                    "generate --out-a {a} --out-b {b} --size 40 --overlap 10 --seed 9"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        index_cmd(
+            Args::parse(
+                &raw(&format!("build --dir {dir} --input {a} --key s3cret")),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // keygen into the auth dir: a default-tenant client and a
+        // privileged operator.
+        keygen(
+            Args::parse(
+                &raw(&format!(
+                    "keygen --auth-dir {auth_dir} --identity alice --tenant default"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        keygen(
+            Args::parse(
+                &raw(&format!(
+                    "keygen --auth-dir {auth_dir} --identity admin --tenant *"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let alice_key = format!("{auth_dir}/alice.psk");
+        let admin_key = format!("{auth_dir}/admin.psk");
+
+        let addr_file = tmp("auth-addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let serve_args = Args::parse(
+            &raw(&format!(
+                "serve --index {dir} --port 0 --workers 2 --compact-interval-ms 0 \
+                 --auth-dir {auth_dir} --addr-file {addr_file}"
+            )),
+            &[],
+        )
+        .unwrap();
+        let server = std::thread::spawn(move || serve_cmd(serve_args));
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                waited += 1;
+                assert!(waited < 200, "server never published its address");
+            }
+        };
+
+        // Unauthenticated access is refused before dispatch.
+        let e = client_cmd(Args::parse(&raw(&format!("stats --addr {addr}")), &[]).unwrap())
+            .unwrap_err();
+        assert!(e.contains("authentication required"), "{e}");
+
+        // Authenticated, encrypted query and stats work.
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "query --addr {addr} --input {b} --key s3cret --row 1 --top-k 3 \
+                     --identity alice --key-file {alice_key} --encrypt"
+                )),
+                &["encrypt"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "stats --addr {addr} --identity alice --key-file {alice_key}"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        // Shutdown needs the privileged grant.
+        let e = client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "shutdown --addr {addr} --identity alice --key-file {alice_key}"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.contains("not privileged"), "{e}");
+        client_cmd(
+            Args::parse(
+                &raw(&format!(
+                    "shutdown --addr {addr} --identity admin --key-file {admin_key}"
+                )),
+                &[],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&auth_dir).unwrap();
     }
 
     #[test]

@@ -28,6 +28,7 @@ use pprl_index::query::Hit;
 use pprl_server::client::Client;
 use pprl_server::metrics::LatencyHistogram;
 use pprl_server::wire::{StatsReport, WIRE_VERSION};
+use pprl_session::handshake::ClientAuth;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -46,6 +47,13 @@ pub struct ClusterConfig {
     /// Per shard-call deadline (request + shard think time + `Busy`
     /// backoff cycles), enforced by the underlying [`Client`].
     pub deadline: Duration,
+    /// Credentials the coordinator presents to its shard nodes. `None`
+    /// speaks plaintext wire v3 (shards must be running without an auth
+    /// registry); `Some` runs the wire v4 handshake on every shard
+    /// connection — including redials after stale pooled sockets. The
+    /// identity should be privileged (`*` grant) on the shards so
+    /// [`Coordinator::shutdown_shards`] can tear the fleet down.
+    pub shard_auth: Option<ClientAuth>,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +62,7 @@ impl Default for ClusterConfig {
             shards: Vec::new(),
             min_shards: 1,
             deadline: Duration::from_secs(10),
+            shard_auth: None,
         }
     }
 }
@@ -190,17 +199,26 @@ impl Coordinator {
         let coordinator = Self::new(config)?;
         let mut up = 0usize;
         for slot in &coordinator.shards {
-            let probed = Client::connect_retry(&slot.addr, 20, Duration::from_millis(50)).and_then(
-                |mut client| {
-                    client.set_deadline(coordinator.config.deadline);
-                    client.stats().map(|_| client)
-                },
-            );
+            let probed = Client::connect_retry_with(
+                &slot.addr,
+                coordinator.config.shard_auth.clone(),
+                20,
+                Duration::from_millis(50),
+            )
+            .and_then(|mut client| {
+                client.set_deadline(coordinator.config.deadline);
+                client.stats().map(|_| client)
+            });
             match probed {
                 Ok(client) => {
                     slot.idle.lock().expect("idle lock").push(client);
                     up += 1;
                 }
+                // Bad credentials are a configuration error, not a down
+                // shard: every node would reject them identically, so
+                // fail fast with the real reason instead of a quorum
+                // error that hides it.
+                Err(e @ (PprlError::Auth(_) | PprlError::CrossTenant { .. })) => return Err(e),
                 Err(_) => {
                     slot.down.store(true, Ordering::SeqCst);
                     add(&coordinator.metrics.shard_failures, 1);
@@ -287,7 +305,7 @@ impl Coordinator {
                 }
             }
         }
-        let mut client = match Client::connect(&slot.addr) {
+        let mut client = match Client::connect_with(&slot.addr, self.config.shard_auth.clone()) {
             Ok(mut c) => {
                 c.set_deadline(self.config.deadline);
                 c

@@ -33,4 +33,4 @@ pub mod server;
 
 pub use coordinator::{route_id, ClusterConfig, ClusterMetrics, Coordinator};
 pub use merge::{hit_order, merge_top_k};
-pub use server::{serve_cluster, ClusterHandle, ClusterServerConfig};
+pub use server::{serve_cluster, serve_cluster_auth, ClusterHandle, ClusterServerConfig};

@@ -18,6 +18,10 @@ use crate::coordinator::Coordinator;
 use pprl_core::error::{PprlError, Result};
 use pprl_server::pool::BoundedQueue;
 use pprl_server::wire::{read_payload, write_payload, Incoming, Request, Response};
+use pprl_session::channel::SESSION_WIRE_VERSION;
+use pprl_session::handshake::{server_handshake, ServerSession};
+use pprl_session::keys::entropy_rng;
+use pprl_session::registry::AuthRegistry;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -78,6 +82,7 @@ impl ClusterServerConfig {
 /// Everything a session needs, shared across threads.
 struct ClusterContext {
     coordinator: Arc<Coordinator>,
+    registry: Option<AuthRegistry>,
     shutdown: Arc<AtomicBool>,
     workers: u32,
     queue_capacity: u32,
@@ -142,6 +147,39 @@ pub fn serve_cluster(
     addr: &str,
     config: ClusterServerConfig,
 ) -> Result<ClusterHandle> {
+    serve_cluster_backend(coordinator, addr, config, None)
+}
+
+/// [`serve_cluster`] with client authentication: every front-end
+/// connection must complete the wire v4 handshake against `registry`
+/// before any request is dispatched to the shards. The cluster fronts a
+/// single logical corpus, so the only tenant namespace it serves is
+/// `default` — identities need a `default` (or `*`) grant, and only
+/// privileged identities may send `Shutdown`. Shard-facing credentials
+/// are configured separately via
+/// [`ClusterConfig::shard_auth`](crate::coordinator::ClusterConfig).
+pub fn serve_cluster_auth(
+    coordinator: Arc<Coordinator>,
+    addr: &str,
+    config: ClusterServerConfig,
+    registry: AuthRegistry,
+) -> Result<ClusterHandle> {
+    if registry.is_empty() {
+        return Err(PprlError::Auth(
+            "refusing to serve with an empty auth registry: every client \
+             would be rejected"
+                .into(),
+        ));
+    }
+    serve_cluster_backend(coordinator, addr, config, Some(registry))
+}
+
+fn serve_cluster_backend(
+    coordinator: Arc<Coordinator>,
+    addr: &str,
+    config: ClusterServerConfig,
+    registry: Option<AuthRegistry>,
+) -> Result<ClusterHandle> {
     config.validate()?;
     let listener = TcpListener::bind(addr)
         .map_err(|e| PprlError::Transport(format!("binding {addr}: {e}")))?;
@@ -156,6 +194,7 @@ pub fn serve_cluster(
     let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.queue_capacity));
     let context = Arc::new(ClusterContext {
         coordinator: Arc::clone(&coordinator),
+        registry,
         shutdown: Arc::clone(&shutdown),
         workers: config.workers as u32,
         queue_capacity: config.queue_capacity as u32,
@@ -232,10 +271,13 @@ fn worker_loop(queue: &BoundedQueue<TcpStream>, context: &ClusterContext) {
 }
 
 /// Serves one connection until EOF, shutdown, or a framing error —
-/// same session state machine as a single node.
+/// same first-frame routing as a single node: a payload leading with
+/// the session version byte enters the wire v4 handshake (when the
+/// front end has a registry), anything else is a plaintext wire v3
+/// request (only accepted when it does not).
 fn handle_session(mut stream: TcpStream, context: &ClusterContext) {
     let mut idle = Duration::ZERO;
-    loop {
+    let first = loop {
         if context.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -245,26 +287,9 @@ fn handle_session(mut stream: TcpStream, context: &ClusterContext) {
                 if idle >= context.idle_timeout {
                     return;
                 }
-                continue;
             }
             Ok(Incoming::Eof) => return,
-            Ok(Incoming::Payload(payload)) => {
-                idle = Duration::ZERO;
-                let response = match Request::decode(&payload) {
-                    Ok(Request::Shutdown) => {
-                        let _ = write_payload(&mut stream, &Response::Bye.encode());
-                        context.shutdown.store(true, Ordering::SeqCst);
-                        return;
-                    }
-                    Err(e) => Response::ServerError {
-                        message: e.to_string(),
-                    },
-                    Ok(request) => dispatch(request, context),
-                };
-                if write_payload(&mut stream, &response.encode()).is_err() {
-                    return;
-                }
-            }
+            Ok(Incoming::Payload(payload)) => break payload,
             Err(e) => {
                 let err = Response::ServerError {
                     message: e.to_string(),
@@ -272,6 +297,161 @@ fn handle_session(mut stream: TcpStream, context: &ClusterContext) {
                 let _ = write_payload(&mut stream, &err.encode());
                 return;
             }
+        }
+    };
+
+    match (context.registry.as_ref(), first.first()) {
+        (Some(registry), Some(&SESSION_WIRE_VERSION)) => {
+            let mut rng = entropy_rng();
+            // On failure the handshake has already sent the typed
+            // AUTH_ERROR where one is safe to send; just close.
+            if let Ok(session) = server_handshake(&mut stream, &first, registry, &mut rng) {
+                serve_authenticated(stream, session, context);
+            }
+        }
+        (Some(_), _) => {
+            let err = Response::ServerError {
+                message: "authentication required: this cluster front end only \
+                          accepts wire v4 sessions (connect with an identity \
+                          and key)"
+                    .into(),
+            };
+            let _ = write_payload(&mut stream, &err.encode());
+        }
+        (None, Some(&SESSION_WIRE_VERSION)) => {
+            let err = Response::ServerError {
+                message: "this cluster front end is not configured for \
+                          authenticated sessions (start it with an auth \
+                          directory)"
+                    .into(),
+            };
+            let _ = write_payload(&mut stream, &err.encode());
+        }
+        (None, _) => serve_plain(stream, first, context, idle),
+    }
+}
+
+/// The plaintext wire v3 session loop, starting from an already-read
+/// first payload.
+fn serve_plain(
+    mut stream: TcpStream,
+    first: Vec<u8>,
+    context: &ClusterContext,
+    mut idle: Duration,
+) {
+    let mut pending = Some(first);
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match pending.take() {
+            Some(p) => p,
+            None => match read_payload(&mut stream) {
+                Ok(Incoming::TimedOut) => {
+                    idle += POLL_INTERVAL;
+                    if idle >= context.idle_timeout {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(Incoming::Eof) => return,
+                Ok(Incoming::Payload(p)) => p,
+                Err(e) => {
+                    let err = Response::ServerError {
+                        message: e.to_string(),
+                    };
+                    let _ = write_payload(&mut stream, &err.encode());
+                    return;
+                }
+            },
+        };
+        idle = Duration::ZERO;
+        let response = match Request::decode(&payload) {
+            Ok(Request::Shutdown) => {
+                let _ = write_payload(&mut stream, &Response::Bye.encode());
+                context.shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            Err(e) => Response::ServerError {
+                message: e.to_string(),
+            },
+            Ok(request) => dispatch(request, context),
+        };
+        if write_payload(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// The authenticated session loop: every frame must open under the
+/// session's keys before its inner opcode is even looked at, and a
+/// frame that fails its MAC or sequence check closes the connection
+/// without a reply. The cluster serves exactly one tenant namespace
+/// (`default`); `Shutdown` — which stops only the coordinator front
+/// end — additionally requires a privileged identity.
+fn serve_authenticated(
+    mut stream: TcpStream,
+    mut session: ServerSession,
+    context: &ClusterContext,
+) {
+    let mut idle = Duration::ZERO;
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inner = match session.channel.recv(&mut stream) {
+            Ok(Incoming::TimedOut) => {
+                idle += POLL_INTERVAL;
+                if idle >= context.idle_timeout {
+                    return;
+                }
+                continue;
+            }
+            Ok(Incoming::Eof) => return,
+            Ok(Incoming::Payload(inner)) => inner,
+            Err(_) => return,
+        };
+        idle = Duration::ZERO;
+        if session.tenant != "default" {
+            // A privileged identity may name any tenant at handshake,
+            // but the cluster fronts one logical corpus.
+            let err = Response::ServerError {
+                message: format!(
+                    "tenant `{}` has no index namespace on this cluster \
+                     front end (only `default`)",
+                    session.tenant
+                ),
+            };
+            let _ = session.channel.send(&mut stream, &err.encode());
+            return;
+        }
+        let response = match Request::decode(&inner) {
+            Ok(Request::Shutdown) => {
+                if session.privileged {
+                    let _ = session.channel.send(&mut stream, &Response::Bye.encode());
+                    context.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Response::ServerError {
+                    message: PprlError::Auth(format!(
+                        "identity `{}` is not privileged to shut down the \
+                         cluster front end",
+                        session.identity
+                    ))
+                    .to_string(),
+                }
+            }
+            Err(e) => Response::ServerError {
+                message: e.to_string(),
+            },
+            Ok(request) => dispatch(request, context),
+        };
+        if session
+            .channel
+            .send(&mut stream, &response.encode())
+            .is_err()
+        {
+            return;
         }
     }
 }

@@ -166,6 +166,7 @@ fn cluster_matches_single_node_union_oracle() {
         shards: cluster.addrs(),
         min_shards: SHARDS,
         deadline: Duration::from_secs(10),
+        shard_auth: None,
     })
     .unwrap();
 
@@ -226,6 +227,7 @@ fn routed_inserts_are_visible_cluster_wide() {
         shards: cluster.addrs(),
         min_shards: SHARDS,
         deadline: Duration::from_secs(10),
+        shard_auth: None,
     })
     .unwrap();
 
@@ -271,6 +273,7 @@ fn killed_shard_degrades_merge_and_stats_then_quorum_fails() {
         shards: addrs.clone(),
         min_shards: 1,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap();
 
@@ -333,6 +336,7 @@ fn killed_shard_degrades_merge_and_stats_then_quorum_fails() {
         shards: addrs.clone(),
         min_shards: 2,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap();
     let mut killer = Client::connect(&addrs[2]).unwrap();
@@ -404,6 +408,7 @@ fn busy_shard_is_retried_within_the_deadline() {
         shards: vec![addr],
         min_shards: 1,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap();
     let got = coordinator.query(&filter_for(1), 2).unwrap();
@@ -453,6 +458,7 @@ fn snapshot_shipped_replica_serves_as_a_shard() {
         shards: shards.iter().map(|h| h.addr().to_string()).collect(),
         min_shards: 3,
         deadline: Duration::from_secs(10),
+        shard_auth: None,
     })
     .unwrap();
 
@@ -489,6 +495,7 @@ fn front_end_speaks_the_stock_client_protocol() {
             shards: cluster.addrs(),
             min_shards: SHARDS,
             deadline: Duration::from_secs(10),
+            shard_auth: None,
         })
         .unwrap(),
     );
@@ -590,6 +597,7 @@ fn timed_out_insert_is_not_redialed() {
         shards: vec![addr],
         min_shards: 1,
         deadline: Duration::from_millis(200),
+        shard_auth: None,
     })
     .unwrap();
     let (count, _) = coordinator.insert(&[(1, filter_for(1))]).unwrap();
@@ -620,6 +628,7 @@ fn partial_insert_names_applied_and_failed_shards() {
         shards: addrs.clone(),
         min_shards: 1,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap();
 
@@ -693,6 +702,7 @@ fn connect_probe_rejects_a_non_pprl_listener() {
         shards: addrs.clone(),
         min_shards: 4,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap_err();
     match err {
@@ -707,6 +717,7 @@ fn connect_probe_rejects_a_non_pprl_listener() {
         shards: addrs,
         min_shards: 3,
         deadline: Duration::from_secs(5),
+        shard_auth: None,
     })
     .unwrap();
     assert_eq!(coordinator.missing_shards(), vec![3]);
@@ -754,6 +765,7 @@ fn stale_pooled_connections_are_redialed_not_degraded() {
         shards: addrs,
         min_shards: SHARDS,
         deadline: Duration::from_secs(10),
+        shard_auth: None,
     })
     .unwrap();
     let probes: Vec<BitVec> = (0..4u64).map(filter_for).collect();
@@ -785,6 +797,205 @@ fn stale_pooled_connections_are_redialed_not_degraded() {
 
     for shard in shards {
         shard.shutdown_now();
+    }
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The fully authenticated topology: shards demand wire v4 from the
+/// coordinator, the coordinator authenticates to them with a
+/// privileged identity (encrypted frames on the shard leg), and the
+/// front end authenticates stock clients against its own registry.
+/// Results stay bit-identical to the plaintext union oracle; plaintext
+/// and wrong-key clients are rejected; `Shutdown` needs privilege at
+/// every layer.
+#[test]
+fn authenticated_cluster_end_to_end() {
+    use pprl_server::server::serve_auth;
+    use pprl_session::handshake::ClientAuth;
+    use pprl_session::keys::PartyKey;
+    use pprl_session::registry::{AuthRegistry, TenantGrant};
+
+    let coord_key = PartyKey::from_bytes([0xC0; 32]);
+    let alice_key = PartyKey::from_bytes([0xA1; 32]);
+    let admin_key = PartyKey::from_bytes([0xAD; 32]);
+
+    // Shard-side registry: only the coordinator's identity, privileged
+    // so shutdown_shards can tear the fleet down.
+    let mut shard_registry = AuthRegistry::new();
+    shard_registry
+        .insert("coordinator", coord_key.clone(), TenantGrant::Any)
+        .unwrap();
+
+    // Front-end registry: a stock tenant client plus an operator.
+    let mut front_registry = AuthRegistry::new();
+    front_registry
+        .insert(
+            "alice",
+            alice_key.clone(),
+            TenantGrant::One("default".into()),
+        )
+        .unwrap();
+    front_registry
+        .insert("admin", admin_key.clone(), TenantGrant::Any)
+        .unwrap();
+
+    let records = union_corpus();
+    let parts = partition(&records);
+    let dirs: Vec<PathBuf> = (0..SHARDS)
+        .map(|i| temp_dir(&format!("auth-s{i}")))
+        .collect();
+    let shards: Vec<ServerHandle> = dirs
+        .iter()
+        .zip(&parts)
+        .map(|(dir, part)| {
+            build_store(dir, part);
+            serve_auth(
+                dir,
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    queue_capacity: 16,
+                    compact_interval: None,
+                    ..ServerConfig::default()
+                },
+                shard_registry.clone(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let shard_addrs: Vec<String> = shards.iter().map(|h| h.addr().to_string()).collect();
+
+    let coordinator = std::sync::Arc::new(
+        Coordinator::connect(ClusterConfig {
+            shards: shard_addrs.clone(),
+            min_shards: SHARDS,
+            deadline: Duration::from_secs(10),
+            shard_auth: Some(ClientAuth {
+                identity: "coordinator".into(),
+                key: coord_key.clone(),
+                tenant: "default".into(),
+                encrypt: true,
+            }),
+        })
+        .unwrap(),
+    );
+
+    let front = pprl_cluster::server::serve_cluster_auth(
+        std::sync::Arc::clone(&coordinator),
+        "127.0.0.1:0",
+        ClusterServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ClusterServerConfig::default()
+        },
+        front_registry,
+    )
+    .unwrap();
+    let front_addr = front.addr().to_string();
+
+    // A coordinator with the wrong shard key fails fast with the typed
+    // auth error instead of a quorum error that hides it.
+    match Coordinator::connect(ClusterConfig {
+        shards: shard_addrs.clone(),
+        min_shards: SHARDS,
+        deadline: Duration::from_secs(5),
+        shard_auth: Some(ClientAuth {
+            identity: "coordinator".into(),
+            key: PartyKey::from_bytes([0xEE; 32]),
+            tenant: "default".into(),
+            encrypt: false,
+        }),
+    }) {
+        Err(PprlError::Auth(_)) => {}
+        other => panic!("expected a typed auth error, got {other:?}"),
+    }
+
+    // The authorized client sees results bit-identical to the union
+    // oracle, through two authenticated hops.
+    let alice_auth = ClientAuth {
+        identity: "alice".into(),
+        key: alice_key.clone(),
+        tenant: "default".into(),
+        encrypt: true,
+    };
+    let probes: Vec<BitVec> = (0..6u64).map(filter_for).collect();
+    let expected = oracle_top_k("auth-oracle", &records, &probes, 4);
+    let mut alice = Client::connect_retry_with(
+        &front_addr,
+        Some(alice_auth.clone()),
+        20,
+        Duration::from_millis(10),
+    )
+    .unwrap();
+    for (probe, want) in probes.iter().zip(&expected) {
+        assert_eq!(&alice.query(probe, 4).unwrap(), want);
+    }
+    let stats = alice.stats().unwrap();
+    assert_eq!(stats.cluster_shards, SHARDS as u32);
+    assert_eq!(stats.shards_down, 0);
+    assert_eq!(stats.records, records.len() as u64);
+
+    // Routed inserts work over the authenticated shard leg too.
+    let fresh: Vec<(u64, BitVec)> = (70_000..70_010u64).map(|id| (id, filter_for(id))).collect();
+    let (count, _) = alice.insert(&fresh).unwrap();
+    assert_eq!(count, 10);
+    for (id, filter) in &fresh {
+        assert_eq!(alice.query(filter, 1).unwrap()[0].id, *id);
+    }
+
+    // A plaintext client is refused before any request is interpreted.
+    let mut plain = Client::connect(&front_addr).unwrap();
+    match plain.stats() {
+        Err(PprlError::ProtocolError(msg)) => {
+            assert!(msg.contains("authentication required"), "{msg}")
+        }
+        other => panic!("expected an authentication-required error, got {other:?}"),
+    }
+
+    // A wrong-key client fails the handshake at connect.
+    let wrong = Client::connect_with(
+        &front_addr,
+        Some(ClientAuth {
+            identity: "alice".into(),
+            key: PartyKey::from_bytes([0x5A; 32]),
+            tenant: "default".into(),
+            encrypt: false,
+        }),
+    );
+    match wrong {
+        Err(PprlError::Auth(_)) => {}
+        other => panic!(
+            "expected a handshake auth error, got {:?}",
+            other.map(|_| ())
+        ),
+    }
+
+    // Shutdown through the front end needs a privileged identity.
+    match alice.shutdown() {
+        Err(PprlError::ProtocolError(msg)) => assert!(msg.contains("not privileged"), "{msg}"),
+        other => panic!("expected a privilege error, got {other:?}"),
+    }
+    let mut admin = Client::connect_with(
+        &front_addr,
+        Some(ClientAuth {
+            identity: "admin".into(),
+            key: admin_key,
+            tenant: "default".into(),
+            encrypt: false,
+        }),
+    )
+    .unwrap();
+    admin.shutdown().unwrap();
+    front.join();
+
+    // Shards are still up behind their own auth wall; the coordinator's
+    // privileged identity tears them down.
+    let shut = coordinator.shutdown_shards();
+    assert_eq!(shut, SHARDS, "coordinator failed to shut down its shards");
+    for shard in shards {
+        shard.join();
     }
     for dir in dirs {
         std::fs::remove_dir_all(&dir).ok();

@@ -69,6 +69,23 @@ pub enum PprlError {
     /// A persistent-store failure: an I/O error, or a segment/manifest/log
     /// file that is corrupted, truncated, or structurally malformed.
     Storage(String),
+    /// A session-security failure: a failed or malformed handshake, an
+    /// unknown identity, a wrong party key, a frame whose MAC does not
+    /// verify, or a replayed/stale sequence number. Distinct from
+    /// [`PprlError::Transport`] (accidental corruption) because the
+    /// correct reaction differs: transport errors may be retried,
+    /// authentication failures mean the peer or its key is wrong.
+    Auth(String),
+    /// An authenticated identity asked for a tenant namespace it is not
+    /// mapped to. The request was *understood* and the caller's key was
+    /// valid — this is an authorisation boundary, not a garbled frame,
+    /// so it names both sides for the operator.
+    CrossTenant {
+        /// The authenticated client identity.
+        identity: String,
+        /// The tenant namespace the client requested.
+        requested: String,
+    },
 }
 
 impl PprlError {
@@ -124,6 +141,15 @@ impl fmt::Display for PprlError {
                  shards"
             ),
             PprlError::Storage(msg) => write!(f, "storage error: {msg}"),
+            PprlError::Auth(msg) => write!(f, "authentication error: {msg}"),
+            PprlError::CrossTenant {
+                identity,
+                requested,
+            } => write!(
+                f,
+                "cross-tenant access denied: identity `{identity}` is not \
+                 authorised for tenant `{requested}`"
+            ),
         }
     }
 }
@@ -206,6 +232,21 @@ mod tests {
         assert!(msg.contains("[1]"), "{msg}");
         assert!(msg.contains("duplicate"), "{msg}");
         assert!(msg.contains("connection reset"), "{msg}");
+    }
+
+    #[test]
+    fn display_auth_and_cross_tenant() {
+        assert!(PprlError::Auth("frame MAC mismatch".into())
+            .to_string()
+            .starts_with("authentication error"));
+        let e = PprlError::CrossTenant {
+            identity: "alice".into(),
+            requested: "org-b".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("cross-tenant access denied"), "{msg}");
+        assert!(msg.contains("`alice`"), "{msg}");
+        assert!(msg.contains("`org-b`"), "{msg}");
     }
 
     #[test]

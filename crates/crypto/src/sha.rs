@@ -194,6 +194,28 @@ pub fn hmac_sha1(key: &[u8], message: &[u8]) -> Sha1Digest {
     sha1(&outer)
 }
 
+/// Constant-time equality for digests, MACs, and checksums.
+///
+/// `derive(PartialEq)` on byte slices short-circuits at the first
+/// mismatch, so the comparison time leaks how many leading bytes an
+/// attacker guessed right — enough, over a network, to forge a MAC one
+/// byte at a time. This compare accumulates the XOR of every byte pair
+/// and only inspects the accumulator at the end; the length check is
+/// not secret (frame layouts are public). Use it whenever the
+/// comparison input can be chosen by a peer: frame MACs, handshake
+/// confirmations, stored-key fingerprints.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // black_box keeps the optimiser from rediscovering the early exit.
+    std::hint::black_box(acc) == 0
+}
+
 /// First 8 bytes of a digest as a big-endian `u64` (for hash-to-index use).
 pub fn digest_prefix_u64(digest: &[u8]) -> u64 {
     let mut b = [0u8; 8];
@@ -298,6 +320,49 @@ mod tests {
         let m = b"peter";
         assert_ne!(hmac_sha256(b"k1", m), hmac_sha256(b"k2", m));
         assert_ne!(hmac_sha1(b"k1", m), hmac_sha1(b"k2", m));
+    }
+
+    #[test]
+    fn ct_eq_matches_derived_partial_eq() {
+        // On every input pair, ct_eq must agree exactly with the slice
+        // PartialEq it replaces — it changes timing, never the answer.
+        let mut x = 0x9e37_79b9u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for len in [0usize, 1, 8, 20, 32, 33, 64] {
+            for _ in 0..50 {
+                let a: Vec<u8> = (0..len).map(|_| step() as u8).collect();
+                let mut b = a.clone();
+                assert_eq!(ct_eq(&a, &b), a == b);
+                assert!(ct_eq(&a, &b));
+                if len > 0 {
+                    // Flip one bit: both compares must say "different".
+                    let r = step();
+                    let pos = (r as usize) % len;
+                    b[pos] ^= 1 << ((r >> 8) % 8);
+                    assert_eq!(ct_eq(&a, &b), a == b);
+                    assert!(!ct_eq(&a, &b));
+                }
+            }
+        }
+        // Length mismatches are unequal, like PartialEq on slices.
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abcd", b"abc"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_on_real_macs() {
+        let a = hmac_sha256(b"k1", b"msg");
+        let b = hmac_sha256(b"k1", b"msg");
+        let c = hmac_sha256(b"k2", b"msg");
+        assert!(ct_eq(&a, &b));
+        assert!(!ct_eq(&a, &c));
+        assert_eq!(ct_eq(&a, &c), a == c);
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! A blocking client for the `pprl-server` wire protocol.
+//! A blocking client for the `pprl-server` wire protocol, speaking
+//! either plaintext wire v3 or an authenticated wire v4 session.
 
 use crate::wire::{read_payload, write_payload, Incoming, Request, Response, StatsReport};
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
 use pprl_core::rng::SplitMix64;
 use pprl_index::query::Hit;
+use pprl_session::channel::SecureChannel;
+use pprl_session::handshake::{client_handshake, ClientAuth, HandshakeOutcome};
+use pprl_session::keys::entropy_rng;
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -29,22 +33,42 @@ fn jitter_seed(addr: &str) -> u64 {
 
 /// A connected client. One request is in flight at a time; the
 /// connection persists across requests.
+///
+/// With [`Client::connect_with`] and a [`ClientAuth`], every connection
+/// (including reconnects after `Busy` rejections) runs the wire v4
+/// handshake and all traffic travels in authenticated — optionally
+/// encrypted — session frames. Without one, the client speaks plaintext
+/// wire v3 exactly as before.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    channel: Option<SecureChannel>,
+    auth: Option<ClientAuth>,
     addr: String,
     deadline: Duration,
     rng: SplitMix64,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) in plaintext mode.
     pub fn connect(addr: &str) -> Result<Client> {
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects to `addr`, authenticating with `auth` when given. The
+    /// handshake absorbs pre-handshake `Busy` rejections with bounded
+    /// backoff, like requests do.
+    pub fn connect_with(addr: &str, auth: Option<ClientAuth>) -> Result<Client> {
+        let mut rng = SplitMix64::new(jitter_seed(addr));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let (stream, channel) = Self::establish(addr, auth.as_ref(), &mut rng, deadline)?;
         Ok(Client {
-            stream: Self::open_stream(addr)?,
+            stream,
+            channel,
+            auth,
             addr: addr.to_string(),
             deadline: Duration::from_secs(60),
-            rng: SplitMix64::new(jitter_seed(addr)),
+            rng,
         })
     }
 
@@ -60,6 +84,41 @@ impl Client {
         Ok(stream)
     }
 
+    /// Opens a socket and, when authenticating, completes the handshake,
+    /// backing off through pre-handshake `Busy` rejections until
+    /// `deadline`.
+    fn establish(
+        addr: &str,
+        auth: Option<&ClientAuth>,
+        rng: &mut SplitMix64,
+        deadline: Instant,
+    ) -> Result<(TcpStream, Option<SecureChannel>)> {
+        let mut attempt: u32 = 0;
+        loop {
+            let mut stream = Self::open_stream(addr)?;
+            let Some(auth) = auth else {
+                return Ok((stream, None));
+            };
+            let mut hs_rng = entropy_rng();
+            match client_handshake(&mut stream, auth, &mut hs_rng)? {
+                HandshakeOutcome::Established(channel) => return Ok((stream, Some(channel))),
+                HandshakeOutcome::Busy { retry_after_ms } => {
+                    attempt += 1;
+                    let base = u64::from(retry_after_ms.max(1))
+                        .saturating_mul(1 << (attempt - 1).min(6))
+                        .min(MAX_BACKOFF_MS);
+                    let wait = Duration::from_millis(base / 2 + rng.next_below(base / 2 + 1));
+                    if Instant::now() + wait >= deadline {
+                        return Err(PprlError::Timeout(format!(
+                            "server still busy after {attempt} handshake attempts"
+                        )));
+                    }
+                    std::thread::sleep(wait);
+                }
+            }
+        }
+    }
+
     /// Sets the overall per-call deadline (default 60 s): the budget one
     /// [`call`] may spend on the request, server think time, and any
     /// `Busy` backoff-and-retry cycles combined.
@@ -72,10 +131,25 @@ impl Client {
     /// Connects, retrying up to `attempts` times with `delay` between
     /// tries — for racing a server that is still binding its port.
     pub fn connect_retry(addr: &str, attempts: u32, delay: Duration) -> Result<Client> {
+        Client::connect_retry_with(addr, None, attempts, delay)
+    }
+
+    /// [`Client::connect_retry`] with optional authentication. Auth
+    /// rejections (wrong key, unknown identity, tenant mismatch) are
+    /// returned immediately — retrying the same credentials cannot
+    /// succeed, and hammering the handshake would only mask the real
+    /// error behind a timeout.
+    pub fn connect_retry_with(
+        addr: &str,
+        auth: Option<ClientAuth>,
+        attempts: u32,
+        delay: Duration,
+    ) -> Result<Client> {
         let mut last = PprlError::Transport(format!("no attempt made connecting to {addr}"));
         for _ in 0..attempts.max(1) {
-            match Client::connect(addr) {
+            match Client::connect_with(addr, auth.clone()) {
                 Ok(c) => return Ok(c),
+                Err(e @ (PprlError::Auth(_) | PprlError::CrossTenant { .. })) => return Err(e),
                 Err(e) => last = e,
             }
             std::thread::sleep(delay);
@@ -113,8 +187,12 @@ impl Client {
                         )));
                     }
                     std::thread::sleep(wait);
-                    // The server closed the rejected connection.
-                    self.stream = Self::open_stream(&self.addr)?;
+                    // The server closed the rejected connection; an
+                    // authenticated client re-handshakes on the new one.
+                    let (stream, channel) =
+                        Self::establish(&self.addr, self.auth.as_ref(), &mut self.rng, deadline)?;
+                    self.stream = stream;
+                    self.channel = channel;
                 }
                 Response::ServerError { message } => {
                     return Err(PprlError::ProtocolError(format!(
@@ -128,7 +206,11 @@ impl Client {
 
     /// One request/response exchange on the current connection.
     fn call_once(&mut self, request: &Request, deadline: Instant) -> Result<Response> {
-        write_payload(&mut self.stream, &request.encode())?;
+        let encoded = request.encode();
+        match &mut self.channel {
+            Some(ch) => ch.send(&mut self.stream, &encoded)?,
+            None => write_payload(&mut self.stream, &encoded)?,
+        }
         loop {
             if Instant::now() >= deadline {
                 return Err(PprlError::Timeout(format!(
@@ -136,7 +218,11 @@ impl Client {
                     self.deadline.as_millis()
                 )));
             }
-            match read_payload(&mut self.stream)? {
+            let incoming = match &mut self.channel {
+                Some(ch) => ch.recv(&mut self.stream)?,
+                None => read_payload(&mut self.stream)?,
+            };
+            match incoming {
                 Incoming::Payload(p) => return Response::decode(&p),
                 Incoming::TimedOut => continue, // server still working
                 Incoming::Eof => {

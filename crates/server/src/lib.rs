@@ -45,6 +45,11 @@ pub mod snapshot;
 pub mod wire;
 
 pub use client::Client;
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_auth, ServerBackend, ServerConfig, ServerHandle};
 pub use service::{LinkageService, ServiceConfig};
 pub use wire::StatsReport;
+
+// Session-layer types callers need to drive authenticated mode.
+pub use pprl_session::handshake::ClientAuth;
+pub use pprl_session::keys::PartyKey;
+pub use pprl_session::registry::{AuthRegistry, TenantGrant};

@@ -20,6 +20,10 @@ use crate::service::{LinkageService, ServiceConfig};
 use crate::wire::{read_payload, write_payload, Incoming, Request, Response};
 use pprl_core::error::{PprlError, Result};
 use pprl_index::store::TieredPolicy;
+use pprl_session::channel::SESSION_WIRE_VERSION;
+use pprl_session::handshake::{server_handshake, ServerSession};
+use pprl_session::keys::entropy_rng;
+use pprl_session::registry::AuthRegistry;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,9 +96,48 @@ impl ServerConfig {
     }
 }
 
+/// The set of tenant namespaces one server process hosts, plus (when
+/// authentication is on) the identity registry gating access to them.
+///
+/// A plaintext server is the degenerate case: one tenant named
+/// `default`, no registry. An authenticated server maps each tenant
+/// name to its own [`LinkageService`] over its own index directory —
+/// disjoint stores, snapshots, caches, and metrics, so per-tenant
+/// `STATS` are exactly what a dedicated single-tenant server would
+/// report.
+pub struct ServerBackend {
+    entries: Vec<(String, Arc<LinkageService>)>,
+    registry: Option<AuthRegistry>,
+}
+
+impl ServerBackend {
+    /// The service for `tenant`, if this server hosts it.
+    pub fn service(&self, tenant: &str) -> Option<&Arc<LinkageService>> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, svc)| svc)
+    }
+
+    /// The first (default) tenant's service.
+    pub fn default_service(&self) -> &Arc<LinkageService> {
+        &self.entries[0].1
+    }
+
+    /// Tenant names hosted by this server, in load order.
+    pub fn tenants(&self) -> Vec<&str> {
+        self.entries.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// The identity registry, when authentication is enabled.
+    pub fn registry(&self) -> Option<&AuthRegistry> {
+        self.registry.as_ref()
+    }
+}
+
 /// Everything a session needs, shared across threads.
 struct ServerContext {
-    service: Arc<LinkageService>,
+    backend: Arc<ServerBackend>,
     shutdown: Arc<AtomicBool>,
     workers: u32,
     queue_capacity: u32,
@@ -108,7 +151,7 @@ struct ServerContext {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    service: Arc<LinkageService>,
+    backend: Arc<ServerBackend>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -118,9 +161,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared service (for in-process inspection and tests).
+    /// The default tenant's service (for in-process inspection and tests).
     pub fn service(&self) -> &Arc<LinkageService> {
-        &self.service
+        self.backend.default_service()
+    }
+
+    /// The full tenant backend.
+    pub fn backend(&self) -> &Arc<ServerBackend> {
+        &self.backend
     }
 
     /// True once a shutdown has been requested.
@@ -133,13 +181,13 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Waits for every server thread to exit. Returns the service so
-    /// callers can read final stats.
+    /// Waits for every server thread to exit. Returns the default
+    /// tenant's service so callers can read final stats.
     pub fn join(self) -> Arc<LinkageService> {
         for t in self.threads {
             let _ = t.join();
         }
-        self.service
+        Arc::clone(self.backend.default_service())
     }
 
     /// Requests shutdown and waits for it to complete.
@@ -155,14 +203,75 @@ impl ServerHandle {
 /// threads.
 pub fn serve(dir: &Path, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
     config.validate()?;
-    let service = Arc::new(LinkageService::open(
+    let service = open_service(dir, &config)?;
+    let backend = ServerBackend {
+        entries: vec![("default".to_string(), service)],
+        registry: None,
+    };
+    serve_backend(backend, addr, config)
+}
+
+/// Serves with authentication and multi-tenant namespaces enabled.
+///
+/// Every connection must complete the wire v4 handshake against
+/// `registry`; plaintext v3 requests are rejected. The directory layout
+/// under `root` follows a simple rule: if `root` itself contains a
+/// `MANIFEST` it is served as the single tenant `default`; otherwise
+/// each tenant named by the registry's grants is served from
+/// `root/<tenant>`, which must already hold an index.
+pub fn serve_auth(
+    root: &Path,
+    addr: &str,
+    config: ServerConfig,
+    registry: AuthRegistry,
+) -> Result<ServerHandle> {
+    config.validate()?;
+    if registry.is_empty() {
+        return Err(PprlError::Auth(
+            "auth registry is empty: no identities would be able to connect".into(),
+        ));
+    }
+    let mut entries = Vec::new();
+    if root.join("MANIFEST").exists() {
+        entries.push(("default".to_string(), open_service(root, &config)?));
+    } else {
+        for tenant in registry.tenants() {
+            let dir = root.join(&tenant);
+            if !dir.join("MANIFEST").exists() {
+                return Err(PprlError::Storage(format!(
+                    "tenant `{tenant}` has no index at {} (expected a MANIFEST)",
+                    dir.display()
+                )));
+            }
+            let service = open_service(&dir, &config)?;
+            entries.push((tenant, service));
+        }
+    }
+    if entries.is_empty() {
+        return Err(PprlError::Auth(
+            "no tenant namespaces to serve: grant at least one identity a named tenant".into(),
+        ));
+    }
+    let backend = ServerBackend {
+        entries,
+        registry: Some(registry),
+    };
+    serve_backend(backend, addr, config)
+}
+
+fn open_service(dir: &Path, config: &ServerConfig) -> Result<Arc<LinkageService>> {
+    Ok(Arc::new(LinkageService::open(
         dir,
         ServiceConfig {
             query_threads: config.query_threads,
             cache_capacity: config.cache_capacity,
             tiered: config.tiered,
         },
-    )?);
+    )?))
+}
+
+fn serve_backend(backend: ServerBackend, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
+    let backend = Arc::new(backend);
     let listener = TcpListener::bind(addr)
         .map_err(|e| PprlError::Transport(format!("binding {addr}: {e}")))?;
     let local_addr = listener
@@ -175,7 +284,7 @@ pub fn serve(dir: &Path, addr: &str, config: ServerConfig) -> Result<ServerHandl
     let shutdown = Arc::new(AtomicBool::new(false));
     let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.queue_capacity));
     let context = Arc::new(ServerContext {
-        service: Arc::clone(&service),
+        backend: Arc::clone(&backend),
         shutdown: Arc::clone(&shutdown),
         workers: config.workers as u32,
         queue_capacity: config.queue_capacity as u32,
@@ -198,17 +307,21 @@ pub fn serve(dir: &Path, addr: &str, config: ServerConfig) -> Result<ServerHandl
         }));
     }
     if let Some(interval) = config.compact_interval {
-        let service = Arc::clone(&service);
+        let services: Vec<Arc<LinkageService>> = backend
+            .entries
+            .iter()
+            .map(|(_, svc)| Arc::clone(svc))
+            .collect();
         let shutdown = Arc::clone(&shutdown);
         threads.push(std::thread::spawn(move || {
-            maintenance_loop(&service, &shutdown, interval);
+            maintenance_loop(&services, &shutdown, interval);
         }));
     }
 
     Ok(ServerHandle {
         addr: local_addr,
         shutdown,
-        service,
+        backend,
         threads,
     })
 }
@@ -221,7 +334,10 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, context:
                 let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
                 let _ = stream.set_write_timeout(Some(context.write_timeout));
                 if let Err(mut rejected) = queue.try_push(stream) {
-                    crate::metrics::Metrics::add(&context.service.metrics.busy_rejected, 1);
+                    crate::metrics::Metrics::add(
+                        &context.backend.default_service().metrics.busy_rejected,
+                        1,
+                    );
                     let busy = Response::Busy {
                         retry_after_ms: context.retry_after_ms,
                     };
@@ -255,7 +371,7 @@ fn worker_loop(queue: &BoundedQueue<TcpStream>, context: &ServerContext) {
     }
 }
 
-fn maintenance_loop(service: &LinkageService, shutdown: &AtomicBool, interval: Duration) {
+fn maintenance_loop(services: &[Arc<LinkageService>], shutdown: &AtomicBool, interval: Duration) {
     let slice = Duration::from_millis(20);
     let mut failures: u32 = 0;
     'outer: loop {
@@ -273,57 +389,49 @@ fn maintenance_loop(service: &LinkageService, shutdown: &AtomicBool, interval: D
         }
         // Compaction is best-effort maintenance: a failed step (e.g. a
         // transient I/O error) must not kill the serving path; a later
-        // tick retries. reclaim_drained runs inside compact_step.
-        match service.compact_step() {
-            Ok(_) => failures = 0,
-            Err(_) => failures = failures.saturating_add(1),
+        // tick retries. reclaim_drained runs inside compact_step. One
+        // thread round-robins every tenant's store.
+        let mut any_failed = false;
+        for service in services {
+            if service.compact_step().is_err() {
+                any_failed = true;
+            }
         }
+        failures = if any_failed {
+            failures.saturating_add(1)
+        } else {
+            0
+        };
     }
-    let _ = service.reclaim_drained();
+    for service in services {
+        let _ = service.reclaim_drained();
+    }
 }
 
 /// Serves one connection until EOF, shutdown, or a framing error.
+///
+/// The first frame routes the connection: a payload leading with the
+/// session version byte enters the wire v4 handshake (when the server
+/// has a registry), anything else is a plaintext wire v3 request (only
+/// accepted when it does not). The mismatched combinations are both
+/// rejected with a plaintext `ServerError` naming the problem, since
+/// no session keys exist yet to say it authenticated.
 fn handle_session(mut stream: TcpStream, context: &ServerContext) {
     let mut idle = Duration::ZERO;
-    loop {
+    let first = loop {
         if context.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match read_payload(&mut stream) {
             Ok(Incoming::TimedOut) => {
-                // Each timed-out read is one POLL_INTERVAL of silence; a
-                // session idle past the cap is closed so it cannot pin
-                // its worker forever.
                 idle += POLL_INTERVAL;
                 if idle >= context.idle_timeout {
                     return;
                 }
-                continue;
             }
             Ok(Incoming::Eof) => return,
-            Ok(Incoming::Payload(payload)) => {
-                idle = Duration::ZERO;
-                let response = match Request::decode(&payload) {
-                    Ok(Request::Shutdown) => {
-                        let _ = write_payload(&mut stream, &Response::Bye.encode());
-                        context.shutdown.store(true, Ordering::SeqCst);
-                        return;
-                    }
-                    // The frame was checksum-intact, so the stream is
-                    // still in sync: report the bad body, keep serving.
-                    Err(e) => Response::ServerError {
-                        message: e.to_string(),
-                    },
-                    Ok(request) => dispatch(request, context),
-                };
-                if write_payload(&mut stream, &response.encode()).is_err() {
-                    return; // peer went away mid-response
-                }
-            }
+            Ok(Incoming::Payload(payload)) => break payload,
             Err(e) => {
-                // Framing is broken (bad checksum / truncation): the
-                // byte stream can no longer be trusted, so answer
-                // best-effort and drop the connection.
                 let err = Response::ServerError {
                     message: e.to_string(),
                 };
@@ -331,11 +439,162 @@ fn handle_session(mut stream: TcpStream, context: &ServerContext) {
                 return;
             }
         }
+    };
+
+    match (context.backend.registry(), first.first()) {
+        (Some(registry), Some(&SESSION_WIRE_VERSION)) => {
+            let mut rng = entropy_rng();
+            // On failure the handshake has already sent the typed
+            // AUTH_ERROR where one is safe to send; just close.
+            if let Ok(session) = server_handshake(&mut stream, &first, registry, &mut rng) {
+                serve_authenticated(stream, session, context);
+            }
+        }
+        (Some(_), _) => {
+            // Auth is on but the peer spoke plaintext v3: refuse before
+            // interpreting anything.
+            let err = Response::ServerError {
+                message: "authentication required: this server only accepts \
+                          wire v4 sessions (connect with an identity and key)"
+                    .into(),
+            };
+            let _ = write_payload(&mut stream, &err.encode());
+        }
+        (None, Some(&SESSION_WIRE_VERSION)) => {
+            let err = Response::ServerError {
+                message: "this server is not configured for authenticated \
+                          sessions (start it with an auth directory)"
+                    .into(),
+            };
+            let _ = write_payload(&mut stream, &err.encode());
+        }
+        (None, _) => serve_plain(stream, first, context, idle),
     }
 }
 
-fn dispatch(request: Request, context: &ServerContext) -> Response {
-    let service = &context.service;
+/// The plaintext wire v3 session loop, starting from an already-read
+/// first payload.
+fn serve_plain(mut stream: TcpStream, first: Vec<u8>, context: &ServerContext, mut idle: Duration) {
+    let service = Arc::clone(context.backend.default_service());
+    let mut pending = Some(first);
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match pending.take() {
+            Some(p) => p,
+            None => match read_payload(&mut stream) {
+                Ok(Incoming::TimedOut) => {
+                    // Each timed-out read is one POLL_INTERVAL of
+                    // silence; a session idle past the cap is closed so
+                    // it cannot pin its worker forever.
+                    idle += POLL_INTERVAL;
+                    if idle >= context.idle_timeout {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(Incoming::Eof) => return,
+                Ok(Incoming::Payload(p)) => p,
+                Err(e) => {
+                    // Framing is broken (bad checksum / truncation): the
+                    // byte stream can no longer be trusted, so answer
+                    // best-effort and drop the connection.
+                    let err = Response::ServerError {
+                        message: e.to_string(),
+                    };
+                    let _ = write_payload(&mut stream, &err.encode());
+                    return;
+                }
+            },
+        };
+        idle = Duration::ZERO;
+        let response = match Request::decode(&payload) {
+            Ok(Request::Shutdown) => {
+                let _ = write_payload(&mut stream, &Response::Bye.encode());
+                context.shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            // The frame was checksum-intact, so the stream is
+            // still in sync: report the bad body, keep serving.
+            Err(e) => Response::ServerError {
+                message: e.to_string(),
+            },
+            Ok(request) => dispatch(request, &service, context),
+        };
+        if write_payload(&mut stream, &response.encode()).is_err() {
+            return; // peer went away mid-response
+        }
+    }
+}
+
+/// The authenticated session loop: every frame must open under the
+/// session's keys before its inner opcode is even looked at. A frame
+/// that fails its MAC or sequence check closes the connection without a
+/// reply — a forger gets no feedback beyond the drop.
+fn serve_authenticated(mut stream: TcpStream, mut session: ServerSession, context: &ServerContext) {
+    let service = context.backend.service(&session.tenant).cloned();
+    let mut idle = Duration::ZERO;
+    loop {
+        if context.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inner = match session.channel.recv(&mut stream) {
+            Ok(Incoming::TimedOut) => {
+                idle += POLL_INTERVAL;
+                if idle >= context.idle_timeout {
+                    return;
+                }
+                continue;
+            }
+            Ok(Incoming::Eof) => return,
+            Ok(Incoming::Payload(inner)) => inner,
+            Err(_) => return,
+        };
+        idle = Duration::ZERO;
+        let Some(service) = service.as_ref() else {
+            // A privileged identity may name any tenant at handshake;
+            // only some tenants have an index on this node.
+            let err = Response::ServerError {
+                message: format!(
+                    "tenant `{}` has no index namespace on this server",
+                    session.tenant
+                ),
+            };
+            let _ = session.channel.send(&mut stream, &err.encode());
+            return;
+        };
+        let response = match Request::decode(&inner) {
+            Ok(Request::Shutdown) => {
+                if session.privileged {
+                    let _ = session.channel.send(&mut stream, &Response::Bye.encode());
+                    context.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Response::ServerError {
+                    message: PprlError::Auth(format!(
+                        "identity `{}` is not privileged to shut down the server",
+                        session.identity
+                    ))
+                    .to_string(),
+                }
+            }
+            Err(e) => Response::ServerError {
+                message: e.to_string(),
+            },
+            Ok(request) => dispatch(request, service, context),
+        };
+        if session
+            .channel
+            .send(&mut stream, &response.encode())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: Request, service: &LinkageService, context: &ServerContext) -> Response {
     let result = match request {
         Request::Query { filter, k } => service.query(&filter, k as usize).map(Response::Hits),
         Request::Link {

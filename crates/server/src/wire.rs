@@ -27,13 +27,13 @@
 
 use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
-use pprl_index::format::fnv1a;
 use pprl_index::query::Hit;
-use std::io::{Read, Write};
 
-/// Hard cap on a frame payload (64 MiB): a garbled or hostile length
-/// prefix must never make the server allocate unbounded memory.
-pub const MAX_PAYLOAD: usize = 64 << 20;
+// The framing layer (length prefix + FNV-1a checksum) moved down into
+// `pprl-session::frame` when the authenticated session layer arrived —
+// wire v4 frames travel in the identical envelope. Re-exported here so
+// every existing `wire::read_payload` caller keeps compiling.
+pub use pprl_session::frame::{read_payload, write_payload, Incoming, MAX_PAYLOAD};
 
 /// Wire protocol version, the first byte of every frame payload.
 /// Version 1 had no version byte (the payload began with the opcode);
@@ -68,6 +68,14 @@ const OP_STATS_REPLY: u8 = 0x84;
 const OP_BUSY: u8 = 0x85;
 const OP_ERROR: u8 = 0x86;
 const OP_BYE: u8 = 0x87;
+
+// The session crate recognises pre-handshake `Busy` frames structurally
+// (it cannot depend on this crate); keep the two views of the plaintext
+// protocol pinned together at compile time.
+const _: () = {
+    assert!(WIRE_VERSION == pprl_session::frame::INNER_WIRE_VERSION);
+    assert!(OP_BUSY == pprl_session::frame::INNER_OP_BUSY);
+};
 
 fn transport_err(msg: impl Into<String>) -> PprlError {
     PprlError::Transport(msg.into())
@@ -551,72 +559,6 @@ impl Response {
         r.finish()?;
         Ok(resp)
     }
-}
-
-/// What one blocking read attempt on a session socket produced.
-#[derive(Debug)]
-pub enum Incoming {
-    /// A complete, checksum-verified frame payload.
-    Payload(Vec<u8>),
-    /// The peer closed the connection before a new frame started.
-    Eof,
-    /// The socket read timed out between frames (the caller should check
-    /// its shutdown flag and try again).
-    TimedOut,
-}
-
-/// Reads one frame payload from `r`, verifying length and checksum.
-///
-/// Timeouts and EOF *before the first byte of a frame* are session
-/// conditions ([`Incoming::TimedOut`] / [`Incoming::Eof`]); anything that
-/// cuts a frame in half — EOF mid-frame, a bad checksum, an oversized
-/// length prefix — is a typed [`PprlError::Transport`] error.
-pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
-    let mut len_bytes = [0u8; 4];
-    if let Err(e) = r.read_exact(&mut len_bytes) {
-        return match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => Ok(Incoming::Eof),
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(Incoming::TimedOut),
-            _ => Err(transport_err(format!("reading frame length: {e}"))),
-        };
-    }
-    let plen = u32::from_le_bytes(len_bytes) as usize;
-    if plen == 0 || plen > MAX_PAYLOAD {
-        return Err(transport_err(format!(
-            "frame length {plen} outside (0, {MAX_PAYLOAD}]"
-        )));
-    }
-    let mut rest = vec![0u8; plen + 8];
-    r.read_exact(&mut rest)
-        .map_err(|e| transport_err(format!("reading {plen}-byte frame: {e}")))?;
-    let declared = u64::from_le_bytes(rest[plen..].try_into().expect("8 bytes"));
-    let mut sum_input = Vec::with_capacity(4 + plen);
-    sum_input.extend_from_slice(&len_bytes);
-    sum_input.extend_from_slice(&rest[..plen]);
-    if fnv1a(&sum_input) != declared {
-        return Err(transport_err("frame checksum mismatch"));
-    }
-    rest.truncate(plen);
-    Ok(Incoming::Payload(rest))
-}
-
-/// Writes one frame carrying `payload` to `w` and flushes.
-pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<()> {
-    if payload.is_empty() || payload.len() > MAX_PAYLOAD {
-        return Err(transport_err(format!(
-            "refusing to send frame of {} bytes",
-            payload.len()
-        )));
-    }
-    let mut frame = Vec::with_capacity(payload.len() + 12);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(payload);
-    let sum = fnv1a(&frame);
-    frame.extend_from_slice(&sum.to_le_bytes());
-    w.write_all(&frame)
-        .map_err(|e| transport_err(format!("writing frame: {e}")))?;
-    w.flush()
-        .map_err(|e| transport_err(format!("flushing frame: {e}")))
 }
 
 #[cfg(test)]

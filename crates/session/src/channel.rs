@@ -1,0 +1,354 @@
+//! The authenticated record layer: wire v4 `DATA` frames.
+//!
+//! After the handshake (see [`crate::handshake`]) both peers hold an
+//! established [`SecureChannel`]. Every application payload — a
+//! plaintext wire-v3 request or response — is wrapped as
+//!
+//! ```text
+//! version u8      = 4
+//! opcode  u8      = OP_DATA
+//! flags   u8      bit 0: body is encrypted
+//! seq     u64 LE  per-direction monotonic sequence number
+//! body    ...     the inner wire-v3 payload (possibly encrypted)
+//! mac     [32]    HMAC-SHA256(k_mac, payload[..len-32])
+//! ```
+//!
+//! The MAC covers the version byte, opcode, flags, sequence number,
+//! and body, so nothing in the frame can be flipped, and a frame can
+//! never be replayed into the other direction (directional keys) or
+//! re-ordered/replayed within a direction (the receiver requires
+//! `seq` to equal exactly the next expected value). Verification
+//! order on receive is deliberate: MAC first (constant-time), then
+//! sequence number, and only then is the inner payload surfaced —
+//! the inner opcode of a forged frame is never interpreted.
+//!
+//! Encryption is an HMAC-SHA256 counter-mode keystream over a
+//! direction-specific key: block *i* of frame *seq* is
+//! `HMAC(k_enc, seq LE ‖ i LE)`. The (seq, i) input pair never
+//! repeats within a session and the send/recv keys differ, so the
+//! keystream never repeats. Encrypt-then-MAC throughout.
+
+use crate::frame::{read_payload, write_payload, Incoming, MAX_PAYLOAD};
+use pprl_core::error::{PprlError, Result};
+use pprl_crypto::sha::{ct_eq, hmac_sha256};
+use std::io::{Read, Write};
+
+/// Wire version of the session (outer) protocol.
+pub const SESSION_WIRE_VERSION: u8 = 4;
+
+/// Session-layer opcodes. `HELLO..ACCEPT` appear only during the
+/// handshake; `DATA` carries everything after it.
+pub const OP_HELLO: u8 = 0x41;
+/// Server handshake reply carrying its key share and confirmation MAC.
+pub const OP_WELCOME: u8 = 0x42;
+/// Client key-confirmation message.
+pub const OP_CONFIRM: u8 = 0x43;
+/// An authenticated (optionally encrypted) application frame.
+pub const OP_DATA: u8 = 0x44;
+/// Typed handshake rejection (see [`crate::handshake`] for codes).
+pub const OP_AUTH_ERROR: u8 = 0x45;
+/// Handshake completion: the server accepted the session.
+pub const OP_ACCEPT: u8 = 0x46;
+
+/// `flags` bit marking an encrypted `DATA` body.
+pub const FLAG_ENCRYPTED: u8 = 0x01;
+
+const HEADER_LEN: usize = 1 + 1 + 1 + 8;
+const MAC_LEN: usize = 32;
+
+fn auth_err(msg: impl Into<String>) -> PprlError {
+    PprlError::Auth(msg.into())
+}
+
+/// Key material and state for one direction of a session.
+#[derive(Debug)]
+struct Direction {
+    mac_key: [u8; 32],
+    enc_key: [u8; 32],
+    /// Next sequence number (sender: to stamp; receiver: to require).
+    seq: u64,
+}
+
+/// An established authenticated session over which [`seal`]ed frames
+/// travel. Created by the handshake; not constructible from raw keys by
+/// application code.
+///
+/// [`seal`]: SecureChannel::seal
+#[derive(Debug)]
+pub struct SecureChannel {
+    send: Direction,
+    recv: Direction,
+    encrypt: bool,
+}
+
+fn derive(master: &[u8; 32], label: &str) -> [u8; 32] {
+    hmac_sha256(master, label.as_bytes())
+}
+
+/// XORs the HMAC-CTR keystream for (`key`, `seq`) into `body` in place.
+/// Symmetric: applying it twice restores the plaintext.
+fn apply_keystream(key: &[u8; 32], seq: u64, body: &mut [u8]) {
+    let mut input = [0u8; 16];
+    input[..8].copy_from_slice(&seq.to_le_bytes());
+    for (i, chunk) in body.chunks_mut(32).enumerate() {
+        input[8..].copy_from_slice(&(i as u64).to_le_bytes());
+        let block = hmac_sha256(key, &input);
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+impl SecureChannel {
+    fn new(master: &[u8; 32], is_client: bool, encrypt: bool) -> SecureChannel {
+        let c2s = Direction {
+            mac_key: derive(master, "c2s-mac"),
+            enc_key: derive(master, "c2s-enc"),
+            seq: 0,
+        };
+        let s2c = Direction {
+            mac_key: derive(master, "s2c-mac"),
+            enc_key: derive(master, "s2c-enc"),
+            seq: 0,
+        };
+        if is_client {
+            SecureChannel {
+                send: c2s,
+                recv: s2c,
+                encrypt,
+            }
+        } else {
+            SecureChannel {
+                send: s2c,
+                recv: c2s,
+                encrypt,
+            }
+        }
+    }
+
+    /// Builds the client end from the agreed master secret.
+    pub(crate) fn client(master: &[u8; 32], encrypt: bool) -> SecureChannel {
+        SecureChannel::new(master, true, encrypt)
+    }
+
+    /// Builds the server end from the agreed master secret.
+    pub(crate) fn server(master: &[u8; 32], encrypt: bool) -> SecureChannel {
+        SecureChannel::new(master, false, encrypt)
+    }
+
+    /// Whether `DATA` bodies on this channel are encrypted.
+    pub fn encrypted(&self) -> bool {
+        self.encrypt
+    }
+
+    /// Wraps an inner wire-v3 payload into an authenticated `DATA` frame
+    /// payload, consuming the next send sequence number.
+    pub fn seal(&mut self, inner: &[u8]) -> Result<Vec<u8>> {
+        if inner.len() + HEADER_LEN + MAC_LEN > MAX_PAYLOAD {
+            return Err(PprlError::Transport(format!(
+                "inner payload of {} bytes does not fit an authenticated frame",
+                inner.len()
+            )));
+        }
+        let seq = self.send.seq;
+        self.send.seq = seq
+            .checked_add(1)
+            .ok_or_else(|| auth_err("session sequence number exhausted; reconnect"))?;
+        let mut flags = 0u8;
+        let mut body = inner.to_vec();
+        if self.encrypt {
+            flags |= FLAG_ENCRYPTED;
+            apply_keystream(&self.send.enc_key, seq, &mut body);
+        }
+        let mut payload = Vec::with_capacity(HEADER_LEN + body.len() + MAC_LEN);
+        payload.push(SESSION_WIRE_VERSION);
+        payload.push(OP_DATA);
+        payload.push(flags);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.extend_from_slice(&body);
+        let mac = hmac_sha256(&self.send.mac_key, &payload);
+        payload.extend_from_slice(&mac);
+        Ok(payload)
+    }
+
+    /// Verifies and unwraps a received `DATA` frame payload, returning the
+    /// inner wire-v3 payload. MAC is checked (in constant time) before the
+    /// sequence number, and both before any byte of the inner payload is
+    /// surfaced to the caller.
+    pub fn open(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        if payload.len() < HEADER_LEN + MAC_LEN {
+            return Err(auth_err(format!(
+                "authenticated frame too short ({} bytes)",
+                payload.len()
+            )));
+        }
+        let (signed, mac) = payload.split_at(payload.len() - MAC_LEN);
+        let expected = hmac_sha256(&self.recv.mac_key, signed);
+        if !ct_eq(&expected, mac) {
+            return Err(auth_err("frame MAC verification failed"));
+        }
+        // Past this point the frame provably came from the peer, this
+        // direction, with these exact header bytes; now enforce ordering.
+        if signed[0] != SESSION_WIRE_VERSION {
+            return Err(auth_err(format!(
+                "unexpected session version {} in authenticated frame",
+                signed[0]
+            )));
+        }
+        if signed[1] != OP_DATA {
+            return Err(auth_err(format!(
+                "unexpected session opcode {:#x} in authenticated frame",
+                signed[1]
+            )));
+        }
+        let flags = signed[2];
+        let seq = u64::from_le_bytes(signed[3..11].try_into().unwrap());
+        if seq != self.recv.seq {
+            return Err(auth_err(format!(
+                "replayed or out-of-order frame: sequence {seq}, expected {}",
+                self.recv.seq
+            )));
+        }
+        self.recv.seq += 1;
+        let mut body = signed[HEADER_LEN..].to_vec();
+        if flags & FLAG_ENCRYPTED != 0 {
+            apply_keystream(&self.recv.enc_key, seq, &mut body);
+        } else if self.encrypt {
+            // An authenticated-but-plaintext frame on an encrypted channel
+            // means the peer disagrees about the session mode; refuse it
+            // rather than silently downgrade.
+            return Err(auth_err("plaintext frame on an encrypted session"));
+        }
+        Ok(body)
+    }
+
+    /// Seals `inner` and writes it as one frame.
+    pub fn send(&mut self, w: &mut impl Write, inner: &[u8]) -> Result<()> {
+        let payload = self.seal(inner)?;
+        write_payload(w, &payload)
+    }
+
+    /// Reads one frame and opens it. [`Incoming::Eof`] / [`Incoming::TimedOut`]
+    /// pass through untouched.
+    pub fn recv(&mut self, r: &mut impl Read) -> Result<Incoming> {
+        match read_payload(r)? {
+            Incoming::Payload(p) => Ok(Incoming::Payload(self.open(&p)?)),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(encrypt: bool) -> (SecureChannel, SecureChannel) {
+        let master = [7u8; 32];
+        (
+            SecureChannel::client(&master, encrypt),
+            SecureChannel::server(&master, encrypt),
+        )
+    }
+
+    #[test]
+    fn round_trip_plain_and_encrypted() {
+        for encrypt in [false, true] {
+            let (mut c, mut s) = pair(encrypt);
+            for msg in [&b"hello"[..], b"", b"a much longer payload spanning blocks"] {
+                let sealed = c.seal(msg).unwrap();
+                assert_eq!(s.open(&sealed).unwrap(), msg);
+                let reply = s.seal(msg).unwrap();
+                assert_eq!(c.open(&reply).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn encrypted_body_is_not_plaintext() {
+        let (mut c, _) = pair(true);
+        let msg = b"social security numbers";
+        let sealed = c.seal(msg).unwrap();
+        let body = &sealed[HEADER_LEN..sealed.len() - MAC_LEN];
+        assert_eq!(body.len(), msg.len());
+        assert_ne!(body, msg);
+    }
+
+    #[test]
+    fn every_byte_flip_rejected() {
+        let (mut c, mut s) = pair(false);
+        let sealed = c.seal(b"payload under test").unwrap();
+        for pos in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[pos] ^= 0x01;
+            let mut fresh = SecureChannel::server(&[7u8; 32], false);
+            assert!(fresh.open(&bad).is_err(), "flip at byte {pos} was accepted");
+        }
+        // The untampered frame still opens.
+        assert_eq!(s.open(&sealed).unwrap(), b"payload under test");
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut c, mut s) = pair(false);
+        let sealed = c.seal(b"once").unwrap();
+        assert!(s.open(&sealed).is_ok());
+        let err = s.open(&sealed).unwrap_err();
+        assert!(matches!(err, PprlError::Auth(_)), "{err}");
+        assert!(err.to_string().contains("sequence"), "{err}");
+    }
+
+    #[test]
+    fn cross_direction_replay_rejected() {
+        let (mut c, mut s) = pair(false);
+        let sealed = c.seal(b"client to server").unwrap();
+        // Reflecting the client's own frame back at it must fail: the
+        // directions use different MAC keys.
+        assert!(c.open(&sealed).is_err());
+        assert!(s.open(&sealed).is_ok());
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let (mut c, _) = pair(true);
+        let sealed = c.seal(b"truncate me").unwrap();
+        for cut in 0..sealed.len() {
+            let mut fresh = SecureChannel::server(&[7u8; 32], true);
+            assert!(fresh.open(&sealed[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn plaintext_on_encrypted_channel_rejected() {
+        let master = [9u8; 32];
+        let mut plain_client = SecureChannel::client(&master, false);
+        let mut enc_server = SecureChannel::server(&master, true);
+        let sealed = plain_client.seal(b"downgrade?").unwrap();
+        let err = enc_server.open(&sealed).unwrap_err();
+        assert!(err.to_string().contains("plaintext frame"), "{err}");
+    }
+
+    #[test]
+    fn send_recv_over_buffer() {
+        let (mut c, mut s) = pair(true);
+        let mut wire = Vec::new();
+        c.send(&mut wire, b"request").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let Incoming::Payload(inner) = s.recv(&mut cursor).unwrap() else {
+            panic!("expected payload");
+        };
+        assert_eq!(inner, b"request");
+    }
+
+    #[test]
+    fn keystream_differs_per_seq() {
+        let key = [3u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        apply_keystream(&key, 0, &mut a);
+        apply_keystream(&key, 1, &mut b);
+        assert_ne!(a, b);
+        // Symmetry: applying twice restores.
+        apply_keystream(&key, 0, &mut a);
+        assert_eq!(a, vec![0u8; 64]);
+    }
+}

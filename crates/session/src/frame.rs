@@ -1,0 +1,207 @@
+//! The byte-level framing shared by every TCP peer in the workspace:
+//! length prefix, payload, FNV-1a checksum.
+//!
+//! ```text
+//! plen    u32 LE   payload length in bytes
+//! payload          (wire v3 request/response, or a v4 session frame)
+//! fnv1a   u64 LE   checksum of the length prefix + payload
+//! ```
+//!
+//! This lived in `pprl-server::wire` through wire v3; it moved down
+//! here when the session layer arrived, because the authenticated
+//! record layer and the plaintext protocol share exactly this frame
+//! format — a v4 `HELLO` travels in the same envelope as a v3 `STATS`.
+//! `pprl-server::wire` re-exports everything in this module, so
+//! existing imports keep compiling.
+//!
+//! The FNV-1a absorb step is a bijection on `u64` for every fixed
+//! byte, so any single flipped byte changes the checksum; the explicit
+//! length prefix turns every truncation into a detectable short read.
+//! The checksum detects *accidents* only — an adversary can recompute
+//! it. Tamper resistance is the session layer's per-frame HMAC (see
+//! [`crate::channel::SecureChannel`]), which is why the checksum
+//! comparison below still uses [`pprl_crypto::sha::ct_eq`]: it costs
+//! nothing and keeps every frame-compare in the workspace on the
+//! constant-time path.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_crypto::sha::ct_eq;
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload (64 MiB): a garbled or hostile length
+/// prefix must never make a peer allocate unbounded memory.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes` (same function as `pprl_index::format::fnv1a`;
+/// duplicated here so the session layer does not depend on the store).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn transport_err(msg: impl Into<String>) -> PprlError {
+    PprlError::Transport(msg.into())
+}
+
+/// What one blocking read attempt on a session socket produced.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A complete, checksum-verified frame payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection before a new frame started.
+    Eof,
+    /// The socket read timed out between frames (the caller should check
+    /// its shutdown flag and try again).
+    TimedOut,
+}
+
+/// Reads one frame payload from `r`, verifying length and checksum.
+///
+/// Timeouts and EOF *before the first byte of a frame* are session
+/// conditions ([`Incoming::TimedOut`] / [`Incoming::Eof`]); anything that
+/// cuts a frame in half — EOF mid-frame, a bad checksum, an oversized
+/// length prefix — is a typed [`PprlError::Transport`] error.
+pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
+    let mut len_bytes = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len_bytes) {
+        return match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => Ok(Incoming::Eof),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(Incoming::TimedOut),
+            _ => Err(transport_err(format!("reading frame length: {e}"))),
+        };
+    }
+    let plen = u32::from_le_bytes(len_bytes) as usize;
+    if plen == 0 || plen > MAX_PAYLOAD {
+        return Err(transport_err(format!(
+            "frame length {plen} outside (0, {MAX_PAYLOAD}]"
+        )));
+    }
+    let mut rest = vec![0u8; plen + 8];
+    r.read_exact(&mut rest)
+        .map_err(|e| transport_err(format!("reading {plen}-byte frame: {e}")))?;
+    let declared = &rest[plen..];
+    let mut sum_input = Vec::with_capacity(4 + plen);
+    sum_input.extend_from_slice(&len_bytes);
+    sum_input.extend_from_slice(&rest[..plen]);
+    if !ct_eq(&fnv1a(&sum_input).to_le_bytes(), declared) {
+        return Err(transport_err("frame checksum mismatch"));
+    }
+    rest.truncate(plen);
+    Ok(Incoming::Payload(rest))
+}
+
+/// Writes one frame carrying `payload` to `w` and flushes.
+pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.is_empty() || payload.len() > MAX_PAYLOAD {
+        return Err(transport_err(format!(
+            "refusing to send frame of {} bytes",
+            payload.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let sum = fnv1a(&frame);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    w.write_all(&frame)
+        .map_err(|e| transport_err(format!("writing frame: {e}")))?;
+    w.flush()
+        .map_err(|e| transport_err(format!("flushing frame: {e}")))
+}
+
+/// Wire version of the *plaintext* request/response protocol carried
+/// inside session frames (and spoken bare by unauthenticated peers).
+/// `pprl-server::wire` asserts its own constant equals this one.
+pub const INNER_WIRE_VERSION: u8 = 3;
+
+/// Opcode of the plaintext `Busy` response (`pprl-server::wire`). The
+/// accept loop rejects overflow connections *before* any handshake, so
+/// an authenticating client must recognise this one plaintext reply.
+pub const INNER_OP_BUSY: u8 = 0x85;
+
+/// Recognises a plaintext v3 `Busy {retry_after_ms}` payload without
+/// depending on the server crate's decoder. Returns the retry hint.
+pub fn parse_plain_busy(payload: &[u8]) -> Option<u32> {
+    if payload.len() == 6 && payload[0] == INNER_WIRE_VERSION && payload[1] == INNER_OP_BUSY {
+        Some(u32::from_le_bytes(payload[2..6].try_into().ok()?))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_payload(&mut buf, b"hello").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let Incoming::Payload(p) = read_payload(&mut cursor).unwrap() else {
+            panic!("expected a payload");
+        };
+        assert_eq!(p, b"hello");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut buf = Vec::new();
+        write_payload(&mut buf, b"some payload bytes").unwrap();
+        for pos in 0..buf.len() {
+            for delta in [0x01u8, 0x80] {
+                let mut bad = buf.clone();
+                bad[pos] ^= delta;
+                let mut cursor = std::io::Cursor::new(bad);
+                match read_payload(&mut cursor) {
+                    Err(PprlError::Transport(_)) => {}
+                    Ok(Incoming::Payload(_)) => panic!("byte {pos} delta {delta:#x} undetected"),
+                    Ok(_) | Err(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_rejected_eof_clean() {
+        let mut buf = Vec::new();
+        write_payload(&mut buf, b"x").unwrap();
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_payload(&mut empty).unwrap(), Incoming::Eof));
+        for cut in 1..buf.len() {
+            let mut cursor = std::io::Cursor::new(buf[..cut].to_vec());
+            match read_payload(&mut cursor) {
+                Err(PprlError::Transport(_)) => {}
+                Ok(Incoming::Eof) if cut < 4 => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let mut zero = std::io::Cursor::new(vec![0u8; 12]);
+        assert!(matches!(
+            read_payload(&mut zero),
+            Err(PprlError::Transport(_))
+        ));
+        let mut w = Vec::new();
+        assert!(write_payload(&mut w, &[]).is_err());
+    }
+
+    #[test]
+    fn plain_busy_recognised() {
+        let mut payload = vec![INNER_WIRE_VERSION, INNER_OP_BUSY];
+        payload.extend_from_slice(&75u32.to_le_bytes());
+        assert_eq!(parse_plain_busy(&payload), Some(75));
+        assert_eq!(parse_plain_busy(&[4, 0x41]), None);
+        assert_eq!(parse_plain_busy(&payload[..5]), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Party keys: 32-byte pre-shared secrets with file storage.
+//!
+//! Each identity in a deployment holds one [`PartyKey`]. The key never
+//! authenticates traffic directly — it seeds the handshake's key
+//! confirmation and the HKDF-style session-key derivation (see
+//! [`crate::handshake`]), so a captured transcript reveals nothing
+//! about it beyond HMAC outputs.
+//!
+//! Key files are 64 lowercase hex characters plus a trailing newline,
+//! written with mode `0600` on Unix. Loading a missing, truncated, or
+//! malformed file returns a typed [`PprlError::Auth`] naming the path —
+//! never a panic — so the CLI and server can report key problems like
+//! any other configuration error.
+
+use pprl_core::error::{PprlError, Result};
+use pprl_core::rng::SplitMix64;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+
+/// A 32-byte party secret (pre-shared key).
+#[derive(Clone, PartialEq, Eq)]
+pub struct PartyKey([u8; 32]);
+
+impl PartyKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> PartyKey {
+        PartyKey(bytes)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Generates a fresh key from the best entropy available (see
+    /// [`entropy_rng`]).
+    pub fn generate() -> PartyKey {
+        let mut rng = entropy_rng();
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
+        }
+        PartyKey(bytes)
+    }
+
+    /// Parses a key from 64 hex characters (surrounding whitespace ignored).
+    pub fn from_hex(s: &str) -> Result<PartyKey> {
+        let s = s.trim();
+        if s.len() != 64 {
+            return Err(PprlError::Auth(format!(
+                "party key must be 64 hex characters, got {}",
+                s.len()
+            )));
+        }
+        let mut bytes = [0u8; 32];
+        for (i, byte) in bytes.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|_| PprlError::Auth("party key is not valid hex".into()))?;
+        }
+        Ok(PartyKey(bytes))
+    }
+
+    /// Renders the key as 64 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        pprl_crypto::sha::to_hex(&self.0)
+    }
+
+    /// A short non-secret identifier for logs: the first 8 hex characters
+    /// of `sha256(key)`. Safe to print; useless for authentication.
+    pub fn fingerprint(&self) -> String {
+        pprl_crypto::sha::to_hex(&pprl_crypto::sha::sha256(&self.0))[..8].to_string()
+    }
+
+    /// Writes the key to `path` in hex, creating the file with mode `0600`
+    /// on Unix so other local users cannot read it.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let contents = format!("{}\n", self.to_hex());
+        write_private(path, contents.as_bytes())
+            .map_err(|e| PprlError::Auth(format!("writing key file {}: {e}", path.display())))
+    }
+
+    /// Loads a key from `path`, mapping every failure mode — missing file,
+    /// unreadable file, short/long contents, non-hex contents — to a typed
+    /// [`PprlError::Auth`] that names the path.
+    pub fn load(path: &Path) -> Result<PartyKey> {
+        let mut file = std::fs::File::open(path).map_err(|e| {
+            PprlError::Auth(format!("cannot open key file {}: {e}", path.display()))
+        })?;
+        // A key file is ≤ 65 bytes; cap the read so a wrong path (device
+        // file, huge log) cannot balloon memory.
+        let mut contents = String::new();
+        file.by_ref()
+            .take(4096)
+            .read_to_string(&mut contents)
+            .map_err(|e| {
+                PprlError::Auth(format!("cannot read key file {}: {e}", path.display()))
+            })?;
+        PartyKey::from_hex(&contents).map_err(|e| {
+            PprlError::Auth(format!(
+                "malformed key file {}: {}",
+                path.display(),
+                match e {
+                    PprlError::Auth(msg) => msg,
+                    other => other.to_string(),
+                }
+            ))
+        })
+    }
+}
+
+/// Keys must never leak through debug logging.
+impl fmt::Debug for PartyKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PartyKey(fingerprint={})", self.fingerprint())
+    }
+}
+
+#[cfg(unix)]
+fn write_private(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    use std::os::unix::fs::OpenOptionsExt;
+    let mut file = std::fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .mode(0o600)
+        .open(path)?;
+    file.write_all(contents)?;
+    // Belt and braces: if the file pre-existed with looser permissions,
+    // tighten them (mode(0o600) above only applies at creation).
+    let mut perms = file.metadata()?.permissions();
+    use std::os::unix::fs::PermissionsExt;
+    perms.set_mode(0o600);
+    std::fs::set_permissions(path, perms)?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn write_private(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, contents)
+}
+
+/// Builds a [`SplitMix64`] seeded from the strongest entropy available:
+/// `/dev/urandom` where present, otherwise a hash of wall-clock time,
+/// monotonic time, process id, and a process-local counter.
+///
+/// `SplitMix64` is *not* a CSPRNG — its 64-bit state is recoverable from
+/// outputs — so this is only suitable for nonces and for key generation on
+/// systems without `/dev/urandom`. Key generation on Unix folds all 8
+/// urandom-seeded outputs into the key, so the key's entropy is bounded by
+/// the seed (64 bits per fork); operators with stricter requirements can
+/// provision keys out of band and install them with `PartyKey::save`.
+pub fn entropy_rng() -> SplitMix64 {
+    let mut seed = 0u64;
+    let mut got_urandom = false;
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        let mut buf = [0u8; 8];
+        if f.read_exact(&mut buf).is_ok() {
+            seed = u64::from_le_bytes(buf);
+            got_urandom = true;
+        }
+    }
+    if !got_urandom {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let tick = std::time::Instant::now().elapsed().as_nanos() as u64;
+        let pid = std::process::id() as u64;
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let mut mix = [0u8; 32];
+        mix[..8].copy_from_slice(&now.to_le_bytes());
+        mix[8..16].copy_from_slice(&tick.to_le_bytes());
+        mix[16..24].copy_from_slice(&pid.to_le_bytes());
+        mix[24..].copy_from_slice(&count.to_le_bytes());
+        let digest = pprl_crypto::sha::sha256(&mix);
+        seed = u64::from_le_bytes(digest[..8].try_into().unwrap());
+    }
+    SplitMix64::new(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pprl-session-key-{}-{tag}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let key = PartyKey::generate();
+        let again = PartyKey::from_hex(&key.to_hex()).unwrap();
+        assert_eq!(key, again);
+    }
+
+    #[test]
+    fn save_load_round_trip_and_permissions() {
+        let path = temp_path("roundtrip");
+        let key = PartyKey::generate();
+        key.save(&path).unwrap();
+        let loaded = PartyKey::load(&path).unwrap();
+        assert_eq!(key, loaded);
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let mode = std::fs::metadata(&path).unwrap().permissions().mode();
+            assert_eq!(mode & 0o777, 0o600, "key file mode {mode:o}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_typed_error() {
+        let err = PartyKey::load(Path::new("/nonexistent/dir/k.psk")).unwrap_err();
+        assert!(matches!(err, PprlError::Auth(_)), "{err}");
+        assert!(err.to_string().contains("k.psk"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_typed_error() {
+        let path = temp_path("truncated");
+        std::fs::write(&path, "abcd12").unwrap();
+        let err = PartyKey::load(&path).unwrap_err();
+        assert!(matches!(err, PprlError::Auth(_)), "{err}");
+        assert!(err.to_string().contains("64 hex"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_is_typed_error() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "zz".repeat(32)).unwrap();
+        let err = PartyKey::load(&path).unwrap_err();
+        assert!(matches!(err, PprlError::Auth(_)), "{err}");
+        assert!(err.to_string().contains("not valid hex"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generated_keys_differ() {
+        assert_ne!(PartyKey::generate(), PartyKey::generate());
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let key = PartyKey::generate();
+        let rendered = format!("{key:?}");
+        assert!(!rendered.contains(&key.to_hex()));
+        assert!(rendered.contains(&key.fingerprint()));
+    }
+}

@@ -1,0 +1,44 @@
+//! # pprl-session — authenticated, encrypted sessions (wire v4)
+//!
+//! The serving stack's trust layer. Wire v3 (`pprl-server::wire`)
+//! detects *corruption* — a checksum per frame — but any peer that can
+//! reach the port can query, insert, or shut a server down, and encoded
+//! Bloom filters cross the wire in the clear. The survey's linkage-unit
+//! deployment model assumes honest-but-curious organisations talking
+//! over networks they do not trust, so this crate adds what that model
+//! actually needs:
+//!
+//! * **[`frame`]** — the shared length-prefix + FNV-1a envelope (moved
+//!   down from `pprl-server::wire`, which re-exports it).
+//! * **[`keys`]** — 32-byte per-party pre-shared keys with `0600` file
+//!   storage and typed load errors.
+//! * **[`registry`]** — the server's identity → (key, tenant grant) map,
+//!   loaded from an auth directory of `.psk` files plus `tenants.map`.
+//! * **[`handshake`]** — wire v4 `HELLO`/`WELCOME`/`CONFIRM`/`ACCEPT`:
+//!   SRA-commutative-cipher key agreement mixed with the PSK via
+//!   HMAC-SHA256, mutual key confirmation over a transcript hash, and
+//!   typed rejections (`Auth`, `CrossTenant`).
+//! * **[`channel`]** — the record layer: per-frame HMAC-SHA256 over
+//!   sequence number and payload (verified in constant time, before the
+//!   inner opcode is ever interpreted), strict monotonic sequence
+//!   numbers for replay rejection, and optional HMAC-CTR body
+//!   encryption.
+//!
+//! The layering is deliberate: a wire v4 `DATA` frame *wraps* an
+//! unmodified wire v3 payload, so the entire request/response protocol,
+//! its encoders, and its property tests carry over unchanged — the
+//! session layer is a transport detail to everything above it.
+
+pub mod channel;
+pub mod frame;
+pub mod handshake;
+pub mod keys;
+pub mod registry;
+
+pub use channel::{SecureChannel, SESSION_WIRE_VERSION};
+pub use handshake::{
+    client_handshake, client_handshake_established, server_handshake, ClientAuth, HandshakeOutcome,
+    ServerSession,
+};
+pub use keys::{entropy_rng, PartyKey};
+pub use registry::{AuthRegistry, TenantGrant};

@@ -1,0 +1,281 @@
+//! The server-side authentication registry: which identities exist,
+//! what key each holds, and which tenant namespace each may touch.
+//!
+//! On disk an auth directory looks like:
+//!
+//! ```text
+//! auth/
+//!   alice.psk      # 64-hex party key for identity "alice"
+//!   bob.psk
+//!   admin.psk
+//!   tenants.map    # optional: "identity tenant" lines; "*" = any tenant
+//! ```
+//!
+//! Without a `tenants.map` entry an identity is mapped to the tenant
+//! with its own name — the natural default for "one organisation, one
+//! namespace" deployments. An explicit `identity *` grant marks a
+//! privileged identity (cluster coordinators, operators): it may open
+//! any tenant and is the only kind of identity allowed to issue
+//! `SHUTDOWN` on an authenticated server.
+
+use crate::keys::PartyKey;
+use pprl_core::error::{PprlError, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// What tenant namespace(s) an identity is granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenantGrant {
+    /// Privileged: any tenant (and administrative operations).
+    Any,
+    /// Exactly one tenant namespace.
+    One(String),
+}
+
+/// One registered identity.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    /// The identity's party key.
+    pub key: PartyKey,
+    /// The tenant grant for this identity.
+    pub grant: TenantGrant,
+}
+
+/// The set of identities a server will authenticate.
+#[derive(Debug, Clone, Default)]
+pub struct AuthRegistry {
+    entries: BTreeMap<String, Identity>,
+}
+
+/// Identity names come from file names and wire frames; constrain them to
+/// a safe charset so a tenant/identity can never traverse paths.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl AuthRegistry {
+    /// An empty registry (authenticates nobody).
+    pub fn new() -> AuthRegistry {
+        AuthRegistry::default()
+    }
+
+    /// Registers `identity` with `key` and `grant` (test and embedding use).
+    pub fn insert(&mut self, identity: &str, key: PartyKey, grant: TenantGrant) -> Result<()> {
+        if !valid_name(identity) {
+            return Err(PprlError::Auth(format!(
+                "invalid identity name `{identity}` (want 1-64 chars of [A-Za-z0-9_-])"
+            )));
+        }
+        self.entries
+            .insert(identity.to_string(), Identity { key, grant });
+        Ok(())
+    }
+
+    /// Loads a registry from an auth directory: every `*.psk` file becomes
+    /// an identity, `tenants.map` (if present) overrides grants.
+    pub fn load(dir: &Path) -> Result<AuthRegistry> {
+        let mut reg = AuthRegistry::new();
+        let listing = std::fs::read_dir(dir).map_err(|e| {
+            PprlError::Auth(format!("cannot read auth directory {}: {e}", dir.display()))
+        })?;
+        for entry in listing {
+            let entry = entry.map_err(|e| {
+                PprlError::Auth(format!("listing auth directory {}: {e}", dir.display()))
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("psk") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if !valid_name(stem) {
+                return Err(PprlError::Auth(format!(
+                    "key file {} has an invalid identity name",
+                    path.display()
+                )));
+            }
+            let key = PartyKey::load(&path)?;
+            reg.insert(stem, key, TenantGrant::One(stem.to_string()))?;
+        }
+        let map_path = dir.join("tenants.map");
+        if map_path.exists() {
+            let contents = std::fs::read_to_string(&map_path)
+                .map_err(|e| PprlError::Auth(format!("cannot read {}: {e}", map_path.display())))?;
+            for (lineno, line) in contents.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let mut parts = line.split_whitespace();
+                let (Some(identity), Some(tenant), None) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(PprlError::Auth(format!(
+                        "{} line {}: want `identity tenant`",
+                        map_path.display(),
+                        lineno + 1
+                    )));
+                };
+                let grant = if tenant == "*" {
+                    TenantGrant::Any
+                } else if valid_name(tenant) {
+                    TenantGrant::One(tenant.to_string())
+                } else {
+                    return Err(PprlError::Auth(format!(
+                        "{} line {}: invalid tenant name `{tenant}`",
+                        map_path.display(),
+                        lineno + 1
+                    )));
+                };
+                let Some(entry) = reg.entries.get_mut(identity) else {
+                    return Err(PprlError::Auth(format!(
+                        "{} line {}: identity `{identity}` has no {identity}.psk key file",
+                        map_path.display(),
+                        lineno + 1
+                    )));
+                };
+                entry.grant = grant;
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Looks up an identity's registration.
+    pub fn get(&self, identity: &str) -> Option<&Identity> {
+        self.entries.get(identity)
+    }
+
+    /// Number of registered identities.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `identity` holds the privileged any-tenant grant.
+    pub fn is_privileged(&self, identity: &str) -> bool {
+        matches!(
+            self.entries.get(identity).map(|e| &e.grant),
+            Some(TenantGrant::Any)
+        )
+    }
+
+    /// Checks that `identity` (already key-authenticated) may open
+    /// `tenant`. Returns the typed [`PprlError::CrossTenant`] otherwise.
+    pub fn authorize(&self, identity: &str, tenant: &str) -> Result<()> {
+        let Some(entry) = self.entries.get(identity) else {
+            return Err(PprlError::Auth(format!("unknown identity `{identity}`")));
+        };
+        match &entry.grant {
+            TenantGrant::Any => Ok(()),
+            TenantGrant::One(t) if t == tenant => Ok(()),
+            TenantGrant::One(_) => Err(PprlError::CrossTenant {
+                identity: identity.to_string(),
+                requested: tenant.to_string(),
+            }),
+        }
+    }
+
+    /// The sorted set of tenant namespaces named by single-tenant grants.
+    /// (Privileged identities add no namespace of their own.)
+    pub fn tenants(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .values()
+            .filter_map(|e| match &e.grant {
+                TenantGrant::One(t) => Some(t.clone()),
+                TenantGrant::Any => None,
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pprl-session-reg-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn load_keys_and_map() {
+        let dir = temp_dir("load");
+        PartyKey::generate().save(&dir.join("alice.psk")).unwrap();
+        PartyKey::generate().save(&dir.join("bob.psk")).unwrap();
+        PartyKey::generate().save(&dir.join("admin.psk")).unwrap();
+        std::fs::write(dir.join("tenants.map"), "# comment\nadmin *\nbob org-b\n").unwrap();
+        let reg = AuthRegistry::load(&dir).unwrap();
+        assert_eq!(reg.len(), 3);
+        assert!(reg.is_privileged("admin"));
+        assert!(!reg.is_privileged("alice"));
+        assert!(reg.authorize("alice", "alice").is_ok());
+        assert!(reg.authorize("bob", "org-b").is_ok());
+        assert!(reg.authorize("admin", "anything").is_ok());
+        assert_eq!(reg.tenants(), vec!["alice".to_string(), "org-b".into()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cross_tenant_is_typed() {
+        let mut reg = AuthRegistry::new();
+        reg.insert(
+            "alice",
+            PartyKey::generate(),
+            TenantGrant::One("org-a".into()),
+        )
+        .unwrap();
+        let err = reg.authorize("alice", "org-b").unwrap_err();
+        assert_eq!(
+            err,
+            PprlError::CrossTenant {
+                identity: "alice".into(),
+                requested: "org-b".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_identity_is_auth_error() {
+        let reg = AuthRegistry::new();
+        assert!(matches!(
+            reg.authorize("ghost", "t").unwrap_err(),
+            PprlError::Auth(_)
+        ));
+    }
+
+    #[test]
+    fn map_referencing_missing_key_fails() {
+        let dir = temp_dir("missingkey");
+        PartyKey::generate().save(&dir.join("alice.psk")).unwrap();
+        std::fs::write(dir.join("tenants.map"), "ghost org-x\n").unwrap();
+        let err = AuthRegistry::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("alice"));
+        assert!(valid_name("org-b_2"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("../etc"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+}

@@ -8,9 +8,10 @@
 //! attacks (`attacks`), synthetic data generation (`datagen`), evaluation
 //! metrics and tuning (`eval`), end-to-end pipelines (`pipeline`), a
 //! persistent sharded filter store with a concurrent query engine
-//! (`index`), a concurrent TCP linkage query service over that store
-//! (`server`), and a scatter–gather coordinator distributing linkage
-//! over sharded server nodes (`cluster`).
+//! (`index`), an authenticated encrypted session layer (`session`), a
+//! concurrent TCP linkage query service over that store (`server`), and
+//! a scatter–gather coordinator distributing linkage over sharded
+//! server nodes (`cluster`).
 //!
 //! ## Quickstart
 //!
@@ -47,4 +48,5 @@ pub use pprl_matching as matching;
 pub use pprl_pipeline as pipeline;
 pub use pprl_protocols as protocols;
 pub use pprl_server as server;
+pub use pprl_session as session;
 pub use pprl_similarity as similarity;
