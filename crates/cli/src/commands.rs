@@ -540,7 +540,7 @@ pub fn keygen(mut args: Args) -> CmdResult {
     let tenant = args.get("tenant");
     args.finish().map_err(fail)?;
 
-    let key = PartyKey::generate();
+    let key = PartyKey::generate().map_err(fail)?;
     let path = match (&out, &auth_dir, &identity) {
         (Some(path), None, _) => std::path::PathBuf::from(path),
         (None, Some(dir), Some(identity)) => {

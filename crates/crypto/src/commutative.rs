@@ -9,6 +9,7 @@
 
 use crate::bigint::BigUint;
 use crate::prime::generate_safe_prime;
+use crate::rng::SecretRng;
 use crate::sha::sha256;
 use pprl_core::error::{PprlError, Result};
 use pprl_core::rng::SplitMix64;
@@ -55,11 +56,39 @@ pub struct CommutativeKey {
 }
 
 impl CommutativeKey {
-    /// Samples a key for `group`.
+    /// Samples a key for `group` from the deterministic seeded PRNG.
+    ///
+    /// Suitable for reproducible in-process protocol simulations only:
+    /// `SplitMix64`'s full state is recoverable from any raw output, so
+    /// a key whose generator also produced wire-visible values is
+    /// recoverable too. Anything that sends shares to a real peer must
+    /// use [`generate_secret`](CommutativeKey::generate_secret).
     pub fn generate(group: &Group, rng: &mut SplitMix64) -> Result<CommutativeKey> {
         let q = group.p.sub(&BigUint::one())?.shr(1);
         let exponent = loop {
             let e = BigUint::random_below(rng, &q);
+            if !e.is_zero() && e != BigUint::one() && e.gcd(&q) == BigUint::one() {
+                break e;
+            }
+        };
+        Ok(CommutativeKey {
+            group: group.clone(),
+            exponent,
+        })
+    }
+
+    /// Samples a key for `group` from a cryptographically strong byte
+    /// source — the variant real protocol endpoints must use.
+    ///
+    /// The exponent is reduced from a draw of twice the modulus width,
+    /// so the modular bias is below 2^-(bits of `p`) — negligible for
+    /// the ≥ 64-bit groups this workspace uses.
+    pub fn generate_secret(group: &Group, rng: &mut SecretRng) -> Result<CommutativeKey> {
+        let q = group.p.sub(&BigUint::one())?.shr(1);
+        let mut wide = vec![0u8; 2 * group.p.bits().div_ceil(8).max(8)];
+        let exponent = loop {
+            rng.fill(&mut wide);
+            let e = BigUint::from_bytes_be(&wide).rem(&q)?;
             if !e.is_zero() && e != BigUint::one() && e.gcd(&q) == BigUint::one() {
                 break e;
             }
@@ -158,6 +187,24 @@ mod tests {
         let ab = kb.encrypt(&ka.encrypt(&x).unwrap()).unwrap();
         let ba = ka.encrypt(&kb.encrypt(&x).unwrap()).unwrap();
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn secret_keys_commute_and_differ() {
+        let (g, _) = small_group(9);
+        let mut rng = SecretRng::new();
+        let ka = CommutativeKey::generate_secret(&g, &mut rng).unwrap();
+        let kb = CommutativeKey::generate_secret(&g, &mut rng).unwrap();
+        let x = g.hash_to_group(b"alice");
+        let ea = ka.encrypt(&x).unwrap();
+        let eb = kb.encrypt(&x).unwrap();
+        assert_ne!(ea, eb, "independent draws must give distinct keys");
+        assert_eq!(
+            kb.encrypt(&ea).unwrap(),
+            ka.encrypt(&eb).unwrap(),
+            "commutativity holds for CSPRNG-sampled keys"
+        );
+        assert_eq!(ka.decrypt(&ea).unwrap(), x);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! edit-distance protocol, and differential-privacy mechanisms.
 //!
 //! These are research implementations sized for reproducible experiments,
-//! not hardened production cryptography (no constant-time guarantees, PRNG
-//! is deterministic by design).
+//! not hardened production cryptography. Library algorithms use the
+//! deterministic seeded PRNG by design; anything secret that crosses a
+//! wire must instead draw from [`rng::SecretRng`] / [`rng::os_random`],
+//! and MAC comparisons go through the constant-time [`sha::ct_eq`].
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)`-style comparisons are deliberate: they reject NaN, which
@@ -23,6 +25,7 @@ pub mod cost;
 pub mod dp;
 pub mod paillier;
 pub mod prime;
+pub mod rng;
 pub mod secret_sharing;
 pub mod secure_edit;
 pub mod secure_sum;

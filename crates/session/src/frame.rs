@@ -66,16 +66,41 @@ pub enum Incoming {
 ///
 /// Timeouts and EOF *before the first byte of a frame* are session
 /// conditions ([`Incoming::TimedOut`] / [`Incoming::Eof`]); anything that
-/// cuts a frame in half — EOF mid-frame, a bad checksum, an oversized
-/// length prefix — is a typed [`PprlError::Transport`] error.
+/// cuts a frame in half — EOF mid-frame, a timeout after part of the
+/// length prefix arrived, a bad checksum, an oversized length prefix —
+/// is a typed [`PprlError::Transport`] error. The prefix is read with a
+/// manual loop because `read_exact` discards how much it consumed: a
+/// socket timeout that fires after 1–3 prefix bytes must NOT be
+/// reported as retryable idle — the retry would start mid-prefix and
+/// permanently desynchronize the stream.
 pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
     let mut len_bytes = [0u8; 4];
-    if let Err(e) = r.read_exact(&mut len_bytes) {
-        return match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => Ok(Incoming::Eof),
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Ok(Incoming::TimedOut),
-            _ => Err(transport_err(format!("reading frame length: {e}"))),
-        };
+    let mut got = 0usize;
+    while got < len_bytes.len() {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) if got == 0 => return Ok(Incoming::Eof),
+            Ok(0) => {
+                return Err(transport_err(format!(
+                    "connection closed after {got} of 4 frame-length bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if got == 0 {
+                    return Ok(Incoming::TimedOut);
+                }
+                return Err(transport_err(format!(
+                    "timed out after {got} of 4 frame-length bytes (peer stalled mid-frame)"
+                )));
+            }
+            Err(e) => return Err(transport_err(format!("reading frame length: {e}"))),
+        }
     }
     let plen = u32::from_le_bytes(len_bytes) as usize;
     if plen == 0 || plen > MAX_PAYLOAD {
@@ -173,15 +198,68 @@ mod tests {
     fn truncations_rejected_eof_clean() {
         let mut buf = Vec::new();
         write_payload(&mut buf, b"x").unwrap();
+        // Only a close *between* frames is a clean EOF; every cut that
+        // leaves a partial frame — even a partial length prefix — is a
+        // typed transport error.
         let mut empty = std::io::Cursor::new(Vec::<u8>::new());
         assert!(matches!(read_payload(&mut empty).unwrap(), Incoming::Eof));
         for cut in 1..buf.len() {
             let mut cursor = std::io::Cursor::new(buf[..cut].to_vec());
             match read_payload(&mut cursor) {
                 Err(PprlError::Transport(_)) => {}
-                Ok(Incoming::Eof) if cut < 4 => {}
                 other => panic!("cut {cut}: {other:?}"),
             }
+        }
+    }
+
+    /// Yields its bytes, then one `WouldBlock` (a socket read timeout),
+    /// then EOF — the shape of a peer that stalls mid-write.
+    struct TimeoutThen {
+        data: Vec<u8>,
+        pos: usize,
+        fired: bool,
+    }
+
+    impl Read for TimeoutThen {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = (self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            if !self.fired {
+                self.fired = true;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn timeout_between_frames_idle_but_mid_prefix_is_error() {
+        // No bytes yet: the timeout is an idle poll, retryable.
+        let mut idle = TimeoutThen {
+            data: Vec::new(),
+            pos: 0,
+            fired: false,
+        };
+        assert!(matches!(read_payload(&mut idle).unwrap(), Incoming::TimedOut));
+        // 2 of 4 length bytes consumed when the timeout fires: reporting
+        // idle here would make the retry resume mid-prefix and
+        // permanently desynchronize the stream, so it must be an error.
+        let mut frame = Vec::new();
+        write_payload(&mut frame, b"abc").unwrap();
+        let mut stalled = TimeoutThen {
+            data: frame[..2].to_vec(),
+            pos: 0,
+            fired: false,
+        };
+        match read_payload(&mut stalled) {
+            Err(PprlError::Transport(msg)) => {
+                assert!(msg.contains("2 of 4"), "{msg}");
+            }
+            other => panic!("{other:?}"),
         }
     }
 

@@ -32,7 +32,13 @@
 //! Because `K` mixes the PSK with the agreed secret `S` and both
 //! nonces, a passive observer learns nothing about the session keys
 //! even knowing the group, and neither side accepts a peer that does
-//! not hold the PSK. The confirmation MACs bind the full HELLO
+//! not hold the PSK. That claim leans on the randomness source: nonces
+//! are wire-visible and exponents are secret, so both must come from a
+//! generator whose state is not recoverable from its outputs. Every
+//! entry point therefore takes a [`SecretRng`] (OS entropy pool, or a
+//! one-way hash ratchet where no pool exists) — never the workspace's
+//! deterministic `SplitMix64`, whose 64-bit state any single raw
+//! output reveals. The confirmation MACs bind the full HELLO
 //! payload (identity, tenant, flags, `A`) into the transcript, so a
 //! man-in-the-middle cannot splice identities, downgrade the
 //! encryption flag, or substitute key shares without being caught by
@@ -49,10 +55,9 @@ use crate::channel::{
     SecureChannel, OP_ACCEPT, OP_AUTH_ERROR, OP_CONFIRM, OP_HELLO, OP_WELCOME, SESSION_WIRE_VERSION,
 };
 use crate::frame::{parse_plain_busy, read_payload, write_payload, Incoming};
-use crate::keys::{entropy_rng, PartyKey};
+use crate::keys::{entropy_rng, PartyKey, SecretRng};
 use crate::registry::{valid_name, AuthRegistry};
 use pprl_core::error::{PprlError, Result};
-use pprl_core::rng::SplitMix64;
 use pprl_crypto::bigint::BigUint;
 use pprl_crypto::commutative::{CommutativeKey, Group};
 use pprl_crypto::sha::{ct_eq, hmac_sha256, sha256};
@@ -134,10 +139,9 @@ fn expect_frame(r: &mut impl Read) -> Result<Vec<u8>> {
     }
 }
 
-fn rand_nonce(rng: &mut SplitMix64) -> [u8; 16] {
+fn rand_nonce(rng: &mut SecretRng) -> [u8; 16] {
     let mut nonce = [0u8; 16];
-    nonce[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
-    nonce[8..].copy_from_slice(&rng.next_u64().to_le_bytes());
+    rng.fill(&mut nonce);
     nonce
 }
 
@@ -308,9 +312,15 @@ fn encode_welcome(nonce_s: &[u8; 16], b_share: &BigUint, mac_s: &[u8; 32]) -> Re
 fn encode_auth_error(code: u8, detail_a: &str, detail_b: &str) -> Vec<u8> {
     let mut out = vec![SESSION_WIRE_VERSION, OP_AUTH_ERROR, code];
     // Two u16-length-prefixed strings: (message, "") for UNAUTHORIZED,
-    // (identity, tenant) for CROSS_TENANT.
+    // (identity, tenant) for CROSS_TENANT. Truncation must land on a
+    // char boundary: a split multi-byte character would make the
+    // client's UTF-8 validation reject the frame and mask the reason.
     for s in [detail_a, detail_b] {
-        let bytes = &s.as_bytes()[..s.len().min(512)];
+        let mut end = s.len().min(512);
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let bytes = &s.as_bytes()[..end];
         out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
         out.extend_from_slice(bytes);
     }
@@ -344,11 +354,13 @@ fn decode_auth_error(payload: &[u8]) -> Result<PprlError> {
 /// Runs the client side of the handshake on a fresh connection.
 ///
 /// `rng` supplies the nonce and ephemeral exponent; production callers
-/// should pass [`entropy_rng()`](crate::keys::entropy_rng).
+/// should pass [`entropy_rng()`](crate::keys::entropy_rng). Tests may
+/// use [`SecretRng::seeded`] for reproducibility — even seeded, the
+/// wire-visible nonce reveals nothing about the exponent.
 pub fn client_handshake<S: Read + Write>(
     stream: &mut S,
     auth: &ClientAuth,
-    rng: &mut SplitMix64,
+    rng: &mut SecretRng,
 ) -> Result<HandshakeOutcome> {
     if !valid_name(&auth.identity) || !valid_name(&auth.tenant) {
         return Err(auth_err(format!(
@@ -359,7 +371,7 @@ pub fn client_handshake<S: Read + Write>(
     let group = session_group();
     let nonce_c = rand_nonce(rng);
     let x = base_element(&group, &nonce_c, &auth.identity, &auth.tenant);
-    let eph = CommutativeKey::generate(&group, rng)?;
+    let eph = CommutativeKey::generate_secret(&group, rng)?;
     let a_share = eph.encrypt(&x)?;
     let hello = encode_hello(auth, &nonce_c, &a_share)?;
     write_payload(stream, &hello)?;
@@ -435,7 +447,7 @@ pub fn server_handshake<S: Read + Write>(
     stream: &mut S,
     hello_payload: &[u8],
     registry: &AuthRegistry,
-    rng: &mut SplitMix64,
+    rng: &mut SecretRng,
 ) -> Result<ServerSession> {
     let hello = decode_hello(hello_payload)?;
     let encrypt = hello.flags & HELLO_FLAG_ENCRYPT != 0;
@@ -456,7 +468,7 @@ pub fn server_handshake<S: Read + Write>(
 
     let group = session_group();
     let x = base_element(&group, &hello.nonce_c, &identity, &tenant);
-    let eph = CommutativeKey::generate(&group, rng)?;
+    let eph = CommutativeKey::generate_secret(&group, rng)?;
     let b_share = eph.encrypt(&x)?;
     let shared = match eph.encrypt(&hello.a_share) {
         Ok(s) => s,
@@ -536,6 +548,7 @@ pub fn client_handshake_established<S: Read + Write>(
 mod tests {
     use super::*;
     use crate::registry::TenantGrant;
+    use pprl_core::rng::SplitMix64;
     use std::net::{TcpListener, TcpStream};
 
     fn test_registry() -> (AuthRegistry, PartyKey, PartyKey) {
@@ -563,11 +576,11 @@ mod tests {
                 Incoming::Payload(p) => p,
                 other => panic!("server expected HELLO, got {other:?}"),
             };
-            let mut rng = SplitMix64::new(42);
+            let mut rng = SecretRng::seeded([42u8; 32]);
             server_handshake(&mut stream, &hello, &reg, &mut rng)
         });
         let mut stream = TcpStream::connect(addr).unwrap();
-        let mut rng = SplitMix64::new(7);
+        let mut rng = SecretRng::seeded([7u8; 32]);
         let client_result = client_handshake(&mut stream, &auth, &mut rng);
         // Close the client socket before joining: on client-side failure
         // the server is still blocked waiting for CONFIRM.
@@ -584,6 +597,18 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         assert!(pprl_crypto::prime::is_probable_prime(&p, 32, &mut rng));
         assert!(pprl_crypto::prime::is_probable_prime(&q, 32, &mut rng));
+    }
+
+    #[test]
+    fn auth_error_detail_truncates_on_char_boundary() {
+        // 600 bytes of 2-byte chars: byte 512 is mid-character, so a
+        // raw byte-slice truncation would produce invalid UTF-8 and the
+        // decoder would mask the real reason behind a parse error.
+        let detail = "é".repeat(300);
+        let payload = encode_auth_error(AUTH_ERR_UNAUTHORIZED, &detail, "");
+        let err = decode_auth_error(&payload).unwrap();
+        let msg = err.to_string();
+        assert!(msg.contains('é'), "decoded detail survives truncation: {msg}");
     }
 
     #[test]
@@ -702,7 +727,7 @@ mod tests {
             tenant: "alice".into(),
             encrypt: false,
         };
-        let mut rng = SplitMix64::new(9);
+        let mut rng = SecretRng::seeded([9u8; 32]);
         let outcome = client_handshake(&mut stream, &auth, &mut rng).unwrap();
         assert!(matches!(
             outcome,
@@ -731,7 +756,7 @@ mod tests {
             // flag in HELLO changes the transcript, so confirmation fails.
             let mut tampered = hello.clone();
             tampered[2] ^= HELLO_FLAG_ENCRYPT;
-            let mut rng = SplitMix64::new(4);
+            let mut rng = SecretRng::seeded([4u8; 32]);
             server_handshake(&mut stream, &tampered, &reg, &mut rng)
         });
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -741,7 +766,7 @@ mod tests {
             tenant: "alice".into(),
             encrypt: false,
         };
-        let mut rng = SplitMix64::new(5);
+        let mut rng = SecretRng::seeded([5u8; 32]);
         let c = client_handshake(&mut stream, &auth, &mut rng);
         assert!(c.is_err(), "client accepted a tampered transcript");
         drop(stream);

@@ -13,7 +13,7 @@
 //! any other configuration error.
 
 use pprl_core::error::{PprlError, Result};
-use pprl_core::rng::SplitMix64;
+pub use pprl_crypto::rng::SecretRng;
 use std::fmt;
 use std::io::Read;
 use std::path::Path;
@@ -33,15 +33,23 @@ impl PartyKey {
         &self.0
     }
 
-    /// Generates a fresh key from the best entropy available (see
-    /// [`entropy_rng`]).
-    pub fn generate() -> PartyKey {
-        let mut rng = entropy_rng();
+    /// Generates a fresh key with all 32 bytes drawn directly from the
+    /// OS entropy pool (`/dev/urandom`).
+    ///
+    /// Fails loudly — a typed [`PprlError::Auth`] — when no OS entropy
+    /// source exists, rather than silently producing a key with less
+    /// entropy than its length suggests. Operators on such platforms
+    /// must provision keys out of band and install them with
+    /// [`PartyKey::save`].
+    pub fn generate() -> Result<PartyKey> {
         let mut bytes = [0u8; 32];
-        for chunk in bytes.chunks_mut(8) {
-            chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
-        }
-        PartyKey(bytes)
+        pprl_crypto::rng::os_random(&mut bytes).map_err(|e| {
+            PprlError::Auth(format!(
+                "no OS entropy source for key generation (/dev/urandom: {e}); \
+                 provision a key out of band instead"
+            ))
+        })?;
+        Ok(PartyKey(bytes))
     }
 
     /// Parses a key from 64 hex characters (surrounding whitespace ignored).
@@ -141,45 +149,16 @@ fn write_private(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     std::fs::write(path, contents)
 }
 
-/// Builds a [`SplitMix64`] seeded from the strongest entropy available:
-/// `/dev/urandom` where present, otherwise a hash of wall-clock time,
-/// monotonic time, process id, and a process-local counter.
+/// The random source every handshake should use: a
+/// [`SecretRng`](pprl_crypto::rng::SecretRng) backed by `/dev/urandom`
+/// where present (elsewhere it degrades to a one-way hash ratchet whose
+/// wire-visible outputs never reveal its state — see `pprl_crypto::rng`).
 ///
-/// `SplitMix64` is *not* a CSPRNG — its 64-bit state is recoverable from
-/// outputs — so this is only suitable for nonces and for key generation on
-/// systems without `/dev/urandom`. Key generation on Unix folds all 8
-/// urandom-seeded outputs into the key, so the key's entropy is bounded by
-/// the seed (64 bits per fork); operators with stricter requirements can
-/// provision keys out of band and install them with `PartyKey::save`.
-pub fn entropy_rng() -> SplitMix64 {
-    let mut seed = 0u64;
-    let mut got_urandom = false;
-    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
-        let mut buf = [0u8; 8];
-        if f.read_exact(&mut buf).is_ok() {
-            seed = u64::from_le_bytes(buf);
-            got_urandom = true;
-        }
-    }
-    if !got_urandom {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let now = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
-        let tick = std::time::Instant::now().elapsed().as_nanos() as u64;
-        let pid = std::process::id() as u64;
-        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let mut mix = [0u8; 32];
-        mix[..8].copy_from_slice(&now.to_le_bytes());
-        mix[8..16].copy_from_slice(&tick.to_le_bytes());
-        mix[16..24].copy_from_slice(&pid.to_le_bytes());
-        mix[24..].copy_from_slice(&count.to_le_bytes());
-        let digest = pprl_crypto::sha::sha256(&mix);
-        seed = u64::from_le_bytes(digest[..8].try_into().unwrap());
-    }
-    SplitMix64::new(seed)
+/// Nonces and ephemeral exponents both come from here; because the
+/// source is not state-recoverable from outputs, a nonce on the wire
+/// says nothing about the exponent drawn next to it.
+pub fn entropy_rng() -> SecretRng {
+    SecretRng::new()
 }
 
 #[cfg(test)]
@@ -194,7 +173,7 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        let key = PartyKey::generate();
+        let key = PartyKey::generate().unwrap();
         let again = PartyKey::from_hex(&key.to_hex()).unwrap();
         assert_eq!(key, again);
     }
@@ -202,7 +181,7 @@ mod tests {
     #[test]
     fn save_load_round_trip_and_permissions() {
         let path = temp_path("roundtrip");
-        let key = PartyKey::generate();
+        let key = PartyKey::generate().unwrap();
         key.save(&path).unwrap();
         let loaded = PartyKey::load(&path).unwrap();
         assert_eq!(key, loaded);
@@ -244,12 +223,12 @@ mod tests {
 
     #[test]
     fn generated_keys_differ() {
-        assert_ne!(PartyKey::generate(), PartyKey::generate());
+        assert_ne!(PartyKey::generate().unwrap(), PartyKey::generate().unwrap());
     }
 
     #[test]
     fn debug_never_prints_key_material() {
-        let key = PartyKey::generate();
+        let key = PartyKey::generate().unwrap();
         let rendered = format!("{key:?}");
         assert!(!rendered.contains(&key.to_hex()));
         assert!(rendered.contains(&key.fingerprint()));

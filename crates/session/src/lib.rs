@@ -40,5 +40,5 @@ pub use handshake::{
     client_handshake, client_handshake_established, server_handshake, ClientAuth, HandshakeOutcome,
     ServerSession,
 };
-pub use keys::{entropy_rng, PartyKey};
+pub use keys::{entropy_rng, PartyKey, SecretRng};
 pub use registry::{AuthRegistry, TenantGrant};
