@@ -22,7 +22,7 @@ fn main() {
     let args = match Args::parse(
         parse_from,
         &[
-            "evaluate", "compact", "json", "cluster", "list", "check", "encrypt",
+            "evaluate", "compact", "json", "cluster", "list", "check", "encrypt", "bench",
         ],
     ) {
         Ok(a) => a,
@@ -47,6 +47,7 @@ fn main() {
             "serve" => commands::serve_cmd(args),
             "keygen" => commands::keygen(args),
             "kernels" => commands::kernels_cmd(args),
+            "suites" => commands::suites_cmd(args),
             other => {
                 eprintln!("error: unknown command `{other}`\n\n{}", commands::help());
                 std::process::exit(2);

@@ -23,7 +23,7 @@ use pprl_protocols::{multi_party_linkage, MultiPartyConfig, Pattern};
 use pprl_server::client::Client;
 use pprl_server::server::{serve, serve_auth, ServerConfig};
 use pprl_server::wire::StatsReport;
-use pprl_server::{AuthRegistry, ClientAuth, PartyKey};
+use pprl_server::{AuthRegistry, CipherSuite, ClientAuth, PartyKey, SuiteOffer};
 
 type CmdResult = Result<(), String>;
 
@@ -584,13 +584,16 @@ pub fn keygen(mut args: Args) -> CmdResult {
 }
 
 /// Reads the session-auth client flags — `--identity NAME --key-file
-/// PATH [--tenant T] [--encrypt]` — into an optional [`ClientAuth`].
-/// Absent flags mean plaintext wire v3, exactly as before.
+/// PATH [--tenant T] [--encrypt] [--suite auto|chacha20|hmac-ctr]` —
+/// into an optional [`ClientAuth`]. Absent flags mean plaintext wire
+/// v3, exactly as before; the default `--suite auto` offers every
+/// cipher suite and lets negotiation pick the fastest common one.
 fn auth_from_args(args: &mut Args) -> Result<Option<ClientAuth>, String> {
     let identity = args.get("identity");
     let key_file = args.get("key-file");
     let tenant = args.get_or("tenant", "default");
     let encrypt = args.flag("encrypt");
+    let suites = SuiteOffer::parse(&args.get_or("suite", "auto")).map_err(fail)?;
     match (identity, key_file) {
         (Some(identity), Some(path)) => {
             let key = PartyKey::load(std::path::Path::new(&path)).map_err(fail)?;
@@ -599,6 +602,7 @@ fn auth_from_args(args: &mut Args) -> Result<Option<ClientAuth>, String> {
                 key,
                 tenant,
                 encrypt,
+                suites,
             }))
         }
         (None, None) if !encrypt => Ok(None),
@@ -622,6 +626,10 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
     let compact_ms: u64 = args.parse_or("compact-interval-ms", 500).map_err(fail)?;
     let addr_file = args.get("addr-file");
     let auth_dir = args.get("auth-dir");
+    // Server-side cipher-suite policy: `auto` negotiates the fastest
+    // suite each client offers; pinning refuses clients that cannot
+    // speak the pinned suite.
+    let suites = SuiteOffer::parse(&args.get_or("suite", "auto")).map_err(fail)?;
     args.finish().map_err(fail)?;
 
     let config = ServerConfig {
@@ -630,6 +638,7 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
         query_threads: threads,
         cache_capacity: cache,
         compact_interval: (compact_ms > 0).then(|| std::time::Duration::from_millis(compact_ms)),
+        suites,
         ..ServerConfig::default()
     };
     let bind = format!("{host}:{port}");
@@ -650,7 +659,14 @@ pub fn serve_cmd(mut args: Args) -> CmdResult {
         "serving {dir} on {addr}: {workers} workers, queue {queue}, cache {cache}, \
          compaction every {compact_ms} ms (0 = disabled){}",
         match &auth_dir {
-            Some(auth) => format!(", authenticated sessions only (auth dir {auth})"),
+            Some(auth) => format!(
+                ", authenticated sessions only (auth dir {auth}, suites {})",
+                suites
+                    .iter()
+                    .map(|s| s.name())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            ),
             None => String::new(),
         }
     );
@@ -950,8 +966,11 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
             };
             let deadline_ms: u64 = args.parse_or("deadline-ms", 10_000).map_err(fail)?;
             let addr_file = args.get("addr-file");
+            let args_suite = args.get_or("suite", "auto");
             // Shard-leg credentials: the coordinator is itself a client
-            // to the shard nodes, so it reuses the client auth flags.
+            // to the shard nodes, so it reuses the client auth flags
+            // (including `--suite`; the default offer negotiates the
+            // fast suite on every privileged shard hop).
             let shard_auth = auth_from_args(&mut args)?;
             // Front-end registry: who may connect to the coordinator.
             let auth_dir = args.get("auth-dir");
@@ -978,9 +997,14 @@ pub fn cluster_cmd(mut args: Args) -> CmdResult {
                 .map_err(fail)?,
             );
             let missing = coordinator.missing_shards();
+            // One `--suite` flag governs both legs: auth_from_args put
+            // it in the shard hops' offer above, and the front end
+            // enforces it as policy on inbound clients here.
+            let suites = SuiteOffer::parse(&args_suite).map_err(fail)?;
             let front_config = ClusterServerConfig {
                 workers,
                 queue_capacity: queue,
+                suites,
                 ..ClusterServerConfig::default()
             };
             let bind = format!("{host}:{port}");
@@ -1104,6 +1128,77 @@ pub fn kernels_cmd(mut args: Args) -> CmdResult {
     Ok(())
 }
 
+/// `pprl suites` — report the record-layer cipher suites this build
+/// can negotiate, mirroring `pprl kernels` for the auth data plane.
+///
+/// `--list` prints just the suite names, one per line, for scripting
+/// (CI iterates it to pin each suite in turn). `--bench` additionally
+/// measures each suite's keystream throughput on this host, so the
+/// negotiation preference order can be sanity-checked against reality.
+pub fn suites_cmd(mut args: Args) -> CmdResult {
+    let list = args.flag("list");
+    let bench = args.flag("bench");
+    args.finish().map_err(fail)?;
+    // Fastest first, matching the server's selection preference.
+    let suites: Vec<CipherSuite> = SuiteOffer::all().iter().collect();
+    if list {
+        for s in &suites {
+            println!("{s}");
+        }
+        return Ok(());
+    }
+    let names: Vec<&str> = suites.iter().map(|s| s.name()).collect();
+    println!(
+        "available cipher suites (best to worst): {}",
+        names.join(" ")
+    );
+    println!(
+        "negotiation: client offers a set (--suite auto = all), server \
+         selects the fastest common suite; both bytes are transcript-bound, \
+         so downgrades abort the handshake"
+    );
+    println!("default selection: {}", suites[0]);
+    if bench {
+        use pprl_crypto::chacha;
+        use pprl_crypto::sha::HmacKey;
+        let mut body = vec![0u8; 1 << 20];
+        for (i, b) in body.iter_mut().enumerate() {
+            *b = (i * 31 + 7) as u8;
+        }
+        for suite in &suites {
+            let started = std::time::Instant::now();
+            let mut passes = 0u32;
+            // Keep probing until ~200 ms elapsed for a stable figure.
+            while started.elapsed() < std::time::Duration::from_millis(200) {
+                match suite {
+                    CipherSuite::ChaCha20 => {
+                        chacha::apply_keystream(&[0x42; 32], &[7; 12], 0, &mut body);
+                    }
+                    CipherSuite::HmacCtr => {
+                        // The legacy keystream: one HMAC per 32-byte
+                        // block, exactly as the channel applies it.
+                        let key = HmacKey::new(&[0x42; 32]);
+                        let mut input = [0u8; 16];
+                        input[..8].copy_from_slice(&passes.to_le_bytes()[..4].repeat(2));
+                        for (i, block) in body.chunks_mut(32).enumerate() {
+                            input[8..].copy_from_slice(&(i as u64).to_le_bytes());
+                            let pad = key.mac(&input);
+                            for (b, p) in block.iter_mut().zip(pad.iter()) {
+                                *b ^= p;
+                            }
+                        }
+                    }
+                }
+                passes += 1;
+            }
+            let mb = f64::from(passes) * (body.len() as f64) / (1024.0 * 1024.0);
+            let mbps = mb / started.elapsed().as_secs_f64();
+            println!("{suite}: {mbps:.0} MB/s keystream on this host");
+        }
+    }
+    Ok(())
+}
+
 /// Top-level help text.
 pub fn help() -> &'static str {
     "pprl — privacy-preserving record linkage toolkit
@@ -1164,6 +1259,7 @@ COMMANDS:
   serve     --index IDX [--host H] [--port P] [--workers N] [--queue N]
             [--cache N] [--threads N] [--compact-interval-ms MS]
             [--addr-file PATH] [--auth-dir DIR]
+            [--suite auto|chacha20|hmac-ctr]
             serve the index over TCP: concurrent top-k Dice queries,
             batch link, durable inserts, background size-tiered
             compaction (set MS to 0 to disable), snapshot-isolated
@@ -1172,8 +1268,10 @@ COMMANDS:
             --auth-dir requires every client to complete the wire v4
             handshake against DIR's keys and serves one namespace per
             granted tenant (IDX/<tenant>, or IDX itself as `default`
-            when it holds a MANIFEST directly); runs until a client
-            sends shutdown
+            when it holds a MANIFEST directly); --suite restricts the
+            record-layer cipher suites the server will negotiate
+            (default auto: fastest common suite wins); runs until a
+            client sends shutdown
 
   client    query    --addr H:P --input Q.csv --key SECRET [--row N]
                      [--top-k K] [--json]
@@ -1189,8 +1287,10 @@ COMMANDS:
             the address is a cluster coordinator (loud error when
             pointed at a lone shard), and the session-auth flags
             [--identity NAME --key-file K.psk] [--tenant T] [--encrypt]
+            [--suite auto|chacha20|hmac-ctr]
             for servers running with --auth-dir (--encrypt additionally
-            encrypts frame bodies; shutdown needs a `*` grant);
+            encrypts frame bodies; --suite narrows the cipher-suite
+            offer, default auto; shutdown needs a `*` grant);
             query/link results are bit-for-bit identical to offline
             `pprl index query`
 
@@ -1198,7 +1298,7 @@ COMMANDS:
                   [--workers N] [--queue N] [--quorum N]
                   [--deadline-ms MS] [--addr-file PATH]
                   [--identity NAME --key-file K.psk] [--encrypt]
-                  [--auth-dir DIR]
+                  [--auth-dir DIR] [--suite auto|chacha20|hmac-ctr]
             stats --addr H:P [--json]
                   [--identity NAME --key-file K.psk] [--encrypt]
             scatter-gather coordinator over sharded `pprl serve` nodes,
@@ -1212,7 +1312,8 @@ COMMANDS:
             shutdown stops only the coordinator, never the shards;
             --identity/--key-file authenticate the coordinator to
             auth-enabled shards and --auth-dir makes the front end
-            demand the same handshake from its own clients
+            demand the same handshake from its own clients; --suite
+            governs both legs (shard-hop offer and front-end policy)
 
   kernels   [--list] [--check]
             report the scan-kernel dispatch on this host: detected CPU
@@ -1221,6 +1322,13 @@ COMMANDS:
             (unset or `auto` picks the best the CPU supports); --list
             prints just the runnable names for scripting, --check fails
             loudly when PPRL_KERNEL names a kernel this host cannot run
+
+  suites    [--list] [--bench]
+            report the record-layer cipher suites this build negotiates
+            for authenticated sessions (chacha20, hmac-ctr) and how
+            negotiation picks between them; --list prints just the
+            names for scripting, --bench measures each suite's
+            keystream throughput on this host
 
   multiparty --inputs A.csv,B.csv,C.csv --key SECRET [--threshold F]
             [--pattern ring|sequential|tree|hierarchical]

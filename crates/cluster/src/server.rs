@@ -18,10 +18,11 @@ use crate::coordinator::Coordinator;
 use pprl_core::error::{PprlError, Result};
 use pprl_server::pool::BoundedQueue;
 use pprl_server::wire::{read_payload, write_payload, Incoming, Request, Response};
-use pprl_session::channel::SESSION_WIRE_VERSION;
+use pprl_session::channel::{IncomingRef, SESSION_WIRE_VERSION};
 use pprl_session::handshake::{server_handshake, ServerSession};
 use pprl_session::keys::entropy_rng;
 use pprl_session::registry::AuthRegistry;
+use pprl_session::suite::SuiteOffer;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,6 +48,10 @@ pub struct ClusterServerConfig {
     pub write_timeout: Duration,
     /// Sessions idle past this are closed.
     pub idle_timeout: Duration,
+    /// Record-layer cipher suites the front end will negotiate with
+    /// clients. Defaults to all; shard hops negotiate independently via
+    /// `ClusterConfig::shard_auth` (default offer → the fast suite).
+    pub suites: SuiteOffer,
 }
 
 impl Default for ClusterServerConfig {
@@ -57,6 +62,7 @@ impl Default for ClusterServerConfig {
             retry_after_ms: 50,
             write_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            suites: SuiteOffer::all(),
         }
     }
 }
@@ -75,6 +81,12 @@ impl ClusterServerConfig {
         if self.idle_timeout.is_zero() {
             return Err(PprlError::invalid("idle_timeout", "must be non-zero"));
         }
+        if self.suites.is_empty() {
+            return Err(PprlError::invalid(
+                "suites",
+                "must allow at least one cipher suite",
+            ));
+        }
         Ok(())
     }
 }
@@ -89,6 +101,7 @@ struct ClusterContext {
     retry_after_ms: u32,
     write_timeout: Duration,
     idle_timeout: Duration,
+    suites: SuiteOffer,
     started: Instant,
 }
 
@@ -201,6 +214,7 @@ fn serve_cluster_backend(
         retry_after_ms: config.retry_after_ms,
         write_timeout: config.write_timeout,
         idle_timeout: config.idle_timeout,
+        suites: config.suites,
         started: Instant::now(),
     });
 
@@ -305,7 +319,9 @@ fn handle_session(mut stream: TcpStream, context: &ClusterContext) {
             let mut rng = entropy_rng();
             // On failure the handshake has already sent the typed
             // AUTH_ERROR where one is safe to send; just close.
-            if let Ok(session) = server_handshake(&mut stream, &first, registry, &mut rng) {
+            if let Ok(session) =
+                server_handshake(&mut stream, &first, registry, &mut rng, context.suites)
+            {
                 serve_authenticated(stream, session, context);
             }
         }
@@ -399,16 +415,19 @@ fn serve_authenticated(
         if context.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let inner = match session.channel.recv(&mut stream) {
-            Ok(Incoming::TimedOut) => {
+        // Decode while the frame is still borrowed from the channel's
+        // receive buffer; `Request` owns its fields, so the borrow ends
+        // here and the channel is free to send the response.
+        let decoded = match session.channel.recv_ref(&mut stream) {
+            Ok(IncomingRef::TimedOut) => {
                 idle += POLL_INTERVAL;
                 if idle >= context.idle_timeout {
                     return;
                 }
                 continue;
             }
-            Ok(Incoming::Eof) => return,
-            Ok(Incoming::Payload(inner)) => inner,
+            Ok(IncomingRef::Eof) => return,
+            Ok(IncomingRef::Payload(inner)) => Request::decode(inner),
             Err(_) => return,
         };
         idle = Duration::ZERO;
@@ -425,7 +444,7 @@ fn serve_authenticated(
             let _ = session.channel.send(&mut stream, &err.encode());
             return;
         }
-        let response = match Request::decode(&inner) {
+        let response = match decoded {
             Ok(Request::Shutdown) => {
                 if session.privileged {
                     let _ = session.channel.send(&mut stream, &Response::Bye.encode());

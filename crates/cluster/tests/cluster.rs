@@ -14,6 +14,7 @@ use pprl_index::store::IndexStore;
 use pprl_server::client::Client;
 use pprl_server::server::{serve, ServerConfig, ServerHandle};
 use pprl_server::wire::{read_payload, write_payload, Incoming, Request, Response};
+use pprl_session::suite::SuiteOffer;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -877,6 +878,7 @@ fn authenticated_cluster_end_to_end() {
                 key: coord_key.clone(),
                 tenant: "default".into(),
                 encrypt: true,
+                suites: SuiteOffer::default(),
             }),
         })
         .unwrap(),
@@ -906,6 +908,7 @@ fn authenticated_cluster_end_to_end() {
             key: PartyKey::from_bytes([0xEE; 32]),
             tenant: "default".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         }),
     }) {
         Err(PprlError::Auth(_)) => {}
@@ -919,6 +922,7 @@ fn authenticated_cluster_end_to_end() {
         key: alice_key.clone(),
         tenant: "default".into(),
         encrypt: true,
+        suites: SuiteOffer::default(),
     };
     let probes: Vec<BitVec> = (0..6u64).map(filter_for).collect();
     let expected = oracle_top_k("auth-oracle", &records, &probes, 4);
@@ -962,6 +966,7 @@ fn authenticated_cluster_end_to_end() {
             key: PartyKey::from_bytes([0x5A; 32]),
             tenant: "default".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         }),
     );
     match wrong {
@@ -984,6 +989,7 @@ fn authenticated_cluster_end_to_end() {
             key: admin_key,
             tenant: "default".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         }),
     )
     .unwrap();

@@ -123,6 +123,111 @@ impl CommutativeKey {
     pub fn encrypt_value(&self, value: &str) -> Result<BigUint> {
         self.encrypt(&self.group.hash_to_group(value.as_bytes()))
     }
+
+    /// Computes `base^k mod p` via a precomputed [`FixedBaseTable`] for
+    /// the table's base — bit-identical to `encrypt(base)` but ~6×
+    /// fewer modular multiplications. The table must have been built
+    /// over this key's group modulus.
+    pub fn encrypt_with(&self, table: &FixedBaseTable) -> Result<BigUint> {
+        if table.modulus() != &self.group.p {
+            return Err(PprlError::CryptoError(
+                "fixed-base table modulus does not match the key's group".into(),
+            ));
+        }
+        table.pow(&self.exponent)
+    }
+}
+
+/// A fixed-base windowed-exponentiation table: `base^e mod p` for any
+/// exponent up to a configured width, by table lookups and
+/// multiplications only.
+///
+/// Plain square-and-multiply pays one squaring per exponent bit plus a
+/// multiplication per set bit (~384 modular multiplications for a
+/// 256-bit exponent). When the base is *fixed* — the session
+/// handshake's group generator — all squarings can be done once, up
+/// front: the table stores `base^(d·16^w)` for every 4-bit digit `d`
+/// and window `w`, so each later exponentiation is at most one
+/// multiplication per window (≤ 64 for 256 bits), a ~6× cut. The
+/// result is bit-identical to [`BigUint::modpow`] (asserted in tests);
+/// only the operation count changes.
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    modulus: BigUint,
+    /// `windows[w][d-1] = base^(d << (4w)) mod p` for digits d in 1..=15.
+    windows: Vec<Vec<BigUint>>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for exponents up to `max_exp_bits` bits.
+    pub fn new(base: &BigUint, modulus: &BigUint, max_exp_bits: usize) -> Result<FixedBaseTable> {
+        if modulus.is_zero() {
+            return Err(PprlError::CryptoError("zero modulus".into()));
+        }
+        if base.is_zero() || base >= modulus {
+            return Err(PprlError::CryptoError(
+                "fixed base outside the multiplicative group".into(),
+            ));
+        }
+        let window_count = max_exp_bits.div_ceil(4).max(1);
+        let mut windows = Vec::with_capacity(window_count);
+        let mut window_base = base.clone();
+        for _ in 0..window_count {
+            let mut digits = Vec::with_capacity(15);
+            digits.push(window_base.clone());
+            for d in 1..15 {
+                let prev: &BigUint = &digits[d - 1];
+                digits.push(prev.mulmod(&window_base, modulus)?);
+            }
+            // Next window's base is base^(16^(w+1)) = d15 · d1.
+            window_base = digits[14].mulmod(&window_base, modulus)?;
+            windows.push(digits);
+        }
+        Ok(FixedBaseTable {
+            modulus: modulus.clone(),
+            windows,
+        })
+    }
+
+    /// The modulus this table was built for.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Exponent bits the table covers.
+    pub fn max_exp_bits(&self) -> usize {
+        self.windows.len() * 4
+    }
+
+    /// Computes `base^exponent mod p` from the table.
+    pub fn pow(&self, exponent: &BigUint) -> Result<BigUint> {
+        if exponent.bits() > self.max_exp_bits() {
+            return Err(PprlError::CryptoError(format!(
+                "exponent of {} bits exceeds the {}-bit fixed-base table",
+                exponent.bits(),
+                self.max_exp_bits()
+            )));
+        }
+        let mut acc: Option<BigUint> = None;
+        for (w, digits) in self.windows.iter().enumerate() {
+            let mut d = 0usize;
+            for i in 0..4 {
+                if exponent.bit(4 * w + i) {
+                    d |= 1 << i;
+                }
+            }
+            if d == 0 {
+                continue;
+            }
+            let term = &digits[d - 1];
+            acc = Some(match acc {
+                None => term.clone(),
+                Some(a) => a.mulmod(term, &self.modulus)?,
+            });
+        }
+        // An all-zero exponent means base^0 = 1.
+        acc.unwrap_or_else(BigUint::one).rem(&self.modulus)
+    }
 }
 
 /// Runs the two-party commutative-encryption PSI on two sets of strings.
@@ -267,6 +372,49 @@ mod tests {
         let b = vec!["ann".to_string()];
         let matches = private_set_intersection(&a, &b, &g, &mut rng).unwrap();
         assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn fixed_base_table_matches_modpow() {
+        let (g, mut rng) = small_group(10);
+        let base = g.hash_to_group(b"generator");
+        let table = FixedBaseTable::new(&base, &g.p, 64).unwrap();
+        // Structured and random exponents, including widths at window
+        // boundaries, must all agree with plain square-and-multiply.
+        let mut exps: Vec<BigUint> = [0u64, 1, 2, 15, 16, 17, 255, 256, u64::MAX]
+            .iter()
+            .map(|&e| BigUint::from_u64(e))
+            .collect();
+        for _ in 0..20 {
+            exps.push(BigUint::random_below(&mut rng, &g.p));
+        }
+        for e in &exps {
+            assert_eq!(
+                table.pow(e).unwrap(),
+                base.modpow(e, &g.p).unwrap(),
+                "exponent {} bits",
+                e.bits()
+            );
+        }
+        // The key-side helper agrees with direct encryption of the base.
+        let k = CommutativeKey::generate(&g, &mut rng).unwrap();
+        assert_eq!(k.encrypt_with(&table).unwrap(), k.encrypt(&base).unwrap());
+    }
+
+    #[test]
+    fn fixed_base_table_rejects_bad_inputs() {
+        let (g, mut rng) = small_group(11);
+        let base = g.hash_to_group(b"generator");
+        assert!(FixedBaseTable::new(&BigUint::zero(), &g.p, 64).is_err());
+        assert!(FixedBaseTable::new(&g.p, &g.p, 64).is_err());
+        let table = FixedBaseTable::new(&base, &g.p, 16).unwrap();
+        // An exponent wider than the table covers must be refused, not
+        // silently truncated.
+        assert!(table.pow(&BigUint::from_u64(1 << 17)).is_err());
+        // A key from a different group is refused by the helper.
+        let (g2, _) = small_group(12);
+        let k2 = CommutativeKey::generate(&g2, &mut rng).unwrap();
+        assert!(k2.encrypt_with(&table).is_err());
     }
 
     #[test]

@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
+pub mod chacha;
 pub mod commutative;
 pub mod cost;
 pub mod dp;
 pub mod paillier;
+pub mod poly1305;
 pub mod prime;
 pub mod rng;
 pub mod secret_sharing;

@@ -22,66 +22,160 @@ const SHA256_K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
+const SHA256_IV: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// One SHA-256 compression round over a 64-byte block.
+fn sha256_compress(h: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(SHA256_K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+/// An incremental SHA-256 computation.
+///
+/// Allocation-free: input is absorbed block by block into a fixed
+/// 64-byte buffer, so hot paths (per-frame MACs, keystreams) can hash
+/// without touching the heap. Resumable from a saved compression state
+/// — that is what lets [`HmacKey`] pay for its key pads exactly once.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total bytes absorbed so far (including any resumed-from prefix).
+    len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Starts a fresh hash.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: SHA256_IV,
+            buf: [0u8; 64],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Resumes from a saved compression state after `len` bytes were
+    /// already absorbed (`len` must be a multiple of 64).
+    fn from_midstate(state: [u32; 8], len: u64) -> Sha256 {
+        debug_assert_eq!(len % 64, 0);
+        Sha256 {
+            state,
+            buf: [0u8; 64],
+            buf_len: 0,
+            len,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                // `rest` is empty: everything fit in the partial buffer.
+                return;
+            }
+            let block = self.buf;
+            sha256_compress(&mut self.state, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            sha256_compress(&mut self.state, block.try_into().expect("64-byte chunk"));
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Pads, finishes, and writes the digest into `out`.
+    pub fn finalize_into(mut self, out: &mut Sha256Digest) {
+        let bit_len = self.len.wrapping_mul(8);
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            sha256_compress(&mut self.state, &block);
+            block = [0u8; 64];
+        }
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        sha256_compress(&mut self.state, &block);
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+
+    /// Pads, finishes, and returns the digest.
+    pub fn finalize(self) -> Sha256Digest {
+        let mut out = [0u8; 32];
+        self.finalize_into(&mut out);
+        out
+    }
+}
+
 /// Computes the SHA-256 digest of `data`.
 pub fn sha256(data: &[u8]) -> Sha256Digest {
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-    let padded = pad_message(data);
-    let mut w = [0u32; 64];
-    for block in padded.chunks_exact(64) {
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(SHA256_K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-        h[5] = h[5].wrapping_add(f);
-        h[6] = h[6].wrapping_add(g);
-        h[7] = h[7].wrapping_add(hh);
-    }
-    let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    out
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
 }
 
 /// Computes the SHA-1 digest of `data`.
@@ -134,7 +228,7 @@ pub fn sha1(data: &[u8]) -> Sha1Digest {
     out
 }
 
-/// Merkle–Damgård padding shared by SHA-1 and SHA-256 (identical scheme).
+/// Merkle–Damgård padding for SHA-1 (SHA-256 pads inside [`Sha256`]).
 fn pad_message(data: &[u8]) -> Vec<u8> {
     let bit_len = (data.len() as u64).wrapping_mul(8);
     let mut padded = data.to_vec();
@@ -146,29 +240,85 @@ fn pad_message(data: &[u8]) -> Vec<u8> {
     padded
 }
 
+/// An HMAC-SHA-256 key with precomputed ipad/opad midstates.
+///
+/// RFC 2104 HMAC hashes `(key ⊕ ipad) ‖ message` and then
+/// `(key ⊕ opad) ‖ inner`. Both pad blocks depend only on the key, so
+/// their compression states are computed once here; every subsequent
+/// [`mac`](HmacKey::new) resumes from the midstates and pays ~2
+/// compression calls for a short message instead of 4. That halves the
+/// per-frame MAC cost of a session that keeps the key for thousands of
+/// frames, and it is exactly as strong — the midstates are a pure
+/// restatement of the standard computation.
+#[derive(Debug, Clone)]
+pub struct HmacKey {
+    inner: [u32; 8],
+    outer: [u32; 8],
+}
+
+impl HmacKey {
+    /// Derives the pad midstates from `key` (hashed first if longer than
+    /// the 64-byte block, per RFC 2104).
+    pub fn new(key: &[u8]) -> HmacKey {
+        const BLOCK: usize = 64;
+        let mut key_block = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            key_block[..32].copy_from_slice(&sha256(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut pad = [0u8; BLOCK];
+        let mut inner = SHA256_IV;
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ 0x36;
+        }
+        sha256_compress(&mut inner, &pad);
+        let mut outer = SHA256_IV;
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ 0x5c;
+        }
+        sha256_compress(&mut outer, &pad);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts the inner hash, resumed past the key pad. Feed the message
+    /// with [`Sha256::update`], then call [`finish`](HmacKey::finish).
+    pub fn begin(&self) -> Sha256 {
+        Sha256::from_midstate(self.inner, 64)
+    }
+
+    /// Completes an HMAC whose inner hash was started with
+    /// [`begin`](HmacKey::begin), writing the tag into `out`.
+    pub fn finish_into(&self, inner: Sha256, out: &mut Sha256Digest) {
+        let mut digest = [0u8; 32];
+        inner.finalize_into(&mut digest);
+        let mut outer = Sha256::from_midstate(self.outer, 64);
+        outer.update(&digest);
+        outer.finalize_into(out);
+    }
+
+    /// Completes an HMAC whose inner hash was started with
+    /// [`begin`](HmacKey::begin).
+    pub fn finish(&self, inner: Sha256) -> Sha256Digest {
+        let mut out = [0u8; 32];
+        self.finish_into(inner, &mut out);
+        out
+    }
+
+    /// One-shot MAC over `message` (allocation-free).
+    pub fn mac(&self, message: &[u8]) -> Sha256Digest {
+        let mut state = self.begin();
+        state.update(message);
+        self.finish(state)
+    }
+}
+
 /// HMAC-SHA-256 (RFC 2104) — the keyed hash used for salted/keyed Bloom
 /// filter encodings so that only parties holding the shared secret can
-/// reproduce bit positions.
+/// reproduce bit positions. One-shot; callers MACing many messages under
+/// one key should hold an [`HmacKey`] instead to reuse the pad midstates.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Sha256Digest {
-    const BLOCK: usize = 64;
-    let mut key_block = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        key_block[..32].copy_from_slice(&sha256(key));
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut inner = Vec::with_capacity(BLOCK + message.len());
-    let mut outer = Vec::with_capacity(BLOCK + 32);
-    for &b in &key_block {
-        inner.push(b ^ 0x36);
-    }
-    inner.extend_from_slice(message);
-    let inner_hash = sha256(&inner);
-    for &b in &key_block {
-        outer.push(b ^ 0x5c);
-    }
-    outer.extend_from_slice(&inner_hash);
-    sha256(&outer)
+    HmacKey::new(key).mac(message)
 }
 
 /// HMAC-SHA-1 (RFC 2104); second independent keyed hash for double hashing.
@@ -370,6 +520,69 @@ mod tests {
         let d = sha256(b"abc");
         let p = digest_prefix_u64(&d);
         assert_eq!(p >> 56, d[0] as u64);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_every_split() {
+        // Absorbing the same bytes in any chunking must give the same
+        // digest as the one-shot hash, across the padding boundaries.
+        let data: Vec<u8> = (0..257u16).map(|i| (i * 31 + 7) as u8).collect();
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 200, 257] {
+            let expect = sha256(&data[..len]);
+            for split in 0..=len {
+                let mut h = Sha256::new();
+                h.update(&data[..split]);
+                h.update(&data[split..len]);
+                assert_eq!(h.finalize(), expect, "len {len} split {split}");
+            }
+            // Byte-at-a-time.
+            let mut h = Sha256::new();
+            for b in &data[..len] {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), expect, "len {len} byte-at-a-time");
+        }
+    }
+
+    #[test]
+    fn hmac_key_matches_one_shot() {
+        // The cached-midstate path must be bit-identical to the direct
+        // RFC 2104 computation for every key/message length class.
+        let msg: Vec<u8> = (0..150u8).collect();
+        for key_len in [0usize, 1, 20, 32, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 17 + 3) as u8).collect();
+            let hk = HmacKey::new(&key);
+            for msg_len in [0usize, 1, 27, 64, 150] {
+                assert_eq!(
+                    hk.mac(&msg[..msg_len]),
+                    hmac_sha256(&key, &msg[..msg_len]),
+                    "key {key_len} msg {msg_len}"
+                );
+                // Streaming begin/update/finish agrees too.
+                let mut state = hk.begin();
+                for chunk in msg[..msg_len].chunks(7) {
+                    state.update(chunk);
+                }
+                assert_eq!(hk.finish(state), hmac_sha256(&key, &msg[..msg_len]));
+            }
+        }
+    }
+
+    #[test]
+    fn hmac_key_rfc4231_vectors() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            to_hex(&HmacKey::new(&key).mac(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let long_key = [0xaa; 131];
+        assert_eq!(
+            to_hex(
+                &HmacKey::new(&long_key)
+                    .mac(b"Test Using Larger Than Block-Size Key - Hash Key First")
+            ),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pprl_core::bitvec::BitVec;
 use pprl_core::error::{PprlError, Result};
 use pprl_core::rng::SplitMix64;
 use pprl_index::query::Hit;
-use pprl_session::channel::SecureChannel;
+use pprl_session::channel::{IncomingRef, SecureChannel};
 use pprl_session::handshake::{client_handshake, ClientAuth, HandshakeOutcome};
 use pprl_session::keys::entropy_rng;
 use std::net::TcpStream;
@@ -101,7 +101,7 @@ impl Client {
             };
             let mut hs_rng = entropy_rng();
             match client_handshake(&mut stream, auth, &mut hs_rng)? {
-                HandshakeOutcome::Established(channel) => return Ok((stream, Some(channel))),
+                HandshakeOutcome::Established(channel) => return Ok((stream, Some(*channel))),
                 HandshakeOutcome::Busy { retry_after_ms } => {
                     attempt += 1;
                     let base = u64::from(retry_after_ms.max(1))
@@ -218,8 +218,15 @@ impl Client {
                     self.deadline.as_millis()
                 )));
             }
+            // The authenticated path decodes straight out of the
+            // channel's receive buffer (no per-response copy); the
+            // plaintext path keeps its owned payload.
             let incoming = match &mut self.channel {
-                Some(ch) => ch.recv(&mut self.stream)?,
+                Some(ch) => match ch.recv_ref(&mut self.stream)? {
+                    IncomingRef::Payload(p) => return Response::decode(p),
+                    IncomingRef::TimedOut => Incoming::TimedOut,
+                    IncomingRef::Eof => Incoming::Eof,
+                },
                 None => read_payload(&mut self.stream)?,
             };
             match incoming {

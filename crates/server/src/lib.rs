@@ -53,3 +53,4 @@ pub use wire::StatsReport;
 pub use pprl_session::handshake::ClientAuth;
 pub use pprl_session::keys::PartyKey;
 pub use pprl_session::registry::{AuthRegistry, TenantGrant};
+pub use pprl_session::suite::{CipherSuite, SuiteOffer};

@@ -20,10 +20,11 @@ use crate::service::{LinkageService, ServiceConfig};
 use crate::wire::{read_payload, write_payload, Incoming, Request, Response};
 use pprl_core::error::{PprlError, Result};
 use pprl_index::store::TieredPolicy;
-use pprl_session::channel::SESSION_WIRE_VERSION;
+use pprl_session::channel::{IncomingRef, SESSION_WIRE_VERSION};
 use pprl_session::handshake::{server_handshake, ServerSession};
 use pprl_session::keys::entropy_rng;
 use pprl_session::registry::AuthRegistry;
+use pprl_session::suite::SuiteOffer;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,6 +61,10 @@ pub struct ServerConfig {
     /// An established session that completes no frame for this long is
     /// closed (the read side of the anti-pinning guarantee).
     pub idle_timeout: Duration,
+    /// Record-layer cipher suites this server will negotiate. Defaults
+    /// to all; pin with [`SuiteOffer::only`] to enforce a policy (a
+    /// disjoint client is refused before any key material is spent).
+    pub suites: SuiteOffer,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             tiered: TieredPolicy::default(),
             write_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            suites: SuiteOffer::all(),
         }
     }
 }
@@ -91,6 +97,12 @@ impl ServerConfig {
         }
         if self.idle_timeout.is_zero() {
             return Err(PprlError::invalid("idle_timeout", "must be non-zero"));
+        }
+        if self.suites.is_empty() {
+            return Err(PprlError::invalid(
+                "suites",
+                "must allow at least one cipher suite",
+            ));
         }
         Ok(())
     }
@@ -144,6 +156,7 @@ struct ServerContext {
     retry_after_ms: u32,
     write_timeout: Duration,
     idle_timeout: Duration,
+    suites: SuiteOffer,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -291,6 +304,7 @@ fn serve_backend(backend: ServerBackend, addr: &str, config: ServerConfig) -> Re
         retry_after_ms: config.retry_after_ms,
         write_timeout: config.write_timeout,
         idle_timeout: config.idle_timeout,
+        suites: config.suites,
     });
 
     let mut threads = Vec::with_capacity(config.workers + 2);
@@ -446,7 +460,9 @@ fn handle_session(mut stream: TcpStream, context: &ServerContext) {
             let mut rng = entropy_rng();
             // On failure the handshake has already sent the typed
             // AUTH_ERROR where one is safe to send; just close.
-            if let Ok(session) = server_handshake(&mut stream, &first, registry, &mut rng) {
+            if let Ok(session) =
+                server_handshake(&mut stream, &first, registry, &mut rng, context.suites)
+            {
                 serve_authenticated(stream, session, context);
             }
         }
@@ -532,6 +548,11 @@ fn serve_plain(mut stream: TcpStream, first: Vec<u8>, context: &ServerContext, m
 /// session's keys before its inner opcode is even looked at. A frame
 /// that fails its MAC or sequence check closes the connection without a
 /// reply — a forger gets no feedback beyond the drop.
+///
+/// Frames are received with [`SecureChannel::recv_ref`] and decoded
+/// in place: the channel's reusable buffers mean a steady-state
+/// request/response cycle performs no heap allocation inside the
+/// record layer.
 fn serve_authenticated(mut stream: TcpStream, mut session: ServerSession, context: &ServerContext) {
     let service = context.backend.service(&session.tenant).cloned();
     let mut idle = Duration::ZERO;
@@ -539,16 +560,19 @@ fn serve_authenticated(mut stream: TcpStream, mut session: ServerSession, contex
         if context.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let inner = match session.channel.recv(&mut stream) {
-            Ok(Incoming::TimedOut) => {
+        // Decode while the frame is still borrowed from the channel's
+        // receive buffer; `Request` owns its fields, so the borrow ends
+        // here and the channel is free to send the response.
+        let decoded = match session.channel.recv_ref(&mut stream) {
+            Ok(IncomingRef::TimedOut) => {
                 idle += POLL_INTERVAL;
                 if idle >= context.idle_timeout {
                     return;
                 }
                 continue;
             }
-            Ok(Incoming::Eof) => return,
-            Ok(Incoming::Payload(inner)) => inner,
+            Ok(IncomingRef::Eof) => return,
+            Ok(IncomingRef::Payload(inner)) => Request::decode(inner),
             Err(_) => return,
         };
         idle = Duration::ZERO;
@@ -564,7 +588,7 @@ fn serve_authenticated(mut stream: TcpStream, mut session: ServerSession, contex
             let _ = session.channel.send(&mut stream, &err.encode());
             return;
         };
-        let response = match Request::decode(&inner) {
+        let response = match decoded {
             Ok(Request::Shutdown) => {
                 if session.privileged {
                     let _ = session.channel.send(&mut stream, &Response::Bye.encode());

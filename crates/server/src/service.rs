@@ -12,7 +12,7 @@
 //! and the superseded segment files wait in the hub until every reader
 //! of an older generation drains.
 
-use crate::cache::{LruCache, PlanKey, QueryKey};
+use crate::cache::{plan_bucket, plan_bucket_representative, LruCache, PlanKey, QueryKey};
 use crate::metrics::Metrics;
 use crate::snapshot::{Snapshot, SnapshotHub};
 use crate::wire::StatsReport;
@@ -139,18 +139,29 @@ impl LinkageService {
     }
 
     /// The cached slot-visiting order for a probe of popcount `q`
-    /// against `snap`'s generation, computing and caching it on a miss.
+    /// against `snap`'s generation, deriving and caching it on a miss.
     /// The plan is purely an ordering hint — results are bit-identical
     /// with or without it (see `IndexReader::top_k_planned`) — so a
     /// cache race can at worst cost a recomputation, never correctness.
+    ///
+    /// Plans are keyed on the probe's popcount *bucket* and derived
+    /// from the bucket midpoint, so a miss-heavy workload whose
+    /// popcounts wander within a band still reuses one derivation per
+    /// `(generation, bucket)` instead of re-sorting segment bounds for
+    /// every distinct popcount. `STATS` exposes the hit/derive split as
+    /// `plan_hits` / `plan_misses`.
     fn scan_plan(&self, snap: &Snapshot, q: usize) -> Arc<Vec<u32>> {
-        let key: PlanKey = (snap.generation, q as u32);
+        let bucket = plan_bucket(q as u32);
+        let key: PlanKey = (snap.generation, bucket);
         if let Some(plan) = self.plans.lock().expect("plan lock").get(&key) {
             Metrics::add(&self.metrics.plan_hits, 1);
             return plan;
         }
         Metrics::add(&self.metrics.plan_misses, 1);
-        let plan = Arc::new(snap.reader.popcount_scan_order(q));
+        let plan = Arc::new(
+            snap.reader
+                .popcount_scan_order(plan_bucket_representative(bucket) as usize),
+        );
         self.plans
             .lock()
             .expect("plan lock")

@@ -12,6 +12,7 @@ use pprl_server::wire::StatsReport;
 use pprl_session::handshake::ClientAuth;
 use pprl_session::keys::PartyKey;
 use pprl_session::registry::{AuthRegistry, TenantGrant};
+use pprl_session::suite::SuiteOffer;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -81,6 +82,7 @@ fn auth(identity: &str, key: &PartyKey, tenant: &str, encrypt: bool) -> ClientAu
         key: key.clone(),
         tenant: tenant.into(),
         encrypt,
+        suites: SuiteOffer::default(),
     }
 }
 

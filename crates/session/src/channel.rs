@@ -10,7 +10,7 @@
 //! flags   u8      bit 0: body is encrypted
 //! seq     u64 LE  per-direction monotonic sequence number
 //! body    ...     the inner wire-v3 payload (possibly encrypted)
-//! mac     [32]    HMAC-SHA256(k_mac, payload[..len-32])
+//! mac     [N]     suite frame authenticator over payload[..len-N]
 //! ```
 //!
 //! The MAC covers the version byte, opcode, flags, sequence number,
@@ -22,15 +22,45 @@
 //! sequence number, and only then is the inner payload surfaced —
 //! the inner opcode of a forged frame is never interpreted.
 //!
-//! Encryption is an HMAC-SHA256 counter-mode keystream over a
-//! direction-specific key: block *i* of frame *seq* is
-//! `HMAC(k_enc, seq LE ‖ i LE)`. The (seq, i) input pair never
-//! repeats within a session and the send/recv keys differ, so the
-//! keystream never repeats. Encrypt-then-MAC throughout.
+//! Both the frame authenticator and the body keystream follow the
+//! negotiated [`CipherSuite`]:
+//!
+//! * `HmacCtr` (legacy): the tag is 32-byte HMAC-SHA256 under the
+//!   directional MAC key (pad midstates cached per session); block *i*
+//!   of frame *seq*'s keystream is `HMAC(k_enc, seq LE ‖ i LE)`, 32
+//!   bytes per MAC.
+//! * `ChaCha20` (RFC 8439): the tag is 16-byte Poly1305 under a
+//!   one-time key — the first 32 bytes of ChaCha20 block 0 for nonce
+//!   `0⁴ ‖ seq LE` under the directional MAC key, the RFC 8439 AEAD
+//!   key schedule; the body XORs against the keystream for the same
+//!   nonce under the *separate* directional encryption key, starting
+//!   at block counter 0, 64 bytes per block-function call.
+//!
+//! In both suites the (key, position) input never repeats within a
+//! session — `seq` is strictly monotonic, the send/recv keys differ,
+//! and MAC and encryption keys are derived independently — so neither
+//! keystream nor one-time MAC key ever repeats. Encrypt-then-MAC
+//! throughout.
+//!
+//! This layer is also the serving hot path, so it is built to do
+//! *zero heap allocations per frame* at steady state: the HMAC path
+//! resumes from the session [`HmacKey`]'s cached pad midstates instead
+//! of re-hashing the key, the Poly1305 path derives its one-time key
+//! and accumulates the tag entirely in stack scratch, keystreams XOR
+//! in place with stack scratch only, and [`send`](SecureChannel::send) /
+//! [`recv_ref`](SecureChannel::recv_ref) assemble and parse frames in
+//! two buffers owned by the channel that stop growing once they reach
+//! the session's largest frame (verified with a counting global
+//! allocator in `tests/alloc.rs`).
 
-use crate::frame::{read_payload, write_payload, Incoming, MAX_PAYLOAD};
+use crate::frame::{
+    frame_begin, frame_finish, frame_send, read_payload_into, Incoming, IncomingLen, MAX_PAYLOAD,
+};
+use crate::suite::CipherSuite;
 use pprl_core::error::{PprlError, Result};
-use pprl_crypto::sha::{ct_eq, hmac_sha256};
+use pprl_crypto::chacha;
+use pprl_crypto::poly1305::poly1305;
+use pprl_crypto::sha::{ct_eq, hmac_sha256, HmacKey};
 use std::io::{Read, Write};
 
 /// Wire version of the session (outer) protocol.
@@ -54,17 +84,98 @@ pub const OP_ACCEPT: u8 = 0x46;
 pub const FLAG_ENCRYPTED: u8 = 0x01;
 
 const HEADER_LEN: usize = 1 + 1 + 1 + 8;
-const MAC_LEN: usize = 32;
+/// The largest tag any suite emits (HMAC-SHA256); stack scratch size.
+const MAX_TAG_LEN: usize = 32;
 
 fn auth_err(msg: impl Into<String>) -> PprlError {
     PprlError::Auth(msg.into())
 }
 
+/// The negotiated body keystream for one direction.
+#[derive(Debug)]
+enum Keystream {
+    /// Legacy HMAC-SHA256 counter mode (midstates cached in the key).
+    HmacCtr(HmacKey),
+    /// ChaCha20 keyed per direction; nonce = `0⁴ ‖ seq LE`.
+    ChaCha20([u8; 32]),
+}
+
+impl Keystream {
+    /// XORs frame `seq`'s keystream into `body` in place. Symmetric:
+    /// applying it twice restores the plaintext. Allocation-free.
+    fn apply(&self, seq: u64, body: &mut [u8]) {
+        match self {
+            Keystream::HmacCtr(key) => {
+                // The HMAC input is seq ‖ block-index; the seq half is
+                // written once and the output block lives on the stack,
+                // so the legacy path no longer allocates per frame.
+                let mut input = [0u8; 16];
+                input[..8].copy_from_slice(&seq.to_le_bytes());
+                for (i, chunk) in body.chunks_mut(32).enumerate() {
+                    input[8..].copy_from_slice(&(i as u64).to_le_bytes());
+                    let block = key.mac(&input);
+                    for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                        *b ^= k;
+                    }
+                }
+            }
+            Keystream::ChaCha20(key) => {
+                let mut nonce = [0u8; 12];
+                nonce[4..].copy_from_slice(&seq.to_le_bytes());
+                chacha::apply_keystream(key, &nonce, 0, body);
+            }
+        }
+    }
+}
+
+/// The negotiated frame authenticator for one direction.
+#[derive(Debug)]
+enum FrameMac {
+    /// Legacy 32-byte HMAC-SHA256 tag (pad midstates cached).
+    Hmac(HmacKey),
+    /// 16-byte Poly1305 tag under a per-frame one-time key: the first
+    /// 32 bytes of ChaCha20 block 0 for nonce `0⁴ ‖ seq LE` under this
+    /// directional MAC key (RFC 8439 §2.6). `seq` never repeats within
+    /// a direction, so no one-time key ever signs two messages.
+    Poly1305([u8; 32]),
+}
+
+impl FrameMac {
+    /// Tag size this authenticator appends to a frame.
+    fn tag_len(&self) -> usize {
+        match self {
+            FrameMac::Hmac(_) => 32,
+            FrameMac::Poly1305(_) => 16,
+        }
+    }
+
+    /// Computes the tag for frame `seq` over `signed`, writing it into
+    /// the first [`tag_len`](FrameMac::tag_len) bytes of `out`.
+    /// Allocation-free: both paths work in stack scratch.
+    fn tag_into(&self, seq: u64, signed: &[u8], out: &mut [u8; MAX_TAG_LEN]) {
+        match self {
+            FrameMac::Hmac(key) => {
+                let mut state = key.begin();
+                state.update(signed);
+                key.finish_into(state, out);
+            }
+            FrameMac::Poly1305(key) => {
+                let mut nonce = [0u8; 12];
+                nonce[4..].copy_from_slice(&seq.to_le_bytes());
+                let block = chacha::chacha20_block(key, 0, &nonce);
+                let mut otk = [0u8; 32];
+                otk.copy_from_slice(&block[..32]);
+                out[..16].copy_from_slice(&poly1305(&otk, signed));
+            }
+        }
+    }
+}
+
 /// Key material and state for one direction of a session.
 #[derive(Debug)]
 struct Direction {
-    mac_key: [u8; 32],
-    enc_key: [u8; 32],
+    mac: FrameMac,
+    enc: Keystream,
     /// Next sequence number (sender: to stamp; receiver: to require).
     seq: u64,
 }
@@ -79,61 +190,55 @@ pub struct SecureChannel {
     send: Direction,
     recv: Direction,
     encrypt: bool,
+    suite: CipherSuite,
+    /// Reused outgoing frame buffer: `[len | payload | checksum]`.
+    sbuf: Vec<u8>,
+    /// Reused incoming payload buffer.
+    rbuf: Vec<u8>,
 }
 
 fn derive(master: &[u8; 32], label: &str) -> [u8; 32] {
     hmac_sha256(master, label.as_bytes())
 }
 
-/// XORs the HMAC-CTR keystream for (`key`, `seq`) into `body` in place.
-/// Symmetric: applying it twice restores the plaintext.
-fn apply_keystream(key: &[u8; 32], seq: u64, body: &mut [u8]) {
-    let mut input = [0u8; 16];
-    input[..8].copy_from_slice(&seq.to_le_bytes());
-    for (i, chunk) in body.chunks_mut(32).enumerate() {
-        input[8..].copy_from_slice(&(i as u64).to_le_bytes());
-        let block = hmac_sha256(key, &input);
-        for (b, k) in chunk.iter_mut().zip(block.iter()) {
-            *b ^= k;
-        }
-    }
-}
-
 impl SecureChannel {
-    fn new(master: &[u8; 32], is_client: bool, encrypt: bool) -> SecureChannel {
-        let c2s = Direction {
-            mac_key: derive(master, "c2s-mac"),
-            enc_key: derive(master, "c2s-enc"),
-            seq: 0,
-        };
-        let s2c = Direction {
-            mac_key: derive(master, "s2c-mac"),
-            enc_key: derive(master, "s2c-enc"),
-            seq: 0,
-        };
-        if is_client {
-            SecureChannel {
-                send: c2s,
-                recv: s2c,
-                encrypt,
+    fn new(master: &[u8; 32], is_client: bool, encrypt: bool, suite: CipherSuite) -> SecureChannel {
+        let direction = |prefix: &str| {
+            let mac_key = derive(master, &format!("{prefix}-mac"));
+            let enc_key = derive(master, &format!("{prefix}-enc"));
+            Direction {
+                mac: match suite {
+                    CipherSuite::HmacCtr => FrameMac::Hmac(HmacKey::new(&mac_key)),
+                    CipherSuite::ChaCha20 => FrameMac::Poly1305(mac_key),
+                },
+                enc: match suite {
+                    CipherSuite::HmacCtr => Keystream::HmacCtr(HmacKey::new(&enc_key)),
+                    CipherSuite::ChaCha20 => Keystream::ChaCha20(enc_key),
+                },
+                seq: 0,
             }
-        } else {
-            SecureChannel {
-                send: s2c,
-                recv: c2s,
-                encrypt,
-            }
+        };
+        let c2s = direction("c2s");
+        let s2c = direction("s2c");
+        let (send, recv) = if is_client { (c2s, s2c) } else { (s2c, c2s) };
+        SecureChannel {
+            send,
+            recv,
+            encrypt,
+            suite,
+            sbuf: Vec::new(),
+            rbuf: Vec::new(),
         }
     }
 
     /// Builds the client end from the agreed master secret.
-    pub(crate) fn client(master: &[u8; 32], encrypt: bool) -> SecureChannel {
-        SecureChannel::new(master, true, encrypt)
+    pub(crate) fn client(master: &[u8; 32], encrypt: bool, suite: CipherSuite) -> SecureChannel {
+        SecureChannel::new(master, true, encrypt, suite)
     }
 
     /// Builds the server end from the agreed master secret.
-    pub(crate) fn server(master: &[u8; 32], encrypt: bool) -> SecureChannel {
-        SecureChannel::new(master, false, encrypt)
+    pub(crate) fn server(master: &[u8; 32], encrypt: bool, suite: CipherSuite) -> SecureChannel {
+        SecureChannel::new(master, false, encrypt, suite)
     }
 
     /// Whether `DATA` bodies on this channel are encrypted.
@@ -141,10 +246,16 @@ impl SecureChannel {
         self.encrypt
     }
 
-    /// Wraps an inner wire-v3 payload into an authenticated `DATA` frame
-    /// payload, consuming the next send sequence number.
-    pub fn seal(&mut self, inner: &[u8]) -> Result<Vec<u8>> {
-        if inner.len() + HEADER_LEN + MAC_LEN > MAX_PAYLOAD {
+    /// The negotiated record-layer cipher suite.
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
+    }
+
+    /// Builds the next outgoing frame — length prefix, sealed payload,
+    /// checksum — into `sbuf`, consuming a send sequence number.
+    fn seal_frame(&mut self, inner: &[u8]) -> Result<()> {
+        let tag_len = self.send.mac.tag_len();
+        if inner.len() + HEADER_LEN + tag_len > MAX_PAYLOAD {
             return Err(PprlError::Transport(format!(
                 "inner payload of {} bytes does not fit an authenticated frame",
                 inner.len()
@@ -154,37 +265,55 @@ impl SecureChannel {
         self.send.seq = seq
             .checked_add(1)
             .ok_or_else(|| auth_err("session sequence number exhausted; reconnect"))?;
-        let mut flags = 0u8;
-        let mut body = inner.to_vec();
+        let flags = if self.encrypt { FLAG_ENCRYPTED } else { 0 };
+        frame_begin(&mut self.sbuf);
+        self.sbuf.push(SESSION_WIRE_VERSION);
+        self.sbuf.push(OP_DATA);
+        self.sbuf.push(flags);
+        self.sbuf.extend_from_slice(&seq.to_le_bytes());
+        self.sbuf.extend_from_slice(inner);
         if self.encrypt {
-            flags |= FLAG_ENCRYPTED;
-            apply_keystream(&self.send.enc_key, seq, &mut body);
+            let body_start = 4 + HEADER_LEN;
+            self.send.enc.apply(seq, &mut self.sbuf[body_start..]);
         }
-        let mut payload = Vec::with_capacity(HEADER_LEN + body.len() + MAC_LEN);
-        payload.push(SESSION_WIRE_VERSION);
-        payload.push(OP_DATA);
-        payload.push(flags);
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(&body);
-        let mac = hmac_sha256(&self.send.mac_key, &payload);
-        payload.extend_from_slice(&mac);
-        Ok(payload)
+        let mut mac = [0u8; MAX_TAG_LEN];
+        self.send.mac.tag_into(seq, &self.sbuf[4..], &mut mac);
+        self.sbuf.extend_from_slice(&mac[..tag_len]);
+        frame_finish(&mut self.sbuf)
     }
 
-    /// Verifies and unwraps a received `DATA` frame payload, returning the
-    /// inner wire-v3 payload. MAC is checked (in constant time) before the
-    /// sequence number, and both before any byte of the inner payload is
-    /// surfaced to the caller.
-    pub fn open(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
-        if payload.len() < HEADER_LEN + MAC_LEN {
+    /// Wraps an inner wire-v3 payload into an authenticated `DATA` frame
+    /// payload, consuming the next send sequence number.
+    pub fn seal(&mut self, inner: &[u8]) -> Result<Vec<u8>> {
+        self.seal_frame(inner)?;
+        // The frame buffer holds [len(4) | payload | checksum(8)];
+        // callers of `seal` want the bare payload.
+        Ok(self.sbuf[4..self.sbuf.len() - 8].to_vec())
+    }
+
+    /// Verifies a received `DATA` frame payload in place, decrypting the
+    /// body within `payload` and returning its range. MAC is checked (in
+    /// constant time) before the sequence number, and both before any
+    /// byte of the inner payload is surfaced.
+    fn open_in_place(&mut self, payload: &mut [u8]) -> Result<std::ops::Range<usize>> {
+        let tag_len = self.recv.mac.tag_len();
+        if payload.len() < HEADER_LEN + tag_len {
             return Err(auth_err(format!(
                 "authenticated frame too short ({} bytes)",
                 payload.len()
             )));
         }
-        let (signed, mac) = payload.split_at(payload.len() - MAC_LEN);
-        let expected = hmac_sha256(&self.recv.mac_key, signed);
-        if !ct_eq(&expected, mac) {
+        let body_end = payload.len() - tag_len;
+        let (signed, mac) = payload.split_at_mut(body_end);
+        // The Poly1305 one-time key derives from the frame's *claimed*
+        // sequence number — safe, because the tag covers those header
+        // bytes: altering them changes the derived key and the tag
+        // check fails. The real ordering guarantee (`seq == expected`)
+        // is still enforced below, after authentication.
+        let claimed_seq = u64::from_le_bytes(signed[3..11].try_into().expect("header"));
+        let mut expected = [0u8; MAX_TAG_LEN];
+        self.recv.mac.tag_into(claimed_seq, signed, &mut expected);
+        if !ct_eq(&expected[..tag_len], mac) {
             return Err(auth_err("frame MAC verification failed"));
         }
         // Past this point the frame provably came from the peer, this
@@ -210,145 +339,276 @@ impl SecureChannel {
             )));
         }
         self.recv.seq += 1;
-        let mut body = signed[HEADER_LEN..].to_vec();
         if flags & FLAG_ENCRYPTED != 0 {
-            apply_keystream(&self.recv.enc_key, seq, &mut body);
+            self.recv.enc.apply(seq, &mut signed[HEADER_LEN..]);
         } else if self.encrypt {
             // An authenticated-but-plaintext frame on an encrypted channel
             // means the peer disagrees about the session mode; refuse it
             // rather than silently downgrade.
             return Err(auth_err("plaintext frame on an encrypted session"));
         }
-        Ok(body)
+        Ok(HEADER_LEN..body_end)
     }
 
-    /// Seals `inner` and writes it as one frame.
+    /// Verifies and unwraps a received `DATA` frame payload, returning the
+    /// inner wire-v3 payload.
+    pub fn open(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        let mut scratch = payload.to_vec();
+        let range = self.open_in_place(&mut scratch)?;
+        scratch.truncate(range.end);
+        scratch.drain(..range.start);
+        Ok(scratch)
+    }
+
+    /// Seals `inner` and writes it as one frame, reusing the channel's
+    /// send buffer (no per-frame allocation at steady state).
     pub fn send(&mut self, w: &mut impl Write, inner: &[u8]) -> Result<()> {
-        let payload = self.seal(inner)?;
-        write_payload(w, &payload)
+        self.seal_frame(inner)?;
+        frame_send(w, &self.sbuf)
     }
 
     /// Reads one frame and opens it. [`Incoming::Eof`] / [`Incoming::TimedOut`]
-    /// pass through untouched.
+    /// pass through untouched. Allocates the returned payload; session
+    /// loops should prefer [`recv_ref`](SecureChannel::recv_ref).
     pub fn recv(&mut self, r: &mut impl Read) -> Result<Incoming> {
-        match read_payload(r)? {
-            Incoming::Payload(p) => Ok(Incoming::Payload(self.open(&p)?)),
-            other => Ok(other),
+        match self.recv_ref(r)? {
+            IncomingRef::Payload(inner) => Ok(Incoming::Payload(inner.to_vec())),
+            IncomingRef::Eof => Ok(Incoming::Eof),
+            IncomingRef::TimedOut => Ok(Incoming::TimedOut),
         }
     }
+
+    /// Reads one frame into the channel's receive buffer, opens it in
+    /// place, and returns the inner payload as a borrow — the zero-copy,
+    /// zero-allocation receive path. The borrow ends at the next channel
+    /// call, which is exactly when the buffer is reused.
+    pub fn recv_ref(&mut self, r: &mut impl Read) -> Result<IncomingRef<'_>> {
+        // Move the buffer out so the frame read and the in-place open
+        // (which needs `&mut self`) cannot alias; moving a Vec moves
+        // only its header, not its bytes.
+        let mut buf = std::mem::take(&mut self.rbuf);
+        let status = read_payload_into(r, &mut buf);
+        let opened = match &status {
+            Ok(IncomingLen::Payload(plen)) => {
+                let plen = *plen;
+                Some(self.open_in_place(&mut buf[..plen]))
+            }
+            _ => None,
+        };
+        self.rbuf = buf;
+        match (status?, opened) {
+            (IncomingLen::Payload(_), Some(range)) => Ok(IncomingRef::Payload(&self.rbuf[range?])),
+            (IncomingLen::Eof, _) => Ok(IncomingRef::Eof),
+            (IncomingLen::TimedOut, _) => Ok(IncomingRef::TimedOut),
+            (IncomingLen::Payload(_), None) => unreachable!("payload always opened"),
+        }
+    }
+}
+
+/// [`Incoming`] for the zero-copy receive path: the payload borrows the
+/// channel's receive buffer.
+#[derive(Debug)]
+pub enum IncomingRef<'a> {
+    /// The verified (and, if applicable, decrypted) inner payload.
+    Payload(&'a [u8]),
+    /// The peer closed the connection before a new frame started.
+    Eof,
+    /// The socket read timed out between frames.
+    TimedOut,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn pair(encrypt: bool) -> (SecureChannel, SecureChannel) {
+    const SUITES: [CipherSuite; 2] = CipherSuite::ALL;
+
+    fn pair(encrypt: bool, suite: CipherSuite) -> (SecureChannel, SecureChannel) {
         let master = [7u8; 32];
         (
-            SecureChannel::client(&master, encrypt),
-            SecureChannel::server(&master, encrypt),
+            SecureChannel::client(&master, encrypt, suite),
+            SecureChannel::server(&master, encrypt, suite),
         )
     }
 
     #[test]
     fn round_trip_plain_and_encrypted() {
-        for encrypt in [false, true] {
-            let (mut c, mut s) = pair(encrypt);
-            for msg in [&b"hello"[..], b"", b"a much longer payload spanning blocks"] {
-                let sealed = c.seal(msg).unwrap();
-                assert_eq!(s.open(&sealed).unwrap(), msg);
-                let reply = s.seal(msg).unwrap();
-                assert_eq!(c.open(&reply).unwrap(), msg);
+        for suite in SUITES {
+            for encrypt in [false, true] {
+                let (mut c, mut s) = pair(encrypt, suite);
+                for msg in [&b"hello"[..], b"", b"a much longer payload spanning blocks"] {
+                    let sealed = c.seal(msg).unwrap();
+                    assert_eq!(s.open(&sealed).unwrap(), msg, "{suite} encrypt={encrypt}");
+                    let reply = s.seal(msg).unwrap();
+                    assert_eq!(c.open(&reply).unwrap(), msg, "{suite} encrypt={encrypt}");
+                }
             }
         }
     }
 
     #[test]
     fn encrypted_body_is_not_plaintext() {
-        let (mut c, _) = pair(true);
-        let msg = b"social security numbers";
-        let sealed = c.seal(msg).unwrap();
-        let body = &sealed[HEADER_LEN..sealed.len() - MAC_LEN];
-        assert_eq!(body.len(), msg.len());
-        assert_ne!(body, msg);
+        for suite in SUITES {
+            let (mut c, _) = pair(true, suite);
+            let msg = b"social security numbers";
+            let sealed = c.seal(msg).unwrap();
+            let body = &sealed[HEADER_LEN..sealed.len() - suite.tag_len()];
+            assert_eq!(body.len(), msg.len());
+            assert_ne!(body, msg, "{suite}");
+        }
+    }
+
+    #[test]
+    fn suites_produce_distinct_ciphertext() {
+        // Same master, same plaintext: the two suites must not produce
+        // the same body bytes (independent keystream constructions).
+        let master = [7u8; 32];
+        let msg = b"identical plaintext body";
+        let a = SecureChannel::client(&master, true, CipherSuite::HmacCtr)
+            .seal(msg)
+            .unwrap();
+        let b = SecureChannel::client(&master, true, CipherSuite::ChaCha20)
+            .seal(msg)
+            .unwrap();
+        assert_ne!(
+            a[HEADER_LEN..a.len() - CipherSuite::HmacCtr.tag_len()],
+            b[HEADER_LEN..b.len() - CipherSuite::ChaCha20.tag_len()]
+        );
     }
 
     #[test]
     fn every_byte_flip_rejected() {
-        let (mut c, mut s) = pair(false);
-        let sealed = c.seal(b"payload under test").unwrap();
-        for pos in 0..sealed.len() {
-            let mut bad = sealed.clone();
-            bad[pos] ^= 0x01;
-            let mut fresh = SecureChannel::server(&[7u8; 32], false);
-            assert!(fresh.open(&bad).is_err(), "flip at byte {pos} was accepted");
+        for suite in SUITES {
+            let (mut c, mut s) = pair(false, suite);
+            let sealed = c.seal(b"payload under test").unwrap();
+            for pos in 0..sealed.len() {
+                let mut bad = sealed.clone();
+                bad[pos] ^= 0x01;
+                let mut fresh = SecureChannel::server(&[7u8; 32], false, suite);
+                assert!(
+                    fresh.open(&bad).is_err(),
+                    "{suite}: flip at byte {pos} was accepted"
+                );
+            }
+            // The untampered frame still opens.
+            assert_eq!(s.open(&sealed).unwrap(), b"payload under test");
         }
-        // The untampered frame still opens.
-        assert_eq!(s.open(&sealed).unwrap(), b"payload under test");
     }
 
     #[test]
     fn replay_rejected() {
-        let (mut c, mut s) = pair(false);
-        let sealed = c.seal(b"once").unwrap();
-        assert!(s.open(&sealed).is_ok());
-        let err = s.open(&sealed).unwrap_err();
-        assert!(matches!(err, PprlError::Auth(_)), "{err}");
-        assert!(err.to_string().contains("sequence"), "{err}");
+        for suite in SUITES {
+            let (mut c, mut s) = pair(false, suite);
+            let sealed = c.seal(b"once").unwrap();
+            assert!(s.open(&sealed).is_ok());
+            let err = s.open(&sealed).unwrap_err();
+            assert!(matches!(err, PprlError::Auth(_)), "{err}");
+            assert!(err.to_string().contains("sequence"), "{err}");
+        }
     }
 
     #[test]
     fn cross_direction_replay_rejected() {
-        let (mut c, mut s) = pair(false);
-        let sealed = c.seal(b"client to server").unwrap();
-        // Reflecting the client's own frame back at it must fail: the
-        // directions use different MAC keys.
-        assert!(c.open(&sealed).is_err());
-        assert!(s.open(&sealed).is_ok());
+        for suite in SUITES {
+            let (mut c, mut s) = pair(false, suite);
+            let sealed = c.seal(b"client to server").unwrap();
+            // Reflecting the client's own frame back at it must fail: the
+            // directions use different MAC keys.
+            assert!(c.open(&sealed).is_err());
+            assert!(s.open(&sealed).is_ok());
+        }
     }
 
     #[test]
     fn truncations_rejected() {
-        let (mut c, _) = pair(true);
-        let sealed = c.seal(b"truncate me").unwrap();
-        for cut in 0..sealed.len() {
-            let mut fresh = SecureChannel::server(&[7u8; 32], true);
-            assert!(fresh.open(&sealed[..cut]).is_err(), "cut at {cut} accepted");
+        for suite in SUITES {
+            let (mut c, _) = pair(true, suite);
+            let sealed = c.seal(b"truncate me").unwrap();
+            for cut in 0..sealed.len() {
+                let mut fresh = SecureChannel::server(&[7u8; 32], true, suite);
+                assert!(
+                    fresh.open(&sealed[..cut]).is_err(),
+                    "{suite}: cut at {cut} accepted"
+                );
+            }
         }
     }
 
     #[test]
     fn plaintext_on_encrypted_channel_rejected() {
+        for suite in SUITES {
+            let master = [9u8; 32];
+            let mut plain_client = SecureChannel::client(&master, false, suite);
+            let mut enc_server = SecureChannel::server(&master, true, suite);
+            let sealed = plain_client.seal(b"downgrade?").unwrap();
+            let err = enc_server.open(&sealed).unwrap_err();
+            assert!(err.to_string().contains("plaintext frame"), "{err}");
+        }
+    }
+
+    #[test]
+    fn cross_suite_frames_rejected() {
+        // A frame sealed under one suite must not open on a channel
+        // negotiated to the other: the MAC constructions differ (tag
+        // algorithm and length), so authentication itself fails before
+        // any byte of the body is surfaced. Both directions.
         let master = [9u8; 32];
-        let mut plain_client = SecureChannel::client(&master, false);
-        let mut enc_server = SecureChannel::server(&master, true);
-        let sealed = plain_client.seal(b"downgrade?").unwrap();
-        let err = enc_server.open(&sealed).unwrap_err();
-        assert!(err.to_string().contains("plaintext frame"), "{err}");
+        let mut c = SecureChannel::client(&master, true, CipherSuite::ChaCha20);
+        let mut s = SecureChannel::server(&master, true, CipherSuite::HmacCtr);
+        let sealed = c.seal(b"suite mismatch").unwrap();
+        assert!(s.open(&sealed).is_err());
+        let mut c = SecureChannel::client(&master, true, CipherSuite::HmacCtr);
+        let mut s = SecureChannel::server(&master, true, CipherSuite::ChaCha20);
+        let sealed = c.seal(b"suite mismatch").unwrap();
+        assert!(s.open(&sealed).is_err());
     }
 
     #[test]
     fn send_recv_over_buffer() {
-        let (mut c, mut s) = pair(true);
+        for suite in SUITES {
+            let (mut c, mut s) = pair(true, suite);
+            let mut wire = Vec::new();
+            c.send(&mut wire, b"request").unwrap();
+            let mut cursor = std::io::Cursor::new(wire);
+            let Incoming::Payload(inner) = s.recv(&mut cursor).unwrap() else {
+                panic!("expected payload");
+            };
+            assert_eq!(inner, b"request");
+        }
+    }
+
+    #[test]
+    fn recv_ref_matches_recv() {
+        let (mut c, mut s) = pair(true, CipherSuite::ChaCha20);
         let mut wire = Vec::new();
-        c.send(&mut wire, b"request").unwrap();
+        c.send(&mut wire, b"first").unwrap();
+        c.send(&mut wire, b"second").unwrap();
         let mut cursor = std::io::Cursor::new(wire);
-        let Incoming::Payload(inner) = s.recv(&mut cursor).unwrap() else {
+        let IncomingRef::Payload(p) = s.recv_ref(&mut cursor).unwrap() else {
             panic!("expected payload");
         };
-        assert_eq!(inner, b"request");
+        assert_eq!(p, b"first");
+        let IncomingRef::Payload(p) = s.recv_ref(&mut cursor).unwrap() else {
+            panic!("expected payload");
+        };
+        assert_eq!(p, b"second");
+        assert!(matches!(s.recv_ref(&mut cursor).unwrap(), IncomingRef::Eof));
     }
 
     #[test]
     fn keystream_differs_per_seq() {
-        let key = [3u8; 32];
-        let mut a = vec![0u8; 64];
-        let mut b = vec![0u8; 64];
-        apply_keystream(&key, 0, &mut a);
-        apply_keystream(&key, 1, &mut b);
-        assert_ne!(a, b);
-        // Symmetry: applying twice restores.
-        apply_keystream(&key, 0, &mut a);
-        assert_eq!(a, vec![0u8; 64]);
+        for suite in SUITES {
+            let master = [3u8; 32];
+            let mut a = SecureChannel::client(&master, true, suite);
+            let zeros = vec![0u8; 64];
+            let f0 = a.seal(&zeros).unwrap();
+            let f1 = a.seal(&zeros).unwrap();
+            // Same plaintext, consecutive sequence numbers: bodies differ.
+            assert_ne!(
+                f0[HEADER_LEN..f0.len() - suite.tag_len()],
+                f1[HEADER_LEN..f1.len() - suite.tag_len()],
+                "{suite}"
+            );
+        }
     }
 }

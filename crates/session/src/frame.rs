@@ -38,7 +38,14 @@ const FNV_PRIME: u64 = 0x100_0000_01b3;
 /// FNV-1a over `bytes` (same function as `pprl_index::format::fnv1a`;
 /// duplicated here so the session layer does not depend on the store).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
+    fnv1a_from(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a computation from state `h` — lets the checksum
+/// cover `prefix ‖ payload` without concatenating them into a scratch
+/// allocation.
+fn fnv1a_from(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
@@ -62,6 +69,19 @@ pub enum Incoming {
     TimedOut,
 }
 
+/// [`Incoming`] for the buffer-reusing read path: the payload stays in
+/// the caller's buffer, so only its length travels here.
+#[derive(Debug, Clone, Copy)]
+pub enum IncomingLen {
+    /// A checksum-verified payload of this many bytes now fills the
+    /// front of the caller's buffer.
+    Payload(usize),
+    /// The peer closed the connection before a new frame started.
+    Eof,
+    /// The socket read timed out between frames.
+    TimedOut,
+}
+
 /// Reads one frame payload from `r`, verifying length and checksum.
 ///
 /// Timeouts and EOF *before the first byte of a frame* are session
@@ -74,11 +94,28 @@ pub enum Incoming {
 /// reported as retryable idle — the retry would start mid-prefix and
 /// permanently desynchronize the stream.
 pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
+    let mut buf = Vec::new();
+    match read_payload_into(r, &mut buf)? {
+        IncomingLen::Payload(plen) => {
+            buf.truncate(plen);
+            Ok(Incoming::Payload(buf))
+        }
+        IncomingLen::Eof => Ok(Incoming::Eof),
+        IncomingLen::TimedOut => Ok(Incoming::TimedOut),
+    }
+}
+
+/// [`read_payload`] into a caller-owned buffer: after
+/// `IncomingLen::Payload(plen)`, `buf[..plen]` holds the verified
+/// payload. The buffer is resized but its capacity is retained across
+/// calls, so a session loop that reuses one buffer reads frames without
+/// allocating once the buffer has grown to the session's largest frame.
+pub fn read_payload_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<IncomingLen> {
     let mut len_bytes = [0u8; 4];
     let mut got = 0usize;
     while got < len_bytes.len() {
         match r.read(&mut len_bytes[got..]) {
-            Ok(0) if got == 0 => return Ok(Incoming::Eof),
+            Ok(0) if got == 0 => return Ok(IncomingLen::Eof),
             Ok(0) => {
                 return Err(transport_err(format!(
                     "connection closed after {got} of 4 frame-length bytes"
@@ -93,7 +130,7 @@ pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
                 ) =>
             {
                 if got == 0 {
-                    return Ok(Incoming::TimedOut);
+                    return Ok(IncomingLen::TimedOut);
                 }
                 return Err(transport_err(format!(
                     "timed out after {got} of 4 frame-length bytes (peer stalled mid-frame)"
@@ -108,34 +145,56 @@ pub fn read_payload(r: &mut impl Read) -> Result<Incoming> {
             "frame length {plen} outside (0, {MAX_PAYLOAD}]"
         )));
     }
-    let mut rest = vec![0u8; plen + 8];
-    r.read_exact(&mut rest)
+    buf.resize(plen + 8, 0);
+    r.read_exact(buf)
         .map_err(|e| transport_err(format!("reading {plen}-byte frame: {e}")))?;
-    let declared = &rest[plen..];
-    let mut sum_input = Vec::with_capacity(4 + plen);
-    sum_input.extend_from_slice(&len_bytes);
-    sum_input.extend_from_slice(&rest[..plen]);
-    if !ct_eq(&fnv1a(&sum_input).to_le_bytes(), declared) {
+    // Checksum covers prefix ‖ payload; continue the fold rather than
+    // concatenating them into a scratch buffer.
+    let sum = fnv1a_from(fnv1a(&len_bytes), &buf[..plen]);
+    if !ct_eq(&sum.to_le_bytes(), &buf[plen..]) {
         return Err(transport_err("frame checksum mismatch"));
     }
-    rest.truncate(plen);
-    Ok(Incoming::Payload(rest))
+    Ok(IncomingLen::Payload(plen))
 }
 
 /// Writes one frame carrying `payload` to `w` and flushes.
 pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> Result<()> {
-    if payload.is_empty() || payload.len() > MAX_PAYLOAD {
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    frame_begin(&mut frame);
+    frame.extend_from_slice(payload);
+    frame_finish(&mut frame)?;
+    frame_send(w, &frame)
+}
+
+/// Starts building a frame in `buf` (clearing it): writes a placeholder
+/// length prefix, after which the caller appends the payload bytes
+/// directly. Together with [`frame_finish`] and [`frame_send`] this
+/// lets a session loop assemble and send frames in one reused buffer —
+/// no per-frame allocation, no payload copy.
+pub fn frame_begin(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; 4]);
+}
+
+/// Completes a frame started with [`frame_begin`]: patches the length
+/// prefix over the payload appended since, validates its size, and
+/// appends the checksum. `buf` then holds exactly one wire frame.
+pub fn frame_finish(buf: &mut Vec<u8>) -> Result<()> {
+    let plen = buf.len().saturating_sub(4);
+    if plen == 0 || plen > MAX_PAYLOAD {
         return Err(transport_err(format!(
-            "refusing to send frame of {} bytes",
-            payload.len()
+            "refusing to send frame of {plen} bytes"
         )));
     }
-    let mut frame = Vec::with_capacity(payload.len() + 12);
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(payload);
-    let sum = fnv1a(&frame);
-    frame.extend_from_slice(&sum.to_le_bytes());
-    w.write_all(&frame)
+    buf[..4].copy_from_slice(&(plen as u32).to_le_bytes());
+    let sum = fnv1a(buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    Ok(())
+}
+
+/// Writes a finished frame to `w` and flushes.
+pub fn frame_send(w: &mut impl Write, frame: &[u8]) -> Result<()> {
+    w.write_all(frame)
         .map_err(|e| transport_err(format!("writing frame: {e}")))?;
     w.flush()
         .map_err(|e| transport_err(format!("flushing frame: {e}")))
@@ -244,7 +303,10 @@ mod tests {
             pos: 0,
             fired: false,
         };
-        assert!(matches!(read_payload(&mut idle).unwrap(), Incoming::TimedOut));
+        assert!(matches!(
+            read_payload(&mut idle).unwrap(),
+            Incoming::TimedOut
+        ));
         // 2 of 4 length bytes consumed when the timeout fires: reporting
         // idle here would make the retry resume mid-prefix and
         // permanently desynchronize the stream, so it must be an error.

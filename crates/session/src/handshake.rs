@@ -11,15 +11,15 @@
 //! ```text
 //! client                                   server
 //! ------                                   ------
-//! x  = hash_to_group(domain‖nonce_c‖identity‖0‖tenant)
-//! A  = x^a                                 B = x^b
-//!        HELLO(flags, nonce_c, identity, tenant, A)
+//! g  = hash_to_group(domain‖":generator")  (fixed; table-accelerated)
+//! A  = g^a                                 B = g^b
+//!        HELLO(flags, suites, nonce_c, identity, tenant, A)
 //!   ─────────────────────────────────────────────▶
-//!        WELCOME(nonce_s, B, mac_s)
+//!        WELCOME(suite, nonce_s, B, mac_s)
 //!   ◀─────────────────────────────────────────────
-//! S  = B^a = x^ab                          S = A^b = x^ab
+//! S  = B^a = g^ab                          S = A^b = g^ab
 //! K  = HMAC(psk, S‖nonce_c‖nonce_s‖identity‖0‖tenant)
-//! T  = sha256(hello_payload ‖ nonce_s ‖ B)
+//! T  = sha256(hello_payload ‖ nonce_s ‖ suite ‖ B)
 //! verify mac_s = HMAC(K, "server-confirm"‖T)
 //!        CONFIRM(mac_c = HMAC(K, "client-confirm"‖T))
 //!   ─────────────────────────────────────────────▶
@@ -28,6 +28,23 @@
 //!        ACCEPT   (or AUTH_ERROR code)
 //!   ◀─────────────────────────────────────────────
 //! ```
+//!
+//! The base is a *fixed* generator of the quadratic-residue subgroup
+//! (earlier revisions hashed `nonce_c‖identity‖tenant` into a fresh
+//! base per handshake). A fixed base lets both sides compute their key
+//! share from a precomputed windowed-exponentiation table
+//! (`pprl-crypto::commutative::FixedBaseTable`, built once per
+//! process), cutting one of a handshake's two modexps to ~⅙ of its
+//! multiplications. Nothing binding is lost: identity, tenant, and
+//! both nonces are still mixed into the master secret `K`, and the
+//! full HELLO — nonce and identity included — is still signed by both
+//! confirmation MACs via the transcript `T`.
+//!
+//! Suite negotiation rides the same transcript: the client's offered
+//! suite set is a byte inside `hello_payload`, and the server's
+//! selection byte is hashed into `T` directly, so neither can be
+//! rewritten by a man-in-the-middle without failing key confirmation —
+//! a downgrade attempt dies exactly like a flipped encryption flag.
 //!
 //! Because `K` mixes the PSK with the agreed secret `S` and both
 //! nonces, a passive observer learns nothing about the session keys
@@ -57,11 +74,13 @@ use crate::channel::{
 use crate::frame::{parse_plain_busy, read_payload, write_payload, Incoming};
 use crate::keys::{entropy_rng, PartyKey, SecretRng};
 use crate::registry::{valid_name, AuthRegistry};
+use crate::suite::{select_suite, CipherSuite, SuiteOffer};
 use pprl_core::error::{PprlError, Result};
 use pprl_crypto::bigint::BigUint;
-use pprl_crypto::commutative::{CommutativeKey, Group};
+use pprl_crypto::commutative::{CommutativeKey, FixedBaseTable, Group};
 use pprl_crypto::sha::{ct_eq, hmac_sha256, sha256};
 use std::io::{Read, Write};
+use std::sync::OnceLock;
 
 /// The fixed 256-bit safe prime every deployment shares. Generated with
 /// this workspace's own `generate_safe_prime(256, SplitMix64::new(0x5e55_10_2026))`
@@ -88,6 +107,26 @@ pub fn session_group() -> Group {
     }
 }
 
+/// The fixed generator both key shares exponentiate: a domain-separated
+/// hash into the quadratic-residue subgroup.
+pub fn session_generator(group: &Group) -> BigUint {
+    let mut input = HS_DOMAIN.to_vec();
+    input.extend_from_slice(b":generator");
+    group.hash_to_group(&input)
+}
+
+/// The process-wide windowed-exponentiation table for
+/// [`session_generator`], built on first use. Exponents are drawn below
+/// q < 2^255, so a 256-bit table covers every key.
+fn generator_table() -> &'static FixedBaseTable {
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let group = session_group();
+        let g = session_generator(&group);
+        FixedBaseTable::new(&g, &group.p, 256).expect("generator and prime are a valid base pair")
+    })
+}
+
 /// Client-side credentials and session options.
 #[derive(Debug, Clone)]
 pub struct ClientAuth {
@@ -99,13 +138,16 @@ pub struct ClientAuth {
     pub tenant: String,
     /// Whether to encrypt frame bodies for this session.
     pub encrypt: bool,
+    /// Record-layer suites to offer; the server picks the fastest
+    /// common one. Default offers everything.
+    pub suites: SuiteOffer,
 }
 
 /// Result of a client handshake attempt.
 #[derive(Debug)]
 pub enum HandshakeOutcome {
     /// Mutual authentication succeeded; the channel is ready for `DATA`.
-    Established(SecureChannel),
+    Established(Box<SecureChannel>),
     /// The server's accept queue was full; retry after the hinted delay.
     Busy {
         /// Server-suggested retry delay in milliseconds.
@@ -145,18 +187,6 @@ fn rand_nonce(rng: &mut SecretRng) -> [u8; 16] {
     nonce
 }
 
-/// Hashes the public handshake inputs into the group element both
-/// exponentiations start from.
-fn base_element(group: &Group, nonce_c: &[u8; 16], identity: &str, tenant: &str) -> BigUint {
-    let mut input = Vec::with_capacity(HS_DOMAIN.len() + 16 + identity.len() + 1 + tenant.len());
-    input.extend_from_slice(HS_DOMAIN);
-    input.extend_from_slice(nonce_c);
-    input.extend_from_slice(identity.as_bytes());
-    input.push(0);
-    input.extend_from_slice(tenant.as_bytes());
-    group.hash_to_group(&input)
-}
-
 /// Derives the session master secret from PSK, agreed secret, and nonces.
 fn master_secret(
     psk: &PartyKey,
@@ -176,11 +206,19 @@ fn master_secret(
     hmac_sha256(psk.as_bytes(), &input)
 }
 
-/// The transcript hash both confirmation MACs sign.
-fn transcript(hello_payload: &[u8], nonce_s: &[u8; 16], b_share: &BigUint) -> [u8; 32] {
-    let mut input = Vec::with_capacity(hello_payload.len() + 16 + 32);
+/// The transcript hash both confirmation MACs sign. The client's suite
+/// offer is inside `hello_payload`; the server's `suite` selection is
+/// spliced in here, so a rewritten selection byte fails confirmation.
+fn transcript(
+    hello_payload: &[u8],
+    nonce_s: &[u8; 16],
+    suite: CipherSuite,
+    b_share: &BigUint,
+) -> [u8; 32] {
+    let mut input = Vec::with_capacity(hello_payload.len() + 16 + 1 + 32);
     input.extend_from_slice(hello_payload);
     input.extend_from_slice(nonce_s);
+    input.push(suite.code());
     input.extend_from_slice(&b_share.to_bytes_be());
     sha256(&input)
 }
@@ -262,6 +300,7 @@ fn push_bytes_u16(out: &mut Vec<u8>, bytes: &[u8]) -> Result<()> {
 fn encode_hello(auth: &ClientAuth, nonce_c: &[u8; 16], a_share: &BigUint) -> Result<Vec<u8>> {
     let mut out = vec![SESSION_WIRE_VERSION, OP_HELLO];
     out.push(if auth.encrypt { HELLO_FLAG_ENCRYPT } else { 0 });
+    out.push(auth.suites.bits());
     out.extend_from_slice(nonce_c);
     push_str_u8(&mut out, &auth.identity)?;
     push_str_u8(&mut out, &auth.tenant)?;
@@ -271,6 +310,7 @@ fn encode_hello(auth: &ClientAuth, nonce_c: &[u8; 16], a_share: &BigUint) -> Res
 
 struct Hello<'a> {
     flags: u8,
+    suites: SuiteOffer,
     nonce_c: [u8; 16],
     identity: &'a str,
     tenant: &'a str,
@@ -283,6 +323,7 @@ fn decode_hello(payload: &[u8]) -> Result<Hello<'_>> {
         return Err(auth_err("not a session HELLO frame"));
     }
     let flags = r.u8()?;
+    let suites = SuiteOffer::from_bits(r.u8()?);
     let nonce_c: [u8; 16] = r.take(16)?.try_into().unwrap();
     let identity = r.str_u8()?;
     let tenant = r.str_u8()?;
@@ -294,6 +335,7 @@ fn decode_hello(payload: &[u8]) -> Result<Hello<'_>> {
     }
     Ok(Hello {
         flags,
+        suites,
         nonce_c,
         identity,
         tenant,
@@ -301,8 +343,13 @@ fn decode_hello(payload: &[u8]) -> Result<Hello<'_>> {
     })
 }
 
-fn encode_welcome(nonce_s: &[u8; 16], b_share: &BigUint, mac_s: &[u8; 32]) -> Result<Vec<u8>> {
-    let mut out = vec![SESSION_WIRE_VERSION, OP_WELCOME];
+fn encode_welcome(
+    suite: CipherSuite,
+    nonce_s: &[u8; 16],
+    b_share: &BigUint,
+    mac_s: &[u8; 32],
+) -> Result<Vec<u8>> {
+    let mut out = vec![SESSION_WIRE_VERSION, OP_WELCOME, suite.code()];
     out.extend_from_slice(nonce_s);
     push_bytes_u16(&mut out, &b_share.to_bytes_be())?;
     out.extend_from_slice(mac_s);
@@ -368,11 +415,13 @@ pub fn client_handshake<S: Read + Write>(
             auth.identity, auth.tenant
         )));
     }
+    if auth.suites.is_empty() {
+        return Err(auth_err("no cipher suites offered"));
+    }
     let group = session_group();
     let nonce_c = rand_nonce(rng);
-    let x = base_element(&group, &nonce_c, &auth.identity, &auth.tenant);
     let eph = CommutativeKey::generate_secret(&group, rng)?;
-    let a_share = eph.encrypt(&x)?;
+    let a_share = eph.encrypt_with(generator_table())?;
     let hello = encode_hello(auth, &nonce_c, &a_share)?;
     write_payload(stream, &hello)?;
 
@@ -391,11 +440,20 @@ pub fn client_handshake<S: Read + Write>(
             "expected WELCOME from server (is the server running with --auth-dir?)",
         ));
     }
+    let suite = CipherSuite::from_code(r.u8()?)?;
     let nonce_s: [u8; 16] = r.take(16)?.try_into().unwrap();
     let b_len = r.u16_le()? as usize;
     let b_share = BigUint::from_bytes_be(r.take(b_len)?);
     let mac_s: [u8; 32] = r.take(32)?.try_into().unwrap();
     r.finish()?;
+    // A selection outside the offer is refused immediately; a selection
+    // *inside* the offer is still only trusted once mac_s verifies —
+    // the transcript binds it, so a rewritten byte fails there.
+    if !auth.suites.contains(suite) {
+        return Err(auth_err(format!(
+            "server selected cipher suite `{suite}` that was not offered"
+        )));
+    }
 
     let shared = eph
         .encrypt(&b_share)
@@ -408,7 +466,7 @@ pub fn client_handshake<S: Read + Write>(
         &auth.identity,
         &auth.tenant,
     );
-    let t = transcript(&hello, &nonce_s, &b_share);
+    let t = transcript(&hello, &nonce_s, suite, &b_share);
     let expected_mac_s = confirm_mac(&master, "server-confirm", &t);
     if !ct_eq(&expected_mac_s, &mac_s) {
         return Err(auth_err(
@@ -425,9 +483,8 @@ pub fn client_handshake<S: Read + Write>(
     match (r.u8()?, r.u8()?) {
         (SESSION_WIRE_VERSION, OP_ACCEPT) => {
             r.finish()?;
-            Ok(HandshakeOutcome::Established(SecureChannel::client(
-                &master,
-                auth.encrypt,
+            Ok(HandshakeOutcome::Established(Box::new(
+                SecureChannel::client(&master, auth.encrypt, suite),
             )))
         }
         (SESSION_WIRE_VERSION, OP_AUTH_ERROR) => Err(decode_auth_error(&verdict)?),
@@ -441,18 +498,36 @@ pub fn client_handshake<S: Read + Write>(
 ///
 /// `hello_payload` is the first frame the connection produced (already
 /// read by the caller, which used its leading byte to route the
-/// connection to the session path). On any authentication failure this
-/// sends a typed `AUTH_ERROR` to the peer before returning the error.
+/// connection to the session path). `allowed` is the server's suite
+/// policy; the fastest suite in both it and the client's offer wins.
+/// On any authentication failure this sends a typed `AUTH_ERROR` to
+/// the peer before returning the error.
 pub fn server_handshake<S: Read + Write>(
     stream: &mut S,
     hello_payload: &[u8],
     registry: &AuthRegistry,
     rng: &mut SecretRng,
+    allowed: SuiteOffer,
 ) -> Result<ServerSession> {
     let hello = decode_hello(hello_payload)?;
     let encrypt = hello.flags & HELLO_FLAG_ENCRYPT != 0;
     let identity = hello.identity.to_string();
     let tenant = hello.tenant.to_string();
+    // Suite mismatch is a protocol-compatibility condition, not an
+    // authentication secret: reject before any key material is spent.
+    let Some(suite) = select_suite(hello.suites, allowed) else {
+        let payload = encode_auth_error(
+            AUTH_ERR_UNAUTHORIZED,
+            "no common cipher suite between client offer and server policy",
+            "",
+        );
+        write_payload(stream, &payload)?;
+        return Err(auth_err(format!(
+            "no common cipher suite for identity `{identity}` (offer {:#04x}, policy {:#04x})",
+            hello.suites.bits(),
+            allowed.bits()
+        )));
+    };
 
     // Unknown identity? Run the whole flow with a dummy key derived from
     // the claimed name so the wire behaviour (timing aside) is identical
@@ -467,9 +542,8 @@ pub fn server_handshake<S: Read + Write>(
     };
 
     let group = session_group();
-    let x = base_element(&group, &hello.nonce_c, &identity, &tenant);
     let eph = CommutativeKey::generate_secret(&group, rng)?;
-    let b_share = eph.encrypt(&x)?;
+    let b_share = eph.encrypt_with(generator_table())?;
     let shared = match eph.encrypt(&hello.a_share) {
         Ok(s) => s,
         Err(_) => {
@@ -484,9 +558,9 @@ pub fn server_handshake<S: Read + Write>(
     };
     let nonce_s = rand_nonce(rng);
     let master = master_secret(&psk, &shared, &hello.nonce_c, &nonce_s, &identity, &tenant);
-    let t = transcript(hello_payload, &nonce_s, &b_share);
+    let t = transcript(hello_payload, &nonce_s, suite, &b_share);
     let mac_s = confirm_mac(&master, "server-confirm", &t);
-    write_payload(stream, &encode_welcome(&nonce_s, &b_share, &mac_s)?)?;
+    write_payload(stream, &encode_welcome(suite, &nonce_s, &b_share, &mac_s)?)?;
 
     let confirm = expect_frame(stream)?;
     let mut r = Reader::new(&confirm);
@@ -521,7 +595,7 @@ pub fn server_handshake<S: Read + Write>(
 
     write_payload(stream, &[SESSION_WIRE_VERSION, OP_ACCEPT])?;
     Ok(ServerSession {
-        channel: SecureChannel::server(&master, encrypt),
+        channel: SecureChannel::server(&master, encrypt, suite),
         privileged: registry.is_privileged(&identity),
         identity,
         tenant,
@@ -537,7 +611,7 @@ pub fn client_handshake_established<S: Read + Write>(
 ) -> Result<SecureChannel> {
     let mut rng = entropy_rng();
     match client_handshake(stream, auth, &mut rng)? {
-        HandshakeOutcome::Established(ch) => Ok(ch),
+        HandshakeOutcome::Established(ch) => Ok(*ch),
         HandshakeOutcome::Busy { retry_after_ms } => Err(PprlError::Timeout(format!(
             "server busy during handshake (retry after {retry_after_ms} ms)"
         ))),
@@ -577,7 +651,7 @@ mod tests {
                 other => panic!("server expected HELLO, got {other:?}"),
             };
             let mut rng = SecretRng::seeded([42u8; 32]);
-            server_handshake(&mut stream, &hello, &reg, &mut rng)
+            server_handshake(&mut stream, &hello, &reg, &mut rng, SuiteOffer::all())
         });
         let mut stream = TcpStream::connect(addr).unwrap();
         let mut rng = SecretRng::seeded([7u8; 32]);
@@ -608,7 +682,10 @@ mod tests {
         let payload = encode_auth_error(AUTH_ERR_UNAUTHORIZED, &detail, "");
         let err = decode_auth_error(&payload).unwrap();
         let msg = err.to_string();
-        assert!(msg.contains('é'), "decoded detail survives truncation: {msg}");
+        assert!(
+            msg.contains('é'),
+            "decoded detail survives truncation: {msg}"
+        );
     }
 
     #[test]
@@ -620,6 +697,7 @@ mod tests {
                 key: alice,
                 tenant: "alice".into(),
                 encrypt,
+                suites: SuiteOffer::default(),
             };
             let (c, s) = run_handshake(auth, reg);
             let HandshakeOutcome::Established(mut cch) = c.unwrap() else {
@@ -647,6 +725,7 @@ mod tests {
             key: PartyKey::from_bytes([0xEE; 32]),
             tenant: "alice".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         };
         let (c, s) = run_handshake(auth, reg);
         // The client detects the mismatch first (server's mac_s fails).
@@ -663,6 +742,7 @@ mod tests {
             key: PartyKey::from_bytes([0xEE; 32]),
             tenant: "mallory".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         };
         let (c, s) = run_handshake(auth, reg);
         let err = c.unwrap_err();
@@ -678,6 +758,7 @@ mod tests {
             key: alice,
             tenant: "org-b".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         };
         let (c, s) = run_handshake(auth, reg);
         let expected = PprlError::CrossTenant {
@@ -696,6 +777,7 @@ mod tests {
             key: admin,
             tenant: "org-b".into(),
             encrypt: true,
+            suites: SuiteOffer::default(),
         };
         let (c, s) = run_handshake(auth, reg);
         assert!(matches!(c.unwrap(), HandshakeOutcome::Established(_)));
@@ -726,6 +808,7 @@ mod tests {
             key: PartyKey::from_bytes([0x11; 32]),
             tenant: "alice".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         };
         let mut rng = SecretRng::seeded([9u8; 32]);
         let outcome = client_handshake(&mut stream, &auth, &mut rng).unwrap();
@@ -757,7 +840,7 @@ mod tests {
             let mut tampered = hello.clone();
             tampered[2] ^= HELLO_FLAG_ENCRYPT;
             let mut rng = SecretRng::seeded([4u8; 32]);
-            server_handshake(&mut stream, &tampered, &reg, &mut rng)
+            server_handshake(&mut stream, &tampered, &reg, &mut rng, SuiteOffer::all())
         });
         let mut stream = TcpStream::connect(addr).unwrap();
         let auth = ClientAuth {
@@ -765,11 +848,132 @@ mod tests {
             key: alice,
             tenant: "alice".into(),
             encrypt: false,
+            suites: SuiteOffer::default(),
         };
         let mut rng = SecretRng::seeded([5u8; 32]);
         let c = client_handshake(&mut stream, &auth, &mut rng);
         assert!(c.is_err(), "client accepted a tampered transcript");
         drop(stream);
         assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn tampered_suite_offer_rejected() {
+        // Downgrade attempt #1: a MITM strips the ChaCha20 bit from the
+        // client's offer so the server picks the legacy suite. The offer
+        // byte is inside the HELLO payload the transcript signs, so the
+        // client's mac_s check fails.
+        let (_, alice, _) = test_registry();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let hello = match read_payload(&mut stream).unwrap() {
+                Incoming::Payload(p) => p,
+                other => panic!("{other:?}"),
+            };
+            let (mut reg, key) = (AuthRegistry::new(), PartyKey::from_bytes([0x11; 32]));
+            reg.insert("alice", key, TenantGrant::One("alice".into()))
+                .unwrap();
+            // Byte 3 is the suites-offer bitmask; strip ChaCha20.
+            let mut tampered = hello.clone();
+            assert_eq!(tampered[3], SuiteOffer::all().bits());
+            tampered[3] &= !CipherSuite::ChaCha20.code();
+            let mut rng = SecretRng::seeded([4u8; 32]);
+            server_handshake(&mut stream, &tampered, &reg, &mut rng, SuiteOffer::all())
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let auth = ClientAuth {
+            identity: "alice".into(),
+            key: alice,
+            tenant: "alice".into(),
+            encrypt: false,
+            suites: SuiteOffer::default(),
+        };
+        let mut rng = SecretRng::seeded([5u8; 32]);
+        let c = client_handshake(&mut stream, &auth, &mut rng);
+        assert!(c.is_err(), "client accepted a stripped suite offer");
+        drop(stream);
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn rewritten_suite_selection_rejected() {
+        // Downgrade attempt #2: a full MITM relays the handshake but
+        // rewrites the server's WELCOME selection byte from ChaCha20 to
+        // the legacy suite (recomputing the frame checksum, as a real
+        // MITM would). The selection is hashed into the transcript on
+        // the server side, so mac_s no longer verifies at the client.
+        let (reg, alice, _) = test_registry();
+        let back = TcpListener::bind("127.0.0.1:0").unwrap();
+        let back_addr = back.local_addr().unwrap();
+        let front = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front_addr = front.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = back.accept().unwrap();
+            let hello = match read_payload(&mut stream).unwrap() {
+                Incoming::Payload(p) => p,
+                other => panic!("{other:?}"),
+            };
+            let mut rng = SecretRng::seeded([4u8; 32]);
+            server_handshake(&mut stream, &hello, &reg, &mut rng, SuiteOffer::all())
+        });
+        let mitm = std::thread::spawn(move || {
+            let (mut client_side, _) = front.accept().unwrap();
+            let mut server_side = TcpStream::connect(back_addr).unwrap();
+            // Relay HELLO untouched.
+            let hello = match read_payload(&mut client_side).unwrap() {
+                Incoming::Payload(p) => p,
+                other => panic!("{other:?}"),
+            };
+            write_payload(&mut server_side, &hello).unwrap();
+            // Rewrite WELCOME's suite byte (payload index 2) and re-frame.
+            let mut welcome = match read_payload(&mut server_side).unwrap() {
+                Incoming::Payload(p) => p,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(welcome[1], OP_WELCOME);
+            assert_eq!(welcome[2], CipherSuite::ChaCha20.code());
+            welcome[2] = CipherSuite::HmacCtr.code();
+            write_payload(&mut client_side, &welcome).unwrap();
+        });
+        let mut stream = TcpStream::connect(front_addr).unwrap();
+        let auth = ClientAuth {
+            identity: "alice".into(),
+            key: alice,
+            tenant: "alice".into(),
+            encrypt: false,
+            suites: SuiteOffer::default(),
+        };
+        let mut rng = SecretRng::seeded([5u8; 32]);
+        let c = client_handshake(&mut stream, &auth, &mut rng);
+        let err = c.unwrap_err();
+        assert!(
+            err.to_string().contains("confirmation"),
+            "downgrade must die at key confirmation, got: {err}"
+        );
+        drop(stream);
+        mitm.join().unwrap();
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn pinned_suites_negotiate_and_disjoint_policy_rejects() {
+        for suite in CipherSuite::ALL {
+            let (reg, alice, _) = test_registry();
+            let auth = ClientAuth {
+                identity: "alice".into(),
+                key: alice,
+                tenant: "alice".into(),
+                encrypt: true,
+                suites: SuiteOffer::only(suite),
+            };
+            let (c, s) = run_handshake(auth, reg);
+            let HandshakeOutcome::Established(cch) = c.unwrap() else {
+                panic!("client not established on pinned {suite}");
+            };
+            assert_eq!(cch.suite(), suite);
+            assert_eq!(s.unwrap().channel.suite(), suite);
+        }
     }
 }

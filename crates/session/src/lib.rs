@@ -18,11 +18,16 @@
 //!   SRA-commutative-cipher key agreement mixed with the PSK via
 //!   HMAC-SHA256, mutual key confirmation over a transcript hash, and
 //!   typed rejections (`Auth`, `CrossTenant`).
+//! * **[`suite`]** — negotiated record-layer cipher suites: the client
+//!   offers a set in `HELLO`, the server selects one in `WELCOME`, and
+//!   both bytes are transcript-bound so downgrades are caught by key
+//!   confirmation.
 //! * **[`channel`]** — the record layer: per-frame HMAC-SHA256 over
 //!   sequence number and payload (verified in constant time, before the
 //!   inner opcode is ever interpreted), strict monotonic sequence
-//!   numbers for replay rejection, and optional HMAC-CTR body
-//!   encryption.
+//!   numbers for replay rejection, and optional body encryption under
+//!   the negotiated keystream (HMAC-CTR or ChaCha20), with reusable
+//!   frame buffers so steady-state `DATA` frames allocate nothing.
 //!
 //! The layering is deliberate: a wire v4 `DATA` frame *wraps* an
 //! unmodified wire v3 payload, so the entire request/response protocol,
@@ -34,11 +39,13 @@ pub mod frame;
 pub mod handshake;
 pub mod keys;
 pub mod registry;
+pub mod suite;
 
-pub use channel::{SecureChannel, SESSION_WIRE_VERSION};
+pub use channel::{IncomingRef, SecureChannel, SESSION_WIRE_VERSION};
 pub use handshake::{
     client_handshake, client_handshake_established, server_handshake, ClientAuth, HandshakeOutcome,
     ServerSession,
 };
 pub use keys::{entropy_rng, PartyKey, SecretRng};
 pub use registry::{AuthRegistry, TenantGrant};
+pub use suite::{select_suite, CipherSuite, SuiteOffer};

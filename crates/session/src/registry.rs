@@ -216,9 +216,18 @@ mod tests {
     #[test]
     fn load_keys_and_map() {
         let dir = temp_dir("load");
-        PartyKey::generate().unwrap().save(&dir.join("alice.psk")).unwrap();
-        PartyKey::generate().unwrap().save(&dir.join("bob.psk")).unwrap();
-        PartyKey::generate().unwrap().save(&dir.join("admin.psk")).unwrap();
+        PartyKey::generate()
+            .unwrap()
+            .save(&dir.join("alice.psk"))
+            .unwrap();
+        PartyKey::generate()
+            .unwrap()
+            .save(&dir.join("bob.psk"))
+            .unwrap();
+        PartyKey::generate()
+            .unwrap()
+            .save(&dir.join("admin.psk"))
+            .unwrap();
         std::fs::write(dir.join("tenants.map"), "# comment\nadmin *\nbob org-b\n").unwrap();
         let reg = AuthRegistry::load(&dir).unwrap();
         assert_eq!(reg.len(), 3);
@@ -262,7 +271,10 @@ mod tests {
     #[test]
     fn map_referencing_missing_key_fails() {
         let dir = temp_dir("missingkey");
-        PartyKey::generate().unwrap().save(&dir.join("alice.psk")).unwrap();
+        PartyKey::generate()
+            .unwrap()
+            .save(&dir.join("alice.psk"))
+            .unwrap();
         std::fs::write(dir.join("tenants.map"), "ghost org-x\n").unwrap();
         let err = AuthRegistry::load(&dir).unwrap_err();
         assert!(err.to_string().contains("ghost"), "{err}");
